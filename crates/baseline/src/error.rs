@@ -1,0 +1,39 @@
+//! Error type shared by the baseline engines.
+
+use std::fmt;
+
+/// Errors produced by the baseline engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The query graph is not connected (evaluating a cross product of
+    /// components is out of scope for all engines in this workspace).
+    DisconnectedQuery,
+    /// An internal invariant was violated.
+    Internal(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::DisconnectedQuery => write!(f, "the query graph is not connected"),
+            BaselineError::Internal(msg) => write!(f, "internal baseline error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(BaselineError::DisconnectedQuery
+            .to_string()
+            .contains("connected"));
+        assert!(BaselineError::Internal("oops".into())
+            .to_string()
+            .contains("oops"));
+    }
+}

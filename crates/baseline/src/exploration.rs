@@ -1,0 +1,318 @@
+//! The graph-exploration baseline: backtracking pattern matching.
+//!
+//! This engine evaluates a conjunctive query the way a native graph store
+//! (the paper's Neo4J configuration) does: depth-first backtracking search
+//! that binds one triple pattern at a time by walking the adjacency lists of
+//! already-bound nodes. It materializes no intermediate relations but revisits
+//! the same data edges once per partial embedding that reaches them — the
+//! redundant edge walks the answer-graph approach amortizes away.
+
+use wireframe_graph::{Graph, NodeId};
+use wireframe_query::{ConjunctiveQuery, EmbeddingSet, QueryGraph, Term, TriplePattern, Var};
+
+use crate::error::BaselineError;
+
+/// Execution statistics of the exploration engine.
+#[derive(Debug, Clone, Default)]
+pub struct ExplorationStats {
+    /// Pattern order used by the backtracking search.
+    pub match_order: Vec<usize>,
+    /// Data edges retrieved during the search (comparable with the Wireframe
+    /// engine's edge-walk count).
+    pub edge_walks: u64,
+    /// Number of embeddings found.
+    pub embeddings: usize,
+}
+
+/// The backtracking graph-exploration baseline engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorationEngine<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> ExplorationEngine<'g> {
+    /// Creates an engine over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        ExplorationEngine { graph }
+    }
+
+    /// Evaluates `query`, returning its projected embeddings.
+    pub fn evaluate(&self, query: &ConjunctiveQuery) -> Result<EmbeddingSet, BaselineError> {
+        self.evaluate_with_stats(query).map(|(e, _)| e)
+    }
+
+    /// Evaluates `query`, also returning execution statistics.
+    pub fn evaluate_with_stats(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<(EmbeddingSet, ExplorationStats), BaselineError> {
+        let qg = QueryGraph::new(query);
+        if !qg.is_connected() {
+            return Err(BaselineError::DisconnectedQuery);
+        }
+
+        // Match order: cheapest predicate first, then patterns connected to
+        // the already-ordered prefix (so at most one end is unbound at a time
+        // where possible).
+        let order = match_order(self.graph, query);
+        let mut stats = ExplorationStats {
+            match_order: order.clone(),
+            edge_walks: 0,
+            embeddings: 0,
+        };
+
+        let mut binding: Vec<Option<NodeId>> = vec![None; query.num_vars()];
+        let mut results: Vec<Vec<NodeId>> = Vec::new();
+        self.search(
+            query,
+            &order,
+            0,
+            &mut binding,
+            &mut results,
+            &mut stats.edge_walks,
+        );
+        stats.embeddings = results.len();
+
+        let schema: Vec<Var> = query.variables().collect();
+        let full = EmbeddingSet::new(schema, results);
+        let projected = full.project(query).ok_or_else(|| {
+            BaselineError::Internal("projection variable missing from result".into())
+        })?;
+        Ok((projected, stats))
+    }
+
+    fn search(
+        &self,
+        query: &ConjunctiveQuery,
+        order: &[usize],
+        depth: usize,
+        binding: &mut Vec<Option<NodeId>>,
+        results: &mut Vec<Vec<NodeId>>,
+        edge_walks: &mut u64,
+    ) {
+        if depth == order.len() {
+            results.push(
+                binding
+                    .iter()
+                    .map(|b| b.expect("all variables bound at a full match"))
+                    .collect(),
+            );
+            return;
+        }
+        let pattern = query.patterns()[order[depth]];
+        let candidates = self.candidate_edges(&pattern, binding, edge_walks);
+        for (s, o) in candidates {
+            let saved = binding.clone();
+            if bind_end(binding, pattern.subject, s) && bind_end(binding, pattern.object, o) {
+                self.search(query, order, depth + 1, binding, results, edge_walks);
+            }
+            *binding = saved;
+        }
+    }
+
+    /// Enumerates the data edges compatible with the pattern under the current
+    /// partial binding, counting each retrieved edge as one edge walk.
+    fn candidate_edges(
+        &self,
+        pattern: &TriplePattern,
+        binding: &[Option<NodeId>],
+        edge_walks: &mut u64,
+    ) -> Vec<(NodeId, NodeId)> {
+        let p = pattern.predicate;
+        let s_val = term_value(pattern.subject, binding);
+        let o_val = term_value(pattern.object, binding);
+        let mut out = Vec::new();
+        match (s_val, o_val) {
+            (Some(s), Some(o)) => {
+                *edge_walks += 1;
+                if self.graph.has_triple(s, p, o) {
+                    out.push((s, o));
+                }
+            }
+            (Some(s), None) => {
+                let objects = self.graph.objects_of(p, s);
+                *edge_walks += objects.len() as u64;
+                out.extend(objects.iter().map(|&o| (s, o)));
+            }
+            (None, Some(o)) => {
+                let subjects = self.graph.subjects_of(p, o);
+                *edge_walks += subjects.len() as u64;
+                out.extend(subjects.iter().map(|&s| (s, o)));
+            }
+            (None, None) => {
+                let pairs = self.graph.pairs(p);
+                *edge_walks += pairs.len() as u64;
+                out.extend_from_slice(pairs);
+            }
+        }
+        out
+    }
+}
+
+fn term_value(term: Term, binding: &[Option<NodeId>]) -> Option<NodeId> {
+    match term {
+        Term::Const(c) => Some(c),
+        Term::Var(v) => binding[v.index()],
+    }
+}
+
+/// Binds a term's variable to `value`, returning `false` on conflict.
+fn bind_end(binding: &mut [Option<NodeId>], term: Term, value: NodeId) -> bool {
+    match term {
+        Term::Const(c) => c == value,
+        Term::Var(v) => match binding[v.index()] {
+            None => {
+                binding[v.index()] = Some(value);
+                true
+            }
+            Some(existing) => existing == value,
+        },
+    }
+}
+
+/// Cheapest-predicate-first connected order.
+fn match_order(graph: &Graph, query: &ConjunctiveQuery) -> Vec<usize> {
+    let n = query.num_patterns();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            let connected = order.is_empty()
+                || query.patterns()[i].variables().any(|v| {
+                    order
+                        .iter()
+                        .any(|&j: &usize| query.patterns()[j].mentions(v))
+                });
+            if !connected {
+                continue;
+            }
+            let card = graph.predicate_cardinality(query.patterns()[i].predicate);
+            let better = match best {
+                None => true,
+                Some(b) => card < graph.predicate_cardinality(query.patterns()[b].predicate),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let pick =
+            best.unwrap_or_else(|| (0..n).find(|&i| !used[i]).expect("unused pattern exists"));
+        used[pick] = true;
+        order.push(pick);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wireframe_graph::GraphBuilder;
+    use wireframe_query::{parse_query, CqBuilder};
+
+    fn figure1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "5");
+        b.add("2", "A", "5");
+        b.add("3", "A", "5");
+        b.add("4", "A", "6");
+        b.add("5", "B", "9");
+        b.add("7", "B", "10");
+        for o in ["12", "13", "14", "15"] {
+            b.add("9", "C", o);
+        }
+        b.add("11", "C", "15");
+        b.build()
+    }
+
+    #[test]
+    fn figure1_chain_has_twelve_embeddings() {
+        let g = figure1_graph();
+        let q = parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let (emb, stats) = ExplorationEngine::new(&g).evaluate_with_stats(&q).unwrap();
+        assert_eq!(emb.len(), 12);
+        assert_eq!(stats.embeddings, 12);
+        assert!(stats.edge_walks > 0);
+        assert_eq!(stats.match_order.len(), 3);
+    }
+
+    #[test]
+    fn agrees_with_relational_on_cycles() {
+        let mut b = GraphBuilder::new();
+        b.add("3", "A", "4");
+        b.add("3", "B", "2");
+        b.add("4", "C", "1");
+        b.add("2", "D", "1");
+        b.add("4", "C", "5");
+        b.add("8", "C", "1");
+        let g = b.build();
+        let q = parse_query(
+            "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let a = ExplorationEngine::new(&g).evaluate(&q).unwrap();
+        let b2 = crate::relational::RelationalEngine::new(&g)
+            .evaluate(&q)
+            .unwrap();
+        assert!(a.same_answer(&b2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn constants_are_enforced() {
+        let g = figure1_graph();
+        let q = parse_query("SELECT ?w WHERE { ?w :A 5 . }", g.dictionary()).unwrap();
+        let emb = ExplorationEngine::new(&g).evaluate(&q).unwrap();
+        assert_eq!(emb.len(), 3);
+    }
+
+    #[test]
+    fn self_loop_and_repeated_variable() {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "1");
+        b.add("1", "A", "2");
+        b.add("2", "B", "1");
+        let g = b.build();
+        // ?x A ?x (self loop) and the repeated-variable join ?x A ?y . ?y B ?x.
+        let loopq = parse_query("SELECT ?x WHERE { ?x :A ?x . }", g.dictionary()).unwrap();
+        assert_eq!(
+            ExplorationEngine::new(&g).evaluate(&loopq).unwrap().len(),
+            1
+        );
+        let cycleq =
+            parse_query("SELECT * WHERE { ?x :A ?y . ?y :B ?x . }", g.dictionary()).unwrap();
+        assert_eq!(
+            ExplorationEngine::new(&g).evaluate(&cycleq).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn disconnected_query_rejected() {
+        let g = figure1_graph();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?a", "A", "?b").unwrap();
+        qb.pattern("?c", "C", "?d").unwrap();
+        let q = qb.build().unwrap();
+        assert!(matches!(
+            ExplorationEngine::new(&g).evaluate(&q),
+            Err(BaselineError::DisconnectedQuery)
+        ));
+    }
+
+    #[test]
+    fn empty_answer() {
+        let g = figure1_graph();
+        let q = parse_query("SELECT * WHERE { ?x :C ?y . ?y :A ?z . }", g.dictionary()).unwrap();
+        let emb = ExplorationEngine::new(&g).evaluate(&q).unwrap();
+        assert!(emb.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # wireframe-baseline — non-factorized reference engines
+//!
+//! Two conjunctive-query evaluators that stand in for the external systems of
+//! the paper's experiment, so that the comparison isolates the algorithmic
+//! difference (factorized vs. standard evaluation) rather than storage or
+//! network stacks:
+//!
+//! * [`RelationalEngine`] — pairwise hash joins over scanned triple-pattern
+//!   relations with full intermediate materialization, the strategy of the
+//!   paper's PostgreSQL / Virtuoso configurations;
+//! * [`SortMergeEngine`] — sort-merge joins over column-shaped scans, the
+//!   strategy of the paper's MonetDB configuration;
+//! * [`ExplorationEngine`] — depth-first backtracking pattern matching over
+//!   adjacency lists, the strategy of the paper's Neo4J configuration.
+//!
+//! Both produce the same [`EmbeddingSet`](wireframe_query::EmbeddingSet)
+//! answers as the Wireframe engine; the cross-engine property tests rely on
+//! this to validate all three implementations against each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod exploration;
+mod relational;
+mod sortmerge;
+
+pub use error::BaselineError;
+pub use exploration::{ExplorationEngine, ExplorationStats};
+pub use relational::{RelationalEngine, RelationalStats};
+pub use sortmerge::{SortMergeEngine, SortMergeStats};

@@ -1,0 +1,354 @@
+//! The relational baseline: standard (non-factorized) CQ evaluation.
+//!
+//! This engine evaluates a conjunctive query the way a relational system with
+//! a triple table does — the strategy of the PostgreSQL, MonetDB and Virtuoso
+//! configurations in the paper's experiment: every triple pattern is scanned
+//! into a relation of bindings and the relations are joined pairwise with hash
+//! joins, materializing the full intermediate embedding tuples at every step.
+//! No factorization takes place, so many-to-many joins multiply intermediate
+//! results — exactly the redundancy the answer-graph approach avoids.
+
+use std::collections::HashMap;
+
+use wireframe_graph::{Graph, NodeId};
+use wireframe_query::{ConjunctiveQuery, EmbeddingSet, QueryGraph, Term, Var};
+
+use crate::error::BaselineError;
+
+/// Execution statistics of the relational engine.
+#[derive(Debug, Clone, Default)]
+pub struct RelationalStats {
+    /// Join order over the query's patterns.
+    pub join_order: Vec<usize>,
+    /// Total tuples materialized across all intermediate relations.
+    pub intermediate_tuples: usize,
+    /// Largest intermediate relation.
+    pub peak_intermediate: usize,
+    /// Tuples scanned out of the base predicate relations.
+    pub scanned_tuples: usize,
+}
+
+/// A relation over a set of query variables.
+#[derive(Debug, Clone)]
+struct Relation {
+    schema: Vec<Var>,
+    tuples: Vec<Vec<NodeId>>,
+}
+
+/// The relational (hash-join) baseline engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RelationalEngine<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> RelationalEngine<'g> {
+    /// Creates an engine over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        RelationalEngine { graph }
+    }
+
+    /// Evaluates `query`, returning its projected embeddings.
+    pub fn evaluate(&self, query: &ConjunctiveQuery) -> Result<EmbeddingSet, BaselineError> {
+        self.evaluate_with_stats(query).map(|(e, _)| e)
+    }
+
+    /// Evaluates `query`, also returning execution statistics.
+    pub fn evaluate_with_stats(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<(EmbeddingSet, RelationalStats), BaselineError> {
+        let qg = QueryGraph::new(query);
+        if !qg.is_connected() {
+            return Err(BaselineError::DisconnectedQuery);
+        }
+        let mut stats = RelationalStats::default();
+
+        // Scan every pattern into a base relation.
+        let base: Vec<Relation> = query
+            .patterns()
+            .iter()
+            .map(|p| {
+                let rel = self.scan(query, p.subject, p.predicate, p.object);
+                stats.scanned_tuples += rel.tuples.len();
+                rel
+            })
+            .collect();
+
+        // Greedy join order: smallest base relation first, then the smallest
+        // connected one (a textbook heuristic join-order optimizer).
+        let order = join_order(query, &base);
+        stats.join_order = order.clone();
+
+        let mut current: Option<Relation> = None;
+        for &i in &order {
+            let next = match current.take() {
+                None => base[i].clone(),
+                Some(acc) => hash_join(&acc, &base[i]),
+            };
+            stats.intermediate_tuples += next.tuples.len();
+            stats.peak_intermediate = stats.peak_intermediate.max(next.tuples.len());
+            if next.tuples.is_empty() {
+                // Early exit: the answer is empty, but keep the full schema so
+                // projection still succeeds.
+                let schema: Vec<Var> = query.variables().collect();
+                let empty = EmbeddingSet::empty(schema)
+                    .project(query)
+                    .unwrap_or_else(|| EmbeddingSet::empty(query.projection().to_vec()));
+                return Ok((empty, stats));
+            }
+            current = Some(next);
+        }
+
+        let result =
+            current.ok_or_else(|| BaselineError::Internal("query had no patterns".into()))?;
+        let full = EmbeddingSet::new(result.schema, result.tuples);
+        let projected = full.project(query).ok_or_else(|| {
+            BaselineError::Internal("projection variable missing from result".into())
+        })?;
+        Ok((projected, stats))
+    }
+
+    /// Scans one triple pattern into a relation over its variables.
+    fn scan(
+        &self,
+        _query: &ConjunctiveQuery,
+        subject: Term,
+        p: wireframe_graph::PredId,
+        object: Term,
+    ) -> Relation {
+        let mut schema = Vec::new();
+        if let Some(v) = subject.as_var() {
+            schema.push(v);
+        }
+        if let Some(v) = object.as_var() {
+            if Some(v) != subject.as_var() {
+                schema.push(v);
+            }
+        }
+        let mut tuples = Vec::new();
+        let self_loop = match (subject.as_var(), object.as_var()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
+        match (subject, object) {
+            (Term::Const(s), Term::Const(o)) => {
+                if self.graph.has_triple(s, p, o) {
+                    tuples.push(Vec::new());
+                }
+            }
+            (Term::Const(s), Term::Var(_)) => {
+                for &o in self.graph.objects_of(p, s) {
+                    tuples.push(vec![o]);
+                }
+            }
+            (Term::Var(_), Term::Const(o)) => {
+                for &s in self.graph.subjects_of(p, o) {
+                    tuples.push(vec![s]);
+                }
+            }
+            (Term::Var(_), Term::Var(_)) => {
+                for &(s, o) in self.graph.pairs(p) {
+                    if self_loop {
+                        if s == o {
+                            tuples.push(vec![s]);
+                        }
+                    } else {
+                        tuples.push(vec![s, o]);
+                    }
+                }
+            }
+        }
+        Relation { schema, tuples }
+    }
+}
+
+/// Greedy connected join order by base-relation size.
+fn join_order(query: &ConjunctiveQuery, base: &[Relation]) -> Vec<usize> {
+    let n = base.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            let connected = order.is_empty()
+                || query.patterns()[i].variables().any(|v| {
+                    order
+                        .iter()
+                        .any(|&j: &usize| query.patterns()[j].mentions(v))
+                });
+            if !connected {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => base[i].tuples.len() < base[b].tuples.len(),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let pick =
+            best.unwrap_or_else(|| (0..n).find(|&i| !used[i]).expect("unused pattern exists"));
+        used[pick] = true;
+        order.push(pick);
+    }
+    order
+}
+
+/// Hash join of two relations on their shared variables (natural join).
+/// Degenerates to a cross product when they share none.
+fn hash_join(left: &Relation, right: &Relation) -> Relation {
+    let shared: Vec<Var> = left
+        .schema
+        .iter()
+        .copied()
+        .filter(|v| right.schema.contains(v))
+        .collect();
+    let left_key_cols: Vec<usize> = shared
+        .iter()
+        .map(|v| {
+            left.schema
+                .iter()
+                .position(|s| s == v)
+                .expect("shared var in left")
+        })
+        .collect();
+    let right_key_cols: Vec<usize> = shared
+        .iter()
+        .map(|v| {
+            right
+                .schema
+                .iter()
+                .position(|s| s == v)
+                .expect("shared var in right")
+        })
+        .collect();
+    let right_extra_cols: Vec<usize> = (0..right.schema.len())
+        .filter(|c| !shared.contains(&right.schema[*c]))
+        .collect();
+
+    let mut schema = left.schema.clone();
+    schema.extend(right_extra_cols.iter().map(|&c| right.schema[c]));
+
+    // Build on the smaller input, probe with the larger.
+    let mut table: HashMap<Vec<NodeId>, Vec<usize>> = HashMap::new();
+    for (idx, t) in right.tuples.iter().enumerate() {
+        let key: Vec<NodeId> = right_key_cols.iter().map(|&c| t[c]).collect();
+        table.entry(key).or_default().push(idx);
+    }
+
+    let mut tuples = Vec::new();
+    for lt in &left.tuples {
+        let key: Vec<NodeId> = left_key_cols.iter().map(|&c| lt[c]).collect();
+        if let Some(matches) = table.get(&key) {
+            for &ri in matches {
+                let rt = &right.tuples[ri];
+                let mut out = lt.clone();
+                out.extend(right_extra_cols.iter().map(|&c| rt[c]));
+                tuples.push(out);
+            }
+        }
+    }
+    Relation { schema, tuples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wireframe_graph::GraphBuilder;
+    use wireframe_query::{parse_query, CqBuilder};
+
+    fn figure1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "5");
+        b.add("2", "A", "5");
+        b.add("3", "A", "5");
+        b.add("4", "A", "6");
+        b.add("5", "B", "9");
+        b.add("7", "B", "10");
+        for o in ["12", "13", "14", "15"] {
+            b.add("9", "C", o);
+        }
+        b.add("11", "C", "15");
+        b.build()
+    }
+
+    #[test]
+    fn figure1_chain_has_twelve_embeddings() {
+        let g = figure1_graph();
+        let q = parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let engine = RelationalEngine::new(&g);
+        let (emb, stats) = engine.evaluate_with_stats(&q).unwrap();
+        assert_eq!(emb.len(), 12);
+        assert_eq!(stats.join_order.len(), 3);
+        assert!(stats.scanned_tuples >= 11, "all base triples are scanned");
+        assert!(stats.peak_intermediate >= 12);
+    }
+
+    #[test]
+    fn constants_and_projection() {
+        let g = figure1_graph();
+        let q = parse_query("SELECT DISTINCT ?w WHERE { ?w :A 5 . }", g.dictionary()).unwrap();
+        let emb = RelationalEngine::new(&g).evaluate(&q).unwrap();
+        assert_eq!(emb.len(), 3);
+        assert_eq!(emb.schema().len(), 1);
+    }
+
+    #[test]
+    fn empty_answer() {
+        let g = figure1_graph();
+        let q = parse_query("SELECT * WHERE { ?x :C ?y . ?y :A ?z . }", g.dictionary()).unwrap();
+        let (emb, _) = RelationalEngine::new(&g).evaluate_with_stats(&q).unwrap();
+        assert!(emb.is_empty());
+    }
+
+    #[test]
+    fn self_loop_pattern() {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "1");
+        b.add("1", "A", "2");
+        b.add("3", "A", "3");
+        let g = b.build();
+        let q = parse_query("SELECT ?x WHERE { ?x :A ?x . }", g.dictionary()).unwrap();
+        let emb = RelationalEngine::new(&g).evaluate(&q).unwrap();
+        assert_eq!(emb.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_query_rejected() {
+        let g = figure1_graph();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?a", "A", "?b").unwrap();
+        qb.pattern("?c", "C", "?d").unwrap();
+        let q = qb.build().unwrap();
+        assert!(matches!(
+            RelationalEngine::new(&g).evaluate(&q),
+            Err(BaselineError::DisconnectedQuery)
+        ));
+    }
+
+    #[test]
+    fn cyclic_diamond_query() {
+        let mut b = GraphBuilder::new();
+        b.add("3", "A", "4");
+        b.add("3", "B", "2");
+        b.add("4", "C", "1");
+        b.add("2", "D", "1");
+        b.add("4", "C", "5");
+        let g = b.build();
+        let q = parse_query(
+            "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let emb = RelationalEngine::new(&g).evaluate(&q).unwrap();
+        assert_eq!(emb.len(), 1, "only the closed diamond is an embedding");
+    }
+}

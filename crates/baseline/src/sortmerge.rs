@@ -1,0 +1,355 @@
+//! A second relational baseline: sort-merge joins over column-shaped scans.
+//!
+//! The paper's MonetDB configuration is a column store whose execution engine
+//! favours materialized, sorted intermediates and merge joins over hash joins.
+//! [`SortMergeEngine`] reproduces that strategy: every triple pattern is
+//! scanned into a relation, relations are joined pairwise in a greedy order,
+//! and every binary join sorts both inputs on the shared variables and merges
+//! them. Like the hash-join baseline it materializes every intermediate tuple
+//! — the non-factorized behaviour Wireframe's answer graph avoids — but its
+//! cost profile (sorting dominates) is distinct, giving the benchmark harness
+//! a second "standard evaluation" reference point.
+
+use wireframe_graph::{Graph, NodeId};
+use wireframe_query::{ConjunctiveQuery, EmbeddingSet, QueryGraph, Term, Var};
+
+use crate::error::BaselineError;
+
+/// Execution statistics of the sort-merge engine.
+#[derive(Debug, Clone, Default)]
+pub struct SortMergeStats {
+    /// Join order over the query's patterns.
+    pub join_order: Vec<usize>,
+    /// Total tuples materialized across all intermediate relations.
+    pub intermediate_tuples: usize,
+    /// Largest intermediate relation.
+    pub peak_intermediate: usize,
+    /// Number of tuples that went through a sort.
+    pub sorted_tuples: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Relation {
+    schema: Vec<Var>,
+    tuples: Vec<Vec<NodeId>>,
+}
+
+/// The sort-merge relational baseline engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SortMergeEngine<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> SortMergeEngine<'g> {
+    /// Creates an engine over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        SortMergeEngine { graph }
+    }
+
+    /// Evaluates `query`, returning its projected embeddings.
+    pub fn evaluate(&self, query: &ConjunctiveQuery) -> Result<EmbeddingSet, BaselineError> {
+        self.evaluate_with_stats(query).map(|(e, _)| e)
+    }
+
+    /// Evaluates `query`, also returning execution statistics.
+    pub fn evaluate_with_stats(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<(EmbeddingSet, SortMergeStats), BaselineError> {
+        let qg = QueryGraph::new(query);
+        if !qg.is_connected() {
+            return Err(BaselineError::DisconnectedQuery);
+        }
+        let mut stats = SortMergeStats::default();
+
+        let base: Vec<Relation> = query
+            .patterns()
+            .iter()
+            .map(|p| self.scan(p.subject, p.predicate, p.object))
+            .collect();
+
+        let order = greedy_order(query, &base);
+        stats.join_order = order.clone();
+
+        let mut current: Option<Relation> = None;
+        for &i in &order {
+            let next = match current.take() {
+                None => base[i].clone(),
+                Some(acc) => merge_join(acc, base[i].clone(), &mut stats),
+            };
+            stats.intermediate_tuples += next.tuples.len();
+            stats.peak_intermediate = stats.peak_intermediate.max(next.tuples.len());
+            if next.tuples.is_empty() {
+                let empty = EmbeddingSet::empty(query.variables().collect())
+                    .project(query)
+                    .unwrap_or_else(|| EmbeddingSet::empty(query.projection().to_vec()));
+                return Ok((empty, stats));
+            }
+            current = Some(next);
+        }
+
+        let result =
+            current.ok_or_else(|| BaselineError::Internal("query had no patterns".into()))?;
+        let full = EmbeddingSet::new(result.schema, result.tuples);
+        let projected = full.project(query).ok_or_else(|| {
+            BaselineError::Internal("projection variable missing from result".into())
+        })?;
+        Ok((projected, stats))
+    }
+
+    fn scan(&self, subject: Term, p: wireframe_graph::PredId, object: Term) -> Relation {
+        let mut schema = Vec::new();
+        if let Some(v) = subject.as_var() {
+            schema.push(v);
+        }
+        if let Some(v) = object.as_var() {
+            if Some(v) != subject.as_var() {
+                schema.push(v);
+            }
+        }
+        let self_loop = matches!((subject.as_var(), object.as_var()), (Some(a), Some(b)) if a == b);
+        let mut tuples = Vec::new();
+        match (subject, object) {
+            (Term::Const(s), Term::Const(o)) => {
+                if self.graph.has_triple(s, p, o) {
+                    tuples.push(Vec::new());
+                }
+            }
+            (Term::Const(s), Term::Var(_)) => {
+                tuples.extend(self.graph.objects_of(p, s).iter().map(|&o| vec![o]));
+            }
+            (Term::Var(_), Term::Const(o)) => {
+                tuples.extend(self.graph.subjects_of(p, o).iter().map(|&s| vec![s]));
+            }
+            (Term::Var(_), Term::Var(_)) => {
+                for &(s, o) in self.graph.pairs(p) {
+                    if self_loop {
+                        if s == o {
+                            tuples.push(vec![s]);
+                        }
+                    } else {
+                        tuples.push(vec![s, o]);
+                    }
+                }
+            }
+        }
+        Relation { schema, tuples }
+    }
+}
+
+fn greedy_order(query: &ConjunctiveQuery, base: &[Relation]) -> Vec<usize> {
+    let n = base.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            let connected = order.is_empty()
+                || query.patterns()[i].variables().any(|v| {
+                    order
+                        .iter()
+                        .any(|&j: &usize| query.patterns()[j].mentions(v))
+                });
+            if !connected {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => base[i].tuples.len() < base[b].tuples.len(),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let pick =
+            best.unwrap_or_else(|| (0..n).find(|&i| !used[i]).expect("unused pattern exists"));
+        used[pick] = true;
+        order.push(pick);
+    }
+    order
+}
+
+/// Natural join of two relations via sort-merge on their shared variables.
+/// Degenerates to a nested-loop cross product when they share none.
+fn merge_join(mut left: Relation, mut right: Relation, stats: &mut SortMergeStats) -> Relation {
+    let shared: Vec<Var> = left
+        .schema
+        .iter()
+        .copied()
+        .filter(|v| right.schema.contains(v))
+        .collect();
+    let l_keys: Vec<usize> = shared
+        .iter()
+        .map(|v| left.schema.iter().position(|s| s == v).expect("shared var"))
+        .collect();
+    let r_keys: Vec<usize> = shared
+        .iter()
+        .map(|v| {
+            right
+                .schema
+                .iter()
+                .position(|s| s == v)
+                .expect("shared var")
+        })
+        .collect();
+    let r_extra: Vec<usize> = (0..right.schema.len())
+        .filter(|c| !shared.contains(&right.schema[*c]))
+        .collect();
+
+    let mut schema = left.schema.clone();
+    schema.extend(r_extra.iter().map(|&c| right.schema[c]));
+
+    if shared.is_empty() {
+        let mut tuples = Vec::with_capacity(left.tuples.len() * right.tuples.len());
+        for lt in &left.tuples {
+            for rt in &right.tuples {
+                let mut out = lt.clone();
+                out.extend(r_extra.iter().map(|&c| rt[c]));
+                tuples.push(out);
+            }
+        }
+        return Relation { schema, tuples };
+    }
+
+    stats.sorted_tuples += left.tuples.len() + right.tuples.len();
+    let key_of =
+        |t: &Vec<NodeId>, cols: &[usize]| -> Vec<NodeId> { cols.iter().map(|&c| t[c]).collect() };
+    left.tuples.sort_by_key(|t| key_of(t, &l_keys));
+    right.tuples.sort_by_key(|t| key_of(t, &r_keys));
+
+    let mut tuples = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.tuples.len() && j < right.tuples.len() {
+        let lk = key_of(&left.tuples[i], &l_keys);
+        let rk = key_of(&right.tuples[j], &r_keys);
+        match lk.cmp(&rk) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the runs of equal keys on both sides and emit their product.
+                let i_end = (i..left.tuples.len())
+                    .find(|&x| key_of(&left.tuples[x], &l_keys) != lk)
+                    .unwrap_or(left.tuples.len());
+                let j_end = (j..right.tuples.len())
+                    .find(|&x| key_of(&right.tuples[x], &r_keys) != rk)
+                    .unwrap_or(right.tuples.len());
+                for lt in &left.tuples[i..i_end] {
+                    for rt in &right.tuples[j..j_end] {
+                        let mut out = lt.clone();
+                        out.extend(r_extra.iter().map(|&c| rt[c]));
+                        tuples.push(out);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    Relation { schema, tuples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relational::RelationalEngine;
+    use wireframe_graph::GraphBuilder;
+    use wireframe_query::{parse_query, CqBuilder};
+
+    fn figure1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        for s in ["1", "2", "3"] {
+            b.add(s, "A", "5");
+        }
+        b.add("4", "A", "6");
+        b.add("5", "B", "9");
+        b.add("7", "B", "10");
+        for o in ["12", "13", "14", "15"] {
+            b.add("9", "C", o);
+        }
+        b.add("11", "C", "15");
+        b.build()
+    }
+
+    #[test]
+    fn agrees_with_hash_join_engine_on_chains() {
+        let g = figure1_graph();
+        let q = parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let sm = SortMergeEngine::new(&g).evaluate(&q).unwrap();
+        let hj = RelationalEngine::new(&g).evaluate(&q).unwrap();
+        assert!(sm.same_answer(&hj));
+        assert_eq!(sm.len(), 12);
+    }
+
+    #[test]
+    fn sorting_statistics_are_recorded() {
+        let g = figure1_graph();
+        let q = parse_query("SELECT * WHERE { ?w :A ?x . ?x :B ?y . }", g.dictionary()).unwrap();
+        let (emb, stats) = SortMergeEngine::new(&g).evaluate_with_stats(&q).unwrap();
+        assert_eq!(emb.len(), 3);
+        assert!(stats.sorted_tuples > 0);
+        assert_eq!(stats.join_order.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_join_keys_produce_the_full_product() {
+        // Three A-edges into node 5 and four C-edges out of 9 reached through
+        // one B-edge: the run-product logic must emit 3 x 4 = 12 results.
+        let g = figure1_graph();
+        let q = parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let (emb, _) = SortMergeEngine::new(&g).evaluate_with_stats(&q).unwrap();
+        assert_eq!(emb.len(), 12);
+    }
+
+    #[test]
+    fn constants_self_loops_and_cycles() {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "1");
+        b.add("1", "A", "2");
+        b.add("2", "B", "1");
+        let g = b.build();
+        let loop_q = parse_query("SELECT ?x WHERE { ?x :A ?x . }", g.dictionary()).unwrap();
+        assert_eq!(SortMergeEngine::new(&g).evaluate(&loop_q).unwrap().len(), 1);
+        let cycle_q =
+            parse_query("SELECT * WHERE { ?x :A ?y . ?y :B ?x . }", g.dictionary()).unwrap();
+        assert_eq!(
+            SortMergeEngine::new(&g).evaluate(&cycle_q).unwrap().len(),
+            1
+        );
+        let const_q = parse_query("SELECT ?y WHERE { 1 :A ?y . }", g.dictionary()).unwrap();
+        assert_eq!(
+            SortMergeEngine::new(&g).evaluate(&const_q).unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_result_and_disconnected_query() {
+        let g = figure1_graph();
+        let empty_q =
+            parse_query("SELECT * WHERE { ?x :C ?y . ?y :A ?z . }", g.dictionary()).unwrap();
+        assert!(SortMergeEngine::new(&g)
+            .evaluate(&empty_q)
+            .unwrap()
+            .is_empty());
+
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?a", "A", "?b").unwrap();
+        qb.pattern("?c", "C", "?d").unwrap();
+        let q = qb.build().unwrap();
+        assert!(matches!(
+            SortMergeEngine::new(&g).evaluate(&q),
+            Err(BaselineError::DisconnectedQuery)
+        ));
+    }
+}

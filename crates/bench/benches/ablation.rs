@@ -1,0 +1,56 @@
+//! Criterion bench for the planner ablation: the DP Edgifier versus the
+//! greedy planner versus no cost-based planning ("as written"), and planning
+//! time itself, over the Table 1 workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use wireframe_bench::{build_dataset, DatasetSize};
+use wireframe_core::{EvalOptions, PlannerKind, WireframeEngine};
+use wireframe_datagen::table1_queries;
+
+fn bench_planner_ablation(c: &mut Criterion) {
+    let graph = build_dataset(DatasetSize::from_env());
+    let queries = table1_queries(&graph).expect("workload builds");
+
+    let mut group = c.benchmark_group("ablation_planner");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
+    for bq in queries
+        .iter()
+        .filter(|q| q.row == 1 || q.row == 2 || q.row == 6)
+    {
+        for kind in [
+            PlannerKind::DpLeftDeep,
+            PlannerKind::Greedy,
+            PlannerKind::AsWritten,
+        ] {
+            let engine =
+                WireframeEngine::with_options(&graph, EvalOptions::default().with_planner(kind));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), &bq.name),
+                &bq.query,
+                |b, q| b.iter(|| engine.execute(q).expect("evaluates").embedding_count()),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_planning_time");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4));
+    let engine = WireframeEngine::new(&graph);
+    for bq in queries.iter().filter(|q| q.row == 1 || q.row == 6) {
+        group.bench_with_input(
+            BenchmarkId::new("edgifier_dp", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| engine.plan(q).expect("plans").estimated_cost),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner_ablation);
+criterion_main!(benches);

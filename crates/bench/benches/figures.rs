@@ -1,0 +1,101 @@
+//! Criterion bench for the paper's worked figures:
+//!
+//! * Figure 1/2 — the chain query CQ_C: answer-graph generation versus full
+//!   embedding materialization on a fan-in/fan-out graph scaled up from the
+//!   figure's shape.
+//! * Figure 4 — the diamond CQ_D: node burnback only versus triangulation +
+//!   edge burnback.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use wireframe_baseline::RelationalEngine;
+use wireframe_core::{EvalOptions, WireframeEngine};
+use wireframe_graph::{Graph, GraphBuilder};
+use wireframe_query::parse_query;
+
+/// Scales the Figure 1 shape: `fan` A-edges fan in to a hub, one B-edge, and
+/// `fan` C-edges fan out — embeddings grow as `fan²`, the answer graph as `2·fan + 1`.
+fn figure1_scaled(fan: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..fan {
+        b.add(&format!("a{i}"), "A", "hub");
+        b.add("mid", "C", &format!("c{i}"));
+        // noise that burnback removes
+        b.add(&format!("x{i}"), "A", &format!("dead{i}"));
+        b.add(&format!("dead{i}"), "C", &format!("y{i}"));
+    }
+    b.add("hub", "B", "mid");
+    b.build()
+}
+
+/// The Figure 4 shape with `n` disjoint diamonds and `n` spurious cross edges.
+fn figure4_scaled(n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add(&format!("x{i}"), "A", &format!("e{i}"));
+        b.add(&format!("x{i}"), "B", &format!("z{i}"));
+        b.add(&format!("e{i}"), "C", &format!("y{i}"));
+        b.add(&format!("z{i}"), "D", &format!("y{i}"));
+        // spurious C edge into the next diamond's sink
+        b.add(&format!("e{i}"), "C", &format!("y{}", (i + 1) % n));
+    }
+    b.build()
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_chain");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for fan in [10usize, 40, 160] {
+        let graph = figure1_scaled(fan);
+        let query = parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            graph.dictionary(),
+        )
+        .expect("CQ_C parses");
+        let wf = WireframeEngine::new(&graph);
+        let rel = RelationalEngine::new(&graph);
+        group.bench_with_input(BenchmarkId::new("wireframe_full", fan), &query, |b, q| {
+            b.iter(|| wf.execute(q).expect("evaluates").embedding_count())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("wireframe_answer_graph_only", fan),
+            &query,
+            |b, q| b.iter(|| wf.answer_graph(q).expect("phase one runs").0.total_edges()),
+        );
+        group.bench_with_input(BenchmarkId::new("relational", fan), &query, |b, q| {
+            b.iter(|| rel.evaluate(q).expect("evaluates").len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_diamond");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    for n in [16usize, 64, 256] {
+        let graph = figure4_scaled(n);
+        let query = parse_query(
+            "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+            graph.dictionary(),
+        )
+        .expect("CQ_D parses");
+        let node_only = WireframeEngine::new(&graph);
+        let edge_bb =
+            WireframeEngine::with_options(&graph, EvalOptions::default().with_edge_burnback());
+        group.bench_with_input(BenchmarkId::new("node_burnback_only", n), &query, |b, q| {
+            b.iter(|| node_only.execute(q).expect("evaluates").answer_graph_size())
+        });
+        group.bench_with_input(BenchmarkId::new("with_edge_burnback", n), &query, |b, q| {
+            b.iter(|| edge_bb.execute(q).expect("evaluates").answer_graph_size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1, bench_figure4);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Table 1, rows 6–10: the five diamond-shaped (cyclic)
+//! queries (CQ_D) on the Wireframe engine — with and without edge burnback —
+//! and both baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use wireframe_baseline::{ExplorationEngine, RelationalEngine};
+use wireframe_bench::{build_dataset, DatasetSize};
+use wireframe_core::{EvalOptions, WireframeEngine};
+use wireframe_datagen::diamond_queries;
+
+fn bench_diamonds(c: &mut Criterion) {
+    let graph = build_dataset(DatasetSize::from_env());
+    let queries = diamond_queries(&graph).expect("workload builds");
+    let wf = WireframeEngine::new(&graph);
+    let wf_eb = WireframeEngine::with_options(&graph, EvalOptions::default().with_edge_burnback());
+    let rel = RelationalEngine::new(&graph);
+    let exp = ExplorationEngine::new(&graph);
+
+    let mut group = c.benchmark_group("table1_diamond");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for bq in &queries {
+        group.bench_with_input(
+            BenchmarkId::new("wireframe", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| wf.execute(q).expect("evaluates").embedding_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wireframe_edge_burnback", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| wf_eb.execute(q).expect("evaluates").embedding_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("relational", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| rel.evaluate(q).expect("evaluates").len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exploration", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| exp.evaluate(q).expect("evaluates").len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diamonds);
+criterion_main!(benches);

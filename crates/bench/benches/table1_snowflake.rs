@@ -1,0 +1,54 @@
+//! Criterion bench for Table 1, rows 1–5: the five snowflake-shaped queries
+//! (CQ_S) on the Wireframe engine and both baselines.
+//!
+//! Set `WIREFRAME_BENCH_SIZE=tiny|small|benchmark` to choose the dataset size
+//! (default `small`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use wireframe_baseline::{ExplorationEngine, RelationalEngine};
+use wireframe_bench::{build_dataset, DatasetSize};
+use wireframe_core::WireframeEngine;
+use wireframe_datagen::snowflake_queries;
+
+fn bench_snowflakes(c: &mut Criterion) {
+    let graph = build_dataset(DatasetSize::from_env());
+    let queries = snowflake_queries(&graph).expect("workload builds");
+    let wf = WireframeEngine::new(&graph);
+    let rel = RelationalEngine::new(&graph);
+    let exp = ExplorationEngine::new(&graph);
+
+    let mut group = c.benchmark_group("table1_snowflake");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    for bq in &queries {
+        group.bench_with_input(
+            BenchmarkId::new("wireframe", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| wf.execute(q).expect("evaluates").embedding_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("relational", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| rel.evaluate(q).expect("evaluates").len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exploration", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| exp.evaluate(q).expect("evaluates").len()),
+        );
+        // Phase one in isolation: the factorization step whose output size is
+        // the |iAG| column of the table.
+        group.bench_with_input(
+            BenchmarkId::new("wireframe_phase1", &bq.name),
+            &bq.query,
+            |b, q| b.iter(|| wf.answer_graph(q).expect("phase one runs").0.total_edges()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snowflakes);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates the paper's Table 1: query execution time for the ten
+//! benchmark queries on Wireframe and the baseline engines, plus the answer
+//! graph and embedding counts.
+//!
+//! ```text
+//! cargo run -p wireframe-bench --bin table1 --release            # small dataset
+//! WIREFRAME_BENCH_SIZE=benchmark cargo run -p wireframe-bench --bin table1 --release
+//! ```
+
+use std::time::Instant;
+
+use wireframe_bench::{build_dataset, format_table1, measure_table1, DatasetSize};
+
+fn main() {
+    let size = DatasetSize::from_env();
+    eprintln!("building synthetic YAGO-like dataset ({size:?}, set WIREFRAME_BENCH_SIZE=tiny|small|benchmark to change)…");
+    let t = Instant::now();
+    let graph = build_dataset(size);
+    eprintln!(
+        "dataset ready: {} triples, {} predicates, {} nodes ({:?})",
+        graph.triple_count(),
+        graph.predicate_count(),
+        graph.node_count(),
+        t.elapsed()
+    );
+
+    eprintln!("running the ten Table 1 queries (5 repeats each, warm-cache average)…");
+    let rows = measure_table1(&graph, 5);
+
+    println!("\n=== Table 1 (reproduced): query execution time and factorization ===");
+    println!("engines: WF = Wireframe; REL = hash-join baseline (PG/VT proxy); SM = sort-merge baseline (MD proxy); EXPL = graph exploration (NJ proxy)\n");
+    print!("{}", format_table1(&rows));
+
+    let snow: Vec<_> = rows.iter().filter(|r| !r.cyclic).collect();
+    let diam: Vec<_> = rows.iter().filter(|r| r.cyclic).collect();
+    let avg = |xs: &[&wireframe_bench::Table1Row], f: fn(&wireframe_bench::Table1Row) -> f64| {
+        xs.iter().map(|r| f(r)).sum::<f64>() / xs.len().max(1) as f64
+    };
+
+    println!("\nsummary:");
+    println!(
+        "  snowflakes: WF {:.1} ms vs REL {:.1} ms ({:.1}x), SM {:.1} ms ({:.1}x), EXPL {:.1} ms; mean |Emb|/|AG| = {:.0}x",
+        avg(&snow, |r| r.wf_ms),
+        avg(&snow, |r| r.relational_ms),
+        avg(&snow, |r| r.relational_ms) / avg(&snow, |r| r.wf_ms).max(1e-9),
+        avg(&snow, |r| r.sortmerge_ms),
+        avg(&snow, |r| r.sortmerge_ms) / avg(&snow, |r| r.wf_ms).max(1e-9),
+        avg(&snow, |r| r.exploration_ms),
+        avg(&snow, |r| r.factorization_ratio()),
+    );
+    println!(
+        "  diamonds:   WF {:.1} ms vs REL {:.1} ms ({:.1}x), SM {:.1} ms ({:.1}x), EXPL {:.1} ms; mean |Emb|/|AG| = {:.0}x",
+        avg(&diam, |r| r.wf_ms),
+        avg(&diam, |r| r.relational_ms),
+        avg(&diam, |r| r.relational_ms) / avg(&diam, |r| r.wf_ms).max(1e-9),
+        avg(&diam, |r| r.sortmerge_ms),
+        avg(&diam, |r| r.sortmerge_ms) / avg(&diam, |r| r.wf_ms).max(1e-9),
+        avg(&diam, |r| r.exploration_ms),
+        avg(&diam, |r| r.factorization_ratio()),
+    );
+    println!(
+        "  total edge walks: WF {} vs exploration {}",
+        rows.iter().map(|r| r.wf_edge_walks).sum::<u64>(),
+        rows.iter().map(|r| r.exploration_edge_walks).sum::<u64>(),
+    );
+}

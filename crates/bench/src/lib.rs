@@ -1,0 +1,282 @@
+//! # wireframe-bench — the benchmark harness
+//!
+//! Shared plumbing for the binaries and Criterion benches that regenerate the
+//! paper's evaluation: dataset construction, per-query measurement, and the
+//! Table 1 row format.
+//!
+//! The engines compared:
+//!
+//! * **WF** — the Wireframe answer-graph engine (`wireframe-core`),
+//! * **REL** — the relational hash-join baseline, standing in for the paper's
+//!   PostgreSQL / Virtuoso configurations,
+//! * **SM** — the sort-merge relational baseline, standing in for the paper's
+//!   MonetDB configuration,
+//! * **EXPL** — the backtracking graph-exploration baseline, standing in for
+//!   the paper's Neo4J configuration.
+//!
+//! Absolute times are not comparable with the paper (the paper measures
+//! client/server systems over a 242 M-triple store); the quantities that are
+//! expected to transfer are the *relative* ordering of the engines and the
+//! |AG| ≪ |Embeddings| factorization gap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use wireframe_baseline::{ExplorationEngine, RelationalEngine, SortMergeEngine};
+use wireframe_core::{EvalOptions, WireframeEngine};
+use wireframe_datagen::{generate, table1_queries, BenchmarkQuery, YagoConfig};
+use wireframe_graph::Graph;
+use wireframe_query::Shape;
+
+/// Which dataset size a harness run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetSize {
+    /// A few thousand triples — used by tests and smoke runs.
+    Tiny,
+    /// Tens of thousands of triples — the default for `cargo bench`.
+    Small,
+    /// Hundreds of thousands of triples — the full harness run.
+    Benchmark,
+}
+
+impl DatasetSize {
+    /// Reads the size from the `WIREFRAME_BENCH_SIZE` environment variable
+    /// (`tiny`, `small` or `benchmark`), defaulting to `small`.
+    pub fn from_env() -> Self {
+        match std::env::var("WIREFRAME_BENCH_SIZE").as_deref() {
+            Ok("tiny") => DatasetSize::Tiny,
+            Ok("benchmark") | Ok("full") => DatasetSize::Benchmark,
+            _ => DatasetSize::Small,
+        }
+    }
+
+    /// The generator configuration for this size.
+    pub fn config(self) -> YagoConfig {
+        match self {
+            DatasetSize::Tiny => YagoConfig::tiny(),
+            DatasetSize::Small => YagoConfig::small(),
+            DatasetSize::Benchmark => YagoConfig::benchmark(),
+        }
+    }
+}
+
+/// Builds the synthetic dataset for a harness run.
+pub fn build_dataset(size: DatasetSize) -> Graph {
+    generate(&size.config())
+}
+
+/// One measured row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Row number (1–10).
+    pub row: usize,
+    /// Query name (`CQS-1` … `CQD-5`).
+    pub name: String,
+    /// Predicate labels of the query, joined with `/` as in the paper.
+    pub labels: String,
+    /// Wireframe execution time.
+    pub wf_ms: f64,
+    /// Hash-join relational baseline execution time (PostgreSQL / Virtuoso proxy).
+    pub relational_ms: f64,
+    /// Sort-merge relational baseline execution time (MonetDB proxy).
+    pub sortmerge_ms: f64,
+    /// Exploration-baseline execution time (Neo4J proxy).
+    pub exploration_ms: f64,
+    /// Answer-graph size after phase one (|iAG| for snowflakes, |AG| for diamonds).
+    pub answer_graph: usize,
+    /// Number of embeddings.
+    pub embeddings: usize,
+    /// Edge walks performed by Wireframe's phase one.
+    pub wf_edge_walks: u64,
+    /// Edge walks performed by the exploration baseline.
+    pub exploration_edge_walks: u64,
+    /// Whether the query is cyclic (diamond).
+    pub cyclic: bool,
+}
+
+impl Table1Row {
+    /// |Embeddings| / |AG| — the factorization gap the paper highlights
+    /// ("2,867 times smaller" for its second snowflake query).
+    pub fn factorization_ratio(&self) -> f64 {
+        self.embeddings as f64 / self.answer_graph.max(1) as f64
+    }
+}
+
+fn label_list(graph: &Graph, bq: &BenchmarkQuery) -> String {
+    let dict = graph.dictionary();
+    bq.query
+        .patterns()
+        .iter()
+        .map(|p| dict.predicate_label(p.predicate).unwrap_or("?"))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Measures one benchmark query on all three engines, repeating `repeats`
+/// times and keeping the average of the warm runs (all but the first), which
+/// mirrors the paper's "average of the last four of five runs" methodology.
+pub fn measure_query(graph: &Graph, bq: &BenchmarkQuery, repeats: usize) -> Table1Row {
+    let wf = WireframeEngine::with_options(graph, EvalOptions::paper());
+    let rel = RelationalEngine::new(graph);
+    let sm = SortMergeEngine::new(graph);
+    let exp = ExplorationEngine::new(graph);
+
+    let mut wf_times = Vec::new();
+    let mut rel_times = Vec::new();
+    let mut sm_times = Vec::new();
+    let mut exp_times = Vec::new();
+    let mut answer_graph = 0;
+    let mut embeddings = 0;
+    let mut wf_edge_walks = 0;
+    let mut exploration_edge_walks = 0;
+
+    for _ in 0..repeats.max(2) {
+        let t = Instant::now();
+        let out = wf.execute(&bq.query).expect("wireframe evaluates");
+        wf_times.push(t.elapsed());
+        answer_graph = out.answer_graph_size();
+        embeddings = out.embedding_count();
+        wf_edge_walks = out.generation.edge_walks;
+
+        let t = Instant::now();
+        let _ = rel.evaluate(&bq.query).expect("relational evaluates");
+        rel_times.push(t.elapsed());
+
+        let t = Instant::now();
+        let _ = sm.evaluate(&bq.query).expect("sort-merge evaluates");
+        sm_times.push(t.elapsed());
+
+        let t = Instant::now();
+        let (_, stats) = exp
+            .evaluate_with_stats(&bq.query)
+            .expect("exploration evaluates");
+        exp_times.push(t.elapsed());
+        exploration_edge_walks = stats.edge_walks;
+    }
+
+    Table1Row {
+        row: bq.row,
+        name: bq.name.clone(),
+        labels: label_list(graph, bq),
+        wf_ms: warm_average_ms(&wf_times),
+        relational_ms: warm_average_ms(&rel_times),
+        sortmerge_ms: warm_average_ms(&sm_times),
+        exploration_ms: warm_average_ms(&exp_times),
+        answer_graph,
+        embeddings,
+        wf_edge_walks,
+        exploration_edge_walks,
+        cyclic: bq.shape == Shape::Cycle,
+    }
+}
+
+/// Average of all but the first measurement, in milliseconds.
+fn warm_average_ms(times: &[Duration]) -> f64 {
+    let warm = &times[1..];
+    let total: Duration = warm.iter().sum();
+    total.as_secs_f64() * 1e3 / warm.len().max(1) as f64
+}
+
+/// Measures every Table 1 query.
+pub fn measure_table1(graph: &Graph, repeats: usize) -> Vec<Table1Row> {
+    table1_queries(graph)
+        .expect("workload builds")
+        .iter()
+        .map(|bq| measure_query(graph, bq, repeats))
+        .collect()
+}
+
+/// Renders rows in the layout of the paper's Table 1.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<4} {:<7} {:<72} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>9}\n",
+        "row",
+        "query",
+        "labels (1/2/…)",
+        "WF ms",
+        "REL ms",
+        "SM ms",
+        "EXPL ms",
+        "|AG|",
+        "|Embeddings|",
+        "ratio"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<4} {:<7} {:<72} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9} {:>12} {:>8.0}x\n",
+            r.row,
+            r.name,
+            truncate(&r.labels, 72),
+            r.wf_ms,
+            r.relational_ms,
+            r.sortmerge_ms,
+            r.exploration_ms,
+            r.answer_graph,
+            r.embeddings,
+            r.factorization_ratio()
+        ));
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..max - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_harness_run_produces_ten_rows() {
+        let g = build_dataset(DatasetSize::Tiny);
+        let rows = measure_table1(&g, 2);
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(r.embeddings > 0, "{} must be non-empty", r.name);
+            assert!(r.answer_graph > 0);
+            assert!(r.wf_ms >= 0.0 && r.relational_ms >= 0.0 && r.exploration_ms >= 0.0);
+        }
+        assert!(rows[0..5].iter().all(|r| !r.cyclic));
+        assert!(rows[5..10].iter().all(|r| r.cyclic));
+    }
+
+    #[test]
+    fn snowflake_rows_show_a_factorization_gap() {
+        let g = build_dataset(DatasetSize::Tiny);
+        let rows = measure_table1(&g, 2);
+        for r in rows.iter().filter(|r| !r.cyclic) {
+            assert!(
+                r.factorization_ratio() > 1.0,
+                "{}: embeddings should outnumber answer edges",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn table_formatting_contains_every_query() {
+        let g = build_dataset(DatasetSize::Tiny);
+        let rows = measure_table1(&g, 2);
+        let table = format_table1(&rows);
+        for r in &rows {
+            assert!(table.contains(&r.name));
+        }
+        assert!(table.contains("|Embeddings|"));
+    }
+
+    #[test]
+    fn dataset_size_env_parsing() {
+        assert_eq!(DatasetSize::Tiny.config(), YagoConfig::tiny());
+        assert_eq!(DatasetSize::Benchmark.config(), YagoConfig::benchmark());
+    }
+}

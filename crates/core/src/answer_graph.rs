@@ -1,0 +1,353 @@
+//! The answer graph: the factorized representation of a CQ's answers.
+//!
+//! An answer graph (AG) keeps, for every query edge (triple pattern), the set
+//! of data edges matched to it, and for every query variable the set of data
+//! nodes still considered viable. The *ideal* answer graph (iAG) contains
+//! exactly the edges that participate in at least one embedding; it is the
+//! factorization the paper evaluates queries through.
+//!
+//! The structure supports the operations the evaluation model needs:
+//! incremental insertion during *edge extension*, per-node removal with
+//! support counting during *node burnback*, and adjacency lookups during
+//! *defactorization* (embedding generation).
+
+use std::collections::{HashMap, HashSet};
+
+use wireframe_graph::NodeId;
+use wireframe_query::{ConjunctiveQuery, Var};
+
+/// The matched data edges of a single query edge, indexed in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct PatternEdges {
+    forward: HashMap<NodeId, Vec<NodeId>>,
+    backward: HashMap<NodeId, Vec<NodeId>>,
+    len: usize,
+}
+
+impl PatternEdges {
+    /// Inserts the data edge `(s, o)`. Returns `true` if it was new.
+    pub fn insert(&mut self, s: NodeId, o: NodeId) -> bool {
+        let fw = self.forward.entry(s).or_default();
+        if fw.contains(&o) {
+            return false;
+        }
+        fw.push(o);
+        self.backward.entry(o).or_default().push(s);
+        self.len += 1;
+        true
+    }
+
+    /// Removes the data edge `(s, o)`. Returns `true` if it was present.
+    pub fn remove(&mut self, s: NodeId, o: NodeId) -> bool {
+        let Some(fw) = self.forward.get_mut(&s) else {
+            return false;
+        };
+        let Some(pos) = fw.iter().position(|&x| x == o) else {
+            return false;
+        };
+        fw.swap_remove(pos);
+        if fw.is_empty() {
+            self.forward.remove(&s);
+        }
+        let bw = self
+            .backward
+            .get_mut(&o)
+            .expect("backward entry must exist");
+        let pos = bw
+            .iter()
+            .position(|&x| x == s)
+            .expect("backward link must exist");
+        bw.swap_remove(pos);
+        if bw.is_empty() {
+            self.backward.remove(&o);
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Removes every edge whose subject is `s`, returning the affected objects.
+    pub fn remove_subject(&mut self, s: NodeId) -> Vec<NodeId> {
+        let Some(objects) = self.forward.remove(&s) else {
+            return Vec::new();
+        };
+        self.len -= objects.len();
+        for &o in &objects {
+            let bw = self
+                .backward
+                .get_mut(&o)
+                .expect("backward entry must exist");
+            bw.retain(|&x| x != s);
+            if bw.is_empty() {
+                self.backward.remove(&o);
+            }
+        }
+        objects
+    }
+
+    /// Removes every edge whose object is `o`, returning the affected subjects.
+    pub fn remove_object(&mut self, o: NodeId) -> Vec<NodeId> {
+        let Some(subjects) = self.backward.remove(&o) else {
+            return Vec::new();
+        };
+        self.len -= subjects.len();
+        for &s in &subjects {
+            let fw = self.forward.get_mut(&s).expect("forward entry must exist");
+            fw.retain(|&x| x != o);
+            if fw.is_empty() {
+                self.forward.remove(&s);
+            }
+        }
+        subjects
+    }
+
+    /// Objects matched together with subject `s` (unsorted).
+    pub fn objects_of(&self, s: NodeId) -> &[NodeId] {
+        self.forward.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Subjects matched together with object `o` (unsorted).
+    pub fn subjects_of(&self, o: NodeId) -> &[NodeId] {
+        self.backward.get(&o).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: NodeId, o: NodeId) -> bool {
+        self.forward.get(&s).is_some_and(|v| v.contains(&o))
+    }
+
+    /// Whether subject `s` has any matched edge.
+    pub fn has_subject(&self, s: NodeId) -> bool {
+        self.forward.contains_key(&s)
+    }
+
+    /// Whether object `o` has any matched edge.
+    pub fn has_object(&self, o: NodeId) -> bool {
+        self.backward.contains_key(&o)
+    }
+
+    /// Number of matched edges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no edges are matched.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the matched `(subject, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.forward
+            .iter()
+            .flat_map(|(&s, objs)| objs.iter().map(move |&o| (s, o)))
+    }
+
+    /// Distinct subjects of matched edges.
+    pub fn subjects(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.forward.keys().copied()
+    }
+
+    /// Distinct objects of matched edges.
+    pub fn objects(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.backward.keys().copied()
+    }
+}
+
+/// The factorized answer of a conjunctive query.
+#[derive(Debug, Clone)]
+pub struct AnswerGraph {
+    patterns: Vec<PatternEdges>,
+    materialized: Vec<bool>,
+    node_sets: Vec<HashSet<NodeId>>,
+    bound: Vec<bool>,
+}
+
+impl AnswerGraph {
+    /// Creates an empty answer graph shaped for `query`.
+    pub fn new(query: &ConjunctiveQuery) -> Self {
+        AnswerGraph {
+            patterns: (0..query.num_patterns())
+                .map(|_| PatternEdges::default())
+                .collect(),
+            materialized: vec![false; query.num_patterns()],
+            node_sets: vec![HashSet::new(); query.num_vars()],
+            bound: vec![false; query.num_vars()],
+        }
+    }
+
+    /// The matched edges of query edge `pattern`.
+    pub fn pattern(&self, pattern: usize) -> &PatternEdges {
+        &self.patterns[pattern]
+    }
+
+    /// Mutable access to the matched edges of query edge `pattern`.
+    pub fn pattern_mut(&mut self, pattern: usize) -> &mut PatternEdges {
+        &mut self.patterns[pattern]
+    }
+
+    /// Whether query edge `pattern` has been materialized (processed by an
+    /// edge-extension step).
+    pub fn is_materialized(&self, pattern: usize) -> bool {
+        self.materialized[pattern]
+    }
+
+    /// Marks query edge `pattern` as materialized.
+    pub fn mark_materialized(&mut self, pattern: usize) {
+        self.materialized[pattern] = true;
+    }
+
+    /// The viable nodes of variable `v`.
+    pub fn node_set(&self, v: Var) -> &HashSet<NodeId> {
+        &self.node_sets[v.index()]
+    }
+
+    /// Mutable access to the viable nodes of variable `v`.
+    pub fn node_set_mut(&mut self, v: Var) -> &mut HashSet<NodeId> {
+        &mut self.node_sets[v.index()]
+    }
+
+    /// Whether variable `v` has been bound by at least one materialized edge.
+    pub fn is_bound(&self, v: Var) -> bool {
+        self.bound[v.index()]
+    }
+
+    /// Marks variable `v` as bound.
+    pub fn mark_bound(&mut self, v: Var) {
+        self.bound[v.index()] = true;
+    }
+
+    /// Number of matched edges of query edge `pattern`.
+    pub fn edge_count(&self, pattern: usize) -> usize {
+        self.patterns[pattern].len()
+    }
+
+    /// Total number of matched edges across all query edges — the |AG| column
+    /// of the paper's Table 1.
+    pub fn total_edges(&self) -> usize {
+        self.patterns.iter().map(PatternEdges::len).sum()
+    }
+
+    /// Total number of viable nodes across all variables.
+    pub fn total_nodes(&self) -> usize {
+        self.node_sets.iter().map(HashSet::len).sum()
+    }
+
+    /// Whether any materialized query edge has no matched edges, i.e. the
+    /// query's answer is empty.
+    pub fn has_empty_pattern(&self) -> bool {
+        self.patterns
+            .iter()
+            .zip(&self.materialized)
+            .any(|(p, &m)| m && p.is_empty())
+    }
+
+    /// Number of query edges (patterns).
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wireframe_graph::GraphBuilder;
+    use wireframe_query::CqBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn query() -> ConjunctiveQuery {
+        let mut gb = GraphBuilder::new();
+        gb.add("a", "A", "b");
+        gb.add("b", "B", "c");
+        let g = gb.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "A", "?y").unwrap();
+        qb.pattern("?y", "B", "?z").unwrap();
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn pattern_edges_insert_remove() {
+        let mut pe = PatternEdges::default();
+        assert!(pe.insert(n(1), n(2)));
+        assert!(!pe.insert(n(1), n(2)), "duplicate insert is rejected");
+        assert!(pe.insert(n(1), n(3)));
+        assert!(pe.insert(n(4), n(2)));
+        assert_eq!(pe.len(), 3);
+        assert!(pe.contains(n(1), n(2)));
+        assert_eq!(pe.objects_of(n(1)).len(), 2);
+        assert_eq!(pe.subjects_of(n(2)).len(), 2);
+
+        assert!(pe.remove(n(1), n(2)));
+        assert!(!pe.remove(n(1), n(2)));
+        assert_eq!(pe.len(), 2);
+        assert!(!pe.contains(n(1), n(2)));
+        assert_eq!(pe.subjects_of(n(2)), &[n(4)]);
+    }
+
+    #[test]
+    fn pattern_edges_remove_subject_and_object() {
+        let mut pe = PatternEdges::default();
+        pe.insert(n(1), n(2));
+        pe.insert(n(1), n(3));
+        pe.insert(n(4), n(3));
+        let mut objs = pe.remove_subject(n(1));
+        objs.sort_unstable();
+        assert_eq!(objs, vec![n(2), n(3)]);
+        assert_eq!(pe.len(), 1);
+        assert!(!pe.has_subject(n(1)));
+        assert!(pe.has_object(n(3)));
+
+        let subs = pe.remove_object(n(3));
+        assert_eq!(subs, vec![n(4)]);
+        assert!(pe.is_empty());
+        assert_eq!(pe.remove_subject(n(9)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn pattern_edges_iterators() {
+        let mut pe = PatternEdges::default();
+        pe.insert(n(1), n(2));
+        pe.insert(n(3), n(2));
+        let mut all: Vec<_> = pe.iter().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![(n(1), n(2)), (n(3), n(2))]);
+        assert_eq!(pe.subjects().count(), 2);
+        assert_eq!(pe.objects().count(), 1);
+    }
+
+    #[test]
+    fn answer_graph_shape_and_counters() {
+        let q = query();
+        let mut ag = AnswerGraph::new(&q);
+        assert_eq!(ag.num_patterns(), 2);
+        assert_eq!(ag.total_edges(), 0);
+        assert!(!ag.is_materialized(0));
+        assert!(!ag.is_bound(Var(0)));
+
+        ag.pattern_mut(0).insert(n(1), n(2));
+        ag.pattern_mut(1).insert(n(2), n(3));
+        ag.mark_materialized(0);
+        ag.mark_bound(Var(0));
+        ag.node_set_mut(Var(0)).insert(n(1));
+        assert_eq!(ag.total_edges(), 2);
+        assert_eq!(ag.edge_count(1), 1);
+        assert_eq!(ag.total_nodes(), 1);
+        assert!(ag.is_materialized(0));
+        assert!(ag.is_bound(Var(0)));
+        assert!(!ag.has_empty_pattern());
+    }
+
+    #[test]
+    fn empty_materialized_pattern_is_detected() {
+        let q = query();
+        let mut ag = AnswerGraph::new(&q);
+        ag.mark_materialized(1);
+        assert!(
+            ag.has_empty_pattern(),
+            "materialized but empty pattern means empty answer"
+        );
+    }
+}

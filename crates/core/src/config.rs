@@ -1,0 +1,91 @@
+//! Evaluation options for the Wireframe engine.
+
+/// Which planner chooses the edge order of phase one (answer-graph generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerKind {
+    /// The paper's Edgifier: bottom-up dynamic programming over connected
+    /// sub-plans, minimizing estimated edge walks. Produces a left-deep order.
+    #[default]
+    DpLeftDeep,
+    /// A greedy planner: repeatedly appends the cheapest connected extension.
+    /// Used as a fallback for very large queries and as an ablation baseline.
+    Greedy,
+    /// Evaluate the query edges exactly in the order they were written.
+    /// Corresponds to running without a cost-based planner (ablation).
+    AsWritten,
+}
+
+/// Options controlling the two evaluation phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Planner for the phase-one edge order.
+    pub planner: PlannerKind,
+    /// For cyclic queries: triangulate cycles (add chords) and run *edge
+    /// burnback* after node burnback, guaranteeing the ideal answer graph at
+    /// extra cost. The paper describes this mechanism but runs its experiments
+    /// without it, so the default is `false`.
+    pub edge_burnback: bool,
+    /// Record a per-extension-step trace (used by the Figure 2 example and by
+    /// tests); adds a small overhead.
+    pub collect_trace: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            planner: PlannerKind::DpLeftDeep,
+            edge_burnback: false,
+            collect_trace: false,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The paper's experimental configuration: cost-based planning, node
+    /// burnback only (no edge burnback).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Enables edge burnback (the paper's work-in-progress extension).
+    pub fn with_edge_burnback(mut self) -> Self {
+        self.edge_burnback = true;
+        self
+    }
+
+    /// Selects a planner.
+    pub fn with_planner(mut self, planner: PlannerKind) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Enables the per-step extension trace.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = EvalOptions::paper();
+        assert_eq!(o.planner, PlannerKind::DpLeftDeep);
+        assert!(!o.edge_burnback);
+        assert!(!o.collect_trace);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let o = EvalOptions::default()
+            .with_edge_burnback()
+            .with_planner(PlannerKind::Greedy)
+            .with_trace();
+        assert!(o.edge_burnback);
+        assert!(o.collect_trace);
+        assert_eq!(o.planner, PlannerKind::Greedy);
+    }
+}

@@ -1,0 +1,402 @@
+//! Phase two: embedding generation (defactorization).
+//!
+//! Embeddings are produced by joining the answer graph's per-query-edge edge
+//! sets. Over the *ideal* answer graph of an acyclic query no intermediate
+//! tuple is ever lost, so the join order is immaterial (Section 4.II of the
+//! paper); over a non-ideal AG or a cyclic query the order matters for cost,
+//! so a greedy plan driven by the exact per-edge counts gathered in phase one
+//! is used.
+
+use std::collections::HashMap;
+
+use wireframe_graph::NodeId;
+use wireframe_query::{ConjunctiveQuery, EmbeddingSet, Term, Var};
+
+use crate::answer_graph::AnswerGraph;
+use crate::error::EngineError;
+
+/// Statistics of the defactorization phase.
+#[derive(Debug, Clone, Default)]
+pub struct DefactorizationStats {
+    /// Join order over the query edges (pattern indexes).
+    pub join_order: Vec<usize>,
+    /// Largest intermediate relation produced while joining.
+    pub peak_intermediate: usize,
+    /// Number of embedding tuples produced (before projection).
+    pub embeddings: usize,
+}
+
+/// Chooses a join order for phase two: connected, smallest answer-edge set
+/// first (greedy on the exact statistics the answer graph provides).
+pub fn embedding_plan(query: &ConjunctiveQuery, ag: &AnswerGraph) -> Vec<usize> {
+    let n = query.num_patterns();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            let connected = order.is_empty()
+                || query.patterns()[i].variables().any(|v| {
+                    order
+                        .iter()
+                        .any(|&j: &usize| query.patterns()[j].mentions(v))
+                });
+            if !connected {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => ag.edge_count(i) < ag.edge_count(b),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        // A disconnected remainder can only happen for disconnected queries,
+        // which the engine rejects earlier; fall back to any unused pattern.
+        let pick = best.unwrap_or_else(|| (0..n).find(|&i| !used[i]).expect("pattern left"));
+        used[pick] = true;
+        order.push(pick);
+    }
+    order
+}
+
+/// Generates the embeddings of `query` from its answer graph by joining the
+/// answer edges in `order` (typically produced by [`embedding_plan`]).
+///
+/// The result's schema contains every query variable in index order; use
+/// [`EmbeddingSet::project`] for the SELECT list.
+pub fn defactorize(
+    query: &ConjunctiveQuery,
+    ag: &AnswerGraph,
+    order: &[usize],
+) -> Result<(EmbeddingSet, DefactorizationStats), EngineError> {
+    if order.len() != query.num_patterns() {
+        return Err(EngineError::Internal(
+            "embedding plan does not cover every query edge".into(),
+        ));
+    }
+    let mut stats = DefactorizationStats {
+        join_order: order.to_vec(),
+        peak_intermediate: 0,
+        embeddings: 0,
+    };
+
+    // Bound variables so far -> column index in the intermediate tuples.
+    let mut columns: HashMap<Var, usize> = HashMap::new();
+    let mut tuples: Vec<Vec<NodeId>> = vec![Vec::new()];
+
+    for &q in order {
+        let pattern = query.patterns()[q];
+        let edges = ag.pattern(q);
+        let s_col = pattern
+            .subject
+            .as_var()
+            .and_then(|v| columns.get(&v).copied());
+        let o_col = pattern
+            .object
+            .as_var()
+            .and_then(|v| columns.get(&v).copied());
+        let mut next: Vec<Vec<NodeId>> = Vec::new();
+
+        match (pattern.subject, pattern.object) {
+            // Self-loop on one variable.
+            (Term::Var(a), Term::Var(b)) if a == b => {
+                if let Some(col) = s_col {
+                    for t in &tuples {
+                        if edges.contains(t[col], t[col]) {
+                            next.push(t.clone());
+                        }
+                    }
+                } else {
+                    let new_col = columns.len();
+                    columns.insert(a, new_col);
+                    for t in &tuples {
+                        for (s, o) in edges.iter() {
+                            if s == o {
+                                let mut t2 = t.clone();
+                                t2.push(s);
+                                next.push(t2);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                match (s_col, o_col) {
+                    (Some(sc), Some(oc)) => {
+                        for t in &tuples {
+                            if edges
+                                .contains(bind(t, sc, pattern.subject), bind(t, oc, pattern.object))
+                            {
+                                next.push(t.clone());
+                            }
+                        }
+                    }
+                    (Some(sc), None) => {
+                        let new_col = pattern.object.as_var().map(|v| {
+                            let c = columns.len();
+                            columns.insert(v, c);
+                            c
+                        });
+                        for t in &tuples {
+                            let s = bind(t, sc, pattern.subject);
+                            for &o in edges.objects_of(s) {
+                                if admits(pattern.object, o) {
+                                    extendq(&mut next, t, new_col, o);
+                                }
+                            }
+                        }
+                    }
+                    (None, Some(oc)) => {
+                        let new_col = pattern.subject.as_var().map(|v| {
+                            let c = columns.len();
+                            columns.insert(v, c);
+                            c
+                        });
+                        for t in &tuples {
+                            let o = bind(t, oc, pattern.object);
+                            for &s in edges.subjects_of(o) {
+                                if admits(pattern.subject, s) {
+                                    extendq(&mut next, t, new_col, s);
+                                }
+                            }
+                        }
+                    }
+                    (None, None) => {
+                        // Neither end bound yet: constants and/or fresh variables.
+                        let s_new = pattern.subject.as_var().map(|v| {
+                            let c = columns.len();
+                            columns.insert(v, c);
+                            c
+                        });
+                        let o_new = pattern.object.as_var().map(|v| {
+                            let c = columns.len();
+                            columns.insert(v, c);
+                            c
+                        });
+                        for t in &tuples {
+                            for (s, o) in edges.iter() {
+                                if !admits(pattern.subject, s) || !admits(pattern.object, o) {
+                                    continue;
+                                }
+                                let mut t2 = t.clone();
+                                if s_new.is_some() {
+                                    t2.push(s);
+                                }
+                                if o_new.is_some() {
+                                    t2.push(o);
+                                }
+                                next.push(t2);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        tuples = next;
+        stats.peak_intermediate = stats.peak_intermediate.max(tuples.len());
+        if tuples.is_empty() {
+            break;
+        }
+    }
+
+    // Assemble the full schema: every query variable, in variable-index order.
+    // Variables that never got a column (possible only if every pattern
+    // mentioning them matched nothing) only occur when the result is empty.
+    let schema: Vec<Var> = query.variables().collect();
+    let mut out: Vec<Vec<NodeId>> = Vec::with_capacity(tuples.len());
+    if !tuples.is_empty() {
+        let mut col_of: Vec<Option<usize>> = vec![None; query.num_vars()];
+        for (v, c) in &columns {
+            col_of[v.index()] = Some(*c);
+        }
+        if col_of.iter().any(Option::is_none) {
+            return Err(EngineError::Internal(
+                "a query variable was never bound during defactorization".into(),
+            ));
+        }
+        for t in &tuples {
+            out.push(
+                col_of
+                    .iter()
+                    .map(|c| t[c.expect("checked above")])
+                    .collect(),
+            );
+        }
+    }
+    stats.embeddings = out.len();
+    Ok((EmbeddingSet::new(schema, out), stats))
+}
+
+/// Convenience: counts embeddings without keeping the materialized set.
+pub fn count_embeddings(
+    query: &ConjunctiveQuery,
+    ag: &AnswerGraph,
+    order: &[usize],
+) -> Result<usize, EngineError> {
+    defactorize(query, ag, order).map(|(set, _)| set.len())
+}
+
+fn bind(tuple: &[NodeId], col: usize, term: Term) -> NodeId {
+    match term {
+        Term::Const(c) => c,
+        Term::Var(_) => tuple[col],
+    }
+}
+
+fn admits(term: Term, n: NodeId) -> bool {
+    match term {
+        Term::Const(c) => c == n,
+        Term::Var(_) => true,
+    }
+}
+
+fn extendq(next: &mut Vec<Vec<NodeId>>, tuple: &[NodeId], new_col: Option<usize>, value: NodeId) {
+    let mut t2 = tuple.to_vec();
+    if new_col.is_some() {
+        t2.push(value);
+    }
+    next.push(t2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalOptions;
+    use crate::generate::generate;
+    use wireframe_graph::{Graph, GraphBuilder};
+    use wireframe_query::CqBuilder;
+
+    fn figure1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "5");
+        b.add("2", "A", "5");
+        b.add("3", "A", "5");
+        b.add("4", "A", "6");
+        b.add("5", "B", "9");
+        b.add("7", "B", "10");
+        b.add("9", "C", "12");
+        b.add("9", "C", "13");
+        b.add("9", "C", "14");
+        b.add("9", "C", "15");
+        b.add("11", "C", "15");
+        b.build()
+    }
+
+    fn chain_query(g: &Graph) -> ConjunctiveQuery {
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?w", "A", "?x").unwrap();
+        qb.pattern("?x", "B", "?y").unwrap();
+        qb.pattern("?y", "C", "?z").unwrap();
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_has_twelve_embeddings_from_eight_edges() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let (ag, _) = generate(&g, &q, &[0, 1, 2], &EvalOptions::default()).unwrap();
+        assert_eq!(ag.total_edges(), 8);
+        let order = embedding_plan(&q, &ag);
+        let (emb, stats) = defactorize(&q, &ag, &order).unwrap();
+        assert_eq!(
+            emb.len(),
+            12,
+            "the paper's Figure 1 reports twelve embedding tuples"
+        );
+        assert_eq!(stats.embeddings, 12);
+        assert!(stats.peak_intermediate >= 12);
+    }
+
+    #[test]
+    fn join_order_is_immaterial_over_the_ideal_ag() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let (ag, _) = generate(&g, &q, &[0, 1, 2], &EvalOptions::default()).unwrap();
+        let (a, _) = defactorize(&q, &ag, &[0, 1, 2]).unwrap();
+        let (b, _) = defactorize(&q, &ag, &[2, 1, 0]).unwrap();
+        let (c, _) = defactorize(&q, &ag, &[1, 0, 2]).unwrap();
+        assert!(a.same_answer(&b));
+        assert!(a.same_answer(&c));
+    }
+
+    #[test]
+    fn embedding_plan_starts_from_smallest_pattern() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let (ag, _) = generate(&g, &q, &[0, 1, 2], &EvalOptions::default()).unwrap();
+        let order = embedding_plan(&q, &ag);
+        assert_eq!(
+            order[0], 1,
+            "the single B answer edge is the cheapest start"
+        );
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn constants_are_enforced() {
+        let g = figure1_graph();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?w", "A", "5").unwrap();
+        qb.pattern("5", "B", "?y").unwrap();
+        let q = qb.build().unwrap();
+        let (ag, _) = generate(&g, &q, &[0, 1], &EvalOptions::default()).unwrap();
+        let order = embedding_plan(&q, &ag);
+        let (emb, _) = defactorize(&q, &ag, &order).unwrap();
+        assert_eq!(
+            emb.len(),
+            3,
+            "three subjects reach node 5; node 5 has one B edge"
+        );
+        assert_eq!(emb.schema().len(), 2);
+    }
+
+    #[test]
+    fn empty_answer_graph_yields_no_embeddings() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let ag = AnswerGraph::new(&q);
+        let (emb, stats) = defactorize(&q, &ag, &[0, 1, 2]).unwrap();
+        assert!(emb.is_empty());
+        assert_eq!(stats.embeddings, 0);
+    }
+
+    #[test]
+    fn count_matches_materialization() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let (ag, _) = generate(&g, &q, &[0, 1, 2], &EvalOptions::default()).unwrap();
+        let order = embedding_plan(&q, &ag);
+        assert_eq!(count_embeddings(&q, &ag, &order).unwrap(), 12);
+    }
+
+    #[test]
+    fn incomplete_order_is_rejected() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let ag = AnswerGraph::new(&q);
+        assert!(defactorize(&q, &ag, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn self_loop_defactorization() {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "1");
+        b.add("2", "A", "3");
+        b.add("1", "B", "4");
+        let g = b.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "A", "?x").unwrap();
+        qb.pattern("?x", "B", "?y").unwrap();
+        let q = qb.build().unwrap();
+        let (ag, _) = generate(&g, &q, &[0, 1], &EvalOptions::default()).unwrap();
+        let order = embedding_plan(&q, &ag);
+        let (emb, _) = defactorize(&q, &ag, &order).unwrap();
+        assert_eq!(emb.len(), 1, "only node 1 loops and has a B edge");
+    }
+}

@@ -1,0 +1,322 @@
+//! The Wireframe engine: the two-phase, cost-based evaluator.
+//!
+//! [`WireframeEngine::execute`] runs the full pipeline of the paper's
+//! prototype: plan the edge order (the Edgifier), generate the answer graph
+//! (edge extension + node burnback, optionally followed by triangulation and
+//! edge burnback for cyclic queries), then defactorize the answer graph into
+//! embedding tuples and apply the query's projection.
+
+use std::time::{Duration, Instant};
+
+use wireframe_graph::Graph;
+use wireframe_query::{ConjunctiveQuery, EmbeddingSet, QueryGraph};
+
+use crate::answer_graph::AnswerGraph;
+use crate::config::EvalOptions;
+use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats};
+use crate::error::EngineError;
+use crate::generate::{generate, GenerationStats};
+use crate::planner::{plan, Plan};
+use crate::triangulate::{edge_burnback, triangulate, EdgeBurnbackStats};
+
+/// Wall-clock timings of the evaluation phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Time spent planning (Edgifier + Triangulator).
+    pub planning: Duration,
+    /// Time spent generating the answer graph (phase one).
+    pub answer_graph: Duration,
+    /// Time spent in edge burnback (zero unless enabled and cyclic).
+    pub edge_burnback: Duration,
+    /// Time spent generating embeddings (phase two).
+    pub defactorization: Duration,
+}
+
+impl Timings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.planning + self.answer_graph + self.edge_burnback + self.defactorization
+    }
+}
+
+/// The complete result of evaluating one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The phase-one plan that was executed.
+    pub plan: Plan,
+    /// The answer graph after generation (and edge burnback, if enabled).
+    pub answer_graph: AnswerGraph,
+    /// Statistics of answer-graph generation.
+    pub generation: GenerationStats,
+    /// Statistics of edge burnback (all zeros when it did not run).
+    pub edge_burnback: EdgeBurnbackStats,
+    /// Statistics of defactorization.
+    pub defactorization: DefactorizationStats,
+    /// The projected embeddings (the query's answer).
+    pub embeddings: EmbeddingSet,
+    /// Whether the query graph is cyclic.
+    pub cyclic: bool,
+    /// Per-phase wall-clock timings.
+    pub timings: Timings,
+}
+
+impl QueryOutput {
+    /// Total answer-graph size (the |AG| / |iAG| column of Table 1).
+    pub fn answer_graph_size(&self) -> usize {
+        self.answer_graph.total_edges()
+    }
+
+    /// Number of embeddings in the answer (the |Embeddings| column of Table 1).
+    pub fn embedding_count(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// The projected embeddings.
+    pub fn embeddings(&self) -> &EmbeddingSet {
+        &self.embeddings
+    }
+}
+
+/// The Wireframe query engine over one graph.
+#[derive(Debug, Clone, Copy)]
+pub struct WireframeEngine<'g> {
+    graph: &'g Graph,
+    options: EvalOptions,
+}
+
+impl<'g> WireframeEngine<'g> {
+    /// Creates an engine with the paper's default configuration.
+    pub fn new(graph: &'g Graph) -> Self {
+        WireframeEngine {
+            graph,
+            options: EvalOptions::default(),
+        }
+    }
+
+    /// Creates an engine with explicit evaluation options.
+    pub fn with_options(graph: &'g Graph, options: EvalOptions) -> Self {
+        WireframeEngine { graph, options }
+    }
+
+    /// The graph this engine evaluates against.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The evaluation options in effect.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Plans the phase-one edge order without executing anything.
+    pub fn plan(&self, query: &ConjunctiveQuery) -> Result<Plan, EngineError> {
+        plan(self.graph, query, self.options.planner)
+    }
+
+    /// Runs only phase one: plans and generates the answer graph.
+    /// Useful for benchmarks that study factorization in isolation.
+    pub fn answer_graph(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<(AnswerGraph, GenerationStats, Plan), EngineError> {
+        let plan = self.plan(query)?;
+        let (mut ag, stats) = generate(self.graph, query, &plan.order, &self.options)?;
+        if self.options.edge_burnback {
+            let chordification = triangulate(query);
+            edge_burnback(query, &mut ag, &chordification);
+        }
+        Ok((ag, stats, plan))
+    }
+
+    /// Evaluates `query` end to end: plan, generate the answer graph,
+    /// defactorize, project.
+    pub fn execute(&self, query: &ConjunctiveQuery) -> Result<QueryOutput, EngineError> {
+        let mut timings = Timings::default();
+
+        let t0 = Instant::now();
+        let plan = self.plan(query)?;
+        let qg = QueryGraph::new(query);
+        let cyclic = qg.is_cyclic();
+        let chordification = if cyclic && self.options.edge_burnback {
+            Some(triangulate(query))
+        } else {
+            None
+        };
+        timings.planning = t0.elapsed();
+
+        let t1 = Instant::now();
+        let (mut ag, generation) = generate(self.graph, query, &plan.order, &self.options)?;
+        timings.answer_graph = t1.elapsed();
+
+        let mut eb_stats = EdgeBurnbackStats::default();
+        if let Some(chordification) = &chordification {
+            let t2 = Instant::now();
+            eb_stats = edge_burnback(query, &mut ag, chordification);
+            timings.edge_burnback = t2.elapsed();
+        }
+
+        let t3 = Instant::now();
+        let order = embedding_plan(query, &ag);
+        let (full, defact_stats) = defactorize(query, &ag, &order)?;
+        let embeddings = full.project(query).ok_or_else(|| {
+            EngineError::Internal("projection referenced a variable missing from the result".into())
+        })?;
+        timings.defactorization = t3.elapsed();
+
+        Ok(QueryOutput {
+            plan,
+            answer_graph: ag,
+            generation,
+            edge_burnback: eb_stats,
+            defactorization: defact_stats,
+            embeddings,
+            cyclic,
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlannerKind;
+    use wireframe_graph::GraphBuilder;
+    use wireframe_query::{parse_query, CqBuilder};
+
+    fn figure1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "5");
+        b.add("2", "A", "5");
+        b.add("3", "A", "5");
+        b.add("4", "A", "6");
+        b.add("5", "B", "9");
+        b.add("7", "B", "10");
+        for o in ["12", "13", "14", "15"] {
+            b.add("9", "C", o);
+        }
+        b.add("11", "C", "15");
+        b.build()
+    }
+
+    #[test]
+    fn figure1_end_to_end() {
+        let g = figure1_graph();
+        let q = parse_query(
+            "SELECT ?w ?x ?y ?z WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let engine = WireframeEngine::new(&g);
+        let out = engine.execute(&q).unwrap();
+        assert_eq!(out.answer_graph_size(), 8);
+        assert_eq!(out.embedding_count(), 12);
+        assert!(!out.cyclic);
+        assert_eq!(out.embeddings().schema().len(), 4);
+        assert!(out.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn projection_and_distinct_are_applied() {
+        let g = figure1_graph();
+        let q = parse_query(
+            "SELECT DISTINCT ?x WHERE { ?w :A ?x . ?x :B ?y . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let out = WireframeEngine::new(&g).execute(&q).unwrap();
+        assert_eq!(
+            out.embedding_count(),
+            1,
+            "only node 5 both receives A and has B"
+        );
+        assert_eq!(out.embeddings().schema().len(), 1);
+    }
+
+    #[test]
+    fn empty_answer() {
+        let g = figure1_graph();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "C", "?y").unwrap();
+        qb.pattern("?y", "A", "?z").unwrap(); // nothing follows a C edge with an A edge
+        let q = qb.build().unwrap();
+        let out = WireframeEngine::new(&g).execute(&q).unwrap();
+        assert_eq!(out.embedding_count(), 0);
+        assert_eq!(out.answer_graph_size(), 0);
+    }
+
+    #[test]
+    fn disconnected_query_is_rejected() {
+        let g = figure1_graph();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?a", "A", "?b").unwrap();
+        qb.pattern("?c", "C", "?d").unwrap();
+        let q = qb.build().unwrap();
+        assert_eq!(
+            WireframeEngine::new(&g).execute(&q).unwrap_err(),
+            EngineError::DisconnectedQuery
+        );
+    }
+
+    #[test]
+    fn all_planners_agree_on_the_answer() {
+        let g = figure1_graph();
+        let q = parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let mut answers = Vec::new();
+        for kind in [
+            PlannerKind::DpLeftDeep,
+            PlannerKind::Greedy,
+            PlannerKind::AsWritten,
+        ] {
+            let engine =
+                WireframeEngine::with_options(&g, EvalOptions::default().with_planner(kind));
+            answers.push(engine.execute(&q).unwrap().embeddings);
+        }
+        assert!(answers[0].same_answer(&answers[1]));
+        assert!(answers[0].same_answer(&answers[2]));
+    }
+
+    #[test]
+    fn edge_burnback_option_shrinks_cyclic_answer_graphs() {
+        let mut b = GraphBuilder::new();
+        b.add("3", "A", "4");
+        b.add("3", "B", "2");
+        b.add("4", "C", "1");
+        b.add("2", "D", "1");
+        b.add("7", "A", "8");
+        b.add("7", "B", "6");
+        b.add("8", "C", "5");
+        b.add("6", "D", "5");
+        b.add("4", "C", "5");
+        b.add("8", "C", "1");
+        let g = b.build();
+        let q = parse_query(
+            "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+            g.dictionary(),
+        )
+        .unwrap();
+
+        let plain = WireframeEngine::new(&g).execute(&q).unwrap();
+        let burned = WireframeEngine::with_options(&g, EvalOptions::default().with_edge_burnback())
+            .execute(&q)
+            .unwrap();
+        assert!(plain.cyclic && burned.cyclic);
+        assert!(burned.answer_graph_size() < plain.answer_graph_size());
+        assert!(plain.embeddings.same_answer(&burned.embeddings));
+        assert!(burned.edge_burnback.edges_removed > 0);
+        assert_eq!(plain.edge_burnback.edges_removed, 0);
+    }
+
+    #[test]
+    fn answer_graph_only_entry_point() {
+        let g = figure1_graph();
+        let q = parse_query("SELECT * WHERE { ?w :A ?x . ?x :B ?y . }", g.dictionary()).unwrap();
+        let (ag, stats, plan) = WireframeEngine::new(&g).answer_graph(&q).unwrap();
+        assert!(ag.total_edges() > 0);
+        assert!(stats.edge_walks > 0);
+        assert_eq!(plan.order.len(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type of the Wireframe engine.
+
+use std::fmt;
+
+use wireframe_query::QueryError;
+
+/// Errors produced while planning or evaluating a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query itself is malformed (propagated from the query layer).
+    Query(QueryError),
+    /// The query graph is not connected. Evaluating a disconnected CQ is a
+    /// cross product of its components; Wireframe (like the paper) restricts
+    /// itself to connected query graphs.
+    DisconnectedQuery,
+    /// An internal invariant was violated; indicates a bug, reported instead
+    /// of panicking so callers can surface it.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::DisconnectedQuery => {
+                write!(
+                    f,
+                    "the query graph is not connected; split the query instead"
+                )
+            }
+            EngineError::Internal(msg) => write!(f, "internal engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = EngineError::from(QueryError::EmptyQuery);
+        assert!(e.to_string().contains("query error"));
+        assert!(e.source().is_some());
+        assert!(EngineError::DisconnectedQuery
+            .to_string()
+            .contains("not connected"));
+        assert!(EngineError::Internal("x".into()).source().is_none());
+    }
+}

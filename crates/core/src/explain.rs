@@ -1,0 +1,199 @@
+//! Human-readable explanations of Wireframe plans and executions.
+//!
+//! `EXPLAIN`-style output is table stakes for a query engine: it is how users
+//! debug unexpected plans and how the ablation experiments present themselves.
+//! [`explain_plan`] renders a phase-one plan (the Edgifier's edge order with
+//! its per-step estimates), and [`explain_output`] renders a full execution —
+//! the two-phase pipeline of the paper's Figure 3 as text.
+
+use std::fmt::Write as _;
+
+use wireframe_graph::Graph;
+use wireframe_query::{ConjunctiveQuery, Term};
+
+use crate::engine::QueryOutput;
+use crate::estimate::Estimator;
+use crate::planner::Plan;
+
+/// Renders a triple pattern with dictionary labels.
+fn pattern_text(graph: &Graph, query: &ConjunctiveQuery, idx: usize) -> String {
+    let p = query.patterns()[idx];
+    let term = |t: Term| match t {
+        Term::Var(v) => format!("?{}", query.var_name(v)),
+        Term::Const(n) => graph
+            .dictionary()
+            .node_label(n)
+            .map(|s| format!("<{s}>"))
+            .unwrap_or_else(|| format!("<n{}>", n.0)),
+    };
+    let label = graph
+        .dictionary()
+        .predicate_label(p.predicate)
+        .unwrap_or("?");
+    format!("{} {} {}", term(p.subject), label, term(p.object))
+}
+
+/// Renders a phase-one plan: one line per edge-extension step with the
+/// planner's running cardinality estimates.
+pub fn explain_plan(graph: &Graph, query: &ConjunctiveQuery, plan: &Plan) -> String {
+    let estimator = Estimator::new(graph, query);
+    let mut cards = vec![None; query.num_vars()];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "answer-graph plan ({:?}, estimated cost {:.0} edge walks):",
+        plan.planner, plan.estimated_cost
+    );
+    for (step_no, &i) in plan.order.iter().enumerate() {
+        let est = estimator.estimate_step(&cards, i);
+        let _ = writeln!(
+            out,
+            "  {:>2}. materialize [{}]   est. walks {:>10.0}  est. AG edges {:>10.0}",
+            step_no + 1,
+            pattern_text(graph, query, i),
+            est.edge_walks,
+            est.result_edges,
+        );
+        let p = &query.patterns()[i];
+        if let Some(v) = p.subject.as_var() {
+            cards[v.index()] = Some(est.subject_card);
+        }
+        if let Some(v) = p.object.as_var() {
+            cards[v.index()] = Some(est.object_card);
+        }
+    }
+    out
+}
+
+/// Renders a full execution: the plan, the phase-one statistics, and the
+/// phase-two (defactorization) summary.
+pub fn explain_output(graph: &Graph, query: &ConjunctiveQuery, output: &QueryOutput) -> String {
+    let mut out = explain_plan(graph, query, &output.plan);
+    let _ = writeln!(out, "phase 1 (answer-graph generation):");
+    let _ = writeln!(
+        out,
+        "  edge walks {}   edges added {}   edges burned {}   nodes burned {}",
+        output.generation.edge_walks,
+        output.generation.edges_added,
+        output.generation.edges_burned,
+        output.generation.nodes_burned
+    );
+    let _ = writeln!(
+        out,
+        "  |AG| = {} answer edges across {} query edges{}",
+        output.answer_graph_size(),
+        query.num_patterns(),
+        if output.cyclic {
+            "  (cyclic query)"
+        } else {
+            ""
+        }
+    );
+    if output.edge_burnback.iterations > 0 {
+        let _ = writeln!(
+            out,
+            "  edge burnback: removed {} edges in {} iteration(s)",
+            output.edge_burnback.edges_removed, output.edge_burnback.iterations
+        );
+    }
+    let _ = writeln!(out, "phase 2 (defactorization):");
+    let _ = writeln!(
+        out,
+        "  join order {:?}   peak intermediate {}   embeddings {}",
+        output.defactorization.join_order,
+        output.defactorization.peak_intermediate,
+        output.embedding_count()
+    );
+    let _ = writeln!(
+        out,
+        "timings: planning {:?}, answer graph {:?}, edge burnback {:?}, defactorization {:?}",
+        output.timings.planning,
+        output.timings.answer_graph,
+        output.timings.edge_burnback,
+        output.timings.defactorization
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalOptions;
+    use crate::engine::WireframeEngine;
+    use wireframe_graph::GraphBuilder;
+    use wireframe_query::parse_query;
+
+    fn setup() -> (Graph, ConjunctiveQuery) {
+        let mut b = GraphBuilder::new();
+        for s in ["1", "2", "3"] {
+            b.add(s, "A", "5");
+        }
+        b.add("5", "B", "9");
+        b.add("9", "C", "12");
+        let g = b.build();
+        let q = parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn explain_plan_lists_every_step_with_labels() {
+        let (g, q) = setup();
+        let engine = WireframeEngine::new(&g);
+        let plan = engine.plan(&q).unwrap();
+        let text = explain_plan(&g, &q, &plan);
+        assert_eq!(text.matches("materialize").count(), 3);
+        assert!(text.contains("?w A ?x") || text.contains("?x B ?y"));
+        assert!(text.contains("estimated cost"));
+    }
+
+    #[test]
+    fn explain_output_summarizes_both_phases() {
+        let (g, q) = setup();
+        let out = WireframeEngine::new(&g).execute(&q).unwrap();
+        let text = explain_output(&g, &q, &out);
+        assert!(text.contains("phase 1"));
+        assert!(text.contains("phase 2"));
+        assert!(text.contains("|AG| ="));
+        assert!(text.contains("embeddings"));
+    }
+
+    #[test]
+    fn explain_marks_cyclic_queries_and_edge_burnback() {
+        let mut b = GraphBuilder::new();
+        b.add("3", "A", "4");
+        b.add("3", "B", "2");
+        b.add("4", "C", "1");
+        b.add("2", "D", "1");
+        b.add("4", "C", "5");
+        b.add("8", "C", "1");
+        b.add("7", "A", "8");
+        b.add("7", "B", "6");
+        b.add("8", "C", "5");
+        b.add("6", "D", "5");
+        let g = b.build();
+        let q = parse_query(
+            "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let out = WireframeEngine::with_options(&g, EvalOptions::default().with_edge_burnback())
+            .execute(&q)
+            .unwrap();
+        let text = explain_output(&g, &q, &out);
+        assert!(text.contains("cyclic query"));
+        assert!(text.contains("edge burnback: removed"));
+    }
+
+    #[test]
+    fn constants_render_with_angle_brackets() {
+        let (g, _) = setup();
+        let q = parse_query("SELECT ?w WHERE { ?w :A 5 . }", g.dictionary()).unwrap();
+        let plan = WireframeEngine::new(&g).plan(&q).unwrap();
+        let text = explain_plan(&g, &q, &plan);
+        assert!(text.contains("<5>"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # wireframe-core — the answer-graph (factorized) CQ evaluator
+//!
+//! This crate implements the paper's contribution: two-phase, cost-based
+//! evaluation of SPARQL conjunctive queries through an intermediate *answer
+//! graph* — the subset of data edges sufficient to compose all embeddings.
+//!
+//! * [`AnswerGraph`] — the factorized result representation,
+//! * [`generate`] — phase one: edge extension + cascading node burnback,
+//! * [`plan`] / [`Plan`] — the Edgifier, a cost-based dynamic-programming
+//!   planner over the estimated number of edge walks,
+//! * [`triangulate`] / [`edge_burnback`] — the Triangulator and the optional
+//!   edge-burnback pass for cyclic queries,
+//! * [`defactorize`] — phase two: embedding generation from the answer graph,
+//! * [`EmbeddingStream`] — lazy, constant-memory embedding enumeration,
+//! * [`plan_bushy`] / [`execute_bushy`] — the bushy phase-two plan space the
+//!   paper lists as future work,
+//! * [`WireframeEngine`] — the end-to-end engine tying the phases together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod answer_graph;
+mod bushy;
+mod config;
+mod defactorize;
+mod engine;
+mod error;
+mod estimate;
+mod explain;
+mod generate;
+mod parallel;
+mod planner;
+mod stream;
+mod triangulate;
+
+pub use answer_graph::{AnswerGraph, PatternEdges};
+pub use bushy::{execute_bushy, plan_bushy, BushyPlan, BushyStats, JoinTree};
+pub use config::{EvalOptions, PlannerKind};
+pub use defactorize::{count_embeddings, defactorize, embedding_plan, DefactorizationStats};
+pub use engine::{QueryOutput, Timings, WireframeEngine};
+pub use error::EngineError;
+pub use estimate::{Estimator, StepEstimate};
+pub use explain::{explain_output, explain_plan};
+pub use generate::{generate, ExtensionStep, GenerationStats};
+pub use parallel::{defactorize_parallel, ParallelOptions};
+pub use planner::{cost_of_order, plan, Plan};
+pub use stream::{count_streaming, EmbeddingStream};
+pub use triangulate::{
+    edge_burnback, triangulate, Chord, Chordification, EdgeBurnbackStats, SideRef, Triangle,
+};

@@ -1,0 +1,350 @@
+//! Streaming defactorization: enumerate embeddings lazily from an answer graph.
+//!
+//! [`defactorize`](crate::defactorize::defactorize) materializes every
+//! embedding tuple, which is what the benchmark measures (the paper reports
+//! the time "to retrieve all the result tuples"). Many consumers, however,
+//! only need to iterate — to stream results to a client, to take the first
+//! `k`, or to count with constant memory. [`EmbeddingStream`] walks the answer
+//! graph with a backtracking cursor and yields one embedding at a time without
+//! ever holding more than one partial binding, which is possible precisely
+//! because the answer graph is a factorized representation of the result.
+
+use wireframe_graph::NodeId;
+use wireframe_query::{ConjunctiveQuery, Term, Var};
+
+use crate::answer_graph::AnswerGraph;
+use crate::defactorize::embedding_plan;
+use crate::error::EngineError;
+
+/// A lazy iterator over the embeddings encoded by an answer graph.
+///
+/// The stream yields full embeddings (one value per query variable, in
+/// variable-index order). Apply the query's projection afterwards if needed.
+pub struct EmbeddingStream<'a> {
+    query: &'a ConjunctiveQuery,
+    ag: &'a AnswerGraph,
+    /// Pattern indexes in join order.
+    order: Vec<usize>,
+    /// Current binding, indexed by variable.
+    binding: Vec<Option<NodeId>>,
+    /// For each depth, the candidate edges of that pattern under the binding
+    /// at the time the depth was entered, and the next candidate to try.
+    frames: Vec<Frame>,
+    /// Whether iteration has finished.
+    done: bool,
+}
+
+struct Frame {
+    candidates: Vec<(NodeId, NodeId)>,
+    next: usize,
+    /// Variables bound by descending into this frame (to unbind on backtrack).
+    bound_here: Vec<Var>,
+}
+
+impl<'a> EmbeddingStream<'a> {
+    /// Creates a stream over `ag` using the same greedy connected join order
+    /// as the materializing defactorizer.
+    pub fn new(query: &'a ConjunctiveQuery, ag: &'a AnswerGraph) -> Result<Self, EngineError> {
+        let order = embedding_plan(query, ag);
+        Self::with_order(query, ag, order)
+    }
+
+    /// Creates a stream with an explicit join order (a permutation of the
+    /// pattern indexes).
+    pub fn with_order(
+        query: &'a ConjunctiveQuery,
+        ag: &'a AnswerGraph,
+        order: Vec<usize>,
+    ) -> Result<Self, EngineError> {
+        if order.len() != query.num_patterns() {
+            return Err(EngineError::Internal(
+                "stream join order does not cover every query edge".into(),
+            ));
+        }
+        let mut stream = EmbeddingStream {
+            query,
+            ag,
+            order,
+            binding: vec![None; query.num_vars()],
+            frames: Vec::new(),
+            done: false,
+        };
+        stream.push_frame();
+        Ok(stream)
+    }
+
+    /// The candidates of the pattern at the current depth under the current binding.
+    fn candidates_at(&self, depth: usize) -> Vec<(NodeId, NodeId)> {
+        let pattern = self.query.patterns()[self.order[depth]];
+        let edges = self.ag.pattern(self.order[depth]);
+        let s_val = self.term_value(pattern.subject);
+        let o_val = self.term_value(pattern.object);
+        match (s_val, o_val) {
+            (Some(s), Some(o)) => {
+                if edges.contains(s, o) {
+                    vec![(s, o)]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), None) => edges.objects_of(s).iter().map(|&o| (s, o)).collect(),
+            (None, Some(o)) => edges.subjects_of(o).iter().map(|&s| (s, o)).collect(),
+            (None, None) => edges.iter().collect(),
+        }
+    }
+
+    fn term_value(&self, term: Term) -> Option<NodeId> {
+        match term {
+            Term::Const(c) => Some(c),
+            Term::Var(v) => self.binding[v.index()],
+        }
+    }
+
+    fn push_frame(&mut self) {
+        let depth = self.frames.len();
+        let candidates = self.candidates_at(depth);
+        self.frames.push(Frame {
+            candidates,
+            next: 0,
+            bound_here: Vec::new(),
+        });
+    }
+
+    /// Tries to bind the pattern at `depth` to candidate `(s, o)`.
+    /// Returns `false` (and undoes nothing) on a conflict with the binding.
+    fn try_bind(&mut self, depth: usize, s: NodeId, o: NodeId) -> bool {
+        let pattern = self.query.patterns()[self.order[depth]];
+        let mut bound_here = Vec::new();
+        let mut ok = true;
+        for (term, value) in [(pattern.subject, s), (pattern.object, o)] {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match self.binding[v.index()] {
+                    None => {
+                        self.binding[v.index()] = Some(value);
+                        bound_here.push(v);
+                    }
+                    Some(existing) => {
+                        if existing != value {
+                            ok = false;
+                            break;
+                        }
+                    }
+                },
+            }
+        }
+        if !ok {
+            for v in bound_here {
+                self.binding[v.index()] = None;
+            }
+            return false;
+        }
+        self.frames[depth].bound_here = bound_here;
+        true
+    }
+
+    fn unbind(&mut self, depth: usize) {
+        let vars = std::mem::take(&mut self.frames[depth].bound_here);
+        for v in vars {
+            self.binding[v.index()] = None;
+        }
+    }
+}
+
+impl Iterator for EmbeddingStream<'_> {
+    type Item = Vec<NodeId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let depth = self.frames.len() - 1;
+            // A full embedding was emitted on the previous call if depth ==
+            // num_patterns; that state is handled below by popping first.
+            if depth == self.query.num_patterns() {
+                // We emitted from here last time; drop the sentinel and let the
+                // last pattern frame advance to its next candidate.
+                self.frames.pop();
+                continue;
+            }
+            let frame = &mut self.frames[depth];
+            if frame.next >= frame.candidates.len() {
+                // Exhausted: release this frame's binding and backtrack.
+                self.unbind(depth);
+                self.frames.pop();
+                if self.frames.is_empty() {
+                    self.done = true;
+                    return None;
+                }
+                continue;
+            }
+            let (s, o) = frame.candidates[frame.next];
+            frame.next += 1;
+            // Undo the binding of the previous candidate at this depth, if any.
+            self.unbind(depth);
+            if !self.try_bind(depth, s, o) {
+                continue;
+            }
+            if depth + 1 == self.query.num_patterns() {
+                // Complete embedding. Keep a sentinel frame so the next call
+                // backtracks correctly.
+                let out: Option<Vec<NodeId>> = self.binding.iter().copied().collect();
+                match out {
+                    Some(tuple) => {
+                        self.frames.push(Frame {
+                            candidates: Vec::new(),
+                            next: 0,
+                            bound_here: Vec::new(),
+                        });
+                        return Some(tuple);
+                    }
+                    None => {
+                        // A variable is unbound even though all patterns are
+                        // matched — possible only if some variable appears in
+                        // no pattern, which the query model prevents; treat as
+                        // exhausted to stay safe.
+                        self.done = true;
+                        return None;
+                    }
+                }
+            }
+            self.push_frame();
+        }
+    }
+}
+
+/// Counts the embeddings of an answer graph with constant memory.
+pub fn count_streaming(query: &ConjunctiveQuery, ag: &AnswerGraph) -> Result<usize, EngineError> {
+    Ok(EmbeddingStream::new(query, ag)?.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalOptions;
+    use crate::defactorize::defactorize;
+    use crate::generate::generate;
+    use wireframe_graph::{Graph, GraphBuilder};
+    use wireframe_query::{CqBuilder, EmbeddingSet};
+
+    fn figure1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        for s in ["1", "2", "3"] {
+            b.add(s, "A", "5");
+        }
+        b.add("4", "A", "6");
+        b.add("5", "B", "9");
+        b.add("7", "B", "10");
+        for o in ["12", "13", "14", "15"] {
+            b.add("9", "C", o);
+        }
+        b.add("11", "C", "15");
+        b.build()
+    }
+
+    fn chain_query(g: &Graph) -> ConjunctiveQuery {
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?w", "A", "?x").unwrap();
+        qb.pattern("?x", "B", "?y").unwrap();
+        qb.pattern("?y", "C", "?z").unwrap();
+        qb.build().unwrap()
+    }
+
+    fn ag_for(g: &Graph, q: &ConjunctiveQuery) -> AnswerGraph {
+        let order: Vec<usize> = (0..q.num_patterns()).collect();
+        generate(g, q, &order, &EvalOptions::default()).unwrap().0
+    }
+
+    #[test]
+    fn stream_matches_materialized_defactorization() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let ag = ag_for(&g, &q);
+        let order = embedding_plan(&q, &ag);
+        let (materialized, _) = defactorize(&q, &ag, &order).unwrap();
+
+        let streamed: Vec<Vec<NodeId>> = EmbeddingStream::new(&q, &ag).unwrap().collect();
+        let schema: Vec<Var> = q.variables().collect();
+        let streamed_set = EmbeddingSet::new(schema, streamed);
+        assert!(streamed_set.same_answer(&materialized));
+        assert_eq!(streamed_set.len(), 12);
+    }
+
+    #[test]
+    fn streaming_count_is_constant_memory_path() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let ag = ag_for(&g, &q);
+        assert_eq!(count_streaming(&q, &ag).unwrap(), 12);
+    }
+
+    #[test]
+    fn take_k_stops_early() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let ag = ag_for(&g, &q);
+        let first3: Vec<_> = EmbeddingStream::new(&q, &ag).unwrap().take(3).collect();
+        assert_eq!(first3.len(), 3);
+        for t in first3 {
+            assert_eq!(t.len(), q.num_vars());
+        }
+    }
+
+    #[test]
+    fn empty_answer_graph_streams_nothing() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let ag = AnswerGraph::new(&q);
+        assert_eq!(EmbeddingStream::new(&q, &ag).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn stream_handles_constants_and_cycles() {
+        let mut b = GraphBuilder::new();
+        b.add("3", "A", "4");
+        b.add("3", "B", "2");
+        b.add("4", "C", "1");
+        b.add("2", "D", "1");
+        b.add("4", "C", "5");
+        let g = b.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "A", "?e").unwrap();
+        qb.pattern("?x", "B", "?z").unwrap();
+        qb.pattern("?e", "C", "?y").unwrap();
+        qb.pattern("?z", "D", "?y").unwrap();
+        let q = qb.build().unwrap();
+        let ag = ag_for(&g, &q);
+        let all: Vec<_> = EmbeddingStream::new(&q, &ag).unwrap().collect();
+        assert_eq!(all.len(), 1, "only the closed diamond is an embedding");
+    }
+
+    #[test]
+    fn explicit_order_must_cover_all_patterns() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let ag = ag_for(&g, &q);
+        assert!(EmbeddingStream::with_order(&q, &ag, vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn self_loop_streaming() {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "1");
+        b.add("1", "A", "2");
+        b.add("1", "B", "4");
+        let g = b.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "A", "?x").unwrap();
+        qb.pattern("?x", "B", "?y").unwrap();
+        let q = qb.build().unwrap();
+        let ag = ag_for(&g, &q);
+        let all: Vec<_> = EmbeddingStream::new(&q, &ag).unwrap().collect();
+        assert_eq!(all.len(), 1);
+    }
+}

@@ -1,0 +1,634 @@
+//! The Triangulator and edge burnback for cyclic queries.
+//!
+//! Node burnback alone guarantees the *ideal* answer graph only for acyclic
+//! queries. In a cyclic query, an answer edge can survive node burnback while
+//! participating in no embedding (the spurious edges of the paper's Figure 4).
+//! To cull them, the paper triangulates cycles of length greater than three by
+//! adding *chords*, maintains each chord as the intersection of the joins of
+//! the opposite two sides of every triangle it participates in, and then runs
+//! an *edge burnback* pass that removes answer edges unsupported by their
+//! triangles, cascading with node burnback until a fixpoint.
+//!
+//! The paper leaves edge burnback as work in progress and runs its experiments
+//! without it; here it is implemented behind
+//! [`EvalOptions::edge_burnback`](crate::config::EvalOptions::edge_burnback)
+//! so that both configurations can be compared. For queries whose cycles are
+//! simple and vertex-disjoint (the diamond workload), the pass yields the
+//! ideal answer graph; for arbitrary overlapping cycles it still only removes
+//! provably spurious edges (it never removes a supported edge), so it is
+//! always sound.
+
+use std::collections::{HashMap, HashSet};
+
+use wireframe_graph::NodeId;
+use wireframe_query::{ConjunctiveQuery, QueryGraph, Var};
+
+use crate::answer_graph::AnswerGraph;
+use crate::generate::burn_nodes;
+
+/// One side of a triangle: either an actual query edge or an added chord.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideRef {
+    /// A query edge (pattern index).
+    Pattern(usize),
+    /// A chord added by the Triangulator (index into [`Chordification::chords`]).
+    Chord(usize),
+}
+
+/// A triangle of the chordified query graph. Each side connects two of the
+/// triangle's three variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Triangle {
+    /// The three corner variables.
+    pub corners: [Var; 3],
+    /// The three sides; `sides[i]` connects `corners[i]` and `corners[(i + 1) % 3]`.
+    pub sides: [SideRef; 3],
+}
+
+/// A chord: an auxiliary connection between two query variables, maintained as
+/// a materialized set of node pairs during edge burnback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chord {
+    /// First endpoint variable.
+    pub a: Var,
+    /// Second endpoint variable.
+    pub b: Var,
+}
+
+/// The output of the Triangulator: chords added and triangles to maintain.
+#[derive(Debug, Clone, Default)]
+pub struct Chordification {
+    /// The chords added to triangulate cycles longer than three.
+    pub chords: Vec<Chord>,
+    /// All triangles (over query edges and chords) to keep consistent.
+    pub triangles: Vec<Triangle>,
+}
+
+impl Chordification {
+    /// Whether the query needed any triangles at all (i.e. is cyclic).
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+}
+
+/// Triangulates every fundamental cycle of the query graph by fanning chords
+/// out of one apex vertex per cycle (cycles of length three become triangles
+/// directly, with no chord).
+pub fn triangulate(query: &ConjunctiveQuery) -> Chordification {
+    let qg = QueryGraph::new(query);
+    let mut out = Chordification::default();
+    for cycle in qg.fundamental_cycles() {
+        let Some(walk) = cycle_walk(query, &cycle) else {
+            continue;
+        };
+        let k = walk.len();
+        if k < 3 {
+            // Length-2 cycles (parallel patterns) and self-loops need no
+            // triangles: node burnback together with the pairwise edge checks
+            // of defactorization already constrain them.
+            continue;
+        }
+        // walk[i] = (variable v_i, pattern index of edge v_i -- v_{i+1 mod k}).
+        let apex = walk[0].0;
+        // conn[i] connects the apex with v_i (valid for i = 1..k-1): the two
+        // cycle edges incident to the apex are reused; interior vertices get
+        // chords fanned out of the apex.
+        let mut conn: Vec<Option<SideRef>> = vec![None; k];
+        conn[1] = Some(SideRef::Pattern(walk[0].1));
+        conn[k - 1] = Some(SideRef::Pattern(walk[k - 1].1));
+        for (i, conn_i) in conn.iter_mut().enumerate().take(k - 1).skip(2) {
+            let chord_idx = out.chords.len();
+            out.chords.push(Chord {
+                a: apex,
+                b: walk[i].0,
+            });
+            *conn_i = Some(SideRef::Chord(chord_idx));
+        }
+        // Triangles (apex, v_i, v_{i+1}) for i = 1..k-2, using the pattern
+        // edge e_i between v_i and v_{i+1} as the far side.
+        for i in 1..k - 1 {
+            let v_i = walk[i].0;
+            let v_next = walk[i + 1].0;
+            out.triangles.push(Triangle {
+                corners: [apex, v_i, v_next],
+                sides: [
+                    conn[i].expect("connection to v_i exists"),
+                    SideRef::Pattern(walk[i].1),
+                    conn[i + 1].expect("connection to v_{i+1} exists"),
+                ],
+            });
+        }
+    }
+    out
+}
+
+/// Orders a fundamental cycle's pattern edges into a closed vertex walk
+/// `v_0 -e_0- v_1 -e_1- … -e_{k-1}- v_0`. Returns `None` for degenerate
+/// cycles (self-loops).
+fn cycle_walk(query: &ConjunctiveQuery, cycle_edges: &[usize]) -> Option<Vec<(Var, usize)>> {
+    if cycle_edges.len() < 2 {
+        return None;
+    }
+    // Build adjacency restricted to the cycle's edges.
+    let mut adj: HashMap<Var, Vec<(Var, usize)>> = HashMap::new();
+    for &e in cycle_edges {
+        let p = query.patterns()[e];
+        let (Some(a), Some(b)) = (p.subject.as_var(), p.object.as_var()) else {
+            return None;
+        };
+        adj.entry(a).or_default().push((b, e));
+        adj.entry(b).or_default().push((a, e));
+    }
+    let start = *adj.keys().min()?;
+    let mut walk = Vec::with_capacity(cycle_edges.len());
+    let mut current = start;
+    let mut used: HashSet<usize> = HashSet::new();
+    loop {
+        let next = adj
+            .get(&current)?
+            .iter()
+            .find(|(_, e)| !used.contains(e))
+            .copied();
+        match next {
+            Some((nbr, e)) => {
+                used.insert(e);
+                walk.push((current, e));
+                current = nbr;
+                if current == start {
+                    break;
+                }
+            }
+            None => return None,
+        }
+    }
+    if used.len() == cycle_edges.len() {
+        Some(walk)
+    } else {
+        None
+    }
+}
+
+/// Oriented materialization of one triangle side: pairs keyed `(left, right)`
+/// where `left` binds the first corner and `right` the second.
+#[derive(Debug, Clone, Default)]
+struct SideMaterial {
+    by_left: HashMap<NodeId, Vec<NodeId>>,
+    by_right: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl SideMaterial {
+    fn from_pairs(pairs: impl Iterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut m = SideMaterial::default();
+        for (l, r) in pairs {
+            m.by_left.entry(l).or_default().push(r);
+            m.by_right.entry(r).or_default().push(l);
+        }
+        m
+    }
+
+    fn rights_of(&self, l: NodeId) -> &[NodeId] {
+        self.by_left.get(&l).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn contains(&self, l: NodeId, r: NodeId) -> bool {
+        self.by_left.get(&l).is_some_and(|v| v.contains(&r))
+    }
+
+    fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.by_left
+            .iter()
+            .flat_map(|(&l, rs)| rs.iter().map(move |&r| (l, r)))
+    }
+}
+
+/// Statistics of an edge-burnback pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeBurnbackStats {
+    /// Answer edges removed because no triangle supported them.
+    pub edges_removed: usize,
+    /// Nodes removed by the node-burnback cascades those removals triggered.
+    pub nodes_removed: usize,
+    /// Fixpoint iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs edge burnback over `ag` using the chordification of `query`.
+///
+/// Chord materializations are (re)computed each iteration as the intersection,
+/// over the triangles containing the chord, of the join of the triangle's
+/// other two sides. Then every answer edge that is a triangle side must be
+/// witnessed by some third-corner node; unwitnessed edges are removed and node
+/// burnback cascades. The pass iterates until no edge is removed.
+pub fn edge_burnback(
+    query: &ConjunctiveQuery,
+    ag: &mut AnswerGraph,
+    chordification: &Chordification,
+) -> EdgeBurnbackStats {
+    let mut stats = EdgeBurnbackStats::default();
+    if chordification.is_empty() {
+        return stats;
+    }
+
+    loop {
+        stats.iterations += 1;
+        let chords = materialize_chords(query, ag, chordification);
+        let mut removed_this_round = 0usize;
+
+        for tri in &chordification.triangles {
+            for side_idx in 0..3 {
+                let SideRef::Pattern(pattern_idx) = tri.sides[side_idx] else {
+                    continue;
+                };
+                let left_corner = tri.corners[side_idx];
+                let right_corner = tri.corners[(side_idx + 1) % 3];
+                let third_corner = tri.corners[(side_idx + 2) % 3];
+                // Materialize the two other sides oriented from their shared
+                // corners towards the third corner.
+                let left_to_third = side_material(
+                    query,
+                    ag,
+                    &chordification.chords,
+                    &chords,
+                    tri,
+                    (side_idx + 2) % 3,
+                    left_corner,
+                    third_corner,
+                );
+                let right_to_third = side_material(
+                    query,
+                    ag,
+                    &chordification.chords,
+                    &chords,
+                    tri,
+                    (side_idx + 1) % 3,
+                    right_corner,
+                    third_corner,
+                );
+
+                // Collect the pattern's answer edges oriented (left_corner, right_corner).
+                let oriented: Vec<(NodeId, NodeId)> =
+                    oriented_pattern_pairs(query, ag, pattern_idx, left_corner, right_corner)
+                        .collect();
+                for (a, b) in oriented {
+                    let supported = left_to_third
+                        .rights_of(a)
+                        .iter()
+                        .any(|&c| right_to_third.contains(b, c));
+                    if supported {
+                        continue;
+                    }
+                    // Remove the edge in its stored (subject, object) orientation.
+                    let p = query.patterns()[pattern_idx];
+                    let (s, o) = if p.subject.as_var() == Some(left_corner) {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    };
+                    if ag.pattern_mut(pattern_idx).remove(s, o) {
+                        removed_this_round += 1;
+                        // Nodes that lost their last supporting edge in this
+                        // pattern must be burned, cascading normally.
+                        let mut worklist = Vec::new();
+                        if let Some(v) = p.subject.as_var() {
+                            if !ag.pattern(pattern_idx).has_subject(s)
+                                && ag.node_set(v).contains(&s)
+                            {
+                                worklist.push((v, s));
+                            }
+                        }
+                        if let Some(v) = p.object.as_var() {
+                            if !ag.pattern(pattern_idx).has_object(o) && ag.node_set(v).contains(&o)
+                            {
+                                worklist.push((v, o));
+                            }
+                        }
+                        let mut edges_burned = 0usize;
+                        let mut nodes_burned = 0usize;
+                        burn_nodes(query, ag, worklist, &mut edges_burned, &mut nodes_burned);
+                        removed_this_round += edges_burned;
+                        stats.nodes_removed += nodes_burned;
+                    }
+                }
+            }
+        }
+
+        stats.edges_removed += removed_this_round;
+        if removed_this_round == 0 {
+            break;
+        }
+    }
+    stats
+}
+
+/// Computes every chord's materialization: the intersection over its triangles
+/// of the join of the other two sides (projected onto the chord's endpoints).
+fn materialize_chords(
+    query: &ConjunctiveQuery,
+    ag: &AnswerGraph,
+    chordification: &Chordification,
+) -> Vec<SideMaterial> {
+    let mut chords: Vec<Option<SideMaterial>> = vec![None; chordification.chords.len()];
+    // Chords fan out of an apex, and chord i+1's triangle uses chord i, so a
+    // few passes are needed for the joins to propagate; iterate until stable
+    // (bounded by the number of chords).
+    for _ in 0..=chordification.chords.len() {
+        for tri in &chordification.triangles {
+            for side_idx in 0..3 {
+                let SideRef::Chord(chord_idx) = tri.sides[side_idx] else {
+                    continue;
+                };
+                let chord = chordification.chords[chord_idx];
+                let left_corner = tri.corners[side_idx];
+                let right_corner = tri.corners[(side_idx + 1) % 3];
+                let third_corner = tri.corners[(side_idx + 2) % 3];
+                let left_to_third = side_material_opt(
+                    query,
+                    ag,
+                    &chordification.chords,
+                    &chords,
+                    tri,
+                    (side_idx + 2) % 3,
+                    left_corner,
+                    third_corner,
+                );
+                let right_to_third = side_material_opt(
+                    query,
+                    ag,
+                    &chordification.chords,
+                    &chords,
+                    tri,
+                    (side_idx + 1) % 3,
+                    right_corner,
+                    third_corner,
+                );
+                let (Some(lt), Some(rt)) = (left_to_third, right_to_third) else {
+                    continue;
+                };
+                // Join: (a, b) such that ∃ c with (a, c) ∈ lt and (b, c) ∈ rt,
+                // oriented so that `a` binds chord.a and `b` binds chord.b.
+                let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+                for (a, c) in lt.pairs() {
+                    for &b in rt.by_right.get(&c).map(Vec::as_slice).unwrap_or(&[]) {
+                        let (ca, cb) = if left_corner == chord.a {
+                            (a, b)
+                        } else {
+                            (b, a)
+                        };
+                        pairs.push((ca, cb));
+                    }
+                }
+                pairs.sort_unstable();
+                pairs.dedup();
+                let joined = SideMaterial::from_pairs(pairs.into_iter());
+                chords[chord_idx] = Some(match chords[chord_idx].take() {
+                    None => joined,
+                    Some(existing) => {
+                        // Intersection with the previously computed join.
+                        SideMaterial::from_pairs(
+                            existing.pairs().filter(|&(a, b)| joined.contains(a, b)),
+                        )
+                    }
+                });
+            }
+        }
+    }
+    chords.into_iter().map(|c| c.unwrap_or_default()).collect()
+}
+
+/// Materialization of a triangle side oriented `(from, to)`.
+fn side_material(
+    query: &ConjunctiveQuery,
+    ag: &AnswerGraph,
+    chord_specs: &[Chord],
+    chords: &[SideMaterial],
+    tri: &Triangle,
+    side_idx: usize,
+    from: Var,
+    to: Var,
+) -> SideMaterial {
+    match tri.sides[side_idx] {
+        SideRef::Pattern(p) => {
+            SideMaterial::from_pairs(oriented_pattern_pairs(query, ag, p, from, to))
+        }
+        SideRef::Chord(c) => {
+            // Chord materials are stored oriented (chord.a, chord.b); flip if needed.
+            let material = &chords[c];
+            if chord_specs[c].a == from {
+                SideMaterial::from_pairs(material.pairs())
+            } else {
+                SideMaterial::from_pairs(material.pairs().map(|(a, b)| (b, a)))
+            }
+        }
+    }
+}
+
+fn side_material_opt(
+    query: &ConjunctiveQuery,
+    ag: &AnswerGraph,
+    chord_specs: &[Chord],
+    chords: &[Option<SideMaterial>],
+    tri: &Triangle,
+    side_idx: usize,
+    from: Var,
+    to: Var,
+) -> Option<SideMaterial> {
+    match tri.sides[side_idx] {
+        SideRef::Pattern(p) => Some(SideMaterial::from_pairs(oriented_pattern_pairs(
+            query, ag, p, from, to,
+        ))),
+        SideRef::Chord(c) => {
+            let material = chords[c].as_ref()?;
+            Some(if chord_specs[c].a == from {
+                SideMaterial::from_pairs(material.pairs())
+            } else {
+                SideMaterial::from_pairs(material.pairs().map(|(a, b)| (b, a)))
+            })
+        }
+    }
+}
+
+/// The answer edges of `pattern_idx` oriented so the first component binds
+/// `from` and the second binds `to`.
+fn oriented_pattern_pairs<'a>(
+    query: &ConjunctiveQuery,
+    ag: &'a AnswerGraph,
+    pattern_idx: usize,
+    from: Var,
+    _to: Var,
+) -> Box<dyn Iterator<Item = (NodeId, NodeId)> + 'a> {
+    let p = query.patterns()[pattern_idx];
+    if p.subject.as_var() == Some(from) {
+        Box::new(ag.pattern(pattern_idx).iter())
+    } else {
+        Box::new(ag.pattern(pattern_idx).iter().map(|(s, o)| (o, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EvalOptions;
+    use crate::defactorize::{defactorize, embedding_plan};
+    use crate::generate::generate;
+    use wireframe_graph::{Graph, GraphBuilder};
+    use wireframe_query::CqBuilder;
+
+    /// The Figure 4 scenario: two disjoint diamonds plus two spurious C-edges
+    /// that survive node burnback but belong to no embedding.
+    fn figure4_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("3", "A", "4");
+        b.add("3", "B", "2");
+        b.add("4", "C", "1");
+        b.add("2", "D", "1");
+        b.add("7", "A", "8");
+        b.add("7", "B", "6");
+        b.add("8", "C", "5");
+        b.add("6", "D", "5");
+        b.add("4", "C", "5");
+        b.add("8", "C", "1");
+        b.build()
+    }
+
+    fn diamond_query(g: &Graph) -> ConjunctiveQuery {
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "A", "?e").unwrap();
+        qb.pattern("?x", "B", "?z").unwrap();
+        qb.pattern("?e", "C", "?y").unwrap();
+        qb.pattern("?z", "D", "?y").unwrap();
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn acyclic_query_needs_no_triangles() {
+        let g = figure4_graph();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "A", "?e").unwrap();
+        qb.pattern("?e", "C", "?y").unwrap();
+        let q = qb.build().unwrap();
+        let c = triangulate(&q);
+        assert!(c.is_empty());
+        assert!(c.chords.is_empty());
+    }
+
+    #[test]
+    fn diamond_gets_one_chord_and_two_triangles() {
+        let g = figure4_graph();
+        let q = diamond_query(&g);
+        let c = triangulate(&q);
+        assert_eq!(c.chords.len(), 1, "a 4-cycle needs one chord");
+        assert_eq!(c.triangles.len(), 2);
+        // Every triangle side is a pattern or the chord.
+        for t in &c.triangles {
+            for s in t.sides {
+                match s {
+                    SideRef::Pattern(i) => assert!(i < q.num_patterns()),
+                    SideRef::Chord(i) => assert!(i < c.chords.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pentagon_gets_two_chords_and_three_triangles() {
+        let mut b = GraphBuilder::new();
+        for p in ["P1", "P2", "P3", "P4", "P5"] {
+            b.add("x", p, "y");
+        }
+        let g = b.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?a", "P1", "?b").unwrap();
+        qb.pattern("?b", "P2", "?c").unwrap();
+        qb.pattern("?c", "P3", "?d").unwrap();
+        qb.pattern("?d", "P4", "?e").unwrap();
+        qb.pattern("?e", "P5", "?a").unwrap();
+        let q = qb.build().unwrap();
+        let c = triangulate(&q);
+        assert_eq!(c.chords.len(), 2);
+        assert_eq!(c.triangles.len(), 3);
+    }
+
+    #[test]
+    fn triangle_query_needs_no_chord_but_one_triangle() {
+        let mut b = GraphBuilder::new();
+        for p in ["P1", "P2", "P3"] {
+            b.add("x", p, "y");
+        }
+        let g = b.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?a", "P1", "?b").unwrap();
+        qb.pattern("?b", "P2", "?c").unwrap();
+        qb.pattern("?c", "P3", "?a").unwrap();
+        let q = qb.build().unwrap();
+        let c = triangulate(&q);
+        assert!(c.chords.is_empty());
+        assert_eq!(c.triangles.len(), 1);
+    }
+
+    #[test]
+    fn edge_burnback_removes_figure4_spurious_edges() {
+        let g = figure4_graph();
+        let q = diamond_query(&g);
+        let (mut ag, _) = generate(&g, &q, &[0, 1, 2, 3], &EvalOptions::default()).unwrap();
+        assert_eq!(
+            ag.total_edges(),
+            10,
+            "node burnback alone keeps the spurious edges"
+        );
+
+        let c = triangulate(&q);
+        let stats = edge_burnback(&q, &mut ag, &c);
+        assert_eq!(ag.total_edges(), 8, "the two spurious C-edges are culled");
+        assert!(stats.edges_removed >= 2);
+        assert!(stats.iterations >= 1);
+
+        // The embeddings are unchanged: exactly the two diamonds.
+        let order = embedding_plan(&q, &ag);
+        let (emb, _) = defactorize(&q, &ag, &order).unwrap();
+        assert_eq!(emb.len(), 2);
+    }
+
+    #[test]
+    fn edge_burnback_preserves_embeddings() {
+        let g = figure4_graph();
+        let q = diamond_query(&g);
+        let (ag_plain, _) = generate(&g, &q, &[0, 1, 2, 3], &EvalOptions::default()).unwrap();
+        let (mut ag_burned, _) = generate(&g, &q, &[0, 1, 2, 3], &EvalOptions::default()).unwrap();
+        edge_burnback(&q, &mut ag_burned, &triangulate(&q));
+
+        let (a, _) = defactorize(&q, &ag_plain, &embedding_plan(&q, &ag_plain)).unwrap();
+        let (b, _) = defactorize(&q, &ag_burned, &embedding_plan(&q, &ag_burned)).unwrap();
+        assert!(
+            a.same_answer(&b),
+            "edge burnback must never change the answer"
+        );
+    }
+
+    #[test]
+    fn edge_burnback_is_a_fixpoint() {
+        let g = figure4_graph();
+        let q = diamond_query(&g);
+        let (mut ag, _) = generate(&g, &q, &[0, 1, 2, 3], &EvalOptions::default()).unwrap();
+        let c = triangulate(&q);
+        edge_burnback(&q, &mut ag, &c);
+        let again = edge_burnback(&q, &mut ag, &c);
+        assert_eq!(
+            again.edges_removed, 0,
+            "running burnback twice removes nothing new"
+        );
+    }
+
+    #[test]
+    fn edge_burnback_on_acyclic_is_a_noop() {
+        let g = figure4_graph();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "A", "?e").unwrap();
+        qb.pattern("?e", "C", "?y").unwrap();
+        let q = qb.build().unwrap();
+        let (mut ag, _) = generate(&g, &q, &[0, 1], &EvalOptions::default()).unwrap();
+        let before = ag.total_edges();
+        let stats = edge_burnback(&q, &mut ag, &triangulate(&q));
+        assert_eq!(stats.edges_removed, 0);
+        assert_eq!(ag.total_edges(), before);
+    }
+}

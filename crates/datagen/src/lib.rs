@@ -1,0 +1,29 @@
+//! # wireframe-datagen — synthetic YAGO-like data and the benchmark workload
+//!
+//! The paper evaluates over the YAGO2s dataset and a template-mined workload.
+//! This crate provides the offline stand-ins:
+//!
+//! * [`yago`] — a seeded, scalable generator for a YAGO-like graph with the
+//!   Table 1 predicate vocabulary and planted benchmark structures,
+//! * [`workloads`] — the ten Table 1 queries (five snowflakes, five diamonds),
+//! * [`miner`] — the template-based query miner that discovers valid,
+//!   non-empty queries over a dataset (deduplicated by canonical signature),
+//! * [`report`] — dataset summary statistics (cardinalities, skew),
+//! * [`vocab`] — the predicate vocabulary and entity pools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod miner;
+pub mod report;
+pub mod vocab;
+pub mod workloads;
+pub mod yago;
+
+pub use miner::{MineOutcome, MinerStats, QueryMiner};
+pub use report::{DatasetReport, PredicateReport};
+pub use workloads::{
+    diamond_queries, snowflake_queries, table1_queries, BenchmarkQuery, DIAMOND_LABELS,
+    SNOWFLAKE_LABELS,
+};
+pub use yago::{generate, YagoConfig};

@@ -1,0 +1,324 @@
+//! The predicate vocabulary and entity pools of the synthetic YAGO-like dataset.
+//!
+//! YAGO2s has 104 distinct predicates; the paper's ten benchmark queries use
+//! twenty of them. The synthetic dataset reproduces those twenty with
+//! realistic-looking entity pools and pads the vocabulary with filler
+//! predicates so that catalog sizes and planner search spaces are comparable.
+
+/// Entity pools of the synthetic dataset. Pool sizes scale with
+/// [`YagoConfig::scale`](crate::yago::YagoConfig::scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pool {
+    /// People (actors, scientists, politicians, …).
+    Person,
+    /// Cities.
+    City,
+    /// Countries.
+    Country,
+    /// Movies and other creative works.
+    Movie,
+    /// Companies and organizations.
+    Organization,
+    /// Universities.
+    University,
+    /// Prizes.
+    Prize,
+    /// Events.
+    Event,
+    /// Calendar dates (stored as plain nodes, as in the triple-store import).
+    Date,
+    /// Durations.
+    Duration,
+    /// Wiki articles / miscellaneous linked entities.
+    Article,
+    /// Export goods.
+    Commodity,
+}
+
+impl Pool {
+    /// Every pool, in a fixed order.
+    pub const ALL: [Pool; 12] = [
+        Pool::Person,
+        Pool::City,
+        Pool::Country,
+        Pool::Movie,
+        Pool::Organization,
+        Pool::University,
+        Pool::Prize,
+        Pool::Event,
+        Pool::Date,
+        Pool::Duration,
+        Pool::Article,
+        Pool::Commodity,
+    ];
+
+    /// Label prefix used when naming this pool's entities.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Pool::Person => "person",
+            Pool::City => "city",
+            Pool::Country => "country",
+            Pool::Movie => "movie",
+            Pool::Organization => "org",
+            Pool::University => "university",
+            Pool::Prize => "prize",
+            Pool::Event => "event",
+            Pool::Date => "date",
+            Pool::Duration => "duration",
+            Pool::Article => "article",
+            Pool::Commodity => "commodity",
+        }
+    }
+
+    /// Relative size of this pool (multiplied by the generator's scale).
+    pub fn relative_size(self) -> f64 {
+        match self {
+            Pool::Person => 1.0,
+            Pool::City => 0.08,
+            Pool::Country => 0.01,
+            Pool::Movie => 0.35,
+            Pool::Organization => 0.12,
+            Pool::University => 0.03,
+            Pool::Prize => 0.01,
+            Pool::Event => 0.10,
+            Pool::Date => 0.40,
+            Pool::Duration => 0.02,
+            Pool::Article => 0.80,
+            Pool::Commodity => 0.01,
+        }
+    }
+}
+
+/// Signature of one predicate: subject pool, object pool, and how many edges
+/// to generate relative to the subject pool's size.
+#[derive(Debug, Clone, Copy)]
+pub struct PredicateSpec {
+    /// The predicate label as it appears in queries.
+    pub label: &'static str,
+    /// Pool the subjects are drawn from.
+    pub domain: Pool,
+    /// Pool the objects are drawn from.
+    pub range: Pool,
+    /// Average number of edges per domain entity.
+    pub edges_per_subject: f64,
+    /// Zipf skew of object popularity: higher values concentrate the edges on
+    /// a few very popular objects (heavy fan-in), which is what makes the
+    /// factorization gap large.
+    pub object_skew: f64,
+}
+
+/// The twenty predicates used by the paper's Table 1 queries.
+pub const CORE_PREDICATES: [PredicateSpec; 20] = [
+    PredicateSpec {
+        label: "diedIn",
+        domain: Pool::Person,
+        range: Pool::City,
+        edges_per_subject: 0.4,
+        object_skew: 0.9,
+    },
+    PredicateSpec {
+        label: "wasBornIn",
+        domain: Pool::Person,
+        range: Pool::City,
+        edges_per_subject: 0.8,
+        object_skew: 0.9,
+    },
+    PredicateSpec {
+        label: "livesIn",
+        domain: Pool::Person,
+        range: Pool::City,
+        edges_per_subject: 0.6,
+        object_skew: 0.9,
+    },
+    PredicateSpec {
+        label: "isCitizenOf",
+        domain: Pool::Person,
+        range: Pool::Country,
+        edges_per_subject: 0.7,
+        object_skew: 1.1,
+    },
+    PredicateSpec {
+        label: "influences",
+        domain: Pool::Person,
+        range: Pool::Person,
+        edges_per_subject: 0.5,
+        object_skew: 1.0,
+    },
+    PredicateSpec {
+        label: "isMarriedTo",
+        domain: Pool::Person,
+        range: Pool::Person,
+        edges_per_subject: 0.3,
+        object_skew: 0.2,
+    },
+    PredicateSpec {
+        label: "hasChild",
+        domain: Pool::Person,
+        range: Pool::Person,
+        edges_per_subject: 0.5,
+        object_skew: 0.2,
+    },
+    PredicateSpec {
+        label: "actedIn",
+        domain: Pool::Person,
+        range: Pool::Movie,
+        edges_per_subject: 1.2,
+        object_skew: 0.8,
+    },
+    PredicateSpec {
+        label: "created",
+        domain: Pool::Person,
+        range: Pool::Movie,
+        edges_per_subject: 0.6,
+        object_skew: 0.7,
+    },
+    PredicateSpec {
+        label: "owns",
+        domain: Pool::Person,
+        range: Pool::Organization,
+        edges_per_subject: 0.2,
+        object_skew: 0.8,
+    },
+    PredicateSpec {
+        label: "graduatedFrom",
+        domain: Pool::Person,
+        range: Pool::University,
+        edges_per_subject: 0.4,
+        object_skew: 0.9,
+    },
+    PredicateSpec {
+        label: "isLeaderOf",
+        domain: Pool::Person,
+        range: Pool::City,
+        edges_per_subject: 0.05,
+        object_skew: 0.5,
+    },
+    PredicateSpec {
+        label: "hasWonPrize",
+        domain: Pool::Person,
+        range: Pool::Prize,
+        edges_per_subject: 0.15,
+        object_skew: 1.0,
+    },
+    PredicateSpec {
+        label: "wasBornOnDate",
+        domain: Pool::Person,
+        range: Pool::Date,
+        edges_per_subject: 0.9,
+        object_skew: 0.3,
+    },
+    PredicateSpec {
+        label: "wasCreatedOnDate",
+        domain: Pool::Movie,
+        range: Pool::Date,
+        edges_per_subject: 0.9,
+        object_skew: 0.3,
+    },
+    PredicateSpec {
+        label: "hasDuration",
+        domain: Pool::Movie,
+        range: Pool::Duration,
+        edges_per_subject: 0.9,
+        object_skew: 0.6,
+    },
+    PredicateSpec {
+        label: "isLocatedIn",
+        domain: Pool::City,
+        range: Pool::Country,
+        edges_per_subject: 1.0,
+        object_skew: 1.1,
+    },
+    PredicateSpec {
+        label: "linksTo",
+        domain: Pool::Article,
+        range: Pool::Article,
+        edges_per_subject: 2.5,
+        object_skew: 1.0,
+    },
+    PredicateSpec {
+        label: "happenedIn",
+        domain: Pool::Event,
+        range: Pool::City,
+        edges_per_subject: 0.9,
+        object_skew: 0.9,
+    },
+    PredicateSpec {
+        label: "exports",
+        domain: Pool::Country,
+        range: Pool::Commodity,
+        edges_per_subject: 4.0,
+        object_skew: 0.7,
+    },
+];
+
+/// Number of filler predicates added so the vocabulary reaches YAGO2s's 104
+/// distinct predicates.
+pub const FILLER_PREDICATES: usize = 104 - CORE_PREDICATES.len();
+
+/// Returns the label of the `i`-th filler predicate.
+pub fn filler_label(i: usize) -> String {
+    format!("hasProperty{i:03}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn twenty_core_predicates_no_duplicates() {
+        let labels: HashSet<&str> = CORE_PREDICATES.iter().map(|p| p.label).collect();
+        assert_eq!(labels.len(), 20);
+    }
+
+    #[test]
+    fn vocabulary_reaches_104() {
+        assert_eq!(CORE_PREDICATES.len() + FILLER_PREDICATES, 104);
+    }
+
+    #[test]
+    fn filler_labels_are_distinct_from_core() {
+        for i in 0..FILLER_PREDICATES {
+            let label = filler_label(i);
+            assert!(CORE_PREDICATES.iter().all(|p| p.label != label));
+        }
+    }
+
+    #[test]
+    fn pool_sizes_are_positive() {
+        for p in Pool::ALL {
+            assert!(p.relative_size() > 0.0);
+            assert!(!p.prefix().is_empty());
+        }
+    }
+
+    #[test]
+    fn table1_labels_are_all_in_the_core_vocabulary() {
+        let known: HashSet<&str> = CORE_PREDICATES.iter().map(|p| p.label).collect();
+        let used = [
+            "diedIn",
+            "influences",
+            "actedIn",
+            "owns",
+            "wasCreatedOnDate",
+            "created",
+            "hasDuration",
+            "hasChild",
+            "wasBornIn",
+            "isCitizenOf",
+            "exports",
+            "isMarriedTo",
+            "wasBornOnDate",
+            "livesIn",
+            "isLocatedIn",
+            "linksTo",
+            "happenedIn",
+            "graduatedFrom",
+            "isLeaderOf",
+            "hasWonPrize",
+        ];
+        for u in used {
+            assert!(known.contains(u), "{u} missing from vocabulary");
+        }
+    }
+}

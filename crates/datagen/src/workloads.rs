@@ -1,0 +1,188 @@
+//! The paper's Table 1 workload: five snowflake and five diamond queries.
+//!
+//! Each benchmark query is an instantiation of the CQ_S or CQ_D template with
+//! the predicate-label sequence listed in Table 1. Edge positions follow the
+//! templates in [`wireframe_query::templates`]: snowflake edges 1–3 leave the
+//! hub, 4–5 leave the first spoke, 6–7 the second, 8–9 the third; diamond
+//! edges are `?x p1 ?y . ?x p2 ?z . ?y p3 ?w . ?z p4 ?w`.
+
+use wireframe_graph::Graph;
+use wireframe_query::templates::{diamond, snowflake};
+use wireframe_query::{ConjunctiveQuery, QueryError, Shape};
+
+/// Label sequences of the five snowflake-shaped queries of Table 1.
+pub const SNOWFLAKE_LABELS: [[&str; 9]; 5] = [
+    [
+        "diedIn",
+        "influences",
+        "actedIn",
+        "owns",
+        "wasCreatedOnDate",
+        "actedIn",
+        "created",
+        "hasDuration",
+        "wasCreatedOnDate",
+    ],
+    [
+        "hasChild",
+        "influences",
+        "actedIn",
+        "actedIn",
+        "wasBornIn",
+        "created",
+        "actedIn",
+        "hasDuration",
+        "wasCreatedOnDate",
+    ],
+    [
+        "isCitizenOf",
+        "influences",
+        "actedIn",
+        "exports",
+        "wasCreatedOnDate",
+        "actedIn",
+        "created",
+        "hasDuration",
+        "wasCreatedOnDate",
+    ],
+    [
+        "isMarriedTo",
+        "influences",
+        "actedIn",
+        "actedIn",
+        "wasBornOnDate",
+        "created",
+        "actedIn",
+        "hasDuration",
+        "wasCreatedOnDate",
+    ],
+    [
+        "isMarriedTo",
+        "diedIn",
+        "actedIn",
+        "actedIn",
+        "wasBornIn",
+        "owns",
+        "wasCreatedOnDate",
+        "hasDuration",
+        "wasCreatedOnDate",
+    ],
+];
+
+/// Label sequences of the five diamond-shaped queries of Table 1.
+pub const DIAMOND_LABELS: [[&str; 4]; 5] = [
+    ["livesIn", "isCitizenOf", "isLocatedIn", "linksTo"],
+    ["livesIn", "isCitizenOf", "linksTo", "happenedIn"],
+    ["diedIn", "linksTo", "wasBornIn", "graduatedFrom"],
+    ["diedIn", "linksTo", "wasBornIn", "isLeaderOf"],
+    ["diedIn", "linksTo", "wasBornIn", "hasWonPrize"],
+];
+
+/// One benchmark query: its Table 1 row number, a short name, the query, and
+/// its shape.
+#[derive(Debug, Clone)]
+pub struct BenchmarkQuery {
+    /// Row number in Table 1 (1–10).
+    pub row: usize,
+    /// Short display name, e.g. `CQS-2` or `CQD-3`.
+    pub name: String,
+    /// The resolved conjunctive query.
+    pub query: ConjunctiveQuery,
+    /// The query's shape (snowflake or cycle).
+    pub shape: Shape,
+}
+
+/// Builds the five snowflake queries of Table 1 against `graph`.
+pub fn snowflake_queries(graph: &Graph) -> Result<Vec<BenchmarkQuery>, QueryError> {
+    SNOWFLAKE_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, labels)| {
+            Ok(BenchmarkQuery {
+                row: i + 1,
+                name: format!("CQS-{}", i + 1),
+                query: snowflake(graph.dictionary(), labels)?,
+                shape: Shape::Snowflake,
+            })
+        })
+        .collect()
+}
+
+/// Builds the five diamond queries of Table 1 against `graph`.
+pub fn diamond_queries(graph: &Graph) -> Result<Vec<BenchmarkQuery>, QueryError> {
+    DIAMOND_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, labels)| {
+            Ok(BenchmarkQuery {
+                row: i + 6,
+                name: format!("CQD-{}", i + 1),
+                query: diamond(graph.dictionary(), labels)?,
+                shape: Shape::Cycle,
+            })
+        })
+        .collect()
+}
+
+/// Builds all ten Table 1 queries against `graph`, in row order.
+pub fn table1_queries(graph: &Graph) -> Result<Vec<BenchmarkQuery>, QueryError> {
+    let mut all = snowflake_queries(graph)?;
+    all.extend(diamond_queries(graph)?);
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yago::{generate, YagoConfig};
+    use wireframe_query::QueryGraph;
+
+    #[test]
+    fn all_ten_queries_resolve_against_the_synthetic_dataset() {
+        let g = generate(&YagoConfig::tiny());
+        let all = table1_queries(&g).unwrap();
+        assert_eq!(all.len(), 10);
+        for (i, q) in all.iter().enumerate() {
+            assert_eq!(q.row, i + 1);
+            let qg = QueryGraph::new(&q.query);
+            assert!(qg.is_connected(), "{} must be connected", q.name);
+            match q.shape {
+                Shape::Snowflake => {
+                    assert_eq!(q.query.num_patterns(), 9);
+                    assert!(qg.is_acyclic());
+                }
+                Shape::Cycle => {
+                    assert_eq!(q.query.num_patterns(), 4);
+                    assert!(qg.is_cyclic());
+                }
+                other => panic!("unexpected shape {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn names_follow_the_table() {
+        let g = generate(&YagoConfig::tiny());
+        let all = table1_queries(&g).unwrap();
+        assert_eq!(all[0].name, "CQS-1");
+        assert_eq!(all[4].name, "CQS-5");
+        assert_eq!(all[5].name, "CQD-1");
+        assert_eq!(all[9].name, "CQD-5");
+    }
+
+    #[test]
+    fn label_tables_use_only_core_vocabulary() {
+        use crate::vocab::CORE_PREDICATES;
+        let known: Vec<&str> = CORE_PREDICATES.iter().map(|p| p.label).collect();
+        for row in SNOWFLAKE_LABELS.iter() {
+            for l in row {
+                assert!(known.contains(l), "{l} not in vocabulary");
+            }
+        }
+        for row in DIAMOND_LABELS.iter() {
+            for l in row {
+                assert!(known.contains(l), "{l} not in vocabulary");
+            }
+        }
+    }
+}

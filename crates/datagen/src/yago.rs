@@ -1,0 +1,325 @@
+//! The synthetic YAGO-like dataset generator.
+//!
+//! The paper benchmarks over YAGO2s (242 M triples, 104 distinct predicates),
+//! which is not redistributable here; this generator produces a seeded,
+//! scalable stand-in with the structural properties the experiment depends on:
+//!
+//! * the twenty predicates used by the Table 1 queries, with realistic
+//!   domain/range pools and Zipf-skewed object popularity (heavy fan-in/out),
+//! * *planted* instances of each Table 1 query shape, so every benchmark query
+//!   is valid and non-empty (the role the paper's query miner plays), with
+//!   controllable multiplicities — multiplicative in the number of embeddings
+//!   but only additive in answer-graph size, which is exactly the gap the
+//!   answer-graph approach exploits,
+//! * cross-core "near miss" edges for the cyclic (diamond) queries, which
+//!   survive node burnback without participating in any embedding and thus
+//!   reproduce the paper's observation that diamond answer graphs are larger
+//!   than ideal,
+//! * filler predicates to pad the vocabulary to YAGO2s's 104 predicates.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wireframe_graph::{Graph, GraphBuilder};
+
+use crate::vocab::{filler_label, Pool, PredicateSpec, CORE_PREDICATES, FILLER_PREDICATES};
+use crate::workloads::{DIAMOND_LABELS, SNOWFLAKE_LABELS};
+
+/// Configuration of the synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YagoConfig {
+    /// Size of the `Person` pool; every other pool scales relative to it.
+    pub scale: usize,
+    /// RNG seed — the same configuration always produces the same graph.
+    pub seed: u64,
+    /// Planted query cores per snowflake benchmark query.
+    pub snowflake_cores: usize,
+    /// Spoke fan-out of planted snowflakes (targets per hub edge).
+    pub snowflake_spoke_fanout: usize,
+    /// Leaf fan-out of planted snowflakes (targets per spoke-leaf edge).
+    pub snowflake_leaf_fanout: usize,
+    /// Planted query cores per diamond benchmark query.
+    pub diamond_cores: usize,
+    /// Branch fan-out of planted diamonds (targets per arm).
+    pub diamond_branch_fanout: usize,
+    /// Number of closing nodes shared by the two arms of a planted diamond.
+    pub diamond_closure: usize,
+    /// Whether to pad the vocabulary with the filler predicates.
+    pub include_filler: bool,
+}
+
+/// Default RNG seed shared by [`YagoConfig::default`] and
+/// [`YagoConfig::benchmark`], so their graphs overlap structurally.
+pub const DEFAULT_SEED: u64 = 0x5EED_2020;
+
+impl Default for YagoConfig {
+    fn default() -> Self {
+        YagoConfig {
+            scale: 2_000,
+            seed: DEFAULT_SEED,
+            snowflake_cores: 8,
+            snowflake_spoke_fanout: 2,
+            snowflake_leaf_fanout: 3,
+            diamond_cores: 24,
+            diamond_branch_fanout: 3,
+            diamond_closure: 4,
+            include_filler: true,
+        }
+    }
+}
+
+impl YagoConfig {
+    /// A tiny configuration for unit and property tests (a few thousand triples).
+    pub fn tiny() -> Self {
+        YagoConfig {
+            scale: 200,
+            seed: 7,
+            snowflake_cores: 2,
+            snowflake_spoke_fanout: 1,
+            snowflake_leaf_fanout: 2,
+            diamond_cores: 4,
+            diamond_branch_fanout: 2,
+            diamond_closure: 2,
+            include_filler: false,
+        }
+    }
+
+    /// The configuration used by the benchmark harness: large enough that the
+    /// factorization gap is in the thousands, small enough to run on a laptop.
+    pub fn benchmark() -> Self {
+        YagoConfig {
+            scale: 20_000,
+            seed: DEFAULT_SEED,
+            snowflake_cores: 12,
+            snowflake_spoke_fanout: 2,
+            snowflake_leaf_fanout: 4,
+            diamond_cores: 60,
+            diamond_branch_fanout: 4,
+            diamond_closure: 5,
+            include_filler: true,
+        }
+    }
+
+    /// A mid-size configuration for integration tests.
+    pub fn small() -> Self {
+        YagoConfig {
+            scale: 1_000,
+            seed: 11,
+            snowflake_cores: 3,
+            snowflake_spoke_fanout: 2,
+            snowflake_leaf_fanout: 2,
+            diamond_cores: 8,
+            diamond_branch_fanout: 2,
+            diamond_closure: 3,
+            include_filler: false,
+        }
+    }
+}
+
+/// Generates the synthetic dataset for `config`.
+pub fn generate(config: &YagoConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = GraphBuilder::new();
+
+    // Background facts for the core vocabulary.
+    for spec in &CORE_PREDICATES {
+        generate_background(&mut b, &mut rng, config, spec);
+    }
+
+    // Planted benchmark structures.
+    for (qi, labels) in SNOWFLAKE_LABELS.iter().enumerate() {
+        plant_snowflake(&mut b, &mut rng, config, qi, labels);
+    }
+    for (qi, labels) in DIAMOND_LABELS.iter().enumerate() {
+        plant_diamond(&mut b, &mut rng, config, qi, labels);
+    }
+
+    // Filler predicates to pad the vocabulary.
+    if config.include_filler {
+        for i in 0..FILLER_PREDICATES {
+            let label = filler_label(i);
+            let count = (config.scale / 20).max(4);
+            for _ in 0..count {
+                let s = pool_entity(&mut rng, config, Pool::Article, 0.8);
+                let o = pool_entity(&mut rng, config, Pool::Article, 0.8);
+                b.add(&s, &label, &o);
+            }
+        }
+    }
+
+    b.build()
+}
+
+/// Number of entities in a pool under `config`.
+fn pool_size(config: &YagoConfig, pool: Pool) -> usize {
+    ((config.scale as f64 * pool.relative_size()) as usize).max(4)
+}
+
+/// Draws an entity label from a pool with Zipf-like skew: higher `skew`
+/// concentrates the draws on low indexes (popular entities).
+fn pool_entity(rng: &mut SmallRng, config: &YagoConfig, pool: Pool, skew: f64) -> String {
+    let n = pool_size(config, pool);
+    let u: f64 = rng.gen::<f64>();
+    let idx = ((n as f64) * u.powf(1.0 + skew)) as usize;
+    format!("{}{}", pool.prefix(), idx.min(n - 1))
+}
+
+fn generate_background(
+    b: &mut GraphBuilder,
+    rng: &mut SmallRng,
+    config: &YagoConfig,
+    spec: &PredicateSpec,
+) {
+    let domain_size = pool_size(config, spec.domain);
+    let edges = (domain_size as f64 * spec.edges_per_subject) as usize;
+    for _ in 0..edges {
+        let s = pool_entity(rng, config, spec.domain, 0.2);
+        let o = pool_entity(rng, config, spec.range, spec.object_skew);
+        b.add(&s, spec.label, &o);
+    }
+}
+
+/// Plants `config.snowflake_cores` instances of one snowflake query: a hub with
+/// three spokes, each spoke with two leaf predicates. Leaf targets are drawn
+/// from small shared pools so that fan-in keeps the answer graph compact while
+/// the number of embeddings multiplies.
+fn plant_snowflake(
+    b: &mut GraphBuilder,
+    rng: &mut SmallRng,
+    config: &YagoConfig,
+    query_idx: usize,
+    labels: &[&str; 9],
+) {
+    let spoke_fanout = config.snowflake_spoke_fanout.max(1);
+    let leaf_fanout = config.snowflake_leaf_fanout.max(1);
+    for core in 0..config.snowflake_cores {
+        let hub = format!("sfq{query_idx}_hub{core}");
+        for spoke in 0..3 {
+            for si in 0..spoke_fanout {
+                let mid = format!("sfq{query_idx}_c{core}_s{spoke}_{si}");
+                b.add(&hub, labels[spoke], &mid);
+                for leaf_pos in 0..2 {
+                    let label = labels[3 + 2 * spoke + leaf_pos];
+                    for _ in 0..leaf_fanout {
+                        // Shared leaf pool per (query, spoke, leaf position):
+                        // multiple mids point at the same few leaves.
+                        let leaf_pool = leaf_fanout * 4;
+                        let leaf = format!(
+                            "sfq{query_idx}_leaf{spoke}_{leaf_pos}_{}",
+                            rng.gen_range(0..leaf_pool)
+                        );
+                        b.add(&mid, label, &leaf);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Plants `config.diamond_cores` instances of one diamond query
+/// (`?x p1 ?y . ?x p2 ?z . ?y p3 ?w . ?z p4 ?w`), plus cross-core "near miss"
+/// `p3` edges that survive node burnback without belonging to any embedding.
+fn plant_diamond(
+    b: &mut GraphBuilder,
+    rng: &mut SmallRng,
+    config: &YagoConfig,
+    query_idx: usize,
+    labels: &[&str; 4],
+) {
+    let branches = config.diamond_branch_fanout.max(1);
+    let closure = config.diamond_closure.max(1);
+    let cores = config.diamond_cores;
+    for core in 0..cores {
+        let x = format!("dmq{query_idx}_x{core}");
+        let ws: Vec<String> = (0..closure)
+            .map(|k| format!("dmq{query_idx}_w{core}_{k}"))
+            .collect();
+        for i in 0..branches {
+            let y = format!("dmq{query_idx}_y{core}_{i}");
+            b.add(&x, labels[0], &y);
+            for w in &ws {
+                b.add(&y, labels[2], w);
+            }
+            // Cross-core near miss: this y also reaches the next core's
+            // closing nodes through p3, but that core's p2 arm never meets
+            // them from this x, so the edge is spurious for the answer graph.
+            if cores > 1 {
+                let other = (core + 1) % cores;
+                let w_other = format!("dmq{query_idx}_w{other}_{}", rng.gen_range(0..closure));
+                b.add(&y, labels[2], &w_other);
+            }
+        }
+        for j in 0..branches {
+            let z = format!("dmq{query_idx}_z{core}_{j}");
+            b.add(&x, labels[1], &z);
+            for w in &ws {
+                b.add(&z, labels[3], w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&YagoConfig::tiny());
+        let b = generate(&YagoConfig::tiny());
+        assert_eq!(a.triple_count(), b.triple_count());
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.predicate_count(), b.predicate_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&YagoConfig::tiny());
+        let mut cfg = YagoConfig::tiny();
+        cfg.seed = 8;
+        let b = generate(&cfg);
+        assert_ne!(a.triple_count(), b.triple_count());
+    }
+
+    #[test]
+    fn full_vocabulary_when_filler_enabled() {
+        let mut cfg = YagoConfig::tiny();
+        cfg.include_filler = true;
+        let g = generate(&cfg);
+        assert_eq!(
+            g.predicate_count(),
+            104,
+            "YAGO2s has 104 distinct predicates"
+        );
+    }
+
+    #[test]
+    fn core_predicates_are_present_and_populated() {
+        let g = generate(&YagoConfig::tiny());
+        for spec in &CORE_PREDICATES {
+            let p = g
+                .dictionary()
+                .predicate_id(spec.label)
+                .unwrap_or_else(|| panic!("{} missing", spec.label));
+            assert!(
+                g.predicate_cardinality(p) > 0,
+                "{} has no edges",
+                spec.label
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_up_adds_triples() {
+        let small = generate(&YagoConfig::tiny());
+        let bigger = generate(&YagoConfig::small());
+        assert!(bigger.triple_count() > small.triple_count());
+    }
+
+    #[test]
+    fn pool_sizes_scale() {
+        let cfg = YagoConfig::tiny();
+        assert!(pool_size(&cfg, Pool::Person) >= pool_size(&cfg, Pool::Country));
+        assert!(pool_size(&cfg, Pool::Country) >= 4);
+    }
+}

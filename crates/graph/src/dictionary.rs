@@ -1,0 +1,172 @@
+//! String dictionaries mapping node and predicate labels to dense identifiers.
+//!
+//! RDF data is string-heavy; every serious RDF store dictionary-encodes the
+//! strings once at load time and evaluates queries entirely over the integer
+//! identifiers. The paper's prototype does the same on top of PostgreSQL
+//! ("indexes on the string dictionary"). [`Dictionary`] holds both directions
+//! of the mapping for nodes and predicates separately.
+
+use std::collections::HashMap;
+
+use crate::ids::{NodeId, PredId};
+
+/// Bidirectional mapping between strings and dense identifiers for one
+/// namespace (nodes or predicates).
+#[derive(Debug, Default, Clone)]
+struct Interner {
+    to_id: HashMap<String, u32>,
+    to_str: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.to_id.get(s) {
+            return id;
+        }
+        let id = self.to_str.len() as u32;
+        self.to_id.insert(s.to_owned(), id);
+        self.to_str.push(s.to_owned());
+        id
+    }
+
+    fn lookup(&self, s: &str) -> Option<u32> {
+        self.to_id.get(s).copied()
+    }
+
+    fn resolve(&self, id: u32) -> Option<&str> {
+        self.to_str.get(id as usize).map(String::as_str)
+    }
+
+    fn len(&self) -> usize {
+        self.to_str.len()
+    }
+}
+
+/// Dictionary for a graph: interns node labels and predicate labels into
+/// [`NodeId`]s and [`PredId`]s respectively.
+///
+/// The two namespaces are independent; a string may appear both as a node and
+/// as a predicate label with unrelated identifiers.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    nodes: Interner,
+    predicates: Interner,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a node label, returning its identifier (allocating a fresh one
+    /// if the label has not been seen before).
+    pub fn intern_node(&mut self, label: &str) -> NodeId {
+        NodeId(self.nodes.intern(label))
+    }
+
+    /// Interns a predicate label, returning its identifier.
+    pub fn intern_predicate(&mut self, label: &str) -> PredId {
+        PredId(self.predicates.intern(label))
+    }
+
+    /// Looks up an existing node label without interning it.
+    pub fn node_id(&self, label: &str) -> Option<NodeId> {
+        self.nodes.lookup(label).map(NodeId)
+    }
+
+    /// Looks up an existing predicate label without interning it.
+    pub fn predicate_id(&self, label: &str) -> Option<PredId> {
+        self.predicates.lookup(label).map(PredId)
+    }
+
+    /// Returns the label of a node identifier, if it exists.
+    pub fn node_label(&self, id: NodeId) -> Option<&str> {
+        self.nodes.resolve(id.0)
+    }
+
+    /// Returns the label of a predicate identifier, if it exists.
+    pub fn predicate_label(&self, id: PredId) -> Option<&str> {
+        self.predicates.resolve(id.0)
+    }
+
+    /// Number of distinct node labels interned so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct predicate labels interned so far.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Iterates over all predicate identifiers with their labels.
+    pub fn predicates(&self) -> impl Iterator<Item = (PredId, &str)> + '_ {
+        self.predicates
+            .to_str
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (PredId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern_node("alice");
+        let b = d.intern_node("bob");
+        let a2 = d.intern_node("alice");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.node_count(), 2);
+    }
+
+    #[test]
+    fn namespaces_are_independent() {
+        let mut d = Dictionary::new();
+        let n = d.intern_node("knows");
+        let p = d.intern_predicate("knows");
+        assert_eq!(n.0, 0);
+        assert_eq!(p.0, 0);
+        assert_eq!(d.node_label(n), Some("knows"));
+        assert_eq!(d.predicate_label(p), Some("knows"));
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut d = Dictionary::new();
+        d.intern_predicate("actedIn");
+        assert_eq!(d.predicate_id("actedIn"), Some(PredId(0)));
+        assert_eq!(d.predicate_id("missing"), None);
+        assert_eq!(d.node_id("missing"), None);
+    }
+
+    #[test]
+    fn resolve_unknown_id_is_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.node_label(NodeId(0)), None);
+        assert_eq!(d.predicate_label(PredId(3)), None);
+    }
+
+    #[test]
+    fn predicates_iterator_lists_all() {
+        let mut d = Dictionary::new();
+        d.intern_predicate("a");
+        d.intern_predicate("b");
+        let all: Vec<_> = d.predicates().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(all, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            let id = d.intern_node(&format!("node{i}"));
+            assert_eq!(id.index(), i);
+        }
+    }
+}

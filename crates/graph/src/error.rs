@@ -1,0 +1,56 @@
+//! Error type for graph loading and construction.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while loading or building graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A malformed input line or term.
+    Parse(String),
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            GraphError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error() {
+        let e = GraphError::Parse("bad line".into());
+        assert_eq!(e.to_string(), "parse error: bad line");
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::new(io::ErrorKind::NotFound, "missing"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Degree histograms: distribution statistics beyond the 1-gram averages.
+//!
+//! The catalog's 1-gram statistics summarize every predicate by averages
+//! (fan-out, fan-in). Real edge labels are heavily skewed — exactly the
+//! situation in which averages mislead a cost model. A [`DegreeHistogram`]
+//! records the full degree distribution of one predicate end (min, max,
+//! percentiles, a small equi-depth histogram), giving planners and dataset
+//! reports a faithful picture of the skew that makes factorization pay off.
+
+use crate::index::PredicateIndex;
+use crate::stats::End;
+
+/// Summary of the distribution of node degrees on one end of one predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeHistogram {
+    /// Which end of the predicate the degrees describe.
+    pub end: End,
+    /// Number of distinct nodes with at least one edge on this end.
+    pub distinct_nodes: usize,
+    /// Total number of edges.
+    pub total_edges: usize,
+    /// Smallest degree (0 when the predicate is empty).
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// 90th percentile degree.
+    pub p90: usize,
+    /// 99th percentile degree.
+    pub p99: usize,
+    /// Equi-depth bucket boundaries (ascending degree values), at most
+    /// [`DegreeHistogram::BUCKETS`] of them.
+    pub bucket_bounds: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Number of equi-depth buckets kept.
+    pub const BUCKETS: usize = 8;
+
+    /// Builds the histogram for one end of a predicate's index.
+    pub fn build(index: &PredicateIndex, end: End) -> Self {
+        let mut degrees: Vec<usize> = match end {
+            End::Subject => index.pairs().iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            End::Object => index.pairs().iter().map(|&(_, o)| o).collect::<Vec<_>>(),
+        }
+        .chunk_degrees();
+
+        degrees.sort_unstable();
+        let distinct_nodes = degrees.len();
+        let total_edges = index.len();
+        if degrees.is_empty() {
+            return DegreeHistogram {
+                end,
+                distinct_nodes: 0,
+                total_edges: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                p90: 0,
+                p99: 0,
+                bucket_bounds: Vec::new(),
+            };
+        }
+        let percentile = |p: f64| -> usize {
+            let idx = ((degrees.len() as f64 - 1.0) * p).round() as usize;
+            degrees[idx.min(degrees.len() - 1)]
+        };
+        let bucket_bounds = (1..=Self::BUCKETS)
+            .map(|i| percentile(i as f64 / Self::BUCKETS as f64))
+            .collect();
+        DegreeHistogram {
+            end,
+            distinct_nodes,
+            total_edges,
+            min: degrees[0],
+            max: *degrees.last().expect("non-empty"),
+            mean: total_edges as f64 / distinct_nodes as f64,
+            median: percentile(0.5),
+            p90: percentile(0.9),
+            p99: percentile(0.99),
+            bucket_bounds,
+        }
+    }
+
+    /// A simple skew indicator: `max / mean` (1.0 for perfectly uniform degrees).
+    pub fn skew(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max as f64 / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Helper: turn a multiset of node identifiers into the list of per-node counts.
+trait ChunkDegrees {
+    fn chunk_degrees(self) -> Vec<usize>;
+}
+
+impl ChunkDegrees for Vec<crate::ids::NodeId> {
+    fn chunk_degrees(mut self) -> Vec<usize> {
+        self.sort_unstable();
+        let mut out = Vec::new();
+        let mut run = 0usize;
+        let mut prev: Option<crate::ids::NodeId> = None;
+        for v in self {
+            if prev == Some(v) {
+                run += 1;
+            } else {
+                if run > 0 {
+                    out.push(run);
+                }
+                run = 1;
+                prev = Some(v);
+            }
+        }
+        if run > 0 {
+            out.push(run);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn hub_index() -> crate::store::Graph {
+        let mut b = GraphBuilder::new();
+        // hub receives 10 edges; nine other objects receive one each.
+        for i in 0..10 {
+            b.add(&format!("s{i}"), "P", "hub");
+        }
+        for i in 0..9 {
+            b.add(&format!("t{i}"), "P", &format!("o{i}"));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn object_histogram_captures_the_hub() {
+        let g = hub_index();
+        let p = g.dictionary().predicate_id("P").unwrap();
+        let h = DegreeHistogram::build(g.index(p), End::Object);
+        assert_eq!(h.distinct_nodes, 10);
+        assert_eq!(h.total_edges, 19);
+        assert_eq!(h.max, 10);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.median, 1);
+        assert!(h.p99 >= h.p90);
+        assert!(h.skew() > 3.0, "the hub makes the distribution skewed");
+        assert_eq!(h.bucket_bounds.len(), DegreeHistogram::BUCKETS);
+    }
+
+    #[test]
+    fn subject_histogram_is_uniform_here() {
+        let g = hub_index();
+        let p = g.dictionary().predicate_id("P").unwrap();
+        let h = DegreeHistogram::build(g.index(p), End::Subject);
+        assert_eq!(h.max, 1);
+        assert!((h.mean - 1.0).abs() < 1e-9);
+        assert!((h.skew() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_predicate_histogram() {
+        let mut b = GraphBuilder::new();
+        b.intern_predicate("Q");
+        b.add("a", "P", "b");
+        let g = b.build();
+        let q = g.dictionary().predicate_id("Q").unwrap();
+        let h = DegreeHistogram::build(g.index(q), End::Subject);
+        assert_eq!(h.distinct_nodes, 0);
+        assert_eq!(h.max, 0);
+        assert_eq!(h.skew(), 0.0);
+        assert!(h.bucket_bounds.is_empty());
+    }
+
+    #[test]
+    fn mean_times_distinct_equals_edges() {
+        let g = hub_index();
+        let p = g.dictionary().predicate_id("P").unwrap();
+        for end in [End::Subject, End::Object] {
+            let h = DegreeHistogram::build(g.index(p), end);
+            let reconstructed = (h.mean * h.distinct_nodes as f64).round() as usize;
+            assert_eq!(reconstructed, h.total_edges);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Strongly-typed identifiers for dictionary-encoded graph elements.
+//!
+//! All strings (node IRIs/literals and predicate labels) are interned by the
+//! [`Dictionary`](crate::dictionary::Dictionary) into dense `u32` identifiers.
+//! Using newtypes instead of bare integers prevents accidentally mixing node
+//! and predicate identifiers, which index different dictionaries.
+
+use std::fmt;
+
+/// Identifier of a graph node (an RDF subject or object) after dictionary
+/// encoding. Node identifiers are dense: a graph with `n` distinct nodes uses
+/// identifiers `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge label (an RDF predicate) after dictionary encoding.
+/// Predicate identifiers are dense: a graph with `p` distinct predicates uses
+/// identifiers `0..p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize`, suitable for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PredId {
+    /// Returns the identifier as a `usize`, suitable for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for PredId {
+    fn from(v: u32) -> Self {
+        PredId(v)
+    }
+}
+
+/// A dictionary-encoded RDF triple: a directed edge `subject --predicate--> object`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// Source node of the edge.
+    pub subject: NodeId,
+    /// Edge label.
+    pub predicate: PredId,
+    /// Target node of the edge.
+    pub object: NodeId,
+}
+
+impl Triple {
+    /// Creates a new triple.
+    #[inline]
+    pub fn new(subject: NodeId, predicate: PredId, object: NodeId) -> Self {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(NodeId::from(42u32), n);
+        assert_eq!(n.to_string(), "n42");
+    }
+
+    #[test]
+    fn pred_id_roundtrip() {
+        let p = PredId(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(PredId::from(7u32), p);
+        assert_eq!(p.to_string(), "p7");
+    }
+
+    #[test]
+    fn triple_ordering_is_spo() {
+        let a = Triple::new(NodeId(1), PredId(0), NodeId(5));
+        let b = Triple::new(NodeId(1), PredId(1), NodeId(0));
+        let c = Triple::new(NodeId(2), PredId(0), NodeId(0));
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn triple_display() {
+        let t = Triple::new(NodeId(1), PredId(2), NodeId(3));
+        assert_eq!(t.to_string(), "(n1 p2 n3)");
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-predicate adjacency indexes.
+//!
+//! The answer-graph evaluator's unit of work is the *edge walk*: retrieving
+//! the data edges with a given label that are incident to a given node, or
+//! scanning all edges with a given label. A [`PredicateIndex`] provides both
+//! directions as CSR (compressed sparse row) adjacency over the dense node
+//! identifiers, plus a sorted pair list for full scans and membership tests.
+//! Together the per-predicate indexes play the role of the six composite
+//! subject/predicate/object indexes the paper builds in PostgreSQL.
+
+use crate::ids::NodeId;
+
+/// Adjacency in one direction for a single predicate, stored as CSR over the
+/// graph's dense node-identifier space.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes into `targets` for source node `v`.
+    offsets: Vec<u32>,
+    /// Neighbor lists, sorted within each source node's range.
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    fn build(num_nodes: usize, mut pairs: Vec<(NodeId, NodeId)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u32; num_nodes + 1];
+        for &(src, _) in &pairs {
+            offsets[src.index() + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = pairs.into_iter().map(|(_, dst)| dst).collect();
+        Csr { offsets, targets }
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+}
+
+/// All edges carrying one predicate label, indexed in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct PredicateIndex {
+    /// Distinct `(subject, object)` pairs, sorted by `(subject, object)`.
+    pairs: Vec<(NodeId, NodeId)>,
+    forward: Csr,
+    backward: Csr,
+    distinct_subjects: usize,
+    distinct_objects: usize,
+}
+
+impl PredicateIndex {
+    /// Builds the index for one predicate from its raw (possibly duplicated)
+    /// edge list. `num_nodes` is the size of the graph's node-identifier space.
+    pub fn build(num_nodes: usize, mut pairs: Vec<(NodeId, NodeId)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let reversed: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(s, o)| (o, s)).collect();
+        let forward = Csr::build(num_nodes, pairs.clone());
+        let backward = Csr::build(num_nodes, reversed);
+        let distinct_subjects = count_distinct_sorted(pairs.iter().map(|&(s, _)| s));
+        let mut objects: Vec<NodeId> = pairs.iter().map(|&(_, o)| o).collect();
+        objects.sort_unstable();
+        let distinct_objects = count_distinct_sorted(objects.into_iter());
+        PredicateIndex {
+            pairs,
+            forward,
+            backward,
+            distinct_subjects,
+            distinct_objects,
+        }
+    }
+
+    /// All distinct `(subject, object)` pairs with this predicate, sorted.
+    #[inline]
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Number of distinct edges with this predicate.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether this predicate has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Objects reachable from `subject` over this predicate (sorted).
+    #[inline]
+    pub fn objects_of(&self, subject: NodeId) -> &[NodeId] {
+        self.forward.neighbors(subject)
+    }
+
+    /// Subjects reaching `object` over this predicate (sorted).
+    #[inline]
+    pub fn subjects_of(&self, object: NodeId) -> &[NodeId] {
+        self.backward.neighbors(object)
+    }
+
+    /// Out-degree of `subject` under this predicate.
+    #[inline]
+    pub fn out_degree(&self, subject: NodeId) -> usize {
+        self.forward.degree(subject)
+    }
+
+    /// In-degree of `object` under this predicate.
+    #[inline]
+    pub fn in_degree(&self, object: NodeId) -> usize {
+        self.backward.degree(object)
+    }
+
+    /// Membership test for a specific edge.
+    #[inline]
+    pub fn has_edge(&self, subject: NodeId, object: NodeId) -> bool {
+        self.forward
+            .neighbors(subject)
+            .binary_search(&object)
+            .is_ok()
+    }
+
+    /// Number of distinct subjects appearing in this predicate's edges.
+    #[inline]
+    pub fn distinct_subjects(&self) -> usize {
+        self.distinct_subjects
+    }
+
+    /// Number of distinct objects appearing in this predicate's edges.
+    #[inline]
+    pub fn distinct_objects(&self) -> usize {
+        self.distinct_objects
+    }
+}
+
+fn count_distinct_sorted<I: Iterator<Item = NodeId>>(iter: I) -> usize {
+    let mut count = 0;
+    let mut prev: Option<NodeId> = None;
+    for v in iter {
+        if prev != Some(v) {
+            count += 1;
+            prev = Some(v);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn sample() -> PredicateIndex {
+        // edges: 0->1, 0->2, 1->2, 3->2, plus a duplicate of 0->1
+        PredicateIndex::build(
+            5,
+            vec![
+                (n(0), n(1)),
+                (n(0), n(2)),
+                (n(1), n(2)),
+                (n(3), n(2)),
+                (n(0), n(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let idx = sample();
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn forward_and_backward_adjacency() {
+        let idx = sample();
+        assert_eq!(idx.objects_of(n(0)), &[n(1), n(2)]);
+        assert_eq!(idx.objects_of(n(1)), &[n(2)]);
+        assert_eq!(idx.objects_of(n(2)), &[] as &[NodeId]);
+        assert_eq!(idx.subjects_of(n(2)), &[n(0), n(1), n(3)]);
+        assert_eq!(idx.subjects_of(n(1)), &[n(0)]);
+    }
+
+    #[test]
+    fn degrees() {
+        let idx = sample();
+        assert_eq!(idx.out_degree(n(0)), 2);
+        assert_eq!(idx.in_degree(n(2)), 3);
+        assert_eq!(idx.out_degree(n(4)), 0);
+    }
+
+    #[test]
+    fn membership() {
+        let idx = sample();
+        assert!(idx.has_edge(n(0), n(1)));
+        assert!(idx.has_edge(n(3), n(2)));
+        assert!(!idx.has_edge(n(1), n(0)));
+        assert!(!idx.has_edge(n(4), n(4)));
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let idx = sample();
+        assert_eq!(idx.distinct_subjects(), 3); // 0, 1, 3
+        assert_eq!(idx.distinct_objects(), 2); // 1, 2
+    }
+
+    #[test]
+    fn out_of_range_node_is_empty() {
+        let idx = sample();
+        assert_eq!(idx.objects_of(n(100)), &[] as &[NodeId]);
+        assert_eq!(idx.subjects_of(n(100)), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = PredicateIndex::build(3, vec![]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.pairs(), &[]);
+        assert_eq!(idx.distinct_subjects(), 0);
+        assert_eq!(idx.distinct_objects(), 0);
+    }
+}

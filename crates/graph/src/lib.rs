@@ -1,0 +1,44 @@
+//! # wireframe-graph — in-memory RDF graph substrate
+//!
+//! The storage layer underneath the Wireframe answer-graph engine: a
+//! dictionary-encoded, edge-labeled, directed multigraph with per-predicate
+//! forward/backward adjacency indexes and a statistics catalog.
+//!
+//! The paper's prototype stores its data as a PostgreSQL triple table with six
+//! composite indexes over (subject, predicate, object) permutations plus a
+//! string dictionary. This crate provides the equivalent *access paths* as an
+//! embeddable in-memory store:
+//!
+//! * [`Dictionary`] — string ↔ dense-identifier mapping for nodes and predicates,
+//! * [`Graph::objects_of`] / [`Graph::subjects_of`] — the `(s, p, ?)` / `(?, p, o)`
+//!   index lookups,
+//! * [`Graph::pairs`] — the `(?, p, ?)` scan,
+//! * [`Graph::has_triple`] — the `(s, p, o)` membership probe,
+//! * [`Catalog`] — 1-gram and 2-gram edge-label statistics for the cost-based
+//!   planners.
+//!
+//! Graphs are immutable once built ([`GraphBuilder::build`]), so all query
+//! engines read them without synchronization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dictionary;
+mod error;
+mod histogram;
+mod ids;
+mod index;
+mod ntriples;
+mod stats;
+mod store;
+
+pub use builder::GraphBuilder;
+pub use dictionary::Dictionary;
+pub use error::GraphError;
+pub use histogram::DegreeHistogram;
+pub use ids::{NodeId, PredId, Triple};
+pub use index::PredicateIndex;
+pub use ntriples::{load, load_into, parse_line, write};
+pub use stats::{BigramStats, Catalog, End, UnigramStats};
+pub use store::Graph;

@@ -1,0 +1,171 @@
+//! The in-memory graph store.
+//!
+//! A [`Graph`] is an immutable, dictionary-encoded, edge-labeled directed
+//! multigraph (an RDF dataset), built once by a [`GraphBuilder`](crate::builder::GraphBuilder)
+//! and then queried read-only by all engines. Immutability after build keeps
+//! the evaluators free of locking and matches the paper's setting (a static
+//! dataset loaded into each system before the benchmark).
+
+use crate::dictionary::Dictionary;
+use crate::ids::{NodeId, PredId, Triple};
+use crate::index::PredicateIndex;
+use crate::stats::Catalog;
+
+/// An immutable edge-labeled directed graph with per-predicate indexes and a
+/// precomputed statistics catalog.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    dictionary: Dictionary,
+    num_nodes: usize,
+    num_triples: usize,
+    indexes: Vec<PredicateIndex>,
+    catalog: Catalog,
+}
+
+impl Graph {
+    /// Assembles a graph from its parts. Intended to be called by
+    /// [`GraphBuilder::build`](crate::builder::GraphBuilder::build).
+    pub(crate) fn from_parts(
+        dictionary: Dictionary,
+        num_nodes: usize,
+        indexes: Vec<PredicateIndex>,
+    ) -> Self {
+        let num_triples = indexes.iter().map(PredicateIndex::len).sum();
+        let catalog = Catalog::compute(&indexes, num_nodes);
+        Graph {
+            dictionary,
+            num_nodes,
+            num_triples,
+            indexes,
+            catalog,
+        }
+    }
+
+    /// The string dictionary used to encode this graph.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Number of distinct nodes.
+    pub fn node_count(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of distinct predicates (edge labels).
+    pub fn predicate_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Number of distinct triples (labeled edges).
+    pub fn triple_count(&self) -> usize {
+        self.num_triples
+    }
+
+    /// The statistics catalog (1-gram and 2-gram edge-label statistics).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The index for one predicate. Panics if `p` is out of range; use
+    /// [`Dictionary::predicate_id`](crate::dictionary::Dictionary::predicate_id)
+    /// to obtain valid identifiers.
+    pub fn index(&self, p: PredId) -> &PredicateIndex {
+        &self.indexes[p.index()]
+    }
+
+    /// All distinct `(subject, object)` pairs carrying predicate `p`.
+    pub fn pairs(&self, p: PredId) -> &[(NodeId, NodeId)] {
+        self.index(p).pairs()
+    }
+
+    /// Objects reachable from `s` over predicate `p`.
+    pub fn objects_of(&self, p: PredId, s: NodeId) -> &[NodeId] {
+        self.index(p).objects_of(s)
+    }
+
+    /// Subjects reaching `o` over predicate `p`.
+    pub fn subjects_of(&self, p: PredId, o: NodeId) -> &[NodeId] {
+        self.index(p).subjects_of(o)
+    }
+
+    /// Whether the triple `(s, p, o)` is present.
+    pub fn has_triple(&self, s: NodeId, p: PredId, o: NodeId) -> bool {
+        self.index(p).has_edge(s, o)
+    }
+
+    /// Number of edges carrying predicate `p`.
+    pub fn predicate_cardinality(&self, p: PredId) -> usize {
+        self.index(p).len()
+    }
+
+    /// Iterates over every triple in the graph, grouped by predicate.
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.indexes.iter().enumerate().flat_map(|(p, idx)| {
+            idx.pairs()
+                .iter()
+                .map(move |&(s, o)| Triple::new(s, PredId(p as u32), o))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::ids::{NodeId, PredId};
+
+    fn sample() -> crate::store::Graph {
+        let mut b = GraphBuilder::new();
+        b.add("a", "knows", "b");
+        b.add("b", "knows", "c");
+        b.add("a", "likes", "c");
+        b.add("a", "knows", "b"); // duplicate
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.predicate_count(), 2);
+        assert_eq!(g.triple_count(), 3);
+    }
+
+    #[test]
+    fn lookups_by_label() {
+        let g = sample();
+        let knows = g.dictionary().predicate_id("knows").unwrap();
+        let a = g.dictionary().node_id("a").unwrap();
+        let b = g.dictionary().node_id("b").unwrap();
+        assert_eq!(g.objects_of(knows, a), &[b]);
+        assert!(g.has_triple(a, knows, b));
+        assert_eq!(g.predicate_cardinality(knows), 2);
+    }
+
+    #[test]
+    fn triples_iterator_covers_everything() {
+        let g = sample();
+        let all: Vec<_> = g.triples().collect();
+        assert_eq!(all.len(), 3);
+        assert!(all
+            .iter()
+            .all(|t| g.has_triple(t.subject, t.predicate, t.object)));
+    }
+
+    #[test]
+    fn catalog_is_computed() {
+        let g = sample();
+        let knows = g.dictionary().predicate_id("knows").unwrap();
+        assert_eq!(g.catalog().unigram(knows).cardinality, 2);
+    }
+
+    #[test]
+    fn absent_edges() {
+        let g = sample();
+        let likes = g.dictionary().predicate_id("likes").unwrap();
+        let b = g.dictionary().node_id("b").unwrap();
+        let c = g.dictionary().node_id("c").unwrap();
+        assert!(!g.has_triple(b, likes, c));
+        assert_eq!(g.objects_of(likes, b), &[] as &[NodeId]);
+        let _ = PredId(0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Canonical forms and signatures of conjunctive queries.
+//!
+//! The query miner samples template instantiations; many of them are the same
+//! query up to variable renaming or pattern reordering (e.g. a snowflake whose
+//! two spokes swap places). A canonical signature lets the miner — and any
+//! workload cache — deduplicate such queries cheaply. Two queries with the
+//! same signature are isomorphic *as labeled query graphs* (same pattern
+//! multiset under a consistent variable renaming); the signature is computed
+//! by iterative partition refinement over the query graph, the standard
+//! colour-refinement approach, which is exact for the tree-shaped and
+//! single-cycle queries used throughout this workspace.
+
+use std::collections::BTreeMap;
+
+use crate::cq::ConjunctiveQuery;
+use crate::term::{Term, Var};
+
+/// A canonical signature of a query's structure and labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuerySignature(String);
+
+impl QuerySignature {
+    /// The signature as a string (stable across runs; suitable as a map key).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Computes the canonical signature of `query`.
+pub fn signature(query: &ConjunctiveQuery) -> QuerySignature {
+    // Initial colour of a variable: multiset of (direction, predicate) of its
+    // incident patterns, plus how often it occurs as subject/object of each.
+    let mut colors: Vec<String> = (0..query.num_vars() as u32)
+        .map(|v| initial_color(query, Var(v)))
+        .collect();
+
+    // Refine: a variable's colour becomes (own colour, sorted multiset of
+    // (edge descriptor, neighbour colour)). Iterate as many times as there are
+    // variables — enough for colour propagation across any simple query graph.
+    for _ in 0..query.num_vars().max(1) {
+        let mut next = Vec::with_capacity(colors.len());
+        for v in 0..query.num_vars() as u32 {
+            let v = Var(v);
+            let mut neighbour_part: Vec<String> = Vec::new();
+            for p in query.patterns() {
+                let (s, o) = (p.subject, p.object);
+                match (s, o) {
+                    (Term::Var(a), Term::Var(b)) if a == v && b == v => {
+                        neighbour_part.push(format!("loop:p{}", p.predicate.0));
+                    }
+                    (Term::Var(a), Term::Var(b)) if a == v => {
+                        neighbour_part.push(format!(
+                            "out:p{}:{}",
+                            p.predicate.0,
+                            colors[b.index()]
+                        ));
+                    }
+                    (Term::Var(a), Term::Var(b)) if b == v => {
+                        neighbour_part.push(format!("in:p{}:{}", p.predicate.0, colors[a.index()]));
+                    }
+                    (Term::Var(a), Term::Const(c)) if a == v => {
+                        neighbour_part.push(format!("out-const:p{}:n{}", p.predicate.0, c.0));
+                    }
+                    (Term::Const(c), Term::Var(b)) if b == v => {
+                        neighbour_part.push(format!("in-const:p{}:n{}", p.predicate.0, c.0));
+                    }
+                    _ => {}
+                }
+            }
+            neighbour_part.sort();
+            next.push(format!(
+                "({})[{}]",
+                colors[v.index()],
+                neighbour_part.join(",")
+            ));
+        }
+        // Compress colours to small dense names, assigned by the sorted order
+        // of the expanded colour strings so the naming is independent of the
+        // query's variable numbering.
+        let mut distinct = next.clone();
+        distinct.sort();
+        distinct.dedup();
+        let rename: BTreeMap<&String, usize> =
+            distinct.iter().enumerate().map(|(i, c)| (c, i)).collect();
+        colors = next.iter().map(|c| format!("c{}", rename[c])).collect();
+    }
+
+    // The signature: the sorted multiset of pattern descriptors under the
+    // final colours, plus the sorted multiset of projected-variable colours
+    // and the DISTINCT flag.
+    let mut edges: Vec<String> = query
+        .patterns()
+        .iter()
+        .map(|p| {
+            let end = |t: Term| match t {
+                Term::Var(v) => colors[v.index()].clone(),
+                Term::Const(c) => format!("n{}", c.0),
+            };
+            format!("{}--p{}-->{}", end(p.subject), p.predicate.0, end(p.object))
+        })
+        .collect();
+    edges.sort();
+    let mut projection: Vec<String> = query
+        .projection()
+        .iter()
+        .map(|v| colors[v.index()].clone())
+        .collect();
+    projection.sort();
+    QuerySignature(format!(
+        "distinct={} edges=[{}] proj=[{}]",
+        query.distinct(),
+        edges.join(";"),
+        projection.join(";")
+    ))
+}
+
+fn initial_color(query: &ConjunctiveQuery, v: Var) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for p in query.patterns() {
+        if p.subject.as_var() == Some(v) {
+            parts.push(format!("s:p{}", p.predicate.0));
+        }
+        if p.object.as_var() == Some(v) {
+            parts.push(format!("o:p{}", p.predicate.0));
+        }
+    }
+    parts.sort();
+    let projected = query.projection().contains(&v);
+    format!("proj={projected};{}", parts.join(","))
+}
+
+/// Whether two queries have the same canonical signature (structurally
+/// equivalent up to variable renaming and pattern order).
+pub fn equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    signature(a) == signature(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqBuilder;
+    use wireframe_graph::{Dictionary, GraphBuilder};
+
+    fn dict() -> Dictionary {
+        let mut b = GraphBuilder::new();
+        for p in ["A", "B", "C", "D"] {
+            b.add("x", p, "y");
+        }
+        b.build().dictionary().clone()
+    }
+
+    fn build(patterns: &[(&str, &str, &str)]) -> ConjunctiveQuery {
+        let d = dict();
+        let mut b = CqBuilder::new(&d);
+        for (s, p, o) in patterns {
+            b.pattern(s, p, o).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn renamed_variables_are_equivalent() {
+        let a = build(&[("?x", "A", "?y"), ("?y", "B", "?z")]);
+        let b = build(&[("?u", "A", "?v"), ("?v", "B", "?w")]);
+        assert!(equivalent(&a, &b));
+        assert_eq!(signature(&a), signature(&b));
+    }
+
+    #[test]
+    fn reordered_patterns_are_equivalent() {
+        let a = build(&[("?x", "A", "?y"), ("?x", "B", "?z")]);
+        let b = build(&[("?x", "B", "?z"), ("?x", "A", "?y")]);
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_labels_are_not_equivalent() {
+        let a = build(&[("?x", "A", "?y"), ("?y", "B", "?z")]);
+        let b = build(&[("?x", "A", "?y"), ("?y", "C", "?z")]);
+        assert!(!equivalent(&a, &b));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let a = build(&[("?x", "A", "?y")]);
+        let b = build(&[("?y", "A", "?x")]);
+        // A single edge is symmetric under renaming, so these ARE equivalent…
+        assert!(equivalent(&a, &b));
+        // …but a chain and its reversal with distinct labels are not.
+        let c = build(&[("?x", "A", "?y"), ("?y", "B", "?z")]);
+        let d = build(&[("?x", "B", "?y"), ("?y", "A", "?z")]);
+        assert!(!equivalent(&c, &d));
+    }
+
+    #[test]
+    fn star_spoke_swap_is_equivalent() {
+        let a = build(&[("?h", "A", "?l1"), ("?h", "B", "?l2"), ("?h", "C", "?l3")]);
+        let b = build(&[("?h", "C", "?x"), ("?h", "A", "?y"), ("?h", "B", "?z")]);
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn diamond_vs_square_of_same_labels() {
+        // Diamond: x->y, x->z, y->w, z->w. Chain-square: x->y->w<-z<-x is the
+        // same shape; a genuinely different wiring (a path) must differ.
+        let diamond = build(&[
+            ("?x", "A", "?y"),
+            ("?x", "B", "?z"),
+            ("?y", "C", "?w"),
+            ("?z", "D", "?w"),
+        ]);
+        let path = build(&[
+            ("?x", "A", "?y"),
+            ("?y", "B", "?z"),
+            ("?z", "C", "?w"),
+            ("?w", "D", "?v"),
+        ]);
+        assert!(!equivalent(&diamond, &path));
+    }
+
+    #[test]
+    fn distinct_flag_and_projection_participate() {
+        let d = dict();
+        let mut b1 = CqBuilder::new(&d);
+        b1.project("?x");
+        b1.pattern("?x", "A", "?y").unwrap();
+        let q1 = b1.build().unwrap();
+        let mut b2 = CqBuilder::new(&d);
+        b2.project("?y");
+        b2.pattern("?x", "A", "?y").unwrap();
+        let q2 = b2.build().unwrap();
+        assert!(
+            !equivalent(&q1, &q2),
+            "projecting the source vs the target differs"
+        );
+
+        let mut b3 = CqBuilder::new(&d);
+        b3.distinct();
+        b3.project("?x");
+        b3.pattern("?x", "A", "?y").unwrap();
+        let q3 = b3.build().unwrap();
+        assert!(!equivalent(&q1, &q3), "DISTINCT is part of the signature");
+    }
+
+    #[test]
+    fn constants_participate() {
+        let d = dict();
+        let mut b1 = CqBuilder::new(&d);
+        b1.pattern("?a", "A", "x").unwrap();
+        let q1 = b1.build().unwrap();
+        let mut b2 = CqBuilder::new(&d);
+        b2.pattern("?a", "A", "y").unwrap();
+        let q2 = b2.build().unwrap();
+        assert!(!equivalent(&q1, &q2));
+    }
+}

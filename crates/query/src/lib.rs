@@ -1,0 +1,33 @@
+//! # wireframe-query — the conjunctive-query model
+//!
+//! Types and analyses for SPARQL conjunctive queries (CQs), shared by the
+//! Wireframe answer-graph engine and the baseline engines:
+//!
+//! * [`ConjunctiveQuery`], [`TriplePattern`], [`Term`], [`Var`] — the query
+//!   representation after resolving labels against the graph dictionary,
+//! * [`parse_query`] — a parser for the SPARQL CQ fragment,
+//! * [`CqBuilder`] — programmatic construction,
+//! * [`QueryGraph`], [`Shape`] — the structural (query-graph) view used by the
+//!   planners: connectivity, cycle detection, fundamental cycles, shape
+//!   classification,
+//! * [`EmbeddingSet`] — the result type shared by all engines,
+//! * [`templates`] — the paper's CQ_S (snowflake) and CQ_D (diamond) templates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+mod cq;
+mod error;
+mod parser;
+mod query_graph;
+mod results;
+pub mod templates;
+mod term;
+
+pub use cq::{const_term, ConjunctiveQuery, CqBuilder, TriplePattern};
+pub use error::QueryError;
+pub use parser::parse_query;
+pub use query_graph::{QueryEdge, QueryGraph, Shape};
+pub use results::EmbeddingSet;
+pub use term::{Term, Var};

@@ -1,0 +1,496 @@
+//! The query graph: structural analysis of a conjunctive query.
+//!
+//! The query graph of a CQ has the query's variables as nodes and its triple
+//! patterns as (labeled, undirected for structural purposes) edges. Both of
+//! Wireframe's planners reason over this structure: the Edgifier walks it to
+//! enumerate connected edge orders, the Triangulator needs its cycles, and the
+//! evaluation model differs between acyclic and cyclic queries.
+
+use std::collections::VecDeque;
+
+use crate::cq::ConjunctiveQuery;
+use crate::term::Var;
+
+/// Coarse classification of a query graph's shape, used by the workload
+/// generators and for reporting. The paper's micro-benchmark uses
+/// [`Shape::Snowflake`] (acyclic) and [`Shape::Cycle`] (the diamond) queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// A single path: every variable has degree at most two and there is no cycle.
+    Chain,
+    /// One center variable adjacent to every pattern; all other variables are leaves.
+    Star,
+    /// A depth-two tree: a center whose neighbors may have leaf children
+    /// (the paper's CQ_S template).
+    Snowflake,
+    /// Any other acyclic (tree-shaped) query.
+    Tree,
+    /// A single simple cycle covering every pattern (the paper's CQ_D diamond
+    /// template is the 4-cycle).
+    Cycle,
+    /// Cyclic with additional structure beyond one simple cycle.
+    Cyclic,
+}
+
+/// One edge of the query graph: a triple pattern viewed structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryEdge {
+    /// Index of the pattern in [`ConjunctiveQuery::patterns`].
+    pub pattern: usize,
+    /// Subject-side variable, if the subject is a variable.
+    pub subject_var: Option<Var>,
+    /// Object-side variable, if the object is a variable.
+    pub object_var: Option<Var>,
+}
+
+impl QueryEdge {
+    /// The variables incident to this edge (0, 1 or 2).
+    pub fn vars(&self) -> impl Iterator<Item = Var> {
+        [self.subject_var, self.object_var].into_iter().flatten()
+    }
+
+    /// The variable at the other end from `v`, for var-var edges.
+    /// Returns `None` if `v` is not incident or the other end is a constant.
+    pub fn other(&self, v: Var) -> Option<Var> {
+        match (self.subject_var, self.object_var) {
+            (Some(a), Some(b)) if a == v => Some(b),
+            (Some(a), Some(b)) if b == v => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether both ends are variables.
+    pub fn is_var_var(&self) -> bool {
+        self.subject_var.is_some() && self.object_var.is_some()
+    }
+}
+
+/// Structural view of a conjunctive query.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    num_vars: usize,
+    edges: Vec<QueryEdge>,
+    /// For each variable, the indexes (into `edges`) of its incident edges.
+    incident: Vec<Vec<usize>>,
+}
+
+impl QueryGraph {
+    /// Builds the query graph of `query`.
+    pub fn new(query: &ConjunctiveQuery) -> Self {
+        let num_vars = query.num_vars();
+        let mut edges = Vec::with_capacity(query.num_patterns());
+        let mut incident = vec![Vec::new(); num_vars];
+        for (i, p) in query.patterns().iter().enumerate() {
+            let e = QueryEdge {
+                pattern: i,
+                subject_var: p.subject.as_var(),
+                object_var: p.object.as_var(),
+            };
+            for v in e.vars() {
+                // A self-loop (?x p ?x) is recorded once per end; dedup here.
+                if incident[v.index()].last() != Some(&i) {
+                    incident[v.index()].push(i);
+                }
+            }
+            edges.push(e);
+        }
+        QueryGraph {
+            num_vars,
+            edges,
+            incident,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The structural edges, indexed like the query's patterns.
+    pub fn edges(&self) -> &[QueryEdge] {
+        &self.edges
+    }
+
+    /// Edges incident to variable `v`.
+    pub fn incident_edges(&self, v: Var) -> &[usize] {
+        &self.incident[v.index()]
+    }
+
+    /// Degree of variable `v` (number of incident patterns).
+    pub fn degree(&self, v: Var) -> usize {
+        self.incident[v.index()].len()
+    }
+
+    /// Variables adjacent to `v` through var-var edges.
+    pub fn neighbors(&self, v: Var) -> Vec<Var> {
+        let mut out: Vec<Var> = self.incident[v.index()]
+            .iter()
+            .filter_map(|&e| self.edges[e].other(v))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether every pattern is reachable from every other through shared
+    /// variables. Single-pattern queries are connected.
+    pub fn is_connected(&self) -> bool {
+        if self.edges.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.edges.len()];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0usize);
+        while let Some(e) = queue.pop_front() {
+            for v in self.edges[e].vars() {
+                for &f in self.incident_edges(v) {
+                    if !seen[f] {
+                        seen[f] = true;
+                        queue.push_back(f);
+                    }
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Whether the query graph contains a cycle (including two parallel
+    /// patterns between the same pair of variables, and self-loops).
+    pub fn is_cyclic(&self) -> bool {
+        !self.fundamental_cycles().is_empty()
+    }
+
+    /// Whether the query is acyclic (tree-shaped). Patterns with constant ends
+    /// never create cycles.
+    pub fn is_acyclic(&self) -> bool {
+        !self.is_cyclic()
+    }
+
+    /// Returns one set of fundamental cycles as lists of pattern indexes.
+    ///
+    /// A spanning forest of the var-var subgraph is grown; every non-tree edge
+    /// closes exactly one cycle consisting of that edge plus the tree path
+    /// between its endpoints. Self-loops yield single-edge cycles.
+    pub fn fundamental_cycles(&self) -> Vec<Vec<usize>> {
+        let mut cycles = Vec::new();
+        // parent[v] = (parent var, edge index) within the spanning forest.
+        let mut parent: Vec<Option<(Var, usize)>> = vec![None; self.num_vars];
+        let mut visited = vec![false; self.num_vars];
+        let mut depth = vec![0usize; self.num_vars];
+        let mut in_tree = vec![false; self.edges.len()];
+
+        for root in 0..self.num_vars as u32 {
+            let root = Var(root);
+            if visited[root.index()] {
+                continue;
+            }
+            visited[root.index()] = true;
+            let mut queue = VecDeque::new();
+            queue.push_back(root);
+            while let Some(v) = queue.pop_front() {
+                for &e in self.incident_edges(v) {
+                    let edge = self.edges[e];
+                    if !edge.is_var_var() {
+                        continue;
+                    }
+                    if edge.subject_var == edge.object_var {
+                        continue; // self-loops handled below
+                    }
+                    let Some(u) = edge.other(v) else { continue };
+                    if !visited[u.index()] {
+                        visited[u.index()] = true;
+                        parent[u.index()] = Some((v, e));
+                        depth[u.index()] = depth[v.index()] + 1;
+                        in_tree[e] = true;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+
+        for (e, edge) in self.edges.iter().enumerate() {
+            if !edge.is_var_var() || in_tree[e] {
+                continue;
+            }
+            let (Some(a), Some(b)) = (edge.subject_var, edge.object_var) else {
+                continue;
+            };
+            if a == b {
+                cycles.push(vec![e]);
+                continue;
+            }
+            // Walk both endpoints up to their lowest common ancestor.
+            let mut path = vec![e];
+            let (mut x, mut y) = (a, b);
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            while depth[x.index()] > depth[y.index()] {
+                let (p, pe) = parent[x.index()].expect("non-root must have parent");
+                left.push(pe);
+                x = p;
+            }
+            while depth[y.index()] > depth[x.index()] {
+                let (p, pe) = parent[y.index()].expect("non-root must have parent");
+                right.push(pe);
+                y = p;
+            }
+            while x != y {
+                let (px, pex) = parent[x.index()].expect("non-root must have parent");
+                let (py, pey) = parent[y.index()].expect("non-root must have parent");
+                left.push(pex);
+                right.push(pey);
+                x = px;
+                y = py;
+            }
+            path.extend(left);
+            path.extend(right.into_iter().rev());
+            cycles.push(path);
+        }
+        cycles
+    }
+
+    /// Classifies the query graph's shape.
+    pub fn shape(&self) -> Shape {
+        if self.is_cyclic() {
+            // A single simple cycle covering all patterns: every variable has
+            // degree 2 and #var-var edges equals #vars touched.
+            let all_var_var = self.edges.iter().all(QueryEdge::is_var_var);
+            let touched: Vec<Var> = (0..self.num_vars as u32)
+                .map(Var)
+                .filter(|v| self.degree(*v) > 0)
+                .collect();
+            let simple_cycle = all_var_var
+                && touched.iter().all(|&v| self.degree(v) == 2)
+                && self.edges.len() == touched.len()
+                && self.is_connected();
+            return if simple_cycle {
+                Shape::Cycle
+            } else {
+                Shape::Cyclic
+            };
+        }
+        let degrees: Vec<usize> = (0..self.num_vars as u32)
+            .map(|v| self.degree(Var(v)))
+            .collect();
+        let max_deg = degrees.iter().copied().max().unwrap_or(0);
+        let num_edges = self.edges.len();
+        if max_deg <= 2 {
+            return Shape::Chain;
+        }
+        // Star: some center is incident to every pattern.
+        if degrees.iter().any(|&d| d == num_edges) {
+            return Shape::Star;
+        }
+        // Snowflake: a depth-two tree rooted at some branching variable.
+        let is_snowflake = (0..self.num_vars as u32)
+            .map(Var)
+            .any(|center| self.degree(center) > 2 && self.is_depth_two_tree(center));
+        if is_snowflake {
+            return Shape::Snowflake;
+        }
+        Shape::Tree
+    }
+
+    fn is_depth_two_tree(&self, center: Var) -> bool {
+        // Every edge must be incident to the center or to a neighbor of it,
+        // and edges between two non-center variables must have exactly one
+        // endpoint adjacent to the center (no deeper chains).
+        let neighbors = self.neighbors(center);
+        for e in &self.edges {
+            let vars: Vec<Var> = e.vars().collect();
+            if vars.contains(&center) {
+                continue;
+            }
+            let adjacent_ends = vars.iter().filter(|v| neighbors.contains(v)).count();
+            if adjacent_ends == 0 {
+                return false;
+            }
+            if vars.len() == 2 && adjacent_ends == 2 {
+                // Would connect two branches: still depth two, allowed only if acyclic,
+                // but then one end is a leaf of the other — treat as deeper structure.
+                return false;
+            }
+            // An edge from a neighbor to a leaf: fine.
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqBuilder;
+    use wireframe_graph::{Dictionary, GraphBuilder};
+
+    fn dict() -> Dictionary {
+        let mut b = GraphBuilder::new();
+        for p in ["A", "B", "C", "D", "E", "F", "G", "H", "I"] {
+            b.add("n1", p, "n2");
+        }
+        b.build().dictionary().clone()
+    }
+
+    fn build(patterns: &[(&str, &str, &str)]) -> (ConjunctiveQuery, QueryGraph) {
+        let d = dict();
+        let mut b = CqBuilder::new(&d);
+        for (s, p, o) in patterns {
+            b.pattern(s, p, o).unwrap();
+        }
+        let q = b.build().unwrap();
+        let g = QueryGraph::new(&q);
+        (q, g)
+    }
+
+    #[test]
+    fn chain_shape() {
+        let (_, g) = build(&[("?w", "A", "?x"), ("?x", "B", "?y"), ("?y", "C", "?z")]);
+        assert!(g.is_connected());
+        assert!(g.is_acyclic());
+        assert_eq!(g.shape(), Shape::Chain);
+        assert_eq!(g.degree(Var(1)), 2);
+        assert_eq!(g.neighbors(Var(1)), vec![Var(0), Var(2)]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let (_, g) = build(&[("?c", "A", "?x"), ("?c", "B", "?y"), ("?c", "C", "?z")]);
+        assert_eq!(g.shape(), Shape::Star);
+    }
+
+    #[test]
+    fn snowflake_shape() {
+        // center x -> m, y; m -> a, b; y -> c
+        let (_, g) = build(&[
+            ("?x", "A", "?m"),
+            ("?x", "B", "?y"),
+            ("?x", "I", "?n"),
+            ("?m", "C", "?a"),
+            ("?m", "D", "?b"),
+            ("?y", "E", "?c"),
+        ]);
+        assert!(g.is_acyclic());
+        assert_eq!(g.shape(), Shape::Snowflake);
+    }
+
+    #[test]
+    fn deep_tree_is_not_snowflake() {
+        // chain off a star: x -> m -> a -> q (depth 3)
+        let (_, g) = build(&[
+            ("?x", "A", "?m"),
+            ("?x", "B", "?y"),
+            ("?x", "C", "?z"),
+            ("?m", "D", "?a"),
+            ("?a", "E", "?q"),
+        ]);
+        assert!(g.is_acyclic());
+        assert_eq!(g.shape(), Shape::Tree);
+    }
+
+    #[test]
+    fn diamond_is_simple_cycle() {
+        let (_, g) = build(&[
+            ("?x", "A", "?y"),
+            ("?x", "B", "?z"),
+            ("?y", "C", "?w"),
+            ("?z", "D", "?w"),
+        ]);
+        assert!(g.is_cyclic());
+        assert_eq!(g.shape(), Shape::Cycle);
+        let cycles = g.fundamental_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(
+            cycles[0].len(),
+            4,
+            "the diamond's one cycle uses all 4 edges"
+        );
+    }
+
+    #[test]
+    fn cycle_with_tail_is_cyclic_not_cycle() {
+        let (_, g) = build(&[
+            ("?x", "A", "?y"),
+            ("?y", "B", "?z"),
+            ("?z", "C", "?x"),
+            ("?z", "D", "?t"),
+        ]);
+        assert_eq!(g.shape(), Shape::Cyclic);
+    }
+
+    #[test]
+    fn parallel_edges_form_a_cycle() {
+        let (_, g) = build(&[("?x", "A", "?y"), ("?x", "B", "?y")]);
+        assert!(g.is_cyclic());
+        let cycles = g.fundamental_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let (_, g) = build(&[("?x", "A", "?x"), ("?x", "B", "?y")]);
+        assert!(g.is_cyclic());
+        assert!(g.fundamental_cycles().iter().any(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn constant_patterns_do_not_create_cycles() {
+        let d = dict();
+        let mut b = CqBuilder::new(&d);
+        b.pattern("?x", "A", "?y").unwrap();
+        b.pattern("?x", "B", "n1").unwrap();
+        b.pattern("?y", "C", "n1").unwrap();
+        let q = b.build().unwrap();
+        let g = QueryGraph::new(&q);
+        assert!(g.is_acyclic());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_query_detected() {
+        let (_, g) = build(&[("?a", "A", "?b"), ("?c", "B", "?d")]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn single_pattern_is_connected_chain() {
+        let (_, g) = build(&[("?a", "A", "?b")]);
+        assert!(g.is_connected());
+        assert_eq!(g.shape(), Shape::Chain);
+    }
+
+    #[test]
+    fn pentagon_cycle_detected() {
+        let (_, g) = build(&[
+            ("?a", "A", "?b"),
+            ("?b", "B", "?c"),
+            ("?c", "C", "?d"),
+            ("?d", "D", "?e"),
+            ("?e", "E", "?a"),
+        ]);
+        assert_eq!(g.shape(), Shape::Cycle);
+        assert_eq!(g.fundamental_cycles()[0].len(), 5);
+    }
+
+    #[test]
+    fn two_cycles_give_two_fundamental_cycles() {
+        let (_, g) = build(&[
+            ("?a", "A", "?b"),
+            ("?b", "B", "?c"),
+            ("?c", "C", "?a"),
+            ("?c", "D", "?d"),
+            ("?d", "E", "?e"),
+            ("?e", "F", "?c"),
+        ]);
+        assert_eq!(g.fundamental_cycles().len(), 2);
+        assert_eq!(g.shape(), Shape::Cyclic);
+    }
+
+    #[test]
+    fn incident_edges_match_patterns() {
+        let (q, g) = build(&[("?x", "A", "?y"), ("?y", "B", "?z")]);
+        let y = q.var_by_name("y").unwrap();
+        assert_eq!(g.incident_edges(y), &[0, 1]);
+        assert_eq!(g.edges()[0].other(y), Some(q.var_by_name("x").unwrap()));
+    }
+}

@@ -1,0 +1,212 @@
+//! Query results: embeddings of a conjunctive query.
+//!
+//! An *embedding* (an "answer") is a homomorphic mapping of the query's
+//! variables to data-graph nodes such that every triple pattern maps onto a
+//! data edge with the pattern's predicate. The answer of a CQ is the set of
+//! embeddings, each restricted to the projected variables.
+//!
+//! Every engine in this workspace (Wireframe and the baselines) returns an
+//! [`EmbeddingSet`], which therefore doubles as the equivalence oracle in the
+//! cross-engine tests.
+
+use std::collections::HashSet;
+
+use wireframe_graph::NodeId;
+
+use crate::cq::ConjunctiveQuery;
+use crate::term::Var;
+
+/// A set of embedding tuples with an explicit variable schema.
+#[derive(Debug, Clone, Default)]
+pub struct EmbeddingSet {
+    schema: Vec<Var>,
+    tuples: Vec<Vec<NodeId>>,
+}
+
+impl EmbeddingSet {
+    /// Creates an embedding set from a schema and tuples. Every tuple must
+    /// have the schema's arity.
+    pub fn new(schema: Vec<Var>, tuples: Vec<Vec<NodeId>>) -> Self {
+        debug_assert!(tuples.iter().all(|t| t.len() == schema.len()));
+        EmbeddingSet { schema, tuples }
+    }
+
+    /// An empty result with the given schema.
+    pub fn empty(schema: Vec<Var>) -> Self {
+        EmbeddingSet {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The variables of each tuple, in column order.
+    pub fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    /// The embedding tuples.
+    pub fn tuples(&self) -> &[Vec<NodeId>] {
+        &self.tuples
+    }
+
+    /// Number of embeddings.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether there are no embeddings.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The value bound to `v` in tuple `row`, if `v` is in the schema.
+    pub fn value(&self, row: usize, v: Var) -> Option<NodeId> {
+        let col = self.schema.iter().position(|&s| s == v)?;
+        self.tuples.get(row).map(|t| t[col])
+    }
+
+    /// Projects onto the query's projection list (reordering columns), applying
+    /// DISTINCT if the query requests it. Variables in the projection that are
+    /// not in the schema are rejected with `None`.
+    pub fn project(&self, query: &ConjunctiveQuery) -> Option<EmbeddingSet> {
+        let cols: Option<Vec<usize>> = query
+            .projection()
+            .iter()
+            .map(|v| self.schema.iter().position(|s| s == v))
+            .collect();
+        let cols = cols?;
+        let mut tuples: Vec<Vec<NodeId>> = self
+            .tuples
+            .iter()
+            .map(|t| cols.iter().map(|&c| t[c]).collect())
+            .collect();
+        if query.distinct() {
+            let mut seen = HashSet::with_capacity(tuples.len());
+            tuples.retain(|t| seen.insert(t.clone()));
+        }
+        Some(EmbeddingSet {
+            schema: query.projection().to_vec(),
+            tuples,
+        })
+    }
+
+    /// Returns the tuples re-ordered into a canonical form (columns sorted by
+    /// variable index, rows sorted and deduplicated). Two engines computing the
+    /// same answer produce equal canonical forms regardless of evaluation
+    /// order — this is the comparison used by the equivalence tests.
+    pub fn canonicalize(&self) -> EmbeddingSet {
+        let mut order: Vec<usize> = (0..self.schema.len()).collect();
+        order.sort_by_key(|&i| self.schema[i]);
+        let schema: Vec<Var> = order.iter().map(|&i| self.schema[i]).collect();
+        let mut tuples: Vec<Vec<NodeId>> = self
+            .tuples
+            .iter()
+            .map(|t| order.iter().map(|&i| t[i]).collect())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        EmbeddingSet { schema, tuples }
+    }
+
+    /// Whether two embedding sets denote the same answer (same canonical form).
+    pub fn same_answer(&self, other: &EmbeddingSet) -> bool {
+        let a = self.canonicalize();
+        let b = other.canonicalize();
+        a.schema == b.schema && a.tuples == b.tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqBuilder;
+    use wireframe_graph::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let e = EmbeddingSet::new(
+            vec![Var(0), Var(1)],
+            vec![vec![n(1), n(2)], vec![n(3), n(4)]],
+        );
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.value(0, Var(1)), Some(n(2)));
+        assert_eq!(e.value(0, Var(9)), None);
+        assert_eq!(e.value(5, Var(0)), None);
+    }
+
+    #[test]
+    fn canonicalize_sorts_columns_and_rows() {
+        let a = EmbeddingSet::new(
+            vec![Var(1), Var(0)],
+            vec![vec![n(2), n(1)], vec![n(4), n(3)]],
+        );
+        let b = EmbeddingSet::new(
+            vec![Var(0), Var(1)],
+            vec![vec![n(3), n(4)], vec![n(1), n(2)]],
+        );
+        assert!(a.same_answer(&b));
+    }
+
+    #[test]
+    fn same_answer_detects_difference() {
+        let a = EmbeddingSet::new(vec![Var(0)], vec![vec![n(1)]]);
+        let b = EmbeddingSet::new(vec![Var(0)], vec![vec![n(2)]]);
+        assert!(!a.same_answer(&b));
+        let c = EmbeddingSet::new(vec![Var(1)], vec![vec![n(1)]]);
+        assert!(
+            !a.same_answer(&c),
+            "different schemas are different answers"
+        );
+    }
+
+    #[test]
+    fn canonicalize_dedups() {
+        let a = EmbeddingSet::new(vec![Var(0)], vec![vec![n(1)], vec![n(1)]]);
+        assert_eq!(a.canonicalize().len(), 1);
+    }
+
+    #[test]
+    fn project_with_distinct() {
+        let mut gb = GraphBuilder::new();
+        gb.add("a", "p", "b");
+        let g = gb.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.distinct();
+        qb.project("?x");
+        qb.pattern("?x", "p", "?y").unwrap();
+        let q = qb.build().unwrap();
+
+        // schema (x, y) with duplicate x values
+        let e = EmbeddingSet::new(
+            vec![Var(0), Var(1)],
+            vec![vec![n(0), n(1)], vec![n(0), n(2)]],
+        );
+        let p = e.project(&q).unwrap();
+        assert_eq!(p.schema(), &[Var(0)]);
+        assert_eq!(p.len(), 1, "DISTINCT collapses duplicate projections");
+    }
+
+    #[test]
+    fn project_missing_column_is_none() {
+        let mut gb = GraphBuilder::new();
+        gb.add("a", "p", "b");
+        let g = gb.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "p", "?y").unwrap();
+        let q = qb.build().unwrap();
+        let e = EmbeddingSet::new(vec![Var(0)], vec![vec![n(0)]]);
+        assert!(e.project(&q).is_none(), "schema lacks ?y");
+    }
+
+    #[test]
+    fn empty_set() {
+        let e = EmbeddingSet::empty(vec![Var(0), Var(1)]);
+        assert!(e.is_empty());
+        assert_eq!(e.schema().len(), 2);
+    }
+}

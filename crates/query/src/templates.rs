@@ -1,0 +1,218 @@
+//! Query templates used by the paper's micro-benchmark.
+//!
+//! The paper mines its workload from two templates with placeholders for the
+//! edge labels (Section 5): the nine-edge *snowflake* CQ_S of Figure 3 and the
+//! four-edge *diamond* CQ_D of Figure 4. These constructors instantiate the
+//! templates with concrete predicate labels; the query miner in
+//! `wireframe-datagen` searches for label combinations that yield non-empty
+//! queries.
+
+use wireframe_graph::Dictionary;
+
+use crate::cq::{ConjunctiveQuery, CqBuilder};
+use crate::error::QueryError;
+
+/// Variable names of the snowflake template, in the order used by
+/// [`snowflake`]: the hub `x`, its three spokes `m`, `y`, `z`, and the six
+/// leaves `a`, `b`, `c`, `d`, `e`, `f`.
+pub const SNOWFLAKE_VARS: [&str; 10] = ["x", "m", "y", "z", "a", "b", "c", "d", "e", "f"];
+
+/// Variable names of the diamond template, in the order used by [`diamond`].
+pub const DIAMOND_VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// Instantiates the paper's snowflake template CQ_S (Figure 3) with nine edge
+/// labels. The structure is a depth-two tree:
+///
+/// ```text
+///         x
+///   p1  /  | p2 \  p3
+///      m   y     z
+/// p4 / \p5 |p6\p7 |p8\p9
+///    a  b  c  d   e  f
+/// ```
+///
+/// Edge `i` (1-based) carries `labels[i-1]`, matching Table 1's
+/// "Snowflake-shaped Queries (1/2/.../9)" label lists.
+pub fn snowflake(
+    dictionary: &Dictionary,
+    labels: &[&str; 9],
+) -> Result<ConjunctiveQuery, QueryError> {
+    let edges: [(&str, &str); 9] = [
+        ("?x", "?m"),
+        ("?x", "?y"),
+        ("?x", "?z"),
+        ("?m", "?a"),
+        ("?m", "?b"),
+        ("?y", "?c"),
+        ("?y", "?d"),
+        ("?z", "?e"),
+        ("?z", "?f"),
+    ];
+    let mut b = CqBuilder::new(dictionary);
+    b.distinct();
+    for v in SNOWFLAKE_VARS {
+        b.project(v);
+    }
+    for (i, (s, o)) in edges.iter().enumerate() {
+        b.pattern(s, labels[i], o)?;
+    }
+    b.build()
+}
+
+/// Instantiates the paper's diamond template CQ_D (Figure 4) with four edge
+/// labels. The structure is the 4-cycle
+///
+/// ```text
+///      x
+///  p1 / \ p2
+///    y   z
+///  p3 \ / p4
+///      w
+/// ```
+///
+/// i.e. `?x p1 ?y . ?x p2 ?z . ?y p3 ?w . ?z p4 ?w`, matching Table 1's
+/// "Diamond-shaped Queries (1/2/3/4)" label lists.
+pub fn diamond(
+    dictionary: &Dictionary,
+    labels: &[&str; 4],
+) -> Result<ConjunctiveQuery, QueryError> {
+    let mut b = CqBuilder::new(dictionary);
+    b.distinct();
+    for v in DIAMOND_VARS {
+        b.project(v);
+    }
+    b.pattern("?x", labels[0], "?y")?;
+    b.pattern("?x", labels[1], "?z")?;
+    b.pattern("?y", labels[2], "?w")?;
+    b.pattern("?z", labels[3], "?w")?;
+    b.build()
+}
+
+/// Builds a chain query `?v0 p1 ?v1 . ?v1 p2 ?v2 . …` of arbitrary length
+/// (the running example CQ_C of Figure 1 is the 3-edge instance).
+pub fn chain(dictionary: &Dictionary, labels: &[&str]) -> Result<ConjunctiveQuery, QueryError> {
+    if labels.is_empty() {
+        return Err(QueryError::EmptyQuery);
+    }
+    let mut b = CqBuilder::new(dictionary);
+    for i in 0..=labels.len() {
+        b.project(&format!("v{i}"));
+    }
+    for (i, label) in labels.iter().enumerate() {
+        b.pattern(&format!("?v{i}"), label, &format!("?v{}", i + 1))?;
+    }
+    b.build()
+}
+
+/// Builds a star query with one hub and one leaf per label:
+/// `?hub p1 ?v1 . ?hub p2 ?v2 . …`.
+pub fn star(dictionary: &Dictionary, labels: &[&str]) -> Result<ConjunctiveQuery, QueryError> {
+    if labels.is_empty() {
+        return Err(QueryError::EmptyQuery);
+    }
+    let mut b = CqBuilder::new(dictionary);
+    b.project("hub");
+    for i in 0..labels.len() {
+        b.project(&format!("v{i}"));
+    }
+    for (i, label) in labels.iter().enumerate() {
+        b.pattern("?hub", label, &format!("?v{i}"))?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::{QueryGraph, Shape};
+    use wireframe_graph::GraphBuilder;
+
+    fn dict() -> Dictionary {
+        let mut b = GraphBuilder::new();
+        for p in [
+            "diedIn",
+            "influences",
+            "actedIn",
+            "owns",
+            "wasCreatedOnDate",
+            "created",
+            "hasDuration",
+            "livesIn",
+            "isCitizenOf",
+            "isLocatedIn",
+            "linksTo",
+        ] {
+            b.add("a", p, "b");
+        }
+        b.build().dictionary().clone()
+    }
+
+    #[test]
+    fn snowflake_is_snowflake_shaped() {
+        let d = dict();
+        let q = snowflake(
+            &d,
+            &[
+                "diedIn",
+                "influences",
+                "actedIn",
+                "owns",
+                "wasCreatedOnDate",
+                "actedIn",
+                "created",
+                "hasDuration",
+                "wasCreatedOnDate",
+            ],
+        )
+        .unwrap();
+        assert_eq!(q.num_patterns(), 9);
+        assert_eq!(q.num_vars(), 10);
+        assert!(q.distinct());
+        let g = QueryGraph::new(&q);
+        assert!(g.is_acyclic());
+        assert!(g.is_connected());
+        assert_eq!(g.shape(), Shape::Snowflake);
+    }
+
+    #[test]
+    fn diamond_is_a_cycle() {
+        let d = dict();
+        let q = diamond(&d, &["livesIn", "isCitizenOf", "isLocatedIn", "linksTo"]).unwrap();
+        assert_eq!(q.num_patterns(), 4);
+        assert_eq!(q.num_vars(), 4);
+        let g = QueryGraph::new(&q);
+        assert!(g.is_cyclic());
+        assert_eq!(g.shape(), Shape::Cycle);
+    }
+
+    #[test]
+    fn chain_template() {
+        let d = dict();
+        let q = chain(&d, &["diedIn", "influences", "actedIn"]).unwrap();
+        assert_eq!(q.num_patterns(), 3);
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(QueryGraph::new(&q).shape(), Shape::Chain);
+    }
+
+    #[test]
+    fn star_template() {
+        let d = dict();
+        let q = star(&d, &["diedIn", "influences", "actedIn"]).unwrap();
+        assert_eq!(QueryGraph::new(&q).shape(), Shape::Star);
+        assert_eq!(q.projection().len(), 4);
+    }
+
+    #[test]
+    fn templates_reject_unknown_labels() {
+        let d = dict();
+        assert!(chain(&d, &["missing"]).is_err());
+        assert!(diamond(&d, &["livesIn", "missing", "isLocatedIn", "linksTo"]).is_err());
+    }
+
+    #[test]
+    fn empty_label_lists_rejected() {
+        let d = dict();
+        assert!(matches!(chain(&d, &[]), Err(QueryError::EmptyQuery)));
+        assert!(matches!(star(&d, &[]), Err(QueryError::EmptyQuery)));
+    }
+}

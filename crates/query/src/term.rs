@@ -1,0 +1,96 @@
+//! Query variables and terms.
+
+use std::fmt;
+
+use wireframe_graph::NodeId;
+
+/// A query variable, identified by a dense index within one query.
+/// Variable `Var(0)` is the first variable mentioned in the query, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the variable's index, suitable for indexing per-variable tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// One end of a triple pattern: either a query variable or a constant node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A binding variable.
+    Var(Var),
+    /// A constant, already dictionary-encoded node.
+    Const(NodeId),
+}
+
+impl Term {
+    /// Returns the variable if this term is one.
+    #[inline]
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this term is one.
+    #[inline]
+    pub fn as_const(self) -> Option<NodeId> {
+        match self {
+            Term::Const(n) => Some(n),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Whether this term is a variable.
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<NodeId> for Term {
+    fn from(n: NodeId) -> Self {
+        Term::Const(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_accessors() {
+        let v = Var(3);
+        assert_eq!(v.index(), 3);
+        assert_eq!(v.to_string(), "?3");
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t: Term = Var(1).into();
+        assert!(t.is_var());
+        assert_eq!(t.as_var(), Some(Var(1)));
+        assert_eq!(t.as_const(), None);
+
+        let c: Term = NodeId(9).into();
+        assert!(!c.is_var());
+        assert_eq!(c.as_const(), Some(NodeId(9)));
+        assert_eq!(c.as_var(), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! The query miner of Section 5: sample template instantiations over the
+//! synthetic dataset and keep the valid, non-empty ones.
+//!
+//! Run with `cargo run --release --example query_mining`.
+
+use wireframe::datagen::{generate, QueryMiner, YagoConfig};
+
+fn main() {
+    let graph = generate(&YagoConfig::small());
+    println!(
+        "dataset: {} triples over {} predicates",
+        graph.triple_count(),
+        graph.predicate_count()
+    );
+
+    let mut miner = QueryMiner::new(&graph, 2024);
+
+    let (snowflakes, s_stats) = miner.mine_snowflakes(2_000, 20);
+    println!("\nsnowflake template ({} attempts):", s_stats.attempts);
+    println!("  pruned by 2-gram statistics: {}", s_stats.pruned_by_stats);
+    println!("  verified empty:              {}", s_stats.empty);
+    println!(
+        "  search budget exhausted:     {}",
+        s_stats.budget_exhausted
+    );
+    println!("  mined (valid, non-empty):    {}", s_stats.mined);
+
+    let (diamonds, d_stats) = miner.mine_diamonds(2_000, 20);
+    println!("\ndiamond template ({} attempts):", d_stats.attempts);
+    println!("  pruned by 2-gram statistics: {}", d_stats.pruned_by_stats);
+    println!("  verified empty:              {}", d_stats.empty);
+    println!(
+        "  search budget exhausted:     {}",
+        d_stats.budget_exhausted
+    );
+    println!("  mined (valid, non-empty):    {}", d_stats.mined);
+
+    println!("\nexamples of mined queries:");
+    for q in snowflakes.iter().take(3).chain(diamonds.iter().take(3)) {
+        println!("  {q}");
+    }
+}

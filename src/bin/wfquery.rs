@@ -1,0 +1,166 @@
+//! `wfquery` — run SPARQL conjunctive queries over a triple file from the
+//! command line.
+//!
+//! ```text
+//! wfquery DATA.nt --query 'SELECT ?x ?y WHERE { ?x :knows ?y . }' [options]
+//!
+//! options:
+//!   --query <SPARQL>          the conjunctive query (or pass it on stdin)
+//!   --engine <name>           wireframe (default) | relational | sortmerge | exploration
+//!   --edge-burnback           enable triangulation + edge burnback (wireframe only)
+//!   --explain                 print the plan and phase statistics (wireframe only)
+//!   --limit <N>               print at most N result rows (default 20)
+//!   --count-only              print only the number of embeddings
+//! ```
+//!
+//! The data file uses the formats accepted by `wireframe_graph::load`: either
+//! N-Triples-style `<s> <p> <o> .` lines or bare whitespace-separated
+//! `s p o` lines; `#` comments are skipped.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use wireframe::baseline::{ExplorationEngine, RelationalEngine, SortMergeEngine};
+use wireframe::core::{explain_output, EvalOptions, WireframeEngine};
+use wireframe::graph::Graph;
+use wireframe::query::{parse_query, EmbeddingSet};
+
+struct Options {
+    data_path: String,
+    query: Option<String>,
+    engine: String,
+    edge_burnback: bool,
+    explain: bool,
+    limit: usize,
+    count_only: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: wfquery <triples-file> --query <SPARQL> \
+     [--engine wireframe|relational|sortmerge|exploration] \
+     [--edge-burnback] [--explain] [--limit N] [--count-only]"
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut data_path = None;
+    let mut options = Options {
+        data_path: String::new(),
+        query: None,
+        engine: "wireframe".to_owned(),
+        edge_burnback: false,
+        explain: false,
+        limit: 20,
+        count_only: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--query" => options.query = Some(args.next().ok_or("--query needs a value")?),
+            "--engine" => options.engine = args.next().ok_or("--engine needs a value")?,
+            "--edge-burnback" => options.edge_burnback = true,
+            "--explain" => options.explain = true,
+            "--count-only" => options.count_only = true,
+            "--limit" => {
+                options.limit = args
+                    .next()
+                    .ok_or("--limit needs a value")?
+                    .parse()
+                    .map_err(|_| "--limit must be a non-negative integer".to_owned())?;
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => {
+                if data_path.is_some() {
+                    return Err(format!("unexpected positional argument {other}"));
+                }
+                data_path = Some(other.to_owned());
+            }
+        }
+    }
+    options.data_path = data_path.ok_or_else(|| usage().to_owned())?;
+    Ok(options)
+}
+
+fn print_results(graph: &Graph, results: &EmbeddingSet, limit: usize) {
+    let dict = graph.dictionary();
+    for row in results.tuples().iter().take(limit) {
+        let labels: Vec<&str> = row
+            .iter()
+            .map(|n| dict.node_label(*n).unwrap_or("?"))
+            .collect();
+        println!("{}", labels.join("\t"));
+    }
+    if results.len() > limit {
+        println!("… ({} more rows)", results.len() - limit);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let options = parse_args(std::env::args().skip(1))?;
+
+    let file = std::fs::File::open(&options.data_path)
+        .map_err(|e| format!("cannot open {}: {e}", options.data_path))?;
+    let graph = wireframe::graph::load(std::io::BufReader::new(file))
+        .map_err(|e| format!("cannot load {}: {e}", options.data_path))?;
+    eprintln!(
+        "loaded {}: {} triples, {} predicates, {} nodes",
+        options.data_path,
+        graph.triple_count(),
+        graph.predicate_count(),
+        graph.node_count()
+    );
+
+    let query_text = match &options.query {
+        Some(q) => q.clone(),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read query from stdin: {e}"))?;
+            buf
+        }
+    };
+    let query = parse_query(&query_text, graph.dictionary()).map_err(|e| e.to_string())?;
+
+    let results = match options.engine.as_str() {
+        "wireframe" => {
+            let mut eval = EvalOptions::default();
+            if options.edge_burnback {
+                eval = eval.with_edge_burnback();
+            }
+            let engine = WireframeEngine::with_options(&graph, eval);
+            let out = engine.execute(&query).map_err(|e| e.to_string())?;
+            if options.explain {
+                eprint!("{}", explain_output(&graph, &query, &out));
+            }
+            out.embeddings().clone()
+        }
+        "relational" => RelationalEngine::new(&graph)
+            .evaluate(&query)
+            .map_err(|e| e.to_string())?,
+        "sortmerge" => SortMergeEngine::new(&graph)
+            .evaluate(&query)
+            .map_err(|e| e.to_string())?,
+        "exploration" => ExplorationEngine::new(&graph)
+            .evaluate(&query)
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown engine {other:?}; {}", usage())),
+    };
+
+    if options.count_only {
+        println!("{}", results.len());
+    } else {
+        print_results(&graph, &results, options.limit);
+        eprintln!("{} embeddings", results.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # Wireframe — answer-graph evaluation of SPARQL conjunctive queries
+//!
+//! This is the umbrella crate of the Wireframe workspace, a reproduction of
+//! *"Answer Graph: Factorization Matters in Large Graphs"* (EDBT 2021).
+//! It re-exports the public API of the member crates so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`graph`] — the in-memory RDF triple store and statistics catalog,
+//! * [`query`] — the conjunctive-query model and SPARQL-fragment parser,
+//! * [`core`] — the answer-graph engine (the paper's contribution),
+//! * [`baseline`] — non-factorized reference engines,
+//! * [`datagen`] — synthetic YAGO-like data and the query miner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wireframe::graph::GraphBuilder;
+//! use wireframe::query::parse_query;
+//! use wireframe::core::WireframeEngine;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add("alice", "knows", "bob");
+//! b.add("bob", "knows", "carol");
+//! let g = b.build();
+//!
+//! let q = parse_query("SELECT ?x ?y ?z WHERE { ?x :knows ?y . ?y :knows ?z . }", g.dictionary()).unwrap();
+//! let engine = WireframeEngine::new(&g);
+//! let result = engine.execute(&q).unwrap();
+//! assert_eq!(result.embeddings().len(), 1);
+//! ```
+
+pub use wireframe_baseline as baseline;
+pub use wireframe_core as core;
+pub use wireframe_datagen as datagen;
+pub use wireframe_graph as graph;
+pub use wireframe_query as query;

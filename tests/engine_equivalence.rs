@@ -1,0 +1,156 @@
+//! Cross-engine equivalence on the Table 1 workload over the synthetic
+//! YAGO-like dataset: Wireframe, the relational baseline and the exploration
+//! baseline must return identical answers, and the structural claims of the
+//! paper (|AG| far below |Embeddings| for snowflakes, non-ideal AGs for
+//! diamonds) must hold.
+
+use wireframe::baseline::{ExplorationEngine, RelationalEngine};
+use wireframe::core::{EvalOptions, PlannerKind, WireframeEngine};
+use wireframe::datagen::{generate, table1_queries, YagoConfig};
+use wireframe::query::Shape;
+
+#[test]
+fn all_engines_agree_on_every_table1_query() {
+    let g = generate(&YagoConfig::tiny());
+    let wf = WireframeEngine::new(&g);
+    let rel = RelationalEngine::new(&g);
+    let exp = ExplorationEngine::new(&g);
+
+    for bq in table1_queries(&g).unwrap() {
+        let w = wf.execute(&bq.query).unwrap();
+        let r = rel.evaluate(&bq.query).unwrap();
+        let e = exp.evaluate(&bq.query).unwrap();
+        assert!(
+            w.embeddings().same_answer(&r),
+            "{}: wireframe and relational disagree ({} vs {})",
+            bq.name,
+            w.embedding_count(),
+            r.len()
+        );
+        assert!(
+            w.embeddings().same_answer(&e),
+            "{}: wireframe and exploration disagree",
+            bq.name
+        );
+        assert!(
+            w.embedding_count() > 0,
+            "{}: benchmark queries are non-empty",
+            bq.name
+        );
+    }
+}
+
+#[test]
+fn snowflake_answer_graphs_are_much_smaller_than_their_embeddings() {
+    let g = generate(&YagoConfig::small());
+    let wf = WireframeEngine::new(&g);
+    for bq in table1_queries(&g).unwrap() {
+        if bq.shape != Shape::Snowflake {
+            continue;
+        }
+        let out = wf.execute(&bq.query).unwrap();
+        let ag = out.answer_graph_size();
+        let emb = out.embedding_count();
+        assert!(
+            (emb as f64) >= 2.0 * ag as f64,
+            "{}: expected |Embeddings| ({emb}) to dwarf |AG| ({ag})",
+            bq.name
+        );
+    }
+}
+
+#[test]
+fn diamond_answer_graphs_shrink_under_edge_burnback() {
+    // The paper observes that with node burnback only, diamond AGs can be far
+    // from ideal. Edge burnback (their work in progress) must shrink them
+    // without changing the answer.
+    let g = generate(&YagoConfig::tiny());
+    let plain = WireframeEngine::new(&g);
+    let ideal = WireframeEngine::with_options(&g, EvalOptions::default().with_edge_burnback());
+    let mut any_shrunk = false;
+    for bq in table1_queries(&g).unwrap() {
+        if bq.shape != Shape::Cycle {
+            continue;
+        }
+        let a = plain.execute(&bq.query).unwrap();
+        let b = ideal.execute(&bq.query).unwrap();
+        assert!(a.embeddings().same_answer(b.embeddings()), "{}", bq.name);
+        assert!(
+            b.answer_graph_size() <= a.answer_graph_size(),
+            "{}",
+            bq.name
+        );
+        if b.answer_graph_size() < a.answer_graph_size() {
+            any_shrunk = true;
+        }
+    }
+    assert!(
+        any_shrunk,
+        "the planted near-miss edges should make at least one diamond AG non-ideal"
+    );
+}
+
+#[test]
+fn planner_choice_never_changes_the_answer() {
+    let g = generate(&YagoConfig::tiny());
+    let queries = table1_queries(&g).unwrap();
+    for bq in queries.iter().take(4) {
+        let mut results = Vec::new();
+        for kind in [
+            PlannerKind::DpLeftDeep,
+            PlannerKind::Greedy,
+            PlannerKind::AsWritten,
+        ] {
+            let engine =
+                WireframeEngine::with_options(&g, EvalOptions::default().with_planner(kind));
+            results.push(engine.execute(&bq.query).unwrap());
+        }
+        assert!(
+            results[0].embeddings().same_answer(results[1].embeddings()),
+            "{}",
+            bq.name
+        );
+        assert!(
+            results[0].embeddings().same_answer(results[2].embeddings()),
+            "{}",
+            bq.name
+        );
+        assert_eq!(
+            results[0].answer_graph_size(),
+            results[1].answer_graph_size(),
+            "{}: the final AG is plan-independent",
+            bq.name
+        );
+        assert_eq!(
+            results[0].answer_graph_size(),
+            results[2].answer_graph_size(),
+            "{}",
+            bq.name
+        );
+    }
+}
+
+#[test]
+fn wireframe_walks_fewer_edges_than_exploration_on_snowflakes() {
+    // The core claim: factorized evaluation avoids the redundant edge walks of
+    // per-embedding exploration. Compare the edge-walk counters on the larger
+    // synthetic dataset.
+    let g = generate(&YagoConfig::small());
+    let wf = WireframeEngine::new(&g);
+    let exp = ExplorationEngine::new(&g);
+    let mut wf_total = 0u64;
+    let mut exp_total = 0u64;
+    for bq in table1_queries(&g).unwrap() {
+        if bq.shape != Shape::Snowflake {
+            continue;
+        }
+        let w = wf.execute(&bq.query).unwrap();
+        let (_, stats) = exp.evaluate_with_stats(&bq.query).unwrap();
+        wf_total += w.generation.edge_walks;
+        exp_total += stats.edge_walks;
+    }
+    assert!(
+        wf_total < exp_total,
+        "wireframe should walk fewer data edges in total ({wf_total} vs {exp_total})"
+    );
+}

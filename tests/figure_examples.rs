@@ -1,0 +1,191 @@
+//! Integration tests pinning the paper's worked examples (Figures 1, 2 and 4)
+//! to exact numbers.
+
+use wireframe::core::{triangulate, EvalOptions, WireframeEngine};
+use wireframe::graph::{Graph, GraphBuilder};
+use wireframe::query::{parse_query, QueryGraph, Shape};
+
+/// The data graph of Figures 1 and 2.
+fn figure1_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    for s in ["1", "2", "3"] {
+        b.add(s, "A", "5");
+    }
+    b.add("4", "A", "6");
+    b.add("5", "B", "9");
+    b.add("7", "B", "10");
+    for o in ["12", "13", "14", "15"] {
+        b.add("9", "C", o);
+    }
+    b.add("11", "C", "15");
+    b.build()
+}
+
+/// The Figure 4 scenario: two disjoint diamonds plus two spurious C-edges.
+fn figure4_graph() -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add("3", "A", "4");
+    b.add("3", "B", "2");
+    b.add("4", "C", "1");
+    b.add("2", "D", "1");
+    b.add("7", "A", "8");
+    b.add("7", "B", "6");
+    b.add("8", "C", "5");
+    b.add("6", "D", "5");
+    b.add("4", "C", "5");
+    b.add("8", "C", "1");
+    b.build()
+}
+
+#[test]
+fn figure1_answer_graph_is_eight_edges_and_twelve_embeddings() {
+    let g = figure1_graph();
+    let q = parse_query(
+        "SELECT ?w ?x ?y ?z WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+        g.dictionary(),
+    )
+    .unwrap();
+    let out = WireframeEngine::new(&g).execute(&q).unwrap();
+    assert_eq!(
+        out.answer_graph_size(),
+        8,
+        "Figure 1: eight labeled node pairs"
+    );
+    assert_eq!(
+        out.embedding_count(),
+        12,
+        "Figure 1: twelve embedding tuples"
+    );
+
+    // The answer graph is exactly the red sub-graph of Figure 1.
+    let dict = g.dictionary();
+    let n = |label: &str| dict.node_id(label).unwrap();
+    let a_edges = out.answer_graph.pattern(0);
+    assert!(a_edges.contains(n("1"), n("5")));
+    assert!(a_edges.contains(n("2"), n("5")));
+    assert!(a_edges.contains(n("3"), n("5")));
+    assert!(
+        !a_edges.contains(n("4"), n("6")),
+        "the A-edge 4->6 is burned back"
+    );
+    let b_edges = out.answer_graph.pattern(1);
+    assert_eq!(b_edges.len(), 1);
+    assert!(b_edges.contains(n("5"), n("9")));
+    let c_edges = out.answer_graph.pattern(2);
+    assert_eq!(c_edges.len(), 4);
+    assert!(
+        !c_edges.contains(n("11"), n("15")),
+        "the C-edge 11->15 is burned back"
+    );
+}
+
+#[test]
+fn figure2_trace_shows_extension_and_burnback() {
+    let g = figure1_graph();
+    let q = parse_query(
+        "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+        g.dictionary(),
+    )
+    .unwrap();
+    let engine = WireframeEngine::with_options(&g, EvalOptions::default().with_trace());
+    let out = engine.execute(&q).unwrap();
+    assert_eq!(
+        out.generation.steps.len(),
+        3,
+        "one extension step per query edge"
+    );
+    assert!(
+        out.generation.edges_burned >= 1,
+        "at least one edge (A 4->6 or C 11->15) must be burned back"
+    );
+    let last = out.generation.steps.last().unwrap();
+    assert_eq!(
+        last.ag_edges_after, 8,
+        "the trace ends at the final answer graph"
+    );
+    // Edge walks are bounded by the data size and at least the AG size.
+    assert!(out.generation.edge_walks >= 8);
+    assert!(out.generation.edge_walks <= g.triple_count() as u64 * 2);
+}
+
+#[test]
+fn figure4_node_burnback_keeps_spurious_edges_and_edge_burnback_removes_them() {
+    let g = figure4_graph();
+    let q = parse_query(
+        "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+        g.dictionary(),
+    )
+    .unwrap();
+    assert_eq!(QueryGraph::new(&q).shape(), Shape::Cycle);
+
+    let plain = WireframeEngine::new(&g).execute(&q).unwrap();
+    assert_eq!(plain.embedding_count(), 2, "Figure 4: two embeddings");
+    assert_eq!(
+        plain.answer_graph_size(),
+        10,
+        "node burnback alone keeps the two spurious C-edges"
+    );
+
+    let ideal = WireframeEngine::with_options(&g, EvalOptions::default().with_edge_burnback())
+        .execute(&q)
+        .unwrap();
+    assert_eq!(
+        ideal.answer_graph_size(),
+        8,
+        "edge burnback restores the ideal AG"
+    );
+    assert_eq!(ideal.embedding_count(), 2);
+    assert!(plain.embeddings().same_answer(ideal.embeddings()));
+}
+
+#[test]
+fn figure4_triangulation_structure() {
+    let g = figure4_graph();
+    let q = parse_query(
+        "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+        g.dictionary(),
+    )
+    .unwrap();
+    let c = triangulate(&q);
+    assert_eq!(c.chords.len(), 1, "the 4-cycle is bisected by one chord");
+    assert_eq!(c.triangles.len(), 2);
+}
+
+#[test]
+fn acyclic_answer_graphs_are_ideal() {
+    // Every answer edge of an acyclic query's AG participates in at least one
+    // embedding (the defining property of the ideal AG).
+    let g = figure1_graph();
+    let q = parse_query(
+        "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+        g.dictionary(),
+    )
+    .unwrap();
+    let out = WireframeEngine::new(&g).execute(&q).unwrap();
+
+    for (i, pattern) in q.patterns().iter().enumerate() {
+        for (s, o) in out.answer_graph.pattern(i).iter() {
+            let sv = pattern.subject.as_var().unwrap();
+            let ov = pattern.object.as_var().unwrap();
+            let used = out.embeddings().tuples().iter().any(|t| {
+                let s_col = out
+                    .embeddings()
+                    .schema()
+                    .iter()
+                    .position(|v| *v == sv)
+                    .unwrap();
+                let o_col = out
+                    .embeddings()
+                    .schema()
+                    .iter()
+                    .position(|v| *v == ov)
+                    .unwrap();
+                t[s_col] == s && t[o_col] == o
+            });
+            assert!(
+                used,
+                "AG edge ({s:?},{o:?}) of pattern {i} is not used by any embedding"
+            );
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the core invariants over random graphs and random
+//! query shapes:
+//!
+//! 1. Wireframe, the relational baseline and the exploration baseline always
+//!    return the same embedding set.
+//! 2. For acyclic queries the answer graph is ideal: every answer edge is used
+//!    by at least one embedding.
+//! 3. Edge burnback never changes the answer and never enlarges the answer
+//!    graph.
+//! 4. The final answer graph does not depend on the planner.
+
+use proptest::prelude::*;
+
+use wireframe::baseline::{ExplorationEngine, RelationalEngine};
+use wireframe::core::{EvalOptions, PlannerKind, WireframeEngine};
+use wireframe::graph::{Graph, GraphBuilder};
+use wireframe::query::{ConjunctiveQuery, CqBuilder, QueryGraph};
+
+/// Predicate labels available to the random graphs and queries.
+const LABELS: [&str; 4] = ["A", "B", "C", "D"];
+
+/// A random edge list over a small node universe.
+fn arb_graph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0..max_nodes, 0..LABELS.len(), 0..max_nodes), 1..max_edges).prop_map(
+        |edges| {
+            let mut b = GraphBuilder::new();
+            // Always intern every predicate so queries over any label resolve.
+            for l in LABELS {
+                b.intern_predicate(l);
+            }
+            for (s, p, o) in edges {
+                b.add(&format!("n{s}"), LABELS[p], &format!("n{o}"));
+            }
+            b.build()
+        },
+    )
+}
+
+/// Query shapes exercised by the properties.
+#[derive(Debug, Clone)]
+enum QueryShape {
+    /// Chain of the given labels.
+    Chain(Vec<usize>),
+    /// Star with the given labels out of one hub.
+    Star(Vec<usize>),
+    /// Diamond ?x a ?y . ?x b ?z . ?y c ?w . ?z d ?w.
+    Diamond(usize, usize, usize, usize),
+    /// Triangle ?x a ?y . ?y b ?z . ?z c ?x.
+    Triangle(usize, usize, usize),
+}
+
+fn arb_query_shape() -> impl Strategy<Value = QueryShape> {
+    prop_oneof![
+        prop::collection::vec(0..LABELS.len(), 1..4).prop_map(QueryShape::Chain),
+        prop::collection::vec(0..LABELS.len(), 2..4).prop_map(QueryShape::Star),
+        (
+            0..LABELS.len(),
+            0..LABELS.len(),
+            0..LABELS.len(),
+            0..LABELS.len()
+        )
+            .prop_map(|(a, b, c, d)| QueryShape::Diamond(a, b, c, d)),
+        (0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len())
+            .prop_map(|(a, b, c)| QueryShape::Triangle(a, b, c)),
+    ]
+}
+
+fn build_query(graph: &Graph, shape: &QueryShape) -> ConjunctiveQuery {
+    let d = graph.dictionary();
+    let mut b = CqBuilder::new(d);
+    match shape {
+        QueryShape::Chain(labels) => {
+            for (i, &l) in labels.iter().enumerate() {
+                b.pattern(&format!("?v{i}"), LABELS[l], &format!("?v{}", i + 1))
+                    .unwrap();
+            }
+        }
+        QueryShape::Star(labels) => {
+            for (i, &l) in labels.iter().enumerate() {
+                b.pattern("?hub", LABELS[l], &format!("?v{i}")).unwrap();
+            }
+        }
+        QueryShape::Diamond(p1, p2, p3, p4) => {
+            b.pattern("?x", LABELS[*p1], "?y").unwrap();
+            b.pattern("?x", LABELS[*p2], "?z").unwrap();
+            b.pattern("?y", LABELS[*p3], "?w").unwrap();
+            b.pattern("?z", LABELS[*p4], "?w").unwrap();
+        }
+        QueryShape::Triangle(p1, p2, p3) => {
+            b.pattern("?x", LABELS[*p1], "?y").unwrap();
+            b.pattern("?y", LABELS[*p2], "?z").unwrap();
+            b.pattern("?z", LABELS[*p3], "?x").unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_on_random_graphs(graph in arb_graph(12, 60), shape in arb_query_shape()) {
+        let query = build_query(&graph, &shape);
+        let wf = WireframeEngine::new(&graph).execute(&query).unwrap();
+        let rel = RelationalEngine::new(&graph).evaluate(&query).unwrap();
+        let exp = ExplorationEngine::new(&graph).evaluate(&query).unwrap();
+        prop_assert!(wf.embeddings().same_answer(&rel),
+            "wireframe {} vs relational {}", wf.embedding_count(), rel.len());
+        prop_assert!(wf.embeddings().same_answer(&exp),
+            "wireframe {} vs exploration {}", wf.embedding_count(), exp.len());
+    }
+
+    #[test]
+    fn acyclic_answer_graphs_are_ideal(graph in arb_graph(10, 40), labels in prop::collection::vec(0..LABELS.len(), 1..4)) {
+        let query = build_query(&graph, &QueryShape::Chain(labels));
+        prop_assume!(QueryGraph::new(&query).is_acyclic());
+        let out = WireframeEngine::new(&graph).execute(&query).unwrap();
+        let emb = out.embeddings();
+        for (i, pattern) in query.patterns().iter().enumerate() {
+            let sv = pattern.subject.as_var().unwrap();
+            let ov = pattern.object.as_var().unwrap();
+            let s_col = emb.schema().iter().position(|v| *v == sv).unwrap();
+            let o_col = emb.schema().iter().position(|v| *v == ov).unwrap();
+            for (s, o) in out.answer_graph.pattern(i).iter() {
+                let used = emb.tuples().iter().any(|t| t[s_col] == s && t[o_col] == o);
+                prop_assert!(used, "unused AG edge in pattern {i}: ({s:?}, {o:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_burnback_is_sound_and_shrinking(graph in arb_graph(10, 50),
+        (p1, p2, p3, p4) in (0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len())) {
+        let query = build_query(&graph, &QueryShape::Diamond(p1, p2, p3, p4));
+        let plain = WireframeEngine::new(&graph).execute(&query).unwrap();
+        let burned = WireframeEngine::with_options(&graph, EvalOptions::default().with_edge_burnback())
+            .execute(&query)
+            .unwrap();
+        prop_assert!(plain.embeddings().same_answer(burned.embeddings()));
+        prop_assert!(burned.answer_graph_size() <= plain.answer_graph_size());
+    }
+
+    #[test]
+    fn edge_burnback_yields_ideal_diamond_answer_graphs(graph in arb_graph(8, 40),
+        (p1, p2, p3, p4) in (0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len())) {
+        let query = build_query(&graph, &QueryShape::Diamond(p1, p2, p3, p4));
+        let out = WireframeEngine::with_options(&graph, EvalOptions::default().with_edge_burnback())
+            .execute(&query)
+            .unwrap();
+        let emb = out.embeddings();
+        for (i, pattern) in query.patterns().iter().enumerate() {
+            let sv = pattern.subject.as_var().unwrap();
+            let ov = pattern.object.as_var().unwrap();
+            let s_col = emb.schema().iter().position(|v| *v == sv).unwrap();
+            let o_col = emb.schema().iter().position(|v| *v == ov).unwrap();
+            for (s, o) in out.answer_graph.pattern(i).iter() {
+                let used = emb.tuples().iter().any(|t| t[s_col] == s && t[o_col] == o);
+                prop_assert!(used, "edge burnback left a spurious edge in pattern {i}: ({s:?}, {o:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn planner_does_not_change_the_final_answer_graph(graph in arb_graph(10, 40), shape in arb_query_shape()) {
+        let query = build_query(&graph, &shape);
+        let mut sizes = Vec::new();
+        let mut answers = Vec::new();
+        for kind in [PlannerKind::DpLeftDeep, PlannerKind::Greedy, PlannerKind::AsWritten] {
+            let out = WireframeEngine::with_options(&graph, EvalOptions::default().with_planner(kind))
+                .execute(&query)
+                .unwrap();
+            sizes.push(out.answer_graph_size());
+            answers.push(out.embeddings);
+        }
+        prop_assert_eq!(sizes[0], sizes[1]);
+        prop_assert_eq!(sizes[0], sizes[2]);
+        prop_assert!(answers[0].same_answer(&answers[1]));
+        prop_assert!(answers[0].same_answer(&answers[2]));
+    }
+
+    #[test]
+    fn burnback_statistics_are_consistent(graph in arb_graph(10, 40), labels in prop::collection::vec(0..LABELS.len(), 1..4)) {
+        let query = build_query(&graph, &QueryShape::Chain(labels));
+        let out = WireframeEngine::with_options(&graph, EvalOptions::default().with_trace())
+            .execute(&query)
+            .unwrap();
+        // Added minus burned equals what is left in the AG.
+        let added = out.generation.edges_added;
+        let burned = out.generation.edges_burned;
+        prop_assert_eq!(added - burned, out.answer_graph_size() as u64);
+        // Step traces sum to the aggregate counters.
+        let step_added: u64 = out.generation.steps.iter().map(|s| s.edges_added as u64).sum();
+        prop_assert_eq!(step_added, added);
+    }
+}

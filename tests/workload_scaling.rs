@@ -1,0 +1,106 @@
+//! Integration tests of the synthetic workload at a size where the paper's
+//! qualitative claims are measurable: the answer graph stays orders of
+//! magnitude below the embedding count on snowflake queries, and the dataset /
+//! workload plumbing (generation, mining, statistics) holds together.
+
+use wireframe::core::WireframeEngine;
+use wireframe::datagen::{generate, table1_queries, QueryMiner, YagoConfig};
+use wireframe::graph::{load, write};
+use wireframe::query::Shape;
+
+#[test]
+fn dataset_roundtrips_through_the_triple_format() {
+    let g = generate(&YagoConfig::tiny());
+    let mut buf = Vec::new();
+    write(&g, &mut buf).unwrap();
+    let reloaded = load(std::io::Cursor::new(buf)).unwrap();
+    assert_eq!(reloaded.triple_count(), g.triple_count());
+    assert_eq!(reloaded.predicate_count(), g.predicate_count());
+    assert_eq!(reloaded.node_count(), g.node_count());
+}
+
+#[test]
+fn catalog_statistics_match_the_data() {
+    let g = generate(&YagoConfig::tiny());
+    for (p, _) in g.dictionary().predicates() {
+        let u = g.catalog().unigram(p);
+        assert_eq!(u.cardinality, g.predicate_cardinality(p));
+        assert!(u.distinct_subjects <= u.cardinality);
+        assert!(u.distinct_objects <= u.cardinality);
+    }
+}
+
+#[test]
+fn factorization_gap_grows_with_fanout() {
+    // Increasing the planted leaf fan-out multiplies embeddings but only adds
+    // linearly many answer edges, so the |Embeddings| / |AG| ratio must grow.
+    let mut low = YagoConfig::tiny();
+    low.snowflake_leaf_fanout = 1;
+    low.snowflake_spoke_fanout = 1;
+    let mut high = YagoConfig::tiny();
+    high.snowflake_leaf_fanout = 4;
+    high.snowflake_spoke_fanout = 2;
+
+    let ratio = |cfg: &YagoConfig| {
+        let g = generate(cfg);
+        let wf = WireframeEngine::new(&g);
+        let mut total_ratio = 0.0;
+        let mut count = 0;
+        for bq in table1_queries(&g).unwrap() {
+            if bq.shape != Shape::Snowflake {
+                continue;
+            }
+            let out = wf.execute(&bq.query).unwrap();
+            if out.answer_graph_size() > 0 {
+                total_ratio += out.embedding_count() as f64 / out.answer_graph_size() as f64;
+                count += 1;
+            }
+        }
+        total_ratio / count.max(1) as f64
+    };
+
+    let low_ratio = ratio(&low);
+    let high_ratio = ratio(&high);
+    assert!(
+        high_ratio > low_ratio,
+        "higher fan-out must widen the factorization gap ({low_ratio:.2} -> {high_ratio:.2})"
+    );
+}
+
+#[test]
+fn mined_queries_evaluate_without_error() {
+    let g = generate(&YagoConfig::tiny());
+    let mut miner = QueryMiner::new(&g, 99);
+    let (snowflakes, _) = miner.mine_snowflakes(300, 3);
+    let (diamonds, _) = miner.mine_diamonds(300, 3);
+    let wf = WireframeEngine::new(&g);
+    for q in snowflakes.iter().chain(diamonds.iter()) {
+        let out = wf.execute(q).unwrap();
+        assert!(
+            out.embedding_count() > 0,
+            "the miner only returns non-empty queries: {q}"
+        );
+    }
+}
+
+#[test]
+fn edge_walks_scale_with_answer_graph_not_embeddings() {
+    // The cost of phase one is measured in edge walks; it must stay within a
+    // small factor of the data actually touched, not blow up with the number
+    // of embeddings (which is the whole point of factorizing first).
+    let g = generate(&YagoConfig::small());
+    let wf = WireframeEngine::new(&g);
+    for bq in table1_queries(&g).unwrap() {
+        if bq.shape != Shape::Snowflake {
+            continue;
+        }
+        let out = wf.execute(&bq.query).unwrap();
+        let walks = out.generation.edge_walks;
+        let embeddings = out.embedding_count() as u64;
+        assert!(
+            walks < embeddings.max(1) * 2,
+            "{}: {walks} edge walks for {embeddings} embeddings — phase one should not pay per embedding",
+            bq.name
+        );
+    }
+}
