@@ -1,0 +1,152 @@
+//! The `Engine` trait: the uniform evaluator contract.
+
+use wireframe_query::ConjunctiveQuery;
+
+use crate::error::WireframeError;
+use crate::evaluation::Evaluation;
+use crate::prepared::PreparedQuery;
+
+/// Engine-independent evaluation knobs, passed to registry factories.
+///
+/// Each engine maps the config onto its own options and ignores knobs that do
+/// not apply (e.g. the baselines ignore `edge_burnback`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// For cyclic queries on factorized engines: triangulate and run edge
+    /// burnback after node burnback, guaranteeing the ideal answer graph at
+    /// extra cost.
+    pub edge_burnback: bool,
+    /// Ask the engine to render a plan/statistics explanation into
+    /// [`Evaluation::explain`].
+    pub explain: bool,
+}
+
+impl EngineConfig {
+    /// Enables edge burnback.
+    pub fn with_edge_burnback(mut self) -> Self {
+        self.edge_burnback = true;
+        self
+    }
+
+    /// Requests a rendered explanation alongside each evaluation.
+    pub fn with_explain(mut self) -> Self {
+        self.explain = true;
+        self
+    }
+}
+
+/// A conjunctive-query evaluator over one graph.
+///
+/// Implemented by the factorized Wireframe engine and every baseline, so
+/// harnesses, the CLI and the equivalence tests drive all of them through one
+/// interface. The two-step `prepare` / `evaluate` split exists so that
+/// callers (notably the `Session` facade) can cache prepared queries — plans
+/// included — keyed by the canonical query signature.
+pub trait Engine {
+    /// The engine's registry name (e.g. `"wireframe"`, `"relational"`).
+    fn name(&self) -> &'static str;
+
+    /// Prepares `query` for repeated evaluation: validates it, derives
+    /// structural facts, and (for planning engines) computes and attaches the
+    /// execution plan.
+    fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery, WireframeError>;
+
+    /// Evaluates a prepared query, returning the uniform [`Evaluation`].
+    ///
+    /// Implementations must reuse any plan payload carried by `prepared`
+    /// rather than re-planning, so that prepared-query caching actually
+    /// saves work.
+    fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError>;
+
+    /// Convenience: `prepare` + `evaluate` in one call.
+    fn run(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
+        let prepared = self.prepare(query)?;
+        self.evaluate(&prepared)
+    }
+
+    /// Guard for implementations: errors when `prepared` was produced by a
+    /// different engine.
+    fn check_prepared(&self, prepared: &PreparedQuery) -> Result<(), WireframeError> {
+        if prepared.engine() == self.name() {
+            Ok(())
+        } else {
+            Err(WireframeError::EngineMismatch {
+                prepared_by: prepared.engine().to_owned(),
+                evaluated_by: self.name().to_owned(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::Timings;
+    use wireframe_graph::GraphBuilder;
+    use wireframe_query::{CqBuilder, EmbeddingSet};
+
+    /// A trivial engine that answers every query with the empty set, proving
+    /// the trait is implementable outside the workspace's engine crates.
+    struct NullEngine;
+
+    impl Engine for NullEngine {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+
+        fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery, WireframeError> {
+            Ok(PreparedQuery::new(self.name(), query.clone()))
+        }
+
+        fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError> {
+            self.check_prepared(prepared)?;
+            Ok(Evaluation {
+                engine: self.name().to_owned(),
+                embeddings: EmbeddingSet::empty(prepared.query().projection().to_vec()),
+                timings: Timings::default(),
+                cyclic: prepared.cyclic(),
+                factorized: None,
+                metrics: Vec::new(),
+                explain: None,
+            })
+        }
+    }
+
+    fn any_query() -> ConjunctiveQuery {
+        let mut b = GraphBuilder::new();
+        b.add("a", "p", "b");
+        let g = b.build();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "p", "?y").unwrap();
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn run_is_prepare_then_evaluate() {
+        let q = any_query();
+        let ev = NullEngine.run(&q).unwrap();
+        assert_eq!(ev.engine, "null");
+        assert!(ev.embeddings.is_empty());
+    }
+
+    #[test]
+    fn mismatched_prepared_query_is_rejected() {
+        let q = any_query();
+        let foreign = PreparedQuery::new("other", q);
+        let err = NullEngine.evaluate(&foreign).unwrap_err();
+        assert!(matches!(err, WireframeError::EngineMismatch { .. }));
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = EngineConfig::default().with_edge_burnback().with_explain();
+        assert!(c.edge_burnback && c.explain);
+        assert_eq!(
+            EngineConfig::default(),
+            EngineConfig {
+                edge_burnback: false,
+                explain: false
+            }
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+use wireframe_graph::GraphError;
+use wireframe_query::QueryError;
+
+/// The unified error of the Wireframe workspace.
+///
+/// Engine-layer errors (`EngineError` from `wireframe-core`, `BaselineError`
+/// from `wireframe-baseline`) convert into this type via `From` impls defined
+/// in their own crates, so every public entry point — [`crate::Engine`],
+/// the `Session` facade, the CLI — can speak one error language.
+#[derive(Debug)]
+pub enum WireframeError {
+    /// The query is malformed (parse error, unknown label, empty, …).
+    Query(QueryError),
+    /// Graph loading or construction failed.
+    Graph(GraphError),
+    /// The query graph is not connected. Evaluating a disconnected CQ is a
+    /// cross product of its components; every engine in this workspace (like
+    /// the paper) restricts itself to connected query graphs.
+    DisconnectedQuery,
+    /// `EngineRegistry::build` was asked for a name nothing registered.
+    UnknownEngine {
+        /// The name that was requested.
+        requested: String,
+        /// The names that are registered, for the error message.
+        known: Vec<String>,
+    },
+    /// A [`crate::PreparedQuery`] produced by one engine was handed to
+    /// another.
+    EngineMismatch {
+        /// The engine that prepared the query.
+        prepared_by: String,
+        /// The engine that was asked to evaluate it.
+        evaluated_by: String,
+    },
+    /// An internal invariant was violated; indicates a bug, reported instead
+    /// of panicking so callers can surface it.
+    Internal(String),
+}
+
+impl fmt::Display for WireframeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireframeError::Query(e) => write!(f, "query error: {e}"),
+            WireframeError::Graph(e) => write!(f, "graph error: {e}"),
+            WireframeError::DisconnectedQuery => {
+                write!(
+                    f,
+                    "the query graph is not connected; split the query instead"
+                )
+            }
+            WireframeError::UnknownEngine { requested, known } => {
+                write!(
+                    f,
+                    "unknown engine {requested:?}; registered engines: {}",
+                    known.join(", ")
+                )
+            }
+            WireframeError::EngineMismatch {
+                prepared_by,
+                evaluated_by,
+            } => {
+                write!(
+                    f,
+                    "prepared query belongs to engine {prepared_by:?}, \
+                     not {evaluated_by:?}"
+                )
+            }
+            WireframeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireframeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireframeError::Query(e) => Some(e),
+            WireframeError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for WireframeError {
+    fn from(e: QueryError) -> Self {
+        WireframeError::Query(e)
+    }
+}
+
+impl From<GraphError> for WireframeError {
+    fn from(e: GraphError) -> Self {
+        WireframeError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = WireframeError::from(QueryError::EmptyQuery);
+        assert!(e.to_string().contains("query error"));
+        assert!(e.source().is_some());
+
+        let e = WireframeError::from(GraphError::Parse("bad".into()));
+        assert!(e.to_string().contains("graph error"));
+
+        let e = WireframeError::UnknownEngine {
+            requested: "nope".into(),
+            known: vec!["wireframe".into(), "relational".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("nope") && msg.contains("wireframe, relational"));
+        assert!(e.source().is_none());
+
+        let e = WireframeError::EngineMismatch {
+            prepared_by: "a".into(),
+            evaluated_by: "b".into(),
+        };
+        assert!(e.to_string().contains("belongs to engine"));
+
+        assert!(WireframeError::DisconnectedQuery
+            .to_string()
+            .contains("not connected"));
+        assert!(WireframeError::Internal("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

@@ -1,0 +1,156 @@
+//! The uniform evaluation result shared by every engine.
+
+use std::time::Duration;
+
+use wireframe_query::EmbeddingSet;
+
+/// Wall-clock timings of the evaluation phases.
+///
+/// The four factorized phases mirror the paper's pipeline; engines that
+/// evaluate in a single pass (the baselines) report under `execution` and
+/// leave the factorized phases at zero. [`Timings::total`] is comparable
+/// across all engines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Time spent planning (Edgifier + Triangulator).
+    pub planning: Duration,
+    /// Time spent generating the answer graph (phase one).
+    pub answer_graph: Duration,
+    /// Time spent in edge burnback (zero unless enabled and cyclic).
+    pub edge_burnback: Duration,
+    /// Time spent generating embeddings (phase two).
+    pub defactorization: Duration,
+    /// Single-pass execution time of non-factorized engines (zero for the
+    /// Wireframe engine, which reports per phase).
+    pub execution: Duration,
+}
+
+impl Timings {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.planning
+            + self.answer_graph
+            + self.edge_burnback
+            + self.defactorization
+            + self.execution
+    }
+}
+
+/// Artifacts specific to factorized (answer-graph) evaluation.
+///
+/// `None` on [`Evaluation`] means the engine does not factorize — which is
+/// the comparison the paper is about, so the absence is informative, not an
+/// error.
+#[derive(Debug, Clone)]
+pub struct Factorized {
+    /// Total answer-graph size after generation and any burnback
+    /// (the |AG| / |iAG| column of the paper's Table 1).
+    pub answer_graph_edges: usize,
+    /// Pattern indices in phase-one execution order (the Edgifier's plan).
+    pub plan_order: Vec<usize>,
+    /// Data edges walked during answer-graph generation.
+    pub edge_walks: u64,
+    /// Edges removed by cascading node burnback.
+    pub edges_burned: u64,
+    /// Nodes removed by cascading node burnback.
+    pub nodes_burned: u64,
+    /// Edges removed by the optional edge-burnback pass (zero when disabled).
+    pub edge_burnback_removed: usize,
+}
+
+impl Factorized {
+    /// |Embeddings| / |AG| — the factorization gap, given the embedding count.
+    pub fn factorization_ratio(&self, embeddings: usize) -> f64 {
+        embeddings as f64 / self.answer_graph_edges.max(1) as f64
+    }
+}
+
+/// The uniform result of evaluating one prepared query on one engine.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// Name of the engine that produced this result.
+    pub engine: String,
+    /// The projected embeddings (the query's answer).
+    pub embeddings: EmbeddingSet,
+    /// Per-phase wall-clock timings.
+    pub timings: Timings,
+    /// Whether the query graph is cyclic.
+    pub cyclic: bool,
+    /// Factorized artifacts; `None` for non-factorized engines.
+    pub factorized: Option<Factorized>,
+    /// Engine-specific counters (e.g. `edge_walks`, `intermediate_tuples`),
+    /// uniformly consumable by harnesses without downcasting.
+    pub metrics: Vec<(&'static str, u64)>,
+    /// A rendered plan/statistics explanation, when the engine was asked for
+    /// one via [`crate::EngineConfig::explain`].
+    pub explain: Option<String>,
+}
+
+impl Evaluation {
+    /// The projected embeddings.
+    pub fn embeddings(&self) -> &EmbeddingSet {
+        &self.embeddings
+    }
+
+    /// Number of embeddings in the answer.
+    pub fn embedding_count(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Looks up an engine-specific counter by name.
+    pub fn metric(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Answer-graph size, when the engine factorizes.
+    pub fn answer_graph_size(&self) -> Option<usize> {
+        self.factorized.as_ref().map(|f| f.answer_graph_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wireframe_query::Var;
+
+    #[test]
+    fn timings_total_includes_every_phase() {
+        let t = Timings {
+            planning: Duration::from_millis(1),
+            answer_graph: Duration::from_millis(2),
+            edge_burnback: Duration::from_millis(3),
+            defactorization: Duration::from_millis(4),
+            execution: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn metrics_and_factorized_accessors() {
+        let ev = Evaluation {
+            engine: "test".into(),
+            embeddings: EmbeddingSet::empty(vec![Var(0)]),
+            timings: Timings::default(),
+            cyclic: false,
+            factorized: Some(Factorized {
+                answer_graph_edges: 10,
+                plan_order: vec![0, 1],
+                edge_walks: 42,
+                edges_burned: 0,
+                nodes_burned: 0,
+                edge_burnback_removed: 0,
+            }),
+            metrics: vec![("edge_walks", 42)],
+            explain: None,
+        };
+        assert_eq!(ev.metric("edge_walks"), Some(42));
+        assert_eq!(ev.metric("missing"), None);
+        assert_eq!(ev.answer_graph_size(), Some(10));
+        assert_eq!(ev.embedding_count(), 0);
+        let f = ev.factorized.as_ref().unwrap();
+        assert!((f.factorization_ratio(100) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,34 @@
+//! # wireframe-api — the unified evaluator API
+//!
+//! Every engine in this workspace — the factorized Wireframe engine and the
+//! three non-factorized baselines — evaluates the same conjunctive queries
+//! over the same [`Graph`](wireframe_graph::Graph) and answers with the same
+//! [`EmbeddingSet`](wireframe_query::EmbeddingSet). This crate is the shared
+//! contract that makes that comparability first-class instead of ad hoc:
+//!
+//! * [`Engine`] — the evaluator trait (`name` / `prepare` / `evaluate`),
+//! * [`PreparedQuery`] — a query after engine-side preparation (plans cached
+//!   by canonical signature),
+//! * [`Evaluation`] — the uniform result: embeddings, per-phase [`Timings`],
+//!   optional [`Factorized`] artifacts, engine-specific metrics,
+//! * [`EngineRegistry`] — engine factories by name, replacing string dispatch,
+//! * [`WireframeError`] — the workspace-wide error type.
+//!
+//! The crate deliberately depends only on `wireframe-graph` and
+//! `wireframe-query`; concrete engines depend on it, not the other way
+//! around, so new backends plug in without touching the trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod evaluation;
+mod prepared;
+mod registry;
+
+pub use engine::{Engine, EngineConfig};
+pub use error::WireframeError;
+pub use evaluation::{Evaluation, Factorized, Timings};
+pub use prepared::PreparedQuery;
+pub use registry::{EngineEntry, EngineFactory, EngineRegistry};

@@ -1,0 +1,200 @@
+//! The engine registry: engine factories by name.
+//!
+//! Replaces the hand-rolled four-way `match` blocks that the CLI and the
+//! bench harness used to dispatch on engine names. Factories are plain
+//! function pointers (`for<'g> fn(...)`) so a registry is `'static`, cheap to
+//! clone, and independent of any particular graph's lifetime.
+
+use wireframe_graph::Graph;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::error::WireframeError;
+
+/// Builds a boxed engine over a borrowed graph.
+pub type EngineFactory = for<'g> fn(&'g Graph, &EngineConfig) -> Box<dyn Engine + 'g>;
+
+/// One registered engine.
+#[derive(Clone, Copy)]
+pub struct EngineEntry {
+    /// The dispatch name (`--engine <name>` on the CLI).
+    pub name: &'static str,
+    /// A one-line description shown by `--engine help`.
+    pub description: &'static str,
+    /// The factory.
+    pub build: EngineFactory,
+}
+
+impl std::fmt::Debug for EngineEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineEntry")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+/// A set of engine factories addressable by name.
+///
+/// Registration order is preserved: the first registered engine is the
+/// default, and listings render in registration order.
+#[derive(Debug, Clone, Default)]
+pub struct EngineRegistry {
+    entries: Vec<EngineEntry>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an engine factory. Re-registering a name replaces the
+    /// previous entry (last registration wins), so embedders can override
+    /// stock engines.
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        description: &'static str,
+        build: EngineFactory,
+    ) -> &mut Self {
+        let entry = EngineEntry {
+            name,
+            description,
+            build,
+        };
+        match self.entries.iter_mut().find(|e| e.name == name) {
+            Some(existing) => *existing = entry,
+            None => self.entries.push(entry),
+        }
+        self
+    }
+
+    /// Builds the engine registered under `name` over `graph`.
+    pub fn build<'g>(
+        &self,
+        name: &str,
+        graph: &'g Graph,
+        config: &EngineConfig,
+    ) -> Result<Box<dyn Engine + 'g>, WireframeError> {
+        match self.entries.iter().find(|e| e.name == name) {
+            Some(entry) => Ok((entry.build)(graph, config)),
+            None => Err(WireframeError::UnknownEngine {
+                requested: name.to_owned(),
+                known: self.names().iter().map(|&n| n.to_owned()).collect(),
+            }),
+        }
+    }
+
+    /// All registered entries, in registration order.
+    pub fn entries(&self) -> &[EngineEntry] {
+        &self.entries
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// The name of the default engine (the first registered), if any.
+    pub fn default_engine(&self) -> Option<&'static str> {
+        self.entries.first().map(|e| e.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{Evaluation, Timings};
+    use crate::prepared::PreparedQuery;
+    use wireframe_graph::GraphBuilder;
+    use wireframe_query::{ConjunctiveQuery, CqBuilder, EmbeddingSet};
+
+    struct Null(&'static str);
+
+    impl Engine for Null {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery, WireframeError> {
+            Ok(PreparedQuery::new(self.name(), query.clone()))
+        }
+        fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError> {
+            Ok(Evaluation {
+                engine: self.name().to_owned(),
+                embeddings: EmbeddingSet::empty(prepared.query().projection().to_vec()),
+                timings: Timings::default(),
+                cyclic: prepared.cyclic(),
+                factorized: None,
+                metrics: Vec::new(),
+                explain: None,
+            })
+        }
+    }
+
+    fn null_a<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + 'g> {
+        Box::new(Null("a"))
+    }
+    fn null_a2<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + 'g> {
+        Box::new(Null("a2"))
+    }
+    fn null_b<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + 'g> {
+        Box::new(Null("b"))
+    }
+
+    fn tiny_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("x", "p", "y");
+        b.build()
+    }
+
+    #[test]
+    fn register_build_and_list() {
+        let mut r = EngineRegistry::new();
+        r.register("a", "engine a", null_a)
+            .register("b", "engine b", null_b);
+        assert_eq!(r.names(), vec!["a", "b"]);
+        assert_eq!(r.default_engine(), Some("a"));
+        assert!(r.contains("b") && !r.contains("c"));
+
+        let g = tiny_graph();
+        let engine = r.build("b", &g, &EngineConfig::default()).unwrap();
+        assert_eq!(engine.name(), "b");
+
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "p", "?y").unwrap();
+        let ev = engine.run(&qb.build().unwrap()).unwrap();
+        assert_eq!(ev.engine, "b");
+    }
+
+    #[test]
+    fn unknown_name_lists_known_engines() {
+        let mut r = EngineRegistry::new();
+        r.register("a", "engine a", null_a);
+        let g = tiny_graph();
+        match r.build("zzz", &g, &EngineConfig::default()) {
+            Err(WireframeError::UnknownEngine { requested, known }) => {
+                assert_eq!(requested, "zzz");
+                assert_eq!(known, vec!["a".to_owned()]);
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+            Ok(_) => panic!("unknown engine must not build"),
+        };
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let mut r = EngineRegistry::new();
+        r.register("a", "first", null_a);
+        r.register("a", "second", null_a2);
+        assert_eq!(r.entries().len(), 1);
+        assert_eq!(r.entries()[0].description, "second");
+        let g = tiny_graph();
+        let engine = r.build("a", &g, &EngineConfig::default()).unwrap();
+        assert_eq!(engine.name(), "a2", "last registration wins");
+    }
+}

@@ -1,0 +1,169 @@
+//! [`Engine`] implementations for the three baseline engines.
+//!
+//! The baselines have no planning phase: `prepare` validates the query and
+//! records structural facts, and `evaluate` runs the single-pass evaluator,
+//! reporting its wall-clock time under [`Timings::execution`] and its
+//! engine-specific counters as [`Evaluation::metrics`]. None of them
+//! factorize, so [`Evaluation::factorized`] is always `None` — which is the
+//! comparison the paper draws.
+
+use std::time::Instant;
+
+use wireframe_api::{Engine, Evaluation, PreparedQuery, Timings, WireframeError};
+use wireframe_query::ConjunctiveQuery;
+
+use crate::exploration::ExplorationEngine;
+use crate::relational::RelationalEngine;
+use crate::sortmerge::SortMergeEngine;
+
+impl Engine for RelationalEngine<'_> {
+    fn name(&self) -> &'static str {
+        "relational"
+    }
+
+    fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery, WireframeError> {
+        Ok(PreparedQuery::new(self.name(), query.clone()))
+    }
+
+    fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError> {
+        self.check_prepared(prepared)?;
+        let t = Instant::now();
+        let (embeddings, stats) = self.evaluate_with_stats(prepared.query())?;
+        let timings = Timings {
+            execution: t.elapsed(),
+            ..Timings::default()
+        };
+        Ok(Evaluation {
+            engine: self.name().to_owned(),
+            embeddings,
+            timings,
+            cyclic: prepared.cyclic(),
+            factorized: None,
+            metrics: vec![
+                ("scanned_tuples", stats.scanned_tuples as u64),
+                ("intermediate_tuples", stats.intermediate_tuples as u64),
+                ("peak_intermediate", stats.peak_intermediate as u64),
+            ],
+            explain: None,
+        })
+    }
+}
+
+impl Engine for SortMergeEngine<'_> {
+    fn name(&self) -> &'static str {
+        "sortmerge"
+    }
+
+    fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery, WireframeError> {
+        Ok(PreparedQuery::new(self.name(), query.clone()))
+    }
+
+    fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError> {
+        self.check_prepared(prepared)?;
+        let t = Instant::now();
+        let (embeddings, stats) = self.evaluate_with_stats(prepared.query())?;
+        let timings = Timings {
+            execution: t.elapsed(),
+            ..Timings::default()
+        };
+        Ok(Evaluation {
+            engine: self.name().to_owned(),
+            embeddings,
+            timings,
+            cyclic: prepared.cyclic(),
+            factorized: None,
+            metrics: vec![
+                ("sorted_tuples", stats.sorted_tuples as u64),
+                ("intermediate_tuples", stats.intermediate_tuples as u64),
+                ("peak_intermediate", stats.peak_intermediate as u64),
+            ],
+            explain: None,
+        })
+    }
+}
+
+impl Engine for ExplorationEngine<'_> {
+    fn name(&self) -> &'static str {
+        "exploration"
+    }
+
+    fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery, WireframeError> {
+        Ok(PreparedQuery::new(self.name(), query.clone()))
+    }
+
+    fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError> {
+        self.check_prepared(prepared)?;
+        let t = Instant::now();
+        let (embeddings, stats) = self.evaluate_with_stats(prepared.query())?;
+        let timings = Timings {
+            execution: t.elapsed(),
+            ..Timings::default()
+        };
+        Ok(Evaluation {
+            engine: self.name().to_owned(),
+            embeddings,
+            timings,
+            cyclic: prepared.cyclic(),
+            factorized: None,
+            metrics: vec![("edge_walks", stats.edge_walks)],
+            explain: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wireframe_graph::{Graph, GraphBuilder};
+    use wireframe_query::parse_query;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "5");
+        b.add("5", "B", "9");
+        b.add("2", "A", "5");
+        b.build()
+    }
+
+    #[test]
+    fn all_baselines_speak_the_engine_trait() {
+        let g = graph();
+        let q = parse_query("SELECT * WHERE { ?x :A ?y . ?y :B ?z . }", g.dictionary()).unwrap();
+
+        let engines: Vec<Box<dyn Engine + '_>> = vec![
+            Box::new(RelationalEngine::new(&g)),
+            Box::new(SortMergeEngine::new(&g)),
+            Box::new(ExplorationEngine::new(&g)),
+        ];
+        let mut answers = Vec::new();
+        for engine in &engines {
+            let ev = engine.run(&q).unwrap();
+            assert_eq!(ev.engine, engine.name());
+            assert!(ev.factorized.is_none(), "baselines do not factorize");
+            assert!(!ev.cyclic);
+            assert_eq!(ev.embedding_count(), 2);
+            answers.push(ev.embeddings);
+        }
+        assert!(answers[0].same_answer(&answers[1]));
+        assert!(answers[0].same_answer(&answers[2]));
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let g = graph();
+        let q = parse_query("SELECT * WHERE { ?x :A ?y . ?y :B ?z . }", g.dictionary()).unwrap();
+        let ev = ExplorationEngine::new(&g).run(&q).unwrap();
+        assert!(ev.metric("edge_walks").unwrap() > 0);
+        let ev = RelationalEngine::new(&g).run(&q).unwrap();
+        assert!(ev.metric("scanned_tuples").unwrap() > 0);
+    }
+
+    #[test]
+    fn prepared_queries_are_engine_bound() {
+        let g = graph();
+        let q = parse_query("SELECT * WHERE { ?x :A ?y . }", g.dictionary()).unwrap();
+        let prepared = RelationalEngine::new(&g).prepare(&q).unwrap();
+        let err = Engine::evaluate(&SortMergeEngine::new(&g), &prepared).unwrap_err();
+        assert!(matches!(err, WireframeError::EngineMismatch { .. }));
+    }
+}

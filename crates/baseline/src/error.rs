@@ -23,6 +23,16 @@ impl fmt::Display for BaselineError {
 
 impl std::error::Error for BaselineError {}
 
+impl From<BaselineError> for wireframe_api::WireframeError {
+    fn from(e: BaselineError) -> Self {
+        use wireframe_api::WireframeError;
+        match e {
+            BaselineError::DisconnectedQuery => WireframeError::DisconnectedQuery,
+            BaselineError::Internal(msg) => WireframeError::Internal(msg),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

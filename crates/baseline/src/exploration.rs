@@ -171,6 +171,7 @@ fn bind_end(binding: &mut [Option<NodeId>], term: Term, value: NodeId) -> bool {
 }
 
 /// Cheapest-predicate-first connected order.
+#[allow(clippy::needless_range_loop)] // `i` is the pattern id being chosen
 fn match_order(graph: &Graph, query: &ConjunctiveQuery) -> Vec<usize> {
     let n = query.num_patterns();
     let mut order = Vec::with_capacity(n);

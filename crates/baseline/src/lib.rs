@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api_impl;
 mod error;
 mod exploration;
 mod relational;

@@ -2,7 +2,9 @@
 //!
 //! Shared plumbing for the binaries and Criterion benches that regenerate the
 //! paper's evaluation: dataset construction, per-query measurement, and the
-//! Table 1 row format.
+//! Table 1 row format. Engines are dispatched uniformly by name through the
+//! workspace's engine registry ([`wireframe::default_registry`]) and measured
+//! through the [`wireframe::Engine`] trait.
 //!
 //! The engines compared:
 //!
@@ -26,8 +28,7 @@ use std::time::{Duration, Instant};
 
 use serde::Serialize;
 
-use wireframe_baseline::{ExplorationEngine, RelationalEngine, SortMergeEngine};
-use wireframe_core::{EvalOptions, WireframeEngine};
+use wireframe::{default_registry, EngineConfig, PreparedQuery};
 use wireframe_datagen::{generate, table1_queries, BenchmarkQuery, YagoConfig};
 use wireframe_graph::Graph;
 use wireframe_query::Shape;
@@ -116,56 +117,69 @@ fn label_list(graph: &Graph, bq: &BenchmarkQuery) -> String {
         .join("/")
 }
 
-/// Measures one benchmark query on all three engines, repeating `repeats`
-/// times and keeping the average of the warm runs (all but the first), which
-/// mirrors the paper's "average of the last four of five runs" methodology.
-pub fn measure_query(graph: &Graph, bq: &BenchmarkQuery, repeats: usize) -> Table1Row {
-    let wf = WireframeEngine::with_options(graph, EvalOptions::paper());
-    let rel = RelationalEngine::new(graph);
-    let sm = SortMergeEngine::new(graph);
-    let exp = ExplorationEngine::new(graph);
+/// The registry names measured by the Table 1 harness, in column order.
+pub const TABLE1_ENGINES: [&str; 4] = ["wireframe", "relational", "sortmerge", "exploration"];
 
-    let mut wf_times = Vec::new();
-    let mut rel_times = Vec::new();
-    let mut sm_times = Vec::new();
-    let mut exp_times = Vec::new();
+/// Measures one benchmark query on every engine of [`TABLE1_ENGINES`],
+/// repeating `repeats` times and keeping the average of the warm runs (all
+/// but the first), which mirrors the paper's "average of the last four of
+/// five runs" methodology.
+///
+/// All engines are driven uniformly through the workspace's engine registry
+/// and the [`wireframe::Engine`] trait. The timed repeats measure
+/// `evaluate` on a plan-less prepared query: the Wireframe engine then runs
+/// its cost-based planner inside the timed region (the paper measures
+/// end-to-end query time, and excluding planning would flatter the factorized
+/// engine), while API bookkeeping that no engine performs — query cloning,
+/// canonical-form computation — stays outside the loop for every column.
+pub fn measure_query(graph: &Graph, bq: &BenchmarkQuery, repeats: usize) -> Table1Row {
+    let registry = default_registry();
+    let config = EngineConfig::default();
+
+    let mut times: Vec<Vec<Duration>> = vec![Vec::new(); TABLE1_ENGINES.len()];
     let mut answer_graph = 0;
     let mut embeddings = 0;
     let mut wf_edge_walks = 0;
     let mut exploration_edge_walks = 0;
 
-    for _ in 0..repeats.max(2) {
-        let t = Instant::now();
-        let out = wf.execute(&bq.query).expect("wireframe evaluates");
-        wf_times.push(t.elapsed());
-        answer_graph = out.answer_graph_size();
-        embeddings = out.embedding_count();
-        wf_edge_walks = out.generation.edge_walks;
+    for (col, name) in TABLE1_ENGINES.iter().enumerate() {
+        let engine = registry
+            .build(name, graph, &config)
+            .expect("Table 1 engine is registered");
+        let prepared = PreparedQuery::new(*name, bq.query.clone());
+        for _ in 0..repeats.max(2) {
+            let t = Instant::now();
+            let ev = engine.evaluate(&prepared).expect("query evaluates");
+            times[col].push(t.elapsed());
 
-        let t = Instant::now();
-        let _ = rel.evaluate(&bq.query).expect("relational evaluates");
-        rel_times.push(t.elapsed());
-
-        let t = Instant::now();
-        let _ = sm.evaluate(&bq.query).expect("sort-merge evaluates");
-        sm_times.push(t.elapsed());
-
-        let t = Instant::now();
-        let (_, stats) = exp
-            .evaluate_with_stats(&bq.query)
-            .expect("exploration evaluates");
-        exp_times.push(t.elapsed());
-        exploration_edge_walks = stats.edge_walks;
+            if let Some(f) = &ev.factorized {
+                answer_graph = f.answer_graph_edges;
+                wf_edge_walks = f.edge_walks;
+                // The |Embeddings| column reports the wireframe engine's
+                // answer, the same run the |AG| column comes from.
+                embeddings = ev.embedding_count();
+            } else {
+                assert_eq!(
+                    ev.embedding_count(),
+                    embeddings,
+                    "{}: engine {name} disagrees with wireframe",
+                    bq.name
+                );
+            }
+            if *name == "exploration" {
+                exploration_edge_walks = ev.metric("edge_walks").unwrap_or(0);
+            }
+        }
     }
 
     Table1Row {
         row: bq.row,
         name: bq.name.clone(),
         labels: label_list(graph, bq),
-        wf_ms: warm_average_ms(&wf_times),
-        relational_ms: warm_average_ms(&rel_times),
-        sortmerge_ms: warm_average_ms(&sm_times),
-        exploration_ms: warm_average_ms(&exp_times),
+        wf_ms: warm_average_ms(&times[0]),
+        relational_ms: warm_average_ms(&times[1]),
+        sortmerge_ms: warm_average_ms(&times[2]),
+        exploration_ms: warm_average_ms(&times[3]),
         answer_graph,
         embeddings,
         wf_edge_walks,

@@ -28,6 +28,9 @@ pub struct EvalOptions {
     /// Record a per-extension-step trace (used by the Figure 2 example and by
     /// tests); adds a small overhead.
     pub collect_trace: bool,
+    /// Render a plan/statistics explanation into `Evaluation::explain` when
+    /// the engine is driven through the workspace-wide `Engine` trait.
+    pub explain: bool,
 }
 
 impl Default for EvalOptions {
@@ -36,6 +39,7 @@ impl Default for EvalOptions {
             planner: PlannerKind::DpLeftDeep,
             edge_burnback: false,
             collect_trace: false,
+            explain: false,
         }
     }
 }
@@ -62,6 +66,12 @@ impl EvalOptions {
     /// Enables the per-step extension trace.
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
+        self
+    }
+
+    /// Enables the rendered explanation on `Engine`-trait evaluations.
+    pub fn with_explain(mut self) -> Self {
+        self.explain = true;
         self
     }
 }

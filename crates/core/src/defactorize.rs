@@ -28,6 +28,7 @@ pub struct DefactorizationStats {
 
 /// Chooses a join order for phase two: connected, smallest answer-edge set
 /// first (greedy on the exact statistics the answer graph provides).
+#[allow(clippy::needless_range_loop)] // `i` is the pattern id being chosen
 pub fn embedding_plan(query: &ConjunctiveQuery, ag: &AnswerGraph) -> Vec<usize> {
     let n = query.num_patterns();
     let mut order = Vec::with_capacity(n);

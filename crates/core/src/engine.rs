@@ -6,8 +6,9 @@
 //! edge burnback for cyclic queries), then defactorize the answer graph into
 //! embedding tuples and apply the query's projection.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use wireframe_api::{Engine, Evaluation, Factorized, PreparedQuery, WireframeError};
 use wireframe_graph::Graph;
 use wireframe_query::{ConjunctiveQuery, EmbeddingSet, QueryGraph};
 
@@ -15,29 +16,12 @@ use crate::answer_graph::AnswerGraph;
 use crate::config::EvalOptions;
 use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats};
 use crate::error::EngineError;
+use crate::explain::explain_output;
 use crate::generate::{generate, GenerationStats};
 use crate::planner::{plan, Plan};
 use crate::triangulate::{edge_burnback, triangulate, EdgeBurnbackStats};
 
-/// Wall-clock timings of the evaluation phases.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Timings {
-    /// Time spent planning (Edgifier + Triangulator).
-    pub planning: Duration,
-    /// Time spent generating the answer graph (phase one).
-    pub answer_graph: Duration,
-    /// Time spent in edge burnback (zero unless enabled and cyclic).
-    pub edge_burnback: Duration,
-    /// Time spent generating embeddings (phase two).
-    pub defactorization: Duration,
-}
-
-impl Timings {
-    /// Total time across all phases.
-    pub fn total(&self) -> Duration {
-        self.planning + self.answer_graph + self.edge_burnback + self.defactorization
-    }
-}
+pub use wireframe_api::Timings;
 
 /// The complete result of evaluating one query.
 #[derive(Debug, Clone)]
@@ -74,6 +58,43 @@ impl QueryOutput {
     /// The projected embeddings.
     pub fn embeddings(&self) -> &EmbeddingSet {
         &self.embeddings
+    }
+
+    /// Converts this rich output into the uniform [`Evaluation`] of the
+    /// workspace-wide [`Engine`] API. The `metrics` list is derived from the
+    /// [`Factorized`] artifacts so the two views can never drift apart.
+    pub fn into_evaluation(self, explain: Option<String>) -> Evaluation {
+        let factorized = Factorized {
+            answer_graph_edges: self.answer_graph.total_edges(),
+            plan_order: self.plan.order,
+            edge_walks: self.generation.edge_walks,
+            edges_burned: self.generation.edges_burned,
+            nodes_burned: self.generation.nodes_burned,
+            edge_burnback_removed: self.edge_burnback.edges_removed,
+        };
+        let metrics = vec![
+            ("edge_walks", factorized.edge_walks),
+            ("answer_graph_edges", factorized.answer_graph_edges as u64),
+            ("edges_burned", factorized.edges_burned),
+            ("nodes_burned", factorized.nodes_burned),
+            (
+                "edge_burnback_removed",
+                factorized.edge_burnback_removed as u64,
+            ),
+            (
+                "peak_intermediate",
+                self.defactorization.peak_intermediate as u64,
+            ),
+        ];
+        Evaluation {
+            engine: "wireframe".to_owned(),
+            embeddings: self.embeddings,
+            timings: self.timings,
+            cyclic: self.cyclic,
+            factorized: Some(factorized),
+            metrics,
+            explain,
+        }
     }
 }
 
@@ -131,10 +152,25 @@ impl<'g> WireframeEngine<'g> {
     /// Evaluates `query` end to end: plan, generate the answer graph,
     /// defactorize, project.
     pub fn execute(&self, query: &ConjunctiveQuery) -> Result<QueryOutput, EngineError> {
+        let t = Instant::now();
+        let plan = self.plan(query)?;
+        let planning = t.elapsed();
+        let mut out = self.execute_with_plan(query, &plan)?;
+        out.timings.planning += planning;
+        Ok(out)
+    }
+
+    /// Evaluates `query` with a precomputed phase-one plan (for example one
+    /// cached by a `Session` prepared query), skipping the Edgifier.
+    pub fn execute_with_plan(
+        &self,
+        query: &ConjunctiveQuery,
+        plan: &Plan,
+    ) -> Result<QueryOutput, EngineError> {
         let mut timings = Timings::default();
 
         let t0 = Instant::now();
-        let plan = self.plan(query)?;
+        let plan = plan.clone();
         let qg = QueryGraph::new(query);
         let cyclic = qg.is_cyclic();
         let chordification = if cyclic && self.options.edge_burnback {
@@ -176,10 +212,38 @@ impl<'g> WireframeEngine<'g> {
     }
 }
 
+impl Engine for WireframeEngine<'_> {
+    fn name(&self) -> &'static str {
+        "wireframe"
+    }
+
+    /// Runs the Edgifier and attaches the resulting [`Plan`] to the prepared
+    /// query, so cached preparations skip planning on re-evaluation.
+    fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery, WireframeError> {
+        let plan = self.plan(query)?;
+        Ok(PreparedQuery::new(self.name(), query.clone()).with_payload(plan))
+    }
+
+    fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError> {
+        self.check_prepared(prepared)?;
+        let query = prepared.query();
+        let out = match prepared.plan::<Plan>() {
+            Some(plan) => self.execute_with_plan(query, plan)?,
+            None => self.execute(query)?,
+        };
+        let explain = self
+            .options
+            .explain
+            .then(|| explain_output(self.graph, query, &out));
+        Ok(out.into_evaluation(explain))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::PlannerKind;
+    use std::time::Duration;
     use wireframe_graph::GraphBuilder;
     use wireframe_query::{parse_query, CqBuilder};
 

@@ -48,6 +48,17 @@ impl From<QueryError> for EngineError {
     }
 }
 
+impl From<EngineError> for wireframe_api::WireframeError {
+    fn from(e: EngineError) -> Self {
+        use wireframe_api::WireframeError;
+        match e {
+            EngineError::Query(q) => WireframeError::Query(q),
+            EngineError::DisconnectedQuery => WireframeError::DisconnectedQuery,
+            EngineError::Internal(msg) => WireframeError::Internal(msg),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

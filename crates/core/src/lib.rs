@@ -15,6 +15,39 @@
 //! * [`plan_bushy`] / [`execute_bushy`] — the bushy phase-two plan space the
 //!   paper lists as future work,
 //! * [`WireframeEngine`] — the end-to-end engine tying the phases together.
+//!
+//! ## Quickstart
+//!
+//! [`WireframeEngine`] implements the workspace-wide
+//! [`Engine`](wireframe_api::Engine) trait, so it is driven exactly like the
+//! baseline engines — or, more conveniently, through the `Session` facade of
+//! the umbrella `wireframe` crate:
+//!
+//! ```
+//! use wireframe_api::Engine;
+//! use wireframe_core::WireframeEngine;
+//! use wireframe_graph::GraphBuilder;
+//! use wireframe_query::parse_query;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add("alice", "knows", "bob");
+//! b.add("bob", "knows", "carol");
+//! let g = b.build();
+//!
+//! let engine = WireframeEngine::new(&g);
+//! let q = parse_query(
+//!     "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }",
+//!     g.dictionary(),
+//! )
+//! .unwrap();
+//! let prepared = engine.prepare(&q).unwrap(); // plans once…
+//! let result = engine.evaluate(&prepared).unwrap(); // …evaluate many times
+//! assert_eq!(result.embedding_count(), 1);
+//! assert!(result.factorized.is_some(), "this engine factorizes");
+//! ```
+//!
+//! The richer [`QueryOutput`] (full answer graph, per-step statistics) stays
+//! available through [`WireframeEngine::execute`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -396,6 +396,7 @@ fn materialize_chords(
 }
 
 /// Materialization of a triangle side oriented `(from, to)`.
+#[allow(clippy::too_many_arguments)] // mirrors side_material_opt; all args are views into one pass
 fn side_material(
     query: &ConjunctiveQuery,
     ag: &AnswerGraph,
@@ -422,6 +423,7 @@ fn side_material(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn side_material_opt(
     query: &ConjunctiveQuery,
     ag: &AnswerGraph,

@@ -23,7 +23,7 @@ pub mod yago;
 pub use miner::{MineOutcome, MinerStats, QueryMiner};
 pub use report::{DatasetReport, PredicateReport};
 pub use workloads::{
-    diamond_queries, snowflake_queries, table1_queries, BenchmarkQuery, DIAMOND_LABELS,
-    SNOWFLAKE_LABELS,
+    chain_queries, diamond_queries, full_workload, snowflake_queries, star_queries, table1_queries,
+    BenchmarkQuery, DIAMOND_LABELS, SNOWFLAKE_LABELS,
 };
 pub use yago::{generate, YagoConfig};

@@ -287,6 +287,7 @@ fn bind(binding: &mut [Option<NodeId>], term: Term, val: NodeId) -> bool {
 /// Cheapest-predicate-first connected pattern order (shared with the
 /// exploration baseline's strategy, re-implemented here to keep this crate
 /// independent of the engines).
+#[allow(clippy::needless_range_loop)] // `i` is the pattern id being chosen
 fn cheap_connected_order(graph: &Graph, query: &ConjunctiveQuery) -> Vec<usize> {
     let n = query.num_patterns();
     let card = |p: PredId| graph.predicate_cardinality(p);

@@ -63,7 +63,7 @@ impl DatasetReport {
                 }
             })
             .collect();
-        per_predicate.sort_by(|a, b| b.cardinality.cmp(&a.cardinality));
+        per_predicate.sort_by_key(|r| std::cmp::Reverse(r.cardinality));
         DatasetReport {
             nodes: graph.node_count(),
             predicates: graph.predicate_count(),

@@ -7,7 +7,7 @@
 //! edges are `?x p1 ?y . ?x p2 ?z . ?y p3 ?w . ?z p4 ?w`.
 
 use wireframe_graph::Graph;
-use wireframe_query::templates::{diamond, snowflake};
+use wireframe_query::templates::{chain, diamond, snowflake, star};
 use wireframe_query::{ConjunctiveQuery, QueryError, Shape};
 
 /// Label sequences of the five snowflake-shaped queries of Table 1.
@@ -131,6 +131,53 @@ pub fn table1_queries(graph: &Graph) -> Result<Vec<BenchmarkQuery>, QueryError> 
     Ok(all)
 }
 
+/// Builds five chain (path) queries against `graph`, one per snowflake label
+/// row: hub edge followed by the first spoke's first leaf edge. The planted
+/// snowflake cores guarantee each chain is non-empty on generated datasets.
+pub fn chain_queries(graph: &Graph) -> Result<Vec<BenchmarkQuery>, QueryError> {
+    SNOWFLAKE_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, labels)| {
+            Ok(BenchmarkQuery {
+                row: i + 1,
+                name: format!("CQC-{}", i + 1),
+                query: chain(graph.dictionary(), &[labels[0], labels[3]])?,
+                shape: Shape::Chain,
+            })
+        })
+        .collect()
+}
+
+/// Builds five star queries against `graph`, one per snowflake label row:
+/// the three hub edges of the snowflake without its leaf spokes. The planted
+/// snowflake cores guarantee each star is non-empty on generated datasets.
+pub fn star_queries(graph: &Graph) -> Result<Vec<BenchmarkQuery>, QueryError> {
+    SNOWFLAKE_LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, labels)| {
+            Ok(BenchmarkQuery {
+                row: i + 1,
+                name: format!("CQT-{}", i + 1),
+                query: star(graph.dictionary(), &labels[0..3])?,
+                shape: Shape::Star,
+            })
+        })
+        .collect()
+}
+
+/// Builds the full mixed-shape workload against `graph`: chains, stars,
+/// snowflakes and cycles (diamonds), in that order. This is the workload the
+/// trait-driven cross-engine equivalence tests iterate.
+pub fn full_workload(graph: &Graph) -> Result<Vec<BenchmarkQuery>, QueryError> {
+    let mut all = chain_queries(graph)?;
+    all.extend(star_queries(graph)?);
+    all.extend(snowflake_queries(graph)?);
+    all.extend(diamond_queries(graph)?);
+    Ok(all)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +205,22 @@ mod tests {
                 other => panic!("unexpected shape {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn chain_and_star_workloads_have_their_shapes_and_answers() {
+        use wireframe_query::QueryGraph;
+        let g = generate(&YagoConfig::tiny());
+        let chains = chain_queries(&g).unwrap();
+        let stars = star_queries(&g).unwrap();
+        assert_eq!(chains.len(), 5);
+        assert_eq!(stars.len(), 5);
+        for bq in chains.iter().chain(stars.iter()) {
+            let qg = QueryGraph::new(&bq.query);
+            assert!(qg.is_connected(), "{}", bq.name);
+            assert_eq!(qg.shape(), bq.shape, "{}", bq.name);
+        }
+        assert_eq!(full_workload(&g).unwrap().len(), 20);
     }
 
     #[test]

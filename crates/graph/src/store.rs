@@ -69,6 +69,7 @@ impl Graph {
     /// The index for one predicate. Panics if `p` is out of range; use
     /// [`Dictionary::predicate_id`](crate::dictionary::Dictionary::predicate_id)
     /// to obtain valid identifiers.
+    #[allow(clippy::should_implement_trait)] // "index" is the natural name; std::ops::Index cannot take PredId ergonomically here
     pub fn index(&self, p: PredId) -> &PredicateIndex {
         &self.indexes[p.index()]
     }

@@ -28,6 +28,71 @@ impl QuerySignature {
 
 /// Computes the canonical signature of `query`.
 pub fn signature(query: &ConjunctiveQuery) -> QuerySignature {
+    let colors = refined_colors(query);
+
+    // The signature: the sorted multiset of pattern descriptors under the
+    // final colours, plus the sorted multiset of projected-variable colours
+    // and the DISTINCT flag.
+    let mut projection: Vec<String> = query
+        .projection()
+        .iter()
+        .map(|v| colors[v.index()].clone())
+        .collect();
+    projection.sort();
+    QuerySignature(format!(
+        "distinct={} edges=[{}] proj=[{}]",
+        query.distinct(),
+        edge_descriptors(query, &colors).join(";"),
+        projection.join(";")
+    ))
+}
+
+/// Computes an *order-sensitive* cache key for prepared-statement caches:
+/// like [`signature`], but the projected variables keep their SELECT-clause
+/// order (and orientation: a variable's canonical colour distinguishes, say,
+/// chain sources from chain targets).
+///
+/// [`signature`] deliberately sorts the projection so that spoke-swapped
+/// template instantiations deduplicate in the query miner; a plan cache must
+/// NOT merge those, because `SELECT ?x ?z` and `SELECT ?z ?x` ask for
+/// different column orders. Queries sharing a plan-cache key have identical
+/// answer sets column for column (equal up to a colour-preserving
+/// automorphism, under which the embedding set is closed).
+pub fn plan_cache_key(query: &ConjunctiveQuery) -> QuerySignature {
+    let colors = refined_colors(query);
+    let projection: Vec<String> = query
+        .projection()
+        .iter()
+        .map(|v| colors[v.index()].clone())
+        .collect();
+    QuerySignature(format!(
+        "distinct={} edges=[{}] proj-ordered=[{}]",
+        query.distinct(),
+        edge_descriptors(query, &colors).join(";"),
+        projection.join(";")
+    ))
+}
+
+/// Sorted pattern descriptors of `query` under final colours.
+fn edge_descriptors(query: &ConjunctiveQuery, colors: &[String]) -> Vec<String> {
+    let mut edges: Vec<String> = query
+        .patterns()
+        .iter()
+        .map(|p| {
+            let end = |t: Term| match t {
+                Term::Var(v) => colors[v.index()].clone(),
+                Term::Const(c) => format!("n{}", c.0),
+            };
+            format!("{}--p{}-->{}", end(p.subject), p.predicate.0, end(p.object))
+        })
+        .collect();
+    edges.sort();
+    edges
+}
+
+/// Runs iterative colour refinement over the query graph and returns the
+/// final canonical colour of every variable.
+fn refined_colors(query: &ConjunctiveQuery) -> Vec<String> {
     // Initial colour of a variable: multiset of (direction, predicate) of its
     // incident patterns, plus how often it occurs as subject/object of each.
     let mut colors: Vec<String> = (0..query.num_vars() as u32)
@@ -84,34 +149,7 @@ pub fn signature(query: &ConjunctiveQuery) -> QuerySignature {
             distinct.iter().enumerate().map(|(i, c)| (c, i)).collect();
         colors = next.iter().map(|c| format!("c{}", rename[c])).collect();
     }
-
-    // The signature: the sorted multiset of pattern descriptors under the
-    // final colours, plus the sorted multiset of projected-variable colours
-    // and the DISTINCT flag.
-    let mut edges: Vec<String> = query
-        .patterns()
-        .iter()
-        .map(|p| {
-            let end = |t: Term| match t {
-                Term::Var(v) => colors[v.index()].clone(),
-                Term::Const(c) => format!("n{}", c.0),
-            };
-            format!("{}--p{}-->{}", end(p.subject), p.predicate.0, end(p.object))
-        })
-        .collect();
-    edges.sort();
-    let mut projection: Vec<String> = query
-        .projection()
-        .iter()
-        .map(|v| colors[v.index()].clone())
-        .collect();
-    projection.sort();
-    QuerySignature(format!(
-        "distinct={} edges=[{}] proj=[{}]",
-        query.distinct(),
-        edges.join(";"),
-        projection.join(";")
-    ))
+    colors
 }
 
 fn initial_color(query: &ConjunctiveQuery, v: Var) -> String {
@@ -133,6 +171,108 @@ fn initial_color(query: &ConjunctiveQuery, v: Var) -> String {
 /// equivalent up to variable renaming and pattern order).
 pub fn equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
     signature(a) == signature(b)
+}
+
+/// Exact isomorphism test with ordered-projection correspondence: whether a
+/// variable bijection `f` exists with `f(a.proj[i]) = b.proj[i]` for every
+/// projection position, mapping `a`'s pattern multiset onto `b`'s (same
+/// predicates, directions and constants), with matching DISTINCT flags.
+///
+/// Colour refinement ([`signature`] / [`plan_cache_key`]) is a 1-WL test: it
+/// never separates isomorphic queries but — like all 1-WL tests — can fail
+/// to separate certain non-isomorphic ones (a 6-cycle and two disjoint
+/// triangles over one predicate colour identically). Callers that *reuse
+/// results* across queries, such as a prepared-query cache, must confirm a
+/// colour-level match with this exact test. Backtracking over the pattern
+/// multiset; cheap for the small CQs this workspace evaluates (≤ ~10
+/// patterns).
+pub fn isomorphic(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
+    if a.num_patterns() != b.num_patterns()
+        || a.num_vars() != b.num_vars()
+        || a.distinct() != b.distinct()
+        || a.projection().len() != b.projection().len()
+    {
+        return false;
+    }
+    // Seed the bijection with the position-wise projection correspondence.
+    let mut map: Vec<Option<Var>> = vec![None; a.num_vars()];
+    let mut rmap: Vec<Option<Var>> = vec![None; b.num_vars()];
+    for (&av, &bv) in a.projection().iter().zip(b.projection()) {
+        if !bind(&mut map, &mut rmap, av, bv) {
+            return false;
+        }
+    }
+    let mut used = vec![false; b.num_patterns()];
+    match_patterns(a, b, 0, &mut used, &mut map, &mut rmap)
+}
+
+/// Binds `av ↔ bv` in the bijection; false on conflict.
+fn bind(map: &mut [Option<Var>], rmap: &mut [Option<Var>], av: Var, bv: Var) -> bool {
+    match (map[av.index()], rmap[bv.index()]) {
+        (None, None) => {
+            map[av.index()] = Some(bv);
+            rmap[bv.index()] = Some(av);
+            true
+        }
+        (Some(existing), _) => existing == bv,
+        (None, Some(_)) => false,
+    }
+}
+
+/// Matches `a`'s pattern `i` onwards against unused patterns of `b`,
+/// extending the variable bijection consistently.
+fn match_patterns(
+    a: &ConjunctiveQuery,
+    b: &ConjunctiveQuery,
+    i: usize,
+    used: &mut [bool],
+    map: &mut [Option<Var>],
+    rmap: &mut [Option<Var>],
+) -> bool {
+    if i == a.num_patterns() {
+        return true;
+    }
+    let pa = &a.patterns()[i];
+    for j in 0..b.num_patterns() {
+        if used[j] {
+            continue;
+        }
+        let pb = &b.patterns()[j];
+        if pa.predicate != pb.predicate {
+            continue;
+        }
+        // Tentatively extend the bijection; remember what to undo.
+        let mut added: Vec<(usize, usize)> = Vec::new();
+        let mut ok = true;
+        for (ta, tb) in [(pa.subject, pb.subject), (pa.object, pb.object)] {
+            match (ta, tb) {
+                (Term::Const(ca), Term::Const(cb)) => ok &= ca == cb,
+                (Term::Var(va), Term::Var(vb)) => {
+                    let fresh = map[va.index()].is_none() && rmap[vb.index()].is_none();
+                    ok &= bind(map, rmap, va, vb);
+                    if ok && fresh {
+                        added.push((va.index(), vb.index()));
+                    }
+                }
+                _ => ok = false,
+            }
+            if !ok {
+                break;
+            }
+        }
+        if ok {
+            used[j] = true;
+            if match_patterns(a, b, i + 1, used, map, rmap) {
+                return true;
+            }
+            used[j] = false;
+        }
+        for (ai, bi) in added {
+            map[ai] = None;
+            rmap[bi] = None;
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -240,6 +380,127 @@ mod tests {
         b3.pattern("?x", "A", "?y").unwrap();
         let q3 = b3.build().unwrap();
         assert!(!equivalent(&q1, &q3), "DISTINCT is part of the signature");
+    }
+
+    #[test]
+    fn plan_cache_key_distinguishes_projection_order() {
+        let d = dict();
+        let build_proj = |proj: [&str; 2]| {
+            let mut b = CqBuilder::new(&d);
+            for p in proj {
+                b.project(p);
+            }
+            b.pattern("?x", "A", "?y").unwrap();
+            b.pattern("?y", "B", "?z").unwrap();
+            b.build().unwrap()
+        };
+        let xz = build_proj(["x", "z"]);
+        let zx = build_proj(["z", "x"]);
+        // The miner's signature deduplicates them…
+        assert_eq!(signature(&xz), signature(&zx));
+        // …but a plan cache must not: the column orders differ.
+        assert_ne!(plan_cache_key(&xz), plan_cache_key(&zx));
+        // Same text-level query still shares one key.
+        assert_eq!(plan_cache_key(&xz), plan_cache_key(&build_proj(["x", "z"])));
+    }
+
+    #[test]
+    fn plan_cache_key_distinguishes_orientation() {
+        // `?x :A ?y` projecting (x, y) vs `?y :A ?x` projecting (x, y): the
+        // signatures agree (isomorphic), but x is the source in one and the
+        // target in the other — a cache hit would swap columns.
+        let d = dict();
+        let mut b1 = CqBuilder::new(&d);
+        b1.project("x");
+        b1.project("y");
+        b1.pattern("?x", "A", "?y").unwrap();
+        let q1 = b1.build().unwrap();
+        let mut b2 = CqBuilder::new(&d);
+        b2.project("x");
+        b2.project("y");
+        b2.pattern("?y", "A", "?x").unwrap();
+        let q2 = b2.build().unwrap();
+        assert!(equivalent(&q1, &q2));
+        assert_ne!(plan_cache_key(&q1), plan_cache_key(&q2));
+    }
+
+    #[test]
+    fn plan_cache_key_still_merges_reordered_patterns() {
+        // Same explicit projection, pattern order swapped: one cache entry.
+        let d = dict();
+        let build_ordered = |patterns: [(&str, &str, &str); 2]| {
+            let mut b = CqBuilder::new(&d);
+            b.project("x");
+            b.project("y");
+            for (s, p, o) in patterns {
+                b.pattern(s, p, o).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let a = build_ordered([("?x", "A", "?y"), ("?x", "B", "?z")]);
+        let b = build_ordered([("?x", "B", "?z"), ("?x", "A", "?y")]);
+        assert_eq!(plan_cache_key(&a), plan_cache_key(&b));
+    }
+
+    #[test]
+    fn isomorphic_agrees_with_structural_equality() {
+        // Renamed + reordered with matching explicit projection order.
+        let d = dict();
+        let build_named = |proj: &[&str], pats: &[(&str, &str, &str)]| {
+            let mut b = CqBuilder::new(&d);
+            for p in proj {
+                b.project(p);
+            }
+            for (s, p, o) in pats {
+                b.pattern(s, p, o).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let a = build_named(&["x", "z"], &[("?x", "A", "?y"), ("?y", "B", "?z")]);
+        let b = build_named(&["u", "w"], &[("?v", "B", "?w"), ("?u", "A", "?v")]);
+        assert!(isomorphic(&a, &b));
+        // Swapped projection order is NOT isomorphic under the ordered
+        // correspondence.
+        let c = build_named(&["z", "x"], &[("?x", "A", "?y"), ("?y", "B", "?z")]);
+        assert!(!isomorphic(&a, &c));
+        // Different labels are not isomorphic.
+        let e = build_named(&["x", "z"], &[("?x", "A", "?y"), ("?y", "C", "?z")]);
+        assert!(!isomorphic(&a, &e));
+    }
+
+    #[test]
+    fn colour_refinement_gap_is_caught_by_isomorphic() {
+        // The classic 1-WL failure: a directed 6-cycle and two disjoint
+        // directed triangles over one predicate refine to identical colours,
+        // so their plan-cache keys collide — but they are not isomorphic
+        // (one is connected, the other is not), and a prepared-query cache
+        // must not conflate them.
+        let d = dict();
+        let mut b6 = CqBuilder::new(&d);
+        for i in 0..6 {
+            b6.pattern(&format!("?v{i}"), "A", &format!("?v{}", (i + 1) % 6))
+                .unwrap();
+        }
+        let cycle6 = b6.build().unwrap();
+
+        let mut b33 = CqBuilder::new(&d);
+        for i in 0..3 {
+            b33.pattern(&format!("?s{i}"), "A", &format!("?s{}", (i + 1) % 3))
+                .unwrap();
+        }
+        for i in 0..3 {
+            b33.pattern(&format!("?t{i}"), "A", &format!("?t{}", (i + 1) % 3))
+                .unwrap();
+        }
+        let triangles = b33.build().unwrap();
+
+        assert_eq!(
+            plan_cache_key(&cycle6),
+            plan_cache_key(&triangles),
+            "1-WL cannot separate these (that is the point of this test)"
+        );
+        assert!(!isomorphic(&cycle6, &triangles));
+        assert!(isomorphic(&cycle6, &cycle6));
     }
 
     #[test]

@@ -279,7 +279,7 @@ impl QueryGraph {
             return Shape::Chain;
         }
         // Star: some center is incident to every pattern.
-        if degrees.iter().any(|&d| d == num_edges) {
+        if degrees.contains(&num_edges) {
             return Shape::Star;
         }
         // Snowflake: a depth-two tree rooted at some branching variable.

@@ -1,12 +1,11 @@
-//! Quickstart: load a small graph, run a conjunctive query with the Wireframe
-//! answer-graph engine, and compare against the relational baseline.
+//! Quickstart: load a small graph into a [`wireframe::Session`], run a
+//! conjunctive query, and compare every registered engine through the uniform
+//! `Engine` API.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use wireframe::baseline::RelationalEngine;
-use wireframe::core::WireframeEngine;
 use wireframe::graph::GraphBuilder;
-use wireframe::query::parse_query;
+use wireframe::Session;
 
 fn main() {
     // A tiny movie graph: people act in movies, movies have creation dates.
@@ -24,45 +23,59 @@ fn main() {
     b.add("ronin", "wasCreatedOnDate", "1998");
     b.add("alice", "influences", "bob");
     b.add("alice", "influences", "carol");
-    let graph = b.build();
 
+    let mut session = Session::new(b.build());
     println!(
         "graph: {} nodes, {} predicates, {} triples",
-        graph.node_count(),
-        graph.predicate_count(),
-        graph.triple_count()
+        session.graph().node_count(),
+        session.graph().predicate_count(),
+        session.graph().triple_count()
     );
 
     // Who influences an actor, in which movie, created when?
     let sparql = "SELECT ?x ?y ?m ?d WHERE { ?x :influences ?y . ?y :actedIn ?m . ?m :wasCreatedOnDate ?d . }";
-    let query = parse_query(sparql, graph.dictionary()).expect("query parses");
     println!("\nquery: {sparql}");
 
-    // Phase 1 + 2 with Wireframe.
-    let engine = WireframeEngine::new(&graph);
-    let out = engine.execute(&query).expect("query evaluates");
-    println!("\n— Wireframe (answer-graph evaluation) —");
-    println!("plan (edge order):         {:?}", out.plan.order);
-    println!("edge walks (phase 1):      {}", out.generation.edge_walks);
-    println!("answer-graph edges |AG|:   {}", out.answer_graph_size());
-    println!("embeddings |J CQ K_G|:     {}", out.embedding_count());
-
-    // The same query on the non-factorized baseline.
-    let (baseline, stats) = RelationalEngine::new(&graph)
-        .evaluate_with_stats(&query)
-        .expect("baseline evaluates");
-    println!("\n— relational baseline (standard evaluation) —");
-    println!("scanned tuples:            {}", stats.scanned_tuples);
-    println!("intermediate tuples:       {}", stats.intermediate_tuples);
-    println!("embeddings:                {}", baseline.len());
-
-    assert!(out.embeddings().same_answer(&baseline));
+    // One call: parse → plan → execute on the factorized engine.
+    let wf = session.query(sparql).expect("query evaluates");
+    let factorized = wf.factorized.as_ref().expect("wireframe factorizes");
+    println!("\n— wireframe (answer-graph evaluation) —");
+    println!("plan (edge order):         {:?}", factorized.plan_order);
+    println!("edge walks (phase 1):      {}", factorized.edge_walks);
     println!(
-        "\nboth engines return the same {} embeddings:",
-        baseline.len()
+        "answer-graph edges |AG|:   {}",
+        factorized.answer_graph_edges
     );
-    let dict = graph.dictionary();
-    for row in out.embeddings().tuples().iter().take(10) {
+    println!("embeddings |J CQ K_G|:     {}", wf.embedding_count());
+
+    // The same query on every registered engine — one loop, no dispatch tree.
+    println!("\n— all registered engines —");
+    let names: Vec<&str> = session.registry().names();
+    for name in names {
+        session.set_engine(name).expect("registered engine");
+        let ev = session.query(sparql).expect("query evaluates");
+        assert!(wf.embeddings().same_answer(ev.embeddings()));
+        println!(
+            "{:<12} {:>3} embeddings in {:?} (factorized: {})",
+            ev.engine,
+            ev.embedding_count(),
+            ev.timings.total(),
+            ev.factorized.is_some(),
+        );
+    }
+
+    // Re-running a query hits the prepared-plan cache.
+    session.set_engine("wireframe").expect("registered engine");
+    session.query(sparql).expect("query evaluates");
+    println!(
+        "\nprepared-query cache: {} hits, {} misses",
+        session.cache_hits(),
+        session.cache_misses()
+    );
+
+    println!("\nthe {} embeddings:", wf.embedding_count());
+    let dict = session.graph().dictionary();
+    for row in wf.embeddings().tuples().iter().take(10) {
         let labels: Vec<&str> = row
             .iter()
             .map(|n| dict.node_label(*n).unwrap_or("?"))

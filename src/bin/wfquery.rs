@@ -6,12 +6,19 @@
 //!
 //! options:
 //!   --query <SPARQL>          the conjunctive query (or pass it on stdin)
-//!   --engine <name>           wireframe (default) | relational | sortmerge | exploration
+//!   --query-file <path>       read the query from a file instead
+//!   --engine <name>           engine to evaluate with (default wireframe);
+//!                             `--engine help` lists the registered engines
 //!   --edge-burnback           enable triangulation + edge burnback (wireframe only)
-//!   --explain                 print the plan and phase statistics (wireframe only)
-//!   --limit <N>               print at most N result rows (default 20)
+//!   --explain                 print the plan and phase statistics
+//!   --limit <N>               print at most N result rows (default 20, 0 = unlimited)
 //!   --count-only              print only the number of embeddings
 //! ```
+//!
+//! Engines are dispatched through the workspace's engine registry
+//! ([`wireframe::default_registry`]); evaluation runs through the
+//! [`wireframe::Session`] facade, so repeated queries in one invocation reuse
+//! prepared plans.
 //!
 //! The data file uses the formats accepted by `wireframe_graph::load`: either
 //! N-Triples-style `<s> <p> <o> .` lines or bare whitespace-separated
@@ -20,14 +27,14 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use wireframe::baseline::{ExplorationEngine, RelationalEngine, SortMergeEngine};
-use wireframe::core::{explain_output, EvalOptions, WireframeEngine};
 use wireframe::graph::Graph;
-use wireframe::query::{parse_query, EmbeddingSet};
+use wireframe::query::EmbeddingSet;
+use wireframe::{default_registry, EngineConfig, Session};
 
 struct Options {
     data_path: String,
     query: Option<String>,
+    query_file: Option<String>,
     engine: String,
     edge_burnback: bool,
     explain: bool,
@@ -36,9 +43,19 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: wfquery <triples-file> --query <SPARQL> \
-     [--engine wireframe|relational|sortmerge|exploration] \
+    "usage: wfquery <triples-file> --query <SPARQL> | --query-file <path> \
+     [--engine <name>|help] \
      [--edge-burnback] [--explain] [--limit N] [--count-only]"
+}
+
+fn engine_listing() -> String {
+    let registry = default_registry();
+    let mut out = String::from("registered engines:\n");
+    for entry in registry.entries() {
+        out.push_str(&format!("  {:<12} {}\n", entry.name, entry.description));
+    }
+    out.push_str("select one with --engine <name>");
+    out
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -46,6 +63,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     let mut options = Options {
         data_path: String::new(),
         query: None,
+        query_file: None,
         engine: "wireframe".to_owned(),
         edge_burnback: false,
         explain: false,
@@ -55,6 +73,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--query" => options.query = Some(args.next().ok_or("--query needs a value")?),
+            "--query-file" => {
+                options.query_file = Some(args.next().ok_or("--query-file needs a value")?)
+            }
             "--engine" => options.engine = args.next().ok_or("--engine needs a value")?,
             "--edge-burnback" => options.edge_burnback = true,
             "--explain" => options.explain = true,
@@ -76,26 +97,55 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             }
         }
     }
+    if options.engine == "help" || options.engine == "list" {
+        // Listing engines needs no data file; handled before path validation.
+        options.data_path = data_path.unwrap_or_default();
+        return Ok(options);
+    }
     options.data_path = data_path.ok_or_else(|| usage().to_owned())?;
+    if options.query.is_some() && options.query_file.is_some() {
+        return Err("--query and --query-file are mutually exclusive".to_owned());
+    }
     Ok(options)
 }
 
 fn print_results(graph: &Graph, results: &EmbeddingSet, limit: usize) {
     let dict = graph.dictionary();
-    for row in results.tuples().iter().take(limit) {
+    let shown = if limit == 0 { results.len() } else { limit };
+    for row in results.tuples().iter().take(shown) {
         let labels: Vec<&str> = row
             .iter()
             .map(|n| dict.node_label(*n).unwrap_or("?"))
             .collect();
         println!("{}", labels.join("\t"));
     }
-    if results.len() > limit {
-        println!("… ({} more rows)", results.len() - limit);
+    if results.len() > shown {
+        println!("… ({} more rows)", results.len() - shown);
     }
+}
+
+fn read_query(options: &Options) -> Result<String, String> {
+    if let Some(q) = &options.query {
+        return Ok(q.clone());
+    }
+    if let Some(path) = &options.query_file {
+        return std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read query file {path}: {e}"));
+    }
+    let mut buf = String::new();
+    std::io::stdin()
+        .read_to_string(&mut buf)
+        .map_err(|e| format!("cannot read query from stdin: {e}"))?;
+    Ok(buf)
 }
 
 fn run() -> Result<(), String> {
     let options = parse_args(std::env::args().skip(1))?;
+
+    if options.engine == "help" || options.engine == "list" {
+        println!("{}", engine_listing());
+        return Ok(());
+    }
 
     let file = std::fs::File::open(&options.data_path)
         .map_err(|e| format!("cannot open {}: {e}", options.data_path))?;
@@ -109,48 +159,43 @@ fn run() -> Result<(), String> {
         graph.node_count()
     );
 
-    let query_text = match &options.query {
-        Some(q) => q.clone(),
-        None => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .map_err(|e| format!("cannot read query from stdin: {e}"))?;
-            buf
-        }
-    };
-    let query = parse_query(&query_text, graph.dictionary()).map_err(|e| e.to_string())?;
+    let query_text = read_query(&options)?;
 
-    let results = match options.engine.as_str() {
-        "wireframe" => {
-            let mut eval = EvalOptions::default();
-            if options.edge_burnback {
-                eval = eval.with_edge_burnback();
+    let mut config = EngineConfig::default();
+    if options.edge_burnback {
+        config = config.with_edge_burnback();
+    }
+    if options.explain {
+        config = config.with_explain();
+    }
+    // UnknownEngine's Display already names the registered engines; add the
+    // descriptions-only listing for anything else.
+    let session = Session::new(graph)
+        .with_config(config)
+        .with_engine(&options.engine)
+        .map_err(|e| match e {
+            wireframe::WireframeError::UnknownEngine { requested, .. } => {
+                format!("unknown engine {requested:?}\n{}", engine_listing())
             }
-            let engine = WireframeEngine::with_options(&graph, eval);
-            let out = engine.execute(&query).map_err(|e| e.to_string())?;
-            if options.explain {
-                eprint!("{}", explain_output(&graph, &query, &out));
-            }
-            out.embeddings().clone()
-        }
-        "relational" => RelationalEngine::new(&graph)
-            .evaluate(&query)
-            .map_err(|e| e.to_string())?,
-        "sortmerge" => SortMergeEngine::new(&graph)
-            .evaluate(&query)
-            .map_err(|e| e.to_string())?,
-        "exploration" => ExplorationEngine::new(&graph)
-            .evaluate(&query)
-            .map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown engine {other:?}; {}", usage())),
-    };
+            other => other.to_string(),
+        })?;
+
+    let evaluation = session.query(&query_text).map_err(|e| e.to_string())?;
+    if let Some(explain) = &evaluation.explain {
+        eprint!("{explain}");
+    } else if options.explain {
+        eprintln!(
+            "({} does not produce an explanation; timings: {:?} total)",
+            evaluation.engine,
+            evaluation.timings.total()
+        );
+    }
 
     if options.count_only {
-        println!("{}", results.len());
+        println!("{}", evaluation.embedding_count());
     } else {
-        print_results(&graph, &results, options.limit);
-        eprintln!("{} embeddings", results.len());
+        print_results(session.graph(), evaluation.embeddings(), options.limit);
+        eprintln!("{} embeddings", evaluation.embedding_count());
     }
     Ok(())
 }

@@ -2,9 +2,20 @@
 //!
 //! This is the umbrella crate of the Wireframe workspace, a reproduction of
 //! *"Answer Graph: Factorization Matters in Large Graphs"* (EDBT 2021).
-//! It re-exports the public API of the member crates so that examples and
-//! downstream users can depend on a single crate:
+//! It re-exports the public API of the member crates and adds the two pieces
+//! that tie them together:
 //!
+//! * [`Session`] — owns a [`Graph`](graph::Graph) and answers queries in one
+//!   call (parse → plan → execute), with a prepared-query cache keyed by the
+//!   canonical query signature,
+//! * [`default_registry`] — the [`EngineRegistry`] with all four engines of
+//!   the workspace (`wireframe`, `relational`, `sortmerge`, `exploration`),
+//!   every one implementing the uniform [`Engine`] trait.
+//!
+//! Member crates:
+//!
+//! * [`api`] — the evaluator contract: [`Engine`], [`Evaluation`],
+//!   [`PreparedQuery`], [`EngineRegistry`], [`WireframeError`],
 //! * [`graph`] — the in-memory RDF triple store and statistics catalog,
 //! * [`query`] — the conjunctive-query model and SPARQL-fragment parser,
 //! * [`core`] — the answer-graph engine (the paper's contribution),
@@ -15,22 +26,60 @@
 //!
 //! ```
 //! use wireframe::graph::GraphBuilder;
-//! use wireframe::query::parse_query;
-//! use wireframe::core::WireframeEngine;
+//! use wireframe::Session;
 //!
 //! let mut b = GraphBuilder::new();
 //! b.add("alice", "knows", "bob");
 //! b.add("bob", "knows", "carol");
-//! let g = b.build();
+//! let session = Session::new(b.build());
 //!
-//! let q = parse_query("SELECT ?x ?y ?z WHERE { ?x :knows ?y . ?y :knows ?z . }", g.dictionary()).unwrap();
-//! let engine = WireframeEngine::new(&g);
-//! let result = engine.execute(&q).unwrap();
-//! assert_eq!(result.embeddings().len(), 1);
+//! let result = session
+//!     .query("SELECT ?x ?y ?z WHERE { ?x :knows ?y . ?y :knows ?z . }")
+//!     .unwrap();
+//! assert_eq!(result.embedding_count(), 1);
+//! assert!(result.factorized.is_some(), "the default engine factorizes");
+//! ```
+//!
+//! ## Comparing engines
+//!
+//! Every engine answers through the same [`Engine`] trait, so comparing the
+//! factorized evaluator against a baseline is a loop, not a dispatch tree:
+//!
+//! ```
+//! use wireframe::api::EngineConfig;
+//! use wireframe::graph::GraphBuilder;
+//! use wireframe::query::parse_query;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add("alice", "knows", "bob");
+//! let g = b.build();
+//! let q = parse_query("SELECT * WHERE { ?x :knows ?y . }", g.dictionary()).unwrap();
+//!
+//! let registry = wireframe::default_registry();
+//! let mut answers = Vec::new();
+//! for name in registry.names() {
+//!     let engine = registry.build(name, &g, &EngineConfig::default()).unwrap();
+//!     answers.push(engine.run(&q).unwrap().embeddings);
+//! }
+//! assert!(answers.windows(2).all(|w| w[0].same_answer(&w[1])));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod session;
+
+pub use wireframe_api as api;
 pub use wireframe_baseline as baseline;
 pub use wireframe_core as core;
 pub use wireframe_datagen as datagen;
 pub use wireframe_graph as graph;
 pub use wireframe_query as query;
+
+pub use registry::default_registry;
+pub use session::Session;
+pub use wireframe_api::{
+    Engine, EngineConfig, EngineEntry, EngineRegistry, Evaluation, Factorized, PreparedQuery,
+    Timings, WireframeError,
+};

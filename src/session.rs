@@ -1,0 +1,413 @@
+//! The `Session` facade: one object that owns a graph and answers queries.
+//!
+//! A session ties together the pieces a caller would otherwise assemble by
+//! hand — dictionary-aware parsing, engine construction through the
+//! [`EngineRegistry`], prepared-query caching keyed by the canonical query
+//! signature, and uniform [`Evaluation`] results:
+//!
+//! ```
+//! use wireframe::Session;
+//! use wireframe::graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add("alice", "knows", "bob");
+//! b.add("bob", "knows", "carol");
+//! let session = Session::new(b.build());
+//!
+//! let result = session
+//!     .query("SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }")
+//!     .unwrap();
+//! assert_eq!(result.embedding_count(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wireframe_api::{
+    Engine, EngineConfig, EngineRegistry, Evaluation, PreparedQuery, WireframeError,
+};
+use wireframe_graph::Graph;
+use wireframe_query::canonical::{isomorphic, plan_cache_key};
+use wireframe_query::{parse_query, ConjunctiveQuery};
+
+use crate::registry::default_registry;
+
+/// Cache key: (engine name, colour-refinement form of the query).
+type CacheKey = (String, String);
+/// Colour keys can collide for non-isomorphic queries (1-WL), so each bucket
+/// chains every prepared query sharing the key.
+type CacheBucket = Vec<Arc<PreparedQuery>>;
+
+/// A query session over one graph.
+///
+/// The session owns the graph, an engine registry, and a cache of prepared
+/// queries. Preparation (for the Wireframe engine: running the cost-based
+/// Edgifier) happens once per *canonical* query — two queries that differ
+/// only by variable renaming or pattern order share one cache entry, courtesy
+/// of `wireframe_query::canonical::plan_cache_key`, which (unlike the miner's
+/// sorted signature) keeps the SELECT clause's column order, so `SELECT ?x ?z`
+/// and `SELECT ?z ?x` never collide. Cached entries are per engine, since
+/// each engine prepares its own plan payload.
+///
+/// Cache hits reuse the canonical representative's prepared form. The colour
+/// key is a fast filter, not a proof — 1-WL refinement cannot separate every
+/// non-isomorphic pair — so each candidate is confirmed with an exact
+/// isomorphism test (`canonical::isomorphic`, ordered-projection aware)
+/// before reuse; colliding non-isomorphic queries chain in the same bucket.
+/// A hit therefore guarantees the representative's answer matches the
+/// caller's **column for column** (same values, same order). Column identity
+/// is *positional*: on a hit the returned [`Evaluation`]'s schema carries
+/// the representative query's `Var` ids, which belong to that query's
+/// namespace, not the caller's. Read result columns by SELECT position, not
+/// by looking the caller's own `Var` up in the schema.
+pub struct Session {
+    graph: Graph,
+    registry: EngineRegistry,
+    engine: String,
+    config: EngineConfig,
+    cache: Mutex<HashMap<CacheKey, CacheBucket>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Session {
+    /// Creates a session over `graph` with the stock registry
+    /// ([`default_registry`]) and the `wireframe` engine selected.
+    pub fn new(graph: Graph) -> Self {
+        Session::with_registry(graph, default_registry())
+    }
+
+    /// Creates a session with a custom registry. The registry's first
+    /// registered engine becomes the session's engine.
+    pub fn with_registry(graph: Graph, registry: EngineRegistry) -> Self {
+        let engine = registry.default_engine().unwrap_or("wireframe").to_owned();
+        Session {
+            graph,
+            registry,
+            engine,
+            config: EngineConfig::default(),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Selects the engine used by subsequent queries (builder form).
+    pub fn with_engine(mut self, name: &str) -> Result<Self, WireframeError> {
+        self.set_engine(name)?;
+        Ok(self)
+    }
+
+    /// Selects the engine used by subsequent queries.
+    pub fn set_engine(&mut self, name: &str) -> Result<(), WireframeError> {
+        if !self.registry.contains(name) {
+            return Err(WireframeError::UnknownEngine {
+                requested: name.to_owned(),
+                known: self
+                    .registry
+                    .names()
+                    .iter()
+                    .map(|&n| n.to_owned())
+                    .collect(),
+            });
+        }
+        self.engine = name.to_owned();
+        Ok(())
+    }
+
+    /// Sets the engine configuration (builder form).
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The graph this session queries.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The engine registry.
+    pub fn registry(&self) -> &EngineRegistry {
+        &self.registry
+    }
+
+    /// The currently selected engine name.
+    pub fn engine_name(&self) -> &str {
+        &self.engine
+    }
+
+    /// The engine configuration in effect.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Parses, plans and executes a SPARQL conjunctive query in one call.
+    pub fn query(&self, text: &str) -> Result<Evaluation, WireframeError> {
+        let query = parse_query(text, self.graph.dictionary())?;
+        self.execute(&query)
+    }
+
+    /// Executes an already-constructed query through the selected engine,
+    /// using the prepared-query cache.
+    pub fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
+        let engine = self
+            .registry
+            .build(&self.engine, &self.graph, &self.config)?;
+        let prepared = self.prepare_on(engine.as_ref(), query)?;
+        engine.evaluate(&prepared)
+    }
+
+    /// Returns the prepared form of `query` for the selected engine, from the
+    /// cache when an equivalent query was prepared before.
+    pub fn prepare(&self, query: &ConjunctiveQuery) -> Result<Arc<PreparedQuery>, WireframeError> {
+        let engine = self
+            .registry
+            .build(&self.engine, &self.graph, &self.config)?;
+        self.prepare_on(engine.as_ref(), query)
+    }
+
+    /// Cache lookup + preparation on an already-built engine.
+    fn prepare_on(
+        &self,
+        engine: &dyn Engine,
+        query: &ConjunctiveQuery,
+    ) -> Result<Arc<PreparedQuery>, WireframeError> {
+        let key = (
+            self.engine.clone(),
+            plan_cache_key(query).as_str().to_owned(),
+        );
+        if let Some(bucket) = self.lock_cache().get(&key) {
+            // The colour key is only a filter; confirm an exact match before
+            // reusing another query's plan and answer shape.
+            if let Some(found) = bucket.iter().find(|p| isomorphic(query, p.query())) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(found));
+            }
+        }
+        // Prepare outside the lock: planning can be costly.
+        let prepared = Arc::new(engine.prepare(query)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.lock_cache();
+        let bucket = cache.entry(key).or_default();
+        // Re-check under the lock: a concurrent caller may have prepared the
+        // same query while we were planning; keep the bucket duplicate-free.
+        if let Some(raced) = bucket.iter().find(|p| isomorphic(query, p.query())) {
+            return Ok(Arc::clone(raced));
+        }
+        bucket.push(Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// Number of prepared-query cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of prepared-query cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct prepared queries currently cached.
+    pub fn cached_queries(&self) -> usize {
+        self.lock_cache().values().map(Vec::len).sum()
+    }
+
+    /// Empties the prepared-query cache (the hit/miss counters keep counting).
+    pub fn clear_cache(&self) {
+        self.lock_cache().clear();
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, CacheBucket>> {
+        // A poisoned lock only means another thread panicked mid-insert; the
+        // map itself is always in a consistent state.
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("engine", &self.engine)
+            .field("triples", &self.graph.triple_count())
+            .field("cached_queries", &self.cached_queries())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wireframe_graph::GraphBuilder;
+
+    fn knows_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("alice", "knows", "bob");
+        b.add("bob", "knows", "carol");
+        b.add("carol", "knows", "dave");
+        b.build()
+    }
+
+    #[test]
+    fn parse_plan_execute_in_one_call() {
+        let session = Session::new(knows_graph());
+        let ev = session
+            .query("SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }")
+            .unwrap();
+        assert_eq!(ev.embedding_count(), 2);
+        assert_eq!(ev.engine, "wireframe");
+        assert!(ev.factorized.is_some());
+    }
+
+    #[test]
+    fn prepared_query_cache_reuses_plans() {
+        let session = Session::new(knows_graph());
+        let text = "SELECT * WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        let first = session.query(text).unwrap();
+        assert_eq!(session.cache_misses(), 1);
+        assert_eq!(session.cache_hits(), 0);
+
+        let second = session.query(text).unwrap();
+        assert_eq!(session.cache_misses(), 1, "no second preparation");
+        assert_eq!(session.cache_hits(), 1, "the cached plan was reused");
+        assert!(first.embeddings().same_answer(second.embeddings()));
+
+        // An isomorphic query (renamed variables, reordered patterns, same
+        // column order) hits the same entry: the cache is keyed by the
+        // order-sensitive canonical form.
+        let renamed = "SELECT ?a ?b ?c WHERE { ?b :knows ?c . ?a :knows ?b . }";
+        let third = session.query(renamed).unwrap();
+        assert_eq!(session.cache_hits(), 2);
+        assert_eq!(session.cached_queries(), 1);
+        assert!(first.embeddings().same_answer(third.embeddings()));
+    }
+
+    #[test]
+    fn cache_never_conflates_projection_order() {
+        // `SELECT ?x ?z` and `SELECT ?z ?x` share a miner signature but ask
+        // for different column orders; a cache hit here would silently swap
+        // the output columns.
+        let session = Session::new(knows_graph());
+        let xz = session
+            .query("SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }")
+            .unwrap();
+        let zx = session
+            .query("SELECT ?z ?x WHERE { ?x :knows ?y . ?y :knows ?z . }")
+            .unwrap();
+        assert_eq!(session.cache_misses(), 2, "distinct column orders miss");
+        assert_eq!(session.cache_hits(), 0);
+
+        // The second result's columns are the first's, swapped.
+        let mut a: Vec<_> = xz
+            .embeddings()
+            .tuples()
+            .iter()
+            .map(|t| (t[0], t[1]))
+            .collect();
+        let mut b: Vec<_> = zx
+            .embeddings()
+            .tuples()
+            .iter()
+            .map(|t| (t[1], t[0]))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "column values swap with the requested order");
+        // (Var indices are per-query namespaces, so the schemas themselves
+        // are not comparable across the two parses — the tuple check above
+        // is the meaningful one.)
+    }
+
+    #[test]
+    fn cache_hit_requires_exact_isomorphism() {
+        use wireframe_query::CqBuilder;
+        // A directed 6-cycle and two disjoint directed triangles over one
+        // predicate colour identically (the classic 1-WL blind spot), so
+        // their cache keys collide. The exact-isomorphism confirmation must
+        // keep them apart: the disconnected triangle query is rejected, not
+        // answered with the cycle's cached plan.
+        let session = Session::new(knows_graph());
+        let d = session.graph().dictionary();
+
+        let mut b6 = CqBuilder::new(d);
+        for i in 0..6 {
+            b6.pattern(&format!("?v{i}"), "knows", &format!("?v{}", (i + 1) % 6))
+                .unwrap();
+        }
+        let cycle6 = b6.build().unwrap();
+
+        let mut b33 = CqBuilder::new(d);
+        for i in 0..3 {
+            b33.pattern(&format!("?s{i}"), "knows", &format!("?s{}", (i + 1) % 3))
+                .unwrap();
+        }
+        for i in 0..3 {
+            b33.pattern(&format!("?t{i}"), "knows", &format!("?t{}", (i + 1) % 3))
+                .unwrap();
+        }
+        let triangles = b33.build().unwrap();
+
+        let cycle_answer = session.execute(&cycle6).unwrap();
+        assert_eq!(cycle_answer.embedding_count(), 0, "no 6-cycle in the data");
+
+        assert!(
+            matches!(
+                session.execute(&triangles),
+                Err(WireframeError::DisconnectedQuery)
+            ),
+            "the colour-colliding disconnected query must not reuse the cycle's plan"
+        );
+        assert_eq!(session.cache_hits(), 0, "collision was not a hit");
+    }
+
+    #[test]
+    fn cache_is_per_engine() {
+        let mut session = Session::new(knows_graph());
+        let text = "SELECT * WHERE { ?x :knows ?y . }";
+        session.query(text).unwrap();
+        session.set_engine("relational").unwrap();
+        session.query(text).unwrap();
+        assert_eq!(session.cache_misses(), 2, "each engine prepares its own");
+        assert_eq!(session.cached_queries(), 2);
+
+        session.clear_cache();
+        assert_eq!(session.cached_queries(), 0);
+    }
+
+    #[test]
+    fn every_registered_engine_answers_identically() {
+        let mut session = Session::new(knows_graph());
+        let text = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        let names: Vec<&str> = session.registry().names();
+        let mut answers = Vec::new();
+        for name in names {
+            session.set_engine(name).unwrap();
+            let ev = session.query(text).unwrap();
+            assert_eq!(ev.engine, name);
+            answers.push(ev.embeddings);
+        }
+        for other in &answers[1..] {
+            assert!(answers[0].same_answer(other));
+        }
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected() {
+        let mut session = Session::new(knows_graph());
+        assert!(matches!(
+            session.set_engine("sqlite"),
+            Err(WireframeError::UnknownEngine { .. })
+        ));
+        assert!(Session::new(knows_graph()).with_engine("sortmerge").is_ok());
+    }
+
+    #[test]
+    fn parse_errors_surface_as_wireframe_errors() {
+        let session = Session::new(knows_graph());
+        assert!(matches!(
+            session.query("SELECT WHERE"),
+            Err(WireframeError::Query(_))
+        ));
+    }
+}

@@ -1,4 +1,4 @@
-//! Property-based tests of the core invariants over random graphs and random
+//! Property-style tests of the core invariants over random graphs and random
 //! query shapes:
 //!
 //! 1. Wireframe, the relational baseline and the exploration baseline always
@@ -6,10 +6,16 @@
 //! 2. For acyclic queries the answer graph is ideal: every answer edge is used
 //!    by at least one embedding.
 //! 3. Edge burnback never changes the answer and never enlarges the answer
-//!    graph.
+//!    graph (and leaves diamond answer graphs ideal).
 //! 4. The final answer graph does not depend on the planner.
+//! 5. Burnback statistics are internally consistent.
+//!
+//! Cases are generated from the vendored seeded PRNG (crates.io — and with it
+//! `proptest` — is unavailable offline), so every run exercises the same
+//! deterministic case list; failures print the offending seed.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use wireframe::baseline::{ExplorationEngine, RelationalEngine};
 use wireframe::core::{EvalOptions, PlannerKind, WireframeEngine};
@@ -19,21 +25,24 @@ use wireframe::query::{ConjunctiveQuery, CqBuilder, QueryGraph};
 /// Predicate labels available to the random graphs and queries.
 const LABELS: [&str; 4] = ["A", "B", "C", "D"];
 
+/// Cases per property (mirrors the old `ProptestConfig::with_cases(48)`).
+const CASES: u64 = 48;
+
 /// A random edge list over a small node universe.
-fn arb_graph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
-    prop::collection::vec((0..max_nodes, 0..LABELS.len(), 0..max_nodes), 1..max_edges).prop_map(
-        |edges| {
-            let mut b = GraphBuilder::new();
-            // Always intern every predicate so queries over any label resolve.
-            for l in LABELS {
-                b.intern_predicate(l);
-            }
-            for (s, p, o) in edges {
-                b.add(&format!("n{s}"), LABELS[p], &format!("n{o}"));
-            }
-            b.build()
-        },
-    )
+fn gen_graph(rng: &mut SmallRng, max_nodes: u32, max_edges: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    // Always intern every predicate so queries over any label resolve.
+    for l in LABELS {
+        b.intern_predicate(l);
+    }
+    let edges = rng.gen_range(1..max_edges);
+    for _ in 0..edges {
+        let s = rng.gen_range(0..max_nodes);
+        let p = rng.gen_range(0..LABELS.len());
+        let o = rng.gen_range(0..max_nodes);
+        b.add(&format!("n{s}"), LABELS[p], &format!("n{o}"));
+    }
+    b.build()
 }
 
 /// Query shapes exercised by the properties.
@@ -49,20 +58,31 @@ enum QueryShape {
     Triangle(usize, usize, usize),
 }
 
-fn arb_query_shape() -> impl Strategy<Value = QueryShape> {
-    prop_oneof![
-        prop::collection::vec(0..LABELS.len(), 1..4).prop_map(QueryShape::Chain),
-        prop::collection::vec(0..LABELS.len(), 2..4).prop_map(QueryShape::Star),
-        (
-            0..LABELS.len(),
-            0..LABELS.len(),
-            0..LABELS.len(),
-            0..LABELS.len()
-        )
-            .prop_map(|(a, b, c, d)| QueryShape::Diamond(a, b, c, d)),
-        (0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len())
-            .prop_map(|(a, b, c)| QueryShape::Triangle(a, b, c)),
-    ]
+fn gen_labels(rng: &mut SmallRng, min: usize, max: usize) -> Vec<usize> {
+    let n = rng.gen_range(min..max);
+    (0..n).map(|_| rng.gen_range(0..LABELS.len())).collect()
+}
+
+fn gen_shape(rng: &mut SmallRng) -> QueryShape {
+    match rng.gen_range(0..4usize) {
+        0 => QueryShape::Chain(gen_labels(rng, 1, 4)),
+        1 => QueryShape::Star(gen_labels(rng, 2, 4)),
+        2 => gen_diamond(rng),
+        _ => QueryShape::Triangle(
+            rng.gen_range(0..LABELS.len()),
+            rng.gen_range(0..LABELS.len()),
+            rng.gen_range(0..LABELS.len()),
+        ),
+    }
+}
+
+fn gen_diamond(rng: &mut SmallRng) -> QueryShape {
+    QueryShape::Diamond(
+        rng.gen_range(0..LABELS.len()),
+        rng.gen_range(0..LABELS.len()),
+        rng.gen_range(0..LABELS.len()),
+        rng.gen_range(0..LABELS.len()),
+    )
 }
 
 fn build_query(graph: &Graph, shape: &QueryShape) -> ConjunctiveQuery {
@@ -95,25 +115,49 @@ fn build_query(graph: &Graph, shape: &QueryShape) -> ConjunctiveQuery {
     b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `case` once per seed with a seeded PRNG, reporting the seed on panic.
+fn for_each_case(property: &str, mut case: impl FnMut(&mut SmallRng)) {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE + seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("property {property:?} failed at seed {seed}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
 
-    #[test]
-    fn engines_agree_on_random_graphs(graph in arb_graph(12, 60), shape in arb_query_shape()) {
-        let query = build_query(&graph, &shape);
+#[test]
+fn engines_agree_on_random_graphs() {
+    for_each_case("engines_agree", |rng| {
+        let graph = gen_graph(rng, 12, 60);
+        let query = build_query(&graph, &gen_shape(rng));
         let wf = WireframeEngine::new(&graph).execute(&query).unwrap();
         let rel = RelationalEngine::new(&graph).evaluate(&query).unwrap();
         let exp = ExplorationEngine::new(&graph).evaluate(&query).unwrap();
-        prop_assert!(wf.embeddings().same_answer(&rel),
-            "wireframe {} vs relational {}", wf.embedding_count(), rel.len());
-        prop_assert!(wf.embeddings().same_answer(&exp),
-            "wireframe {} vs exploration {}", wf.embedding_count(), exp.len());
-    }
+        assert!(
+            wf.embeddings().same_answer(&rel),
+            "wireframe {} vs relational {}",
+            wf.embedding_count(),
+            rel.len()
+        );
+        assert!(
+            wf.embeddings().same_answer(&exp),
+            "wireframe {} vs exploration {}",
+            wf.embedding_count(),
+            exp.len()
+        );
+    });
+}
 
-    #[test]
-    fn acyclic_answer_graphs_are_ideal(graph in arb_graph(10, 40), labels in prop::collection::vec(0..LABELS.len(), 1..4)) {
-        let query = build_query(&graph, &QueryShape::Chain(labels));
-        prop_assume!(QueryGraph::new(&query).is_acyclic());
+#[test]
+fn acyclic_answer_graphs_are_ideal() {
+    for_each_case("acyclic_ideal", |rng| {
+        let graph = gen_graph(rng, 10, 40);
+        let query = build_query(&graph, &QueryShape::Chain(gen_labels(rng, 1, 4)));
+        if !QueryGraph::new(&query).is_acyclic() {
+            return; // analogous to prop_assume!
+        }
         let out = WireframeEngine::new(&graph).execute(&query).unwrap();
         let emb = out.embeddings();
         for (i, pattern) in query.patterns().iter().enumerate() {
@@ -123,30 +167,36 @@ proptest! {
             let o_col = emb.schema().iter().position(|v| *v == ov).unwrap();
             for (s, o) in out.answer_graph.pattern(i).iter() {
                 let used = emb.tuples().iter().any(|t| t[s_col] == s && t[o_col] == o);
-                prop_assert!(used, "unused AG edge in pattern {i}: ({s:?}, {o:?})");
+                assert!(used, "unused AG edge in pattern {i}: ({s:?}, {o:?})");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn edge_burnback_is_sound_and_shrinking(graph in arb_graph(10, 50),
-        (p1, p2, p3, p4) in (0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len())) {
-        let query = build_query(&graph, &QueryShape::Diamond(p1, p2, p3, p4));
+#[test]
+fn edge_burnback_is_sound_and_shrinking() {
+    for_each_case("burnback_sound", |rng| {
+        let graph = gen_graph(rng, 10, 50);
+        let query = build_query(&graph, &gen_diamond(rng));
         let plain = WireframeEngine::new(&graph).execute(&query).unwrap();
-        let burned = WireframeEngine::with_options(&graph, EvalOptions::default().with_edge_burnback())
-            .execute(&query)
-            .unwrap();
-        prop_assert!(plain.embeddings().same_answer(burned.embeddings()));
-        prop_assert!(burned.answer_graph_size() <= plain.answer_graph_size());
-    }
+        let burned =
+            WireframeEngine::with_options(&graph, EvalOptions::default().with_edge_burnback())
+                .execute(&query)
+                .unwrap();
+        assert!(plain.embeddings().same_answer(burned.embeddings()));
+        assert!(burned.answer_graph_size() <= plain.answer_graph_size());
+    });
+}
 
-    #[test]
-    fn edge_burnback_yields_ideal_diamond_answer_graphs(graph in arb_graph(8, 40),
-        (p1, p2, p3, p4) in (0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len(), 0..LABELS.len())) {
-        let query = build_query(&graph, &QueryShape::Diamond(p1, p2, p3, p4));
-        let out = WireframeEngine::with_options(&graph, EvalOptions::default().with_edge_burnback())
-            .execute(&query)
-            .unwrap();
+#[test]
+fn edge_burnback_yields_ideal_diamond_answer_graphs() {
+    for_each_case("burnback_ideal", |rng| {
+        let graph = gen_graph(rng, 8, 40);
+        let query = build_query(&graph, &gen_diamond(rng));
+        let out =
+            WireframeEngine::with_options(&graph, EvalOptions::default().with_edge_burnback())
+                .execute(&query)
+                .unwrap();
         let emb = out.embeddings();
         for (i, pattern) in query.patterns().iter().enumerate() {
             let sv = pattern.subject.as_var().unwrap();
@@ -155,41 +205,60 @@ proptest! {
             let o_col = emb.schema().iter().position(|v| *v == ov).unwrap();
             for (s, o) in out.answer_graph.pattern(i).iter() {
                 let used = emb.tuples().iter().any(|t| t[s_col] == s && t[o_col] == o);
-                prop_assert!(used, "edge burnback left a spurious edge in pattern {i}: ({s:?}, {o:?})");
+                assert!(
+                    used,
+                    "edge burnback left a spurious edge in pattern {i}: ({s:?}, {o:?})"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn planner_does_not_change_the_final_answer_graph(graph in arb_graph(10, 40), shape in arb_query_shape()) {
-        let query = build_query(&graph, &shape);
+#[test]
+fn planner_does_not_change_the_final_answer_graph() {
+    for_each_case("planner_invariance", |rng| {
+        let graph = gen_graph(rng, 10, 40);
+        let query = build_query(&graph, &gen_shape(rng));
         let mut sizes = Vec::new();
         let mut answers = Vec::new();
-        for kind in [PlannerKind::DpLeftDeep, PlannerKind::Greedy, PlannerKind::AsWritten] {
-            let out = WireframeEngine::with_options(&graph, EvalOptions::default().with_planner(kind))
-                .execute(&query)
-                .unwrap();
+        for kind in [
+            PlannerKind::DpLeftDeep,
+            PlannerKind::Greedy,
+            PlannerKind::AsWritten,
+        ] {
+            let out =
+                WireframeEngine::with_options(&graph, EvalOptions::default().with_planner(kind))
+                    .execute(&query)
+                    .unwrap();
             sizes.push(out.answer_graph_size());
             answers.push(out.embeddings);
         }
-        prop_assert_eq!(sizes[0], sizes[1]);
-        prop_assert_eq!(sizes[0], sizes[2]);
-        prop_assert!(answers[0].same_answer(&answers[1]));
-        prop_assert!(answers[0].same_answer(&answers[2]));
-    }
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(sizes[0], sizes[2]);
+        assert!(answers[0].same_answer(&answers[1]));
+        assert!(answers[0].same_answer(&answers[2]));
+    });
+}
 
-    #[test]
-    fn burnback_statistics_are_consistent(graph in arb_graph(10, 40), labels in prop::collection::vec(0..LABELS.len(), 1..4)) {
-        let query = build_query(&graph, &QueryShape::Chain(labels));
+#[test]
+fn burnback_statistics_are_consistent() {
+    for_each_case("stats_consistent", |rng| {
+        let graph = gen_graph(rng, 10, 40);
+        let query = build_query(&graph, &QueryShape::Chain(gen_labels(rng, 1, 4)));
         let out = WireframeEngine::with_options(&graph, EvalOptions::default().with_trace())
             .execute(&query)
             .unwrap();
         // Added minus burned equals what is left in the AG.
         let added = out.generation.edges_added;
         let burned = out.generation.edges_burned;
-        prop_assert_eq!(added - burned, out.answer_graph_size() as u64);
+        assert_eq!(added - burned, out.answer_graph_size() as u64);
         // Step traces sum to the aggregate counters.
-        let step_added: u64 = out.generation.steps.iter().map(|s| s.edges_added as u64).sum();
-        prop_assert_eq!(step_added, added);
-    }
+        let step_added: u64 = out
+            .generation
+            .steps
+            .iter()
+            .map(|s| s.edges_added as u64)
+            .sum();
+        assert_eq!(step_added, added);
+    });
 }

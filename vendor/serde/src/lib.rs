@@ -1,0 +1,58 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! `#[derive(Serialize)]` as forward-looking metadata (no code serializes
+//! yet), so this shim provides `Serialize` as a marker trait plus the derive
+//! macro from the vendored `serde_derive`. Swapping in real serde later is a
+//! manifest change only.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The real trait's `serialize` method is deliberately absent: nothing in the
+/// workspace serializes yet, and a marker keeps the shim honest — code that
+/// actually needs serialization will fail to compile here rather than
+/// silently do nothing.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl Serialize for String {}
+impl Serialize for str {}
+impl Serialize for bool {}
+impl Serialize for f32 {}
+impl Serialize for f64 {}
+impl Serialize for u8 {}
+impl Serialize for u16 {}
+impl Serialize for u32 {}
+impl Serialize for u64 {}
+impl Serialize for usize {}
+impl Serialize for i8 {}
+impl Serialize for i16 {}
+impl Serialize for i32 {}
+impl Serialize for i64 {}
+impl Serialize for isize {}
+
+#[cfg(test)]
+mod tests {
+    use crate as serde;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Plain {
+        #[allow(dead_code)]
+        x: u32,
+    }
+
+    fn assert_serialize<T: Serialize>() {}
+
+    #[test]
+    fn derive_produces_an_impl() {
+        assert_serialize::<Plain>();
+        assert_serialize::<Vec<String>>();
+    }
+}

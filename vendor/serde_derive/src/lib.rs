@@ -1,0 +1,45 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The vendored `serde` shim defines `Serialize` as a marker trait; this
+//! derive emits a trivial `impl` for the annotated type. It handles plain
+//! (non-generic) structs and enums, which is all the workspace derives on.
+//! Implemented without `syn`/`quote` since neither is available offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl for a non-generic type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Extracts the identifier following the `struct` / `enum` / `union` keyword.
+/// Returns `None` for generic types (angle brackets after the name), which
+/// would need real serde to handle bounds — the shim degrades to no impl.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next()? {
+                    TokenTree::Ident(name) => name.to_string(),
+                    _ => return None,
+                };
+                // A `<` right after the name means generics: bail out.
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        return None;
+                    }
+                }
+                return Some(name);
+            }
+        }
+    }
+    None
+}
