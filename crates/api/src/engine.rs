@@ -19,6 +19,11 @@ pub struct EngineConfig {
     /// Ask the engine to render a plan/statistics explanation into
     /// [`Evaluation::explain`].
     pub explain: bool,
+    /// Worker threads for parallelizable phases (the Wireframe engine's
+    /// phase-two defactorizer). `0` (the default) keeps the engine's own
+    /// default; `1` forces sequential evaluation; `n > 1` requests `n`
+    /// workers. Engines without parallel phases ignore the knob.
+    pub threads: usize,
 }
 
 impl EngineConfig {
@@ -31,6 +36,13 @@ impl EngineConfig {
     /// Requests a rendered explanation alongside each evaluation.
     pub fn with_explain(mut self) -> Self {
         self.explain = true;
+        self
+    }
+
+    /// Requests `threads` workers for parallelizable phases (`0` = engine
+    /// default, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -139,13 +151,18 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let c = EngineConfig::default().with_edge_burnback().with_explain();
+        let c = EngineConfig::default()
+            .with_edge_burnback()
+            .with_explain()
+            .with_threads(4);
         assert!(c.edge_burnback && c.explain);
+        assert_eq!(c.threads, 4);
         assert_eq!(
             EngineConfig::default(),
             EngineConfig {
                 edge_burnback: false,
-                explain: false
+                explain: false,
+                threads: 0
             }
         );
     }

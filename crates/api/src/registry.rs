@@ -5,13 +5,19 @@
 //! function pointers (`for<'g> fn(...)`) so a registry is `'static`, cheap to
 //! clone, and independent of any particular graph's lifetime.
 
+use std::sync::Arc;
+
 use wireframe_graph::Graph;
 
 use crate::engine::{Engine, EngineConfig};
 use crate::error::WireframeError;
 
 /// Builds a boxed engine over a borrowed graph.
-pub type EngineFactory = for<'g> fn(&'g Graph, &EngineConfig) -> Box<dyn Engine + 'g>;
+///
+/// The trait object is `Send + Sync` so built engines can be shared across
+/// worker threads (engines borrow an immutable graph and carry only
+/// configuration, so every workspace engine satisfies the bounds for free).
+pub type EngineFactory = for<'g> fn(&'g Graph, &EngineConfig) -> Box<dyn Engine + Send + Sync + 'g>;
 
 /// One registered engine.
 #[derive(Clone, Copy)]
@@ -75,7 +81,7 @@ impl EngineRegistry {
         name: &str,
         graph: &'g Graph,
         config: &EngineConfig,
-    ) -> Result<Box<dyn Engine + 'g>, WireframeError> {
+    ) -> Result<Box<dyn Engine + Send + Sync + 'g>, WireframeError> {
         match self.entries.iter().find(|e| e.name == name) {
             Some(entry) => Ok((entry.build)(graph, config)),
             None => Err(WireframeError::UnknownEngine {
@@ -83,6 +89,18 @@ impl EngineRegistry {
                 known: self.names().iter().map(|&n| n.to_owned()).collect(),
             }),
         }
+    }
+
+    /// Builds the engine registered under `name` behind an [`Arc`], for
+    /// sharing one engine instance across worker threads (e.g. a closed-loop
+    /// benchmark driver or a concurrent `Session`).
+    pub fn build_shared<'g>(
+        &self,
+        name: &str,
+        graph: &'g Graph,
+        config: &EngineConfig,
+    ) -> Result<Arc<dyn Engine + Send + Sync + 'g>, WireframeError> {
+        self.build(name, graph, config).map(Arc::from)
     }
 
     /// All registered entries, in registration order.
@@ -136,13 +154,13 @@ mod tests {
         }
     }
 
-    fn null_a<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + 'g> {
+    fn null_a<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + Send + Sync + 'g> {
         Box::new(Null("a"))
     }
-    fn null_a2<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + 'g> {
+    fn null_a2<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + Send + Sync + 'g> {
         Box::new(Null("a2"))
     }
-    fn null_b<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + 'g> {
+    fn null_b<'g>(_: &'g Graph, _: &EngineConfig) -> Box<dyn Engine + Send + Sync + 'g> {
         Box::new(Null("b"))
     }
 
@@ -169,6 +187,29 @@ mod tests {
         qb.pattern("?x", "p", "?y").unwrap();
         let ev = engine.run(&qb.build().unwrap()).unwrap();
         assert_eq!(ev.engine, "b");
+    }
+
+    #[test]
+    fn shared_engines_evaluate_from_multiple_threads() {
+        let mut r = EngineRegistry::new();
+        r.register("a", "engine a", null_a);
+        let g = tiny_graph();
+        let engine = r.build_shared("a", &g, &EngineConfig::default()).unwrap();
+
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("?x", "p", "?y").unwrap();
+        let q = qb.build().unwrap();
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = Arc::clone(&engine);
+                let q = &q;
+                scope.spawn(move || {
+                    let ev = engine.run(q).unwrap();
+                    assert_eq!(ev.engine, "a");
+                });
+            }
+        });
     }
 
     #[test]

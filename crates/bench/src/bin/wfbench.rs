@@ -1,0 +1,246 @@
+//! `wfbench` — the concurrent closed-loop benchmark driver with
+//! machine-readable output and baseline regression checking.
+//!
+//! ```text
+//! wfbench [options]
+//!
+//! options:
+//!   --size tiny|small|benchmark   dataset size (default: WIREFRAME_BENCH_SIZE or small)
+//!   --threads <N>                 closed-loop driver threads (default: auto, capped at 8);
+//!                                 also passed to the wireframe engine's parallel
+//!                                 phase-two defactorizer
+//!   --iterations <N>              workload passes per thread (default 5)
+//!   --engines <a,b,…>             engines to measure (default: every registered engine)
+//!   --workload full|table1|chains|stars   query mix (default full = all 20)
+//!   --edge-burnback               enable triangulation + edge burnback (wireframe only)
+//!   --json <path>                 write the BENCH_*.json report here
+//!   --baseline <path>             compare against a previous report …
+//!   --tolerance <P%>              … allowing P% slack on latency/QPS (default 15%)
+//!
+//! exit codes: 0 ok · 1 regression against the baseline · 2 usage or runtime error
+//! ```
+//!
+//! The JSON schema is documented in `wireframe_bench::report` and in the
+//! README's Benchmarking section. Counts (|AG|, |Embeddings|) must match the
+//! baseline exactly; latency and QPS regress only beyond the tolerance.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use wireframe::{core::auto_threads, EngineConfig, Session};
+use wireframe_bench::driver::run_engine;
+use wireframe_bench::report::{compare, parse_tolerance, BenchReport, SCHEMA_VERSION};
+use wireframe_bench::{build_dataset, DatasetSize};
+use wireframe_datagen::{chain_queries, full_workload, star_queries, table1_queries};
+
+struct Options {
+    size: DatasetSize,
+    threads: usize,
+    iterations: usize,
+    engines: Option<Vec<String>>,
+    workload: String,
+    edge_burnback: bool,
+    json: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn usage() -> &'static str {
+    "usage: wfbench [--size tiny|small|benchmark] [--threads N] [--iterations N] \
+     [--engines a,b,…] [--workload full|table1|chains|stars] [--edge-burnback] \
+     [--json PATH] [--baseline PATH [--tolerance P%]]"
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    // Resolved lazily after the flags: an explicit --size must win before
+    // the environment variable gets a chance to reject the process.
+    let mut size: Option<DatasetSize> = None;
+    let mut options = Options {
+        size: DatasetSize::Small,
+        threads: auto_threads(),
+        iterations: 5,
+        engines: None,
+        workload: "full".to_owned(),
+        edge_burnback: false,
+        json: None,
+        baseline: None,
+        tolerance: 0.15,
+    };
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--size" => size = Some(DatasetSize::parse(&value(&mut args, "--size")?)?),
+            "--threads" => {
+                options.threads = value(&mut args, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_owned())?;
+                if options.threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+            }
+            "--iterations" => {
+                options.iterations = value(&mut args, "--iterations")?
+                    .parse()
+                    .map_err(|_| "--iterations must be a positive integer".to_owned())?;
+                if options.iterations == 0 {
+                    return Err("--iterations must be at least 1".to_owned());
+                }
+            }
+            "--engines" => {
+                options.engines = Some(
+                    value(&mut args, "--engines")?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--workload" => {
+                let name = value(&mut args, "--workload")?;
+                if !["full", "table1", "chains", "stars"].contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown workload {name:?} (accepted: full, table1, chains, stars)"
+                    ));
+                }
+                options.workload = name;
+            }
+            "--edge-burnback" => options.edge_burnback = true,
+            "--json" => options.json = Some(value(&mut args, "--json")?),
+            "--baseline" => options.baseline = Some(value(&mut args, "--baseline")?),
+            "--tolerance" => {
+                options.tolerance = parse_tolerance(&value(&mut args, "--tolerance")?)?
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    options.size = size.unwrap_or_else(DatasetSize::from_env);
+    Ok(options)
+}
+
+fn run() -> Result<bool, String> {
+    let options = parse_args(std::env::args().skip(1))?;
+
+    let graph = Arc::new(build_dataset(options.size));
+    eprintln!(
+        "dataset {}: {} triples, {} predicates · {} threads × {} iterations",
+        options.size.name(),
+        graph.triple_count(),
+        graph.predicate_count(),
+        options.threads,
+        options.iterations
+    );
+
+    let workload = match options.workload.as_str() {
+        "table1" => table1_queries(&graph),
+        "chains" => chain_queries(&graph),
+        "stars" => star_queries(&graph),
+        _ => full_workload(&graph),
+    }
+    .map_err(|e| format!("workload does not build: {e}"))?;
+
+    let mut config = EngineConfig::default().with_threads(options.threads);
+    if options.edge_burnback {
+        config = config.with_edge_burnback();
+    }
+
+    let registry = wireframe::default_registry();
+    let engine_names: Vec<String> = match &options.engines {
+        Some(names) => names.clone(),
+        None => registry.names().iter().map(|&n| n.to_owned()).collect(),
+    };
+
+    let mut report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        dataset: options.size.name().to_owned(),
+        triples: graph.triple_count() as u64,
+        threads: options.threads,
+        iterations: options.iterations,
+        workload: options.workload.clone(),
+        engines: Vec::new(),
+    };
+
+    for name in &engine_names {
+        let session = Session::shared(Arc::clone(&graph))
+            .with_config(config)
+            .with_engine(name)
+            .map_err(|e| e.to_string())?;
+        let run = run_engine(&session, &workload, options.threads, options.iterations)
+            .map_err(|e| format!("{name}: {e}"))?;
+        eprintln!(
+            "{:<12} {:>8.1} qps · {:>8.1} ms wall · cache {} hits / {} misses",
+            run.engine, run.qps, run.wall_ms, run.cache_hits, run.cache_misses
+        );
+        report.engines.push(run);
+    }
+
+    print_summary(&report);
+
+    if let Some(path) = &options.json {
+        std::fs::write(path, report.to_json_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
+
+    if let Some(path) = &options.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let baseline = BenchReport::from_json(&text)
+            .map_err(|e| format!("cannot parse baseline {path}: {e}"))?;
+        let regressions = compare(&report, &baseline, options.tolerance);
+        if regressions.is_empty() {
+            eprintln!(
+                "no regression against {path} (tolerance {:.0}%)",
+                options.tolerance * 100.0
+            );
+        } else {
+            eprintln!("{} regression(s) against {path}:", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn print_summary(report: &BenchReport) {
+    println!(
+        "{:<12} {:<7} {:>9} {:>9} {:>9} {:>9} {:>12} {:>9}",
+        "engine", "query", "p50 ms", "p95 ms", "p99 ms", "|AG|", "|Emb|", "AG/Emb"
+    );
+    for engine in &report.engines {
+        for q in &engine.queries {
+            println!(
+                "{:<12} {:<7} {:>9.3} {:>9.3} {:>9.3} {:>9} {:>12} {:>9}",
+                engine.engine,
+                q.name,
+                q.p50_ms,
+                q.p95_ms,
+                q.p99_ms,
+                q.answer_graph_edges
+                    .map_or("-".to_owned(), |v| v.to_string()),
+                q.embeddings,
+                q.ag_over_embeddings
+                    .map_or("-".to_owned(), |v| format!("{v:.4}")),
+            );
+        }
+        println!(
+            "{:<12} {:<7} {:>9.1} qps over {} queries",
+            engine.engine, "all", engine.qps, engine.total_queries
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -24,6 +24,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
+pub mod report;
+
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
@@ -45,13 +48,46 @@ pub enum DatasetSize {
 }
 
 impl DatasetSize {
-    /// Reads the size from the `WIREFRAME_BENCH_SIZE` environment variable
-    /// (`tiny`, `small` or `benchmark`), defaulting to `small`.
+    /// Parses a size name: `tiny`, `small`, or `benchmark` (alias `full`).
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "tiny" => Ok(DatasetSize::Tiny),
+            "small" => Ok(DatasetSize::Small),
+            "benchmark" | "full" => Ok(DatasetSize::Benchmark),
+            other => Err(format!(
+                "unrecognized dataset size {other:?} (accepted: tiny, small, benchmark)"
+            )),
+        }
+    }
+
+    /// Reads the size from the `WIREFRAME_BENCH_SIZE` environment variable,
+    /// defaulting to `small` when the variable is unset. An unrecognized
+    /// value is an error (reported on stderr, exit code 2) rather than a
+    /// silent fallback — a typo like `WIREFRAME_BENCH_SIZE=bencmark` must
+    /// not quietly benchmark the wrong dataset.
     pub fn from_env() -> Self {
-        match std::env::var("WIREFRAME_BENCH_SIZE").as_deref() {
-            Ok("tiny") => DatasetSize::Tiny,
-            Ok("benchmark") | Ok("full") => DatasetSize::Benchmark,
-            _ => DatasetSize::Small,
+        match std::env::var("WIREFRAME_BENCH_SIZE") {
+            Ok(value) => DatasetSize::parse(&value).unwrap_or_else(|msg| {
+                eprintln!("WIREFRAME_BENCH_SIZE: {msg}");
+                std::process::exit(2);
+            }),
+            Err(std::env::VarError::NotPresent) => DatasetSize::Small,
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                eprintln!(
+                    "WIREFRAME_BENCH_SIZE: non-UTF-8 value {:?} (accepted: tiny, small, benchmark)",
+                    raw.to_string_lossy()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The size's canonical name (the value [`DatasetSize::parse`] accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetSize::Tiny => "tiny",
+            DatasetSize::Small => "small",
+            DatasetSize::Benchmark => "benchmark",
         }
     }
 
@@ -292,5 +328,26 @@ mod tests {
     fn dataset_size_env_parsing() {
         assert_eq!(DatasetSize::Tiny.config(), YagoConfig::tiny());
         assert_eq!(DatasetSize::Benchmark.config(), YagoConfig::benchmark());
+    }
+
+    #[test]
+    fn dataset_size_parse_accepts_names_and_rejects_typos() {
+        assert_eq!(DatasetSize::parse("tiny"), Ok(DatasetSize::Tiny));
+        assert_eq!(DatasetSize::parse("small"), Ok(DatasetSize::Small));
+        assert_eq!(DatasetSize::parse("benchmark"), Ok(DatasetSize::Benchmark));
+        assert_eq!(DatasetSize::parse("full"), Ok(DatasetSize::Benchmark));
+        let err = DatasetSize::parse("bencmark").unwrap_err();
+        assert!(
+            err.contains("bencmark"),
+            "the invalid value is named: {err}"
+        );
+        assert!(err.contains("tiny") && err.contains("small") && err.contains("benchmark"));
+        for size in [
+            DatasetSize::Tiny,
+            DatasetSize::Small,
+            DatasetSize::Benchmark,
+        ] {
+            assert_eq!(DatasetSize::parse(size.name()), Ok(size));
+        }
     }
 }

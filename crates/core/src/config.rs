@@ -31,6 +31,12 @@ pub struct EvalOptions {
     /// Render a plan/statistics explanation into `Evaluation::explain` when
     /// the engine is driven through the workspace-wide `Engine` trait.
     pub explain: bool,
+    /// Worker threads for phase two (defactorization). `1` (the default, and
+    /// the paper's prototype) evaluates sequentially; `0` auto-detects from
+    /// the machine's available parallelism; `n > 1` uses `n` workers.
+    /// Parallel defactorization partitions the seed edge set and never
+    /// changes the answer, only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -40,6 +46,7 @@ impl Default for EvalOptions {
             edge_burnback: false,
             collect_trace: false,
             explain: false,
+            threads: 1,
         }
     }
 }
@@ -74,6 +81,12 @@ impl EvalOptions {
         self.explain = true;
         self
     }
+
+    /// Sets the phase-two worker-thread count (`0` = auto, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +99,7 @@ mod tests {
         assert_eq!(o.planner, PlannerKind::DpLeftDeep);
         assert!(!o.edge_burnback);
         assert!(!o.collect_trace);
+        assert_eq!(o.threads, 1, "the paper's prototype is single-threaded");
     }
 
     #[test]
@@ -93,9 +107,11 @@ mod tests {
         let o = EvalOptions::default()
             .with_edge_burnback()
             .with_planner(PlannerKind::Greedy)
-            .with_trace();
+            .with_trace()
+            .with_threads(4);
         assert!(o.edge_burnback);
         assert!(o.collect_trace);
         assert_eq!(o.planner, PlannerKind::Greedy);
+        assert_eq!(o.threads, 4);
     }
 }

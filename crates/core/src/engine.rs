@@ -18,6 +18,7 @@ use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats};
 use crate::error::EngineError;
 use crate::explain::explain_output;
 use crate::generate::{generate, GenerationStats};
+use crate::parallel::{defactorize_parallel, ParallelOptions};
 use crate::planner::{plan, Plan};
 use crate::triangulate::{edge_burnback, triangulate, EdgeBurnbackStats};
 
@@ -192,8 +193,19 @@ impl<'g> WireframeEngine<'g> {
         }
 
         let t3 = Instant::now();
-        let order = embedding_plan(query, &ag);
-        let (full, defact_stats) = defactorize(query, &ag, &order)?;
+        let (full, defact_stats) = if self.options.threads == 1 {
+            let order = embedding_plan(query, &ag);
+            defactorize(query, &ag, &order)?
+        } else {
+            // Phase two is embarrassingly parallel in the seed edges; the
+            // parallel path falls back to sequential for small inputs and is
+            // answer-identical by construction (verified by tests).
+            defactorize_parallel(
+                query,
+                &ag,
+                &ParallelOptions::for_threads(self.options.threads),
+            )?
+        };
         let embeddings = full.project(query).ok_or_else(|| {
             EngineError::Internal("projection referenced a variable missing from the result".into())
         })?;
@@ -372,6 +384,33 @@ mod tests {
         assert!(plain.embeddings.same_answer(&burned.embeddings));
         assert!(burned.edge_burnback.edges_removed > 0);
         assert_eq!(plain.edge_burnback.edges_removed, 0);
+    }
+
+    #[test]
+    fn threads_option_never_changes_answers() {
+        let mut b = GraphBuilder::new();
+        for i in 0..200 {
+            b.add(&format!("a{i}"), "A", "hub");
+            b.add("mid", "C", &format!("c{i}"));
+        }
+        b.add("hub", "B", "mid");
+        let g = b.build();
+        let q = parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let sequential = WireframeEngine::new(&g).execute(&q).unwrap();
+        let parallel = WireframeEngine::with_options(&g, EvalOptions::default().with_threads(4))
+            .execute(&q)
+            .unwrap();
+        assert_eq!(sequential.embedding_count(), 200 * 200);
+        assert!(sequential.embeddings.same_answer(&parallel.embeddings));
+        assert_eq!(
+            sequential.answer_graph_size(),
+            parallel.answer_graph_size(),
+            "phase one is untouched by the phase-two thread count"
+        );
     }
 
     #[test]

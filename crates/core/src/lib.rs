@@ -75,7 +75,7 @@ pub use error::EngineError;
 pub use estimate::{Estimator, StepEstimate};
 pub use explain::{explain_output, explain_plan};
 pub use generate::{generate, ExtensionStep, GenerationStats};
-pub use parallel::{defactorize_parallel, ParallelOptions};
+pub use parallel::{auto_threads, defactorize_parallel, ParallelOptions};
 pub use planner::{cost_of_order, plan, Plan};
 pub use stream::{count_streaming, EmbeddingStream};
 pub use triangulate::{

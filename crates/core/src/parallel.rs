@@ -14,7 +14,7 @@ use std::num::NonZeroUsize;
 use wireframe_query::{ConjunctiveQuery, EmbeddingSet, Var};
 
 use crate::answer_graph::AnswerGraph;
-use crate::defactorize::{defactorize, embedding_plan};
+use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats};
 use crate::error::EngineError;
 
 /// Options for parallel defactorization.
@@ -30,24 +30,48 @@ pub struct ParallelOptions {
 
 impl Default for ParallelOptions {
     fn default() -> Self {
-        let available = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1);
         ParallelOptions {
-            threads: available.min(8),
+            threads: auto_threads(),
             min_seeds_per_thread: 64,
         }
     }
 }
 
+/// The machine's available parallelism, capped at 8 (defactorization is
+/// memory-bound).
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+impl ParallelOptions {
+    /// Options for an explicit thread count, following the workspace-wide
+    /// convention of the `threads` knobs: `0` auto-detects, any other value
+    /// is used as given.
+    pub fn for_threads(threads: usize) -> Self {
+        ParallelOptions {
+            threads: if threads == 0 {
+                auto_threads()
+            } else {
+                threads
+            },
+            ..ParallelOptions::default()
+        }
+    }
+}
+
 /// Generates the embeddings of `query` from `ag` in parallel, returning the
-/// full (unprojected) embedding set. Falls back to the sequential
+/// full (unprojected) embedding set and merged phase-two statistics
+/// (`peak_intermediate` is the maximum over the workers, which each hold
+/// their intermediates concurrently at worst). Falls back to the sequential
 /// defactorizer for small inputs.
 pub fn defactorize_parallel(
     query: &ConjunctiveQuery,
     ag: &AnswerGraph,
     options: &ParallelOptions,
-) -> Result<EmbeddingSet, EngineError> {
+) -> Result<(EmbeddingSet, DefactorizationStats), EngineError> {
     let order = embedding_plan(query, ag);
     let Some(&seed_pattern) = order.first() else {
         return Err(EngineError::Internal("query has no patterns".into()));
@@ -55,45 +79,56 @@ pub fn defactorize_parallel(
     let seeds: Vec<_> = ag.pattern(seed_pattern).iter().collect();
     let threads = options.threads.max(1);
     if threads == 1 || seeds.len() < options.min_seeds_per_thread * 2 {
-        return defactorize(query, ag, &order).map(|(set, _)| set);
+        return defactorize(query, ag, &order);
     }
 
     let chunk_size = seeds.len().div_ceil(threads);
     let chunks: Vec<&[_]> = seeds.chunks(chunk_size).collect();
 
-    let results: Result<Vec<EmbeddingSet>, EngineError> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(chunks.len());
-        for chunk in &chunks {
-            let order = order.clone();
-            handles.push(scope.spawn(move || {
-                // Each worker joins only its slice of the seed pattern's edges
-                // against the full answer graph.
-                let mut restricted = restrict_pattern(query, ag, seed_pattern, chunk);
-                let result = defactorize(query, &restricted, &order).map(|(set, _)| set);
-                // Free the per-worker copy before returning the (possibly
-                // large) result so peak memory stays bounded.
-                clear_ag(query, &mut restricted);
-                result
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .map_err(|_| EngineError::Internal("worker thread panicked".into()))?
-            })
-            .collect()
-    });
+    type WorkerResult = Result<(EmbeddingSet, DefactorizationStats), EngineError>;
+    let results: Result<Vec<(EmbeddingSet, DefactorizationStats)>, EngineError> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for chunk in &chunks {
+                let order = order.clone();
+                handles.push(scope.spawn(move || -> WorkerResult {
+                    // Each worker joins only its slice of the seed pattern's
+                    // edges against the full answer graph.
+                    let mut restricted = restrict_pattern(query, ag, seed_pattern, chunk);
+                    let result = defactorize(query, &restricted, &order);
+                    // Free the per-worker copy before returning the (possibly
+                    // large) result so peak memory stays bounded.
+                    clear_ag(query, &mut restricted);
+                    result
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| EngineError::Internal("worker thread panicked".into()))?
+                })
+                .collect()
+        });
     let results = results?;
 
     // Concatenate the partitions; they are disjoint because each embedding
-    // uses exactly one seed edge.
+    // uses exactly one seed edge. Partition order follows seed-chunk order,
+    // so the result is deterministic for a given thread count (and the *set*
+    // is identical across thread counts).
     let schema: Vec<Var> = query.variables().collect();
-    let mut tuples = Vec::with_capacity(results.iter().map(EmbeddingSet::len).sum());
-    for part in results {
+    let mut stats = DefactorizationStats {
+        join_order: order,
+        peak_intermediate: 0,
+        embeddings: 0,
+    };
+    let mut tuples = Vec::with_capacity(results.iter().map(|(set, _)| set.len()).sum());
+    for (part, part_stats) in results {
+        stats.peak_intermediate = stats.peak_intermediate.max(part_stats.peak_intermediate);
+        stats.embeddings += part_stats.embeddings;
         tuples.extend(part.tuples().iter().cloned());
     }
-    Ok(EmbeddingSet::new(schema, tuples))
+    Ok((EmbeddingSet::new(schema, tuples), stats))
 }
 
 /// A copy of `ag` in which `pattern` keeps only the edges in `keep`.
@@ -166,8 +201,8 @@ mod tests {
         let q = chain_query(&g);
         let ag = ag_for(&g, &q);
         let order = embedding_plan(&q, &ag);
-        let (sequential, _) = defactorize(&q, &ag, &order).unwrap();
-        let parallel = defactorize_parallel(
+        let (sequential, seq_stats) = defactorize(&q, &ag, &order).unwrap();
+        let (parallel, par_stats) = defactorize_parallel(
             &q,
             &ag,
             &ParallelOptions {
@@ -178,6 +213,11 @@ mod tests {
         .unwrap();
         assert!(parallel.same_answer(&sequential));
         assert_eq!(parallel.len(), 200 * 200);
+        assert_eq!(par_stats.embeddings, seq_stats.embeddings);
+        assert!(
+            par_stats.peak_intermediate <= seq_stats.peak_intermediate,
+            "each worker holds a fraction of the intermediates"
+        );
     }
 
     #[test]
@@ -185,7 +225,7 @@ mod tests {
         let g = fanout_graph(3);
         let q = chain_query(&g);
         let ag = ag_for(&g, &q);
-        let out = defactorize_parallel(&q, &ag, &ParallelOptions::default()).unwrap();
+        let (out, _) = defactorize_parallel(&q, &ag, &ParallelOptions::default()).unwrap();
         assert_eq!(out.len(), 9);
     }
 
@@ -194,7 +234,7 @@ mod tests {
         let g = fanout_graph(50);
         let q = chain_query(&g);
         let ag = ag_for(&g, &q);
-        let out = defactorize_parallel(
+        let (out, _) = defactorize_parallel(
             &q,
             &ag,
             &ParallelOptions {
@@ -211,6 +251,8 @@ mod tests {
         let o = ParallelOptions::default();
         assert!(o.threads >= 1 && o.threads <= 8);
         assert!(o.min_seeds_per_thread > 0);
+        assert_eq!(ParallelOptions::for_threads(0).threads, auto_threads());
+        assert_eq!(ParallelOptions::for_threads(3).threads, 3);
     }
 
     #[test]
@@ -218,7 +260,7 @@ mod tests {
         let g = fanout_graph(4);
         let q = chain_query(&g);
         let ag = AnswerGraph::new(&q);
-        let out = defactorize_parallel(&q, &ag, &ParallelOptions::default()).unwrap();
+        let (out, _) = defactorize_parallel(&q, &ag, &ParallelOptions::default()).unwrap();
         assert!(out.is_empty());
     }
 }

@@ -55,12 +55,15 @@ fn main() {
     );
 
     println!("\n=== parallel defactorization ===");
-    let parallel = defactorize_parallel(&bq.query, &ag, &ParallelOptions::default())
-        .expect("parallel defactorization");
+    let (parallel, parallel_stats) =
+        defactorize_parallel(&bq.query, &ag, &ParallelOptions::default())
+            .expect("parallel defactorization");
     println!(
-        "parallel defactorization produced {} embeddings on up to {} threads",
+        "parallel defactorization produced {} embeddings on up to {} threads \
+         (peak intermediate {} per worker)",
         parallel.len(),
-        ParallelOptions::default().threads
+        ParallelOptions::default().threads,
+        parallel_stats.peak_intermediate
     );
 
     assert_eq!(parallel.len(), out.embedding_count());

@@ -12,6 +12,7 @@
 //!   --edge-burnback           enable triangulation + edge burnback (wireframe only)
 //!   --explain                 print the plan and phase statistics
 //!   --limit <N>               print at most N result rows (default 20, 0 = unlimited)
+//!   --threads <N>             worker threads for parallel phases (default 1; 0 = auto)
 //!   --count-only              print only the number of embeddings
 //! ```
 //!
@@ -39,13 +40,14 @@ struct Options {
     edge_burnback: bool,
     explain: bool,
     limit: usize,
+    threads: usize,
     count_only: bool,
 }
 
 fn usage() -> &'static str {
     "usage: wfquery <triples-file> --query <SPARQL> | --query-file <path> \
      [--engine <name>|help] \
-     [--edge-burnback] [--explain] [--limit N] [--count-only]"
+     [--edge-burnback] [--explain] [--limit N] [--threads N] [--count-only]"
 }
 
 fn engine_listing() -> String {
@@ -68,6 +70,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         edge_burnback: false,
         explain: false,
         limit: 20,
+        threads: 1,
         count_only: false,
     };
     while let Some(arg) = args.next() {
@@ -86,6 +89,15 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     .ok_or("--limit needs a value")?
                     .parse()
                     .map_err(|_| "--limit must be a non-negative integer".to_owned())?;
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| {
+                        "--threads must be a non-negative integer (0 = auto)".to_owned()
+                    })?;
             }
             "--help" | "-h" => return Err(usage().to_owned()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
@@ -167,6 +179,15 @@ fn run() -> Result<(), String> {
     }
     if options.explain {
         config = config.with_explain();
+    }
+    if options.threads != 1 {
+        // 0 = auto-detect; n > 1 = that many phase-two workers.
+        let threads = if options.threads == 0 {
+            wireframe::core::auto_threads()
+        } else {
+            options.threads
+        };
+        config = config.with_threads(threads);
     }
     // UnknownEngine's Display already names the registered engines; add the
     // descriptions-only listing for anything else.

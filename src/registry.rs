@@ -5,7 +5,10 @@ use wireframe_baseline::{ExplorationEngine, RelationalEngine, SortMergeEngine};
 use wireframe_core::{EvalOptions, WireframeEngine};
 use wireframe_graph::Graph;
 
-fn build_wireframe<'g>(graph: &'g Graph, config: &EngineConfig) -> Box<dyn Engine + 'g> {
+fn build_wireframe<'g>(
+    graph: &'g Graph,
+    config: &EngineConfig,
+) -> Box<dyn Engine + Send + Sync + 'g> {
     let mut options = EvalOptions::default();
     if config.edge_burnback {
         options = options.with_edge_burnback();
@@ -13,18 +16,30 @@ fn build_wireframe<'g>(graph: &'g Graph, config: &EngineConfig) -> Box<dyn Engin
     if config.explain {
         options = options.with_explain();
     }
+    if config.threads > 0 {
+        options = options.with_threads(config.threads);
+    }
     Box::new(WireframeEngine::with_options(graph, options))
 }
 
-fn build_relational<'g>(graph: &'g Graph, _config: &EngineConfig) -> Box<dyn Engine + 'g> {
+fn build_relational<'g>(
+    graph: &'g Graph,
+    _config: &EngineConfig,
+) -> Box<dyn Engine + Send + Sync + 'g> {
     Box::new(RelationalEngine::new(graph))
 }
 
-fn build_sortmerge<'g>(graph: &'g Graph, _config: &EngineConfig) -> Box<dyn Engine + 'g> {
+fn build_sortmerge<'g>(
+    graph: &'g Graph,
+    _config: &EngineConfig,
+) -> Box<dyn Engine + Send + Sync + 'g> {
     Box::new(SortMergeEngine::new(graph))
 }
 
-fn build_exploration<'g>(graph: &'g Graph, _config: &EngineConfig) -> Box<dyn Engine + 'g> {
+fn build_exploration<'g>(
+    graph: &'g Graph,
+    _config: &EngineConfig,
+) -> Box<dyn Engine + Send + Sync + 'g> {
     Box::new(ExplorationEngine::new(graph))
 }
 

@@ -21,8 +21,9 @@
 //! ```
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use wireframe_api::{
     Engine, EngineConfig, EngineRegistry, Evaluation, PreparedQuery, WireframeError,
@@ -38,6 +39,92 @@ type CacheKey = (String, String);
 /// Colour keys can collide for non-isomorphic queries (1-WL), so each bucket
 /// chains every prepared query sharing the key.
 type CacheBucket = Vec<Arc<PreparedQuery>>;
+/// One shard of the prepared-plan cache.
+type CacheShard = HashMap<CacheKey, CacheBucket>;
+
+/// Number of cache shards. Concurrency is bounded by the thread count of the
+/// serving process, not the cache size, so a small fixed power of two keeps
+/// the structure simple while making write contention negligible.
+const CACHE_SHARDS: usize = 16;
+
+/// The prepared-plan cache, sharded by the hash of the canonical-signature
+/// key so concurrent readers and writers rarely touch the same lock.
+///
+/// Reads (the overwhelmingly common case on a warmed cache) take a shard's
+/// read lock only; preparation happens outside any lock, and insertion
+/// re-checks under the shard's write lock so racing preparers converge on one
+/// cached entry.
+struct ShardedPlanCache {
+    shards: Vec<RwLock<CacheShard>>,
+}
+
+impl ShardedPlanCache {
+    fn new() -> Self {
+        ShardedPlanCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &RwLock<CacheShard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % CACHE_SHARDS]
+    }
+
+    // A poisoned lock only means another thread panicked mid-insert; the
+    // maps themselves are always in a consistent state.
+    fn read(shard: &RwLock<CacheShard>) -> RwLockReadGuard<'_, CacheShard> {
+        shard.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(shard: &RwLock<CacheShard>) -> RwLockWriteGuard<'_, CacheShard> {
+        shard.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a confirmed-isomorphic prepared query under the read lock.
+    fn find(&self, key: &CacheKey, query: &ConjunctiveQuery) -> Option<Arc<PreparedQuery>> {
+        let shard = Self::read(self.shard(key));
+        let bucket = shard.get(key)?;
+        // The colour key is only a filter; confirm an exact match before
+        // reusing another query's plan and answer shape.
+        bucket
+            .iter()
+            .find(|p| isomorphic(query, p.query()))
+            .map(Arc::clone)
+    }
+
+    /// Inserts `prepared` unless a racing thread already cached an
+    /// isomorphic entry, returning whichever ends up cached.
+    fn insert(
+        &self,
+        key: CacheKey,
+        query: &ConjunctiveQuery,
+        prepared: Arc<PreparedQuery>,
+    ) -> Arc<PreparedQuery> {
+        let mut shard = Self::write(self.shard(&key));
+        let bucket = shard.entry(key).or_default();
+        if let Some(raced) = bucket.iter().find(|p| isomorphic(query, p.query())) {
+            return Arc::clone(raced);
+        }
+        bucket.push(Arc::clone(&prepared));
+        prepared
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::read(s).values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            Self::write(shard).clear();
+        }
+    }
+}
 
 /// A query session over one graph.
 ///
@@ -61,33 +148,65 @@ type CacheBucket = Vec<Arc<PreparedQuery>>;
 /// the representative query's `Var` ids, which belong to that query's
 /// namespace, not the caller's. Read result columns by SELECT position, not
 /// by looking the caller's own `Var` up in the schema.
+///
+/// # Concurrency
+///
+/// `Session` is `Send + Sync` (statically asserted): wrap one in an [`Arc`]
+/// and issue [`Session::query`] from any number of threads. The graph is
+/// shared behind an `Arc` (see [`Session::shared`] for sharing one graph
+/// across several sessions), the prepared-plan cache is sharded behind
+/// `RwLock`s keyed by the canonical-signature hash, the hit/miss counters
+/// are atomic, and engines are built per call through
+/// [`EngineRegistry::build_shared`]. Engine selection
+/// ([`Session::set_engine`]) takes `&mut self` and therefore happens before
+/// a session is shared — per-engine serving uses one session per engine over
+/// a shared graph.
 pub struct Session {
-    graph: Graph,
+    graph: Arc<Graph>,
     registry: EngineRegistry,
     engine: String,
     config: EngineConfig,
-    cache: Mutex<HashMap<CacheKey, CacheBucket>>,
+    cache: ShardedPlanCache,
     hits: AtomicU64,
     misses: AtomicU64,
 }
+
+// The serving path relies on sessions being shareable across threads; keep
+// the guarantee compile-time-checked rather than implied.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+};
 
 impl Session {
     /// Creates a session over `graph` with the stock registry
     /// ([`default_registry`]) and the `wireframe` engine selected.
     pub fn new(graph: Graph) -> Self {
-        Session::with_registry(graph, default_registry())
+        Session::shared(Arc::new(graph))
+    }
+
+    /// Creates a session over an already-shared graph, so several sessions
+    /// (e.g. one per engine) can serve one in-memory graph without copying
+    /// it.
+    pub fn shared(graph: Arc<Graph>) -> Self {
+        Session::shared_with_registry(graph, default_registry())
     }
 
     /// Creates a session with a custom registry. The registry's first
     /// registered engine becomes the session's engine.
     pub fn with_registry(graph: Graph, registry: EngineRegistry) -> Self {
+        Session::shared_with_registry(Arc::new(graph), registry)
+    }
+
+    /// Creates a session over a shared graph with a custom registry.
+    pub fn shared_with_registry(graph: Arc<Graph>, registry: EngineRegistry) -> Self {
         let engine = registry.default_engine().unwrap_or("wireframe").to_owned();
         Session {
             graph,
             registry,
             engine,
             config: EngineConfig::default(),
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedPlanCache::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -127,6 +246,12 @@ impl Session {
         &self.graph
     }
 
+    /// The shared handle to the session's graph, for building further
+    /// sessions over the same data.
+    pub fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
     /// The engine registry.
     pub fn registry(&self) -> &EngineRegistry {
         &self.registry
@@ -153,7 +278,7 @@ impl Session {
     pub fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
         let engine = self
             .registry
-            .build(&self.engine, &self.graph, &self.config)?;
+            .build_shared(&self.engine, &self.graph, &self.config)?;
         let prepared = self.prepare_on(engine.as_ref(), query)?;
         engine.evaluate(&prepared)
     }
@@ -163,7 +288,7 @@ impl Session {
     pub fn prepare(&self, query: &ConjunctiveQuery) -> Result<Arc<PreparedQuery>, WireframeError> {
         let engine = self
             .registry
-            .build(&self.engine, &self.graph, &self.config)?;
+            .build_shared(&self.engine, &self.graph, &self.config)?;
         self.prepare_on(engine.as_ref(), query)
     }
 
@@ -177,26 +302,18 @@ impl Session {
             self.engine.clone(),
             plan_cache_key(query).as_str().to_owned(),
         );
-        if let Some(bucket) = self.lock_cache().get(&key) {
-            // The colour key is only a filter; confirm an exact match before
-            // reusing another query's plan and answer shape.
-            if let Some(found) = bucket.iter().find(|p| isomorphic(query, p.query())) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(found));
-            }
+        if let Some(found) = self.cache.find(&key, query) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
         }
-        // Prepare outside the lock: planning can be costly.
+        // Prepare outside any lock: planning can be costly, and concurrent
+        // lookups of other queries must not wait on it. A racing preparer of
+        // the same query is resolved at insertion (first one in wins), so a
+        // duplicate preparation is possible but a duplicate cache entry is
+        // not.
         let prepared = Arc::new(engine.prepare(query)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.lock_cache();
-        let bucket = cache.entry(key).or_default();
-        // Re-check under the lock: a concurrent caller may have prepared the
-        // same query while we were planning; keep the bucket duplicate-free.
-        if let Some(raced) = bucket.iter().find(|p| isomorphic(query, p.query())) {
-            return Ok(Arc::clone(raced));
-        }
-        bucket.push(Arc::clone(&prepared));
-        Ok(prepared)
+        Ok(self.cache.insert(key, query, prepared))
     }
 
     /// Number of prepared-query cache hits so far.
@@ -211,18 +328,12 @@ impl Session {
 
     /// Number of distinct prepared queries currently cached.
     pub fn cached_queries(&self) -> usize {
-        self.lock_cache().values().map(Vec::len).sum()
+        self.cache.len()
     }
 
     /// Empties the prepared-query cache (the hit/miss counters keep counting).
     pub fn clear_cache(&self) {
-        self.lock_cache().clear();
-    }
-
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, CacheBucket>> {
-        // A poisoned lock only means another thread panicked mid-insert; the
-        // map itself is always in a consistent state.
-        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+        self.cache.clear();
     }
 }
 
@@ -400,6 +511,50 @@ mod tests {
             Err(WireframeError::UnknownEngine { .. })
         ));
         assert!(Session::new(knows_graph()).with_engine("sortmerge").is_ok());
+    }
+
+    #[test]
+    fn sessions_share_a_graph_without_copying() {
+        let shared = Arc::new(knows_graph());
+        let a = Session::new(Graph::clone(&shared)); // independent copy
+        let b = Session::shared(Arc::clone(&shared));
+        let c = Session::shared(b.shared_graph())
+            .with_engine("relational")
+            .unwrap();
+        assert!(Arc::ptr_eq(&b.shared_graph(), &c.shared_graph()));
+        assert!(!Arc::ptr_eq(&a.shared_graph(), &b.shared_graph()));
+
+        let text = "SELECT * WHERE { ?x :knows ?y . }";
+        let via_b = b.query(text).unwrap();
+        let via_c = c.query(text).unwrap();
+        assert!(via_b.embeddings().same_answer(via_c.embeddings()));
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_plan_cache() {
+        let session = Arc::new(Session::new(knows_graph()));
+        let text = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let ev = session.query(text).unwrap();
+                        assert_eq!(ev.embedding_count(), 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            session.cache_hits() + session.cache_misses(),
+            32,
+            "every query is accounted a hit or a miss"
+        );
+        assert_eq!(
+            session.cached_queries(),
+            1,
+            "racing preparers converge on one cached plan"
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn streaming_bushy_and_parallel_match_the_reference_pipeline() {
         );
 
         // Parallel defactorization.
-        let parallel = defactorize_parallel(
+        let (parallel, _) = defactorize_parallel(
             &bq.query,
             &ag,
             &ParallelOptions {
@@ -70,9 +70,8 @@ fn streaming_bushy_and_parallel_match_the_reference_pipeline() {
                 min_seeds_per_thread: 1,
             },
         )
-        .unwrap()
-        .project(&bq.query)
         .unwrap();
+        let parallel = parallel.project(&bq.query).unwrap();
         assert!(
             parallel.same_answer(out.embeddings()),
             "{}: parallel differs",

@@ -1,58 +1,171 @@
 //! Offline stand-in for the `serde` crate.
 //!
-//! The build environment has no access to crates.io. The workspace only uses
-//! `#[derive(Serialize)]` as forward-looking metadata (no code serializes
-//! yet), so this shim provides `Serialize` as a marker trait plus the derive
-//! macro from the vendored `serde_derive`. Swapping in real serde later is a
-//! manifest change only.
+//! The build environment has no access to crates.io, so this shim provides
+//! the slice of serde the workspace actually uses: a [`Serialize`] trait, a
+//! derive for named-field structs (from the vendored `serde_derive`), and a
+//! JSON backend in [`json`] standing in for `serde_json` (`json::to_string`,
+//! `json::to_string_pretty`, `json::from_str`).
+//!
+//! The API is deliberately smaller than real serde's: instead of the visitor
+//! architecture, [`Serialize`] converts straight to a [`json::Value`]
+//! document. Swapping in real serde later means replacing
+//! `serde::json::to_string(&report)` call sites with
+//! `serde_json::to_string(&report)` — the `#[derive(Serialize)]` annotations
+//! carry over unchanged.
 
 #![forbid(unsafe_code)]
 
-/// Marker trait standing in for `serde::Serialize`.
+pub mod json;
+
+/// Conversion to a JSON document, standing in for `serde::Serialize`.
 ///
-/// The real trait's `serialize` method is deliberately absent: nothing in the
-/// workspace serializes yet, and a marker keeps the shim honest — code that
-/// actually needs serialization will fail to compile here rather than
-/// silently do nothing.
-pub trait Serialize {}
+/// Derivable for named-field structs via the vendored `serde_derive`.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> json::Value;
+}
 
 pub use serde_derive::Serialize;
 
-impl<T: Serialize + ?Sized> Serialize for &T {}
-impl<T: Serialize> Serialize for Vec<T> {}
-impl<T: Serialize> Serialize for Option<T> {}
-impl Serialize for String {}
-impl Serialize for str {}
-impl Serialize for bool {}
-impl Serialize for f32 {}
-impl Serialize for f64 {}
-impl Serialize for u8 {}
-impl Serialize for u16 {}
-impl Serialize for u32 {}
-impl Serialize for u64 {}
-impl Serialize for usize {}
-impl Serialize for i8 {}
-impl Serialize for i16 {}
-impl Serialize for i32 {}
-impl Serialize for i64 {}
-impl Serialize for isize {}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_json(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
 
 #[cfg(test)]
 mod tests {
     use crate as serde;
+    use crate::json::Value;
     use serde::Serialize;
 
     #[derive(Serialize)]
     struct Plain {
-        #[allow(dead_code)]
         x: u32,
+        label: String,
     }
 
-    fn assert_serialize<T: Serialize>() {}
+    #[derive(Serialize)]
+    struct Nested {
+        name: &'static str,
+        inner: Vec<Plain>,
+        maybe: Option<f64>,
+        ratio: Option<f64>,
+    }
 
     #[test]
-    fn derive_produces_an_impl() {
-        assert_serialize::<Plain>();
-        assert_serialize::<Vec<String>>();
+    fn derive_serializes_named_fields_in_order() {
+        let p = Plain {
+            x: 7,
+            label: "hi".into(),
+        };
+        assert_eq!(serde::json::to_string(&p), r#"{"x":7,"label":"hi"}"#);
+    }
+
+    #[test]
+    fn derive_handles_nesting_options_and_references() {
+        let n = Nested {
+            name: "run",
+            inner: vec![Plain {
+                x: 1,
+                label: "a".into(),
+            }],
+            maybe: None,
+            ratio: Some(0.5),
+        };
+        assert_eq!(
+            serde::json::to_string(&n),
+            r#"{"name":"run","inner":[{"x":1,"label":"a"}],"maybe":null,"ratio":0.5}"#
+        );
+    }
+
+    #[test]
+    fn primitive_impls_cover_the_numeric_tower() {
+        assert_eq!(1u64.to_json(), Value::UInt(1));
+        assert_eq!((-1i32).to_json(), Value::Int(-1));
+        assert_eq!(2.5f32.to_json(), Value::Float(2.5));
+        assert_eq!(true.to_json(), Value::Bool(true));
+        assert_eq!("s".to_json(), Value::Str("s".into()));
+        assert_eq!(vec![1u8, 2].to_json().as_array().unwrap().len(), 2);
     }
 }

@@ -1,45 +1,234 @@
 //! Offline stand-in for the `serde_derive` proc-macro crate.
 //!
-//! The vendored `serde` shim defines `Serialize` as a marker trait; this
-//! derive emits a trivial `impl` for the annotated type. It handles plain
-//! (non-generic) structs and enums, which is all the workspace derives on.
-//! Implemented without `syn`/`quote` since neither is available offline.
+//! The vendored `serde` shim defines `Serialize` as a conversion to its JSON
+//! document model (`serde::json::Value`); this derive generates that
+//! conversion for named-field structs (every field in declaration order) and
+//! unit-variant enums (the variant name as a string). Implemented without
+//! `syn`/`quote` since neither is available offline. Unsupported shapes
+//! (generics, tuple structs, enum variants with payloads) produce a
+//! `compile_error!` instead of a silently useless impl.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Derives the marker `serde::Serialize` impl for a non-generic type.
+/// Derives `serde::Serialize` (the shim's JSON conversion) for a
+/// named-field struct or a unit-variant enum.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    match type_name(input) {
-        Some(name) => format!("impl serde::Serialize for {name} {{}}")
-            .parse()
-            .expect("generated impl parses"),
-        None => TokenStream::new(),
+    let source = match parse(input) {
+        Ok(s) => generate(&s),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    source.parse().expect("generated impl parses")
+}
+
+enum Shape {
+    /// Field names of a named-field struct, in declaration order.
+    Struct(Vec<String>),
+    /// Variant names of a unit-variant enum, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn generate(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    match &parsed.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         serde::Serialize::to_json(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> serde::json::Value {{\n\
+                         serde::json::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => serde::json::Value::Str(\
+                         ::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> serde::json::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
     }
 }
 
-/// Extracts the identifier following the `struct` / `enum` / `union` keyword.
-/// Returns `None` for generic types (angle brackets after the name), which
-/// would need real serde to handle bounds — the shim degrades to no impl.
-fn type_name(input: TokenStream) -> Option<String> {
-    let mut tokens = input.into_iter();
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
     while let Some(tt) = tokens.next() {
-        if let TokenTree::Ident(ident) = &tt {
-            let kw = ident.to_string();
-            if kw == "struct" || kw == "enum" || kw == "union" {
-                let name = match tokens.next()? {
-                    TokenTree::Ident(name) => name.to_string(),
-                    _ => return None,
-                };
-                // A `<` right after the name means generics: bail out.
-                if let Some(TokenTree::Punct(p)) = tokens.next() {
-                    if p.as_char() == '<' {
-                        return None;
-                    }
+        let TokenTree::Ident(ident) = &tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        if kw == "union" {
+            return Err("serde shim derive does not support unions".to_owned());
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            _ => return Err("expected a type name".to_owned()),
+        };
+        let body = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    return Err(format!(
+                        "serde shim derive does not support generic type {name}"
+                    ));
                 }
-                return Some(name);
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    // Unit struct: serializes as the empty object.
+                    return Ok(Parsed {
+                        name,
+                        shape: Shape::Struct(Vec::new()),
+                    });
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break g.stream();
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    return Err(format!(
+                        "serde shim derive does not support tuple struct {name}"
+                    ));
+                }
+                Some(_) => continue,
+                None => return Err(format!("no body found for {name}")),
+            }
+        };
+        let shape = if kw == "struct" {
+            Shape::Struct(named_fields(body)?)
+        } else {
+            Shape::Enum(unit_variants(body)?)
+        };
+        return Ok(Parsed { name, shape });
+    }
+    Err("no struct or enum found in derive input".to_owned())
+}
+
+/// Extracts the field names of a named-field struct body: for each
+/// comma-separated (at angle-bracket depth zero) field, skip attributes and
+/// visibility, take the identifier before the `:`.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes: `#` followed by a bracket group.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                _ => return Err("malformed attribute in struct body".to_owned()),
+            }
+        }
+        // Skip visibility: `pub` with an optional `(...)` restriction.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            tokens.next();
+            if matches!(
+                tokens.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                tokens.next();
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(field)) => fields.push(field.to_string()),
+            None => return Ok(fields),
+            Some(other) => return Err(format!("expected a field name, found {other}")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(
+                    "serde shim derive supports named-field structs only (missing ':')".to_owned(),
+                )
+            }
+        }
+        // Consume the type up to the next comma at angle-bracket depth zero.
+        // `<`/`>` are plain puncts, so generic arguments must be tracked by
+        // hand; `->` must not close an angle bracket.
+        let mut angle_depth = 0usize;
+        let mut prev_joint_minus = false;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' if !prev_joint_minus => {
+                            angle_depth = angle_depth.saturating_sub(1);
+                        }
+                        ',' if angle_depth == 0 => break,
+                        _ => {}
+                    }
+                    prev_joint_minus =
+                        p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint;
+                }
+                Some(_) => prev_joint_minus = false,
+                None => return Ok(fields),
             }
         }
     }
-    None
+}
+
+/// Extracts the variant names of an enum body, rejecting variants with
+/// payloads (the shim would have nothing sensible to emit for them).
+fn unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                _ => return Err("malformed attribute in enum body".to_owned()),
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(variant)) => variants.push(variant.to_string()),
+            None => return Ok(variants),
+            Some(other) => return Err(format!("expected a variant name, found {other}")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err("serde shim derive supports unit enum variants only".to_owned())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: consume up to the next comma.
+                loop {
+                    match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => continue,
+                        None => return Ok(variants),
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token {other} in enum body")),
+            None => return Ok(variants),
+        }
+    }
 }
