@@ -1,5 +1,6 @@
 //! The `Engine` trait: the uniform evaluator contract.
 
+use wireframe_graph::StoreKind;
 use wireframe_query::ConjunctiveQuery;
 
 use crate::error::WireframeError;
@@ -24,12 +25,27 @@ pub struct EngineConfig {
     /// default; `1` forces sequential evaluation; `n > 1` requests `n`
     /// workers. Engines without parallel phases ignore the knob.
     pub threads: usize,
+    /// The graph storage backend queries should run against (`--store` on
+    /// the CLIs). `None` (the default) keeps whatever backend the graph was
+    /// built with; `Some(kind)` requests a re-index. Engines themselves are
+    /// backend-agnostic — they see the uniform `Graph` access paths — so
+    /// this knob is honored by whoever *builds* the graph (the `Session`
+    /// facade, `wfquery`, `wfbench`), before engines are constructed over
+    /// it.
+    pub store: Option<StoreKind>,
 }
 
 impl EngineConfig {
     /// Enables edge burnback.
     pub fn with_edge_burnback(mut self) -> Self {
         self.edge_burnback = true;
+        self
+    }
+
+    /// Selects the graph storage backend (`None`, the default, keeps the
+    /// graph's own backend).
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -154,15 +170,18 @@ mod tests {
         let c = EngineConfig::default()
             .with_edge_burnback()
             .with_explain()
-            .with_threads(4);
+            .with_threads(4)
+            .with_store(StoreKind::Map);
         assert!(c.edge_burnback && c.explain);
         assert_eq!(c.threads, 4);
+        assert_eq!(c.store, Some(StoreKind::Map));
         assert_eq!(
             EngineConfig::default(),
             EngineConfig {
                 edge_burnback: false,
                 explain: false,
-                threads: 0
+                threads: 0,
+                store: None,
             }
         );
     }

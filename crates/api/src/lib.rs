@@ -32,3 +32,4 @@ pub use error::WireframeError;
 pub use evaluation::{Evaluation, Factorized, Timings};
 pub use prepared::PreparedQuery;
 pub use registry::{EngineEntry, EngineFactory, EngineRegistry};
+pub use wireframe_graph::StoreKind;

@@ -75,7 +75,7 @@ impl<'g> ExplorationEngine<'g> {
 
         let schema: Vec<Var> = query.variables().collect();
         let full = EmbeddingSet::new(schema, results);
-        let projected = full.project(query).ok_or_else(|| {
+        let projected = full.into_projected_set(query).ok_or_else(|| {
             BaselineError::Internal("projection variable missing from result".into())
         })?;
         Ok((projected, stats))
@@ -142,7 +142,7 @@ impl<'g> ExplorationEngine<'g> {
             (None, None) => {
                 let pairs = self.graph.pairs(p);
                 *edge_walks += pairs.len() as u64;
-                out.extend_from_slice(pairs);
+                out.extend_from_slice(&pairs);
             }
         }
         out

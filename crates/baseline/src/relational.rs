@@ -102,7 +102,7 @@ impl<'g> RelationalEngine<'g> {
         let result =
             current.ok_or_else(|| BaselineError::Internal("query had no patterns".into()))?;
         let full = EmbeddingSet::new(result.schema, result.tuples);
-        let projected = full.project(query).ok_or_else(|| {
+        let projected = full.into_projected_set(query).ok_or_else(|| {
             BaselineError::Internal("projection variable missing from result".into())
         })?;
         Ok((projected, stats))
@@ -147,7 +147,7 @@ impl<'g> RelationalEngine<'g> {
                 }
             }
             (Term::Var(_), Term::Var(_)) => {
-                for &(s, o) in self.graph.pairs(p) {
+                for &(s, o) in self.graph.pairs(p).iter() {
                     if self_loop {
                         if s == o {
                             tuples.push(vec![s]);

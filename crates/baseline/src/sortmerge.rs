@@ -91,7 +91,7 @@ impl<'g> SortMergeEngine<'g> {
         let result =
             current.ok_or_else(|| BaselineError::Internal("query had no patterns".into()))?;
         let full = EmbeddingSet::new(result.schema, result.tuples);
-        let projected = full.project(query).ok_or_else(|| {
+        let projected = full.into_projected_set(query).ok_or_else(|| {
             BaselineError::Internal("projection variable missing from result".into())
         })?;
         Ok((projected, stats))
@@ -122,7 +122,7 @@ impl<'g> SortMergeEngine<'g> {
                 tuples.extend(self.graph.subjects_of(p, o).iter().map(|&s| vec![s]));
             }
             (Term::Var(_), Term::Var(_)) => {
-                for &(s, o) in self.graph.pairs(p) {
+                for &(s, o) in self.graph.pairs(p).iter() {
                     if self_loop {
                         if s == o {
                             tuples.push(vec![s]);

@@ -5,13 +5,15 @@
 //! wfbench [options]
 //!
 //! options:
-//!   --size tiny|small|benchmark   dataset size (default: WIREFRAME_BENCH_SIZE or small)
+//!   --size tiny|small|benchmark|large   dataset size (default: WIREFRAME_BENCH_SIZE or small)
 //!   --threads <N>                 closed-loop driver threads (default: auto, capped at 8);
 //!                                 also passed to the wireframe engine's parallel
 //!                                 phase-two defactorizer
 //!   --iterations <N>              workload passes per thread (default 5)
 //!   --engines <a,b,…>             engines to measure (default: every registered engine)
 //!   --workload full|table1|chains|stars   query mix (default full = all 20)
+//!   --store csr|map               graph storage backend to index the dataset with
+//!                                 (default csr)
 //!   --edge-burnback               enable triangulation + edge burnback (wireframe only)
 //!   --json <path>                 write the BENCH_*.json report here
 //!   --baseline <path>             compare against a previous report …
@@ -27,28 +29,30 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use wireframe::{core::auto_threads, EngineConfig, Session};
+use wireframe::{core::auto_threads, EngineConfig, Session, StoreKind};
 use wireframe_bench::driver::run_engine;
 use wireframe_bench::report::{compare, parse_tolerance, BenchReport, SCHEMA_VERSION};
-use wireframe_bench::{build_dataset, DatasetSize};
+use wireframe_bench::{build_dataset_with_store, DatasetSize};
 use wireframe_datagen::{chain_queries, full_workload, star_queries, table1_queries};
 
+#[derive(Debug)]
 struct Options {
     size: DatasetSize,
     threads: usize,
     iterations: usize,
     engines: Option<Vec<String>>,
     workload: String,
+    store: StoreKind,
     edge_burnback: bool,
     json: Option<String>,
     baseline: Option<String>,
-    tolerance: f64,
+    tolerance: Option<f64>,
 }
 
 fn usage() -> &'static str {
-    "usage: wfbench [--size tiny|small|benchmark] [--threads N] [--iterations N] \
-     [--engines a,b,…] [--workload full|table1|chains|stars] [--edge-burnback] \
-     [--json PATH] [--baseline PATH [--tolerance P%]]"
+    "usage: wfbench [--size tiny|small|benchmark|large] [--threads N] [--iterations N] \
+     [--engines a,b,…] [--workload full|table1|chains|stars] [--store csr|map] \
+     [--edge-burnback] [--json PATH] [--baseline PATH [--tolerance P%]]"
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -61,10 +65,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         iterations: 5,
         engines: None,
         workload: "full".to_owned(),
+        store: StoreKind::default(),
         edge_burnback: false,
         json: None,
         baseline: None,
-        tolerance: 0.15,
+        tolerance: None,
     };
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -106,29 +111,50 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                 }
                 options.workload = name;
             }
+            "--store" => options.store = StoreKind::parse(&value(&mut args, "--store")?)?,
             "--edge-burnback" => options.edge_burnback = true,
             "--json" => options.json = Some(value(&mut args, "--json")?),
             "--baseline" => options.baseline = Some(value(&mut args, "--baseline")?),
             "--tolerance" => {
-                options.tolerance = parse_tolerance(&value(&mut args, "--tolerance")?)?
+                options.tolerance = Some(parse_tolerance(&value(&mut args, "--tolerance")?)?)
             }
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
+    if options.tolerance.is_some() && options.baseline.is_none() {
+        return Err("--tolerance only applies together with --baseline".to_owned());
+    }
     options.size = size.unwrap_or_else(DatasetSize::from_env);
     Ok(options)
 }
 
+/// Reads and parses the `--baseline` report up front, so a bad path or file
+/// fails fast (exit 2) instead of after the whole benchmark has run.
+fn load_baseline(
+    options: &Options,
+) -> Result<Option<wireframe_bench::report::BenchReport>, String> {
+    let Some(path) = &options.baseline else {
+        return Ok(None);
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    BenchReport::from_json(&text)
+        .map(Some)
+        .map_err(|e| format!("cannot parse baseline {path}: {e}"))
+}
+
 fn run() -> Result<bool, String> {
     let options = parse_args(std::env::args().skip(1))?;
+    let baseline = load_baseline(&options)?;
 
-    let graph = Arc::new(build_dataset(options.size));
+    let graph = Arc::new(build_dataset_with_store(options.size, options.store));
     eprintln!(
-        "dataset {}: {} triples, {} predicates · {} threads × {} iterations",
+        "dataset {}: {} triples, {} predicates · {} store · {} threads × {} iterations",
         options.size.name(),
         graph.triple_count(),
         graph.predicate_count(),
+        options.store.name(),
         options.threads,
         options.iterations
     );
@@ -141,7 +167,9 @@ fn run() -> Result<bool, String> {
     }
     .map_err(|e| format!("workload does not build: {e}"))?;
 
-    let mut config = EngineConfig::default().with_threads(options.threads);
+    let mut config = EngineConfig::default()
+        .with_threads(options.threads)
+        .with_store(options.store);
     if options.edge_burnback {
         config = config.with_edge_burnback();
     }
@@ -155,6 +183,7 @@ fn run() -> Result<bool, String> {
     let mut report = BenchReport {
         schema_version: SCHEMA_VERSION,
         dataset: options.size.name().to_owned(),
+        store: options.store.name().to_owned(),
         triples: graph.triple_count() as u64,
         threads: options.threads,
         iterations: options.iterations,
@@ -184,16 +213,14 @@ fn run() -> Result<bool, String> {
         eprintln!("report written to {path}");
     }
 
-    if let Some(path) = &options.baseline {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
-        let baseline = BenchReport::from_json(&text)
-            .map_err(|e| format!("cannot parse baseline {path}: {e}"))?;
-        let regressions = compare(&report, &baseline, options.tolerance);
+    if let Some(baseline) = &baseline {
+        let path = options.baseline.as_deref().unwrap_or("<baseline>");
+        let tolerance = options.tolerance.unwrap_or(DEFAULT_TOLERANCE);
+        let regressions = compare(&report, baseline, tolerance);
         if regressions.is_empty() {
             eprintln!(
                 "no regression against {path} (tolerance {:.0}%)",
-                options.tolerance * 100.0
+                tolerance * 100.0
             );
         } else {
             eprintln!("{} regression(s) against {path}:", regressions.len());
@@ -205,6 +232,9 @@ fn run() -> Result<bool, String> {
     }
     Ok(true)
 }
+
+/// Latency/QPS slack applied when `--baseline` is given without `--tolerance`.
+const DEFAULT_TOLERANCE: f64 = 0.15;
 
 fn print_summary(report: &BenchReport) {
     println!(
@@ -242,5 +272,48 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn store_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().store, StoreKind::Csr);
+        assert_eq!(parse(&["--store", "map"]).unwrap().store, StoreKind::Map);
+        let err = parse(&["--store", "btree"]).unwrap_err();
+        assert!(err.contains("csr") && err.contains("map"), "{err}");
+    }
+
+    #[test]
+    fn tolerance_without_baseline_is_a_usage_error() {
+        let err = parse(&["--tolerance", "30%"]).unwrap_err();
+        assert!(err.contains("--baseline"), "{err}");
+        assert!(parse(&["--baseline", "x.json", "--tolerance", "30%"]).is_ok());
+        // Malformed tolerances are still rejected at parse time.
+        assert!(parse(&["--baseline", "x.json", "--tolerance", "abc"]).is_err());
+    }
+
+    #[test]
+    fn missing_baseline_file_fails_before_the_benchmark_runs() {
+        let options = parse(&["--baseline", "/nonexistent/definitely-not-here.json"]).unwrap();
+        let err = load_baseline(&options).unwrap_err();
+        assert!(err.contains("cannot read baseline"), "{err}");
+    }
+
+    #[test]
+    fn unparsable_baseline_fails_with_a_clear_message() {
+        let path = std::env::temp_dir().join("wfbench_test_bad_baseline.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        let options = parse(&["--baseline", path.to_str().unwrap()]).unwrap();
+        let err = load_baseline(&options).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains("cannot parse baseline"), "{err}");
     }
 }

@@ -33,7 +33,7 @@ use serde::Serialize;
 
 use wireframe::{default_registry, EngineConfig, PreparedQuery};
 use wireframe_datagen::{generate, table1_queries, BenchmarkQuery, YagoConfig};
-use wireframe_graph::Graph;
+use wireframe_graph::{Graph, StoreKind};
 use wireframe_query::Shape;
 
 /// Which dataset size a harness run uses.
@@ -45,17 +45,22 @@ pub enum DatasetSize {
     Small,
     /// Hundreds of thousands of triples — the full harness run.
     Benchmark,
+    /// Millions of triples — the out-of-cache "large graphs" run where
+    /// storage layout dominates (same planted answers as `benchmark`).
+    Large,
 }
 
 impl DatasetSize {
-    /// Parses a size name: `tiny`, `small`, or `benchmark` (alias `full`).
+    /// Parses a size name: `tiny`, `small`, `benchmark` (alias `full`), or
+    /// `large`.
     pub fn parse(value: &str) -> Result<Self, String> {
         match value {
             "tiny" => Ok(DatasetSize::Tiny),
             "small" => Ok(DatasetSize::Small),
             "benchmark" | "full" => Ok(DatasetSize::Benchmark),
+            "large" => Ok(DatasetSize::Large),
             other => Err(format!(
-                "unrecognized dataset size {other:?} (accepted: tiny, small, benchmark)"
+                "unrecognized dataset size {other:?} (accepted: tiny, small, benchmark, large)"
             )),
         }
     }
@@ -74,7 +79,7 @@ impl DatasetSize {
             Err(std::env::VarError::NotPresent) => DatasetSize::Small,
             Err(std::env::VarError::NotUnicode(raw)) => {
                 eprintln!(
-                    "WIREFRAME_BENCH_SIZE: non-UTF-8 value {:?} (accepted: tiny, small, benchmark)",
+                    "WIREFRAME_BENCH_SIZE: non-UTF-8 value {:?} (accepted: tiny, small, benchmark, large)",
                     raw.to_string_lossy()
                 );
                 std::process::exit(2);
@@ -88,6 +93,7 @@ impl DatasetSize {
             DatasetSize::Tiny => "tiny",
             DatasetSize::Small => "small",
             DatasetSize::Benchmark => "benchmark",
+            DatasetSize::Large => "large",
         }
     }
 
@@ -97,13 +103,20 @@ impl DatasetSize {
             DatasetSize::Tiny => YagoConfig::tiny(),
             DatasetSize::Small => YagoConfig::small(),
             DatasetSize::Benchmark => YagoConfig::benchmark(),
+            DatasetSize::Large => YagoConfig::large(),
         }
     }
 }
 
-/// Builds the synthetic dataset for a harness run.
+/// Builds the synthetic dataset for a harness run (default CSR backend).
 pub fn build_dataset(size: DatasetSize) -> Graph {
     generate(&size.config())
+}
+
+/// Builds the synthetic dataset indexed with the given storage backend, so
+/// the same seeded data can be measured on every store (`wfbench --store`).
+pub fn build_dataset_with_store(size: DatasetSize, store: StoreKind) -> Graph {
+    generate(&size.config()).with_store(store)
 }
 
 /// One measured row of Table 1.

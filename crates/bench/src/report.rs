@@ -7,6 +7,7 @@
 //! {
 //!   "schema_version": 1,
 //!   "dataset": "tiny",          // DatasetSize name
+//!   "store": "csr",             // graph storage backend (csr / map)
 //!   "triples": 4100,            // dataset size actually generated
 //!   "threads": 4,               // closed-loop driver threads
 //!   "iterations": 5,            // workload passes per thread
@@ -118,6 +119,9 @@ pub struct BenchReport {
     pub schema_version: u64,
     /// Dataset size name (`tiny` / `small` / `benchmark`).
     pub dataset: String,
+    /// Graph storage backend the run was indexed with (`csr` / `map`).
+    /// Reports written before the field existed read back as `csr`.
+    pub store: String,
     /// Triples in the generated dataset.
     pub triples: u64,
     /// Closed-loop driver threads.
@@ -148,6 +152,11 @@ impl BenchReport {
         Ok(BenchReport {
             schema_version: version,
             dataset: field_str(&doc, "dataset")?,
+            store: doc
+                .get("store")
+                .and_then(Value::as_str)
+                .unwrap_or("csr")
+                .to_owned(),
             triples: field_u64(&doc, "triples")?,
             threads: field_u64(&doc, "threads")? as usize,
             iterations: field_u64(&doc, "iterations")? as usize,
@@ -387,6 +396,7 @@ mod tests {
         BenchReport {
             schema_version: SCHEMA_VERSION,
             dataset: "tiny".into(),
+            store: "csr".into(),
             triples: 4100,
             threads: 2,
             iterations: 3,
@@ -427,6 +437,7 @@ mod tests {
         let text = report.to_json_string();
         let parsed = BenchReport::from_json(&text).unwrap();
         assert_eq!(parsed.dataset, "tiny");
+        assert_eq!(parsed.store, "csr");
         assert_eq!(parsed.engines.len(), 1);
         let q = &parsed.engines[0].queries[0];
         assert_eq!(q.name, "CQS-1");
@@ -435,6 +446,16 @@ mod tests {
         assert!((q.p50_ms - 2.0).abs() < 1e-9);
         assert!((q.phases.answer_graph_ms - 1.2).abs() < 1e-9);
         assert!(compare(&parsed, &report, 0.15).is_empty());
+    }
+
+    #[test]
+    fn reports_without_a_store_field_read_as_csr() {
+        // Baselines recorded before the store field existed must stay readable.
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"store\": \"csr\",", "");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(parsed.store, "csr");
     }
 
     #[test]

@@ -37,6 +37,25 @@ impl PatternEdges {
         true
     }
 
+    /// Bulk-loads a whole edge set into an **empty** pattern: two sorts over
+    /// contiguous pairs plus one map insertion per *distinct* node replace a
+    /// pair of hash operations per *edge*. This is how edge extension
+    /// materializes a pattern (each pattern is materialized exactly once,
+    /// and the extension stream contains no duplicates).
+    pub fn bulk_load(&mut self, mut edges: Vec<(NodeId, NodeId)>) {
+        debug_assert!(self.is_empty(), "bulk_load targets an empty pattern");
+        edges.sort_unstable();
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] != w[1]),
+            "bulk_load saw a duplicate edge"
+        );
+        self.len = edges.len();
+        group_into(&mut self.forward, &edges);
+        let mut rev: Vec<(NodeId, NodeId)> = edges.iter().map(|&(s, o)| (o, s)).collect();
+        rev.sort_unstable();
+        group_into(&mut self.backward, &rev);
+    }
+
     /// Removes the data edge `(s, o)`. Returns `true` if it was present.
     pub fn remove(&mut self, s: NodeId, o: NodeId) -> bool {
         let Some(fw) = self.forward.get_mut(&s) else {
@@ -153,12 +172,107 @@ impl PatternEdges {
     }
 }
 
+/// Groups sorted `(key, value)` pairs into a map of per-key value vectors
+/// (one insertion per distinct key, values with exact capacity).
+fn group_into(map: &mut HashMap<NodeId, Vec<NodeId>>, sorted: &[(NodeId, NodeId)]) {
+    let mut i = 0;
+    while i < sorted.len() {
+        let k = sorted[i].0;
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j].0 == k {
+            j += 1;
+        }
+        let mut values = Vec::with_capacity(j - i);
+        values.extend(sorted[i..j].iter().map(|&(_, v)| v));
+        map.insert(k, values);
+        i = j;
+    }
+}
+
+/// A variable's set of viable nodes: an ascending-sorted base vector plus a
+/// tombstone set for burnback removals (usually a small minority of the
+/// base). Binding a variable is a move of the extension step's already
+/// sorted, deduplicated node list — no hashing — and reading the set back as
+/// a sorted slice (for the next step's constraint) is a filtered copy with
+/// no re-sort.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSet {
+    /// Ascending-sorted, distinct.
+    base: Vec<NodeId>,
+    /// Nodes removed from `base` by burnback.
+    removed: HashSet<NodeId>,
+}
+
+impl NodeSet {
+    /// Number of viable nodes.
+    pub fn len(&self) -> usize {
+        self.base.len() - self.removed.len()
+    }
+
+    /// Whether no nodes remain viable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership probe (binary search on the sorted base).
+    pub fn contains(&self, n: &NodeId) -> bool {
+        self.base.binary_search(n).is_ok() && !self.removed.contains(n)
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    pub fn remove(&mut self, n: &NodeId) -> bool {
+        self.base.binary_search(n).is_ok() && self.removed.insert(*n)
+    }
+
+    /// Inserts a node; returns `true` if it was absent. (Test/setup helper;
+    /// bulk binding goes through [`NodeSet::assign_sorted`].)
+    pub fn insert(&mut self, n: NodeId) -> bool {
+        if self.removed.remove(&n) {
+            return true;
+        }
+        match self.base.binary_search(&n) {
+            Ok(_) => false,
+            Err(at) => {
+                self.base.insert(at, n);
+                true
+            }
+        }
+    }
+
+    /// Replaces the contents with an ascending-sorted, deduplicated list.
+    pub fn assign_sorted(&mut self, sorted: Vec<NodeId>) {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        self.base = sorted;
+        self.removed.clear();
+    }
+
+    /// Empties the set.
+    pub fn clear(&mut self) {
+        self.base.clear();
+        self.removed.clear();
+    }
+
+    /// Iterates over the viable nodes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeId> {
+        self.base.iter().filter(|n| !self.removed.contains(n))
+    }
+
+    /// The viable nodes as an ascending-sorted vector.
+    pub fn to_sorted_vec(&self) -> Vec<NodeId> {
+        if self.removed.is_empty() {
+            self.base.clone()
+        } else {
+            self.iter().copied().collect()
+        }
+    }
+}
+
 /// The factorized answer of a conjunctive query.
 #[derive(Debug, Clone)]
 pub struct AnswerGraph {
     patterns: Vec<PatternEdges>,
     materialized: Vec<bool>,
-    node_sets: Vec<HashSet<NodeId>>,
+    node_sets: Vec<NodeSet>,
     bound: Vec<bool>,
 }
 
@@ -170,7 +284,7 @@ impl AnswerGraph {
                 .map(|_| PatternEdges::default())
                 .collect(),
             materialized: vec![false; query.num_patterns()],
-            node_sets: vec![HashSet::new(); query.num_vars()],
+            node_sets: vec![NodeSet::default(); query.num_vars()],
             bound: vec![false; query.num_vars()],
         }
     }
@@ -197,12 +311,12 @@ impl AnswerGraph {
     }
 
     /// The viable nodes of variable `v`.
-    pub fn node_set(&self, v: Var) -> &HashSet<NodeId> {
+    pub fn node_set(&self, v: Var) -> &NodeSet {
         &self.node_sets[v.index()]
     }
 
     /// Mutable access to the viable nodes of variable `v`.
-    pub fn node_set_mut(&mut self, v: Var) -> &mut HashSet<NodeId> {
+    pub fn node_set_mut(&mut self, v: Var) -> &mut NodeSet {
         &mut self.node_sets[v.index()]
     }
 
@@ -229,7 +343,7 @@ impl AnswerGraph {
 
     /// Total number of viable nodes across all variables.
     pub fn total_nodes(&self) -> usize {
-        self.node_sets.iter().map(HashSet::len).sum()
+        self.node_sets.iter().map(NodeSet::len).sum()
     }
 
     /// Whether any materialized query edge has no matched edges, i.e. the

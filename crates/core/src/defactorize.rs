@@ -9,11 +9,106 @@
 
 use std::collections::HashMap;
 
+use wireframe_graph::slices::contains_sorted;
 use wireframe_graph::NodeId;
 use wireframe_query::{ConjunctiveQuery, EmbeddingSet, Term, Var};
 
-use crate::answer_graph::AnswerGraph;
+use crate::answer_graph::{AnswerGraph, PatternEdges};
 use crate::error::EngineError;
+
+/// A sorted-slice join index over one pattern's answer edges: CSR-style
+/// `keys`/`offsets`/`values` arrays in both directions, snapshotted once per
+/// defactorization from the (hash-map-backed, mutation-friendly)
+/// [`PatternEdges`] and then probed once per intermediate tuple. Joining
+/// against sorted contiguous arrays replaces a hash lookup per tuple with a
+/// binary search over cache-resident memory, and makes the enumeration order
+/// deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct JoinIndex {
+    /// Distinct `(subject, object)` pairs, sorted — the scan path.
+    pairs: Vec<(NodeId, NodeId)>,
+    fwd_keys: Vec<NodeId>,
+    fwd_offsets: Vec<u32>,
+    fwd_values: Vec<NodeId>,
+    rev_keys: Vec<NodeId>,
+    rev_offsets: Vec<u32>,
+    rev_values: Vec<NodeId>,
+}
+
+/// Groups sorted `(key, value)` pairs into `keys`/`offsets`/`values` arrays.
+fn group_sorted(pairs: &[(NodeId, NodeId)]) -> (Vec<NodeId>, Vec<u32>, Vec<NodeId>) {
+    let mut keys = Vec::new();
+    let mut offsets: Vec<u32> = Vec::new();
+    let mut values = Vec::with_capacity(pairs.len());
+    for &(k, v) in pairs {
+        if keys.last() != Some(&k) {
+            keys.push(k);
+            offsets.push(values.len() as u32);
+        }
+        values.push(v);
+    }
+    offsets.push(values.len() as u32);
+    (keys, offsets, values)
+}
+
+impl JoinIndex {
+    pub(crate) fn build(edges: &PatternEdges) -> Self {
+        JoinIndex::from_pairs(edges.iter().collect())
+    }
+
+    /// Builds the index directly from an edge list (used by the parallel
+    /// defactorizer for each worker's seed partition).
+    pub(crate) fn from_pairs(mut pairs: Vec<(NodeId, NodeId)>) -> Self {
+        pairs.sort_unstable();
+        let (fwd_keys, fwd_offsets, fwd_values) = group_sorted(&pairs);
+        let mut reversed: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(s, o)| (o, s)).collect();
+        reversed.sort_unstable();
+        let (rev_keys, rev_offsets, rev_values) = group_sorted(&reversed);
+        JoinIndex {
+            pairs,
+            fwd_keys,
+            fwd_offsets,
+            fwd_values,
+            rev_keys,
+            rev_offsets,
+            rev_values,
+        }
+    }
+
+    #[inline]
+    fn slice<'a>(
+        keys: &[NodeId],
+        offsets: &[u32],
+        values: &'a [NodeId],
+        key: NodeId,
+    ) -> &'a [NodeId] {
+        match keys.binary_search(&key) {
+            Ok(i) => &values[offsets[i] as usize..offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Objects matched with subject `s` (ascending-sorted).
+    #[inline]
+    fn objects_of(&self, s: NodeId) -> &[NodeId] {
+        Self::slice(&self.fwd_keys, &self.fwd_offsets, &self.fwd_values, s)
+    }
+
+    /// Subjects matched with object `o` (ascending-sorted).
+    #[inline]
+    fn subjects_of(&self, o: NodeId) -> &[NodeId] {
+        Self::slice(&self.rev_keys, &self.rev_offsets, &self.rev_values, o)
+    }
+
+    #[inline]
+    fn contains(&self, s: NodeId, o: NodeId) -> bool {
+        contains_sorted(self.objects_of(s), o)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
 
 /// Statistics of the defactorization phase.
 #[derive(Debug, Clone, Default)]
@@ -80,6 +175,22 @@ pub fn defactorize(
             "embedding plan does not cover every query edge".into(),
         ));
     }
+    // Sorted join indexes, snapshotted once per pattern and probed per tuple.
+    let indexes: Vec<JoinIndex> = (0..query.num_patterns())
+        .map(|q| JoinIndex::build(ag.pattern(q)))
+        .collect();
+    let index_refs: Vec<&JoinIndex> = indexes.iter().collect();
+    defactorize_indexed(query, &index_refs, order)
+}
+
+/// The join loop over prebuilt indexes. Exposed crate-internally so the
+/// parallel defactorizer can share the (identical) non-seed indexes across
+/// workers instead of rebuilding them per worker.
+pub(crate) fn defactorize_indexed(
+    query: &ConjunctiveQuery,
+    indexes: &[&JoinIndex],
+    order: &[usize],
+) -> Result<(EmbeddingSet, DefactorizationStats), EngineError> {
     let mut stats = DefactorizationStats {
         join_order: order.to_vec(),
         peak_intermediate: 0,
@@ -88,11 +199,17 @@ pub fn defactorize(
 
     // Bound variables so far -> column index in the intermediate tuples.
     let mut columns: HashMap<Var, usize> = HashMap::new();
-    let mut tuples: Vec<Vec<NodeId>> = vec![Vec::new()];
+    // Intermediate tuples in one flat arena: `count` rows of `arity` columns
+    // each, concatenated in `data`. An extension step memcpys the parent row
+    // and appends the new binding — no per-tuple allocation, which is where
+    // the materializing defactorizer used to spend most of its time.
+    let mut arity = 0usize;
+    let mut count = 1usize; // the empty tuple
+    let mut data: Vec<NodeId> = Vec::new();
 
     for &q in order {
         let pattern = query.patterns()[q];
-        let edges = ag.pattern(q);
+        let edges = indexes[q];
         let s_col = pattern
             .subject
             .as_var()
@@ -101,26 +218,33 @@ pub fn defactorize(
             .object
             .as_var()
             .and_then(|v| columns.get(&v).copied());
-        let mut next: Vec<Vec<NodeId>> = Vec::new();
+
+        let mut next_arity = arity;
+        let mut next: Vec<NodeId> = Vec::with_capacity(data.len());
+        let mut next_count = 0usize;
 
         match (pattern.subject, pattern.object) {
             // Self-loop on one variable.
             (Term::Var(a), Term::Var(b)) if a == b => {
                 if let Some(col) = s_col {
-                    for t in &tuples {
+                    for i in 0..count {
+                        let t = &data[i * arity..(i + 1) * arity];
                         if edges.contains(t[col], t[col]) {
-                            next.push(t.clone());
+                            next.extend_from_slice(t);
+                            next_count += 1;
                         }
                     }
                 } else {
                     let new_col = columns.len();
                     columns.insert(a, new_col);
-                    for t in &tuples {
+                    next_arity = arity + 1;
+                    for i in 0..count {
+                        let t = &data[i * arity..(i + 1) * arity];
                         for (s, o) in edges.iter() {
                             if s == o {
-                                let mut t2 = t.clone();
-                                t2.push(s);
-                                next.push(t2);
+                                next.extend_from_slice(t);
+                                next.push(s);
+                                next_count += 1;
                             }
                         }
                     }
@@ -129,11 +253,13 @@ pub fn defactorize(
             _ => {
                 match (s_col, o_col) {
                     (Some(sc), Some(oc)) => {
-                        for t in &tuples {
+                        for i in 0..count {
+                            let t = &data[i * arity..(i + 1) * arity];
                             if edges
                                 .contains(bind(t, sc, pattern.subject), bind(t, oc, pattern.object))
                             {
-                                next.push(t.clone());
+                                next.extend_from_slice(t);
+                                next_count += 1;
                             }
                         }
                     }
@@ -143,11 +269,19 @@ pub fn defactorize(
                             columns.insert(v, c);
                             c
                         });
-                        for t in &tuples {
+                        if new_col.is_some() {
+                            next_arity = arity + 1;
+                        }
+                        for i in 0..count {
+                            let t = &data[i * arity..(i + 1) * arity];
                             let s = bind(t, sc, pattern.subject);
                             for &o in edges.objects_of(s) {
                                 if admits(pattern.object, o) {
-                                    extendq(&mut next, t, new_col, o);
+                                    next.extend_from_slice(t);
+                                    if new_col.is_some() {
+                                        next.push(o);
+                                    }
+                                    next_count += 1;
                                 }
                             }
                         }
@@ -158,11 +292,19 @@ pub fn defactorize(
                             columns.insert(v, c);
                             c
                         });
-                        for t in &tuples {
+                        if new_col.is_some() {
+                            next_arity = arity + 1;
+                        }
+                        for i in 0..count {
+                            let t = &data[i * arity..(i + 1) * arity];
                             let o = bind(t, oc, pattern.object);
                             for &s in edges.subjects_of(o) {
                                 if admits(pattern.subject, s) {
-                                    extendq(&mut next, t, new_col, s);
+                                    next.extend_from_slice(t);
+                                    if new_col.is_some() {
+                                        next.push(s);
+                                    }
+                                    next_count += 1;
                                 }
                             }
                         }
@@ -179,19 +321,22 @@ pub fn defactorize(
                             columns.insert(v, c);
                             c
                         });
-                        for t in &tuples {
+                        next_arity =
+                            arity + usize::from(s_new.is_some()) + usize::from(o_new.is_some());
+                        for i in 0..count {
+                            let t = &data[i * arity..(i + 1) * arity];
                             for (s, o) in edges.iter() {
                                 if !admits(pattern.subject, s) || !admits(pattern.object, o) {
                                     continue;
                                 }
-                                let mut t2 = t.clone();
+                                next.extend_from_slice(t);
                                 if s_new.is_some() {
-                                    t2.push(s);
+                                    next.push(s);
                                 }
                                 if o_new.is_some() {
-                                    t2.push(o);
+                                    next.push(o);
                                 }
-                                next.push(t2);
+                                next_count += 1;
                             }
                         }
                     }
@@ -199,9 +344,11 @@ pub fn defactorize(
             }
         }
 
-        tuples = next;
-        stats.peak_intermediate = stats.peak_intermediate.max(tuples.len());
-        if tuples.is_empty() {
+        arity = next_arity;
+        data = next;
+        count = next_count;
+        stats.peak_intermediate = stats.peak_intermediate.max(count);
+        if count == 0 {
             break;
         }
     }
@@ -209,29 +356,36 @@ pub fn defactorize(
     // Assemble the full schema: every query variable, in variable-index order.
     // Variables that never got a column (possible only if every pattern
     // mentioning them matched nothing) only occur when the result is empty.
+    // The output stays one flat row-major buffer end to end.
     let schema: Vec<Var> = query.variables().collect();
-    let mut out: Vec<Vec<NodeId>> = Vec::with_capacity(tuples.len());
-    if !tuples.is_empty() {
-        let mut col_of: Vec<Option<usize>> = vec![None; query.num_vars()];
-        for (v, c) in &columns {
-            col_of[v.index()] = Some(*c);
+    let mut out: Vec<NodeId> = Vec::with_capacity(count * schema.len());
+    if count > 0 {
+        let mut col_of: Vec<usize> = Vec::with_capacity(query.num_vars());
+        for v in query.variables() {
+            match columns.get(&v) {
+                Some(&c) => col_of.push(c),
+                None => {
+                    return Err(EngineError::Internal(
+                        "a query variable was never bound during defactorization".into(),
+                    ))
+                }
+            }
         }
-        if col_of.iter().any(Option::is_none) {
-            return Err(EngineError::Internal(
-                "a query variable was never bound during defactorization".into(),
-            ));
+        if arity == col_of.len() && col_of.iter().enumerate().all(|(i, &c)| c == i) {
+            // Columns were bound in variable-index order: the arena already
+            // is the answer — move it, no gather pass.
+            out = data;
+        } else {
+            for i in 0..count {
+                let t = &data[i * arity..(i + 1) * arity];
+                out.extend(col_of.iter().map(|&c| t[c]));
+            }
         }
-        for t in &tuples {
-            out.push(
-                col_of
-                    .iter()
-                    .map(|c| t[c.expect("checked above")])
-                    .collect(),
-            );
-        }
+        stats.embeddings = count;
     }
-    stats.embeddings = out.len();
-    Ok((EmbeddingSet::new(schema, out), stats))
+    // The explicit row count matters for fully ground queries (zero-arity
+    // schema): `count` empty tuples are still answers.
+    Ok((EmbeddingSet::from_flat_rows(schema, out, count), stats))
 }
 
 /// Convenience: counts embeddings without keeping the materialized set.
@@ -255,14 +409,6 @@ fn admits(term: Term, n: NodeId) -> bool {
         Term::Const(c) => c == n,
         Term::Var(_) => true,
     }
-}
-
-fn extendq(next: &mut Vec<Vec<NodeId>>, tuple: &[NodeId], new_col: Option<usize>, value: NodeId) {
-    let mut t2 = tuple.to_vec();
-    if new_col.is_some() {
-        t2.push(value);
-    }
-    next.push(t2);
 }
 
 #[cfg(test)]
@@ -374,6 +520,28 @@ mod tests {
         let (ag, _) = generate(&g, &q, &[0, 1, 2], &EvalOptions::default()).unwrap();
         let order = embedding_plan(&q, &ag);
         assert_eq!(count_embeddings(&q, &ag, &order).unwrap(), 12);
+    }
+
+    #[test]
+    fn fully_ground_query_returns_the_empty_tuple() {
+        // A query with no variables has a zero-arity answer schema; its
+        // answer is one empty tuple when the pattern holds, zero otherwise.
+        let g = figure1_graph();
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("5", "B", "9").unwrap();
+        let q = qb.build().unwrap();
+        let (ag, _) = generate(&g, &q, &[0], &EvalOptions::default()).unwrap();
+        let (emb, stats) = defactorize(&q, &ag, &embedding_plan(&q, &ag)).unwrap();
+        assert_eq!(emb.len(), 1, "the ground pattern holds: one empty tuple");
+        assert_eq!(emb.schema().len(), 0);
+        assert_eq!(stats.embeddings, 1);
+
+        let mut qb = CqBuilder::new(g.dictionary());
+        qb.pattern("5", "B", "12").unwrap(); // no such edge
+        let q2 = qb.build().unwrap();
+        let (ag2, _) = generate(&g, &q2, &[0], &EvalOptions::default()).unwrap();
+        let (emb2, _) = defactorize(&q2, &ag2, &embedding_plan(&q2, &ag2)).unwrap();
+        assert_eq!(emb2.len(), 0);
     }
 
     #[test]

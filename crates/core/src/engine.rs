@@ -206,7 +206,7 @@ impl<'g> WireframeEngine<'g> {
                 &ParallelOptions::for_threads(self.options.threads),
             )?
         };
-        let embeddings = full.project(query).ok_or_else(|| {
+        let embeddings = full.into_projected_set(query).ok_or_else(|| {
             EngineError::Internal("projection referenced a variable missing from the result".into())
         })?;
         timings.defactorization = t3.elapsed();

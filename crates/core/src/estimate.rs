@@ -18,6 +18,13 @@ use wireframe_query::{ConjunctiveQuery, Term, TriplePattern, Var};
 pub struct StepEstimate {
     /// Expected number of edge walks performed by the extension step.
     pub edge_walks: f64,
+    /// Guaranteed upper bound on the step's edge walks, from the degree
+    /// statistics the store build computes: a step driven from `n` candidate
+    /// nodes retrieves at most `n × max-degree` edges (and never more than
+    /// the predicate's cardinality). Averages hide skew; this bound does not,
+    /// so the planners use it to break cost ties away from hub-heavy
+    /// predicates.
+    pub worst_case_walks: f64,
     /// Expected number of answer-graph edges the step leaves materialized.
     pub result_edges: f64,
     /// Expected node-set size of the pattern's subject variable afterwards
@@ -63,9 +70,15 @@ impl<'g, 'q> Estimator<'g, 'q> {
     ///   the expected number of candidates that have any `p`-edge is scaled by
     ///   a containment factor derived from the 2-gram statistics against the
     ///   predicates that bound the variable; walks = matching candidates ×
-    ///   average degree of `p` on that end;
+    ///   average degree of `p` on that end — except for a **constant** end,
+    ///   where the store answers the node's exact degree and no averaging is
+    ///   needed at all;
     /// * both ends bound → the retrieval is driven from the smaller side and
     ///   the result is additionally filtered by the other side's selectivity.
+    ///
+    /// Alongside the expectation, every step carries a guaranteed
+    /// [`worst_case_walks`](StepEstimate::worst_case_walks) bound derived
+    /// from the catalog's max-degree statistics.
     pub fn estimate_step(&self, var_card: &[Option<f64>], pattern_idx: usize) -> StepEstimate {
         let pattern = &self.query.patterns()[pattern_idx];
         let p = pattern.predicate;
@@ -75,47 +88,82 @@ impl<'g, 'q> Estimator<'g, 'q> {
         let s_bound = self.end_binding(pattern.subject, var_card);
         let o_bound = self.end_binding(pattern.object, var_card);
 
+        // Exact degrees for constant ends: the store's adjacency answers the
+        // real fan-out/fan-in of the named node, so the planner works with
+        // true cardinalities instead of predicate-wide averages.
+        let s_exact = match pattern.subject {
+            Term::Const(c) => Some(self.graph.out_degree(p, c) as f64),
+            Term::Var(_) => None,
+        };
+        let o_exact = match pattern.object {
+            Term::Const(c) => Some(self.graph.in_degree(p, c) as f64),
+            Term::Var(_) => None,
+        };
+
         // Containment: what fraction of the bound variable's nodes can have a
         // `p`-edge on this end at all.
         let s_containment =
             self.containment(pattern_idx, pattern.subject, p, End::Subject, var_card);
         let o_containment = self.containment(pattern_idx, pattern.object, p, End::Object, var_card);
 
-        let (edge_walks, result_edges) = match (s_bound, o_bound) {
-            (None, None) => (card, card),
+        let (edge_walks, worst_case_walks, result_edges) = match (s_bound, o_bound) {
+            (None, None) => (card, card, card),
             (Some(ns), None) => {
-                let matching_subjects = (ns * s_containment).min(u.distinct_subjects.max(1) as f64);
-                let walks = matching_subjects * u.avg_fanout().max(1e-9);
-                (walks.max(ns).max(1.0), walks.max(0.0))
+                let walks = match s_exact {
+                    Some(d) => d,
+                    None => {
+                        let matching = (ns * s_containment).min(u.distinct_subjects.max(1) as f64);
+                        matching * u.avg_fanout().max(1e-9)
+                    }
+                };
+                let worst = (ns * u.max_out_degree as f64).min(card).max(1.0);
+                (walks.max(ns).max(1.0), worst, walks.clamp(0.0, card))
             }
             (None, Some(no)) => {
-                let matching_objects = (no * o_containment).min(u.distinct_objects.max(1) as f64);
-                let walks = matching_objects * u.avg_fanin().max(1e-9);
-                (walks.max(no).max(1.0), walks.max(0.0))
+                let walks = match o_exact {
+                    Some(d) => d,
+                    None => {
+                        let matching = (no * o_containment).min(u.distinct_objects.max(1) as f64);
+                        matching * u.avg_fanin().max(1e-9)
+                    }
+                };
+                let worst = (no * u.max_in_degree as f64).min(card).max(1.0);
+                (walks.max(no).max(1.0), worst, walks.clamp(0.0, card))
             }
             (Some(ns), Some(no)) => {
                 // Drive from the smaller side, filter by the other.
-                let (drive, drive_containment, degree, other, other_distinct) = if ns <= no {
-                    (
-                        ns,
-                        s_containment,
-                        u.avg_fanout(),
-                        no,
-                        u.distinct_objects.max(1) as f64,
-                    )
-                } else {
-                    (
-                        no,
-                        o_containment,
-                        u.avg_fanin(),
-                        ns,
-                        u.distinct_subjects.max(1) as f64,
-                    )
+                let (drive, drive_containment, degree, max_degree, exact, other, other_distinct) =
+                    if ns <= no {
+                        (
+                            ns,
+                            s_containment,
+                            u.avg_fanout(),
+                            u.max_out_degree,
+                            s_exact,
+                            no,
+                            u.distinct_objects.max(1) as f64,
+                        )
+                    } else {
+                        (
+                            no,
+                            o_containment,
+                            u.avg_fanin(),
+                            u.max_in_degree,
+                            o_exact,
+                            ns,
+                            u.distinct_subjects.max(1) as f64,
+                        )
+                    };
+                let walks = match exact {
+                    Some(d) => d.max(1.0),
+                    None => {
+                        let matching = drive * drive_containment;
+                        (matching * degree.max(1e-9)).max(drive).max(1.0)
+                    }
                 };
-                let matching = drive * drive_containment;
-                let walks = (matching * degree.max(1e-9)).max(drive).max(1.0);
+                let worst = (drive * max_degree as f64).min(card).max(1.0);
                 let filter_sel = (other / other_distinct).min(1.0);
-                (walks, walks * filter_sel)
+                (walks, worst, (walks * filter_sel).min(card))
             }
         };
 
@@ -129,6 +177,7 @@ impl<'g, 'q> Estimator<'g, 'q> {
 
         StepEstimate {
             edge_walks,
+            worst_case_walks,
             result_edges,
             subject_card,
             object_card,
@@ -309,6 +358,41 @@ mod tests {
         let est = Estimator::new(&g, &q);
         let s = est.estimate_step(&vec![None; q.num_vars()], 0);
         assert!(s.edge_walks < 100.0, "constant object restricts the scan");
+        // The store answers the named node's real fan-in: hub0 receives
+        // exactly 100 / 5 = 20 A-edges, so the estimate is exact, not the
+        // predicate-wide average.
+        assert_eq!(s.edge_walks, 20.0);
+        assert_eq!(s.result_edges, 20.0);
+    }
+
+    #[test]
+    fn worst_case_bound_dominates_the_expectation() {
+        let g = graph();
+        let q = query(&g);
+        let est = Estimator::new(&g, &q);
+        let mut cards = vec![None; q.num_vars()];
+        let y = q.var_by_name("y").unwrap();
+        cards[y.index()] = Some(3.0);
+        let s = est.estimate_step(&cards, 2);
+        // C fans out 100 per subject uniformly (1000 edges / 10 subjects);
+        // the worst case from 3 candidates is 3 × max-degree = 300.
+        assert_eq!(s.worst_case_walks, 300.0);
+        assert!(s.worst_case_walks >= s.edge_walks - 1e-9);
+        // A full scan's worst case is the scan itself.
+        let scan = est.estimate_step(&vec![None; q.num_vars()], 2);
+        assert_eq!(scan.worst_case_walks, scan.edge_walks);
+    }
+
+    #[test]
+    fn result_edges_never_exceed_the_predicate_cardinality() {
+        let g = graph();
+        let q = query(&g);
+        let est = Estimator::new(&g, &q);
+        let mut cards = vec![None; q.num_vars()];
+        let y = q.var_by_name("y").unwrap();
+        cards[y.index()] = Some(1e9); // absurdly over-estimated binding
+        let s = est.estimate_step(&cards, 2);
+        assert!(s.result_edges <= 1000.0, "C only has 1000 edges");
     }
 
     #[test]

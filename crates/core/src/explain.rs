@@ -48,10 +48,11 @@ pub fn explain_plan(graph: &Graph, query: &ConjunctiveQuery, plan: &Plan) -> Str
         let est = estimator.estimate_step(&cards, i);
         let _ = writeln!(
             out,
-            "  {:>2}. materialize [{}]   est. walks {:>10.0}  est. AG edges {:>10.0}",
+            "  {:>2}. materialize [{}]   est. walks {:>10.0} (≤{:.0} worst)  est. AG edges {:>10.0}",
             step_no + 1,
             pattern_text(graph, query, i),
             est.edge_walks,
+            est.worst_case_walks,
             est.result_edges,
         );
         let p = &query.patterns()[i];

@@ -7,6 +7,7 @@
 //! the removal cascades through the already-materialized query edges — the
 //! *node burnback* of the paper (Figure 2).
 
+use wireframe_graph::slices::{contains_sorted, intersect_sorted};
 use wireframe_graph::{Graph, NodeId};
 use wireframe_query::{ConjunctiveQuery, Term, Var};
 
@@ -53,21 +54,13 @@ enum EndConstraint {
     /// The end is a constant node.
     Const(NodeId),
     /// The end is a variable already bound by earlier steps; only these nodes
-    /// qualify. The list drives iteration, the set answers membership probes
-    /// in O(1).
-    Bound(Vec<NodeId>, std::collections::HashSet<NodeId>),
+    /// qualify. The list is **ascending-sorted**: it drives iteration, and
+    /// — because the store's neighbor slices are sorted too — membership
+    /// probes and candidate filtering run as binary-search/galloping
+    /// intersections instead of hash lookups.
+    Bound(Vec<NodeId>),
     /// The end is a variable not yet bound; any node qualifies.
     Free,
-}
-
-impl EndConstraint {
-    fn admits(&self, n: NodeId) -> bool {
-        match self {
-            EndConstraint::Const(c) => *c == n,
-            EndConstraint::Bound(_, set) => set.contains(&n),
-            EndConstraint::Free => true,
-        }
-    }
 }
 
 /// Runs answer-graph generation over `graph` for `query`, materializing the
@@ -137,7 +130,6 @@ fn extend(
     let object_constraint = end_constraint(ag, pattern.object);
 
     let mut edge_walks = 0u64;
-    let mut edges_added = 0usize;
     let mut seen_subjects: Vec<NodeId> = Vec::new();
     let mut seen_objects: Vec<NodeId> = Vec::new();
 
@@ -151,71 +143,150 @@ fn extend(
         (s, o) => {
             let s_len = match s {
                 EndConstraint::Const(_) => 1,
-                EndConstraint::Bound(v, _) => v.len(),
+                EndConstraint::Bound(v) => v.len(),
                 EndConstraint::Free => usize::MAX,
             };
             let o_len = match o {
                 EndConstraint::Const(_) => 1,
-                EndConstraint::Bound(v, _) => v.len(),
+                EndConstraint::Bound(v) => v.len(),
                 EndConstraint::Free => usize::MAX,
             };
             Some(s_len <= o_len)
         }
     };
 
-    let mut add = |ag: &mut AnswerGraph, s: NodeId, o: NodeId| {
-        if self_loop && s != o {
-            return;
-        }
-        if ag.pattern_mut(pattern_idx).insert(s, o) {
-            edges_added += 1;
-            seen_subjects.push(s);
-            seen_objects.push(o);
-        }
-    };
+    // The extension stream below emits every `(s, o)` at most once (driving
+    // nodes are distinct, stores hand out each neighbor exactly once), so
+    // the matched edges are collected into one flat vector and bulk-loaded
+    // into the answer graph afterwards — no per-edge hash operations.
+    let mut new_edges: Vec<(NodeId, NodeId)> = Vec::new();
 
+    // Whether the store's neighbor slices are sorted. Sorted adjacency (the
+    // CSR backend) turns the constrained cases below into binary-search
+    // probes and galloping intersections; unsorted adjacency (the edge-map
+    // backend) falls back to walking whole neighbor lists.
+    let sorted = graph.neighbors_sorted();
+    // Scratch buffer for intersections, reused across candidates.
+    let mut buf: Vec<NodeId> = Vec::new();
     match drive_subject {
         Some(true) => {
-            let subjects: Vec<NodeId> = match &subject_constraint {
-                EndConstraint::Const(c) => vec![*c],
-                EndConstraint::Bound(v, _) => v.clone(),
+            let single;
+            let subjects: &[NodeId] = match &subject_constraint {
+                EndConstraint::Const(c) => {
+                    single = [*c];
+                    &single
+                }
+                EndConstraint::Bound(v) => v,
                 EndConstraint::Free => unreachable!("driving side is constrained"),
             };
-            for s in subjects {
+            for &s in subjects {
                 let objects = graph.objects_of(p, s);
-                edge_walks += objects.len() as u64;
-                for &o in objects {
-                    if object_constraint.admits(o) {
-                        add(ag, s, o);
+                match &object_constraint {
+                    EndConstraint::Free => {
+                        edge_walks += objects.len() as u64;
+                        new_edges.extend(objects.iter().map(|&o| (s, o)));
+                    }
+                    EndConstraint::Const(c) => {
+                        // Sorted: one binary-search probe. Unsorted: a scan.
+                        let hit = if sorted {
+                            edge_walks += 1;
+                            contains_sorted(objects, *c)
+                        } else {
+                            edge_walks += objects.len() as u64;
+                            objects.contains(c)
+                        };
+                        if hit {
+                            new_edges.push((s, *c));
+                        }
+                    }
+                    EndConstraint::Bound(bound) => {
+                        if sorted {
+                            // Both sides sorted: galloping intersection skips
+                            // the non-joining stretches of the longer side.
+                            intersect_sorted(objects, bound, &mut buf);
+                            edge_walks += (buf.len() as u64).max(1);
+                        } else {
+                            edge_walks += objects.len() as u64;
+                            buf.clear();
+                            buf.extend(objects.iter().filter(|o| contains_sorted(bound, **o)));
+                        }
+                        if self_loop {
+                            // Same variable on both ends: only the loop edge.
+                            if buf.contains(&s) {
+                                new_edges.push((s, s));
+                            }
+                        } else {
+                            new_edges.extend(buf.iter().map(|&o| (s, o)));
+                        }
                     }
                 }
             }
         }
         Some(false) => {
-            let objects: Vec<NodeId> = match &object_constraint {
-                EndConstraint::Const(c) => vec![*c],
-                EndConstraint::Bound(v, _) => v.clone(),
+            let single;
+            let objects: &[NodeId] = match &object_constraint {
+                EndConstraint::Const(c) => {
+                    single = [*c];
+                    &single
+                }
+                EndConstraint::Bound(v) => v,
                 EndConstraint::Free => unreachable!("driving side is constrained"),
             };
-            for o in objects {
+            for &o in objects {
                 let subjects = graph.subjects_of(p, o);
-                edge_walks += subjects.len() as u64;
-                for &s in subjects {
-                    if subject_constraint.admits(s) {
-                        add(ag, s, o);
+                match &subject_constraint {
+                    EndConstraint::Free => {
+                        edge_walks += subjects.len() as u64;
+                        new_edges.extend(subjects.iter().map(|&s| (s, o)));
+                    }
+                    EndConstraint::Const(c) => {
+                        let hit = if sorted {
+                            edge_walks += 1;
+                            contains_sorted(subjects, *c)
+                        } else {
+                            edge_walks += subjects.len() as u64;
+                            subjects.contains(c)
+                        };
+                        if hit {
+                            new_edges.push((*c, o));
+                        }
+                    }
+                    EndConstraint::Bound(bound) => {
+                        if sorted {
+                            intersect_sorted(subjects, bound, &mut buf);
+                            edge_walks += (buf.len() as u64).max(1);
+                        } else {
+                            edge_walks += subjects.len() as u64;
+                            buf.clear();
+                            buf.extend(subjects.iter().filter(|s| contains_sorted(bound, **s)));
+                        }
+                        if self_loop {
+                            if buf.contains(&o) {
+                                new_edges.push((o, o));
+                            }
+                        } else {
+                            new_edges.extend(buf.iter().map(|&s| (s, o)));
+                        }
                     }
                 }
             }
         }
         None => {
+            // Full scan of the predicate.
             let pairs = graph.pairs(p);
             edge_walks += pairs.len() as u64;
-            for &(s, o) in pairs {
-                add(ag, s, o);
+            if self_loop {
+                new_edges.extend(pairs.iter().filter(|&&(s, o)| s == o));
+            } else {
+                new_edges.extend_from_slice(&pairs);
             }
         }
     }
 
+    let edges_added = new_edges.len();
+    seen_subjects.extend(new_edges.iter().map(|&(s, _)| s));
+    seen_objects.extend(new_edges.iter().map(|&(_, o)| o));
+    ag.pattern_mut(pattern_idx).bulk_load(new_edges);
     ag.mark_materialized(pattern_idx);
 
     // Update node sets and start the burnback cascade from nodes that failed
@@ -243,9 +314,7 @@ fn extend(
                 .collect();
             to_burn.extend(failed.into_iter().map(|n| (v, n)));
         } else {
-            let set = ag.node_set_mut(v);
-            set.clear();
-            set.extend(seen.iter().copied());
+            ag.node_set_mut(v).assign_sorted(seen.clone());
             ag.mark_bound(v);
         }
     }
@@ -267,8 +336,7 @@ fn end_constraint(ag: &AnswerGraph, term: Term) -> EndConstraint {
         Term::Const(c) => EndConstraint::Const(c),
         Term::Var(v) => {
             if ag.is_bound(v) {
-                let set = ag.node_set(v).clone();
-                EndConstraint::Bound(set.iter().copied().collect(), set)
+                EndConstraint::Bound(ag.node_set(v).to_sorted_vec())
             } else {
                 EndConstraint::Free
             }

@@ -14,7 +14,9 @@ use std::num::NonZeroUsize;
 use wireframe_query::{ConjunctiveQuery, EmbeddingSet, Var};
 
 use crate::answer_graph::AnswerGraph;
-use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats};
+use crate::defactorize::{
+    defactorize, defactorize_indexed, embedding_plan, DefactorizationStats, JoinIndex,
+};
 use crate::error::EngineError;
 
 /// Options for parallel defactorization.
@@ -85,21 +87,38 @@ pub fn defactorize_parallel(
     let chunk_size = seeds.len().div_ceil(threads);
     let chunks: Vec<&[_]> = seeds.chunks(chunk_size).collect();
 
+    // The non-seed join indexes are identical for every worker: build them
+    // once and share them read-only. Each worker only builds the (small)
+    // index over its own slice of the seed pattern's edges.
+    let shared: Vec<JoinIndex> = (0..query.num_patterns())
+        .map(|q| {
+            if q == seed_pattern {
+                JoinIndex::default()
+            } else {
+                JoinIndex::build(ag.pattern(q))
+            }
+        })
+        .collect();
+
     type WorkerResult = Result<(EmbeddingSet, DefactorizationStats), EngineError>;
     let results: Result<Vec<(EmbeddingSet, DefactorizationStats)>, EngineError> =
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(chunks.len());
             for chunk in &chunks {
                 let order = order.clone();
+                let shared = &shared;
                 handles.push(scope.spawn(move || -> WorkerResult {
-                    // Each worker joins only its slice of the seed pattern's
-                    // edges against the full answer graph.
-                    let mut restricted = restrict_pattern(query, ag, seed_pattern, chunk);
-                    let result = defactorize(query, &restricted, &order);
-                    // Free the per-worker copy before returning the (possibly
-                    // large) result so peak memory stays bounded.
-                    clear_ag(query, &mut restricted);
-                    result
+                    let seed_index = JoinIndex::from_pairs(chunk.to_vec());
+                    let indexes: Vec<&JoinIndex> = (0..query.num_patterns())
+                        .map(|q| {
+                            if q == seed_pattern {
+                                &seed_index
+                            } else {
+                                &shared[q]
+                            }
+                        })
+                        .collect();
+                    defactorize_indexed(query, &indexes, &order)
                 }));
             }
             handles
@@ -122,45 +141,14 @@ pub fn defactorize_parallel(
         peak_intermediate: 0,
         embeddings: 0,
     };
-    let mut tuples = Vec::with_capacity(results.iter().map(|(set, _)| set.len()).sum());
+    let mut merged = EmbeddingSet::empty(schema);
     for (part, part_stats) in results {
         stats.peak_intermediate = stats.peak_intermediate.max(part_stats.peak_intermediate);
         stats.embeddings += part_stats.embeddings;
-        tuples.extend(part.tuples().iter().cloned());
+        // Flat row-major concatenation: one memcpy per partition.
+        merged.append(&part);
     }
-    Ok((EmbeddingSet::new(schema, tuples), stats))
-}
-
-/// A copy of `ag` in which `pattern` keeps only the edges in `keep`.
-fn restrict_pattern(
-    query: &ConjunctiveQuery,
-    ag: &AnswerGraph,
-    pattern: usize,
-    keep: &[(wireframe_graph::NodeId, wireframe_graph::NodeId)],
-) -> AnswerGraph {
-    let mut out = AnswerGraph::new(query);
-    for i in 0..query.num_patterns() {
-        if i == pattern {
-            for &(s, o) in keep {
-                out.pattern_mut(i).insert(s, o);
-            }
-        } else {
-            for (s, o) in ag.pattern(i).iter() {
-                out.pattern_mut(i).insert(s, o);
-            }
-        }
-        out.mark_materialized(i);
-    }
-    out
-}
-
-fn clear_ag(query: &ConjunctiveQuery, ag: &mut AnswerGraph) {
-    for i in 0..query.num_patterns() {
-        let subjects: Vec<_> = ag.pattern(i).subjects().collect();
-        for s in subjects {
-            ag.pattern_mut(i).remove_subject(s);
-        }
-    }
+    Ok((merged, stats))
 }
 
 #[cfg(test)]

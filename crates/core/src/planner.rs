@@ -134,27 +134,33 @@ fn greedy(estimator: &Estimator<'_, '_>, query: &ConjunctiveQuery, _qg: &QueryGr
     let mut total_cost = 0.0;
     let mut total_edges = 0.0;
     for _ in 0..n {
-        let mut best: Option<(usize, f64, f64, f64, f64)> = None;
+        let mut best: Option<(usize, f64, f64, f64, f64, f64)> = None;
         for i in 0..n {
             if chosen_mask & (1 << i) != 0 || !connected_to(query, chosen_mask, i) {
                 continue;
             }
             let step = estimator.estimate_step(&cards, i);
+            // Expected walks decide; on a dead tie the degree-statistics
+            // worst-case bound prefers the less skew-exposed candidate.
             let better = match best {
                 None => true,
-                Some((_, cost, ..)) => step.edge_walks < cost,
+                Some((_, cost, worst, ..)) => {
+                    step.edge_walks < cost
+                        || (step.edge_walks == cost && step.worst_case_walks < worst)
+                }
             };
             if better {
                 best = Some((
                     i,
                     step.edge_walks,
+                    step.worst_case_walks,
                     step.result_edges,
                     step.subject_card,
                     step.object_card,
                 ));
             }
         }
-        let (i, cost, edges, sc, oc) =
+        let (i, cost, _, edges, sc, oc) =
             best.expect("a connected query always has a next connected pattern");
         chosen_mask |= 1 << i;
         order.push(i);
@@ -173,6 +179,9 @@ fn greedy(estimator: &Estimator<'_, '_>, query: &ConjunctiveQuery, _qg: &QueryGr
 #[derive(Debug, Clone)]
 struct DpEntry {
     cost: f64,
+    /// Accumulated worst-case walks (degree-statistics bound): the tie-break
+    /// between equal-cost sub-plans, steering away from skewed predicates.
+    worst: f64,
     ag_edges: f64,
     order: Vec<usize>,
     cards: Vec<Option<f64>>,
@@ -186,6 +195,7 @@ fn dp_left_deep(estimator: &Estimator<'_, '_>, query: &ConjunctiveQuery, _qg: &Q
         0,
         DpEntry {
             cost: 0.0,
+            worst: 0.0,
             ag_edges: 0.0,
             order: Vec::new(),
             cards: vec![None; query.num_vars()],
@@ -214,6 +224,7 @@ fn dp_left_deep(estimator: &Estimator<'_, '_>, query: &ConjunctiveQuery, _qg: &Q
                 let next_mask = mask | (1 << i);
                 let cand = DpEntry {
                     cost: entry.cost + step.edge_walks,
+                    worst: entry.worst + step.worst_case_walks,
                     ag_edges: entry.ag_edges + step.result_edges,
                     order: {
                         let mut o = entry.order.clone();
@@ -223,7 +234,11 @@ fn dp_left_deep(estimator: &Estimator<'_, '_>, query: &ConjunctiveQuery, _qg: &Q
                     cards,
                 };
                 match table.get(&next_mask) {
-                    Some(existing) if existing.cost <= cand.cost => {}
+                    // Keep the cheaper sub-plan; on a dead cost tie, keep the
+                    // one with the lower worst-case (skew-robust) bound.
+                    Some(existing)
+                        if existing.cost < cand.cost
+                            || (existing.cost == cand.cost && existing.worst <= cand.worst) => {}
                     _ => {
                         if !table.contains_key(&next_mask) {
                             by_count[level + 1].push(next_mask);

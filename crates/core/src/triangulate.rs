@@ -168,36 +168,56 @@ fn cycle_walk(query: &ConjunctiveQuery, cycle_edges: &[usize]) -> Option<Vec<(Va
     }
 }
 
+/// The subrange of a `(key, value)` slice sorted by key whose entries carry
+/// `key` (binary-searched equal range).
+fn equal_range(slice: &[(NodeId, NodeId)], key: NodeId) -> &[(NodeId, NodeId)] {
+    let lo = slice.partition_point(|&(k, _)| k < key);
+    let hi = lo + slice[lo..].partition_point(|&(k, _)| k == key);
+    &slice[lo..hi]
+}
+
 /// Oriented materialization of one triangle side: pairs keyed `(left, right)`
-/// where `left` binds the first corner and `right` the second.
+/// where `left` binds the first corner and `right` the second. Both
+/// orientations are kept as sorted, deduplicated pair lists, so candidate
+/// generation is an equal-range binary search and the triangle support probe
+/// is a binary search — no hashing on the edge-burnback hot path.
 #[derive(Debug, Clone, Default)]
 struct SideMaterial {
-    by_left: HashMap<NodeId, Vec<NodeId>>,
-    by_right: HashMap<NodeId, Vec<NodeId>>,
+    /// `(left, right)`, sorted.
+    by_left: Vec<(NodeId, NodeId)>,
+    /// `(right, left)`, sorted.
+    by_right: Vec<(NodeId, NodeId)>,
 }
 
 impl SideMaterial {
     fn from_pairs(pairs: impl Iterator<Item = (NodeId, NodeId)>) -> Self {
-        let mut m = SideMaterial::default();
-        for (l, r) in pairs {
-            m.by_left.entry(l).or_default().push(r);
-            m.by_right.entry(r).or_default().push(l);
-        }
-        m
+        let mut by_left: Vec<(NodeId, NodeId)> = pairs.collect();
+        by_left.sort_unstable();
+        by_left.dedup();
+        let mut by_right: Vec<(NodeId, NodeId)> = by_left.iter().map(|&(l, r)| (r, l)).collect();
+        by_right.sort_unstable();
+        SideMaterial { by_left, by_right }
     }
 
-    fn rights_of(&self, l: NodeId) -> &[NodeId] {
-        self.by_left.get(&l).map(Vec::as_slice).unwrap_or(&[])
+    /// The reverse orientation — a swap of the two presorted lists, no re-sort.
+    fn flipped(&self) -> SideMaterial {
+        SideMaterial {
+            by_left: self.by_right.clone(),
+            by_right: self.by_left.clone(),
+        }
+    }
+
+    /// The `(l, r)` entries for this `l` (rights ascending).
+    fn rights_of(&self, l: NodeId) -> &[(NodeId, NodeId)] {
+        equal_range(&self.by_left, l)
     }
 
     fn contains(&self, l: NodeId, r: NodeId) -> bool {
-        self.by_left.get(&l).is_some_and(|v| v.contains(&r))
+        self.by_left.binary_search(&(l, r)).is_ok()
     }
 
     fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.by_left
-            .iter()
-            .flat_map(|(&l, rs)| rs.iter().map(move |&r| (l, r)))
+        self.by_left.iter().copied()
     }
 }
 
@@ -273,7 +293,7 @@ pub fn edge_burnback(
                     let supported = left_to_third
                         .rights_of(a)
                         .iter()
-                        .any(|&c| right_to_third.contains(b, c));
+                        .any(|&(_, c)| right_to_third.contains(b, c));
                     if supported {
                         continue;
                     }
@@ -366,16 +386,25 @@ fn materialize_chords(
                 };
                 // Join: (a, b) such that ∃ c with (a, c) ∈ lt and (b, c) ∈ rt,
                 // oriented so that `a` binds chord.a and `b` binds chord.b.
+                // Both `by_right` lists are sorted by the shared corner `c`,
+                // so this is a sort-merge join over contiguous equal ranges.
                 let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
-                for (a, c) in lt.pairs() {
-                    for &b in rt.by_right.get(&c).map(Vec::as_slice).unwrap_or(&[]) {
-                        let (ca, cb) = if left_corner == chord.a {
-                            (a, b)
-                        } else {
-                            (b, a)
-                        };
-                        pairs.push((ca, cb));
+                let (la, lb) = (&lt.by_right, &rt.by_right);
+                let mut i = 0;
+                while i < la.len() {
+                    let c = la[i].0;
+                    let left_run = equal_range(&la[i..], c);
+                    for &(_, b) in equal_range(lb, c) {
+                        for &(_, a) in left_run {
+                            let (ca, cb) = if left_corner == chord.a {
+                                (a, b)
+                            } else {
+                                (b, a)
+                            };
+                            pairs.push((ca, cb));
+                        }
                     }
+                    i += left_run.len();
                 }
                 pairs.sort_unstable();
                 pairs.dedup();
@@ -412,12 +441,13 @@ fn side_material(
             SideMaterial::from_pairs(oriented_pattern_pairs(query, ag, p, from, to))
         }
         SideRef::Chord(c) => {
-            // Chord materials are stored oriented (chord.a, chord.b); flip if needed.
+            // Chord materials are stored oriented (chord.a, chord.b); flip if
+            // needed — both orientations are presorted, so no re-sort either way.
             let material = &chords[c];
             if chord_specs[c].a == from {
-                SideMaterial::from_pairs(material.pairs())
+                material.clone()
             } else {
-                SideMaterial::from_pairs(material.pairs().map(|(a, b)| (b, a)))
+                material.flipped()
             }
         }
     }
@@ -441,9 +471,9 @@ fn side_material_opt(
         SideRef::Chord(c) => {
             let material = chords[c].as_ref()?;
             Some(if chord_specs[c].a == from {
-                SideMaterial::from_pairs(material.pairs())
+                material.clone()
             } else {
-                SideMaterial::from_pairs(material.pairs().map(|(a, b)| (b, a)))
+                material.flipped()
             })
         }
     }

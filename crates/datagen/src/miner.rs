@@ -243,7 +243,7 @@ impl<'g> QueryMiner<'g> {
                 .iter()
                 .map(|&s| (s, o))
                 .collect(),
-            (None, None) => self.graph.pairs(p).to_vec(),
+            (None, None) => self.graph.pairs(p).into_owned(),
         };
         for (s, o) in candidates {
             if *budget == 0 {

@@ -50,8 +50,8 @@ impl DatasetReport {
             .predicates()
             .map(|(p, label)| {
                 let u = graph.catalog().unigram(p);
-                let subj = DegreeHistogram::build(graph.index(p), End::Subject);
-                let obj = DegreeHistogram::build(graph.index(p), End::Object);
+                let subj = DegreeHistogram::build(graph, p, End::Subject);
+                let obj = DegreeHistogram::build(graph, p, End::Object);
                 PredicateReport {
                     predicate: p,
                     label: label.to_owned(),

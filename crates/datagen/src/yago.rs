@@ -100,6 +100,17 @@ impl YagoConfig {
         }
     }
 
+    /// The large configuration: an order of magnitude more background facts
+    /// than [`YagoConfig::benchmark`] with the same planted cores, so answer
+    /// sizes stay fixed while the graph outgrows the CPU caches — the
+    /// paper's "large graphs" regime, where storage layout dominates.
+    pub fn large() -> Self {
+        YagoConfig {
+            scale: 200_000,
+            ..YagoConfig::benchmark()
+        }
+    }
+
     /// A mid-size configuration for integration tests.
     pub fn small() -> Self {
         YagoConfig {

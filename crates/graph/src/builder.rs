@@ -6,8 +6,7 @@
 
 use crate::dictionary::Dictionary;
 use crate::ids::{NodeId, PredId, Triple};
-use crate::index::PredicateIndex;
-use crate::store::Graph;
+use crate::store::{Graph, StoreKind};
 
 /// Accumulates triples and builds an immutable [`Graph`].
 #[derive(Debug, Default, Clone)]
@@ -73,22 +72,24 @@ impl GraphBuilder {
         self.edges_by_predicate.iter().map(Vec::len).sum()
     }
 
-    /// Freezes the accumulated triples into an indexed [`Graph`].
+    /// Freezes the accumulated triples into an indexed [`Graph`] using the
+    /// default storage backend ([`StoreKind::Csr`]).
     /// Duplicate triples are removed; statistics are computed.
-    pub fn build(mut self) -> Graph {
+    pub fn build(self) -> Graph {
+        self.build_with_store(StoreKind::default())
+    }
+
+    /// Freezes the accumulated triples into an indexed [`Graph`] using the
+    /// given storage backend.
+    pub fn build_with_store(mut self, kind: StoreKind) -> Graph {
         // Every interned predicate gets an index, even if it has no edges,
-        // so that predicate identifiers always index `Graph::indexes` safely.
+        // so that predicate identifiers always address a store entry safely.
         let num_predicates = self.dictionary.predicate_count();
         if self.edges_by_predicate.len() < num_predicates {
             self.edges_by_predicate.resize(num_predicates, Vec::new());
         }
         let num_nodes = self.dictionary.node_count();
-        let indexes = self
-            .edges_by_predicate
-            .into_iter()
-            .map(|pairs| PredicateIndex::build(num_nodes, pairs))
-            .collect();
-        Graph::from_parts(self.dictionary, num_nodes, indexes)
+        Graph::from_parts(self.dictionary, num_nodes, self.edges_by_predicate, kind)
     }
 }
 

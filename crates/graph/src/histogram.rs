@@ -7,8 +7,9 @@
 //! percentiles, a small equi-depth histogram), giving planners and dataset
 //! reports a faithful picture of the skew that makes factorization pay off.
 
-use crate::index::PredicateIndex;
+use crate::ids::PredId;
 use crate::stats::End;
+use crate::store::Graph;
 
 /// Summary of the distribution of node degrees on one end of one predicate.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,17 +41,19 @@ impl DegreeHistogram {
     /// Number of equi-depth buckets kept.
     pub const BUCKETS: usize = 8;
 
-    /// Builds the histogram for one end of a predicate's index.
-    pub fn build(index: &PredicateIndex, end: End) -> Self {
+    /// Builds the histogram for one end of one predicate of a graph
+    /// (backend-independent: derived from the store's sorted pair list).
+    pub fn build(graph: &Graph, p: PredId, end: End) -> Self {
+        let pairs = graph.pairs(p);
         let mut degrees: Vec<usize> = match end {
-            End::Subject => index.pairs().iter().map(|&(s, _)| s).collect::<Vec<_>>(),
-            End::Object => index.pairs().iter().map(|&(_, o)| o).collect::<Vec<_>>(),
+            End::Subject => pairs.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            End::Object => pairs.iter().map(|&(_, o)| o).collect::<Vec<_>>(),
         }
         .chunk_degrees();
 
         degrees.sort_unstable();
         let distinct_nodes = degrees.len();
-        let total_edges = index.len();
+        let total_edges = pairs.len();
         if degrees.is_empty() {
             return DegreeHistogram {
                 end,
@@ -146,7 +149,7 @@ mod tests {
     fn object_histogram_captures_the_hub() {
         let g = hub_index();
         let p = g.dictionary().predicate_id("P").unwrap();
-        let h = DegreeHistogram::build(g.index(p), End::Object);
+        let h = DegreeHistogram::build(&g, p, End::Object);
         assert_eq!(h.distinct_nodes, 10);
         assert_eq!(h.total_edges, 19);
         assert_eq!(h.max, 10);
@@ -161,7 +164,7 @@ mod tests {
     fn subject_histogram_is_uniform_here() {
         let g = hub_index();
         let p = g.dictionary().predicate_id("P").unwrap();
-        let h = DegreeHistogram::build(g.index(p), End::Subject);
+        let h = DegreeHistogram::build(&g, p, End::Subject);
         assert_eq!(h.max, 1);
         assert!((h.mean - 1.0).abs() < 1e-9);
         assert!((h.skew() - 1.0).abs() < 1e-9);
@@ -174,7 +177,7 @@ mod tests {
         b.add("a", "P", "b");
         let g = b.build();
         let q = g.dictionary().predicate_id("Q").unwrap();
-        let h = DegreeHistogram::build(g.index(q), End::Subject);
+        let h = DegreeHistogram::build(&g, q, End::Subject);
         assert_eq!(h.distinct_nodes, 0);
         assert_eq!(h.max, 0);
         assert_eq!(h.skew(), 0.0);
@@ -186,7 +189,7 @@ mod tests {
         let g = hub_index();
         let p = g.dictionary().predicate_id("P").unwrap();
         for end in [End::Subject, End::Object] {
-            let h = DegreeHistogram::build(g.index(p), end);
+            let h = DegreeHistogram::build(&g, p, end);
             let reconstructed = (h.mean * h.distinct_nodes as f64).round() as usize;
             assert_eq!(reconstructed, h.total_edges);
         }

@@ -17,6 +17,15 @@
 //! * [`Catalog`] — 1-gram and 2-gram edge-label statistics for the cost-based
 //!   planners.
 //!
+//! The physical layout behind those access paths is a pluggable **storage
+//! backend**: the [`GraphStore`] trait abstracts the per-predicate indexes,
+//! and a [`StoreKind`] selects the implementation when the graph is built —
+//! [`CsrStore`] (sorted contiguous adjacency, the default) or [`MapStore`]
+//! (hash-map adjacency, the comparison baseline). Every backend hands out
+//! **sorted** neighbor slices, which the [`slices`] module turns into
+//! binary-search membership probes and galloping intersections for the
+//! evaluators' hot paths.
+//!
 //! Graphs are immutable once built ([`GraphBuilder::build`]), so all query
 //! engines read them without synchronization.
 
@@ -24,21 +33,24 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod csr;
 mod dictionary;
 mod error;
 mod histogram;
 mod ids;
-mod index;
+mod map;
 mod ntriples;
+pub mod slices;
 mod stats;
 mod store;
 
 pub use builder::GraphBuilder;
+pub use csr::CsrStore;
 pub use dictionary::Dictionary;
 pub use error::GraphError;
 pub use histogram::DegreeHistogram;
 pub use ids::{NodeId, PredId, Triple};
-pub use index::PredicateIndex;
+pub use map::MapStore;
 pub use ntriples::{load, load_into, parse_line, write};
 pub use stats::{BigramStats, Catalog, End, UnigramStats};
-pub use store::Graph;
+pub use store::{Graph, GraphStore, StoreKind};

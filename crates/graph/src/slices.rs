@@ -1,0 +1,146 @@
+//! Sorted-slice primitives: binary search, galloping search, and adaptive
+//! set intersection over `NodeId` slices.
+//!
+//! Every adjacency list a [`GraphStore`](crate::store::GraphStore) hands out
+//! is sorted, which turns the engine's hot operations — membership probes,
+//! constrained edge expansion, candidate intersection — into searches over
+//! contiguous memory instead of hash lookups. *Galloping* (exponential)
+//! search makes the asymmetric case cheap: intersecting a small candidate
+//! set against a long neighbor list costs `O(small · log large)` rather than
+//! a walk over the long list.
+
+use crate::ids::NodeId;
+
+/// Index of the first element `>= target` in an ascending-sorted slice
+/// (`slice.len()` when every element is smaller). Galloping/exponential
+/// search: doubles the probe distance until it overshoots, then binary
+/// searches the bracketed window, so the cost is logarithmic in the distance
+/// to the answer rather than in the slice length.
+#[inline]
+pub fn gallop(slice: &[NodeId], target: NodeId) -> usize {
+    if slice.is_empty() || slice[0] >= target {
+        return 0;
+    }
+    // Invariant: slice[lo] < target.
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < slice.len() && slice[lo + step] < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(slice.len());
+    // Binary search in (lo, hi).
+    lo + 1 + slice[lo + 1..hi].partition_point(|&x| x < target)
+}
+
+/// Membership probe on an ascending-sorted slice.
+#[inline]
+pub fn contains_sorted(slice: &[NodeId], target: NodeId) -> bool {
+    slice.binary_search(&target).is_ok()
+}
+
+/// Intersects two ascending-sorted slices into `out` (which is cleared
+/// first). Adaptive: heavily skewed inputs gallop through the longer slice;
+/// comparable sizes merge linearly.
+pub fn intersect_sorted(a: &[NodeId], b: &[NodeId], out: &mut Vec<NodeId>) {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    // Galloping pays once the size ratio covers its log factor.
+    if large.len() / small.len() >= 16 {
+        let mut rest = large;
+        for &x in small {
+            let skip = gallop(rest, x);
+            rest = &rest[skip..];
+            if rest.first() == Some(&x) {
+                out.push(x);
+            }
+            if rest.is_empty() {
+                break;
+            }
+        }
+    } else {
+        let mut i = 0;
+        let mut j = 0;
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    fn ns(vs: &[u32]) -> Vec<NodeId> {
+        vs.iter().map(|&v| NodeId(v)).collect()
+    }
+
+    #[test]
+    fn gallop_finds_first_not_less() {
+        let s = ns(&[2, 4, 4, 8, 16, 32]);
+        assert_eq!(gallop(&s, n(0)), 0);
+        assert_eq!(gallop(&s, n(2)), 0);
+        assert_eq!(gallop(&s, n(3)), 1);
+        assert_eq!(gallop(&s, n(4)), 1);
+        assert_eq!(gallop(&s, n(5)), 3);
+        assert_eq!(gallop(&s, n(32)), 5);
+        assert_eq!(gallop(&s, n(33)), 6);
+        assert_eq!(gallop(&[], n(7)), 0);
+    }
+
+    #[test]
+    fn gallop_agrees_with_binary_search_everywhere() {
+        let s: Vec<NodeId> = (0..500).map(|i| NodeId(i * 3)).collect();
+        for t in 0..1_600 {
+            let expected = s.partition_point(|&x| x < n(t));
+            assert_eq!(gallop(&s, n(t)), expected, "target {t}");
+        }
+    }
+
+    #[test]
+    fn contains_sorted_probes() {
+        let s = ns(&[1, 5, 9]);
+        assert!(contains_sorted(&s, n(5)));
+        assert!(!contains_sorted(&s, n(4)));
+        assert!(!contains_sorted(&[], n(4)));
+    }
+
+    #[test]
+    fn intersection_merge_and_gallop_paths_agree() {
+        let a = ns(&[3, 7, 900, 2000]);
+        let long: Vec<NodeId> = (0..3000).filter(|i| i % 3 == 0).map(NodeId).collect();
+        let mut via_gallop = Vec::new();
+        intersect_sorted(&a, &long, &mut via_gallop); // ratio ≥ 16 → gallops
+        assert_eq!(via_gallop, ns(&[3, 900]));
+        let mut via_merge = Vec::new();
+        let b = ns(&[0, 3, 6, 7, 900]);
+        intersect_sorted(&b, &a, &mut via_merge); // comparable sizes → merges
+        assert_eq!(via_merge, ns(&[3, 7, 900]));
+    }
+
+    #[test]
+    fn intersection_edge_cases() {
+        let mut out = vec![n(9)];
+        intersect_sorted(&[], &ns(&[1, 2]), &mut out);
+        assert!(out.is_empty(), "output is cleared even for empty inputs");
+        intersect_sorted(&ns(&[1, 2, 3]), &ns(&[1, 2, 3]), &mut out);
+        assert_eq!(out, ns(&[1, 2, 3]));
+        intersect_sorted(&ns(&[1]), &ns(&[2]), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::RwLock;
 
 use crate::ids::{NodeId, PredId};
-use crate::index::PredicateIndex;
+use crate::store::GraphStore;
 
 /// Which end of a triple pattern participates in a join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,6 +38,12 @@ pub struct UnigramStats {
     pub distinct_subjects: usize,
     /// Number of distinct object nodes.
     pub distinct_objects: usize,
+    /// Largest out-degree of any subject (0 for an empty predicate). Degree
+    /// statistics fall out of the store build and let the planners bound
+    /// skewed predicates by real rather than average fan-out.
+    pub max_out_degree: usize,
+    /// Largest in-degree of any object (0 for an empty predicate).
+    pub max_in_degree: usize,
 }
 
 impl UnigramStats {
@@ -72,6 +78,14 @@ impl UnigramStats {
         match end {
             End::Subject => self.avg_fanout(),
             End::Object => self.avg_fanin(),
+        }
+    }
+
+    /// Largest degree of any node on the given end.
+    pub fn max_degree(&self, end: End) -> usize {
+        match end {
+            End::Subject => self.max_out_degree,
+            End::Object => self.max_in_degree,
         }
     }
 }
@@ -138,22 +152,30 @@ impl Clone for Catalog {
 
 impl Catalog {
     /// Computes the 1-gram statistics (and the degree lists that back lazy
-    /// 2-gram computation) for the given per-predicate indexes.
-    pub fn compute(indexes: &[PredicateIndex], num_nodes: usize) -> Self {
-        let mut unigrams = Vec::with_capacity(indexes.len());
-        let mut subject_degrees = Vec::with_capacity(indexes.len());
-        let mut object_degrees = Vec::with_capacity(indexes.len());
-        for idx in indexes {
+    /// 2-gram computation) from a storage backend. Statistics are derived
+    /// from the backend-independent [`GraphStore::pairs`] view, so every
+    /// backend yields the identical catalog.
+    pub fn compute(store: &dyn GraphStore, num_nodes: usize) -> Self {
+        let count = store.num_predicates();
+        let mut unigrams = Vec::with_capacity(count);
+        let mut subject_degrees = Vec::with_capacity(count);
+        let mut object_degrees = Vec::with_capacity(count);
+        for p in 0..count {
+            let p = PredId(p as u32);
             unigrams.push(UnigramStats {
-                cardinality: idx.len(),
-                distinct_subjects: idx.distinct_subjects(),
-                distinct_objects: idx.distinct_objects(),
+                cardinality: store.cardinality(p),
+                distinct_subjects: store.distinct_subjects(p),
+                distinct_objects: store.distinct_objects(p),
+                max_out_degree: store.max_out_degree(p),
+                max_in_degree: store.max_in_degree(p),
             });
-            // pairs() is sorted by subject, so subjects come out sorted.
-            subject_degrees.push(DegreeList::from_sorted_nodes(
-                idx.pairs().iter().map(|&(s, _)| s),
-            ));
-            let mut objects: Vec<NodeId> = idx.pairs().iter().map(|&(_, o)| o).collect();
+            // Pair order is backend-dependent; sort both ends locally so the
+            // catalog is bit-identical across storage backends.
+            let pairs = store.pairs(p);
+            let mut subjects: Vec<NodeId> = pairs.iter().map(|&(s, _)| s).collect();
+            subjects.sort_unstable();
+            subject_degrees.push(DegreeList::from_sorted_nodes(subjects.into_iter()));
+            let mut objects: Vec<NodeId> = pairs.iter().map(|&(_, o)| o).collect();
             objects.sort_unstable();
             object_degrees.push(DegreeList::from_sorted_nodes(objects.into_iter()));
         }
@@ -280,8 +302,12 @@ mod tests {
         assert_eq!(ua.distinct_subjects, 3);
         assert_eq!(ua.distinct_objects, 1);
         assert!((ua.avg_fanin() - 3.0).abs() < 1e-9);
+        assert_eq!(ua.max_in_degree, 3, "all three A edges hit node 5");
+        assert_eq!(ua.max_out_degree, 1);
+        assert_eq!(ua.max_degree(End::Object), 3);
         let uc = g.catalog().unigram(c);
         assert!((uc.avg_fanout() - 2.0).abs() < 1e-9);
+        assert_eq!(uc.max_out_degree, 2);
     }
 
     #[test]

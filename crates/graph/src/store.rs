@@ -1,43 +1,234 @@
-//! The in-memory graph store.
+//! The in-memory graph store: the [`GraphStore`] trait, backend selection,
+//! and the [`Graph`] facade.
 //!
 //! A [`Graph`] is an immutable, dictionary-encoded, edge-labeled directed
-//! multigraph (an RDF dataset), built once by a [`GraphBuilder`](crate::builder::GraphBuilder)
-//! and then queried read-only by all engines. Immutability after build keeps
-//! the evaluators free of locking and matches the paper's setting (a static
-//! dataset loaded into each system before the benchmark).
+//! multigraph (an RDF dataset), built once by a
+//! [`GraphBuilder`](crate::builder::GraphBuilder) and then queried read-only
+//! by all engines. Immutability after build keeps the evaluators free of
+//! locking and matches the paper's setting (a static dataset loaded into
+//! each system before the benchmark).
+//!
+//! The physical layout behind the lookups is pluggable: every backend
+//! implements [`GraphStore`], and a [`StoreKind`] selects one at build time
+//! ([`GraphBuilder::build_with_store`](crate::builder::GraphBuilder::build_with_store))
+//! or re-indexes an existing graph ([`Graph::with_store`]). Two backends
+//! ship:
+//!
+//! * [`CsrStore`](crate::csr::CsrStore) (`StoreKind::Csr`, the default) —
+//!   per-predicate forward/reverse adjacency in sorted, contiguous
+//!   `offsets`/`targets` arrays,
+//! * [`MapStore`](crate::map::MapStore) (`StoreKind::Map`) — hash-map
+//!   adjacency, the seed-era edge-map layout, kept as the measured baseline.
+
+use std::borrow::Cow;
 
 use crate::dictionary::Dictionary;
 use crate::ids::{NodeId, PredId, Triple};
-use crate::index::PredicateIndex;
 use crate::stats::Catalog;
+use crate::{CsrStore, MapStore};
 
-/// An immutable edge-labeled directed graph with per-predicate indexes and a
-/// precomputed statistics catalog.
+/// Which physical storage backend a graph is indexed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StoreKind {
+    /// Compressed sparse row: contiguous sorted adjacency arrays (default).
+    #[default]
+    Csr,
+    /// Hash-map adjacency: one map per direction per predicate.
+    Map,
+}
+
+impl StoreKind {
+    /// Parses a store name as accepted by the `--store` CLI flags.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "csr" => Ok(StoreKind::Csr),
+            "map" => Ok(StoreKind::Map),
+            other => Err(format!("unrecognized store {other:?} (accepted: csr, map)")),
+        }
+    }
+
+    /// The canonical name ([`StoreKind::parse`] accepts it back).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::Csr => "csr",
+            StoreKind::Map => "map",
+        }
+    }
+}
+
+/// The storage-backend contract: per-predicate edge access paths over dense
+/// node identifiers.
+///
+/// Contract shared by every backend, relied on by the evaluators:
+///
+/// * [`pairs`](GraphStore::pairs) enumerates each distinct edge of a
+///   predicate exactly once (order and cost are backend-dependent: CSR hands
+///   back its sorted contiguous array for free, the edge-map has to walk its
+///   hash maps and materialize);
+/// * [`objects_of`](GraphStore::objects_of) / [`subjects_of`](GraphStore::subjects_of)
+///   return each neighbor exactly once; when
+///   [`neighbors_sorted`](GraphStore::neighbors_sorted) is `true` the slices
+///   are **ascending-sorted**, and callers may binary-search and gallop
+///   ([`crate::slices`]) instead of scanning;
+/// * all methods accept out-of-range nodes and return empty results for them.
+pub trait GraphStore: std::fmt::Debug + Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> StoreKind;
+
+    /// Number of predicates indexed (empty ones included).
+    fn num_predicates(&self) -> usize;
+
+    /// Number of distinct triples across all predicates.
+    fn triple_count(&self) -> usize;
+
+    /// Number of distinct edges carrying predicate `p`.
+    fn cardinality(&self, p: PredId) -> usize;
+
+    /// All distinct `(subject, object)` pairs of predicate `p`. Borrowed and
+    /// sorted for backends that keep a pair array (CSR); assembled on the
+    /// fly, in adjacency order, for backends that do not (the edge-map).
+    fn pairs(&self, p: PredId) -> Cow<'_, [(NodeId, NodeId)]>;
+
+    /// Whether neighbor slices are ascending-sorted (enabling binary-search
+    /// membership probes and galloping intersections in the evaluators).
+    fn neighbors_sorted(&self) -> bool;
+
+    /// Objects reachable from `s` over `p`.
+    fn objects_of(&self, p: PredId, s: NodeId) -> &[NodeId];
+
+    /// Subjects reaching `o` over `p`.
+    fn subjects_of(&self, p: PredId, o: NodeId) -> &[NodeId];
+
+    /// Whether the triple `(s, p, o)` is present.
+    fn has_triple(&self, s: NodeId, p: PredId, o: NodeId) -> bool;
+
+    /// Out-degree of `s` under `p`.
+    #[inline]
+    fn out_degree(&self, p: PredId, s: NodeId) -> usize {
+        self.objects_of(p, s).len()
+    }
+
+    /// In-degree of `o` under `p`.
+    #[inline]
+    fn in_degree(&self, p: PredId, o: NodeId) -> usize {
+        self.subjects_of(p, o).len()
+    }
+
+    /// Number of distinct subjects in `p`'s edges.
+    fn distinct_subjects(&self, p: PredId) -> usize;
+
+    /// Number of distinct objects in `p`'s edges.
+    fn distinct_objects(&self, p: PredId) -> usize;
+
+    /// Largest out-degree under `p` (0 for an empty predicate).
+    fn max_out_degree(&self, p: PredId) -> usize;
+
+    /// Largest in-degree under `p` (0 for an empty predicate).
+    fn max_in_degree(&self, p: PredId) -> usize;
+
+    /// Approximate heap footprint of the backend's index structures, in
+    /// bytes. Divided by [`triple_count`](GraphStore::triple_count) this is
+    /// the bytes-per-edge figure the `store_build` bench tracks.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Iterator over one predicate's pairs that borrows when the backend can
+/// lend its pair array and owns when the backend materializes scans.
+enum PairsIter<'a> {
+    Borrowed(std::slice::Iter<'a, (NodeId, NodeId)>),
+    Owned(std::vec::IntoIter<(NodeId, NodeId)>),
+}
+
+impl Iterator for PairsIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        match self {
+            PairsIter::Borrowed(it) => it.next().copied(),
+            PairsIter::Owned(it) => it.next(),
+        }
+    }
+}
+
+/// The selected backend. An enum rather than a boxed trait object so the
+/// per-lookup dispatch on the hot paths is a jump, not a vtable call, and so
+/// [`Graph`] stays plainly `Clone`.
+#[derive(Debug, Clone)]
+enum Store {
+    Csr(CsrStore),
+    Map(MapStore),
+}
+
+impl Store {
+    fn build(kind: StoreKind, num_nodes: usize, edges: Vec<Vec<(NodeId, NodeId)>>) -> Self {
+        match kind {
+            StoreKind::Csr => Store::Csr(CsrStore::build(num_nodes, edges)),
+            StoreKind::Map => Store::Map(MapStore::build(num_nodes, edges)),
+        }
+    }
+
+    #[inline]
+    fn as_dyn(&self) -> &(dyn GraphStore + 'static) {
+        match self {
+            Store::Csr(s) => s,
+            Store::Map(s) => s,
+        }
+    }
+}
+
+/// An immutable edge-labeled directed graph behind a selectable
+/// [`GraphStore`] backend, with a precomputed statistics catalog.
 #[derive(Debug, Clone)]
 pub struct Graph {
     dictionary: Dictionary,
     num_nodes: usize,
-    num_triples: usize,
-    indexes: Vec<PredicateIndex>,
+    store: Store,
     catalog: Catalog,
 }
 
 impl Graph {
-    /// Assembles a graph from its parts. Intended to be called by
-    /// [`GraphBuilder::build`](crate::builder::GraphBuilder::build).
+    /// Assembles a graph from raw per-predicate edge lists. Intended to be
+    /// called by [`GraphBuilder::build`](crate::builder::GraphBuilder::build).
     pub(crate) fn from_parts(
         dictionary: Dictionary,
         num_nodes: usize,
-        indexes: Vec<PredicateIndex>,
+        edges_by_predicate: Vec<Vec<(NodeId, NodeId)>>,
+        kind: StoreKind,
     ) -> Self {
-        let num_triples = indexes.iter().map(PredicateIndex::len).sum();
-        let catalog = Catalog::compute(&indexes, num_nodes);
+        let store = Store::build(kind, num_nodes, edges_by_predicate);
+        let catalog = Catalog::compute(store.as_dyn(), num_nodes);
         Graph {
             dictionary,
             num_nodes,
-            num_triples,
-            indexes,
+            store,
             catalog,
+        }
+    }
+
+    /// Re-indexes this graph's triples into a different storage backend,
+    /// reusing the dictionary (identifiers stay stable). Returns `self`
+    /// unchanged when the backend already matches.
+    pub fn with_store(self, kind: StoreKind) -> Self {
+        if self.store_kind() == kind {
+            return self;
+        }
+        let mut edges = vec![Vec::new(); self.predicate_count()];
+        for t in self.triples() {
+            edges[t.predicate.index()].push((t.subject, t.object));
+        }
+        Graph::from_parts(self.dictionary, self.num_nodes, edges, kind)
+    }
+
+    /// The storage backend, as the backend-agnostic [`GraphStore`] view.
+    pub fn store(&self) -> &dyn GraphStore {
+        self.store.as_dyn()
+    }
+
+    /// Which storage backend this graph is indexed with.
+    pub fn store_kind(&self) -> StoreKind {
+        match &self.store {
+            Store::Csr(_) => StoreKind::Csr,
+            Store::Map(_) => StoreKind::Map,
         }
     }
 
@@ -53,12 +244,18 @@ impl Graph {
 
     /// Number of distinct predicates (edge labels).
     pub fn predicate_count(&self) -> usize {
-        self.indexes.len()
+        match &self.store {
+            Store::Csr(s) => s.num_predicates(),
+            Store::Map(s) => s.num_predicates(),
+        }
     }
 
     /// Number of distinct triples (labeled edges).
     pub fn triple_count(&self) -> usize {
-        self.num_triples
+        match &self.store {
+            Store::Csr(s) => s.triple_count(),
+            Store::Map(s) => s.triple_count(),
+        }
     }
 
     /// The statistics catalog (1-gram and 2-gram edge-label statistics).
@@ -66,61 +263,114 @@ impl Graph {
         &self.catalog
     }
 
-    /// The index for one predicate. Panics if `p` is out of range; use
-    /// [`Dictionary::predicate_id`](crate::dictionary::Dictionary::predicate_id)
-    /// to obtain valid identifiers.
-    #[allow(clippy::should_implement_trait)] // "index" is the natural name; std::ops::Index cannot take PredId ergonomically here
-    pub fn index(&self, p: PredId) -> &PredicateIndex {
-        &self.indexes[p.index()]
+    /// All distinct `(subject, object)` pairs carrying predicate `p`
+    /// (borrowed and sorted from the CSR backend; assembled per call by the
+    /// edge-map backend).
+    #[inline]
+    pub fn pairs(&self, p: PredId) -> Cow<'_, [(NodeId, NodeId)]> {
+        match &self.store {
+            Store::Csr(s) => s.pairs(p),
+            Store::Map(s) => s.pairs(p),
+        }
     }
 
-    /// All distinct `(subject, object)` pairs carrying predicate `p`.
-    pub fn pairs(&self, p: PredId) -> &[(NodeId, NodeId)] {
-        self.index(p).pairs()
+    /// Whether this graph's neighbor slices are ascending-sorted (see
+    /// [`GraphStore::neighbors_sorted`]).
+    #[inline]
+    pub fn neighbors_sorted(&self) -> bool {
+        match &self.store {
+            Store::Csr(s) => s.neighbors_sorted(),
+            Store::Map(s) => s.neighbors_sorted(),
+        }
     }
 
     /// Objects reachable from `s` over predicate `p`.
+    #[inline]
     pub fn objects_of(&self, p: PredId, s: NodeId) -> &[NodeId] {
-        self.index(p).objects_of(s)
+        match &self.store {
+            Store::Csr(st) => st.objects_of(p, s),
+            Store::Map(st) => st.objects_of(p, s),
+        }
     }
 
     /// Subjects reaching `o` over predicate `p`.
+    #[inline]
     pub fn subjects_of(&self, p: PredId, o: NodeId) -> &[NodeId] {
-        self.index(p).subjects_of(o)
+        match &self.store {
+            Store::Csr(st) => st.subjects_of(p, o),
+            Store::Map(st) => st.subjects_of(p, o),
+        }
     }
 
     /// Whether the triple `(s, p, o)` is present.
+    #[inline]
     pub fn has_triple(&self, s: NodeId, p: PredId, o: NodeId) -> bool {
-        self.index(p).has_edge(s, o)
+        match &self.store {
+            Store::Csr(st) => st.has_triple(s, p, o),
+            Store::Map(st) => st.has_triple(s, p, o),
+        }
+    }
+
+    /// Out-degree of `s` under predicate `p`.
+    #[inline]
+    pub fn out_degree(&self, p: PredId, s: NodeId) -> usize {
+        self.objects_of(p, s).len()
+    }
+
+    /// In-degree of `o` under predicate `p`.
+    #[inline]
+    pub fn in_degree(&self, p: PredId, o: NodeId) -> usize {
+        self.subjects_of(p, o).len()
     }
 
     /// Number of edges carrying predicate `p`.
     pub fn predicate_cardinality(&self, p: PredId) -> usize {
-        self.index(p).len()
+        match &self.store {
+            Store::Csr(s) => s.cardinality(p),
+            Store::Map(s) => s.cardinality(p),
+        }
     }
 
-    /// Iterates over every triple in the graph, grouped by predicate.
+    /// Iterates over every triple in the graph, grouped by predicate
+    /// (borrowed, zero-copy iteration on the CSR backend; the edge-map
+    /// materializes each predicate's scan as it goes).
     pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.indexes.iter().enumerate().flat_map(|(p, idx)| {
-            idx.pairs()
-                .iter()
-                .map(move |&(s, o)| Triple::new(s, PredId(p as u32), o))
+        (0..self.predicate_count()).flat_map(move |p| {
+            let p = PredId(p as u32);
+            let pairs: PairsIter<'_> = match self.pairs(p) {
+                Cow::Borrowed(b) => PairsIter::Borrowed(b.iter()),
+                Cow::Owned(v) => PairsIter::Owned(v.into_iter()),
+            };
+            pairs.map(move |(s, o)| Triple::new(s, p, o))
         })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::builder::GraphBuilder;
-    use crate::ids::{NodeId, PredId};
 
-    fn sample() -> crate::store::Graph {
+    fn sample_builder() -> GraphBuilder {
         let mut b = GraphBuilder::new();
         b.add("a", "knows", "b");
         b.add("b", "knows", "c");
         b.add("a", "likes", "c");
         b.add("a", "knows", "b"); // duplicate
-        b.build()
+        b
+    }
+
+    /// Like [`sample_builder`], plus a node whose neighbors arrive in
+    /// non-ascending order — so the edge-map's arrival-order lists actually
+    /// differ from CSR's sorted ones.
+    fn disordered_builder() -> GraphBuilder {
+        let mut b = sample_builder();
+        b.add("a", "knows", "c"); // arrives after a-knows-b but sorts before it
+        b
+    }
+
+    fn sample() -> Graph {
+        sample_builder().build()
     }
 
     #[test]
@@ -129,6 +379,7 @@ mod tests {
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.predicate_count(), 2);
         assert_eq!(g.triple_count(), 3);
+        assert_eq!(g.store_kind(), StoreKind::Csr, "CSR is the default");
     }
 
     #[test]
@@ -140,6 +391,8 @@ mod tests {
         assert_eq!(g.objects_of(knows, a), &[b]);
         assert!(g.has_triple(a, knows, b));
         assert_eq!(g.predicate_cardinality(knows), 2);
+        assert_eq!(g.out_degree(knows, a), 1);
+        assert_eq!(g.in_degree(knows, b), 1);
     }
 
     #[test]
@@ -168,5 +421,74 @@ mod tests {
         assert!(!g.has_triple(b, likes, c));
         assert_eq!(g.objects_of(likes, b), &[] as &[NodeId]);
         let _ = PredId(0);
+    }
+
+    #[test]
+    fn store_kinds_parse_and_roundtrip() {
+        assert_eq!(StoreKind::parse("csr"), Ok(StoreKind::Csr));
+        assert_eq!(StoreKind::parse("map"), Ok(StoreKind::Map));
+        assert_eq!(StoreKind::default(), StoreKind::Csr);
+        let err = StoreKind::parse("btree").unwrap_err();
+        assert!(err.contains("btree") && err.contains("csr") && err.contains("map"));
+        for kind in [StoreKind::Csr, StoreKind::Map] {
+            assert_eq!(StoreKind::parse(kind.name()), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn backends_answer_identically() {
+        let csr = disordered_builder().build_with_store(StoreKind::Csr);
+        let map = disordered_builder().build_with_store(StoreKind::Map);
+        assert_eq!(map.store_kind(), StoreKind::Map);
+        assert_eq!(csr.triple_count(), map.triple_count());
+        for p in 0..csr.predicate_count() {
+            let p = PredId(p as u32);
+            let mut map_pairs = map.pairs(p).into_owned();
+            map_pairs.sort_unstable();
+            assert_eq!(csr.pairs(p).as_ref(), map_pairs.as_slice());
+            for node in 0..csr.node_count() {
+                let node = NodeId(node as u32);
+                // The edge-map's neighbor lists are arrival-ordered, not
+                // sorted; compare as sets.
+                let mut map_objects = map.objects_of(p, node).to_vec();
+                map_objects.sort_unstable();
+                assert_eq!(csr.objects_of(p, node), map_objects.as_slice());
+                let mut map_subjects = map.subjects_of(p, node).to_vec();
+                map_subjects.sort_unstable();
+                assert_eq!(csr.subjects_of(p, node), map_subjects.as_slice());
+            }
+            assert_eq!(
+                csr.catalog().unigram(p),
+                map.catalog().unigram(p),
+                "statistics are layout-independent"
+            );
+        }
+    }
+
+    #[test]
+    fn with_store_reindexes_in_place() {
+        let g = sample();
+        let dictionary_ptr = g.dictionary().node_id("a");
+        let as_map = g.clone().with_store(StoreKind::Map);
+        assert_eq!(as_map.store_kind(), StoreKind::Map);
+        assert_eq!(as_map.triple_count(), g.triple_count());
+        assert_eq!(as_map.dictionary().node_id("a"), dictionary_ptr);
+        let back = as_map.with_store(StoreKind::Csr);
+        assert_eq!(back.store_kind(), StoreKind::Csr);
+        assert_eq!(back.triple_count(), 3);
+        // Same-kind conversion is the identity.
+        assert_eq!(
+            g.clone().with_store(StoreKind::Csr).store_kind(),
+            StoreKind::Csr
+        );
+    }
+
+    #[test]
+    fn store_trait_view() {
+        let g = sample();
+        let store = g.store();
+        assert_eq!(store.kind(), StoreKind::Csr);
+        assert_eq!(store.triple_count(), 3);
+        assert!(store.heap_bytes() > 0);
     }
 }

@@ -9,33 +9,71 @@
 //! [`EmbeddingSet`], which therefore doubles as the equivalence oracle in the
 //! cross-engine tests.
 
-use std::collections::HashSet;
-
 use wireframe_graph::NodeId;
 
 use crate::cq::ConjunctiveQuery;
 use crate::term::Var;
 
 /// A set of embedding tuples with an explicit variable schema.
+///
+/// Tuples are stored **row-major in one flat arena** (`len × arity` node
+/// identifiers): a million-embedding answer is one allocation, rows are
+/// contiguous slices, and producers that already work on flat buffers (the
+/// defactorizer) hand their arena over without per-tuple boxing. The
+/// [`EmbeddingSet::new`] constructor still accepts nested `Vec<Vec<_>>` for
+/// convenience and flattens it.
 #[derive(Debug, Clone, Default)]
 pub struct EmbeddingSet {
     schema: Vec<Var>,
-    tuples: Vec<Vec<NodeId>>,
+    /// `len * schema.len()` values, row-major.
+    data: Vec<NodeId>,
+    /// Row count, kept explicitly so a zero-arity schema stays well-defined.
+    len: usize,
 }
 
 impl EmbeddingSet {
-    /// Creates an embedding set from a schema and tuples. Every tuple must
-    /// have the schema's arity.
+    /// Creates an embedding set from a schema and nested tuples. Every tuple
+    /// must have the schema's arity. (Convenience constructor; producers with
+    /// flat buffers should use [`EmbeddingSet::from_flat`].)
     pub fn new(schema: Vec<Var>, tuples: Vec<Vec<NodeId>>) -> Self {
         debug_assert!(tuples.iter().all(|t| t.len() == schema.len()));
-        EmbeddingSet { schema, tuples }
+        let len = tuples.len();
+        let mut data = Vec::with_capacity(len * schema.len());
+        for t in &tuples {
+            data.extend_from_slice(t);
+        }
+        EmbeddingSet { schema, data, len }
+    }
+
+    /// Creates an embedding set from row-major flat data. `data.len()` must
+    /// be a multiple of the schema's arity. A zero-arity schema yields an
+    /// empty set here — a fully ground query's row count is not recoverable
+    /// from flat data, so such producers use
+    /// [`EmbeddingSet::from_flat_rows`].
+    pub fn from_flat(schema: Vec<Var>, data: Vec<NodeId>) -> Self {
+        let arity = schema.len();
+        let len = data.len().checked_div(arity).unwrap_or(0);
+        EmbeddingSet::from_flat_rows(schema, data, len)
+    }
+
+    /// Creates an embedding set from row-major flat data with an explicit
+    /// row count, which a zero-arity (fully ground) schema needs: `len`
+    /// empty tuples carry no data but are still answers.
+    pub fn from_flat_rows(schema: Vec<Var>, data: Vec<NodeId>, len: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            len * schema.len(),
+            "flat data must hold exactly len × arity values"
+        );
+        EmbeddingSet { schema, data, len }
     }
 
     /// An empty result with the given schema.
     pub fn empty(schema: Vec<Var>) -> Self {
         EmbeddingSet {
             schema,
-            tuples: Vec::new(),
+            data: Vec::new(),
+            len: 0,
         }
     }
 
@@ -44,25 +82,93 @@ impl EmbeddingSet {
         &self.schema
     }
 
-    /// The embedding tuples.
-    pub fn tuples(&self) -> &[Vec<NodeId>] {
-        &self.tuples
+    /// Iterates over the embedding tuples as row slices (a zero-arity set
+    /// yields `len` empty rows).
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[NodeId]> + '_ {
+        let arity = self.schema.len();
+        (0..self.len).map(move |i| &self.data[i * arity..(i + 1) * arity])
+    }
+
+    /// One embedding tuple as a row slice.
+    pub fn row(&self, i: usize) -> Option<&[NodeId]> {
+        if i >= self.len {
+            return None;
+        }
+        let arity = self.schema.len();
+        Some(&self.data[i * arity..(i + 1) * arity])
+    }
+
+    /// The row-major flat tuple data (`len() × schema arity` values).
+    pub fn flat_data(&self) -> &[NodeId] {
+        &self.data
     }
 
     /// Number of embeddings.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// Whether there are no embeddings.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
     /// The value bound to `v` in tuple `row`, if `v` is in the schema.
     pub fn value(&self, row: usize, v: Var) -> Option<NodeId> {
         let col = self.schema.iter().position(|&s| s == v)?;
-        self.tuples.get(row).map(|t| t[col])
+        self.row(row).map(|t| t[col])
+    }
+
+    /// Appends another set's tuples. Panics if the schemas differ (callers
+    /// concatenate partitions of one logical answer, e.g. the parallel
+    /// defactorizer's per-worker outputs).
+    pub fn append(&mut self, other: &EmbeddingSet) {
+        assert_eq!(self.schema, other.schema, "appending mismatched schemas");
+        self.data.extend_from_slice(&other.data);
+        self.len += other.len;
+    }
+
+    /// Consuming form of [`EmbeddingSet::project`] for callers that
+    /// guarantee the rows are pairwise **distinct** — true of every
+    /// join/defactorization output, where each full variable assignment
+    /// appears exactly once.
+    ///
+    /// Under that guarantee a projection that keeps *every* schema column
+    /// (in any order) is a bijection on rows, so `DISTINCT` cannot remove
+    /// anything and the expensive sort-and-dedup pass is skipped: identity
+    /// projections return `self` untouched, permutations do a single gather
+    /// pass. Projections that drop columns delegate to
+    /// [`EmbeddingSet::project`], deduplicating as requested.
+    pub fn into_projected_set(self, query: &ConjunctiveQuery) -> Option<EmbeddingSet> {
+        let cols: Option<Vec<usize>> = query
+            .projection()
+            .iter()
+            .map(|v| self.schema.iter().position(|s| s == v))
+            .collect();
+        let cols = cols?;
+        let full_permutation = cols.len() == self.schema.len() && {
+            let mut sorted = cols.clone();
+            sorted.sort_unstable();
+            sorted.iter().enumerate().all(|(i, &c)| i == c)
+        };
+        if !full_permutation {
+            return self.project(query);
+        }
+        if cols.iter().enumerate().all(|(i, &c)| i == c) {
+            return Some(EmbeddingSet {
+                schema: query.projection().to_vec(),
+                ..self
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len());
+        for t in self.rows() {
+            data.extend(cols.iter().map(|&c| t[c]));
+        }
+        Some(EmbeddingSet::from_flat_rows(
+            query.projection().to_vec(),
+            data,
+            self.len,
+        ))
     }
 
     /// Projects onto the query's projection list (reordering columns), applying
@@ -75,19 +181,38 @@ impl EmbeddingSet {
             .map(|v| self.schema.iter().position(|s| s == v))
             .collect();
         let cols = cols?;
-        let mut tuples: Vec<Vec<NodeId>> = self
-            .tuples
-            .iter()
-            .map(|t| cols.iter().map(|&c| t[c]).collect())
-            .collect();
-        if query.distinct() {
-            let mut seen = HashSet::with_capacity(tuples.len());
-            tuples.retain(|t| seen.insert(t.clone()));
+        let mut data: Vec<NodeId> = Vec::with_capacity(self.len * cols.len());
+        for t in self.rows() {
+            data.extend(cols.iter().map(|&c| t[c]));
         }
-        Some(EmbeddingSet {
-            schema: query.projection().to_vec(),
-            tuples,
-        })
+        let mut out = EmbeddingSet::from_flat_rows(query.projection().to_vec(), data, self.len);
+        if query.distinct() {
+            out.sort_dedup_rows();
+        }
+        Some(out)
+    }
+
+    /// Sorts the rows lexicographically and removes duplicates, in place.
+    fn sort_dedup_rows(&mut self) {
+        let arity = self.schema.len();
+        if arity == 0 {
+            // All rows are the empty tuple; DISTINCT keeps at most one.
+            self.len = self.len.min(1);
+            return;
+        }
+        if self.len <= 1 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.len).collect();
+        let row = |i: usize| &self.data[i * arity..(i + 1) * arity];
+        order.sort_unstable_by(|&a, &b| row(a).cmp(row(b)));
+        order.dedup_by(|&mut a, &mut b| row(a) == row(b));
+        let mut data = Vec::with_capacity(order.len() * arity);
+        for i in &order {
+            data.extend_from_slice(row(*i));
+        }
+        self.len = order.len();
+        self.data = data;
     }
 
     /// Returns the tuples re-ordered into a canonical form (columns sorted by
@@ -98,21 +223,20 @@ impl EmbeddingSet {
         let mut order: Vec<usize> = (0..self.schema.len()).collect();
         order.sort_by_key(|&i| self.schema[i]);
         let schema: Vec<Var> = order.iter().map(|&i| self.schema[i]).collect();
-        let mut tuples: Vec<Vec<NodeId>> = self
-            .tuples
-            .iter()
-            .map(|t| order.iter().map(|&i| t[i]).collect())
-            .collect();
-        tuples.sort_unstable();
-        tuples.dedup();
-        EmbeddingSet { schema, tuples }
+        let mut data: Vec<NodeId> = Vec::with_capacity(self.data.len());
+        for t in self.rows() {
+            data.extend(order.iter().map(|&i| t[i]));
+        }
+        let mut out = EmbeddingSet::from_flat_rows(schema, data, self.len);
+        out.sort_dedup_rows();
+        out
     }
 
     /// Whether two embedding sets denote the same answer (same canonical form).
     pub fn same_answer(&self, other: &EmbeddingSet) -> bool {
         let a = self.canonicalize();
         let b = other.canonicalize();
-        a.schema == b.schema && a.tuples == b.tuples
+        a.schema == b.schema && a.len == b.len && a.data == b.data
     }
 }
 
@@ -201,6 +325,22 @@ mod tests {
         let q = qb.build().unwrap();
         let e = EmbeddingSet::new(vec![Var(0)], vec![vec![n(0)]]);
         assert!(e.project(&q).is_none(), "schema lacks ?y");
+    }
+
+    #[test]
+    fn zero_arity_sets_keep_their_row_count() {
+        // A fully ground query's answer has no columns but still has rows.
+        let one = EmbeddingSet::new(vec![], vec![vec![]]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.rows().count(), 1);
+        assert_eq!(one.rows().next().unwrap(), &[] as &[NodeId]);
+        let two = EmbeddingSet::from_flat_rows(vec![], vec![], 2);
+        assert_eq!(two.len(), 2);
+        // Canonically both denote the singleton set of the empty tuple…
+        assert!(one.same_answer(&two));
+        // …which differs from the empty answer.
+        let none = EmbeddingSet::empty(vec![]);
+        assert!(!one.same_answer(&none));
     }
 
     #[test]

@@ -69,7 +69,7 @@ fn main() {
 
     let dict = graph.dictionary();
     println!("\nthe two embeddings (Figure 4, right):");
-    for t in with_eb.embeddings().tuples() {
+    for t in with_eb.embeddings().rows() {
         let row: Vec<&str> = t
             .iter()
             .map(|n| dict.node_label(*n).unwrap_or("?"))

@@ -80,8 +80,7 @@ fn main() {
     println!("\n=== the twelve embeddings (Figure 1, right) ===");
     let mut rows: Vec<Vec<&str>> = out
         .embeddings()
-        .tuples()
-        .iter()
+        .rows()
         .map(|t| {
             t.iter()
                 .map(|n| dict.node_label(*n).unwrap_or("?"))

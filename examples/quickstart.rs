@@ -75,7 +75,7 @@ fn main() {
 
     println!("\nthe {} embeddings:", wf.embedding_count());
     let dict = session.graph().dictionary();
-    for row in wf.embeddings().tuples().iter().take(10) {
+    for row in wf.embeddings().rows().take(10) {
         let labels: Vec<&str> = row
             .iter()
             .map(|n| dict.node_label(*n).unwrap_or("?"))

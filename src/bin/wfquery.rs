@@ -9,6 +9,7 @@
 //!   --query-file <path>       read the query from a file instead
 //!   --engine <name>           engine to evaluate with (default wireframe);
 //!                             `--engine help` lists the registered engines
+//!   --store csr|map           graph storage backend (default csr)
 //!   --edge-burnback           enable triangulation + edge burnback (wireframe only)
 //!   --explain                 print the plan and phase statistics
 //!   --limit <N>               print at most N result rows (default 20, 0 = unlimited)
@@ -30,13 +31,14 @@ use std::process::ExitCode;
 
 use wireframe::graph::Graph;
 use wireframe::query::EmbeddingSet;
-use wireframe::{default_registry, EngineConfig, Session};
+use wireframe::{default_registry, EngineConfig, Session, StoreKind};
 
 struct Options {
     data_path: String,
     query: Option<String>,
     query_file: Option<String>,
     engine: String,
+    store: StoreKind,
     edge_burnback: bool,
     explain: bool,
     limit: usize,
@@ -46,7 +48,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: wfquery <triples-file> --query <SPARQL> | --query-file <path> \
-     [--engine <name>|help] \
+     [--engine <name>|help] [--store csr|map] \
      [--edge-burnback] [--explain] [--limit N] [--threads N] [--count-only]"
 }
 
@@ -67,6 +69,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         query: None,
         query_file: None,
         engine: "wireframe".to_owned(),
+        store: StoreKind::default(),
         edge_burnback: false,
         explain: false,
         limit: 20,
@@ -80,6 +83,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                 options.query_file = Some(args.next().ok_or("--query-file needs a value")?)
             }
             "--engine" => options.engine = args.next().ok_or("--engine needs a value")?,
+            "--store" => {
+                options.store = StoreKind::parse(&args.next().ok_or("--store needs a value")?)?
+            }
             "--edge-burnback" => options.edge_burnback = true,
             "--explain" => options.explain = true,
             "--count-only" => options.count_only = true,
@@ -124,7 +130,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
 fn print_results(graph: &Graph, results: &EmbeddingSet, limit: usize) {
     let dict = graph.dictionary();
     let shown = if limit == 0 { results.len() } else { limit };
-    for row in results.tuples().iter().take(shown) {
+    for row in results.rows().take(shown) {
         let labels: Vec<&str> = row
             .iter()
             .map(|n| dict.node_label(*n).unwrap_or("?"))
@@ -164,16 +170,17 @@ fn run() -> Result<(), String> {
     let graph = wireframe::graph::load(std::io::BufReader::new(file))
         .map_err(|e| format!("cannot load {}: {e}", options.data_path))?;
     eprintln!(
-        "loaded {}: {} triples, {} predicates, {} nodes",
+        "loaded {}: {} triples, {} predicates, {} nodes · {} store",
         options.data_path,
         graph.triple_count(),
         graph.predicate_count(),
-        graph.node_count()
+        graph.node_count(),
+        options.store.name()
     );
 
     let query_text = read_query(&options)?;
 
-    let mut config = EngineConfig::default();
+    let mut config = EngineConfig::default().with_store(options.store);
     if options.edge_burnback {
         config = config.with_edge_burnback();
     }

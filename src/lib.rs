@@ -81,5 +81,5 @@ pub use registry::default_registry;
 pub use session::Session;
 pub use wireframe_api::{
     Engine, EngineConfig, EngineEntry, EngineRegistry, Evaluation, Factorized, PreparedQuery,
-    Timings, WireframeError,
+    StoreKind, Timings, WireframeError,
 };

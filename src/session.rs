@@ -28,7 +28,7 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use wireframe_api::{
     Engine, EngineConfig, EngineRegistry, Evaluation, PreparedQuery, WireframeError,
 };
-use wireframe_graph::Graph;
+use wireframe_graph::{Graph, StoreKind};
 use wireframe_query::canonical::{isomorphic, plan_cache_key};
 use wireframe_query::{parse_query, ConjunctiveQuery};
 
@@ -235,10 +235,32 @@ impl Session {
         Ok(())
     }
 
-    /// Sets the engine configuration (builder form).
+    /// Sets the engine configuration (builder form). When the configuration
+    /// explicitly selects a storage backend (`EngineConfig::with_store`)
+    /// other than the graph's current one, the graph is re-indexed into that
+    /// backend (this session gets its own re-indexed copy; other sessions
+    /// sharing the original `Arc` are unaffected). A config with the default
+    /// `store: None` never re-indexes.
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.config = config;
+        if let Some(kind) = config.store {
+            if self.graph.store_kind() != kind {
+                self.graph = Arc::new(Graph::clone(&self.graph).with_store(kind));
+            }
+        }
         self
+    }
+
+    /// Re-indexes the session's graph into the given storage backend
+    /// (builder form). A no-op when the backend already matches.
+    pub fn with_store(self, store: StoreKind) -> Self {
+        let config = self.config.with_store(store);
+        self.with_config(config)
+    }
+
+    /// The storage backend the session's graph is indexed with.
+    pub fn store_kind(&self) -> StoreKind {
+        self.graph.store_kind()
     }
 
     /// The graph this session queries.
@@ -410,18 +432,8 @@ mod tests {
         assert_eq!(session.cache_hits(), 0);
 
         // The second result's columns are the first's, swapped.
-        let mut a: Vec<_> = xz
-            .embeddings()
-            .tuples()
-            .iter()
-            .map(|t| (t[0], t[1]))
-            .collect();
-        let mut b: Vec<_> = zx
-            .embeddings()
-            .tuples()
-            .iter()
-            .map(|t| (t[1], t[0]))
-            .collect();
+        let mut a: Vec<_> = xz.embeddings().rows().map(|t| (t[0], t[1])).collect();
+        let mut b: Vec<_> = zx.embeddings().rows().map(|t| (t[1], t[0])).collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "column values swap with the requested order");
@@ -555,6 +567,26 @@ mod tests {
             1,
             "racing preparers converge on one cached plan"
         );
+    }
+
+    #[test]
+    fn store_selection_reindexes_the_graph() {
+        let session = Session::new(knows_graph()).with_store(StoreKind::Map);
+        assert_eq!(session.store_kind(), StoreKind::Map);
+        assert_eq!(session.config().store, Some(StoreKind::Map));
+        let ev = session
+            .query("SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }")
+            .unwrap();
+        assert_eq!(ev.embedding_count(), 2, "answers are store-independent");
+
+        // A graph pre-built on the map backend is served as-is: a config
+        // that does not name a backend (store: None) never re-indexes.
+        let mut b = GraphBuilder::new();
+        b.add("a", "p", "b");
+        let pre_built = Session::shared(Arc::new(b.build_with_store(StoreKind::Map)))
+            .with_config(EngineConfig::default().with_threads(4));
+        assert_eq!(pre_built.store_kind(), StoreKind::Map);
+        assert_eq!(pre_built.config().store, None);
     }
 
     #[test]

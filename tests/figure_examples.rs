@@ -167,7 +167,7 @@ fn acyclic_answer_graphs_are_ideal() {
         for (s, o) in out.answer_graph.pattern(i).iter() {
             let sv = pattern.subject.as_var().unwrap();
             let ov = pattern.object.as_var().unwrap();
-            let used = out.embeddings().tuples().iter().any(|t| {
+            let used = out.embeddings().rows().any(|t| {
                 let s_col = out
                     .embeddings()
                     .schema()

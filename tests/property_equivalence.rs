@@ -166,7 +166,7 @@ fn acyclic_answer_graphs_are_ideal() {
             let s_col = emb.schema().iter().position(|v| *v == sv).unwrap();
             let o_col = emb.schema().iter().position(|v| *v == ov).unwrap();
             for (s, o) in out.answer_graph.pattern(i).iter() {
-                let used = emb.tuples().iter().any(|t| t[s_col] == s && t[o_col] == o);
+                let used = emb.rows().any(|t| t[s_col] == s && t[o_col] == o);
                 assert!(used, "unused AG edge in pattern {i}: ({s:?}, {o:?})");
             }
         }
@@ -204,7 +204,7 @@ fn edge_burnback_yields_ideal_diamond_answer_graphs() {
             let s_col = emb.schema().iter().position(|v| *v == sv).unwrap();
             let o_col = emb.schema().iter().position(|v| *v == ov).unwrap();
             for (s, o) in out.answer_graph.pattern(i).iter() {
-                let used = emb.tuples().iter().any(|t| t[s_col] == s && t[o_col] == o);
+                let used = emb.rows().any(|t| t[s_col] == s && t[o_col] == o);
                 assert!(
                     used,
                     "edge burnback left a spurious edge in pattern {i}: ({s:?}, {o:?})"

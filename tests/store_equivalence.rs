@@ -1,0 +1,201 @@
+//! Storage-backend equivalence: the CSR store and the edge-map store must be
+//! observationally identical — same neighbor sets, same membership answers,
+//! same statistics, and byte-identical evaluation results across the full
+//! engine registry × workload matrix.
+//!
+//! Two layers of coverage:
+//!
+//! 1. A property test over random graphs (seeded shim PRNG, like
+//!    `property_equivalence.rs`): every `GraphStore` access path agrees
+//!    between the two backends, up to the documented ordering difference
+//!    (the edge-map's neighbor lists and scans are unsorted).
+//! 2. The full registry × workload matrix on the benchmark dataset family:
+//!    every engine returns the same answer on both stores, with identical
+//!    embedding counts and (for the wireframe engine) identical answer-graph
+//!    sizes.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wireframe::datagen::{full_workload, generate, YagoConfig};
+use wireframe::graph::{Graph, GraphBuilder, NodeId, PredId, StoreKind};
+use wireframe::Session;
+
+const LABELS: [&str; 5] = ["A", "B", "C", "D", "E"];
+const CASES: u64 = 32;
+
+fn gen_edges(rng: &mut SmallRng) -> Vec<(u32, usize, u32)> {
+    let nodes = rng.gen_range(2..40u32);
+    let edges = rng.gen_range(1..200usize);
+    (0..edges)
+        .map(|_| {
+            (
+                rng.gen_range(0..nodes),
+                rng.gen_range(0..LABELS.len()),
+                rng.gen_range(0..nodes),
+            )
+        })
+        .collect()
+}
+
+fn build(edges: &[(u32, usize, u32)], kind: StoreKind) -> Graph {
+    let mut b = GraphBuilder::new();
+    for l in LABELS {
+        b.intern_predicate(l);
+    }
+    for &(s, p, o) in edges {
+        b.add(&format!("n{s}"), LABELS[p], &format!("n{o}"));
+    }
+    b.build_with_store(kind)
+}
+
+fn sorted(mut v: Vec<NodeId>) -> Vec<NodeId> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn stores_expose_identical_access_paths_on_random_graphs() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x57AB + seed);
+        let edges = gen_edges(&mut rng);
+        let csr = build(&edges, StoreKind::Csr);
+        let map = build(&edges, StoreKind::Map);
+
+        assert_eq!(csr.triple_count(), map.triple_count(), "seed {seed}");
+        assert_eq!(csr.node_count(), map.node_count(), "seed {seed}");
+        assert!(csr.neighbors_sorted() && !map.neighbors_sorted());
+
+        for p in 0..csr.predicate_count() {
+            let p = PredId(p as u32);
+            assert_eq!(
+                csr.predicate_cardinality(p),
+                map.predicate_cardinality(p),
+                "seed {seed}"
+            );
+            // Scans agree as sets (the edge-map assembles its scan from hash
+            // maps, so only the contents are specified).
+            let mut map_pairs = map.pairs(p).into_owned();
+            map_pairs.sort_unstable();
+            assert_eq!(csr.pairs(p).as_ref(), map_pairs.as_slice(), "seed {seed}");
+
+            // Per-node adjacency, degrees, and membership agree everywhere
+            // (including out-of-range probes).
+            for n in 0..csr.node_count() as u32 + 2 {
+                let n = NodeId(n);
+                assert_eq!(
+                    csr.objects_of(p, n).to_vec(),
+                    sorted(map.objects_of(p, n).to_vec()),
+                    "seed {seed}"
+                );
+                assert_eq!(
+                    csr.subjects_of(p, n).to_vec(),
+                    sorted(map.subjects_of(p, n).to_vec()),
+                    "seed {seed}"
+                );
+                assert_eq!(csr.out_degree(p, n), map.out_degree(p, n));
+                assert_eq!(csr.in_degree(p, n), map.in_degree(p, n));
+                for o in csr.objects_of(p, n).to_vec() {
+                    assert!(map.has_triple(n, p, o), "seed {seed}");
+                }
+            }
+
+            // The statistics catalog is layout-independent.
+            assert_eq!(csr.catalog().unigram(p), map.catalog().unigram(p));
+            assert_eq!(
+                csr.store().distinct_subjects(p),
+                map.store().distinct_subjects(p)
+            );
+            assert_eq!(csr.store().max_out_degree(p), map.store().max_out_degree(p));
+            assert_eq!(csr.store().max_in_degree(p), map.store().max_in_degree(p));
+        }
+
+        // Re-indexing round-trips.
+        let back = build(&edges, StoreKind::Map).with_store(StoreKind::Csr);
+        for p in 0..csr.predicate_count() {
+            let p = PredId(p as u32);
+            assert_eq!(csr.pairs(p), back.pairs(p), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn every_engine_answers_identically_on_both_stores() {
+    let csr = Arc::new(generate(&YagoConfig::tiny()).with_store(StoreKind::Csr));
+    let map = Arc::new(generate(&YagoConfig::tiny()).with_store(StoreKind::Map));
+    let workload = full_workload(&csr).unwrap();
+
+    let mut csr_session = Session::shared(Arc::clone(&csr));
+    let mut map_session = Session::shared(Arc::clone(&map));
+    assert_eq!(csr_session.store_kind(), StoreKind::Csr);
+    assert_eq!(map_session.store_kind(), StoreKind::Map);
+
+    let engines: Vec<&str> = csr_session.registry().names();
+    for engine in engines {
+        csr_session.set_engine(engine).unwrap();
+        map_session.set_engine(engine).unwrap();
+        for bq in &workload {
+            let on_csr = csr_session.execute(&bq.query).unwrap();
+            let on_map = map_session.execute(&bq.query).unwrap();
+            assert_eq!(
+                on_csr.embedding_count(),
+                on_map.embedding_count(),
+                "{engine}/{}: embedding counts differ across stores",
+                bq.name
+            );
+            assert_eq!(
+                on_csr.answer_graph_size(),
+                on_map.answer_graph_size(),
+                "{engine}/{}: |AG| differs across stores",
+                bq.name
+            );
+            assert!(
+                on_csr.embeddings().same_answer(on_map.embeddings()),
+                "{engine}/{}: answers differ across stores",
+                bq.name
+            );
+        }
+    }
+}
+
+#[test]
+fn random_queries_agree_across_stores_through_the_wireframe_engine() {
+    use wireframe::core::WireframeEngine;
+    use wireframe::query::CqBuilder;
+
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC5A + seed);
+        let edges = gen_edges(&mut rng);
+        let csr = build(&edges, StoreKind::Csr);
+        let map = build(&edges, StoreKind::Map);
+
+        // A random connected chain query over the label alphabet.
+        let len = rng.gen_range(1..4usize);
+        let mut qb = CqBuilder::new(csr.dictionary());
+        for i in 0..len {
+            let l = LABELS[rng.gen_range(0..LABELS.len())];
+            qb.pattern(&format!("?v{i}"), l, &format!("?v{}", i + 1))
+                .unwrap();
+        }
+        let q = qb.build().unwrap();
+
+        let on_csr = WireframeEngine::new(&csr).execute(&q).unwrap();
+        let on_map = WireframeEngine::new(&map).execute(&q).unwrap();
+        assert_eq!(
+            on_csr.embedding_count(),
+            on_map.embedding_count(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            on_csr.answer_graph_size(),
+            on_map.answer_graph_size(),
+            "seed {seed}"
+        );
+        assert!(
+            on_csr.embeddings().same_answer(on_map.embeddings()),
+            "seed {seed}"
+        );
+    }
+}
