@@ -130,6 +130,7 @@ mod tests {
             self.check_prepared(prepared)?;
             Ok(Evaluation {
                 engine: self.name().to_owned(),
+                epoch: 0,
                 embeddings: EmbeddingSet::empty(prepared.query().projection().to_vec()),
                 timings: Timings::default(),
                 cyclic: prepared.cyclic(),

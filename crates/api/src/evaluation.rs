@@ -70,6 +70,11 @@ impl Factorized {
 pub struct Evaluation {
     /// Name of the engine that produced this result.
     pub engine: String,
+    /// The graph version (mutation epoch) the evaluation ran against.
+    /// Engines set `0`; the serving layer (the `Session` facade) stamps the
+    /// epoch of the graph snapshot it evaluated on, so clients of a dynamic
+    /// graph can tell which version answered them.
+    pub epoch: u64,
     /// The projected embeddings (the query's answer).
     pub embeddings: EmbeddingSet,
     /// Per-phase wall-clock timings.
@@ -132,6 +137,7 @@ mod tests {
     fn metrics_and_factorized_accessors() {
         let ev = Evaluation {
             engine: "test".into(),
+            epoch: 0,
             embeddings: EmbeddingSet::empty(vec![Var(0)]),
             timings: Timings::default(),
             cyclic: false,

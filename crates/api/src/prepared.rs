@@ -3,7 +3,8 @@
 use std::any::Any;
 use std::sync::OnceLock;
 
-use wireframe_query::canonical::{plan_cache_key, QuerySignature};
+use wireframe_graph::PredId;
+use wireframe_query::canonical::{plan_cache_key, predicate_footprint, QuerySignature};
 use wireframe_query::{ConjunctiveQuery, QueryGraph};
 
 /// A query prepared by one engine: the resolved [`ConjunctiveQuery`],
@@ -19,20 +20,24 @@ pub struct PreparedQuery {
     query: ConjunctiveQuery,
     signature: OnceLock<QuerySignature>,
     cyclic: bool,
+    footprint: Vec<PredId>,
     payload: Option<Box<dyn Any + Send + Sync>>,
 }
 
 impl PreparedQuery {
     /// Prepares `query` for `engine` with no plan payload, computing the
-    /// cyclicity of the query graph (the canonical form is computed lazily on
-    /// first use of [`PreparedQuery::signature`]).
+    /// cyclicity of the query graph and its predicate footprint (the
+    /// canonical form is computed lazily on first use of
+    /// [`PreparedQuery::signature`]).
     pub fn new(engine: impl Into<String>, query: ConjunctiveQuery) -> Self {
         let cyclic = QueryGraph::new(&query).is_cyclic();
+        let footprint = predicate_footprint(&query);
         PreparedQuery {
             engine: engine.into(),
             query,
             signature: OnceLock::new(),
             cyclic,
+            footprint,
             payload: None,
         }
     }
@@ -65,6 +70,13 @@ impl PreparedQuery {
     /// Whether the query graph is cyclic.
     pub fn cyclic(&self) -> bool {
         self.cyclic
+    }
+
+    /// The sorted, deduplicated predicate identifiers the query touches
+    /// (`wireframe_query::canonical::predicate_footprint`). Plan caches use
+    /// it to decide which entries a data mutation invalidates.
+    pub fn footprint(&self) -> &[PredId] {
+        &self.footprint
     }
 
     /// Downcasts the engine-private plan payload, if one of type `T` is
@@ -106,6 +118,7 @@ mod tests {
         let p = PreparedQuery::new("test", q).with_payload(vec![1usize, 2, 3]);
         assert_eq!(p.engine(), "test");
         assert!(!p.cyclic());
+        assert_eq!(p.footprint(), &[PredId(0)], "the single predicate p");
         assert_eq!(p.plan::<Vec<usize>>(), Some(&vec![1usize, 2, 3]));
         assert!(p.plan::<String>().is_none(), "wrong type downcasts to None");
         assert!(!p.signature().as_str().is_empty());

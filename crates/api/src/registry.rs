@@ -144,6 +144,7 @@ mod tests {
         fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError> {
             Ok(Evaluation {
                 engine: self.name().to_owned(),
+                epoch: 0,
                 embeddings: EmbeddingSet::empty(prepared.query().projection().to_vec()),
                 timings: Timings::default(),
                 cyclic: prepared.cyclic(),

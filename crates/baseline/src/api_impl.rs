@@ -35,6 +35,7 @@ impl Engine for RelationalEngine<'_> {
         };
         Ok(Evaluation {
             engine: self.name().to_owned(),
+            epoch: 0,
             embeddings,
             timings,
             cyclic: prepared.cyclic(),
@@ -68,6 +69,7 @@ impl Engine for SortMergeEngine<'_> {
         };
         Ok(Evaluation {
             engine: self.name().to_owned(),
+            epoch: 0,
             embeddings,
             timings,
             cyclic: prepared.cyclic(),
@@ -101,6 +103,7 @@ impl Engine for ExplorationEngine<'_> {
         };
         Ok(Evaluation {
             engine: self.name().to_owned(),
+            epoch: 0,
             embeddings,
             timings,
             cyclic: prepared.cyclic(),

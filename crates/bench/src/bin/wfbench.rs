@@ -12,8 +12,19 @@
 //!   --iterations <N>              workload passes per thread (default 5)
 //!   --engines <a,b,…>             engines to measure (default: every registered engine)
 //!   --workload full|table1|chains|stars   query mix (default full = all 20)
-//!   --store csr|map               graph storage backend to index the dataset with
-//!                                 (default csr)
+//!   --store csr|map|delta         graph storage backend to index the dataset with
+//!                                 (default csr; churn is cheap only on delta)
+//!   --scenario serve|churn        static serving loop (default) or dynamic-graph
+//!                                 churn: per epoch, one seeded mutation batch then
+//!                                 the read workload, reporting per-epoch QPS and
+//!                                 cache invalidation/compaction counters
+//!   --epochs <N>                  churn: measured epochs (default 4)
+//!   --batch <N>                   churn: mutation ops per epoch (default 64)
+//!   --insert-fraction <F>         churn: insert share of each batch, 0..=1 (default 0.6)
+//!   --churn-seed <N>              churn: update-mix PRNG seed (default 12648430)
+//!   --compaction-threshold <F>    delta store: overlay fraction that triggers
+//!                                 compaction (default 0.25; lower it to force
+//!                                 compaction cycles within a short churn run)
 //!   --edge-burnback               enable triangulation + edge burnback (wireframe only)
 //!   --json <path>                 write the BENCH_*.json report here
 //!   --baseline <path>             compare against a previous report …
@@ -23,13 +34,15 @@
 //! ```
 //!
 //! The JSON schema is documented in `wireframe_bench::report` and in the
-//! README's Benchmarking section. Counts (|AG|, |Embeddings|) must match the
-//! baseline exactly; latency and QPS regress only beyond the tolerance.
+//! README's Benchmarking section. Counts (|AG|, |Embeddings|) and seeded
+//! churn counters must match the baseline exactly; latency and QPS regress
+//! only beyond the tolerance.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use wireframe::{core::auto_threads, EngineConfig, Session, StoreKind};
+use wireframe_bench::churn::{run_churn, ChurnOptions};
 use wireframe_bench::driver::run_engine;
 use wireframe_bench::report::{compare, parse_tolerance, BenchReport, SCHEMA_VERSION};
 use wireframe_bench::{build_dataset_with_store, DatasetSize};
@@ -43,6 +56,12 @@ struct Options {
     engines: Option<Vec<String>>,
     workload: String,
     store: StoreKind,
+    scenario: String,
+    epochs: usize,
+    batch: usize,
+    insert_fraction: f64,
+    churn_seed: u64,
+    compaction_threshold: Option<f64>,
     edge_burnback: bool,
     json: Option<String>,
     baseline: Option<String>,
@@ -51,7 +70,9 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: wfbench [--size tiny|small|benchmark|large] [--threads N] [--iterations N] \
-     [--engines a,b,…] [--workload full|table1|chains|stars] [--store csr|map] \
+     [--engines a,b,…] [--workload full|table1|chains|stars] [--store csr|map|delta] \
+     [--scenario serve|churn [--epochs N] [--batch N] [--insert-fraction F] [--churn-seed N]] \
+     [--compaction-threshold F] \
      [--edge-burnback] [--json PATH] [--baseline PATH [--tolerance P%]]"
 }
 
@@ -59,6 +80,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     // Resolved lazily after the flags: an explicit --size must win before
     // the environment variable gets a chance to reject the process.
     let mut size: Option<DatasetSize> = None;
+    let defaults = ChurnOptions::default();
     let mut options = Options {
         size: DatasetSize::Small,
         threads: auto_threads(),
@@ -66,6 +88,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         engines: None,
         workload: "full".to_owned(),
         store: StoreKind::default(),
+        scenario: "serve".to_owned(),
+        epochs: defaults.epochs,
+        batch: defaults.batch,
+        insert_fraction: defaults.insert_fraction,
+        churn_seed: defaults.seed,
+        compaction_threshold: None,
         edge_burnback: false,
         json: None,
         baseline: None,
@@ -112,6 +140,55 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                 options.workload = name;
             }
             "--store" => options.store = StoreKind::parse(&value(&mut args, "--store")?)?,
+            "--scenario" => {
+                let name = value(&mut args, "--scenario")?;
+                if !["serve", "churn"].contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown scenario {name:?} (accepted: serve, churn)"
+                    ));
+                }
+                options.scenario = name;
+            }
+            "--epochs" => {
+                options.epochs = value(&mut args, "--epochs")?
+                    .parse()
+                    .map_err(|_| "--epochs must be a positive integer".to_owned())?;
+                if options.epochs == 0 {
+                    return Err("--epochs must be at least 1".to_owned());
+                }
+            }
+            "--batch" => {
+                options.batch = value(&mut args, "--batch")?
+                    .parse()
+                    .map_err(|_| "--batch must be a positive integer".to_owned())?;
+                if options.batch == 0 {
+                    return Err("--batch must be at least 1".to_owned());
+                }
+            }
+            "--insert-fraction" => {
+                options.insert_fraction = value(&mut args, "--insert-fraction")?
+                    .parse()
+                    .map_err(|_| "--insert-fraction must be a number in 0..=1".to_owned())?;
+                if !(0.0..=1.0).contains(&options.insert_fraction) {
+                    return Err("--insert-fraction must be within 0..=1".to_owned());
+                }
+            }
+            "--churn-seed" => {
+                options.churn_seed = value(&mut args, "--churn-seed")?
+                    .parse()
+                    .map_err(|_| "--churn-seed must be an unsigned integer".to_owned())?;
+            }
+            "--compaction-threshold" => {
+                let threshold: f64 = value(&mut args, "--compaction-threshold")?
+                    .parse()
+                    .map_err(|_| {
+                        "--compaction-threshold must be a non-negative number".to_owned()
+                    })?;
+                if !threshold.is_finite() || threshold < 0.0 {
+                    return Err("--compaction-threshold must be a non-negative number".to_owned());
+                }
+                options.compaction_threshold = Some(threshold);
+            }
             "--edge-burnback" => options.edge_burnback = true,
             "--json" => options.json = Some(value(&mut args, "--json")?),
             "--baseline" => options.baseline = Some(value(&mut args, "--baseline")?),
@@ -148,7 +225,11 @@ fn run() -> Result<bool, String> {
     let options = parse_args(std::env::args().skip(1))?;
     let baseline = load_baseline(&options)?;
 
-    let graph = Arc::new(build_dataset_with_store(options.size, options.store));
+    let mut graph = build_dataset_with_store(options.size, options.store);
+    if let Some(threshold) = options.compaction_threshold {
+        graph = graph.with_compaction_threshold(threshold);
+    }
+    let graph = Arc::new(graph);
     eprintln!(
         "dataset {}: {} triples, {} predicates · {} store · {} threads × {} iterations",
         options.size.name(),
@@ -184,24 +265,53 @@ fn run() -> Result<bool, String> {
         schema_version: SCHEMA_VERSION,
         dataset: options.size.name().to_owned(),
         store: options.store.name().to_owned(),
+        scenario: options.scenario.clone(),
         triples: graph.triple_count() as u64,
         threads: options.threads,
         iterations: options.iterations,
         workload: options.workload.clone(),
         engines: Vec::new(),
     };
+    let churn_options = ChurnOptions {
+        epochs: options.epochs,
+        batch: options.batch,
+        insert_fraction: options.insert_fraction,
+        threads: options.threads,
+        iterations: options.iterations,
+        seed: options.churn_seed,
+    };
 
     for name in &engine_names {
+        // Each engine gets a fresh session over the shared base graph —
+        // churn mutations are per-session versions, so every engine starts
+        // from the identical dataset and applies the identical seeded mix.
         let session = Session::shared(Arc::clone(&graph))
             .with_config(config)
             .with_engine(name)
             .map_err(|e| e.to_string())?;
-        let run = run_engine(&session, &workload, options.threads, options.iterations)
-            .map_err(|e| format!("{name}: {e}"))?;
-        eprintln!(
-            "{:<12} {:>8.1} qps · {:>8.1} ms wall · cache {} hits / {} misses",
-            run.engine, run.qps, run.wall_ms, run.cache_hits, run.cache_misses
-        );
+        let run = if options.scenario == "churn" {
+            run_churn(&session, &workload, &churn_options)
+        } else {
+            run_engine(&session, &workload, options.threads, options.iterations)
+        }
+        .map_err(|e| format!("{name}: {e}"))?;
+        match &run.churn {
+            Some(churn) => eprintln!(
+                "{:<12} {:>8.1} qps · {:>8.1} ms wall · {} epochs · {} mutations · \
+                 {} invalidations · {} compactions",
+                run.engine,
+                run.qps,
+                run.wall_ms,
+                churn.final_epoch,
+                churn.total_mutations,
+                churn.total_invalidations,
+                churn.total_compactions
+            ),
+            None => eprintln!(
+                "{:<12} {:>8.1} qps · {:>8.1} ms wall · cache {} hits / {} misses",
+                run.engine, run.qps, run.wall_ms, run.cache_hits, run.cache_misses
+            ),
+        }
         report.engines.push(run);
     }
 
@@ -237,6 +347,41 @@ fn run() -> Result<bool, String> {
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
 fn print_summary(report: &BenchReport) {
+    if report.scenario == "churn" {
+        println!(
+            "{:<12} {:>6} {:>9} {:>8} {:>8} {:>8} {:>12} {:>9} {:>11}",
+            "engine",
+            "epoch",
+            "qps",
+            "+triples",
+            "-triples",
+            "invalid.",
+            "compactions",
+            "hits",
+            "misses"
+        );
+        for engine in &report.engines {
+            for e in engine.churn.iter().flat_map(|c| c.epochs.iter()) {
+                println!(
+                    "{:<12} {:>6} {:>9.1} {:>8} {:>8} {:>8} {:>12} {:>9} {:>11}",
+                    engine.engine,
+                    e.epoch,
+                    e.qps,
+                    e.inserted,
+                    e.removed,
+                    e.invalidations,
+                    e.compactions,
+                    e.cache_hits,
+                    e.cache_misses,
+                );
+            }
+            println!(
+                "{:<12} {:<6} {:>9.1} qps over {} queries",
+                engine.engine, "all", engine.qps, engine.total_queries
+            );
+        }
+        return;
+    }
     println!(
         "{:<12} {:<7} {:>9} {:>9} {:>9} {:>9} {:>12} {:>9}",
         "engine", "query", "p50 ms", "p95 ms", "p99 ms", "|AG|", "|Emb|", "AG/Emb"
@@ -287,8 +432,54 @@ mod tests {
     fn store_flag_parses() {
         assert_eq!(parse(&[]).unwrap().store, StoreKind::Csr);
         assert_eq!(parse(&["--store", "map"]).unwrap().store, StoreKind::Map);
+        assert_eq!(
+            parse(&["--store", "delta"]).unwrap().store,
+            StoreKind::Delta
+        );
         let err = parse(&["--store", "btree"]).unwrap_err();
         assert!(err.contains("csr") && err.contains("map"), "{err}");
+    }
+
+    #[test]
+    fn churn_flags_parse_with_sane_defaults() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.scenario, "serve");
+        assert_eq!(options.epochs, 4);
+        assert_eq!(options.batch, 64);
+        assert!((options.insert_fraction - 0.6).abs() < 1e-9);
+
+        let options = parse(&[
+            "--scenario",
+            "churn",
+            "--epochs",
+            "2",
+            "--batch",
+            "10",
+            "--insert-fraction",
+            "0.5",
+            "--churn-seed",
+            "99",
+        ])
+        .unwrap();
+        assert_eq!(options.scenario, "churn");
+        assert_eq!(
+            (options.epochs, options.batch, options.churn_seed),
+            (2, 10, 99)
+        );
+
+        assert!(parse(&["--scenario", "replay"]).is_err());
+        assert!(parse(&["--epochs", "0"]).is_err());
+        assert!(parse(&["--batch", "0"]).is_err());
+        assert!(parse(&["--insert-fraction", "1.5"]).is_err());
+
+        assert_eq!(parse(&[]).unwrap().compaction_threshold, None);
+        assert_eq!(
+            parse(&["--compaction-threshold", "0.05"])
+                .unwrap()
+                .compaction_threshold,
+            Some(0.05)
+        );
+        assert!(parse(&["--compaction-threshold", "-1"]).is_err());
     }
 
     #[test]

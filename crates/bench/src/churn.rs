@@ -1,0 +1,365 @@
+//! The `wfbench --scenario churn` closed-loop driver: dynamic-graph serving
+//! under a mixed read/update workload.
+//!
+//! The serve scenario ([`crate::driver::run_engine`]) measures a static
+//! graph. This driver measures the ROADMAP's *live* scenario: the graph
+//! keeps changing while queries are served. Each measured **epoch** applies
+//! one seeded mutation batch through [`Session::apply_mutation`] (advancing
+//! the session epoch, invalidating cached plans by predicate footprint, and
+//! possibly compacting the delta store) and then runs the closed-loop read
+//! workload against the new version, recording per-epoch QPS and the deltas
+//! of every cache/compaction counter.
+//!
+//! The update mix is deterministic (seeded shim PRNG) and targets only
+//! predicates with **even** identifiers — so queries over odd predicates
+//! must keep their cached plans across every epoch, which makes the
+//! reported hit/invalidation counters a footprint-correctness signal, not
+//! just load numbers. Within an epoch every query's embedding count must be
+//! stable and every evaluation must carry the epoch's stamp; both are
+//! asserted, so a churn run doubles as a consistency soak test.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wireframe::{Mutation, Session, WireframeError};
+use wireframe_datagen::BenchmarkQuery;
+use wireframe_graph::Graph;
+
+use crate::report::{ChurnReport, EngineRun, EpochReport};
+
+/// Configuration of one churn run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnOptions {
+    /// Measured epochs (mutation batch + read phase each).
+    pub epochs: usize,
+    /// Mutation operations per batch.
+    pub batch: usize,
+    /// Fraction of each batch that are insertions (the rest are removals).
+    pub insert_fraction: f64,
+    /// Closed-loop reader threads.
+    pub threads: usize,
+    /// Workload passes per thread per epoch.
+    pub iterations: usize,
+    /// PRNG seed for the update mix (same seed → same mutation sequence).
+    pub seed: u64,
+}
+
+impl Default for ChurnOptions {
+    fn default() -> Self {
+        ChurnOptions {
+            epochs: 4,
+            batch: 64,
+            insert_fraction: 0.6,
+            threads: 1,
+            iterations: 2,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// How many node labels the update generator samples as endpoints.
+const NODE_POOL: usize = 4096;
+
+/// The seeded update-mix generator: tracks the live triples of the mutable
+/// (even-identifier) predicates so removals always target present triples
+/// and re-insertions can revive removed ones.
+struct ChurnMix {
+    rng: SmallRng,
+    /// Live `(s, p, o)` labels over mutable predicates (insertion mirror;
+    /// duplicate-free — `present` guards every push), indexable for random
+    /// removal sampling.
+    live: Vec<(String, String, String)>,
+    /// Membership view of `live`, so re-sampling an already-present triple
+    /// cannot create duplicate mirror entries.
+    present: HashSet<(String, String, String)>,
+    /// Labels of the even-identifier predicates the mix is allowed to touch.
+    predicates: Vec<String>,
+    /// Sampled node labels used as edge endpoints.
+    nodes: Vec<String>,
+    /// Counter for fresh `churn_n*` node labels.
+    fresh: usize,
+}
+
+impl ChurnMix {
+    fn new(graph: &Graph, seed: u64) -> Self {
+        let dict = graph.dictionary();
+        let predicates: Vec<String> = dict
+            .predicates()
+            .filter(|(p, _)| p.index() % 2 == 0)
+            .map(|(_, label)| label.to_owned())
+            .collect();
+        let live: Vec<(String, String, String)> = graph
+            .triples()
+            .filter(|t| t.predicate.index() % 2 == 0)
+            .map(|t| {
+                (
+                    dict.node_label(t.subject).unwrap_or("?").to_owned(),
+                    dict.predicate_label(t.predicate).unwrap_or("?").to_owned(),
+                    dict.node_label(t.object).unwrap_or("?").to_owned(),
+                )
+            })
+            .collect();
+        let nodes: Vec<String> = (0..graph.node_count().min(NODE_POOL))
+            .map(|i| {
+                dict.node_label(wireframe_graph::NodeId(i as u32))
+                    .unwrap_or("?")
+                    .to_owned()
+            })
+            .collect();
+        let present: HashSet<(String, String, String)> = live.iter().cloned().collect();
+        ChurnMix {
+            rng: SmallRng::seed_from_u64(seed),
+            live,
+            present,
+            predicates,
+            nodes,
+            fresh: 0,
+        }
+    }
+
+    /// Whether the graph has any mutable predicate to churn.
+    fn is_empty(&self) -> bool {
+        self.predicates.is_empty() || self.nodes.is_empty()
+    }
+
+    fn batch(&mut self, size: usize, insert_fraction: f64) -> Mutation {
+        let mut mutation = Mutation::new();
+        if self.is_empty() {
+            return mutation;
+        }
+        for _ in 0..size {
+            let insert = self.live.is_empty() || self.rng.gen_range(0.0..1.0) < insert_fraction;
+            if insert {
+                let p = self.predicates[self.rng.gen_range(0..self.predicates.len())].clone();
+                let s = if self.rng.gen_range(0..4usize) == 0 {
+                    // A quarter of the inserts grow the node space.
+                    self.fresh += 1;
+                    format!("churn_n{}", self.fresh)
+                } else {
+                    self.nodes[self.rng.gen_range(0..self.nodes.len())].clone()
+                };
+                let o = self.nodes[self.rng.gen_range(0..self.nodes.len())].clone();
+                mutation = mutation.insert(&s, &p, &o);
+                // Re-sampling a present triple is a no-op insert: emit the
+                // op (set semantics absorb it) but keep the mirror
+                // duplicate-free so removals always target present triples.
+                if self.present.insert((s.clone(), p.clone(), o.clone())) {
+                    self.live.push((s, p, o));
+                }
+            } else {
+                let idx = self.rng.gen_range(0..self.live.len());
+                let (s, p, o) = self.live.swap_remove(idx);
+                self.present.remove(&(s.clone(), p.clone(), o.clone()));
+                mutation = mutation.remove(&s, &p, &o);
+            }
+        }
+        mutation
+    }
+}
+
+/// One epoch's closed-loop read phase: `threads` workers × `iterations`
+/// passes over `workload`. Asserts intra-epoch answer stability and correct
+/// epoch stamping; returns `(wall_ms, queries_issued)`.
+fn read_phase(
+    session: &Session,
+    workload: &[BenchmarkQuery],
+    threads: usize,
+    iterations: usize,
+) -> Result<(f64, u64), WireframeError> {
+    let epoch = session.epoch();
+    let expected: Vec<OnceLock<u64>> = workload.iter().map(|_| OnceLock::new()).collect();
+    let start = Instant::now();
+    let result: Result<Vec<()>, WireframeError> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let expected = &expected;
+            handles.push(scope.spawn(move || -> Result<(), WireframeError> {
+                for pass in 0..iterations {
+                    for step in 0..workload.len() {
+                        let idx = (worker + pass + step) % workload.len();
+                        let ev = session.execute(&workload[idx].query)?;
+                        assert_eq!(
+                            ev.epoch, epoch,
+                            "{}: mutations must not run during a read phase",
+                            workload[idx].name
+                        );
+                        let count = ev.embedding_count() as u64;
+                        let first = *expected[idx].get_or_init(|| count);
+                        assert_eq!(
+                            first, count,
+                            "{}: answers must be stable within an epoch",
+                            workload[idx].name
+                        );
+                    }
+                }
+                Ok(())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    result?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok((wall_ms, (threads * iterations * workload.len()) as u64))
+}
+
+/// Runs the churn scenario for one engine session: a cache-priming warmup
+/// pass, then `opts.epochs` rounds of (seeded mutation batch → closed-loop
+/// reads), reporting per-epoch QPS and counter deltas.
+///
+/// The session must have the target engine selected; any storage backend
+/// works, but only [`StoreKind::Delta`](wireframe_graph::StoreKind) makes
+/// mutations cheap (and reports compactions).
+pub fn run_churn(
+    session: &Session,
+    workload: &[BenchmarkQuery],
+    opts: &ChurnOptions,
+) -> Result<EngineRun, WireframeError> {
+    let threads = opts.threads.max(1);
+    let iterations = opts.iterations.max(1);
+    let mut mix = ChurnMix::new(&session.graph(), opts.seed);
+
+    // Warmup: prime the prepared-plan cache so the first epoch's
+    // invalidation counters measure footprint eviction, not a cold cache.
+    for bq in workload {
+        session.execute(&bq.query)?;
+    }
+    let hits_before = session.cache_hits();
+    let misses_before = session.cache_misses();
+
+    let mut epochs = Vec::with_capacity(opts.epochs);
+    let mut total_queries = 0u64;
+    let wall_start = Instant::now();
+    for _ in 0..opts.epochs {
+        let hits0 = session.cache_hits();
+        let misses0 = session.cache_misses();
+        let invalidations0 = session.cache_invalidations();
+        let evictions0 = session.cache_evictions();
+        let compactions0 = session.compactions();
+
+        let mutation = mix.batch(opts.batch, opts.insert_fraction);
+        let outcome = session.apply_mutation(&mutation);
+        let (wall_ms, queries) = read_phase(session, workload, threads, iterations)?;
+        total_queries += queries;
+
+        epochs.push(EpochReport {
+            epoch: session.epoch(),
+            wall_ms,
+            queries,
+            qps: queries as f64 / (wall_ms / 1e3).max(1e-9),
+            inserted: outcome.inserted as u64,
+            removed: outcome.removed as u64,
+            invalidations: session.cache_invalidations() - invalidations0,
+            evictions: session.cache_evictions() - evictions0,
+            compactions: session.compactions() - compactions0,
+            cache_hits: session.cache_hits() - hits0,
+            cache_misses: session.cache_misses() - misses0,
+        });
+    }
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    let churn = ChurnReport {
+        final_epoch: session.epoch(),
+        total_mutations: epochs.iter().map(|e| e.inserted + e.removed).sum(),
+        total_invalidations: epochs.iter().map(|e| e.invalidations).sum(),
+        total_compactions: epochs.iter().map(|e| e.compactions).sum(),
+        epochs,
+    };
+    Ok(EngineRun {
+        engine: session.engine_name().to_owned(),
+        total_queries,
+        wall_ms,
+        qps: total_queries as f64 / (wall_ms / 1e3).max(1e-9),
+        cache_hits: session.cache_hits() - hits_before,
+        cache_misses: session.cache_misses() - misses_before,
+        queries: Vec::new(),
+        churn: Some(churn),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_dataset_with_store, DatasetSize};
+    use std::sync::Arc;
+    use wireframe_datagen::full_workload;
+    use wireframe_graph::StoreKind;
+
+    fn run(seed: u64) -> EngineRun {
+        let graph = Arc::new(
+            build_dataset_with_store(DatasetSize::Tiny, StoreKind::Delta)
+                .with_compaction_threshold(0.01),
+        );
+        let workload = full_workload(&graph).unwrap();
+        let session = Session::shared(graph);
+        let opts = ChurnOptions {
+            epochs: 3,
+            batch: 48,
+            threads: 2,
+            iterations: 1,
+            seed,
+            ..ChurnOptions::default()
+        };
+        run_churn(&session, &workload, &opts).unwrap()
+    }
+
+    #[test]
+    fn churn_reports_epochs_mutations_and_counters() {
+        let run = run(7);
+        let churn = run.churn.as_ref().expect("churn scenario reports churn");
+        assert_eq!(churn.epochs.len(), 3);
+        assert_eq!(churn.final_epoch, 3);
+        assert!(churn.total_mutations > 0, "batches actually mutate");
+        assert!(
+            churn.total_compactions >= 1,
+            "threshold 0.01 forces compaction"
+        );
+        assert!(run.total_queries > 0 && run.qps > 0.0);
+        assert!(
+            run.queries.is_empty(),
+            "churn reports per epoch, not per query"
+        );
+        for (i, e) in churn.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i as u64 + 1, "one session epoch per batch");
+            assert!(e.qps > 0.0 && e.wall_ms > 0.0);
+            assert_eq!(e.queries, 2 * full_len() as u64);
+            assert_eq!(
+                e.cache_hits + e.cache_misses,
+                e.queries,
+                "every read is a hit or a miss"
+            );
+        }
+    }
+
+    fn full_len() -> usize {
+        20 // the full workload: 10 snowflake + 10 diamond queries
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed_and_respects_footprints() {
+        let a = run(42);
+        let b = run(42);
+        let (ca, cb) = (a.churn.unwrap(), b.churn.unwrap());
+        assert_eq!(ca.total_mutations, cb.total_mutations);
+        assert_eq!(ca.total_invalidations, cb.total_invalidations);
+        assert_eq!(ca.total_compactions, cb.total_compactions);
+        // The mix only touches even-identifier predicates, so some cached
+        // plans (odd-predicate queries) must survive every epoch: the reads
+        // can never be all-miss.
+        for e in &ca.epochs {
+            assert!(
+                e.cache_hits > 0,
+                "footprint invalidation keeps untouched plans hot"
+            );
+        }
+    }
+}

@@ -211,6 +211,7 @@ pub fn run_engine(
         cache_hits: session.cache_hits() - hits_before,
         cache_misses: session.cache_misses() - misses_before,
         queries,
+        churn: None,
     })
 }
 

@@ -1,13 +1,18 @@
 //! The machine-readable `wfbench` report: the `BENCH_*.json` schema, its
 //! renderer/parser, and baseline regression comparison.
 //!
-//! # Schema (version 1)
+//! # Schema (version 2)
+//!
+//! Version 2 adds the `scenario` field and the per-engine `churn` section
+//! (null for serve runs); version-1 documents still parse (they read back as
+//! `scenario: "serve"` with no churn data).
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "dataset": "tiny",          // DatasetSize name
-//!   "store": "csr",             // graph storage backend (csr / map)
+//!   "store": "csr",             // graph storage backend (csr / map / delta)
+//!   "scenario": "serve",        // driver scenario (serve / churn)
 //!   "triples": 4100,            // dataset size actually generated
 //!   "threads": 4,               // closed-loop driver threads
 //!   "iterations": 5,            // workload passes per thread
@@ -19,6 +24,7 @@
 //!     "qps": 3241.5,            // total_queries / wall seconds
 //!     "cache_hits": 396,        // Session prepared-plan cache counters
 //!     "cache_misses": 4,
+//!     "churn": null,            // churn-scenario section, see below
 //!     "queries": [ {
 //!       "name": "CQS-1",
 //!       "shape": "snowflake",
@@ -37,6 +43,25 @@
 //! }
 //! ```
 //!
+//! A churn run (`wfbench --scenario churn`) leaves `queries` empty — answers
+//! legitimately drift across epochs, so per-query percentiles are replaced
+//! by a per-epoch breakdown:
+//!
+//! ```json
+//! "churn": {
+//!   "final_epoch": 4,           // session epoch after the last batch
+//!   "total_mutations": 256,     // triples actually inserted + removed
+//!   "total_invalidations": 12,  // cached plans evicted by footprint
+//!   "total_compactions": 1,     // delta-store compactions triggered
+//!   "epochs": [ {
+//!     "epoch": 1, "wall_ms": 40.2, "queries": 40, "qps": 995.0,
+//!     "inserted": 38, "removed": 26,          // this batch's net effect
+//!     "invalidations": 3, "evictions": 0, "compactions": 0,
+//!     "cache_hits": 37, "cache_misses": 3     // this epoch's read phase
+//!   } ]
+//! }
+//! ```
+//!
 //! All latencies are milliseconds (floats); all counts are exact integers.
 //! `ag_over_embeddings` is the paper's factorization claim in ratio form:
 //! well below 1.0 means the answer graph is much smaller than the embedding
@@ -45,8 +70,9 @@
 use serde::json::{self, Value};
 use serde::Serialize;
 
-/// Version stamp for `BENCH_*.json`; bump when the shape changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version stamp for `BENCH_*.json`; bump when the shape changes. The
+/// parser also accepts version-1 documents (pre-churn).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Mean per-phase latency breakdown, in milliseconds. Factorized phases are
 /// zero for single-pass engines and vice versa (mirrors
@@ -93,6 +119,50 @@ pub struct QueryReport {
     pub ag_over_embeddings: Option<f64>,
 }
 
+/// One epoch of a churn run: the mutation batch applied, the read phase
+/// measured against the resulting graph version, and the counter deltas.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochReport {
+    /// Session epoch after the batch (1-based).
+    pub epoch: u64,
+    /// Wall-clock of this epoch's read phase.
+    pub wall_ms: f64,
+    /// Queries issued in this epoch's read phase.
+    pub queries: u64,
+    /// Read throughput at this epoch.
+    pub qps: f64,
+    /// Triples the batch actually inserted (net, set semantics).
+    pub inserted: u64,
+    /// Triples the batch actually removed.
+    pub removed: u64,
+    /// Cached plans evicted because their footprint intersected the batch.
+    pub invalidations: u64,
+    /// Cached plans evicted by the capacity bound during this epoch.
+    pub evictions: u64,
+    /// Delta-store compactions triggered by the batch.
+    pub compactions: u64,
+    /// Prepared-plan cache hits during this epoch's reads.
+    pub cache_hits: u64,
+    /// Prepared-plan cache misses during this epoch's reads
+    /// (re-preparations of invalidated plans).
+    pub cache_misses: u64,
+}
+
+/// The churn-scenario section of an [`EngineRun`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnReport {
+    /// Session epoch after the last batch (= number of batches applied).
+    pub final_epoch: u64,
+    /// Net triples inserted + removed across all batches.
+    pub total_mutations: u64,
+    /// Cached plans evicted by predicate footprints, total.
+    pub total_invalidations: u64,
+    /// Delta-store compactions, total.
+    pub total_compactions: u64,
+    /// Per-epoch breakdown, in order.
+    pub epochs: Vec<EpochReport>,
+}
+
 /// One engine's closed-loop run over the whole workload.
 #[derive(Debug, Clone, Serialize)]
 pub struct EngineRun {
@@ -108,8 +178,11 @@ pub struct EngineRun {
     pub cache_hits: u64,
     /// Prepared-plan cache misses observed by the serving `Session`.
     pub cache_misses: u64,
-    /// Per-query statistics, in workload order.
+    /// Per-query statistics, in workload order (empty for churn runs, whose
+    /// answers drift across epochs by design).
     pub queries: Vec<QueryReport>,
+    /// Churn-scenario breakdown; `None` for serve runs.
+    pub churn: Option<ChurnReport>,
 }
 
 /// A complete `wfbench` run: the `BENCH_*.json` document.
@@ -119,9 +192,13 @@ pub struct BenchReport {
     pub schema_version: u64,
     /// Dataset size name (`tiny` / `small` / `benchmark`).
     pub dataset: String,
-    /// Graph storage backend the run was indexed with (`csr` / `map`).
-    /// Reports written before the field existed read back as `csr`.
+    /// Graph storage backend the run was indexed with (`csr` / `map` /
+    /// `delta`). Reports written before the field existed read back as
+    /// `csr`.
     pub store: String,
+    /// Driver scenario (`serve` / `churn`). Version-1 reports read back as
+    /// `serve`.
+    pub scenario: String,
     /// Triples in the generated dataset.
     pub triples: u64,
     /// Closed-loop driver threads.
@@ -140,13 +217,15 @@ impl BenchReport {
         json::to_string_pretty(self)
     }
 
-    /// Parses a report back from JSON, for `--baseline` comparison.
+    /// Parses a report back from JSON, for `--baseline` comparison. Accepts
+    /// the current schema and version 1 (pre-churn: no `scenario`, no
+    /// per-engine `churn` section).
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
         let doc = json::from_str(text).map_err(|e| e.to_string())?;
         let version = field_u64(&doc, "schema_version")?;
-        if version != SCHEMA_VERSION {
+        if version != SCHEMA_VERSION && version != 1 {
             return Err(format!(
-                "unsupported schema_version {version} (this binary reads {SCHEMA_VERSION})"
+                "unsupported schema_version {version} (this binary reads 1..={SCHEMA_VERSION})"
             ));
         }
         Ok(BenchReport {
@@ -156,6 +235,11 @@ impl BenchReport {
                 .get("store")
                 .and_then(Value::as_str)
                 .unwrap_or("csr")
+                .to_owned(),
+            scenario: doc
+                .get("scenario")
+                .and_then(Value::as_str)
+                .unwrap_or("serve")
                 .to_owned(),
             triples: field_u64(&doc, "triples")?,
             threads: field_u64(&doc, "threads")? as usize,
@@ -170,6 +254,10 @@ impl BenchReport {
 }
 
 fn engine_from_json(doc: &Value) -> Result<EngineRun, String> {
+    let churn = match doc.get("churn") {
+        None | Some(Value::Null) => None,
+        Some(section) => Some(churn_from_json(section)?),
+    };
     Ok(EngineRun {
         engine: field_str(doc, "engine")?,
         total_queries: field_u64(doc, "total_queries")?,
@@ -181,6 +269,36 @@ fn engine_from_json(doc: &Value) -> Result<EngineRun, String> {
             .iter()
             .map(query_from_json)
             .collect::<Result<_, _>>()?,
+        churn,
+    })
+}
+
+fn churn_from_json(doc: &Value) -> Result<ChurnReport, String> {
+    Ok(ChurnReport {
+        final_epoch: field_u64(doc, "final_epoch")?,
+        total_mutations: field_u64(doc, "total_mutations")?,
+        total_invalidations: field_u64(doc, "total_invalidations")?,
+        total_compactions: field_u64(doc, "total_compactions")?,
+        epochs: field_array(doc, "epochs")?
+            .iter()
+            .map(epoch_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn epoch_from_json(doc: &Value) -> Result<EpochReport, String> {
+    Ok(EpochReport {
+        epoch: field_u64(doc, "epoch")?,
+        wall_ms: field_f64(doc, "wall_ms")?,
+        queries: field_u64(doc, "queries")?,
+        qps: field_f64(doc, "qps")?,
+        inserted: field_u64(doc, "inserted")?,
+        removed: field_u64(doc, "removed")?,
+        invalidations: field_u64(doc, "invalidations")?,
+        evictions: field_u64(doc, "evictions")?,
+        compactions: field_u64(doc, "compactions")?,
+        cache_hits: field_u64(doc, "cache_hits")?,
+        cache_misses: field_u64(doc, "cache_misses")?,
     })
 }
 
@@ -278,6 +396,9 @@ impl std::fmt::Display for Regression {
 /// * Result counts (`embeddings`, `answer_graph_edges`) must match exactly —
 ///   a drifting answer is a correctness bug, not a performance matter, so
 ///   tolerance never excuses it.
+/// * Churn counters (`total_mutations`, `total_invalidations`,
+///   `total_compactions`) are deterministic given the seed, so they also
+///   must match exactly when the baseline recorded a churn section.
 /// * Engine × query pairs absent from the baseline are skipped (the workload
 ///   is allowed to grow); pairs absent from the current run regress as
 ///   `missing` (a silently dropped measurement must not pass).
@@ -298,6 +419,37 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance: f64) ->
             });
             continue;
         };
+        if let Some(base_churn) = &base_engine.churn {
+            let cur_churn = cur_engine.churn.as_ref();
+            let pairs: [(&'static str, u64, Option<u64>); 3] = [
+                (
+                    "churn_mutations",
+                    base_churn.total_mutations,
+                    cur_churn.map(|c| c.total_mutations),
+                ),
+                (
+                    "churn_invalidations",
+                    base_churn.total_invalidations,
+                    cur_churn.map(|c| c.total_invalidations),
+                ),
+                (
+                    "churn_compactions",
+                    base_churn.total_compactions,
+                    cur_churn.map(|c| c.total_compactions),
+                ),
+            ];
+            for (metric, base_value, cur_value) in pairs {
+                if cur_value != Some(base_value) {
+                    regressions.push(Regression {
+                        engine: base_engine.engine.clone(),
+                        query: "*".to_owned(),
+                        metric,
+                        baseline: base_value as f64,
+                        current: cur_value.unwrap_or(0) as f64,
+                    });
+                }
+            }
+        }
         if cur_engine.qps < base_engine.qps / (1.0 + tolerance) {
             regressions.push(Regression {
                 engine: base_engine.engine.clone(),
@@ -397,6 +549,7 @@ mod tests {
             schema_version: SCHEMA_VERSION,
             dataset: "tiny".into(),
             store: "csr".into(),
+            scenario: "serve".into(),
             triples: 4100,
             threads: 2,
             iterations: 3,
@@ -408,6 +561,7 @@ mod tests {
                 qps: 1200.0,
                 cache_hits: 114,
                 cache_misses: 6,
+                churn: None,
                 queries: vec![QueryReport {
                     name: "CQS-1".into(),
                     shape: "snowflake".into(),
@@ -431,6 +585,48 @@ mod tests {
         }
     }
 
+    fn churn_report() -> BenchReport {
+        let mut report = sample_report();
+        report.scenario = "churn".into();
+        report.store = "delta".into();
+        report.engines[0].queries.clear();
+        report.engines[0].churn = Some(ChurnReport {
+            final_epoch: 2,
+            total_mutations: 90,
+            total_invalidations: 7,
+            total_compactions: 1,
+            epochs: vec![
+                EpochReport {
+                    epoch: 1,
+                    wall_ms: 40.0,
+                    queries: 40,
+                    qps: 1000.0,
+                    inserted: 30,
+                    removed: 15,
+                    invalidations: 4,
+                    evictions: 0,
+                    compactions: 0,
+                    cache_hits: 36,
+                    cache_misses: 4,
+                },
+                EpochReport {
+                    epoch: 2,
+                    wall_ms: 41.0,
+                    queries: 40,
+                    qps: 975.6,
+                    inserted: 30,
+                    removed: 15,
+                    invalidations: 3,
+                    evictions: 0,
+                    compactions: 1,
+                    cache_hits: 37,
+                    cache_misses: 3,
+                },
+            ],
+        });
+        report
+    }
+
     #[test]
     fn report_round_trips_through_json() {
         let report = sample_report();
@@ -438,6 +634,8 @@ mod tests {
         let parsed = BenchReport::from_json(&text).unwrap();
         assert_eq!(parsed.dataset, "tiny");
         assert_eq!(parsed.store, "csr");
+        assert_eq!(parsed.scenario, "serve");
+        assert!(parsed.engines[0].churn.is_none());
         assert_eq!(parsed.engines.len(), 1);
         let q = &parsed.engines[0].queries[0];
         assert_eq!(q.name, "CQS-1");
@@ -459,11 +657,82 @@ mod tests {
     }
 
     #[test]
+    fn churn_sections_round_trip() {
+        let report = churn_report();
+        let text = report.to_json_string();
+        assert!(text.contains("\"final_epoch\": 2"), "{text}");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(parsed.scenario, "churn");
+        let churn = parsed.engines[0].churn.as_ref().unwrap();
+        assert_eq!(churn.final_epoch, 2);
+        assert_eq!(churn.total_mutations, 90);
+        assert_eq!(churn.total_invalidations, 7);
+        assert_eq!(churn.total_compactions, 1);
+        assert_eq!(churn.epochs.len(), 2);
+        assert_eq!(churn.epochs[1].compactions, 1);
+        assert!((churn.epochs[0].qps - 1000.0).abs() < 1e-9);
+        assert!(compare(&parsed, &report, 0.15).is_empty());
+    }
+
+    #[test]
+    fn version_1_reports_still_parse_as_serve() {
+        // A committed pre-churn baseline must stay readable.
+        let mut text = sample_report().to_json_string();
+        text = text.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        text = text.replace("\"scenario\": \"serve\",", "");
+        text = text.replace("\"churn\": null,", "");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(parsed.schema_version, 1);
+        assert_eq!(parsed.scenario, "serve");
+        assert!(parsed.engines[0].churn.is_none());
+    }
+
+    #[test]
     fn wrong_schema_version_is_rejected() {
         let mut text = sample_report().to_json_string();
-        text = text.replace("\"schema_version\": 1", "\"schema_version\": 999");
+        text = text.replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn churn_counter_drift_is_a_regression() {
+        let baseline = churn_report();
+        let mut current = churn_report();
+        assert!(compare(&current, &baseline, 0.15).is_empty());
+        current.engines[0]
+            .churn
+            .as_mut()
+            .unwrap()
+            .total_invalidations = 8;
+        current.engines[0].churn.as_mut().unwrap().total_compactions = 0;
+        let found = compare(&current, &baseline, 100.0);
+        let metrics: Vec<_> = found.iter().map(|r| r.metric).collect();
+        assert!(metrics.contains(&"churn_invalidations"), "{metrics:?}");
+        assert!(metrics.contains(&"churn_compactions"), "{metrics:?}");
+
+        // Losing the whole churn section regresses every churn metric.
+        current.engines[0].churn = None;
+        let found = compare(&current, &baseline, 100.0);
+        assert_eq!(
+            found
+                .iter()
+                .filter(|r| r.metric.starts_with("churn"))
+                .count(),
+            3
+        );
+        // The reverse (baseline without churn, current with) is growth.
+        assert!(compare(
+            &baseline,
+            &{
+                let mut b = churn_report();
+                b.engines[0].churn = None;
+                b
+            },
+            0.15
+        )
+        .iter()
+        .all(|r| !r.metric.starts_with("churn")));
     }
 
     #[test]

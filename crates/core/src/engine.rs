@@ -89,6 +89,7 @@ impl QueryOutput {
         ];
         Evaluation {
             engine: "wireframe".to_owned(),
+            epoch: 0,
             embeddings: self.embeddings,
             timings: self.timings,
             cyclic: self.cyclic,

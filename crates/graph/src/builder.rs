@@ -9,6 +9,19 @@ use crate::ids::{NodeId, PredId, Triple};
 use crate::store::{Graph, StoreKind};
 
 /// Accumulates triples and builds an immutable [`Graph`].
+///
+/// # Dedup contract
+///
+/// Ingestion has **set semantics**, identically on every storage backend: a
+/// triple added `n` times is stored once, [`Graph::triple_count`] counts
+/// distinct triples, and every access path ([`Graph::pairs`],
+/// [`Graph::objects_of`], degrees, statistics) sees each distinct triple
+/// exactly once. Only the pre-freeze [`GraphBuilder::pending_triples`]
+/// counter observes duplicates. The same semantics extend to the dynamic
+/// path: [`Graph::apply`](crate::store::Graph::apply) treats re-inserting a
+/// present triple and removing an absent one as no-ops. The
+/// `duplicate_ingestion_is_set_semantics_on_every_store` test pins the
+/// contract across all [`StoreKind`]s.
 #[derive(Debug, Default, Clone)]
 pub struct GraphBuilder {
     dictionary: Dictionary,
@@ -74,7 +87,8 @@ impl GraphBuilder {
 
     /// Freezes the accumulated triples into an indexed [`Graph`] using the
     /// default storage backend ([`StoreKind::Csr`]).
-    /// Duplicate triples are removed; statistics are computed.
+    /// Duplicate triples are removed (see the dedup contract in the type
+    /// docs); statistics are computed.
     pub fn build(self) -> Graph {
         self.build_with_store(StoreKind::default())
     }
@@ -146,6 +160,28 @@ mod tests {
         assert_eq!(b.pending_triples(), 2);
         let g = b.build();
         assert_eq!(g.triple_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_ingestion_is_set_semantics_on_every_store() {
+        for kind in [StoreKind::Csr, StoreKind::Map, StoreKind::Delta] {
+            let mut b = GraphBuilder::new();
+            for _ in 0..3 {
+                b.add("a", "p", "b");
+                b.add("b", "q", "c");
+            }
+            b.add("a", "p", "c");
+            assert_eq!(b.pending_triples(), 7, "pre-freeze count sees duplicates");
+            let g = b.build_with_store(kind);
+            assert_eq!(g.triple_count(), 3, "{kind:?}");
+            let d = g.dictionary();
+            let p = d.predicate_id("p").unwrap();
+            let a = d.node_id("a").unwrap();
+            assert_eq!(g.predicate_cardinality(p), 2, "{kind:?}");
+            assert_eq!(g.out_degree(p, a), 2, "{kind:?}");
+            assert_eq!(g.pairs(p).len(), 2, "{kind:?}");
+            assert_eq!(g.catalog().unigram(p).cardinality, 2, "{kind:?}");
+        }
     }
 
     #[test]

@@ -20,25 +20,31 @@
 //! The physical layout behind those access paths is a pluggable **storage
 //! backend**: the [`GraphStore`] trait abstracts the per-predicate indexes,
 //! and a [`StoreKind`] selects the implementation when the graph is built —
-//! [`CsrStore`] (sorted contiguous adjacency, the default) or [`MapStore`]
-//! (hash-map adjacency, the comparison baseline). Every backend hands out
-//! **sorted** neighbor slices, which the [`slices`] module turns into
-//! binary-search membership probes and galloping intersections for the
-//! evaluators' hot paths.
+//! [`CsrStore`] (sorted contiguous adjacency, the default), [`MapStore`]
+//! (hash-map adjacency, the comparison baseline), or [`DeltaStore`] (an
+//! immutable CSR base under a sorted insert/tombstone overlay, for dynamic
+//! graphs). The CSR and delta backends hand out **sorted** neighbor slices,
+//! which the [`slices`] module turns into binary-search membership probes
+//! and galloping intersections for the evaluators' hot paths.
 //!
-//! Graphs are immutable once built ([`GraphBuilder::build`]), so all query
-//! engines read them without synchronization.
+//! Graph values are immutable, so all query engines read them without
+//! synchronization; updates produce *new versions* instead —
+//! [`Graph::apply`] applies a [`Mutation`] batch and, on the delta backend,
+//! shares the unchanged base with the predecessor version and compacts when
+//! the overlay outgrows a configurable fraction of it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
 mod csr;
+mod delta;
 mod dictionary;
 mod error;
 mod histogram;
 mod ids;
 mod map;
+mod mutation;
 mod ntriples;
 pub mod slices;
 mod stats;
@@ -46,11 +52,13 @@ mod store;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrStore;
+pub use delta::DeltaStore;
 pub use dictionary::Dictionary;
 pub use error::GraphError;
 pub use histogram::DegreeHistogram;
 pub use ids::{NodeId, PredId, Triple};
 pub use map::MapStore;
+pub use mutation::{Mutation, MutationOp, MutationOutcome};
 pub use ntriples::{load, load_into, parse_line, write};
 pub use stats::{BigramStats, Catalog, End, UnigramStats};
-pub use store::{Graph, GraphStore, StoreKind};
+pub use store::{Graph, GraphStore, StoreKind, DEFAULT_COMPACTION_THRESHOLD};

@@ -1,0 +1,175 @@
+//! Mutations: ordered batches of triple insertions and removals.
+//!
+//! A [`Mutation`] is the unit of change for dynamic graphs: an ordered list
+//! of insert/remove operations over string-labeled triples, applied
+//! atomically by [`Graph::apply`](crate::store::Graph::apply). Operations are
+//! resolved in order within the batch (removing and then re-inserting the
+//! same triple leaves it present), and the net effect follows **set
+//! semantics**: inserting a triple that is already present and removing one
+//! that is absent are both no-ops, mirroring the
+//! [`GraphBuilder`](crate::builder::GraphBuilder) dedup contract.
+//!
+//! The `+`/`-` script format parsed by [`Mutation::parse_script`] is the
+//! on-disk form used by `wfquery --mutations`: one operation per line, a
+//! leading `+` (insert) or `-` (remove) followed by a triple in any syntax
+//! accepted by [`crate::ntriples::parse_line`].
+
+use crate::error::GraphError;
+use crate::ntriples::parse_line;
+
+/// One operation of a [`Mutation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Add the triple (a no-op when already present).
+    Insert,
+    /// Delete the triple (a no-op when absent).
+    Remove,
+}
+
+/// An ordered batch of triple insertions and removals.
+#[derive(Debug, Clone, Default)]
+pub struct Mutation {
+    ops: Vec<(MutationOp, String, String, String)>,
+}
+
+impl Mutation {
+    /// An empty mutation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an insertion (builder form).
+    pub fn insert(mut self, subject: &str, predicate: &str, object: &str) -> Self {
+        self.push(MutationOp::Insert, subject, predicate, object);
+        self
+    }
+
+    /// Appends a removal (builder form).
+    pub fn remove(mut self, subject: &str, predicate: &str, object: &str) -> Self {
+        self.push(MutationOp::Remove, subject, predicate, object);
+        self
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: MutationOp, subject: &str, predicate: &str, object: &str) {
+        self.ops.push((
+            op,
+            subject.to_owned(),
+            predicate.to_owned(),
+            object.to_owned(),
+        ));
+    }
+
+    /// The operations, in application order.
+    pub fn ops(&self) -> &[(MutationOp, String, String, String)] {
+        &self.ops
+    }
+
+    /// Number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Parses a mutation script: one operation per line, `+` or `-` followed
+    /// by a triple in any [`parse_line`] syntax. Blank lines and `#` comments
+    /// are skipped.
+    ///
+    /// ```
+    /// use wireframe_graph::Mutation;
+    /// let m = Mutation::parse_script("+ a knows b\n# comment\n- a knows c\n").unwrap();
+    /// assert_eq!(m.len(), 2);
+    /// ```
+    pub fn parse_script(text: &str) -> Result<Mutation, GraphError> {
+        let mut mutation = Mutation::new();
+        for (number, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (op, rest) = match line.split_at(1) {
+                ("+", rest) => (MutationOp::Insert, rest),
+                ("-", rest) => (MutationOp::Remove, rest),
+                _ => {
+                    return Err(GraphError::Parse(format!(
+                        "mutation line {} must start with '+' or '-': {line:?}",
+                        number + 1
+                    )))
+                }
+            };
+            match parse_line(rest)? {
+                Some((s, p, o)) => mutation.push(op, &s, &p, &o),
+                None => {
+                    return Err(GraphError::Parse(format!(
+                        "mutation line {} has no triple after the operator: {line:?}",
+                        number + 1
+                    )))
+                }
+            }
+        }
+        Ok(mutation)
+    }
+}
+
+/// What applying a [`Mutation`] actually changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// Triples that became present (insertions of absent triples).
+    pub inserted: usize,
+    /// Triples that became absent (removals of present triples).
+    pub removed: usize,
+    /// Whether the delta store compacted its overlay into a fresh base after
+    /// this batch (always `false` on the non-delta backends).
+    pub compacted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let m = Mutation::new()
+            .insert("a", "p", "b")
+            .remove("a", "p", "c")
+            .insert("a", "p", "c");
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.ops()[0].0, MutationOp::Insert);
+        assert_eq!(m.ops()[1].0, MutationOp::Remove);
+        assert_eq!(m.ops()[1].3, "c");
+    }
+
+    #[test]
+    fn script_round_trip() {
+        let m = Mutation::parse_script(
+            "# churn script\n+ alice knows bob\n- alice knows carol\n\n+ <x> <p> \"lit\" .\n",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.ops()[2].1, "x");
+        assert_eq!(m.ops()[2].3, "lit");
+    }
+
+    #[test]
+    fn script_rejects_missing_operator_and_empty_ops() {
+        let err = Mutation::parse_script("alice knows bob").unwrap_err();
+        assert!(err.to_string().contains("'+' or '-'"), "{err}");
+        let err = Mutation::parse_script("+   ").unwrap_err();
+        assert!(err.to_string().contains("no triple"), "{err}");
+        let err = Mutation::parse_script("+ only two").unwrap_err();
+        assert!(err.to_string().contains("3 terms"), "{err}");
+    }
+
+    #[test]
+    fn empty_script_is_an_empty_mutation() {
+        let m = Mutation::parse_script("# nothing\n\n").unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(MutationOutcome::default().inserted, 0);
+    }
+}

@@ -15,7 +15,7 @@
 //!   predicate vocabulary.
 
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::ids::{NodeId, PredId};
 use crate::store::GraphStore;
@@ -30,7 +30,7 @@ pub enum End {
 }
 
 /// Per-predicate statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UnigramStats {
     /// Number of distinct edges with this predicate.
     pub cardinality: usize,
@@ -123,10 +123,13 @@ impl DegreeList {
 #[derive(Debug)]
 pub struct Catalog {
     unigrams: Vec<UnigramStats>,
-    /// Per predicate: sorted distinct subjects with out-degree.
-    subject_degrees: Vec<DegreeList>,
-    /// Per predicate: sorted distinct objects with in-degree.
-    object_degrees: Vec<DegreeList>,
+    /// Per predicate: sorted distinct subjects with out-degree. `Arc`-shared
+    /// so [`Catalog::refreshed`] copies pointers, not degree entries, for
+    /// untouched predicates.
+    subject_degrees: Vec<Arc<DegreeList>>,
+    /// Per predicate: sorted distinct objects with in-degree (shared
+    /// likewise).
+    object_degrees: Vec<Arc<DegreeList>>,
     /// Total number of nodes in the graph (for fallback selectivities).
     num_nodes: usize,
     /// Memoized 2-gram statistics.
@@ -174,10 +177,12 @@ impl Catalog {
             let pairs = store.pairs(p);
             let mut subjects: Vec<NodeId> = pairs.iter().map(|&(s, _)| s).collect();
             subjects.sort_unstable();
-            subject_degrees.push(DegreeList::from_sorted_nodes(subjects.into_iter()));
+            subject_degrees.push(Arc::new(DegreeList::from_sorted_nodes(
+                subjects.into_iter(),
+            )));
             let mut objects: Vec<NodeId> = pairs.iter().map(|&(_, o)| o).collect();
             objects.sort_unstable();
-            object_degrees.push(DegreeList::from_sorted_nodes(objects.into_iter()));
+            object_degrees.push(Arc::new(DegreeList::from_sorted_nodes(objects.into_iter())));
         }
         Catalog {
             unigrams,
@@ -185,6 +190,60 @@ impl Catalog {
             object_degrees,
             num_nodes,
             bigram_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Recomputes the catalog entries of `touched` predicates against a
+    /// (mutated) store, carrying every other predicate's entry over
+    /// unchanged and dropping memoized 2-gram statistics that involve a
+    /// touched predicate. Predicates interned after this catalog was
+    /// computed must be listed in `touched`.
+    ///
+    /// Because untouched predicates' edges are untouched by definition, the
+    /// result is identical to a full [`Catalog::compute`] — at
+    /// `O(touched predicate sizes)` instead of `O(|graph|)`, which is what
+    /// keeps [`Graph::apply`](crate::store::Graph::apply) cheap on the delta
+    /// backend.
+    pub fn refreshed(&self, store: &dyn GraphStore, touched: &[PredId], num_nodes: usize) -> Self {
+        let count = store.num_predicates();
+        let mut unigrams = self.unigrams.clone();
+        let mut subject_degrees = self.subject_degrees.clone();
+        let mut object_degrees = self.object_degrees.clone();
+        unigrams.resize(count, UnigramStats::default());
+        subject_degrees.resize(count, Arc::new(DegreeList::default()));
+        object_degrees.resize(count, Arc::new(DegreeList::default()));
+        for &p in touched {
+            unigrams[p.index()] = UnigramStats {
+                cardinality: store.cardinality(p),
+                distinct_subjects: store.distinct_subjects(p),
+                distinct_objects: store.distinct_objects(p),
+                max_out_degree: store.max_out_degree(p),
+                max_in_degree: store.max_in_degree(p),
+            };
+            let pairs = store.pairs(p);
+            let mut subjects: Vec<NodeId> = pairs.iter().map(|&(s, _)| s).collect();
+            subjects.sort_unstable();
+            subject_degrees[p.index()] =
+                Arc::new(DegreeList::from_sorted_nodes(subjects.into_iter()));
+            let mut objects: Vec<NodeId> = pairs.iter().map(|&(_, o)| o).collect();
+            objects.sort_unstable();
+            object_degrees[p.index()] =
+                Arc::new(DegreeList::from_sorted_nodes(objects.into_iter()));
+        }
+        let bigram_cache: HashMap<_, _> = self
+            .bigram_cache
+            .read()
+            .expect("catalog cache poisoned")
+            .iter()
+            .filter(|((p, _, q, _), _)| !touched.contains(p) && !touched.contains(q))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        Catalog {
+            unigrams,
+            subject_degrees,
+            object_degrees,
+            num_nodes,
+            bigram_cache: RwLock::new(bigram_cache),
         }
     }
 
@@ -368,5 +427,34 @@ mod tests {
         let g = GraphBuilder::new().build();
         assert_eq!(g.catalog().num_predicates(), 0);
         assert_eq!(g.catalog().num_nodes(), 0);
+    }
+
+    #[test]
+    fn refreshed_catalog_matches_a_full_recompute() {
+        use crate::mutation::Mutation;
+        let g = sample();
+        let b = g.dictionary().predicate_id("B").unwrap();
+        let c = g.dictionary().predicate_id("C").unwrap();
+        // Warm a bigram that the mutation will invalidate (B × C) and one it
+        // must keep (computed lazily again either way — equality is what
+        // matters).
+        let warmed = g.catalog().bigram(b, End::Object, c, End::Subject);
+        assert_eq!(warmed.join_cardinality, 2);
+
+        let (next, _) = g.apply(
+            &Mutation::new()
+                .insert("9", "C", "14")
+                .remove("9", "C", "12"),
+        );
+        let fresh = Catalog::compute(next.store(), next.node_count());
+        for p in 0..next.predicate_count() {
+            let p = PredId(p as u32);
+            assert_eq!(next.catalog().unigram(p), fresh.unigram(p), "{p}");
+        }
+        assert_eq!(
+            next.catalog().bigram(b, End::Object, c, End::Subject),
+            fresh.bigram(b, End::Object, c, End::Subject),
+            "invalidated bigrams recompute against the mutated data"
+        );
     }
 }

@@ -1,31 +1,43 @@
 //! The in-memory graph store: the [`GraphStore`] trait, backend selection,
 //! and the [`Graph`] facade.
 //!
-//! A [`Graph`] is an immutable, dictionary-encoded, edge-labeled directed
-//! multigraph (an RDF dataset), built once by a
-//! [`GraphBuilder`](crate::builder::GraphBuilder) and then queried read-only
-//! by all engines. Immutability after build keeps the evaluators free of
-//! locking and matches the paper's setting (a static dataset loaded into
-//! each system before the benchmark).
+//! A [`Graph`] is an immutable *value*: a dictionary-encoded, edge-labeled
+//! directed multigraph (an RDF dataset), built by a
+//! [`GraphBuilder`](crate::builder::GraphBuilder) and queried read-only by
+//! all engines without locking. Dynamic data is handled by producing new
+//! versions — [`Graph::apply`] takes a [`Mutation`] batch and returns the
+//! next version, leaving every existing reader untouched (cheap on the delta
+//! backend, which shares its base across versions).
 //!
 //! The physical layout behind the lookups is pluggable: every backend
 //! implements [`GraphStore`], and a [`StoreKind`] selects one at build time
 //! ([`GraphBuilder::build_with_store`](crate::builder::GraphBuilder::build_with_store))
-//! or re-indexes an existing graph ([`Graph::with_store`]). Two backends
+//! or re-indexes an existing graph ([`Graph::with_store`]). Three backends
 //! ship:
 //!
 //! * [`CsrStore`](crate::csr::CsrStore) (`StoreKind::Csr`, the default) —
 //!   per-predicate forward/reverse adjacency in sorted, contiguous
 //!   `offsets`/`targets` arrays,
 //! * [`MapStore`](crate::map::MapStore) (`StoreKind::Map`) — hash-map
-//!   adjacency, the seed-era edge-map layout, kept as the measured baseline.
+//!   adjacency, the seed-era edge-map layout, kept as the measured baseline,
+//! * [`DeltaStore`](crate::delta::DeltaStore) (`StoreKind::Delta`) — an
+//!   immutable CSR base plus sorted insert/tombstone overlays, for graphs
+//!   that change while being served.
 
 use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::dictionary::Dictionary;
 use crate::ids::{NodeId, PredId, Triple};
+use crate::mutation::{Mutation, MutationOp, MutationOutcome};
 use crate::stats::Catalog;
-use crate::{CsrStore, MapStore};
+use crate::{CsrStore, DeltaStore, MapStore};
+
+/// Default overlay fraction at which a delta-backed [`Graph::apply`]
+/// compacts the overlay into a fresh CSR base (see
+/// [`Graph::with_compaction_threshold`]).
+pub const DEFAULT_COMPACTION_THRESHOLD: f64 = 0.25;
 
 /// Which physical storage backend a graph is indexed with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -35,6 +47,9 @@ pub enum StoreKind {
     Csr,
     /// Hash-map adjacency: one map per direction per predicate.
     Map,
+    /// Immutable CSR base plus a mutable sorted insert/tombstone overlay —
+    /// the backend for dynamic graphs ([`Graph::apply`]).
+    Delta,
 }
 
 impl StoreKind {
@@ -43,7 +58,10 @@ impl StoreKind {
         match value {
             "csr" => Ok(StoreKind::Csr),
             "map" => Ok(StoreKind::Map),
-            other => Err(format!("unrecognized store {other:?} (accepted: csr, map)")),
+            "delta" => Ok(StoreKind::Delta),
+            other => Err(format!(
+                "unrecognized store {other:?} (accepted: csr, map, delta)"
+            )),
         }
     }
 
@@ -52,6 +70,7 @@ impl StoreKind {
         match self {
             StoreKind::Csr => "csr",
             StoreKind::Map => "map",
+            StoreKind::Delta => "delta",
         }
     }
 }
@@ -157,6 +176,7 @@ impl Iterator for PairsIter<'_> {
 enum Store {
     Csr(CsrStore),
     Map(MapStore),
+    Delta(DeltaStore),
 }
 
 impl Store {
@@ -164,6 +184,7 @@ impl Store {
         match kind {
             StoreKind::Csr => Store::Csr(CsrStore::build(num_nodes, edges)),
             StoreKind::Map => Store::Map(MapStore::build(num_nodes, edges)),
+            StoreKind::Delta => Store::Delta(DeltaStore::build(num_nodes, edges)),
         }
     }
 
@@ -172,18 +193,31 @@ impl Store {
         match self {
             Store::Csr(s) => s,
             Store::Map(s) => s,
+            Store::Delta(s) => s,
         }
     }
 }
 
-/// An immutable edge-labeled directed graph behind a selectable
-/// [`GraphStore`] backend, with a precomputed statistics catalog.
+/// An edge-labeled directed graph behind a selectable [`GraphStore`]
+/// backend, with a precomputed statistics catalog.
+///
+/// Graphs are immutable values: every accessor takes `&self`, and
+/// [`Graph::apply`] produces a *new* version rather than mutating in place,
+/// so readers never need locks. On the [`StoreKind::Delta`] backend a new
+/// version shares the CSR base, the dictionary (unless the batch interns new
+/// labels), and every untouched predicate's statistics with its predecessor,
+/// so applying a mutation costs `O(overlay + touched predicates)`; on the
+/// other backends `apply` rebuilds the index (documented `O(|graph|)` — they
+/// exist for static serving and as equivalence baselines).
 #[derive(Debug, Clone)]
 pub struct Graph {
-    dictionary: Dictionary,
+    /// Shared across versions: a mutation clones the dictionary only when it
+    /// interns a label this version has never seen.
+    dictionary: Arc<Dictionary>,
     num_nodes: usize,
     store: Store,
     catalog: Catalog,
+    compaction_threshold: f64,
 }
 
 impl Graph {
@@ -195,6 +229,22 @@ impl Graph {
         edges_by_predicate: Vec<Vec<(NodeId, NodeId)>>,
         kind: StoreKind,
     ) -> Self {
+        Graph::from_shared_parts(
+            Arc::new(dictionary),
+            num_nodes,
+            edges_by_predicate,
+            kind,
+            DEFAULT_COMPACTION_THRESHOLD,
+        )
+    }
+
+    fn from_shared_parts(
+        dictionary: Arc<Dictionary>,
+        num_nodes: usize,
+        edges_by_predicate: Vec<Vec<(NodeId, NodeId)>>,
+        kind: StoreKind,
+        compaction_threshold: f64,
+    ) -> Self {
         let store = Store::build(kind, num_nodes, edges_by_predicate);
         let catalog = Catalog::compute(store.as_dyn(), num_nodes);
         Graph {
@@ -202,12 +252,157 @@ impl Graph {
             num_nodes,
             store,
             catalog,
+            compaction_threshold,
         }
     }
 
+    /// Sets the overlay fraction at which delta-backed [`Graph::apply`]
+    /// compacts (builder form; default [`DEFAULT_COMPACTION_THRESHOLD`]).
+    /// `0.0` compacts after every mutating batch; the other backends ignore
+    /// the knob.
+    pub fn with_compaction_threshold(mut self, threshold: f64) -> Self {
+        self.compaction_threshold = threshold.max(0.0);
+        self
+    }
+
+    /// The overlay fraction at which delta-backed [`Graph::apply`] compacts.
+    pub fn compaction_threshold(&self) -> f64 {
+        self.compaction_threshold
+    }
+
+    /// For delta-backed graphs: `(overlay edges, overlay fraction of the
+    /// base)`. `None` on the other backends.
+    pub fn delta_stats(&self) -> Option<(usize, f64)> {
+        match &self.store {
+            Store::Delta(s) => Some((s.delta_len(), s.delta_fraction())),
+            _ => None,
+        }
+    }
+
+    /// Applies a [`Mutation`] and returns the resulting graph version plus
+    /// what actually changed. Operations resolve in order with set semantics
+    /// (see [`Mutation`]); labels never seen before are interned, so the new
+    /// version's dictionary extends this one's (identifiers are stable).
+    ///
+    /// On [`StoreKind::Delta`] this is the cheap path: the CSR base is
+    /// shared, the overlay absorbs the net change, exact statistics are
+    /// recomputed only for the touched predicates, and the overlay compacts
+    /// into a fresh base when its fraction reaches
+    /// [`Graph::compaction_threshold`]. The dictionary is shared with the
+    /// predecessor version unless the batch interns a brand-new label (only
+    /// such batches pay a dictionary copy). On `csr`/`map` the whole index
+    /// is rebuilt (`O(|graph|)`).
+    pub fn apply(&self, mutation: &Mutation) -> (Graph, MutationOutcome) {
+        // Share the dictionary across versions unless this batch actually
+        // introduces a label we have never interned.
+        let needs_intern = mutation.ops().iter().any(|(_, s, p, o)| {
+            self.dictionary.node_id(s).is_none()
+                || self.dictionary.predicate_id(p).is_none()
+                || self.dictionary.node_id(o).is_none()
+        });
+        let dictionary = if needs_intern {
+            let mut extended = Dictionary::clone(&self.dictionary);
+            for (_, s, p, o) in mutation.ops() {
+                extended.intern_node(s);
+                extended.intern_predicate(p);
+                extended.intern_node(o);
+            }
+            Arc::new(extended)
+        } else {
+            Arc::clone(&self.dictionary)
+        };
+
+        // Resolve the ordered ops into net per-triple transitions.
+        let mut net: HashMap<Triple, (bool, bool)> = HashMap::new();
+        for (op, s, p, o) in mutation.ops() {
+            let t = Triple::new(
+                dictionary.node_id(s).expect("interned above"),
+                dictionary.predicate_id(p).expect("interned above"),
+                dictionary.node_id(o).expect("interned above"),
+            );
+            let entry = net.entry(t).or_insert_with(|| {
+                let before = t.predicate.index() < self.predicate_count()
+                    && self.has_triple(t.subject, t.predicate, t.object);
+                (before, before)
+            });
+            entry.1 = matches!(op, MutationOp::Insert);
+        }
+        let mut inserts: Vec<Triple> = Vec::new();
+        let mut removes: Vec<Triple> = Vec::new();
+        for (t, (before, after)) in net {
+            match (before, after) {
+                (false, true) => inserts.push(t),
+                (true, false) => removes.push(t),
+                _ => {}
+            }
+        }
+        inserts.sort_unstable();
+        removes.sort_unstable();
+
+        let mut outcome = MutationOutcome {
+            inserted: inserts.len(),
+            removed: removes.len(),
+            compacted: false,
+        };
+        if inserts.is_empty() && removes.is_empty() && !needs_intern {
+            // Nothing changed: no net triple transitions and no new labels
+            // (a batch that interns a new label must still produce a new
+            // version whose dictionary and store know the label).
+            return (self.clone(), outcome);
+        }
+
+        let num_nodes = dictionary.node_count();
+        let num_predicates = dictionary.predicate_count();
+        let mut touched: Vec<PredId> = inserts
+            .iter()
+            .chain(removes.iter())
+            .map(|t| t.predicate)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+
+        let store = match &self.store {
+            Store::Delta(delta) => {
+                let next = delta.with_mutation(num_predicates, &inserts, &removes);
+                if next.delta_len() > 0 && next.delta_fraction() >= self.compaction_threshold {
+                    outcome.compacted = true;
+                    Store::Delta(next.compact(num_nodes))
+                } else {
+                    Store::Delta(next)
+                }
+            }
+            _ => {
+                // Static backends: rebuild from the merged triple set.
+                let mut edges = vec![Vec::new(); num_predicates];
+                let removed: HashSet<Triple> = removes.iter().copied().collect();
+                for t in self.triples() {
+                    if !removed.contains(&t) {
+                        edges[t.predicate.index()].push((t.subject, t.object));
+                    }
+                }
+                for t in &inserts {
+                    edges[t.predicate.index()].push((t.subject, t.object));
+                }
+                Store::build(self.store_kind(), num_nodes, edges)
+            }
+        };
+        let catalog = self.catalog.refreshed(store.as_dyn(), &touched, num_nodes);
+        (
+            Graph {
+                dictionary,
+                num_nodes,
+                store,
+                catalog,
+                compaction_threshold: self.compaction_threshold,
+            },
+            outcome,
+        )
+    }
+
     /// Re-indexes this graph's triples into a different storage backend,
-    /// reusing the dictionary (identifiers stay stable). Returns `self`
-    /// unchanged when the backend already matches.
+    /// reusing the dictionary (identifiers stay stable) and keeping the
+    /// configured compaction threshold. Returns `self` unchanged when the
+    /// backend already matches.
     pub fn with_store(self, kind: StoreKind) -> Self {
         if self.store_kind() == kind {
             return self;
@@ -216,7 +411,13 @@ impl Graph {
         for t in self.triples() {
             edges[t.predicate.index()].push((t.subject, t.object));
         }
-        Graph::from_parts(self.dictionary, self.num_nodes, edges, kind)
+        Graph::from_shared_parts(
+            Arc::clone(&self.dictionary),
+            self.num_nodes,
+            edges,
+            kind,
+            self.compaction_threshold,
+        )
     }
 
     /// The storage backend, as the backend-agnostic [`GraphStore`] view.
@@ -229,12 +430,13 @@ impl Graph {
         match &self.store {
             Store::Csr(_) => StoreKind::Csr,
             Store::Map(_) => StoreKind::Map,
+            Store::Delta(_) => StoreKind::Delta,
         }
     }
 
     /// The string dictionary used to encode this graph.
     pub fn dictionary(&self) -> &Dictionary {
-        &self.dictionary
+        self.dictionary.as_ref()
     }
 
     /// Number of distinct nodes.
@@ -247,6 +449,7 @@ impl Graph {
         match &self.store {
             Store::Csr(s) => s.num_predicates(),
             Store::Map(s) => s.num_predicates(),
+            Store::Delta(s) => s.num_predicates(),
         }
     }
 
@@ -255,6 +458,7 @@ impl Graph {
         match &self.store {
             Store::Csr(s) => s.triple_count(),
             Store::Map(s) => s.triple_count(),
+            Store::Delta(s) => s.triple_count(),
         }
     }
 
@@ -271,6 +475,7 @@ impl Graph {
         match &self.store {
             Store::Csr(s) => s.pairs(p),
             Store::Map(s) => s.pairs(p),
+            Store::Delta(s) => s.pairs(p),
         }
     }
 
@@ -281,6 +486,7 @@ impl Graph {
         match &self.store {
             Store::Csr(s) => s.neighbors_sorted(),
             Store::Map(s) => s.neighbors_sorted(),
+            Store::Delta(s) => s.neighbors_sorted(),
         }
     }
 
@@ -290,6 +496,7 @@ impl Graph {
         match &self.store {
             Store::Csr(st) => st.objects_of(p, s),
             Store::Map(st) => st.objects_of(p, s),
+            Store::Delta(st) => st.objects_of(p, s),
         }
     }
 
@@ -299,6 +506,7 @@ impl Graph {
         match &self.store {
             Store::Csr(st) => st.subjects_of(p, o),
             Store::Map(st) => st.subjects_of(p, o),
+            Store::Delta(st) => st.subjects_of(p, o),
         }
     }
 
@@ -308,6 +516,7 @@ impl Graph {
         match &self.store {
             Store::Csr(st) => st.has_triple(s, p, o),
             Store::Map(st) => st.has_triple(s, p, o),
+            Store::Delta(st) => st.has_triple(s, p, o),
         }
     }
 
@@ -328,6 +537,7 @@ impl Graph {
         match &self.store {
             Store::Csr(s) => s.cardinality(p),
             Store::Map(s) => s.cardinality(p),
+            Store::Delta(s) => s.cardinality(p),
         }
     }
 
@@ -427,10 +637,16 @@ mod tests {
     fn store_kinds_parse_and_roundtrip() {
         assert_eq!(StoreKind::parse("csr"), Ok(StoreKind::Csr));
         assert_eq!(StoreKind::parse("map"), Ok(StoreKind::Map));
+        assert_eq!(StoreKind::parse("delta"), Ok(StoreKind::Delta));
         assert_eq!(StoreKind::default(), StoreKind::Csr);
         let err = StoreKind::parse("btree").unwrap_err();
-        assert!(err.contains("btree") && err.contains("csr") && err.contains("map"));
-        for kind in [StoreKind::Csr, StoreKind::Map] {
+        assert!(
+            err.contains("btree")
+                && err.contains("csr")
+                && err.contains("map")
+                && err.contains("delta")
+        );
+        for kind in [StoreKind::Csr, StoreKind::Map, StoreKind::Delta] {
             assert_eq!(StoreKind::parse(kind.name()), Ok(kind));
         }
     }
@@ -490,5 +706,117 @@ mod tests {
         assert_eq!(store.kind(), StoreKind::Csr);
         assert_eq!(store.triple_count(), 3);
         assert!(store.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn apply_mutates_every_backend_identically() {
+        let mutation = Mutation::new()
+            .insert("c", "knows", "a")
+            .remove("a", "likes", "c")
+            .insert("a", "admires", "d");
+        for kind in [StoreKind::Csr, StoreKind::Map, StoreKind::Delta] {
+            let g = sample_builder().build_with_store(kind);
+            let (next, outcome) = g.apply(&mutation);
+            assert_eq!(outcome.inserted, 2, "{kind:?}");
+            assert_eq!(outcome.removed, 1, "{kind:?}");
+            assert_eq!(next.store_kind(), kind);
+            assert_eq!(next.triple_count(), 4, "{kind:?}");
+            assert_eq!(next.node_count(), 4, "new node d interned");
+            assert_eq!(next.predicate_count(), 3, "new predicate admires");
+            let d = next.dictionary();
+            let knows = d.predicate_id("knows").unwrap();
+            let likes = d.predicate_id("likes").unwrap();
+            let admires = d.predicate_id("admires").unwrap();
+            let (a, c) = (d.node_id("a").unwrap(), d.node_id("c").unwrap());
+            assert!(next.has_triple(c, knows, a), "{kind:?}");
+            assert!(!next.has_triple(a, likes, c), "{kind:?}");
+            assert_eq!(next.predicate_cardinality(admires), 1);
+            assert_eq!(
+                next.catalog().unigram(knows).cardinality,
+                3,
+                "{kind:?}: catalog refreshed for touched predicates"
+            );
+            // The original version is untouched.
+            assert_eq!(g.triple_count(), 3);
+            assert!(g.has_triple(a, likes, c));
+        }
+    }
+
+    #[test]
+    fn apply_has_set_semantics_and_resolves_in_order() {
+        let g = sample_builder().build_with_store(StoreKind::Delta);
+        let noop = Mutation::new()
+            .insert("a", "knows", "b") // already present
+            .remove("zz", "knows", "zz"); // never present (new labels intern)
+        let (next, outcome) = g.apply(&noop);
+        assert_eq!((outcome.inserted, outcome.removed), (0, 0));
+        assert_eq!(next.triple_count(), 3);
+        assert_eq!(next.node_count(), 4, "labels intern even on no-op ops");
+
+        // Remove-then-insert within one batch leaves the triple present and
+        // counts as neither an insert nor a removal (it was present before).
+        let churn = Mutation::new()
+            .remove("a", "knows", "b")
+            .insert("a", "knows", "b");
+        let (next, outcome) = g.apply(&churn);
+        assert_eq!((outcome.inserted, outcome.removed), (0, 0));
+        let d = next.dictionary();
+        assert!(next.has_triple(
+            d.node_id("a").unwrap(),
+            d.predicate_id("knows").unwrap(),
+            d.node_id("b").unwrap()
+        ));
+    }
+
+    #[test]
+    fn apply_shares_the_dictionary_unless_labels_are_new() {
+        let g = sample_builder().build_with_store(StoreKind::Delta);
+        // Known labels only: the dictionary Arc is shared across versions.
+        let (next, _) = g.apply(&Mutation::new().insert("c", "knows", "a"));
+        assert!(std::ptr::eq(g.dictionary(), next.dictionary()));
+        // A new label forces a (one-time) extended copy.
+        let (extended, _) = next.apply(&Mutation::new().insert("c", "knows", "zz"));
+        assert!(!std::ptr::eq(next.dictionary(), extended.dictionary()));
+        assert_eq!(extended.node_count(), 4);
+
+        // An all-no-op batch that interns a new *predicate* label still
+        // produces a version that knows the label (index entry included).
+        let (noop, outcome) = g.apply(&Mutation::new().remove("a", "admires", "b"));
+        assert_eq!((outcome.inserted, outcome.removed), (0, 0));
+        let admires = noop.dictionary().predicate_id("admires").unwrap();
+        assert_eq!(noop.predicate_cardinality(admires), 0);
+        assert_eq!(noop.predicate_count(), 3);
+    }
+
+    #[test]
+    fn with_store_keeps_the_compaction_threshold_and_shares_the_dictionary() {
+        let g = sample().with_compaction_threshold(0.0);
+        let delta = g.clone().with_store(StoreKind::Delta);
+        assert_eq!(delta.compaction_threshold(), 0.0, "threshold survives");
+        assert!(std::ptr::eq(g.dictionary(), delta.dictionary()));
+        let (_, outcome) = delta.apply(&Mutation::new().insert("a", "knows", "c"));
+        assert!(outcome.compacted, "the preserved 0.0 threshold compacts");
+    }
+
+    #[test]
+    fn delta_compaction_respects_the_threshold() {
+        let g = sample_builder()
+            .build_with_store(StoreKind::Delta)
+            .with_compaction_threshold(10.0);
+        assert_eq!(g.delta_stats(), Some((0, 0.0)));
+        assert!(sample().delta_stats().is_none(), "csr has no overlay");
+
+        let (grown, outcome) = g.apply(&Mutation::new().insert("x", "knows", "y"));
+        assert!(!outcome.compacted, "threshold 10.0 never compacts here");
+        let (pending, fraction) = grown.delta_stats().unwrap();
+        assert_eq!(pending, 1);
+        assert!(fraction > 0.0);
+
+        let eager = grown.with_compaction_threshold(0.0);
+        assert_eq!(eager.compaction_threshold(), 0.0);
+        let (compacted, outcome) = eager.apply(&Mutation::new().insert("x", "knows", "z"));
+        assert!(outcome.compacted, "threshold 0.0 compacts every batch");
+        assert_eq!(compacted.delta_stats(), Some((0, 0.0)));
+        assert_eq!(compacted.triple_count(), 5);
     }
 }

@@ -12,6 +12,8 @@
 
 use std::collections::BTreeMap;
 
+use wireframe_graph::PredId;
+
 use crate::cq::ConjunctiveQuery;
 use crate::term::{Term, Var};
 
@@ -71,6 +73,36 @@ pub fn plan_cache_key(query: &ConjunctiveQuery) -> QuerySignature {
         edge_descriptors(query, &colors).join(";"),
         projection.join(";")
     ))
+}
+
+/// The **predicate footprint** of a query: the sorted, deduplicated set of
+/// predicate identifiers its patterns touch.
+///
+/// The footprint is invariant under everything the canonical forms quotient
+/// away (variable renaming, pattern reordering, projection order), so two
+/// queries sharing a [`plan_cache_key`] share a footprint — which is what
+/// lets a prepared-plan cache invalidate by footprint when the data changes:
+/// a mutation batch touching predicates `M` only affects cached plans whose
+/// footprint intersects `M` ([`footprints_intersect`]).
+pub fn predicate_footprint(query: &ConjunctiveQuery) -> Vec<PredId> {
+    let mut preds: Vec<PredId> = query.patterns().iter().map(|p| p.predicate).collect();
+    preds.sort_unstable();
+    preds.dedup();
+    preds
+}
+
+/// Whether two ascending-sorted footprints share a predicate (linear merge
+/// probe; both inputs come from [`predicate_footprint`]).
+pub fn footprints_intersect(a: &[PredId], b: &[PredId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
 }
 
 /// Sorted pattern descriptors of `query` under final colours.
@@ -513,5 +545,32 @@ mod tests {
         b2.pattern("?a", "A", "y").unwrap();
         let q2 = b2.build().unwrap();
         assert!(!equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn footprints_are_sorted_deduped_and_intersect_correctly() {
+        let d = dict();
+        let mut b = CqBuilder::new(&d);
+        b.pattern("?x", "B", "?y").unwrap();
+        b.pattern("?y", "A", "?z").unwrap();
+        b.pattern("?z", "B", "?w").unwrap();
+        let q = b.build().unwrap();
+        let fp = predicate_footprint(&q);
+        assert_eq!(fp.len(), 2, "duplicate predicate B collapses");
+        assert!(fp.windows(2).all(|w| w[0] < w[1]), "ascending");
+        let a = d.predicate_id("A").unwrap();
+        let c = d.predicate_id("C").unwrap();
+        assert!(footprints_intersect(&fp, &[a]));
+        assert!(!footprints_intersect(&fp, &[c]));
+        assert!(!footprints_intersect(&fp, &[]));
+        assert!(!footprints_intersect(&[], &[]));
+
+        // Isomorphic variants (renamed, reordered) share the footprint.
+        let mut b2 = CqBuilder::new(&d);
+        b2.pattern("?q", "A", "?r").unwrap();
+        b2.pattern("?p", "B", "?q").unwrap();
+        b2.pattern("?r", "B", "?s").unwrap();
+        let q2 = b2.build().unwrap();
+        assert_eq!(fp, predicate_footprint(&q2));
     }
 }

@@ -74,7 +74,8 @@ fn main() {
     );
 
     println!("\nthe {} embeddings:", wf.embedding_count());
-    let dict = session.graph().dictionary();
+    let graph = session.graph();
+    let dict = graph.dictionary();
     for row in wf.embeddings().rows().take(10) {
         let labels: Vec<&str> = row
             .iter()

@@ -9,7 +9,11 @@
 //!   --query-file <path>       read the query from a file instead
 //!   --engine <name>           engine to evaluate with (default wireframe);
 //!                             `--engine help` lists the registered engines
-//!   --store csr|map           graph storage backend (default csr)
+//!   --store csr|map|delta     graph storage backend (default csr)
+//!   --mutations <path>        apply a mutation script before the query: one
+//!                             op per line, `+ s p o` inserts and `- s p o`
+//!                             removes (any triple syntax accepted by the
+//!                             data loader); the result reports the epoch
 //!   --edge-burnback           enable triangulation + edge burnback (wireframe only)
 //!   --explain                 print the plan and phase statistics
 //!   --limit <N>               print at most N result rows (default 20, 0 = unlimited)
@@ -31,7 +35,7 @@ use std::process::ExitCode;
 
 use wireframe::graph::Graph;
 use wireframe::query::EmbeddingSet;
-use wireframe::{default_registry, EngineConfig, Session, StoreKind};
+use wireframe::{default_registry, EngineConfig, Mutation, Session, StoreKind};
 
 struct Options {
     data_path: String,
@@ -39,6 +43,7 @@ struct Options {
     query_file: Option<String>,
     engine: String,
     store: StoreKind,
+    mutations: Option<String>,
     edge_burnback: bool,
     explain: bool,
     limit: usize,
@@ -48,7 +53,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: wfquery <triples-file> --query <SPARQL> | --query-file <path> \
-     [--engine <name>|help] [--store csr|map] \
+     [--engine <name>|help] [--store csr|map|delta] [--mutations <path>] \
      [--edge-burnback] [--explain] [--limit N] [--threads N] [--count-only]"
 }
 
@@ -70,6 +75,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         query_file: None,
         engine: "wireframe".to_owned(),
         store: StoreKind::default(),
+        mutations: None,
         edge_burnback: false,
         explain: false,
         limit: 20,
@@ -85,6 +91,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--engine" => options.engine = args.next().ok_or("--engine needs a value")?,
             "--store" => {
                 options.store = StoreKind::parse(&args.next().ok_or("--store needs a value")?)?
+            }
+            "--mutations" => {
+                options.mutations = Some(args.next().ok_or("--mutations needs a value")?)
             }
             "--edge-burnback" => options.edge_burnback = true,
             "--explain" => options.explain = true,
@@ -208,6 +217,24 @@ fn run() -> Result<(), String> {
             other => other.to_string(),
         })?;
 
+    if let Some(path) = &options.mutations {
+        let script = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read mutation script {path}: {e}"))?;
+        let mutation = Mutation::parse_script(&script).map_err(|e| format!("{path}: {e}"))?;
+        let outcome = session.apply_mutation(&mutation);
+        eprintln!(
+            "applied {path}: +{} -{} triples → epoch {}{}",
+            outcome.inserted,
+            outcome.removed,
+            session.epoch(),
+            if outcome.compacted {
+                " (compacted)"
+            } else {
+                ""
+            }
+        );
+    }
+
     let evaluation = session.query(&query_text).map_err(|e| e.to_string())?;
     if let Some(explain) = &evaluation.explain {
         eprint!("{explain}");
@@ -222,7 +249,7 @@ fn run() -> Result<(), String> {
     if options.count_only {
         println!("{}", evaluation.embedding_count());
     } else {
-        print_results(session.graph(), evaluation.embeddings(), options.limit);
+        print_results(&session.graph(), evaluation.embeddings(), options.limit);
         eprintln!("{} embeddings", evaluation.embedding_count());
     }
     Ok(())

@@ -6,8 +6,11 @@
 //! that tie them together:
 //!
 //! * [`Session`] — owns a [`Graph`](graph::Graph) and answers queries in one
-//!   call (parse → plan → execute), with a prepared-query cache keyed by the
-//!   canonical query signature,
+//!   call (parse → plan → execute), with a bounded prepared-query cache
+//!   keyed by the canonical query signature, plus the dynamic-graph serving
+//!   path: epoch-versioned mutations ([`Session::insert_triples`] /
+//!   [`Session::remove_triples`]) with predicate-footprint cache
+//!   invalidation,
 //! * [`default_registry`] — the [`EngineRegistry`] with all four engines of
 //!   the workspace (`wireframe`, `relational`, `sortmerge`, `exploration`),
 //!   every one implementing the uniform [`Engine`] trait.
@@ -78,8 +81,9 @@ pub use wireframe_graph as graph;
 pub use wireframe_query as query;
 
 pub use registry::default_registry;
-pub use session::Session;
+pub use session::{Session, DEFAULT_CACHE_CAPACITY};
 pub use wireframe_api::{
     Engine, EngineConfig, EngineEntry, EngineRegistry, Evaluation, Factorized, PreparedQuery,
     StoreKind, Timings, WireframeError,
 };
+pub use wireframe_graph::{Mutation, MutationOp, MutationOutcome};

@@ -51,6 +51,11 @@ fn build_exploration<'g>(
 ///   (PostgreSQL / Virtuoso proxy),
 /// * `sortmerge` — sort-merge joins over column-shaped scans (MonetDB proxy),
 /// * `exploration` — depth-first backtracking pattern matching (Neo4J proxy).
+///
+/// Engines are storage-backend- and version-agnostic: they are built per
+/// call over whatever [`Graph`] snapshot the `Session` facade hands them
+/// (`csr`, `map`, or the dynamic `delta` backend), and the session — not the
+/// engine — stamps the mutation epoch into each `Evaluation`.
 pub fn default_registry() -> EngineRegistry {
     let mut registry = EngineRegistry::new();
     registry

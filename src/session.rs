@@ -19,6 +19,14 @@
 //!     .unwrap();
 //! assert_eq!(result.embedding_count(), 1);
 //! ```
+//!
+//! Sessions also serve **dynamic graphs**: [`Session::insert_triples`] /
+//! [`Session::remove_triples`] (or a raw [`Session::apply_mutation`]) swap
+//! in a new graph version — cheap on the delta backend, see
+//! [`wireframe_graph::DeltaStore`] — advance the session **epoch**, and
+//! evict exactly the cached plans whose predicate footprint the mutation
+//! touched. Every [`Evaluation`] is stamped with the epoch of the snapshot
+//! it ran against.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -28,17 +36,25 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use wireframe_api::{
     Engine, EngineConfig, EngineRegistry, Evaluation, PreparedQuery, WireframeError,
 };
-use wireframe_graph::{Graph, StoreKind};
-use wireframe_query::canonical::{isomorphic, plan_cache_key};
+use wireframe_graph::{Graph, Mutation, MutationOp, MutationOutcome, PredId, StoreKind};
+use wireframe_query::canonical::{footprints_intersect, isomorphic, plan_cache_key};
 use wireframe_query::{parse_query, ConjunctiveQuery};
 
 use crate::registry::default_registry;
 
 /// Cache key: (engine name, colour-refinement form of the query).
 type CacheKey = (String, String);
+
+/// One cached prepared query plus its LRU stamp (a global logical clock
+/// value, updated on every hit).
+struct CachedPlan {
+    prepared: Arc<PreparedQuery>,
+    last_used: AtomicU64,
+}
+
 /// Colour keys can collide for non-isomorphic queries (1-WL), so each bucket
 /// chains every prepared query sharing the key.
-type CacheBucket = Vec<Arc<PreparedQuery>>;
+type CacheBucket = Vec<CachedPlan>;
 /// One shard of the prepared-plan cache.
 type CacheShard = HashMap<CacheKey, CacheBucket>;
 
@@ -47,23 +63,33 @@ type CacheShard = HashMap<CacheKey, CacheBucket>;
 /// the structure simple while making write contention negligible.
 const CACHE_SHARDS: usize = 16;
 
+/// Default prepared-plan cache capacity (distinct cached plans). Generous —
+/// real workloads rarely exceed a few hundred distinct canonical queries —
+/// but finite, so a long-lived serving session cannot grow without bound.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
 /// The prepared-plan cache, sharded by the hash of the canonical-signature
 /// key so concurrent readers and writers rarely touch the same lock.
 ///
 /// Reads (the overwhelmingly common case on a warmed cache) take a shard's
 /// read lock only; preparation happens outside any lock, and insertion
 /// re-checks under the shard's write lock so racing preparers converge on one
-/// cached entry.
+/// cached entry. The cache is bounded: when `capacity` is exceeded the
+/// least-recently-used entry (by a global logical clock) is evicted.
 struct ShardedPlanCache {
     shards: Vec<RwLock<CacheShard>>,
+    clock: AtomicU64,
+    capacity: usize,
 }
 
 impl ShardedPlanCache {
-    fn new() -> Self {
+    fn new(capacity: usize) -> Self {
         ShardedPlanCache {
             shards: (0..CACHE_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            clock: AtomicU64::new(0),
+            capacity,
         }
     }
 
@@ -83,16 +109,21 @@ impl ShardedPlanCache {
         shard.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Looks up a confirmed-isomorphic prepared query under the read lock.
     fn find(&self, key: &CacheKey, query: &ConjunctiveQuery) -> Option<Arc<PreparedQuery>> {
         let shard = Self::read(self.shard(key));
         let bucket = shard.get(key)?;
         // The colour key is only a filter; confirm an exact match before
         // reusing another query's plan and answer shape.
-        bucket
+        let hit = bucket
             .iter()
-            .find(|p| isomorphic(query, p.query()))
-            .map(Arc::clone)
+            .find(|e| isomorphic(query, e.prepared.query()))?;
+        hit.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(Arc::clone(&hit.prepared))
     }
 
     /// Inserts `prepared` unless a racing thread already cached an
@@ -105,11 +136,87 @@ impl ShardedPlanCache {
     ) -> Arc<PreparedQuery> {
         let mut shard = Self::write(self.shard(&key));
         let bucket = shard.entry(key).or_default();
-        if let Some(raced) = bucket.iter().find(|p| isomorphic(query, p.query())) {
-            return Arc::clone(raced);
+        if let Some(raced) = bucket
+            .iter()
+            .find(|e| isomorphic(query, e.prepared.query()))
+        {
+            raced.last_used.store(self.tick(), Ordering::Relaxed);
+            return Arc::clone(&raced.prepared);
         }
-        bucket.push(Arc::clone(&prepared));
+        bucket.push(CachedPlan {
+            prepared: Arc::clone(&prepared),
+            last_used: AtomicU64::new(self.tick()),
+        });
         prepared
+    }
+
+    /// Evicts least-recently-used entries until the cache fits its capacity
+    /// again (called after an insert that missed, outside any shard lock).
+    /// Returns how many entries were evicted.
+    ///
+    /// One pass collects every entry's LRU stamp, then the oldest `excess`
+    /// entries are removed shard by shard. The scan is `O(cached entries)`,
+    /// paid only on misses that overflow the bound — the hot hit path never
+    /// enters here. Locks are taken one shard at a time, so a racing hit can
+    /// rescue an entry between scan and removal (its stamp no longer
+    /// matches); the next overflowing insert simply re-evicts.
+    fn enforce_capacity(&self) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut stamped: Vec<(u64, usize, CacheKey)> = Vec::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let guard = Self::read(shard);
+            for (key, bucket) in guard.iter() {
+                for entry in bucket {
+                    stamped.push((entry.last_used.load(Ordering::Relaxed), index, key.clone()));
+                }
+            }
+        }
+        let Some(excess) = stamped.len().checked_sub(self.capacity + 1) else {
+            return 0;
+        };
+        stamped.sort_unstable_by_key(|&(stamp, _, _)| stamp);
+        let mut evicted = 0u64;
+        for (stamp, index, key) in stamped.into_iter().take(excess + 1) {
+            let mut guard = Self::write(&self.shards[index]);
+            if let Some(bucket) = guard.get_mut(&key) {
+                if let Some(pos) = bucket
+                    .iter()
+                    .position(|e| e.last_used.load(Ordering::Relaxed) == stamp)
+                {
+                    bucket.remove(pos);
+                    if bucket.is_empty() {
+                        guard.remove(&key);
+                    }
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Evicts every entry whose predicate footprint intersects `footprint`
+    /// (a mutation's touched predicates). Returns how many were evicted.
+    fn invalidate(&self, footprint: &[PredId]) -> u64 {
+        if footprint.is_empty() {
+            return 0;
+        }
+        let mut evicted = 0u64;
+        for shard in &self.shards {
+            let mut guard = Self::write(shard);
+            guard.retain(|_, bucket| {
+                bucket.retain(|e| {
+                    let keep = !footprints_intersect(e.prepared.footprint(), footprint);
+                    if !keep {
+                        evicted += 1;
+                    }
+                    keep
+                });
+                !bucket.is_empty()
+            });
+        }
+        evicted
     }
 
     fn len(&self) -> usize {
@@ -124,6 +231,14 @@ impl ShardedPlanCache {
             Self::write(shard).clear();
         }
     }
+}
+
+/// The mutable graph state of a session: the current version and its epoch,
+/// swapped together under one lock so an [`Evaluation`]'s stamp always
+/// matches the snapshot it ran against.
+struct GraphState {
+    graph: Arc<Graph>,
+    epoch: u64,
 }
 
 /// A query session over one graph.
@@ -149,26 +264,48 @@ impl ShardedPlanCache {
 /// namespace, not the caller's. Read result columns by SELECT position, not
 /// by looking the caller's own `Var` up in the schema.
 ///
+/// The cache is **bounded**: at most [`Session::cache_capacity`] prepared
+/// plans (default [`DEFAULT_CACHE_CAPACITY`], tune with
+/// [`Session::with_cache_capacity`]) are kept, evicting LRU-style by a
+/// global logical clock; [`Session::cache_evictions`] counts evictions and
+/// [`Session::clear_cache`] empties the cache outright.
+///
+/// # Dynamic graphs and epochs
+///
+/// [`Session::insert_triples`], [`Session::remove_triples`] and
+/// [`Session::apply_mutation`] update the graph by swapping in a **new
+/// version** (readers in flight keep their snapshot; on the
+/// [`StoreKind::Delta`] backend versions share their base, making this the
+/// live-serving path). Each applied batch advances the session **epoch**
+/// ([`Session::epoch`]), which is stamped into every [`Evaluation::epoch`].
+/// The prepared-plan cache is invalidated by **predicate footprint**: only
+/// cached queries mentioning a mutated predicate are evicted (counted by
+/// [`Session::cache_invalidations`]); everything else keeps serving hits
+/// across epochs. Delta compactions triggered by mutations are counted by
+/// [`Session::compactions`].
+///
 /// # Concurrency
 ///
 /// `Session` is `Send + Sync` (statically asserted): wrap one in an [`Arc`]
-/// and issue [`Session::query`] from any number of threads. The graph is
-/// shared behind an `Arc` (see [`Session::shared`] for sharing one graph
-/// across several sessions), the prepared-plan cache is sharded behind
-/// `RwLock`s keyed by the canonical-signature hash, the hit/miss counters
-/// are atomic, and engines are built per call through
-/// [`EngineRegistry::build_shared`]. Engine selection
-/// ([`Session::set_engine`]) takes `&mut self` and therefore happens before
-/// a session is shared — per-engine serving uses one session per engine over
-/// a shared graph.
+/// and issue [`Session::query`] — and mutations — from any number of
+/// threads. The graph version and epoch live behind one `RwLock` (reads
+/// clone an `Arc` snapshot), the prepared-plan cache is sharded behind
+/// `RwLock`s keyed by the canonical-signature hash, all counters are atomic,
+/// and engines are built per call through [`EngineRegistry::build_shared`].
+/// Engine selection ([`Session::set_engine`]) takes `&mut self` and
+/// therefore happens before a session is shared — per-engine serving uses
+/// one session per engine over a shared graph.
 pub struct Session {
-    graph: Arc<Graph>,
+    state: RwLock<GraphState>,
     registry: EngineRegistry,
     engine: String,
     config: EngineConfig,
     cache: ShardedPlanCache,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    compactions: AtomicU64,
 }
 
 // The serving path relies on sessions being shareable across threads; keep
@@ -202,13 +339,16 @@ impl Session {
     pub fn shared_with_registry(graph: Arc<Graph>, registry: EngineRegistry) -> Self {
         let engine = registry.default_engine().unwrap_or("wireframe").to_owned();
         Session {
-            graph,
+            state: RwLock::new(GraphState { graph, epoch: 0 }),
             registry,
             engine,
             config: EngineConfig::default(),
-            cache: ShardedPlanCache::new(),
+            cache: ShardedPlanCache::new(DEFAULT_CACHE_CAPACITY),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
         }
     }
 
@@ -244,8 +384,9 @@ impl Session {
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.config = config;
         if let Some(kind) = config.store {
-            if self.graph.store_kind() != kind {
-                self.graph = Arc::new(Graph::clone(&self.graph).with_store(kind));
+            let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
+            if state.graph.store_kind() != kind {
+                state.graph = Arc::new(Graph::clone(&state.graph).with_store(kind));
             }
         }
         self
@@ -258,20 +399,46 @@ impl Session {
         self.with_config(config)
     }
 
+    /// Bounds the prepared-plan cache to at most `capacity` distinct plans
+    /// (builder form; `0` = unbounded, default [`DEFAULT_CACHE_CAPACITY`]).
+    /// Exceeding the bound evicts the least-recently-used entry, counted by
+    /// [`Session::cache_evictions`].
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache.capacity = capacity;
+        self
+    }
+
+    /// The prepared-plan cache bound (`0` = unbounded).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity
+    }
+
     /// The storage backend the session's graph is indexed with.
     pub fn store_kind(&self) -> StoreKind {
-        self.graph.store_kind()
+        self.snapshot().0.store_kind()
     }
 
-    /// The graph this session queries.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// A snapshot of the graph version this session currently serves.
+    /// Mutations applied later do not affect the returned handle.
+    pub fn graph(&self) -> Arc<Graph> {
+        self.snapshot().0
     }
 
-    /// The shared handle to the session's graph, for building further
-    /// sessions over the same data.
+    /// The shared handle to the session's current graph version, for
+    /// building further sessions over the same data.
     pub fn shared_graph(&self) -> Arc<Graph> {
-        Arc::clone(&self.graph)
+        self.snapshot().0
+    }
+
+    /// The current mutation epoch: `0` at construction, advanced by every
+    /// applied mutation batch. Stamped into [`Evaluation::epoch`].
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().1
+    }
+
+    fn snapshot(&self) -> (Arc<Graph>, u64) {
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        (Arc::clone(&state.graph), state.epoch)
     }
 
     /// The engine registry.
@@ -291,33 +458,49 @@ impl Session {
 
     /// Parses, plans and executes a SPARQL conjunctive query in one call.
     pub fn query(&self, text: &str) -> Result<Evaluation, WireframeError> {
-        let query = parse_query(text, self.graph.dictionary())?;
-        self.execute(&query)
+        let (graph, epoch) = self.snapshot();
+        let query = parse_query(text, graph.dictionary())?;
+        self.execute_on(&graph, epoch, &query)
     }
 
     /// Executes an already-constructed query through the selected engine,
     /// using the prepared-query cache.
     pub fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
+        let (graph, epoch) = self.snapshot();
+        self.execute_on(&graph, epoch, query)
+    }
+
+    fn execute_on(
+        &self,
+        graph: &Arc<Graph>,
+        epoch: u64,
+        query: &ConjunctiveQuery,
+    ) -> Result<Evaluation, WireframeError> {
         let engine = self
             .registry
-            .build_shared(&self.engine, &self.graph, &self.config)?;
-        let prepared = self.prepare_on(engine.as_ref(), query)?;
-        engine.evaluate(&prepared)
+            .build_shared(&self.engine, graph, &self.config)?;
+        let prepared = self.prepare_on(engine.as_ref(), epoch, query)?;
+        let mut evaluation = engine.evaluate(&prepared)?;
+        evaluation.epoch = epoch;
+        Ok(evaluation)
     }
 
     /// Returns the prepared form of `query` for the selected engine, from the
     /// cache when an equivalent query was prepared before.
     pub fn prepare(&self, query: &ConjunctiveQuery) -> Result<Arc<PreparedQuery>, WireframeError> {
+        let (graph, epoch) = self.snapshot();
         let engine = self
             .registry
-            .build_shared(&self.engine, &self.graph, &self.config)?;
-        self.prepare_on(engine.as_ref(), query)
+            .build_shared(&self.engine, &graph, &self.config)?;
+        self.prepare_on(engine.as_ref(), epoch, query)
     }
 
-    /// Cache lookup + preparation on an already-built engine.
+    /// Cache lookup + preparation on an already-built engine. `epoch` is the
+    /// epoch of the snapshot the engine was built over.
     fn prepare_on(
         &self,
         engine: &dyn Engine,
+        epoch: u64,
         query: &ConjunctiveQuery,
     ) -> Result<Arc<PreparedQuery>, WireframeError> {
         let key = (
@@ -335,7 +518,83 @@ impl Session {
         // not.
         let prepared = Arc::new(engine.prepare(query)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(self.cache.insert(key, query, prepared))
+        // Insert under the state read lock, and only if no mutation landed
+        // while we were preparing. `apply_mutation` invalidates the cache
+        // while holding the state *write* lock, so either this insert
+        // completes before a racing mutation's invalidation pass (which then
+        // evicts it like any other entry), or the epoch check below sees the
+        // new epoch and the possibly-stale plan is returned uncached.
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        if state.epoch != epoch {
+            return Ok(prepared);
+        }
+        let cached = self.cache.insert(key, query, prepared);
+        drop(state);
+        let evicted = self.cache.enforce_capacity();
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(cached)
+    }
+
+    /// Applies a mutation batch: swaps in the new graph version, advances
+    /// the epoch, and evicts exactly the cached plans whose predicate
+    /// footprint the batch touched. Readers in flight keep their snapshot.
+    pub fn apply_mutation(&self, mutation: &Mutation) -> MutationOutcome {
+        let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+        let (next, outcome) = state.graph.apply(mutation);
+        // Resolve the batch's predicate labels against the new dictionary
+        // (which extends the old one, so cached footprints — resolved
+        // earlier — remain comparable).
+        let mut footprint: Vec<PredId> = mutation
+            .ops()
+            .iter()
+            .filter_map(|(_, _, p, _)| next.dictionary().predicate_id(p))
+            .collect();
+        footprint.sort_unstable();
+        footprint.dedup();
+        state.graph = Arc::new(next);
+        state.epoch += 1;
+        // Invalidate while still holding the state write lock: a concurrent
+        // preparer either inserted its plan before we got the lock (then the
+        // pass below evicts it) or will observe the bumped epoch under the
+        // read lock and skip caching. Lock order is state → cache shard on
+        // both paths, so this cannot deadlock.
+        if outcome.inserted + outcome.removed > 0 {
+            let evicted = self.cache.invalidate(&footprint);
+            self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+        }
+        drop(state);
+        if outcome.compacted {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Inserts triples (set semantics: already-present triples are no-ops).
+    /// One call is one mutation batch — one epoch.
+    pub fn insert_triples<'a>(
+        &self,
+        triples: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+    ) -> MutationOutcome {
+        let mut mutation = Mutation::new();
+        for (s, p, o) in triples {
+            mutation.push(MutationOp::Insert, s, p, o);
+        }
+        self.apply_mutation(&mutation)
+    }
+
+    /// Removes triples (set semantics: absent triples are no-ops). One call
+    /// is one mutation batch — one epoch.
+    pub fn remove_triples<'a>(
+        &self,
+        triples: impl IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+    ) -> MutationOutcome {
+        let mut mutation = Mutation::new();
+        for (s, p, o) in triples {
+            mutation.push(MutationOp::Remove, s, p, o);
+        }
+        self.apply_mutation(&mutation)
     }
 
     /// Number of prepared-query cache hits so far.
@@ -346,6 +605,22 @@ impl Session {
     /// Number of prepared-query cache misses so far.
     pub fn cache_misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache entries evicted by the capacity bound so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache entries evicted by mutation footprints so far.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Number of delta-store compactions triggered by this session's
+    /// mutations so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
     }
 
     /// Number of distinct prepared queries currently cached.
@@ -361,9 +636,11 @@ impl Session {
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (graph, epoch) = self.snapshot();
         f.debug_struct("Session")
             .field("engine", &self.engine)
-            .field("triples", &self.graph.triple_count())
+            .field("triples", &graph.triple_count())
+            .field("epoch", &epoch)
             .field("cached_queries", &self.cached_queries())
             .finish()
     }
@@ -390,6 +667,7 @@ mod tests {
             .unwrap();
         assert_eq!(ev.embedding_count(), 2);
         assert_eq!(ev.engine, "wireframe");
+        assert_eq!(ev.epoch, 0, "no mutation applied yet");
         assert!(ev.factorized.is_some());
     }
 
@@ -451,7 +729,8 @@ mod tests {
         // keep them apart: the disconnected triangle query is rejected, not
         // answered with the cycle's cached plan.
         let session = Session::new(knows_graph());
-        let d = session.graph().dictionary();
+        let graph = session.graph();
+        let d = graph.dictionary();
 
         let mut b6 = CqBuilder::new(d);
         for i in 0..6 {
@@ -596,5 +875,144 @@ mod tests {
             session.query("SELECT WHERE"),
             Err(WireframeError::Query(_))
         ));
+    }
+
+    #[test]
+    fn mutations_advance_the_epoch_and_the_answers() {
+        let session = Session::new(knows_graph()).with_store(StoreKind::Delta);
+        let text = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        assert_eq!(session.epoch(), 0);
+        assert_eq!(session.query(text).unwrap().embedding_count(), 2);
+
+        let outcome = session.insert_triples([("dave", "knows", "erin")]);
+        assert_eq!(outcome.inserted, 1);
+        assert_eq!(session.epoch(), 1);
+        let ev = session.query(text).unwrap();
+        assert_eq!(ev.epoch, 1, "evaluations carry the snapshot epoch");
+        assert_eq!(ev.embedding_count(), 3, "the new 2-chain appears");
+
+        let outcome = session.remove_triples([("alice", "knows", "bob")]);
+        assert_eq!(outcome.removed, 1);
+        let ev = session.query(text).unwrap();
+        assert_eq!(ev.epoch, 2);
+        assert_eq!(ev.embedding_count(), 2);
+
+        // Set semantics: replaying either batch changes nothing (but still
+        // advances the epoch — each applied batch is a version).
+        let outcome = session.insert_triples([("dave", "knows", "erin")]);
+        assert_eq!((outcome.inserted, outcome.removed), (0, 0));
+        assert_eq!(session.epoch(), 3);
+    }
+
+    #[test]
+    fn mutation_invalidates_only_intersecting_footprints() {
+        let mut b = GraphBuilder::new();
+        b.add("alice", "knows", "bob");
+        b.add("bob", "knows", "carol");
+        b.add("alice", "likes", "pizza");
+        let session = Session::new(b.build()).with_store(StoreKind::Delta);
+
+        let knows_q = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        let likes_q = "SELECT * WHERE { ?x :likes ?y . }";
+        session.query(knows_q).unwrap();
+        session.query(likes_q).unwrap();
+        assert_eq!(session.cache_misses(), 2);
+        assert_eq!(session.cached_queries(), 2);
+
+        // Mutate `likes` only: the `knows` plan must survive.
+        session.insert_triples([("bob", "likes", "pasta")]);
+        assert_eq!(session.cache_invalidations(), 1, "only the likes plan");
+        assert_eq!(session.cached_queries(), 1);
+
+        let hits_before = session.cache_hits();
+        let ev = session.query(knows_q).unwrap();
+        assert_eq!(session.cache_hits(), hits_before + 1, "knows plan kept");
+        assert_eq!(ev.epoch, 1);
+        let misses_before = session.cache_misses();
+        let ev = session.query(likes_q).unwrap();
+        assert_eq!(session.cache_misses(), misses_before + 1, "re-prepared");
+        assert_eq!(ev.embedding_count(), 2, "epoch-correct answer");
+
+        // A no-op batch evicts nothing.
+        let invalidations = session.cache_invalidations();
+        session.insert_triples([("bob", "likes", "pasta")]);
+        assert_eq!(session.cache_invalidations(), invalidations);
+    }
+
+    #[test]
+    fn compactions_are_counted() {
+        let graph = knows_graph()
+            .with_store(StoreKind::Delta)
+            .with_compaction_threshold(0.0);
+        let session = Session::new(graph);
+        assert_eq!(session.compactions(), 0);
+        session.insert_triples([("x", "knows", "y")]);
+        session.remove_triples([("x", "knows", "y")]);
+        assert_eq!(session.compactions(), 2, "threshold 0.0 compacts per batch");
+        let graph = session.graph();
+        assert_eq!(graph.delta_stats(), Some((0, 0.0)));
+    }
+
+    #[test]
+    fn cache_capacity_bounds_and_evicts_lru() {
+        let session = Session::new(knows_graph()).with_cache_capacity(2);
+        assert_eq!(session.cache_capacity(), 2);
+        // Three distinct canonical queries.
+        let q1 = "SELECT ?x WHERE { ?x :knows ?y . }";
+        let q2 = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        let q3 = "SELECT ?x WHERE { ?x :knows alice . }";
+        session.query(q1).unwrap();
+        session.query(q2).unwrap();
+        assert_eq!(session.cache_evictions(), 0);
+        session.query(q1).unwrap(); // refresh q1: q2 becomes the LRU
+        session.query(q3).unwrap();
+        assert_eq!(session.cached_queries(), 2, "capacity holds");
+        assert_eq!(session.cache_evictions(), 1);
+
+        // q1 survived (it was refreshed); q2 was evicted.
+        let hits = session.cache_hits();
+        session.query(q1).unwrap();
+        assert_eq!(session.cache_hits(), hits + 1, "q1 still cached");
+        let misses = session.cache_misses();
+        session.query(q2).unwrap();
+        assert_eq!(session.cache_misses(), misses + 1, "q2 was the LRU victim");
+
+        // Unbounded caches never evict.
+        let unbounded = Session::new(knows_graph()).with_cache_capacity(0);
+        for q in [q1, q2, q3] {
+            unbounded.query(q).unwrap();
+        }
+        assert_eq!(unbounded.cache_evictions(), 0);
+        assert_eq!(unbounded.cached_queries(), 3);
+    }
+
+    #[test]
+    fn concurrent_readers_survive_mutations() {
+        let graph = knows_graph().with_store(StoreKind::Delta);
+        let session = Arc::new(Session::new(graph));
+        let text = "SELECT * WHERE { ?x :knows ?y . }";
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let ev = session.query(text).unwrap();
+                        // 3 base edges, plus up to 8 inserted ones.
+                        assert!((3..=11).contains(&ev.embedding_count()));
+                    }
+                });
+            }
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for i in 0..8 {
+                    let node = format!("extra{i}");
+                    session.insert_triples([(node.as_str(), "knows", "alice")]);
+                }
+            });
+        });
+        assert_eq!(session.epoch(), 8);
+        let ev = session.query(text).unwrap();
+        assert_eq!(ev.embedding_count(), 11);
+        assert_eq!(ev.epoch, 8);
     }
 }

@@ -1,26 +1,32 @@
-//! Storage-backend equivalence: the CSR store and the edge-map store must be
+//! Storage-backend equivalence: the CSR, edge-map, and delta stores must be
 //! observationally identical — same neighbor sets, same membership answers,
 //! same statistics, and byte-identical evaluation results across the full
 //! engine registry × workload matrix.
 //!
-//! Two layers of coverage:
+//! Three layers of coverage:
 //!
 //! 1. A property test over random graphs (seeded shim PRNG, like
 //!    `property_equivalence.rs`): every `GraphStore` access path agrees
-//!    between the two backends, up to the documented ordering difference
+//!    between the backends, up to the documented ordering difference
 //!    (the edge-map's neighbor lists and scans are unsorted).
-//! 2. The full registry × workload matrix on the benchmark dataset family:
-//!    every engine returns the same answer on both stores, with identical
+//! 2. A **churn** property test: after seeded random insert/remove batches
+//!    (with and without forced compaction cycles), a mutated delta graph
+//!    must equal a fresh CSR build of the final triple set on every access
+//!    path and statistic.
+//! 3. The full registry × workload matrix on the benchmark dataset family:
+//!    every engine returns the same answer on all three stores — including
+//!    after seeded churn with at least one compaction — with identical
 //!    embedding counts and (for the wireframe engine) identical answer-graph
 //!    sizes.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use wireframe::datagen::{full_workload, generate, YagoConfig};
-use wireframe::graph::{Graph, GraphBuilder, NodeId, PredId, StoreKind};
+use wireframe::graph::{Graph, GraphBuilder, Mutation, NodeId, PredId, StoreKind};
 use wireframe::Session;
 
 const LABELS: [&str; 5] = ["A", "B", "C", "D", "E"];
@@ -121,43 +127,201 @@ fn stores_expose_identical_access_paths_on_random_graphs() {
     }
 }
 
-#[test]
-fn every_engine_answers_identically_on_both_stores() {
-    let csr = Arc::new(generate(&YagoConfig::tiny()).with_store(StoreKind::Csr));
-    let map = Arc::new(generate(&YagoConfig::tiny()).with_store(StoreKind::Map));
-    let workload = full_workload(&csr).unwrap();
-
-    let mut csr_session = Session::shared(Arc::clone(&csr));
-    let mut map_session = Session::shared(Arc::clone(&map));
-    assert_eq!(csr_session.store_kind(), StoreKind::Csr);
-    assert_eq!(map_session.store_kind(), StoreKind::Map);
-
-    let engines: Vec<&str> = csr_session.registry().names();
+/// Runs the full registry × workload matrix over a list of graphs that hold
+/// the same triples (sharing one dictionary) and asserts identical answers
+/// everywhere.
+fn assert_matrix_agrees(graphs: &[(&str, Arc<Graph>)], context: &str) {
+    let workload = full_workload(&graphs[0].1).unwrap();
+    let mut sessions: Vec<(&str, Session)> = graphs
+        .iter()
+        .map(|(name, g)| (*name, Session::shared(Arc::clone(g))))
+        .collect();
+    let engines: Vec<&str> = sessions[0].1.registry().names();
     for engine in engines {
-        csr_session.set_engine(engine).unwrap();
-        map_session.set_engine(engine).unwrap();
+        for (_, session) in &mut sessions {
+            session.set_engine(engine).unwrap();
+        }
         for bq in &workload {
-            let on_csr = csr_session.execute(&bq.query).unwrap();
-            let on_map = map_session.execute(&bq.query).unwrap();
-            assert_eq!(
-                on_csr.embedding_count(),
-                on_map.embedding_count(),
-                "{engine}/{}: embedding counts differ across stores",
-                bq.name
-            );
-            assert_eq!(
-                on_csr.answer_graph_size(),
-                on_map.answer_graph_size(),
-                "{engine}/{}: |AG| differs across stores",
-                bq.name
-            );
-            assert!(
-                on_csr.embeddings().same_answer(on_map.embeddings()),
-                "{engine}/{}: answers differ across stores",
-                bq.name
-            );
+            let reference = sessions[0].1.execute(&bq.query).unwrap();
+            for (store_name, session) in &sessions[1..] {
+                let answer = session.execute(&bq.query).unwrap();
+                assert_eq!(
+                    reference.embedding_count(),
+                    answer.embedding_count(),
+                    "{context}: {engine}/{} embedding counts differ on {store_name}",
+                    bq.name
+                );
+                assert_eq!(
+                    reference.answer_graph_size(),
+                    answer.answer_graph_size(),
+                    "{context}: {engine}/{} |AG| differs on {store_name}",
+                    bq.name
+                );
+                assert!(
+                    reference.embeddings().same_answer(answer.embeddings()),
+                    "{context}: {engine}/{} answers differ on {store_name}",
+                    bq.name
+                );
+            }
         }
     }
+}
+
+#[test]
+fn every_engine_answers_identically_on_every_store() {
+    let csr = Arc::new(generate(&YagoConfig::tiny()).with_store(StoreKind::Csr));
+    let map = Arc::new(generate(&YagoConfig::tiny()).with_store(StoreKind::Map));
+    let delta = Arc::new(generate(&YagoConfig::tiny()).with_store(StoreKind::Delta));
+    assert_eq!(map.store_kind(), StoreKind::Map);
+    assert_eq!(delta.store_kind(), StoreKind::Delta);
+    assert_matrix_agrees(
+        &[("csr", csr), ("map", map), ("delta", delta)],
+        "static matrix",
+    );
+}
+
+/// A seeded mutation batch over the graph's current triples: removals sample
+/// live triples, insertions mix revived/fresh edges over the known labels
+/// (plus the occasional brand-new node).
+fn random_batch(graph: &Graph, rng: &mut SmallRng, size: usize, fresh_tag: &mut usize) -> Mutation {
+    let dict = graph.dictionary();
+    let live: Vec<_> = graph.triples().collect();
+    let mut mutation = Mutation::new();
+    for _ in 0..size {
+        if !live.is_empty() && rng.gen_range(0..10u32) < 4 {
+            let t = live[rng.gen_range(0..live.len())];
+            mutation = mutation.remove(
+                dict.node_label(t.subject).unwrap(),
+                dict.predicate_label(t.predicate).unwrap(),
+                dict.node_label(t.object).unwrap(),
+            );
+        } else {
+            let p = rng.gen_range(0..graph.predicate_count());
+            let p = dict.predicate_label(PredId(p as u32)).unwrap().to_owned();
+            let s = if rng.gen_range(0..8u32) == 0 {
+                *fresh_tag += 1;
+                format!("fresh{fresh_tag}")
+            } else {
+                dict.node_label(NodeId(rng.gen_range(0..graph.node_count() as u32)))
+                    .unwrap()
+                    .to_owned()
+            };
+            let o = dict
+                .node_label(NodeId(rng.gen_range(0..graph.node_count() as u32)))
+                .unwrap()
+                .to_owned();
+            mutation = mutation.insert(&s, &p, &o);
+        }
+    }
+    mutation
+}
+
+/// Rebuilds the graph's final triple set on another backend, reusing the
+/// dictionary so identifiers (and therefore answers) stay comparable.
+fn rebuild_as(graph: &Graph, kind: StoreKind) -> Graph {
+    let mut b = GraphBuilder::with_dictionary(graph.dictionary().clone());
+    for t in graph.triples() {
+        b.add_encoded(t.subject, t.predicate, t.object);
+    }
+    b.build_with_store(kind)
+}
+
+#[test]
+fn delta_store_equals_a_fresh_csr_after_seeded_churn() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xC4A2 + seed);
+        let edges = gen_edges(&mut rng);
+        // Even seeds compact eagerly (every batch crosses the threshold);
+        // odd seeds never compact, so the overlay path itself is exercised.
+        let threshold = if seed % 2 == 0 { 0.01 } else { 1e9 };
+        let mut delta = build(&edges, StoreKind::Delta).with_compaction_threshold(threshold);
+        let mut compactions = 0usize;
+        let mut fresh_tag = 0usize;
+        for _ in 0..4 {
+            let mutation = random_batch(&delta, &mut rng, 30, &mut fresh_tag);
+            let (next, outcome) = delta.apply(&mutation);
+            compactions += outcome.compacted as usize;
+            delta = next;
+        }
+        if seed % 2 == 0 {
+            assert!(compactions >= 1, "seed {seed}: eager threshold compacts");
+        } else {
+            assert_eq!(compactions, 0, "seed {seed}: huge threshold never does");
+        }
+
+        // The mutated delta graph must equal a fresh CSR build of the final
+        // triple set on every access path and statistic.
+        let fresh = rebuild_as(&delta, StoreKind::Csr);
+        assert_eq!(delta.triple_count(), fresh.triple_count(), "seed {seed}");
+        assert_eq!(delta.node_count(), fresh.node_count(), "seed {seed}");
+        assert!(delta.neighbors_sorted(), "seed {seed}");
+        for p in 0..fresh.predicate_count() {
+            let p = PredId(p as u32);
+            assert_eq!(
+                delta.predicate_cardinality(p),
+                fresh.predicate_cardinality(p),
+                "seed {seed}"
+            );
+            assert_eq!(delta.pairs(p), fresh.pairs(p), "seed {seed}");
+            assert_eq!(
+                delta.catalog().unigram(p),
+                fresh.catalog().unigram(p),
+                "seed {seed}: exact statistics after churn"
+            );
+            for n in 0..fresh.node_count() as u32 + 2 {
+                let n = NodeId(n);
+                assert_eq!(
+                    delta.objects_of(p, n),
+                    fresh.objects_of(p, n),
+                    "seed {seed}"
+                );
+                assert_eq!(
+                    delta.subjects_of(p, n),
+                    fresh.subjects_of(p, n),
+                    "seed {seed}"
+                );
+                for &o in fresh.objects_of(p, n) {
+                    assert!(delta.has_triple(n, p, o), "seed {seed}");
+                }
+            }
+        }
+
+        // And the set semantics match an independent reference model.
+        let mut reference: BTreeSet<(String, String, String)> = BTreeSet::new();
+        for t in fresh.triples() {
+            let d = fresh.dictionary();
+            reference.insert((
+                d.node_label(t.subject).unwrap().to_owned(),
+                d.predicate_label(t.predicate).unwrap().to_owned(),
+                d.node_label(t.object).unwrap().to_owned(),
+            ));
+        }
+        assert_eq!(reference.len(), delta.triple_count(), "seed {seed}");
+    }
+}
+
+#[test]
+fn registry_workload_matrix_agrees_on_every_store_after_churn() {
+    let mut delta = generate(&YagoConfig::tiny())
+        .with_store(StoreKind::Delta)
+        .with_compaction_threshold(0.01);
+    let mut rng = SmallRng::seed_from_u64(0xD31A);
+    let mut compactions = 0usize;
+    let mut fresh_tag = 0usize;
+    for _ in 0..5 {
+        let mutation = random_batch(&delta, &mut rng, 60, &mut fresh_tag);
+        let (next, outcome) = delta.apply(&mutation);
+        compactions += outcome.compacted as usize;
+        delta = next;
+    }
+    assert!(compactions >= 1, "the churn includes a compaction cycle");
+
+    let csr = Arc::new(rebuild_as(&delta, StoreKind::Csr));
+    let map = Arc::new(rebuild_as(&delta, StoreKind::Map));
+    assert_matrix_agrees(
+        &[("csr", csr), ("map", map), ("delta", Arc::new(delta))],
+        "post-churn matrix",
+    );
 }
 
 #[test]
