@@ -6,6 +6,7 @@ use wireframe_query::ConjunctiveQuery;
 use crate::error::WireframeError;
 use crate::evaluation::Evaluation;
 use crate::prepared::PreparedQuery;
+use crate::view::MaintainedView;
 
 /// Engine-independent evaluation knobs, passed to registry factories.
 ///
@@ -92,6 +93,28 @@ pub trait Engine {
         self.evaluate(&prepared)
     }
 
+    /// Whether this engine can [`materialize`](Engine::materialize) prepared
+    /// queries into retained, incrementally-maintained views. Serving layers
+    /// use the capability to decide between footprint-*maintenance* and
+    /// footprint-*eviction* when the graph mutates. Default: `false`.
+    fn supports_maintenance(&self) -> bool {
+        false
+    }
+
+    /// Materializes `prepared` into a retained [`MaintainedView`] over this
+    /// engine's current graph: runs the (phase-one) pipeline once and keeps
+    /// the factorized state for incremental maintenance. `Ok(None)` means
+    /// this particular query is not maintainable (or the engine does not
+    /// maintain at all) — callers must fall back to plain evaluation plus
+    /// eviction-on-mutation. Default: `Ok(None)`.
+    fn materialize(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<Option<Box<dyn MaintainedView>>, WireframeError> {
+        let _ = prepared;
+        Ok(None)
+    }
+
     /// Guard for implementations: errors when `prepared` was produced by a
     /// different engine.
     fn check_prepared(&self, prepared: &PreparedQuery) -> Result<(), WireframeError> {
@@ -137,6 +160,7 @@ mod tests {
                 factorized: None,
                 metrics: Vec::new(),
                 explain: None,
+                maintenance: None,
             })
         }
     }

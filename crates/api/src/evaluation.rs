@@ -41,6 +41,16 @@ impl Timings {
 /// `None` on [`Evaluation`] means the engine does not factorize — which is
 /// the comparison the paper is about, so the absence is informative, not an
 /// error.
+///
+/// On **view-served** evaluations ([`Evaluation::maintenance`] is `Some`),
+/// `answer_graph_edges` describes the *maintained* answer graph — current
+/// as of the view's epoch — while the work counters (`edge_walks`,
+/// `edges_burned`, `nodes_burned`, `edge_burnback_removed`) describe the
+/// original materialization run: a view serve re-walks no data edges, and
+/// the incremental work done since is reported separately in
+/// [`MaintenanceInfo`](crate::MaintenanceInfo). Correlate work counters
+/// with sizes only on evaluations where `maintenance` is `None` (or
+/// `passes == 0`).
 #[derive(Debug, Clone)]
 pub struct Factorized {
     /// Total answer-graph size after generation and any burnback
@@ -62,6 +72,21 @@ impl Factorized {
     /// |Embeddings| / |AG| — the factorization gap, given the embedding count.
     pub fn factorization_ratio(&self, embeddings: usize) -> f64 {
         embeddings as f64 / self.answer_graph_edges.max(1) as f64
+    }
+
+    /// The uniform [`Evaluation::metrics`] list derived from these
+    /// artifacts plus the defactorizer's peak intermediate size. Both the
+    /// pipeline path and view-served evaluations build their metrics here,
+    /// so the two can never drift apart.
+    pub fn metrics(&self, peak_intermediate: u64) -> Vec<(&'static str, u64)> {
+        vec![
+            ("edge_walks", self.edge_walks),
+            ("answer_graph_edges", self.answer_graph_edges as u64),
+            ("edges_burned", self.edges_burned),
+            ("nodes_burned", self.nodes_burned),
+            ("edge_burnback_removed", self.edge_burnback_removed as u64),
+            ("peak_intermediate", peak_intermediate),
+        ]
     }
 }
 
@@ -89,6 +114,11 @@ pub struct Evaluation {
     /// A rendered plan/statistics explanation, when the engine was asked for
     /// one via [`crate::EngineConfig::explain`].
     pub explain: Option<String>,
+    /// Maintenance history of the retained view this evaluation was served
+    /// from, stamped by the serving layer. `None` for evaluations produced
+    /// by a full pipeline run (engines set `None`; only view-served answers
+    /// carry counters).
+    pub maintenance: Option<crate::MaintenanceInfo>,
 }
 
 impl Evaluation {
@@ -151,6 +181,7 @@ mod tests {
             }),
             metrics: vec![("edge_walks", 42)],
             explain: None,
+            maintenance: None,
         };
         assert_eq!(ev.metric("edge_walks"), Some(42));
         assert_eq!(ev.metric("missing"), None);

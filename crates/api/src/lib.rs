@@ -26,10 +26,12 @@ mod error;
 mod evaluation;
 mod prepared;
 mod registry;
+mod view;
 
 pub use engine::{Engine, EngineConfig};
 pub use error::WireframeError;
 pub use evaluation::{Evaluation, Factorized, Timings};
 pub use prepared::PreparedQuery;
 pub use registry::{EngineEntry, EngineFactory, EngineRegistry};
+pub use view::{MaintainedView, MaintenanceInfo, MaintenanceStats};
 pub use wireframe_graph::StoreKind;

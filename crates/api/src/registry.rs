@@ -151,6 +151,7 @@ mod tests {
                 factorized: None,
                 metrics: Vec::new(),
                 explain: None,
+                maintenance: None,
             })
         }
     }

@@ -46,6 +46,7 @@ impl Engine for RelationalEngine<'_> {
                 ("peak_intermediate", stats.peak_intermediate as u64),
             ],
             explain: None,
+            maintenance: None,
         })
     }
 }
@@ -80,6 +81,7 @@ impl Engine for SortMergeEngine<'_> {
                 ("peak_intermediate", stats.peak_intermediate as u64),
             ],
             explain: None,
+            maintenance: None,
         })
     }
 }
@@ -110,6 +112,7 @@ impl Engine for ExplorationEngine<'_> {
             factorized: None,
             metrics: vec![("edge_walks", stats.edge_walks)],
             explain: None,
+            maintenance: None,
         })
     }
 }

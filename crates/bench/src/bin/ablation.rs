@@ -81,7 +81,7 @@ fn main() {
             bq.name,
             plain.answer_graph_size(),
             burned.answer_graph_size(),
-            burned.edge_burnback.edges_removed,
+            burned.edge_burnback().edges_removed,
             plain_ms,
             eb_ms
         );

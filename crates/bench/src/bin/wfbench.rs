@@ -18,6 +18,12 @@
 //!                                 churn: per epoch, one seeded mutation batch then
 //!                                 the read workload, reporting per-epoch QPS and
 //!                                 cache invalidation/compaction counters
+//!   --maintenance incremental|reeval
+//!                                 mutation policy for cached plans (default
+//!                                 incremental): maintain retained answer-graph
+//!                                 views in O(delta), or evict intersecting plans
+//!                                 and re-evaluate from scratch (the pre-maintenance
+//!                                 behavior, kept for comparison)
 //!   --epochs <N>                  churn: measured epochs (default 4)
 //!   --batch <N>                   churn: mutation ops per epoch (default 64)
 //!   --insert-fraction <F>         churn: insert share of each batch, 0..=1 (default 0.6)
@@ -57,6 +63,7 @@ struct Options {
     workload: String,
     store: StoreKind,
     scenario: String,
+    maintenance: bool,
     epochs: usize,
     batch: usize,
     insert_fraction: f64,
@@ -72,7 +79,7 @@ fn usage() -> &'static str {
     "usage: wfbench [--size tiny|small|benchmark|large] [--threads N] [--iterations N] \
      [--engines a,b,…] [--workload full|table1|chains|stars] [--store csr|map|delta] \
      [--scenario serve|churn [--epochs N] [--batch N] [--insert-fraction F] [--churn-seed N]] \
-     [--compaction-threshold F] \
+     [--maintenance incremental|reeval] [--compaction-threshold F] \
      [--edge-burnback] [--json PATH] [--baseline PATH [--tolerance P%]]"
 }
 
@@ -89,6 +96,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         workload: "full".to_owned(),
         store: StoreKind::default(),
         scenario: "serve".to_owned(),
+        maintenance: true,
         epochs: defaults.epochs,
         batch: defaults.batch,
         insert_fraction: defaults.insert_fraction,
@@ -148,6 +156,18 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     ));
                 }
                 options.scenario = name;
+            }
+            "--maintenance" => {
+                let policy = value(&mut args, "--maintenance")?;
+                options.maintenance = match policy.as_str() {
+                    "incremental" => true,
+                    "reeval" => false,
+                    other => {
+                        return Err(format!(
+                            "unknown maintenance policy {other:?} (accepted: incremental, reeval)"
+                        ))
+                    }
+                };
             }
             "--epochs" => {
                 options.epochs = value(&mut args, "--epochs")?
@@ -287,6 +307,7 @@ fn run() -> Result<bool, String> {
         // from the identical dataset and applies the identical seeded mix.
         let session = Session::shared(Arc::clone(&graph))
             .with_config(config)
+            .with_maintenance(options.maintenance)
             .with_engine(name)
             .map_err(|e| e.to_string())?;
         let run = if options.scenario == "churn" {
@@ -298,12 +319,13 @@ fn run() -> Result<bool, String> {
         match &run.churn {
             Some(churn) => eprintln!(
                 "{:<12} {:>8.1} qps · {:>8.1} ms wall · {} epochs · {} mutations · \
-                 {} invalidations · {} compactions",
+                 {} maintained · {} invalidations · {} compactions",
                 run.engine,
                 run.qps,
                 run.wall_ms,
                 churn.final_epoch,
                 churn.total_mutations,
+                churn.total_maintained.unwrap_or(0),
                 churn.total_invalidations,
                 churn.total_compactions
             ),
@@ -349,13 +371,16 @@ const DEFAULT_TOLERANCE: f64 = 0.15;
 fn print_summary(report: &BenchReport) {
     if report.scenario == "churn" {
         println!(
-            "{:<12} {:>6} {:>9} {:>8} {:>8} {:>8} {:>12} {:>9} {:>11}",
+            "{:<12} {:>6} {:>9} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9} {:>12} {:>9} {:>9}",
             "engine",
             "epoch",
             "qps",
             "+triples",
             "-triples",
             "invalid.",
+            "maintained",
+            "maint.µs",
+            "frontier",
             "compactions",
             "hits",
             "misses"
@@ -363,13 +388,16 @@ fn print_summary(report: &BenchReport) {
         for engine in &report.engines {
             for e in engine.churn.iter().flat_map(|c| c.epochs.iter()) {
                 println!(
-                    "{:<12} {:>6} {:>9.1} {:>8} {:>8} {:>8} {:>12} {:>9} {:>11}",
+                    "{:<12} {:>6} {:>9.1} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9} {:>12} {:>9} {:>9}",
                     engine.engine,
                     e.epoch,
                     e.qps,
                     e.inserted,
                     e.removed,
                     e.invalidations,
+                    e.maintained,
+                    e.maintenance_us,
+                    e.frontier_nodes,
                     e.compactions,
                     e.cache_hits,
                     e.cache_misses,
@@ -469,6 +497,21 @@ mod tests {
 
         assert!(parse(&["--scenario", "replay"]).is_err());
         assert!(parse(&["--epochs", "0"]).is_err());
+        assert!(
+            parse(&[]).unwrap().maintenance,
+            "incremental is the default"
+        );
+        assert!(
+            parse(&["--maintenance", "incremental"])
+                .unwrap()
+                .maintenance
+        );
+        assert!(!parse(&["--maintenance", "reeval"]).unwrap().maintenance);
+        let err = parse(&["--maintenance", "magic"]).unwrap_err();
+        assert!(
+            err.contains("incremental") && err.contains("reeval"),
+            "{err}"
+        );
         assert!(parse(&["--batch", "0"]).is_err());
         assert!(parse(&["--insert-fraction", "1.5"]).is_err());
 

@@ -230,6 +230,7 @@ pub fn run_churn(
 
     // Warmup: prime the prepared-plan cache so the first epoch's
     // invalidation counters measure footprint eviction, not a cold cache.
+    let full_evals_before = session.full_evaluations();
     for bq in workload {
         session.execute(&bq.query)?;
     }
@@ -245,6 +246,9 @@ pub fn run_churn(
         let invalidations0 = session.cache_invalidations();
         let evictions0 = session.cache_evictions();
         let compactions0 = session.compactions();
+        let maintained0 = session.plans_maintained();
+        let maintenance_us0 = session.maintenance_micros();
+        let frontier0 = session.maintenance_frontier_nodes();
 
         let mutation = mix.batch(opts.batch, opts.insert_fraction);
         let outcome = session.apply_mutation(&mutation);
@@ -263,6 +267,9 @@ pub fn run_churn(
             compactions: session.compactions() - compactions0,
             cache_hits: session.cache_hits() - hits0,
             cache_misses: session.cache_misses() - misses0,
+            maintained: session.plans_maintained() - maintained0,
+            maintenance_us: session.maintenance_micros() - maintenance_us0,
+            frontier_nodes: session.maintenance_frontier_nodes() - frontier0,
         });
     }
     let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
@@ -272,6 +279,10 @@ pub fn run_churn(
         total_mutations: epochs.iter().map(|e| e.inserted + e.removed).sum(),
         total_invalidations: epochs.iter().map(|e| e.invalidations).sum(),
         total_compactions: epochs.iter().map(|e| e.compactions).sum(),
+        total_maintained: Some(epochs.iter().map(|e| e.maintained).sum()),
+        // Delta over this run (warmup included): a session with prior
+        // activity must not inflate the churn run's own pipeline count.
+        total_full_evaluations: Some(session.full_evaluations() - full_evals_before),
         epochs,
     };
     Ok(EngineRun {
@@ -342,6 +353,82 @@ mod tests {
 
     fn full_len() -> usize {
         20 // the full workload: 10 snowflake + 10 diamond queries
+    }
+
+    /// The tentpole acceptance bound: on the seeded churn scenario
+    /// (benchmark size, even-predicate batches), incremental maintenance
+    /// performs at least 2× fewer full pipeline runs than evict-and-reeval
+    /// while answering identically.
+    #[test]
+    fn incremental_maintenance_beats_evict_and_reeval() {
+        let graph = Arc::new(build_dataset_with_store(
+            DatasetSize::Benchmark,
+            StoreKind::Delta,
+        ));
+        let workload = full_workload(&graph).unwrap();
+        let opts = ChurnOptions {
+            epochs: 3,
+            batch: 64,
+            threads: 1,
+            iterations: 1,
+            seed: 0xFEED,
+            ..ChurnOptions::default()
+        };
+
+        let incremental = Session::shared(Arc::clone(&graph));
+        assert!(incremental.maintenance_enabled(), "incremental is default");
+        let inc_run = run_churn(&incremental, &workload, &opts).unwrap();
+        let reeval = Session::shared(Arc::clone(&graph)).with_maintenance(false);
+        let re_run = run_churn(&reeval, &workload, &opts).unwrap();
+
+        // Equal answers: the seeded mix is identical, so after the final
+        // epoch both sessions must answer the whole workload identically.
+        for bq in &workload {
+            assert_eq!(
+                incremental.execute(&bq.query).unwrap().embedding_count(),
+                reeval.execute(&bq.query).unwrap().embedding_count(),
+                "{}: the policies must agree on the answer",
+                bq.name
+            );
+        }
+
+        let inc_churn = inc_run.churn.as_ref().unwrap();
+        let re_churn = re_run.churn.as_ref().unwrap();
+        let inc_full = inc_churn.total_full_evaluations.unwrap();
+        let re_full = re_churn.total_full_evaluations.unwrap();
+        assert!(
+            inc_full * 2 <= re_full,
+            "incremental ran {inc_full} full pipelines, reeval {re_full}: \
+             the ≥2× bound failed"
+        );
+        assert!(
+            inc_churn.total_maintained.unwrap() > 0,
+            "the even-predicate batches must maintain cached views"
+        );
+        assert_eq!(
+            re_churn.total_maintained.unwrap(),
+            0,
+            "reeval never maintains"
+        );
+        assert_eq!(inc_churn.total_invalidations, 0, "nothing evicted");
+        assert!(re_churn.total_invalidations > 0, "reeval evicts instead");
+        assert!(
+            inc_churn.epochs.iter().all(|e| e.maintained > 0),
+            "every epoch's batch maintains the intersecting views"
+        );
+        assert!(
+            inc_churn
+                .epochs
+                .iter()
+                .map(|e| e.maintenance_us)
+                .sum::<u64>()
+                > 0,
+            "maintenance cost is measured"
+        );
+        assert_eq!(
+            inc_churn.total_mutations, re_churn.total_mutations,
+            "the seeded update mix is policy-independent"
+        );
     }
 
     #[test]

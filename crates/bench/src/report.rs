@@ -53,14 +53,27 @@
 //!   "total_mutations": 256,     // triples actually inserted + removed
 //!   "total_invalidations": 12,  // cached plans evicted by footprint
 //!   "total_compactions": 1,     // delta-store compactions triggered
+//!   "total_maintained": 16,     // retained views maintained in place
+//!   "total_full_evaluations": 24, // full pipeline runs across the session
 //!   "epochs": [ {
 //!     "epoch": 1, "wall_ms": 40.2, "queries": 40, "qps": 995.0,
 //!     "inserted": 38, "removed": 26,          // this batch's net effect
 //!     "invalidations": 3, "evictions": 0, "compactions": 0,
-//!     "cache_hits": 37, "cache_misses": 3     // this epoch's read phase
+//!     "cache_hits": 37, "cache_misses": 3,    // this epoch's read phase
+//!     "maintained": 4,            // views updated in O(delta) by the batch
+//!     "maintenance_us": 180,      // wall-clock spent maintaining them
+//!     "frontier_nodes": 9         // nodes the maintenance cascade touched
 //!   } ]
 //! }
 //! ```
+//!
+//! The `maintained` / `maintenance_us` / `frontier_nodes` counters compare
+//! the two `--maintenance` policies directly: under `incremental` the epochs
+//! report maintained views and a small frontier, under `reeval` they report
+//! zero maintenance and correspondingly higher invalidation/miss counts.
+//! Version-2 reports written before these counters existed still parse
+//! (epochs read back as zero; the totals read back as unknown and are not
+//! compared).
 //!
 //! All latencies are milliseconds (floats); all counts are exact integers.
 //! `ag_over_embeddings` is the paper's factorization claim in ratio form:
@@ -146,6 +159,16 @@ pub struct EpochReport {
     /// Prepared-plan cache misses during this epoch's reads
     /// (re-preparations of invalidated plans).
     pub cache_misses: u64,
+    /// Retained views maintained in place by this epoch's batch (instead of
+    /// being evicted). Zero under the `reeval` policy and for engines that
+    /// do not maintain; reports written before maintenance existed read
+    /// back as zero.
+    pub maintained: u64,
+    /// Wall-clock spent maintaining those views, in microseconds.
+    pub maintenance_us: u64,
+    /// Answer-graph nodes from which maintenance cascaded (the frontier) —
+    /// the `O(delta)` cost unit of incremental maintenance.
+    pub frontier_nodes: u64,
 }
 
 /// The churn-scenario section of an [`EngineRun`].
@@ -159,6 +182,14 @@ pub struct ChurnReport {
     pub total_invalidations: u64,
     /// Delta-store compactions, total.
     pub total_compactions: u64,
+    /// Retained views maintained in place, total. `None` when the report
+    /// predates maintenance counters (those baselines stay parseable and
+    /// are simply not compared on this metric).
+    pub total_maintained: Option<u64>,
+    /// Full pipeline runs (plan + generate + burnback) the engine's session
+    /// performed across the whole churn run — the quantity incremental
+    /// maintenance exists to minimize. `None` on pre-maintenance reports.
+    pub total_full_evaluations: Option<u64>,
     /// Per-epoch breakdown, in order.
     pub epochs: Vec<EpochReport>,
 }
@@ -279,6 +310,10 @@ fn churn_from_json(doc: &Value) -> Result<ChurnReport, String> {
         total_mutations: field_u64(doc, "total_mutations")?,
         total_invalidations: field_u64(doc, "total_invalidations")?,
         total_compactions: field_u64(doc, "total_compactions")?,
+        // Absent on pre-maintenance reports (schema 2 without the counters):
+        // keep those parseable, with the metric marked unknown.
+        total_maintained: doc.get("total_maintained").and_then(Value::as_u64),
+        total_full_evaluations: doc.get("total_full_evaluations").and_then(Value::as_u64),
         epochs: field_array(doc, "epochs")?
             .iter()
             .map(epoch_from_json)
@@ -299,6 +334,16 @@ fn epoch_from_json(doc: &Value) -> Result<EpochReport, String> {
         compactions: field_u64(doc, "compactions")?,
         cache_hits: field_u64(doc, "cache_hits")?,
         cache_misses: field_u64(doc, "cache_misses")?,
+        // Pre-maintenance epochs read back as zero (counters did not exist).
+        maintained: doc.get("maintained").and_then(Value::as_u64).unwrap_or(0),
+        maintenance_us: doc
+            .get("maintenance_us")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+        frontier_nodes: doc
+            .get("frontier_nodes")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
     })
 }
 
@@ -449,6 +494,21 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance: f64) ->
                     });
                 }
             }
+            // Seeded maintenance counters are deterministic too, but only
+            // comparable when the baseline recorded them (pre-maintenance
+            // baselines parse with the metric unknown and are skipped).
+            if let Some(base_maintained) = base_churn.total_maintained {
+                let cur_maintained = cur_churn.and_then(|c| c.total_maintained);
+                if cur_maintained != Some(base_maintained) {
+                    regressions.push(Regression {
+                        engine: base_engine.engine.clone(),
+                        query: "*".to_owned(),
+                        metric: "churn_maintained",
+                        baseline: base_maintained as f64,
+                        current: cur_maintained.unwrap_or(0) as f64,
+                    });
+                }
+            }
         }
         if cur_engine.qps < base_engine.qps / (1.0 + tolerance) {
             regressions.push(Regression {
@@ -595,6 +655,8 @@ mod tests {
             total_mutations: 90,
             total_invalidations: 7,
             total_compactions: 1,
+            total_maintained: Some(5),
+            total_full_evaluations: Some(11),
             epochs: vec![
                 EpochReport {
                     epoch: 1,
@@ -608,6 +670,9 @@ mod tests {
                     compactions: 0,
                     cache_hits: 36,
                     cache_misses: 4,
+                    maintained: 2,
+                    maintenance_us: 120,
+                    frontier_nodes: 6,
                 },
                 EpochReport {
                     epoch: 2,
@@ -621,6 +686,9 @@ mod tests {
                     compactions: 1,
                     cache_hits: 37,
                     cache_misses: 3,
+                    maintained: 3,
+                    maintenance_us: 150,
+                    frontier_nodes: 8,
                 },
             ],
         });
@@ -668,10 +736,64 @@ mod tests {
         assert_eq!(churn.total_mutations, 90);
         assert_eq!(churn.total_invalidations, 7);
         assert_eq!(churn.total_compactions, 1);
+        assert_eq!(churn.total_maintained, Some(5));
+        assert_eq!(churn.total_full_evaluations, Some(11));
         assert_eq!(churn.epochs.len(), 2);
         assert_eq!(churn.epochs[1].compactions, 1);
+        assert_eq!(churn.epochs[1].maintained, 3);
+        assert_eq!(churn.epochs[1].maintenance_us, 150);
+        assert_eq!(churn.epochs[1].frontier_nodes, 8);
         assert!((churn.epochs[0].qps - 1000.0).abs() < 1e-9);
         assert!(compare(&parsed, &report, 0.15).is_empty());
+    }
+
+    #[test]
+    fn v2_reports_without_maintenance_counters_still_parse() {
+        // Baselines committed before incremental maintenance existed carry
+        // no maintained/maintenance_us/frontier_nodes fields; they must
+        // stay readable and must not be compared on the unknown metric.
+        let fields = [
+            "total_maintained",
+            "total_full_evaluations",
+            "maintained",
+            "maintenance_us",
+            "frontier_nodes",
+        ];
+        // Drop every line mentioning the fields (all are scalar lines),
+        // repairing the trailing comma a removed last-field leaves behind.
+        let mut lines: Vec<String> = Vec::new();
+        for line in churn_report().to_json_string().lines() {
+            if fields.iter().any(|f| line.contains(&format!("\"{f}\""))) {
+                continue;
+            }
+            let closes = matches!(line.trim_start().chars().next(), Some('}') | Some(']'));
+            if closes {
+                if let Some(prev) = lines.last_mut() {
+                    if prev.trim_end().ends_with(',') {
+                        *prev = prev.trim_end().trim_end_matches(',').to_owned();
+                    }
+                }
+            }
+            lines.push(line.to_owned());
+        }
+        let text = lines.join("\n");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        let churn = parsed.engines[0].churn.as_ref().unwrap();
+        assert_eq!(churn.total_maintained, None);
+        assert_eq!(churn.total_full_evaluations, None);
+        assert!(churn.epochs.iter().all(|e| e.maintained == 0));
+        assert!(churn.epochs.iter().all(|e| e.maintenance_us == 0));
+        assert!(churn.epochs.iter().all(|e| e.frontier_nodes == 0));
+        // A maintenance-era run against a pre-maintenance baseline is not a
+        // regression on the unknown counter…
+        assert!(compare(&churn_report(), &parsed, 0.15)
+            .iter()
+            .all(|r| r.metric != "churn_maintained"));
+        // …but drift against a baseline that *did* record it is.
+        let mut drifted = churn_report();
+        drifted.engines[0].churn.as_mut().unwrap().total_maintained = Some(4);
+        let found = compare(&drifted, &churn_report(), 0.15);
+        assert!(found.iter().any(|r| r.metric == "churn_maintained"));
     }
 
     #[test]
@@ -711,7 +833,8 @@ mod tests {
         assert!(metrics.contains(&"churn_invalidations"), "{metrics:?}");
         assert!(metrics.contains(&"churn_compactions"), "{metrics:?}");
 
-        // Losing the whole churn section regresses every churn metric.
+        // Losing the whole churn section regresses every churn metric
+        // (including the maintenance counter the baseline recorded).
         current.engines[0].churn = None;
         let found = compare(&current, &baseline, 100.0);
         assert_eq!(
@@ -719,7 +842,7 @@ mod tests {
                 .iter()
                 .filter(|r| r.metric.starts_with("churn"))
                 .count(),
-            3
+            4
         );
         // The reverse (baseline without churn, current with) is growth.
         assert!(compare(

@@ -8,47 +8,71 @@
 
 use std::time::Instant;
 
-use wireframe_api::{Engine, Evaluation, Factorized, PreparedQuery, WireframeError};
+use wireframe_api::{
+    Engine, Evaluation, Factorized, MaintainedView, PreparedQuery, WireframeError,
+};
 use wireframe_graph::Graph;
 use wireframe_query::{ConjunctiveQuery, EmbeddingSet, QueryGraph};
 
 use crate::answer_graph::AnswerGraph;
 use crate::config::EvalOptions;
-use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats};
+use crate::defactorize::DefactorizationStats;
 use crate::error::EngineError;
 use crate::explain::explain_output;
 use crate::generate::{generate, GenerationStats};
-use crate::parallel::{defactorize_parallel, ParallelOptions};
+use crate::maintain::MaterializedQuery;
 use crate::planner::{plan, Plan};
 use crate::triangulate::{edge_burnback, triangulate, EdgeBurnbackStats};
 
 pub use wireframe_api::Timings;
 
-/// The complete result of evaluating one query.
+/// The complete result of evaluating one query: the retained, maintainable
+/// [`MaterializedQuery`] view (plan + answer graph + provenance index) plus
+/// the phase-two products derived from it.
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
-    /// The phase-one plan that was executed.
-    pub plan: Plan,
-    /// The answer graph after generation (and edge burnback, if enabled).
-    pub answer_graph: AnswerGraph,
-    /// Statistics of answer-graph generation.
-    pub generation: GenerationStats,
-    /// Statistics of edge burnback (all zeros when it did not run).
-    pub edge_burnback: EdgeBurnbackStats,
+    /// The factorized artifact: plan, answer graph, per-pattern-edge
+    /// provenance index, and maintenance state. [`QueryOutput::into_view`]
+    /// extracts it for retention; serving layers maintain it under data
+    /// mutations instead of re-evaluating.
+    pub view: MaterializedQuery,
     /// Statistics of defactorization.
     pub defactorization: DefactorizationStats,
     /// The projected embeddings (the query's answer).
     pub embeddings: EmbeddingSet,
-    /// Whether the query graph is cyclic.
-    pub cyclic: bool,
     /// Per-phase wall-clock timings.
     pub timings: Timings,
 }
 
 impl QueryOutput {
+    /// The phase-one plan that was executed.
+    pub fn plan(&self) -> &Plan {
+        self.view.plan()
+    }
+
+    /// The answer graph after generation (and edge burnback, if enabled).
+    pub fn answer_graph(&self) -> &AnswerGraph {
+        self.view.answer_graph()
+    }
+
+    /// Statistics of answer-graph generation.
+    pub fn generation(&self) -> &GenerationStats {
+        self.view.generation()
+    }
+
+    /// Statistics of edge burnback (all zeros when it did not run).
+    pub fn edge_burnback(&self) -> &EdgeBurnbackStats {
+        self.view.edge_burnback()
+    }
+
+    /// Whether the query graph is cyclic.
+    pub fn cyclic(&self) -> bool {
+        self.view.cyclic()
+    }
+
     /// Total answer-graph size (the |AG| / |iAG| column of Table 1).
     pub fn answer_graph_size(&self) -> usize {
-        self.answer_graph.total_edges()
+        self.view.answer_graph().total_edges()
     }
 
     /// Number of embeddings in the answer (the |Embeddings| column of Table 1).
@@ -61,41 +85,35 @@ impl QueryOutput {
         &self.embeddings
     }
 
+    /// Extracts the retained view, discarding the per-call products (the
+    /// embeddings are re-derivable from the view on demand).
+    pub fn into_view(self) -> MaterializedQuery {
+        self.view
+    }
+
     /// Converts this rich output into the uniform [`Evaluation`] of the
     /// workspace-wide [`Engine`] API. The `metrics` list is derived from the
     /// [`Factorized`] artifacts so the two views can never drift apart.
     pub fn into_evaluation(self, explain: Option<String>) -> Evaluation {
         let factorized = Factorized {
-            answer_graph_edges: self.answer_graph.total_edges(),
-            plan_order: self.plan.order,
-            edge_walks: self.generation.edge_walks,
-            edges_burned: self.generation.edges_burned,
-            nodes_burned: self.generation.nodes_burned,
-            edge_burnback_removed: self.edge_burnback.edges_removed,
+            answer_graph_edges: self.view.answer_graph().total_edges(),
+            plan_order: self.view.plan().order.clone(),
+            edge_walks: self.view.generation().edge_walks,
+            edges_burned: self.view.generation().edges_burned,
+            nodes_burned: self.view.generation().nodes_burned,
+            edge_burnback_removed: self.view.edge_burnback().edges_removed,
         };
-        let metrics = vec![
-            ("edge_walks", factorized.edge_walks),
-            ("answer_graph_edges", factorized.answer_graph_edges as u64),
-            ("edges_burned", factorized.edges_burned),
-            ("nodes_burned", factorized.nodes_burned),
-            (
-                "edge_burnback_removed",
-                factorized.edge_burnback_removed as u64,
-            ),
-            (
-                "peak_intermediate",
-                self.defactorization.peak_intermediate as u64,
-            ),
-        ];
+        let metrics = factorized.metrics(self.defactorization.peak_intermediate as u64);
         Evaluation {
             engine: "wireframe".to_owned(),
             epoch: 0,
+            cyclic: self.view.cyclic(),
             embeddings: self.embeddings,
             timings: self.timings,
-            cyclic: self.cyclic,
             factorized: Some(factorized),
             metrics,
             explain,
+            maintenance: None,
         }
     }
 }
@@ -162,13 +180,18 @@ impl<'g> WireframeEngine<'g> {
         Ok(out)
     }
 
-    /// Evaluates `query` with a precomputed phase-one plan (for example one
-    /// cached by a `Session` prepared query), skipping the Edgifier.
-    pub fn execute_with_plan(
+    /// Runs phase one with a precomputed plan and wraps the result into a
+    /// retained [`MaterializedQuery`] view, returning the phase-one timings
+    /// alongside. This is the shared trunk of [`execute_with_plan`]
+    /// (which defactorizes immediately) and the [`Engine::materialize`]
+    /// capability (which retains the view for incremental maintenance).
+    ///
+    /// [`execute_with_plan`]: WireframeEngine::execute_with_plan
+    pub fn materialize_with_plan(
         &self,
         query: &ConjunctiveQuery,
         plan: &Plan,
-    ) -> Result<QueryOutput, EngineError> {
+    ) -> Result<(MaterializedQuery, Timings), EngineError> {
         let mut timings = Timings::default();
 
         let t0 = Instant::now();
@@ -193,33 +216,38 @@ impl<'g> WireframeEngine<'g> {
             timings.edge_burnback = t2.elapsed();
         }
 
+        let view = MaterializedQuery::from_phase_one(
+            query.clone(),
+            plan,
+            cyclic,
+            ag,
+            generation,
+            eb_stats,
+            self.options,
+        );
+        Ok((view, timings))
+    }
+
+    /// Evaluates `query` with a precomputed phase-one plan (for example one
+    /// cached by a `Session` prepared query), skipping the Edgifier.
+    pub fn execute_with_plan(
+        &self,
+        query: &ConjunctiveQuery,
+        plan: &Plan,
+    ) -> Result<QueryOutput, EngineError> {
+        let (view, mut timings) = self.materialize_with_plan(query, plan)?;
+
+        // Phase two runs through the view's on-demand defactorizer (the
+        // parallel path falls back to sequential for small inputs and is
+        // answer-identical by construction, verified by tests).
         let t3 = Instant::now();
-        let (full, defact_stats) = if self.options.threads == 1 {
-            let order = embedding_plan(query, &ag);
-            defactorize(query, &ag, &order)?
-        } else {
-            // Phase two is embarrassingly parallel in the seed edges; the
-            // parallel path falls back to sequential for small inputs and is
-            // answer-identical by construction (verified by tests).
-            defactorize_parallel(
-                query,
-                &ag,
-                &ParallelOptions::for_threads(self.options.threads),
-            )?
-        };
-        let embeddings = full.into_projected_set(query).ok_or_else(|| {
-            EngineError::Internal("projection referenced a variable missing from the result".into())
-        })?;
+        let (embeddings, defact_stats) = view.defactorize()?;
         timings.defactorization = t3.elapsed();
 
         Ok(QueryOutput {
-            plan,
-            answer_graph: ag,
-            generation,
-            edge_burnback: eb_stats,
+            view,
             defactorization: defact_stats,
             embeddings,
-            cyclic,
             timings,
         })
     }
@@ -249,6 +277,43 @@ impl Engine for WireframeEngine<'_> {
             .explain
             .then(|| explain_output(self.graph, query, &out));
         Ok(out.into_evaluation(explain))
+    }
+
+    /// The Wireframe engine maintains: its retained artifact (the answer
+    /// graph at the node-burnback fixpoint) is updated in `O(delta)` by
+    /// [`MaterializedQuery::maintain`].
+    fn supports_maintenance(&self) -> bool {
+        true
+    }
+
+    /// Runs phase one and retains the result as a maintainable view.
+    /// Returns `Ok(None)` for configurations whose answer graph is pruned
+    /// below the node-burnback fixpoint (cyclic query with
+    /// [`EvalOptions::edge_burnback`] enabled) — those must be re-evaluated,
+    /// not maintained.
+    fn materialize(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<Option<Box<dyn MaintainedView>>, WireframeError> {
+        self.check_prepared(prepared)?;
+        // Maintainability is a property of the query shape and the engine
+        // options alone — decline *before* paying phase one, so callers
+        // that fall back to plain evaluation run the pipeline exactly once.
+        if self.options.edge_burnback && prepared.cyclic() {
+            return Ok(None);
+        }
+        let query = prepared.query();
+        let owned_plan;
+        let plan = match prepared.plan::<Plan>() {
+            Some(plan) => plan,
+            None => {
+                owned_plan = self.plan(query)?;
+                &owned_plan
+            }
+        };
+        let (view, _timings) = self.materialize_with_plan(query, plan)?;
+        debug_assert!(view.is_maintainable());
+        Ok(Some(Box::new(view)))
     }
 }
 
@@ -287,7 +352,7 @@ mod tests {
         let out = engine.execute(&q).unwrap();
         assert_eq!(out.answer_graph_size(), 8);
         assert_eq!(out.embedding_count(), 12);
-        assert!(!out.cyclic);
+        assert!(!out.cyclic());
         assert_eq!(out.embeddings().schema().len(), 4);
         assert!(out.timings.total() > Duration::ZERO);
     }
@@ -380,11 +445,11 @@ mod tests {
         let burned = WireframeEngine::with_options(&g, EvalOptions::default().with_edge_burnback())
             .execute(&q)
             .unwrap();
-        assert!(plain.cyclic && burned.cyclic);
+        assert!(plain.cyclic() && burned.cyclic());
         assert!(burned.answer_graph_size() < plain.answer_graph_size());
         assert!(plain.embeddings.same_answer(&burned.embeddings));
-        assert!(burned.edge_burnback.edges_removed > 0);
-        assert_eq!(plain.edge_burnback.edges_removed, 0);
+        assert!(burned.edge_burnback().edges_removed > 0);
+        assert_eq!(plain.edge_burnback().edges_removed, 0);
     }
 
     #[test]

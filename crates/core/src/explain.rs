@@ -69,32 +69,33 @@ pub fn explain_plan(graph: &Graph, query: &ConjunctiveQuery, plan: &Plan) -> Str
 /// Renders a full execution: the plan, the phase-one statistics, and the
 /// phase-two (defactorization) summary.
 pub fn explain_output(graph: &Graph, query: &ConjunctiveQuery, output: &QueryOutput) -> String {
-    let mut out = explain_plan(graph, query, &output.plan);
+    let mut out = explain_plan(graph, query, output.plan());
     let _ = writeln!(out, "phase 1 (answer-graph generation):");
     let _ = writeln!(
         out,
         "  edge walks {}   edges added {}   edges burned {}   nodes burned {}",
-        output.generation.edge_walks,
-        output.generation.edges_added,
-        output.generation.edges_burned,
-        output.generation.nodes_burned
+        output.generation().edge_walks,
+        output.generation().edges_added,
+        output.generation().edges_burned,
+        output.generation().nodes_burned
     );
     let _ = writeln!(
         out,
         "  |AG| = {} answer edges across {} query edges{}",
         output.answer_graph_size(),
         query.num_patterns(),
-        if output.cyclic {
+        if output.cyclic() {
             "  (cyclic query)"
         } else {
             ""
         }
     );
-    if output.edge_burnback.iterations > 0 {
+    if output.edge_burnback().iterations > 0 {
         let _ = writeln!(
             out,
             "  edge burnback: removed {} edges in {} iteration(s)",
-            output.edge_burnback.edges_removed, output.edge_burnback.iterations
+            output.edge_burnback().edges_removed,
+            output.edge_burnback().iterations
         );
     }
     let _ = writeln!(out, "phase 2 (defactorization):");

@@ -61,6 +61,7 @@ mod error;
 mod estimate;
 mod explain;
 mod generate;
+mod maintain;
 mod parallel;
 mod planner;
 mod stream;
@@ -75,6 +76,7 @@ pub use error::EngineError;
 pub use estimate::{Estimator, StepEstimate};
 pub use explain::{explain_output, explain_plan};
 pub use generate::{generate, ExtensionStep, GenerationStats};
+pub use maintain::{MaterializedQuery, ProvenanceIndex};
 pub use parallel::{auto_threads, defactorize_parallel, ParallelOptions};
 pub use planner::{cost_of_order, plan, Plan};
 pub use stream::{count_streaming, EmbeddingStream};

@@ -1,0 +1,760 @@
+//! Incremental answer-graph maintenance: the retained [`MaterializedQuery`].
+//!
+//! A [`MaterializedQuery`] is the answer graph promoted from a per-call
+//! temporary to a first-class, *versioned* artifact: the phase-one plan, the
+//! generated (node-burnback fixpoint) answer graph, and a provenance index
+//! mapping each data predicate to the query patterns it can bind. Where the
+//! eviction-based serving path reacts to a data mutation by throwing the
+//! whole thing away and re-running generate → burnback from scratch,
+//! [`MaterializedQuery::maintain`] folds the mutation's net
+//! [`EdgeDelta`](wireframe_graph::EdgeDelta) into the retained graph
+//! directly:
+//!
+//! * a **tombstoned** data edge is removed from every pattern it was bound
+//!   to, and any endpoint left without support in that pattern seeds the
+//!   ordinary node-burnback cascade ([`crate::generate`]'s `burn_nodes`);
+//! * an **inserted** data edge is bound to every pattern whose predicate and
+//!   constant ends it matches; endpoints not currently viable are revived
+//!   *optimistically*, pulling their incident data edges for every pattern
+//!   they participate in (a closure over the region the delta can reach),
+//!   after which one burnback pass from the revived frontier removes
+//!   whatever optimism was unwarranted.
+//!
+//! Both directions converge on the same state a from-scratch evaluation
+//! would produce, because node burnback computes the **greatest fixpoint**
+//! of the pairwise-support constraints — an order-independent object (the
+//! engine's `reverse_order_gives_same_answer_graph` test pins this), so
+//! "old fixpoint + local repair" and "fresh fixpoint" coincide. The cost is
+//! `O(|delta| + |affected region|)`: a mutation that touches none of the
+//! query's predicates costs nothing, and one that flips a handful of edges
+//! re-examines only the frontier those edges reach — not the graph.
+//!
+//! Embeddings are deliberately **not** maintained: defactorization stays
+//! lazy ([`MaterializedQuery::defactorize`]), recomputed from the maintained
+//! answer graph on demand. Keeping the small factorized artifact fresh and
+//! paying the embedding expansion only when asked is exactly the
+//! factorization-matters bet the paper makes.
+//!
+//! The struct implements the workspace-wide
+//! [`MaintainedView`](wireframe_api::MaintainedView) contract, which is how
+//! the `Session` facade retains and maintains views without depending on
+//! this crate's internals. Views are only produced for configurations whose
+//! answer graph *is* the node-burnback fixpoint — edge burnback prunes
+//! cyclic answer graphs below it, so those evaluations report
+//! [`MaterializedQuery::is_maintainable`]` == false` and serving layers fall
+//! back to eviction.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use wireframe_api::{
+    Evaluation, Factorized, MaintainedView, MaintenanceInfo, MaintenanceStats, Timings,
+    WireframeError,
+};
+use wireframe_graph::{EdgeDelta, Graph, NodeId, PredId};
+use wireframe_query::{ConjunctiveQuery, EmbeddingSet, Term, TriplePattern, Var};
+
+use crate::answer_graph::AnswerGraph;
+use crate::config::EvalOptions;
+use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats};
+use crate::error::EngineError;
+use crate::generate::{burn_nodes, GenerationStats};
+use crate::parallel::{defactorize_parallel, ParallelOptions};
+use crate::planner::Plan;
+use crate::triangulate::EdgeBurnbackStats;
+
+/// The per-pattern-edge provenance index: which query patterns a data edge
+/// of a given predicate can bind. Built once per query; `O(log P)` lookup.
+#[derive(Debug, Clone)]
+pub struct ProvenanceIndex {
+    /// `(predicate, pattern indexes)` sorted by predicate.
+    by_predicate: Vec<(PredId, Vec<usize>)>,
+}
+
+impl ProvenanceIndex {
+    /// Builds the index for `query`.
+    pub fn new(query: &ConjunctiveQuery) -> Self {
+        let mut by_predicate: Vec<(PredId, Vec<usize>)> = Vec::new();
+        for (idx, pat) in query.patterns().iter().enumerate() {
+            match by_predicate.binary_search_by_key(&pat.predicate, |&(p, _)| p) {
+                Ok(at) => by_predicate[at].1.push(idx),
+                Err(at) => by_predicate.insert(at, (pat.predicate, vec![idx])),
+            }
+        }
+        ProvenanceIndex { by_predicate }
+    }
+
+    /// The pattern indexes a data edge with predicate `p` can bind
+    /// (ascending; empty when the query never mentions `p`).
+    pub fn patterns_for(&self, p: PredId) -> &[usize] {
+        match self.by_predicate.binary_search_by_key(&p, |&(q, _)| q) {
+            Ok(at) => &self.by_predicate[at].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// The distinct predicates the query touches, ascending.
+    pub fn predicates(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.by_predicate.iter().map(|&(p, _)| p)
+    }
+}
+
+/// Whether `pattern`'s constant ends (and self-loop shape) admit the data
+/// edge `(s, o)`.
+fn ends_match(pattern: &TriplePattern, s: NodeId, o: NodeId) -> bool {
+    let subject_ok = match pattern.subject {
+        Term::Const(c) => c == s,
+        Term::Var(_) => true,
+    };
+    let object_ok = match pattern.object {
+        Term::Const(c) => c == o,
+        Term::Var(_) => true,
+    };
+    let self_loop = matches!(
+        (pattern.subject, pattern.object),
+        (Term::Var(a), Term::Var(b)) if a == b
+    );
+    subject_ok && object_ok && (!self_loop || s == o)
+}
+
+/// A retained, versioned, incrementally-maintainable evaluation of one
+/// query: the factorized half of a [`crate::QueryOutput`], promoted to a
+/// first-class artifact (see the module docs).
+#[derive(Debug, Clone)]
+pub struct MaterializedQuery {
+    query: ConjunctiveQuery,
+    plan: Plan,
+    cyclic: bool,
+    maintainable: bool,
+    answer_graph: AnswerGraph,
+    provenance: ProvenanceIndex,
+    generation: GenerationStats,
+    edge_burnback: EdgeBurnbackStats,
+    options: EvalOptions,
+    epoch: u64,
+    info: MaintenanceInfo,
+}
+
+impl MaterializedQuery {
+    /// Assembles a view from a finished phase-one run. Called by the engine
+    /// (`WireframeEngine::execute_with_plan` / `materialize`).
+    pub(crate) fn from_phase_one(
+        query: ConjunctiveQuery,
+        plan: Plan,
+        cyclic: bool,
+        answer_graph: AnswerGraph,
+        generation: GenerationStats,
+        edge_burnback: EdgeBurnbackStats,
+        options: EvalOptions,
+    ) -> Self {
+        // Edge burnback prunes cyclic answer graphs below the node-burnback
+        // fixpoint that incremental maintenance reproduces; such views must
+        // not be maintained (serving layers fall back to eviction).
+        let maintainable = !(options.edge_burnback && cyclic);
+        let provenance = ProvenanceIndex::new(&query);
+        MaterializedQuery {
+            query,
+            plan,
+            cyclic,
+            maintainable,
+            answer_graph,
+            provenance,
+            generation,
+            edge_burnback,
+            options,
+            epoch: 0,
+            info: MaintenanceInfo::default(),
+        }
+    }
+
+    /// The query this view answers.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The phase-one plan the view was generated with.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The maintained answer graph.
+    pub fn answer_graph(&self) -> &AnswerGraph {
+        &self.answer_graph
+    }
+
+    /// Whether the query graph is cyclic.
+    pub fn cyclic(&self) -> bool {
+        self.cyclic
+    }
+
+    /// Whether this view may be incrementally maintained. `false` when edge
+    /// burnback pruned the answer graph below the node-burnback fixpoint
+    /// (cyclic query under [`EvalOptions::edge_burnback`]); such views must
+    /// be discarded on mutation instead.
+    pub fn is_maintainable(&self) -> bool {
+        self.maintainable
+    }
+
+    /// The provenance index mapping predicates to bindable patterns.
+    pub fn provenance(&self) -> &ProvenanceIndex {
+        &self.provenance
+    }
+
+    /// Phase-one statistics of the original materialization.
+    pub fn generation(&self) -> &GenerationStats {
+        &self.generation
+    }
+
+    /// Edge-burnback statistics of the original materialization (all zero
+    /// when it did not run).
+    pub fn edge_burnback(&self) -> &EdgeBurnbackStats {
+        &self.edge_burnback
+    }
+
+    /// The mutation epoch this view is maintained to (`0` at
+    /// materialization; serving layers stamp their epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps the epoch of the graph version the view reflects (used by the
+    /// serving layer at materialization time; `maintain` stamps later ones).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.info.maintained_epoch = epoch;
+    }
+
+    /// Cumulative maintenance history.
+    pub fn maintenance_info(&self) -> MaintenanceInfo {
+        self.info
+    }
+
+    /// Folds one mutation batch's net `delta` into the retained answer
+    /// graph and stamps `epoch`. `graph` must be the **post-mutation** graph
+    /// version (maintenance pulls incident edges from it when revived nodes
+    /// re-enter the answer graph). Work is `O(|delta| + |affected region|)`;
+    /// the result is identical to re-running phase one from scratch on
+    /// `graph` (the equivalence property tests pin this on all storage
+    /// backends).
+    pub fn maintain(&mut self, graph: &Graph, delta: &EdgeDelta, epoch: u64) -> MaintenanceStats {
+        debug_assert!(self.maintainable, "unmaintainable views must be evicted");
+        let start = Instant::now();
+        let mut stats = MaintenanceStats::default();
+
+        // The provenance index drives both phases: only the delta's slices
+        // for predicates the query actually mentions are ever visited
+        // (`EdgeDelta::removed_for` / `inserted_for` are binary-searched
+        // ranges of the predicate-major batch).
+        let touched: Vec<PredId> = self.provenance.predicates().collect();
+
+        // Phase A — tombstones: drop removed data edges from every pattern
+        // they were bound to; endpoints left without support in a pattern
+        // become burnback suspects.
+        let mut suspects: Vec<(Var, NodeId)> = Vec::new();
+        for &p in &touched {
+            for t in delta.removed_for(p) {
+                for &q in self.provenance.patterns_for(p) {
+                    let pat = self.query.patterns()[q];
+                    if !ends_match(&pat, t.subject, t.object) {
+                        continue;
+                    }
+                    if self.answer_graph.pattern_mut(q).remove(t.subject, t.object) {
+                        stats.candidate_removals += 1;
+                        stats.edges_removed += 1;
+                        if let Some(v) = pat.subject.as_var() {
+                            if !self.answer_graph.pattern(q).has_subject(t.subject) {
+                                suspects.push((v, t.subject));
+                            }
+                        }
+                        if let Some(w) = pat.object.as_var() {
+                            if !self.answer_graph.pattern(q).has_object(t.object) {
+                                suspects.push((w, t.object));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase B — insertions: bind each inserted data edge to the patterns
+        // it matches; endpoints not currently viable are revived
+        // optimistically and queued for closure.
+        let mut revived: Vec<(Var, NodeId)> = Vec::new();
+        let mut queue: VecDeque<(Var, NodeId)> = VecDeque::new();
+        let revive = |ag: &mut AnswerGraph,
+                      v: Var,
+                      n: NodeId,
+                      revived: &mut Vec<(Var, NodeId)>,
+                      queue: &mut VecDeque<(Var, NodeId)>| {
+            if ag.node_set_mut(v).insert(n) {
+                ag.mark_bound(v);
+                revived.push((v, n));
+                queue.push_back((v, n));
+            }
+        };
+        for &p in &touched {
+            for t in delta.inserted_for(p) {
+                for &q in self.provenance.patterns_for(p) {
+                    let pat = self.query.patterns()[q];
+                    if !ends_match(&pat, t.subject, t.object) {
+                        continue;
+                    }
+                    if self.answer_graph.pattern_mut(q).insert(t.subject, t.object) {
+                        stats.candidate_inserts += 1;
+                        stats.edges_added += 1;
+                        for (term, n) in [(pat.subject, t.subject), (pat.object, t.object)] {
+                            if let Some(v) = term.as_var() {
+                                if !self.answer_graph.node_set(v).contains(&n) {
+                                    revive(&mut self.answer_graph, v, n, &mut revived, &mut queue);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Closure: a revived node must carry *all* of its incident data
+        // edges in every pattern it participates in (the fixpoint is
+        // maximal), which can revive further nodes in turn. The burnback
+        // pass below removes whatever optimism does not survive.
+        while let Some((v, n)) = queue.pop_front() {
+            for (q, pat) in self.query.patterns().iter().enumerate() {
+                let p = pat.predicate;
+                let self_loop = matches!(
+                    (pat.subject, pat.object),
+                    (Term::Var(a), Term::Var(b)) if a == b
+                );
+                if pat.subject.as_var() == Some(v) {
+                    if self_loop {
+                        if graph.has_triple(n, p, n)
+                            && self.answer_graph.pattern_mut(q).insert(n, n)
+                        {
+                            stats.edges_added += 1;
+                        }
+                    } else {
+                        let objects = graph.objects_of(p, n).to_vec();
+                        for o in objects {
+                            match pat.object {
+                                Term::Const(c) => {
+                                    if o == c && self.answer_graph.pattern_mut(q).insert(n, o) {
+                                        stats.edges_added += 1;
+                                    }
+                                }
+                                Term::Var(w) => {
+                                    if !self.answer_graph.node_set(w).contains(&o) {
+                                        revive(
+                                            &mut self.answer_graph,
+                                            w,
+                                            o,
+                                            &mut revived,
+                                            &mut queue,
+                                        );
+                                    }
+                                    if self.answer_graph.pattern_mut(q).insert(n, o) {
+                                        stats.edges_added += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if pat.object.as_var() == Some(v) && !self_loop {
+                    let subjects = graph.subjects_of(p, n).to_vec();
+                    for s in subjects {
+                        match pat.subject {
+                            Term::Const(c) => {
+                                if s == c && self.answer_graph.pattern_mut(q).insert(s, n) {
+                                    stats.edges_added += 1;
+                                }
+                            }
+                            Term::Var(w) => {
+                                if !self.answer_graph.node_set(w).contains(&s) {
+                                    revive(&mut self.answer_graph, w, s, &mut revived, &mut queue);
+                                }
+                                if self.answer_graph.pattern_mut(q).insert(s, n) {
+                                    stats.edges_added += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stats.nodes_added += revived.len();
+
+        // Phase C — local burnback from the frontier: every suspect and
+        // every revived node is re-checked for support in *all* its incident
+        // patterns (an insertion may have restored support a tombstone took
+        // away, so the check runs only after both phases). Failures seed the
+        // ordinary cascading node burnback.
+        suspects.sort_unstable_by_key(|&(v, n)| (v.index(), n));
+        suspects.dedup();
+        stats.frontier_nodes = suspects.len() + revived.len();
+        let mut to_burn: Vec<(Var, NodeId)> = Vec::new();
+        for &(v, n) in suspects.iter().chain(revived.iter()) {
+            if !self.answer_graph.node_set(v).contains(&n) {
+                continue;
+            }
+            if !self.has_full_support(v, n) {
+                to_burn.push((v, n));
+            }
+        }
+        let mut edges_burned = 0usize;
+        let mut nodes_burned = 0usize;
+        burn_nodes(
+            &self.query,
+            &mut self.answer_graph,
+            to_burn,
+            &mut edges_burned,
+            &mut nodes_burned,
+        );
+        stats.edges_removed += edges_burned;
+        stats.nodes_removed += nodes_burned;
+
+        self.epoch = epoch;
+        self.info.maintained_epoch = epoch;
+        self.info.passes += 1;
+        self.info.frontier_nodes += stats.frontier_nodes as u64;
+        self.info.maintenance_us += start.elapsed().as_micros() as u64;
+        stats
+    }
+
+    /// Whether node `n` of variable `v` has at least one supporting edge in
+    /// every pattern `v` participates in (the node-burnback invariant).
+    fn has_full_support(&self, v: Var, n: NodeId) -> bool {
+        for (q, pat) in self.query.patterns().iter().enumerate() {
+            if pat.subject.as_var() == Some(v) && !self.answer_graph.pattern(q).has_subject(n) {
+                return false;
+            }
+            if pat.object.as_var() == Some(v) && !self.answer_graph.pattern(q).has_object(n) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Phase two on demand: defactorizes the *current* answer graph into
+    /// projected embeddings. This is the lazy half of the maintenance
+    /// design — the embeddings are never retained, only re-derived.
+    pub fn defactorize(&self) -> Result<(EmbeddingSet, DefactorizationStats), EngineError> {
+        let (full, stats) = if self.options.threads == 1 {
+            let order = embedding_plan(&self.query, &self.answer_graph);
+            defactorize(&self.query, &self.answer_graph, &order)?
+        } else {
+            defactorize_parallel(
+                &self.query,
+                &self.answer_graph,
+                &ParallelOptions::for_threads(self.options.threads),
+            )?
+        };
+        let embeddings = full.into_projected_set(&self.query).ok_or_else(|| {
+            EngineError::Internal("projection referenced a variable missing from the result".into())
+        })?;
+        Ok((embeddings, stats))
+    }
+
+    /// Renders a compact explanation of a view-served evaluation.
+    fn explain_view(&self, defact: &DefactorizationStats, embeddings: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "maintained view (epoch {}, {} maintenance pass(es), {} frontier nodes, {} µs):",
+            self.info.maintained_epoch,
+            self.info.passes,
+            self.info.frontier_nodes,
+            self.info.maintenance_us
+        );
+        let _ = writeln!(
+            out,
+            "  plan order {:?} ({:?})   |AG| = {} answer edges across {} query edges{}",
+            self.plan.order,
+            self.plan.planner,
+            self.answer_graph.total_edges(),
+            self.query.num_patterns(),
+            if self.cyclic { "  (cyclic query)" } else { "" }
+        );
+        let _ = writeln!(
+            out,
+            "phase 2 (defactorization, on demand):\n  join order {:?}   peak intermediate {}   embeddings {}",
+            defact.join_order, defact.peak_intermediate, embeddings
+        );
+        out
+    }
+
+    /// The uniform factorized artifacts of the maintained state.
+    fn factorized(&self) -> Factorized {
+        Factorized {
+            answer_graph_edges: self.answer_graph.total_edges(),
+            plan_order: self.plan.order.clone(),
+            edge_walks: self.generation.edge_walks,
+            edges_burned: self.generation.edges_burned,
+            nodes_burned: self.generation.nodes_burned,
+            edge_burnback_removed: self.edge_burnback.edges_removed,
+        }
+    }
+}
+
+impl MaintainedView for MaterializedQuery {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn set_epoch(&mut self, epoch: u64) {
+        MaterializedQuery::set_epoch(self, epoch);
+    }
+
+    fn maintain(&mut self, graph: &Graph, delta: &EdgeDelta, epoch: u64) -> MaintenanceStats {
+        MaterializedQuery::maintain(self, graph, delta, epoch)
+    }
+
+    fn evaluate(&self) -> Result<Evaluation, WireframeError> {
+        let t = Instant::now();
+        let (embeddings, defact) = self.defactorize()?;
+        let timings = Timings {
+            defactorization: t.elapsed(),
+            ..Timings::default()
+        };
+        let factorized = self.factorized();
+        let metrics = factorized.metrics(defact.peak_intermediate as u64);
+        let explain = self
+            .options
+            .explain
+            .then(|| self.explain_view(&defact, embeddings.len()));
+        Ok(Evaluation {
+            engine: "wireframe".to_owned(),
+            epoch: 0,
+            embeddings,
+            timings,
+            cyclic: self.cyclic,
+            factorized: Some(factorized),
+            metrics,
+            explain,
+            maintenance: Some(self.info),
+        })
+    }
+
+    fn info(&self) -> MaintenanceInfo {
+        self.info
+    }
+
+    fn clone_view(&self) -> Box<dyn MaintainedView> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WireframeEngine;
+    use wireframe_graph::{GraphBuilder, Mutation, StoreKind};
+    use wireframe_query::parse_query;
+
+    fn figure1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "5");
+        b.add("2", "A", "5");
+        b.add("3", "A", "5");
+        b.add("4", "A", "6");
+        b.add("5", "B", "9");
+        b.add("7", "B", "10");
+        for o in ["12", "13", "14", "15"] {
+            b.add("9", "C", o);
+        }
+        b.add("11", "C", "15");
+        b.build_with_store(StoreKind::Delta)
+    }
+
+    fn chain_query(g: &Graph) -> ConjunctiveQuery {
+        parse_query(
+            "SELECT * WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap()
+    }
+
+    /// Maintained state must equal a fresh evaluation: same AG edges per
+    /// pattern, same node sets, same embeddings.
+    fn assert_matches_fresh(view: &MaterializedQuery, graph: &Graph, context: &str) {
+        let fresh = WireframeEngine::new(graph).execute(view.query()).unwrap();
+        for q in 0..view.query().num_patterns() {
+            let mut ours: Vec<_> = view.answer_graph().pattern(q).iter().collect();
+            let mut theirs: Vec<_> = fresh.answer_graph().pattern(q).iter().collect();
+            ours.sort_unstable();
+            theirs.sort_unstable();
+            assert_eq!(ours, theirs, "{context}: pattern {q} edges differ");
+        }
+        for v in view.query().variables() {
+            assert_eq!(
+                view.answer_graph().node_set(v).to_sorted_vec(),
+                fresh.answer_graph().node_set(v).to_sorted_vec(),
+                "{context}: node set of var {v:?} differs"
+            );
+        }
+        let (ours, _) = view.defactorize().unwrap();
+        assert!(
+            ours.same_answer(fresh.embeddings()),
+            "{context}: embeddings differ"
+        );
+    }
+
+    fn materialize(graph: &Graph, query: &ConjunctiveQuery) -> MaterializedQuery {
+        WireframeEngine::new(graph)
+            .execute(query)
+            .unwrap()
+            .into_view()
+    }
+
+    #[test]
+    fn provenance_index_maps_predicates_to_patterns() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let idx = ProvenanceIndex::new(&q);
+        let a = g.dictionary().predicate_id("A").unwrap();
+        let c = g.dictionary().predicate_id("C").unwrap();
+        assert_eq!(idx.patterns_for(a), &[0]);
+        assert_eq!(idx.patterns_for(c), &[2]);
+        assert_eq!(idx.patterns_for(PredId(99)), &[] as &[usize]);
+        assert_eq!(idx.predicates().count(), 3);
+    }
+
+    #[test]
+    fn tombstone_removes_edge_and_cascades() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let mut view = materialize(&g, &q);
+        assert_eq!(view.answer_graph().total_edges(), 8);
+
+        // Removing the only B edge empties the whole answer.
+        let (next, outcome) = g.apply(&Mutation::new().remove("5", "B", "9"));
+        let stats = view.maintain(&next, &outcome.delta, 1);
+        assert_eq!(stats.candidate_removals, 1);
+        assert!(stats.frontier_nodes >= 2, "both endpoints are suspects");
+        assert_eq!(view.answer_graph().total_edges(), 0);
+        assert_eq!(view.epoch(), 1);
+        assert_matches_fresh(&view, &next, "after emptying tombstone");
+    }
+
+    #[test]
+    fn insertion_revives_dead_regions() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let mut view = materialize(&g, &q);
+
+        // 7 -B-> 10 died because 10 has no C edge; inserting 10 -C-> 12
+        // optimistically revives 10 (for ?y) and pulls its incident B edge
+        // back in — but ?x = 7 has no A edge, so the burnback pass removes
+        // the whole optimistic chain again and |AG| stays at 8.
+        let (next, outcome) = g.apply(&Mutation::new().insert("10", "C", "12"));
+        let stats = view.maintain(&next, &outcome.delta, 1);
+        assert_eq!(stats.candidate_inserts, 1);
+        assert!(stats.nodes_added >= 1, "node 10 is revived for ?y");
+        assert!(stats.nodes_removed >= 1, "…and burned back out");
+        assert_matches_fresh(&view, &next, "after reviving insert");
+        assert_eq!(view.answer_graph().total_edges(), 8);
+
+        // An insert that genuinely extends the answer: 9 -C-> 16 adds one
+        // viable C edge (9 is the live ?y hub).
+        let (next2, outcome2) = next.apply(&Mutation::new().insert("9", "C", "16"));
+        let stats = view.maintain(&next2, &outcome2.delta, 2);
+        assert_eq!(stats.candidate_inserts, 1);
+        assert_eq!(view.answer_graph().total_edges(), 9);
+        assert_matches_fresh(&view, &next2, "after extending insert");
+    }
+
+    #[test]
+    fn mixed_batches_and_noop_deltas_converge() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let mut view = materialize(&g, &q);
+
+        // A batch that both grows and shrinks: add a full new chain, remove
+        // one existing A edge.
+        let mutation = Mutation::new()
+            .insert("20", "A", "21")
+            .insert("21", "B", "22")
+            .insert("22", "C", "23")
+            .remove("1", "A", "5");
+        let (next, outcome) = g.apply(&mutation);
+        let stats = view.maintain(&next, &outcome.delta, 1);
+        assert_eq!(stats.candidate_inserts, 3);
+        assert_eq!(stats.candidate_removals, 1);
+        assert_matches_fresh(&view, &next, "after mixed batch");
+
+        // A delta over predicates the query never touches is free.
+        let (next2, outcome2) = next.apply(&Mutation::new().insert("1", "Z", "2"));
+        let stats = view.maintain(&next2, &outcome2.delta, 2);
+        assert_eq!(stats, MaintenanceStats::default(), "zero work performed");
+        assert_eq!(view.epoch(), 2);
+        assert_matches_fresh(&view, &next2, "after foreign-predicate batch");
+    }
+
+    #[test]
+    fn constants_and_self_loops_are_respected() {
+        let mut b = GraphBuilder::new();
+        b.add("1", "A", "1");
+        b.add("1", "A", "2");
+        b.add("2", "A", "2");
+        let g = b.build_with_store(StoreKind::Delta);
+        let q = parse_query("SELECT * WHERE { ?x :A ?x . }", g.dictionary()).unwrap();
+        let mut view = materialize(&g, &q);
+        assert_eq!(view.answer_graph().total_edges(), 2);
+
+        let (next, outcome) = g.apply(
+            &Mutation::new()
+                .insert("3", "A", "3")
+                .insert("3", "A", "4")
+                .remove("1", "A", "1"),
+        );
+        view.maintain(&next, &outcome.delta, 1);
+        assert_eq!(view.answer_graph().total_edges(), 2, "loops only");
+        assert_matches_fresh(&view, &next, "self-loop maintenance");
+
+        // Constant-end patterns only admit matching edges.
+        let qc = parse_query("SELECT ?w WHERE { ?w :A 2 . }", g.dictionary()).unwrap();
+        let mut view = materialize(&next, &qc);
+        let (next2, outcome2) =
+            next.apply(&Mutation::new().insert("5", "A", "2").insert("5", "A", "9"));
+        let stats = view.maintain(&next2, &outcome2.delta, 1);
+        assert_eq!(stats.candidate_inserts, 1, "only the edge into the const");
+        assert_matches_fresh(&view, &next2, "const-end maintenance");
+    }
+
+    #[test]
+    fn view_evaluate_serves_uniform_evaluations() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let view = materialize(&g, &q);
+        let ev = MaintainedView::evaluate(&view).unwrap();
+        assert_eq!(ev.engine, "wireframe");
+        assert_eq!(ev.embedding_count(), 12);
+        assert_eq!(ev.answer_graph_size(), Some(8));
+        let info = ev.maintenance.expect("view-served evaluations carry info");
+        assert_eq!(info.passes, 0);
+        assert!(ev.explain.is_none(), "explain only when requested");
+    }
+
+    #[test]
+    fn edge_burnback_views_are_not_maintainable() {
+        let mut b = GraphBuilder::new();
+        b.add("3", "A", "4");
+        b.add("3", "B", "2");
+        b.add("4", "C", "1");
+        b.add("2", "D", "1");
+        let g = b.build();
+        let q = parse_query(
+            "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let plain = WireframeEngine::new(&g).execute(&q).unwrap().into_view();
+        assert!(plain.cyclic());
+        assert!(plain.is_maintainable(), "node burnback alone maintains");
+        let burned = WireframeEngine::with_options(&g, EvalOptions::default().with_edge_burnback())
+            .execute(&q)
+            .unwrap()
+            .into_view();
+        assert!(!burned.is_maintainable());
+    }
+}

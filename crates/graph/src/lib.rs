@@ -58,7 +58,7 @@ pub use error::GraphError;
 pub use histogram::DegreeHistogram;
 pub use ids::{NodeId, PredId, Triple};
 pub use map::MapStore;
-pub use mutation::{Mutation, MutationOp, MutationOutcome};
+pub use mutation::{EdgeDelta, Mutation, MutationOp, MutationOutcome};
 pub use ntriples::{load, load_into, parse_line, write};
 pub use stats::{BigramStats, Catalog, End, UnigramStats};
 pub use store::{Graph, GraphStore, StoreKind, DEFAULT_COMPACTION_THRESHOLD};

@@ -15,6 +15,7 @@
 //! accepted by [`crate::ntriples::parse_line`].
 
 use crate::error::GraphError;
+use crate::ids::{PredId, Triple};
 use crate::ntriples::parse_line;
 
 /// One operation of a [`Mutation`].
@@ -115,8 +116,95 @@ impl Mutation {
     }
 }
 
+/// The net, per-predicate change of one applied [`Mutation`] batch — what
+/// the graph's triple set looks like *after* set semantics and in-batch
+/// ordering have resolved: exactly the triples that became present and
+/// exactly the triples that became absent. No-op operations (inserting a
+/// present triple, removing an absent one, remove-then-reinsert within the
+/// batch) never appear here.
+///
+/// Both sides are sorted **predicate-major** (`(predicate, subject, object)`),
+/// so per-predicate consumers — incremental answer-graph maintenance maps
+/// each changed edge to the query patterns it can bind — read their slice
+/// with one binary-searched range ([`EdgeDelta::inserted_for`] /
+/// [`EdgeDelta::removed_for`]) instead of filtering the whole batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeDelta {
+    /// Triples that became present, sorted `(predicate, subject, object)`.
+    inserted: Vec<Triple>,
+    /// Triples that became absent, sorted `(predicate, subject, object)`.
+    removed: Vec<Triple>,
+}
+
+/// Sorts triples predicate-major for [`EdgeDelta`]'s range lookups.
+fn sort_predicate_major(triples: &mut [Triple]) {
+    triples.sort_unstable_by_key(|t| (t.predicate, t.subject, t.object));
+}
+
+/// The half-open index range of predicate `p` within a predicate-major slice.
+fn predicate_range(triples: &[Triple], p: PredId) -> std::ops::Range<usize> {
+    let start = triples.partition_point(|t| t.predicate < p);
+    let end = triples.partition_point(|t| t.predicate <= p);
+    start..end
+}
+
+impl EdgeDelta {
+    /// Builds a delta from the net inserted/removed triple lists (any order;
+    /// they are re-sorted predicate-major).
+    pub fn new(mut inserted: Vec<Triple>, mut removed: Vec<Triple>) -> Self {
+        sort_predicate_major(&mut inserted);
+        sort_predicate_major(&mut removed);
+        EdgeDelta { inserted, removed }
+    }
+
+    /// Every triple that became present, sorted predicate-major.
+    pub fn inserted(&self) -> &[Triple] {
+        &self.inserted
+    }
+
+    /// Every triple that became absent, sorted predicate-major.
+    pub fn removed(&self) -> &[Triple] {
+        &self.removed
+    }
+
+    /// The triples of predicate `p` that became present.
+    pub fn inserted_for(&self, p: PredId) -> &[Triple] {
+        &self.inserted[predicate_range(&self.inserted, p)]
+    }
+
+    /// The triples of predicate `p` that became absent.
+    pub fn removed_for(&self, p: PredId) -> &[Triple] {
+        &self.removed[predicate_range(&self.removed, p)]
+    }
+
+    /// Net number of changed triples (insertions plus removals).
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.removed.len()
+    }
+
+    /// Whether the batch changed nothing (net).
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.removed.is_empty()
+    }
+
+    /// The sorted, deduplicated predicates this delta touches — the batch's
+    /// *net* predicate footprint, directly comparable with a prepared
+    /// query's `footprint()` (labels resolved through the same dictionary).
+    pub fn predicates(&self) -> Vec<PredId> {
+        let mut preds: Vec<PredId> = self
+            .inserted
+            .iter()
+            .chain(&self.removed)
+            .map(|t| t.predicate)
+            .collect();
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+}
+
 /// What applying a [`Mutation`] actually changed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MutationOutcome {
     /// Triples that became present (insertions of absent triples).
     pub inserted: usize,
@@ -125,6 +213,11 @@ pub struct MutationOutcome {
     /// Whether the delta store compacted its overlay into a fresh base after
     /// this batch (always `false` on the non-delta backends).
     pub compacted: bool,
+    /// The exact net change, per predicate — `inserted`/`removed` above are
+    /// `delta.inserted().len()` / `delta.removed().len()`. Incremental
+    /// answer-graph maintenance consumes this to update retained views in
+    /// `O(delta)` instead of re-evaluating.
+    pub delta: EdgeDelta,
 }
 
 #[cfg(test)]
@@ -171,5 +264,28 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.len(), 0);
         assert_eq!(MutationOutcome::default().inserted, 0);
+        assert!(MutationOutcome::default().delta.is_empty());
+    }
+
+    #[test]
+    fn edge_delta_sorts_predicate_major_and_slices_per_predicate() {
+        use crate::ids::{NodeId, PredId, Triple};
+        let t = |s: u32, p: u32, o: u32| Triple::new(NodeId(s), PredId(p), NodeId(o));
+        let delta = EdgeDelta::new(
+            vec![t(9, 1, 0), t(0, 0, 3), t(1, 1, 1), t(5, 0, 2)],
+            vec![t(7, 2, 7)],
+        );
+        assert_eq!(delta.len(), 5);
+        assert!(!delta.is_empty());
+        assert_eq!(
+            delta.inserted(),
+            &[t(0, 0, 3), t(5, 0, 2), t(1, 1, 1), t(9, 1, 0)]
+        );
+        assert_eq!(delta.inserted_for(PredId(0)), &[t(0, 0, 3), t(5, 0, 2)]);
+        assert_eq!(delta.inserted_for(PredId(1)), &[t(1, 1, 1), t(9, 1, 0)]);
+        assert_eq!(delta.inserted_for(PredId(2)), &[] as &[Triple]);
+        assert_eq!(delta.removed_for(PredId(2)), &[t(7, 2, 7)]);
+        assert_eq!(delta.predicates(), vec![PredId(0), PredId(1), PredId(2)]);
+        assert_eq!(EdgeDelta::default().predicates(), Vec::<PredId>::new());
     }
 }

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use crate::dictionary::Dictionary;
 use crate::ids::{NodeId, PredId, Triple};
-use crate::mutation::{Mutation, MutationOp, MutationOutcome};
+use crate::mutation::{EdgeDelta, Mutation, MutationOp, MutationOutcome};
 use crate::stats::Catalog;
 use crate::{CsrStore, DeltaStore, MapStore};
 
@@ -343,6 +343,7 @@ impl Graph {
             inserted: inserts.len(),
             removed: removes.len(),
             compacted: false,
+            delta: EdgeDelta::new(inserts.clone(), removes.clone()),
         };
         if inserts.is_empty() && removes.is_empty() && !needs_intern {
             // Nothing changed: no net triple transitions and no new labels
@@ -740,6 +741,46 @@ mod tests {
             assert_eq!(g.triple_count(), 3);
             assert!(g.has_triple(a, likes, c));
         }
+    }
+
+    #[test]
+    fn apply_reports_the_net_edge_delta() {
+        let mutation = Mutation::new()
+            .insert("c", "knows", "a")
+            .remove("a", "likes", "c")
+            .insert("a", "knows", "b") // already present: absent from the delta
+            .insert("a", "admires", "d");
+        let g = sample_builder().build_with_store(StoreKind::Delta);
+        let (next, outcome) = g.apply(&mutation);
+        let d = next.dictionary();
+        let knows = d.predicate_id("knows").unwrap();
+        let likes = d.predicate_id("likes").unwrap();
+        let admires = d.predicate_id("admires").unwrap();
+        let node = |l: &str| d.node_id(l).unwrap();
+        assert_eq!(outcome.delta.len(), 3);
+        assert_eq!(
+            outcome.delta.inserted_for(knows),
+            &[Triple::new(node("c"), knows, node("a"))]
+        );
+        assert_eq!(
+            outcome.delta.inserted_for(admires),
+            &[Triple::new(node("a"), admires, node("d"))]
+        );
+        assert_eq!(
+            outcome.delta.removed_for(likes),
+            &[Triple::new(node("a"), likes, node("c"))]
+        );
+        assert_eq!(outcome.delta.removed_for(knows), &[] as &[Triple]);
+        let mut preds = outcome.delta.predicates();
+        preds.sort_unstable();
+        assert_eq!(preds, {
+            let mut expected = vec![knows, likes, admires];
+            expected.sort_unstable();
+            expected
+        });
+        // The counters and the delta can never drift apart.
+        assert_eq!(outcome.inserted, outcome.delta.inserted().len());
+        assert_eq!(outcome.removed, outcome.delta.removed().len());
     }
 
     #[test]

@@ -59,8 +59,8 @@ fn main() {
     println!(
         "answer graph |iAG|: {} edges ({} spurious edges removed in {} iteration(s))",
         with_eb.answer_graph_size(),
-        with_eb.edge_burnback.edges_removed,
-        with_eb.edge_burnback.iterations
+        with_eb.edge_burnback().edges_removed,
+        with_eb.edge_burnback().iterations
     );
     println!("embeddings:         {}", with_eb.embedding_count());
 

@@ -49,9 +49,9 @@ fn main() {
     println!("\n=== Figure 2: edge extension and node burnback, step by step ===");
     println!(
         "plan: materialize query edges in order {:?}",
-        out.plan.order
+        out.plan().order
     );
-    for step in &out.generation.steps {
+    for step in &out.generation().steps {
         println!(
             "  edge {}: walked {:>3} data edges, added {:>3} AG edges, burned {:>2} nodes / {:>2} edges, |AG| now {}",
             step.pattern, step.edge_walks, step.edges_added, step.nodes_burned, step.edges_burned, step.ag_edges_after
@@ -63,7 +63,7 @@ fn main() {
     for (i, pattern) in query.patterns().iter().enumerate() {
         let label = dict.predicate_label(pattern.predicate).unwrap_or("?");
         let mut pairs: Vec<(String, String)> = out
-            .answer_graph
+            .answer_graph()
             .pattern(i)
             .iter()
             .map(|(s, o)| {

@@ -64,14 +64,14 @@ fn main() {
         // Show the chosen plan for the first query, mirroring Figure 3's
         // "answer graph plan" panel.
         if bq.row == 1 {
-            println!("        plan (edge order): {:?}", out.plan.order);
+            println!("        plan (edge order): {:?}", out.plan().order);
             println!(
                 "        estimated edge walks: {:.0}",
-                out.plan.estimated_cost
+                out.plan().estimated_cost
             );
             println!(
                 "        actual edge walks:    {}",
-                out.generation.edge_walks
+                out.generation().edge_walks
             );
         }
     }

@@ -221,6 +221,27 @@ fn run() -> Result<(), String> {
         let script = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read mutation script {path}: {e}"))?;
         let mutation = Mutation::parse_script(&script).map_err(|e| format!("{path}: {e}"))?;
+        // With --explain, prime the plan cache with the query *before* the
+        // batch — plan + retained view only, no defactorization — so the
+        // footprint pass has a view to maintain and the summary below
+        // reports what actually happened to it. Priming is best-effort: a
+        // query whose constants only exist after the mutation cannot even
+        // parse yet, and the summary says why.
+        let primed = if options.explain {
+            match session.prime(&query_text) {
+                Ok(retained) => retained,
+                Err(e) => {
+                    eprintln!("  (pre-mutation priming skipped: {e})");
+                    false
+                }
+            }
+        } else {
+            false
+        };
+        let maintained0 = session.plans_maintained();
+        let evicted0 = session.cache_invalidations();
+        let frontier0 = session.maintenance_frontier_nodes();
+        let micros0 = session.maintenance_micros();
         let outcome = session.apply_mutation(&mutation);
         eprintln!(
             "applied {path}: +{} -{} triples → epoch {}{}",
@@ -233,6 +254,22 @@ fn run() -> Result<(), String> {
                 ""
             }
         );
+        if options.explain {
+            eprintln!(
+                "  maintenance: {} plan(s) maintained in O(delta) \
+                 (frontier {} node(s), {} µs) · {} plan(s) evicted{}",
+                session.plans_maintained() - maintained0,
+                session.maintenance_frontier_nodes() - frontier0,
+                session.maintenance_micros() - micros0,
+                session.cache_invalidations() - evicted0,
+                if primed {
+                    ""
+                } else {
+                    " · (no retained view to maintain: the engine does not \
+                     maintain, or the query is unmaintainable)"
+                }
+            );
+        }
     }
 
     let evaluation = session.query(&query_text).map_err(|e| e.to_string())?;

@@ -34,9 +34,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use wireframe_api::{
-    Engine, EngineConfig, EngineRegistry, Evaluation, PreparedQuery, WireframeError,
+    Engine, EngineConfig, EngineRegistry, Evaluation, MaintainedView, PreparedQuery, WireframeError,
 };
-use wireframe_graph::{Graph, Mutation, MutationOp, MutationOutcome, PredId, StoreKind};
+use wireframe_graph::{EdgeDelta, Graph, Mutation, MutationOp, MutationOutcome, PredId, StoreKind};
 use wireframe_query::canonical::{footprints_intersect, isomorphic, plan_cache_key};
 use wireframe_query::{parse_query, ConjunctiveQuery};
 
@@ -45,11 +45,54 @@ use crate::registry::default_registry;
 /// Cache key: (engine name, colour-refinement form of the query).
 type CacheKey = (String, String);
 
-/// One cached prepared query plus its LRU stamp (a global logical clock
-/// value, updated on every hit).
+/// The retained-view state of one cached plan.
+///
+/// The retained view sits behind an `Arc` so readers clone the handle out
+/// of the slot lock and **evaluate outside every lock**: a serve never
+/// blocks a mutation's footprint pass (which runs under the state write
+/// lock). When a maintenance pass finds readers still holding the current
+/// state, it clones the view, maintains the clone, and swaps it in
+/// (copy-on-write) — readers keep answering from the snapshot their epoch
+/// entitles them to.
+enum ViewSlot {
+    /// No materialization attempt yet (first evaluation pending, or the
+    /// session/engine does not maintain).
+    Empty,
+    /// A retained view, incrementally maintained by mutations and served
+    /// directly (phase two only) on cache hits.
+    Retained(Arc<dyn MaintainedView>),
+    /// The engine declined to materialize this query (e.g. a cyclic query
+    /// under edge burnback): never re-attempt, always evaluate in full.
+    Unmaintainable,
+}
+
+/// Shared handle to a cached plan's view slot, cloned out of the shard lock
+/// so evaluation (which can be slow) never blocks unrelated cache traffic.
+type SharedViewSlot = Arc<RwLock<ViewSlot>>;
+
+/// One cached prepared query, its retained-view slot, and its LRU stamp (a
+/// global logical clock value, updated on every hit).
 struct CachedPlan {
     prepared: Arc<PreparedQuery>,
+    view: SharedViewSlot,
     last_used: AtomicU64,
+}
+
+/// What one mutation's cache pass did: entries maintained in place versus
+/// evicted, plus the maintenance cost actually paid.
+#[derive(Debug, Default, Clone, Copy)]
+struct MaintenancePass {
+    /// Cached entries whose footprint intersected the batch (examined under
+    /// a shard write lock). Zero for a non-intersecting mutation.
+    touched: u64,
+    /// Entries whose retained view was updated in place (kept).
+    maintained: u64,
+    /// Entries evicted (no retained view, or maintenance disabled).
+    evicted: u64,
+    /// Frontier nodes across all maintained views.
+    frontier_nodes: u64,
+    /// Wall-clock spent in `maintain`, microseconds.
+    micros: u64,
 }
 
 /// Colour keys can collide for non-isomorphic queries (1-WL), so each bucket
@@ -113,8 +156,13 @@ impl ShardedPlanCache {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Looks up a confirmed-isomorphic prepared query under the read lock.
-    fn find(&self, key: &CacheKey, query: &ConjunctiveQuery) -> Option<Arc<PreparedQuery>> {
+    /// Looks up a confirmed-isomorphic prepared query under the read lock,
+    /// returning its prepared form and its shared view slot.
+    fn find(
+        &self,
+        key: &CacheKey,
+        query: &ConjunctiveQuery,
+    ) -> Option<(Arc<PreparedQuery>, SharedViewSlot)> {
         let shard = Self::read(self.shard(key));
         let bucket = shard.get(key)?;
         // The colour key is only a filter; confirm an exact match before
@@ -123,17 +171,18 @@ impl ShardedPlanCache {
             .iter()
             .find(|e| isomorphic(query, e.prepared.query()))?;
         hit.last_used.store(self.tick(), Ordering::Relaxed);
-        Some(Arc::clone(&hit.prepared))
+        Some((Arc::clone(&hit.prepared), Arc::clone(&hit.view)))
     }
 
-    /// Inserts `prepared` unless a racing thread already cached an
-    /// isomorphic entry, returning whichever ends up cached.
+    /// Inserts `prepared` (with an [`ViewSlot::Empty`] view slot) unless a
+    /// racing thread already cached an isomorphic entry, returning whichever
+    /// entry ends up cached.
     fn insert(
         &self,
         key: CacheKey,
         query: &ConjunctiveQuery,
         prepared: Arc<PreparedQuery>,
-    ) -> Arc<PreparedQuery> {
+    ) -> (Arc<PreparedQuery>, SharedViewSlot) {
         let mut shard = Self::write(self.shard(&key));
         let bucket = shard.entry(key).or_default();
         if let Some(raced) = bucket
@@ -141,13 +190,15 @@ impl ShardedPlanCache {
             .find(|e| isomorphic(query, e.prepared.query()))
         {
             raced.last_used.store(self.tick(), Ordering::Relaxed);
-            return Arc::clone(&raced.prepared);
+            return (Arc::clone(&raced.prepared), Arc::clone(&raced.view));
         }
+        let view: SharedViewSlot = Arc::new(RwLock::new(ViewSlot::Empty));
         bucket.push(CachedPlan {
             prepared: Arc::clone(&prepared),
+            view: Arc::clone(&view),
             last_used: AtomicU64::new(self.tick()),
         });
-        prepared
+        (prepared, view)
     }
 
     /// Evicts least-recently-used entries until the cache fits its capacity
@@ -196,27 +247,79 @@ impl ShardedPlanCache {
         evicted
     }
 
-    /// Evicts every entry whose predicate footprint intersects `footprint`
-    /// (a mutation's touched predicates). Returns how many were evicted.
-    fn invalidate(&self, footprint: &[PredId]) -> u64 {
+    /// The footprint pass of one applied mutation: every cached entry whose
+    /// predicate footprint intersects `footprint` is either **maintained in
+    /// place** (when maintenance is on and the entry holds a retained view —
+    /// the view absorbs `delta` against the post-mutation `graph` and is
+    /// stamped with `epoch`) or **evicted** (the pre-maintenance behavior,
+    /// and the fallback for entries without a view).
+    ///
+    /// The footprint is computed once by the caller from the batch's *net*
+    /// [`EdgeDelta`] — never re-derived per entry or per shard — and each
+    /// shard is pre-screened under its **read** lock: a mutation whose
+    /// footprint intersects no cached plan takes no write lock and touches
+    /// no entry (`MaintenancePass::touched == 0`), which the regression
+    /// tests pin.
+    fn maintain_or_evict(
+        &self,
+        footprint: &[PredId],
+        graph: &Graph,
+        delta: &EdgeDelta,
+        epoch: u64,
+        maintain: bool,
+    ) -> MaintenancePass {
+        let mut pass = MaintenancePass::default();
         if footprint.is_empty() {
-            return 0;
+            return pass;
         }
-        let mut evicted = 0u64;
         for shard in &self.shards {
+            // Pre-screen without blocking readers or writers of innocent
+            // shards: only shards that actually hold an intersecting entry
+            // pay the write lock below.
+            let any_intersecting = Self::read(shard)
+                .values()
+                .flatten()
+                .any(|e| footprints_intersect(e.prepared.footprint(), footprint));
+            if !any_intersecting {
+                continue;
+            }
             let mut guard = Self::write(shard);
             guard.retain(|_, bucket| {
                 bucket.retain(|e| {
-                    let keep = !footprints_intersect(e.prepared.footprint(), footprint);
-                    if !keep {
-                        evicted += 1;
+                    if !footprints_intersect(e.prepared.footprint(), footprint) {
+                        return true;
                     }
-                    keep
+                    pass.touched += 1;
+                    if maintain {
+                        let mut slot = e.view.write().unwrap_or_else(|p| p.into_inner());
+                        if let ViewSlot::Retained(view) = &mut *slot {
+                            let t = std::time::Instant::now();
+                            // Readers hold `Arc` clones and evaluate outside
+                            // this lock; maintain in place when the slot is
+                            // the only holder, otherwise copy-on-write so
+                            // in-flight serves keep their snapshot.
+                            let stats = match Arc::get_mut(view) {
+                                Some(exclusive) => exclusive.maintain(graph, delta, epoch),
+                                None => {
+                                    let mut cloned = view.clone_view();
+                                    let stats = cloned.maintain(graph, delta, epoch);
+                                    *view = Arc::from(cloned);
+                                    stats
+                                }
+                            };
+                            pass.maintained += 1;
+                            pass.frontier_nodes += stats.frontier_nodes as u64;
+                            pass.micros += t.elapsed().as_micros() as u64;
+                            return true;
+                        }
+                    }
+                    pass.evicted += 1;
+                    false
                 });
                 !bucket.is_empty()
             });
         }
-        evicted
+        pass
     }
 
     fn len(&self) -> usize {
@@ -270,7 +373,7 @@ struct GraphState {
 /// global logical clock; [`Session::cache_evictions`] counts evictions and
 /// [`Session::clear_cache`] empties the cache outright.
 ///
-/// # Dynamic graphs and epochs
+/// # Dynamic graphs, epochs, and maintained views
 ///
 /// [`Session::insert_triples`], [`Session::remove_triples`] and
 /// [`Session::apply_mutation`] update the graph by swapping in a **new
@@ -278,10 +381,25 @@ struct GraphState {
 /// [`StoreKind::Delta`] backend versions share their base, making this the
 /// live-serving path). Each applied batch advances the session **epoch**
 /// ([`Session::epoch`]), which is stamped into every [`Evaluation::epoch`].
-/// The prepared-plan cache is invalidated by **predicate footprint**: only
-/// cached queries mentioning a mutated predicate are evicted (counted by
-/// [`Session::cache_invalidations`]); everything else keeps serving hits
-/// across epochs. Delta compactions triggered by mutations are counted by
+///
+/// For engines that support it (the Wireframe engine, via
+/// [`wireframe_api::MaintainedView`]), cached plans carry a **retained
+/// view** — the factorized answer graph kept as a first-class artifact —
+/// and cache hits are served by defactorizing the view on demand instead of
+/// re-running the whole pipeline ([`Session::view_serves`] counts these).
+/// Mutations then apply **footprint maintenance**: a batch's net
+/// [`EdgeDelta`] is folded into every intersecting view in `O(delta)`
+/// ([`Session::plans_maintained`], [`Session::maintenance_frontier_nodes`],
+/// [`Session::maintenance_micros`]), and views are stamped with the epoch
+/// they were maintained to; staleness is verified against the reader's
+/// snapshot under the same `RwLock` that swaps graph versions. Entries
+/// without a maintainable view — non-maintaining engines, cyclic queries
+/// under edge burnback, or a session built
+/// [`Session::with_maintenance`]`(false)` — fall back to the old policy:
+/// footprint **eviction** plus from-scratch re-evaluation (counted by
+/// [`Session::cache_invalidations`]). Non-intersecting plans are never
+/// touched either way ([`Session::mutation_cache_touches`]). Delta
+/// compactions triggered by mutations are counted by
 /// [`Session::compactions`].
 ///
 /// # Concurrency
@@ -300,12 +418,23 @@ pub struct Session {
     registry: EngineRegistry,
     engine: String,
     config: EngineConfig,
+    /// Whether mutations *maintain* retained views in place (the default).
+    /// Off, every intersecting cache entry is evicted and re-evaluated from
+    /// scratch — the pre-maintenance behavior, kept selectable so the churn
+    /// benchmark can compare the two policies (`wfbench --maintenance`).
+    maintenance: bool,
     cache: ShardedPlanCache,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
     compactions: AtomicU64,
+    maintained: AtomicU64,
+    maintenance_frontier: AtomicU64,
+    maintenance_micros: AtomicU64,
+    mutation_touches: AtomicU64,
+    view_serves: AtomicU64,
+    full_evals: AtomicU64,
 }
 
 // The serving path relies on sessions being shareable across threads; keep
@@ -343,13 +472,36 @@ impl Session {
             registry,
             engine,
             config: EngineConfig::default(),
+            maintenance: true,
             cache: ShardedPlanCache::new(DEFAULT_CACHE_CAPACITY),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            maintained: AtomicU64::new(0),
+            maintenance_frontier: AtomicU64::new(0),
+            maintenance_micros: AtomicU64::new(0),
+            mutation_touches: AtomicU64::new(0),
+            view_serves: AtomicU64::new(0),
+            full_evals: AtomicU64::new(0),
         }
+    }
+
+    /// Selects the mutation policy for cached plans (builder form; default
+    /// `true`). With maintenance on, a mutation whose footprint intersects a
+    /// cached maintainable view updates that view in `O(delta)` and keeps
+    /// serving it; off, intersecting entries are evicted and re-evaluated
+    /// from scratch on next use (the policy `wfbench --maintenance reeval`
+    /// measures against).
+    pub fn with_maintenance(mut self, enabled: bool) -> Self {
+        self.maintenance = enabled;
+        self
+    }
+
+    /// Whether mutations maintain retained views instead of evicting them.
+    pub fn maintenance_enabled(&self) -> bool {
+        self.maintenance
     }
 
     /// Selects the engine used by subsequent queries (builder form).
@@ -479,10 +631,141 @@ impl Session {
         let engine = self
             .registry
             .build_shared(&self.engine, graph, &self.config)?;
-        let prepared = self.prepare_on(engine.as_ref(), epoch, query)?;
+        let (prepared, view) = self.prepare_slot_on(engine.as_ref(), epoch, query)?;
+
+        if self.views_active(engine.as_ref()) {
+            // Serve from the retained view when its stamp does not exceed
+            // this reader's snapshot epoch. `<=` is sound because every
+            // intersecting mutation maintains the view *before* releasing
+            // the state write lock: a reader that observed epoch `e` under
+            // the state read lock is guaranteed that any view stamped
+            // earlier simply had no intersecting mutation since — it is
+            // still exact at `e`. A stamp *beyond* `e` means the view was
+            // maintained past a snapshot this reader is still holding —
+            // graphs are immutable versions, so the reader gets a correct
+            // answer for *its* epoch from the full pipeline below.
+            //
+            // The `Arc` is cloned out of the slot lock and evaluated with
+            // no lock held, so a slow defactorization never stalls a
+            // mutation's footprint pass (which copy-on-writes around
+            // concurrent holders instead).
+            let retained = {
+                let slot = view.read().unwrap_or_else(|p| p.into_inner());
+                match &*slot {
+                    ViewSlot::Retained(retained) if retained.epoch() <= epoch => {
+                        Some(Arc::clone(retained))
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(retained) = retained {
+                let mut evaluation = retained.evaluate()?;
+                evaluation.epoch = epoch;
+                self.view_serves.fetch_add(1, Ordering::Relaxed);
+                return Ok(evaluation);
+            }
+            // First use (or a stale slot): run the full phase-one pipeline
+            // once, retain the result, and answer from it.
+            let t = std::time::Instant::now();
+            if let Some(fresh) = self.materialize_slot(engine.as_ref(), &prepared, &view, epoch)? {
+                let phase_one = t.elapsed();
+                let mut evaluation = fresh.evaluate()?;
+                evaluation.epoch = epoch;
+                // This call *did* pay planning + generation (+ burnback);
+                // the trait cannot hand the split back, so the lump is
+                // reported as answer-graph time — Timings::total stays
+                // honest for the miss that built the view.
+                evaluation.timings.answer_graph += phase_one;
+                return Ok(evaluation);
+            }
+        }
+
         let mut evaluation = engine.evaluate(&prepared)?;
+        self.full_evals.fetch_add(1, Ordering::Relaxed);
         evaluation.epoch = epoch;
         Ok(evaluation)
+    }
+
+    /// Whether this session serves the given engine through retained views.
+    fn views_active(&self, engine: &dyn Engine) -> bool {
+        self.maintenance && engine.supports_maintenance()
+    }
+
+    /// First-use materialization of a cached plan's view slot: runs phase
+    /// one once, stamps `epoch`, and retains the view unless a mutation
+    /// landed meanwhile. Returns the view (for serving) when one was
+    /// created, `None` when the slot is already decided (retained elsewhere
+    /// or unmaintainable) or the engine declined.
+    fn materialize_slot(
+        &self,
+        engine: &dyn Engine,
+        prepared: &PreparedQuery,
+        slot: &SharedViewSlot,
+        epoch: u64,
+    ) -> Result<Option<Arc<dyn MaintainedView>>, WireframeError> {
+        if !matches!(
+            &*slot.read().unwrap_or_else(|p| p.into_inner()),
+            ViewSlot::Empty
+        ) {
+            return Ok(None);
+        }
+        let made = engine.materialize(prepared)?;
+        match made {
+            Some(mut fresh) => {
+                self.full_evals.fetch_add(1, Ordering::Relaxed);
+                fresh.set_epoch(epoch);
+                let fresh: Arc<dyn MaintainedView> = Arc::from(fresh);
+                // Retain under the state read lock, and only if no mutation
+                // landed while materializing: a view built on a superseded
+                // snapshot must not be stored as current (`apply_mutation`
+                // maintains views while holding the state *write* lock).
+                let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+                if state.epoch == epoch {
+                    let mut guard = slot.write().unwrap_or_else(|p| p.into_inner());
+                    if matches!(&*guard, ViewSlot::Empty) {
+                        *guard = ViewSlot::Retained(Arc::clone(&fresh));
+                    }
+                }
+                Ok(Some(fresh))
+            }
+            None => {
+                // Epoch-independent property of the query shape + engine
+                // options (the engine declines before paying phase one):
+                // record it so hits never re-ask.
+                let mut guard = slot.write().unwrap_or_else(|p| p.into_inner());
+                if matches!(&*guard, ViewSlot::Empty) {
+                    *guard = ViewSlot::Unmaintainable;
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Warms the cache for `text` without producing an answer: parses,
+    /// prepares (caching the plan), and — when the session and engine
+    /// maintain — materializes and retains the query's view, all without
+    /// defactorizing. Returns `true` when a retained view now exists.
+    /// Useful to pre-warm a serving session, and used by
+    /// `wfquery --mutations --explain` so the maintenance summary has a
+    /// view to report on without paying a full pre-mutation evaluation.
+    pub fn prime(&self, text: &str) -> Result<bool, WireframeError> {
+        let (graph, epoch) = self.snapshot();
+        let query = parse_query(text, graph.dictionary())?;
+        let engine = self
+            .registry
+            .build_shared(&self.engine, &graph, &self.config)?;
+        let (prepared, slot) = self.prepare_slot_on(engine.as_ref(), epoch, &query)?;
+        if !self.views_active(engine.as_ref()) {
+            return Ok(false);
+        }
+        if self
+            .materialize_slot(engine.as_ref(), &prepared, &slot, epoch)?
+            .is_some()
+        {
+            return Ok(true);
+        }
+        let guard = slot.read().unwrap_or_else(|p| p.into_inner());
+        Ok(matches!(&*guard, ViewSlot::Retained(_)))
     }
 
     /// Returns the prepared form of `query` for the selected engine, from the
@@ -492,17 +775,19 @@ impl Session {
         let engine = self
             .registry
             .build_shared(&self.engine, &graph, &self.config)?;
-        self.prepare_on(engine.as_ref(), epoch, query)
+        self.prepare_slot_on(engine.as_ref(), epoch, query)
+            .map(|(prepared, _)| prepared)
     }
 
-    /// Cache lookup + preparation on an already-built engine. `epoch` is the
+    /// Cache lookup + preparation on an already-built engine, returning the
+    /// prepared query together with its retained-view slot. `epoch` is the
     /// epoch of the snapshot the engine was built over.
-    fn prepare_on(
+    fn prepare_slot_on(
         &self,
         engine: &dyn Engine,
         epoch: u64,
         query: &ConjunctiveQuery,
-    ) -> Result<Arc<PreparedQuery>, WireframeError> {
+    ) -> Result<(Arc<PreparedQuery>, SharedViewSlot), WireframeError> {
         let key = (
             self.engine.clone(),
             plan_cache_key(query).as_str().to_owned(),
@@ -519,14 +804,14 @@ impl Session {
         let prepared = Arc::new(engine.prepare(query)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Insert under the state read lock, and only if no mutation landed
-        // while we were preparing. `apply_mutation` invalidates the cache
+        // while we were preparing. `apply_mutation` runs its footprint pass
         // while holding the state *write* lock, so either this insert
-        // completes before a racing mutation's invalidation pass (which then
+        // completes before a racing mutation's pass (which then maintains or
         // evicts it like any other entry), or the epoch check below sees the
         // new epoch and the possibly-stale plan is returned uncached.
         let state = self.state.read().unwrap_or_else(|e| e.into_inner());
         if state.epoch != epoch {
-            return Ok(prepared);
+            return Ok((prepared, Arc::new(RwLock::new(ViewSlot::Empty))));
         }
         let cached = self.cache.insert(key, query, prepared);
         drop(state);
@@ -538,31 +823,50 @@ impl Session {
     }
 
     /// Applies a mutation batch: swaps in the new graph version, advances
-    /// the epoch, and evicts exactly the cached plans whose predicate
-    /// footprint the batch touched. Readers in flight keep their snapshot.
+    /// the epoch, and runs the footprint pass over the plan cache — cached
+    /// views whose predicate footprint the batch touched are **maintained**
+    /// in `O(delta)` (kept serving, stamped with the new epoch); entries
+    /// without a maintainable view (or with [`Session::with_maintenance`]
+    /// off) are evicted as before. Readers in flight keep their snapshot.
+    ///
+    /// The footprint is derived once, from the batch's **net**
+    /// [`EdgeDelta`] — already dictionary-resolved, already set-semantics
+    /// clean — so a batch that nets out to nothing (or touches only
+    /// predicates no cached plan mentions) performs zero cache work: no
+    /// label re-resolution, no per-shard write locks, no entries touched
+    /// (see [`Session::mutation_cache_touches`]).
     pub fn apply_mutation(&self, mutation: &Mutation) -> MutationOutcome {
         let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
         let (next, outcome) = state.graph.apply(mutation);
-        // Resolve the batch's predicate labels against the new dictionary
-        // (which extends the old one, so cached footprints — resolved
-        // earlier — remain comparable).
-        let mut footprint: Vec<PredId> = mutation
-            .ops()
-            .iter()
-            .filter_map(|(_, _, p, _)| next.dictionary().predicate_id(p))
-            .collect();
-        footprint.sort_unstable();
-        footprint.dedup();
-        state.graph = Arc::new(next);
+        let next = Arc::new(next);
+        state.graph = Arc::clone(&next);
         state.epoch += 1;
-        // Invalidate while still holding the state write lock: a concurrent
-        // preparer either inserted its plan before we got the lock (then the
-        // pass below evicts it) or will observe the bumped epoch under the
-        // read lock and skip caching. Lock order is state → cache shard on
-        // both paths, so this cannot deadlock.
-        if outcome.inserted + outcome.removed > 0 {
-            let evicted = self.cache.invalidate(&footprint);
-            self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+        let epoch = state.epoch;
+        // Run the footprint pass while still holding the state write lock:
+        // a concurrent preparer either inserted its plan before we got the
+        // lock (then the pass below maintains/evicts it) or will observe the
+        // bumped epoch under the read lock and skip caching. Lock order is
+        // state → cache shard → view slot on both paths, so this cannot
+        // deadlock.
+        if !outcome.delta.is_empty() {
+            let footprint: Vec<PredId> = outcome.delta.predicates();
+            let pass = self.cache.maintain_or_evict(
+                &footprint,
+                &next,
+                &outcome.delta,
+                epoch,
+                self.maintenance,
+            );
+            self.invalidations
+                .fetch_add(pass.evicted, Ordering::Relaxed);
+            self.maintained
+                .fetch_add(pass.maintained, Ordering::Relaxed);
+            self.maintenance_frontier
+                .fetch_add(pass.frontier_nodes, Ordering::Relaxed);
+            self.maintenance_micros
+                .fetch_add(pass.micros, Ordering::Relaxed);
+            self.mutation_touches
+                .fetch_add(pass.touched, Ordering::Relaxed);
         }
         drop(state);
         if outcome.compacted {
@@ -615,6 +919,44 @@ impl Session {
     /// Number of cache entries evicted by mutation footprints so far.
     pub fn cache_invalidations(&self) -> u64 {
         self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Number of retained views maintained in place by mutations so far
+    /// (each is one cached plan that kept serving instead of being evicted).
+    pub fn plans_maintained(&self) -> u64 {
+        self.maintained.load(Ordering::Relaxed)
+    }
+
+    /// Total maintenance frontier (answer-graph nodes from which local
+    /// burnback/revival cascaded) across all maintained views so far.
+    pub fn maintenance_frontier_nodes(&self) -> u64 {
+        self.maintenance_frontier.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock spent maintaining views, in microseconds.
+    pub fn maintenance_micros(&self) -> u64 {
+        self.maintenance_micros.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached entries examined under a shard write lock by
+    /// mutation footprint passes. A mutation whose net footprint intersects
+    /// no cached plan leaves this unchanged — the zero-cache-work guarantee
+    /// the regression tests pin.
+    pub fn mutation_cache_touches(&self) -> u64 {
+        self.mutation_touches.load(Ordering::Relaxed)
+    }
+
+    /// Number of evaluations served purely from a retained view
+    /// (defactorization only — no planning, no answer-graph generation).
+    pub fn view_serves(&self) -> u64 {
+        self.view_serves.load(Ordering::Relaxed)
+    }
+
+    /// Number of full pipeline runs (answer-graph generation) performed:
+    /// engine evaluations plus view materializations. The churn benchmark
+    /// compares this between the maintenance policies.
+    pub fn full_evaluations(&self) -> u64 {
+        self.full_evals.load(Ordering::Relaxed)
     }
 
     /// Number of delta-store compactions triggered by this session's
@@ -904,13 +1246,21 @@ mod tests {
         assert_eq!(session.epoch(), 3);
     }
 
-    #[test]
-    fn mutation_invalidates_only_intersecting_footprints() {
+    fn knows_likes_graph() -> Graph {
         let mut b = GraphBuilder::new();
         b.add("alice", "knows", "bob");
         b.add("bob", "knows", "carol");
         b.add("alice", "likes", "pizza");
-        let session = Session::new(b.build()).with_store(StoreKind::Delta);
+        b.build()
+    }
+
+    #[test]
+    fn mutation_invalidates_only_intersecting_footprints() {
+        // Maintenance off: the pre-maintenance eviction policy, pinned.
+        let session = Session::new(knows_likes_graph())
+            .with_store(StoreKind::Delta)
+            .with_maintenance(false);
+        assert!(!session.maintenance_enabled());
 
         let knows_q = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
         let likes_q = "SELECT * WHERE { ?x :likes ?y . }";
@@ -923,6 +1273,8 @@ mod tests {
         session.insert_triples([("bob", "likes", "pasta")]);
         assert_eq!(session.cache_invalidations(), 1, "only the likes plan");
         assert_eq!(session.cached_queries(), 1);
+        assert_eq!(session.plans_maintained(), 0, "maintenance is off");
+        assert_eq!(session.mutation_cache_touches(), 1);
 
         let hits_before = session.cache_hits();
         let ev = session.query(knows_q).unwrap();
@@ -937,6 +1289,162 @@ mod tests {
         let invalidations = session.cache_invalidations();
         session.insert_triples([("bob", "likes", "pasta")]);
         assert_eq!(session.cache_invalidations(), invalidations);
+    }
+
+    #[test]
+    fn mutation_maintains_intersecting_views_in_place() {
+        // Maintenance on (the default): intersecting wireframe plans are
+        // kept and their retained views updated in O(delta).
+        let session = Session::new(knows_likes_graph()).with_store(StoreKind::Delta);
+        assert!(session.maintenance_enabled());
+
+        let knows_q = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        let likes_q = "SELECT * WHERE { ?x :likes ?y . }";
+        assert_eq!(session.query(knows_q).unwrap().embedding_count(), 1);
+        session.query(likes_q).unwrap();
+        assert_eq!(session.full_evaluations(), 2, "one pipeline run each");
+
+        session.insert_triples([("carol", "knows", "dave")]);
+        assert_eq!(session.plans_maintained(), 1, "the knows view");
+        assert_eq!(session.cache_invalidations(), 0, "nothing evicted");
+        assert_eq!(session.cached_queries(), 2, "both plans survive");
+        assert_eq!(session.mutation_cache_touches(), 1);
+
+        // The maintained view serves the post-mutation answer as a cache
+        // hit, with no new full evaluation.
+        let full_before = session.full_evaluations();
+        let ev = session.query(knows_q).unwrap();
+        assert_eq!(ev.epoch, 1);
+        assert_eq!(ev.embedding_count(), 2, "the new 2-chain appears");
+        let info = ev.maintenance.expect("served from a maintained view");
+        assert_eq!(info.maintained_epoch, 1);
+        assert_eq!(info.passes, 1);
+        assert_eq!(session.full_evaluations(), full_before, "phase two only");
+        assert!(session.view_serves() >= 1);
+
+        // Removal maintains too.
+        session.remove_triples([("alice", "knows", "bob")]);
+        assert_eq!(session.plans_maintained(), 2);
+        let ev = session.query(knows_q).unwrap();
+        assert_eq!(ev.epoch, 2);
+        assert_eq!(ev.embedding_count(), 1, "bob's chain is gone");
+    }
+
+    #[test]
+    fn non_intersecting_mutation_performs_zero_cache_work() {
+        // Regression test for the footprint pass: the footprint is derived
+        // once from the net delta, and a batch that intersects no cached
+        // plan must take no shard write lock and touch no entry.
+        let session = Session::new(knows_likes_graph()).with_store(StoreKind::Delta);
+        let knows_q = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        session.query(knows_q).unwrap();
+        assert_eq!(session.cached_queries(), 1);
+
+        // `likes` and the brand-new `admires` intersect no cached footprint.
+        session.insert_triples([("bob", "likes", "pasta"), ("bob", "admires", "carol")]);
+        assert_eq!(session.mutation_cache_touches(), 0, "zero entries touched");
+        assert_eq!(session.cache_invalidations(), 0);
+        assert_eq!(session.plans_maintained(), 0);
+        assert_eq!(session.cached_queries(), 1, "the knows plan is intact");
+
+        // A batch that nets out to nothing (set semantics) is free too,
+        // even over an intersecting predicate.
+        session.insert_triples([("alice", "knows", "bob")]); // already present
+        assert_eq!(session.mutation_cache_touches(), 0);
+
+        // And the untouched plan keeps serving from its retained view: no
+        // new full evaluation even though the epoch advanced past the
+        // view's stamp (non-intersecting epochs cannot stale a view).
+        let hits = session.cache_hits();
+        let full = session.full_evaluations();
+        let ev = session.query(knows_q).unwrap();
+        assert_eq!(session.cache_hits(), hits + 1);
+        assert_eq!(session.full_evaluations(), full, "served from the view");
+        assert_eq!(ev.epoch, 2, "one real batch plus one no-op batch");
+        assert!(ev.maintenance.is_some());
+    }
+
+    #[test]
+    fn view_serving_skips_the_full_pipeline_on_hits() {
+        let session = Session::new(knows_graph());
+        let text = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        let first = session.query(text).unwrap();
+        assert_eq!(session.full_evaluations(), 1);
+        assert_eq!(session.view_serves(), 0, "the miss ran the pipeline");
+
+        let second = session.query(text).unwrap();
+        assert_eq!(session.full_evaluations(), 1, "no second pipeline run");
+        assert_eq!(session.view_serves(), 1);
+        assert!(first.embeddings().same_answer(second.embeddings()));
+        assert!(second.maintenance.is_some(), "view-served answers say so");
+        assert_eq!(
+            second.answer_graph_size(),
+            first.answer_graph_size(),
+            "the retained view reports the same |AG|"
+        );
+
+        // Non-maintaining engines keep the plain path.
+        let baseline = Session::new(knows_graph())
+            .with_engine("relational")
+            .unwrap();
+        baseline.query(text).unwrap();
+        baseline.query(text).unwrap();
+        assert_eq!(baseline.view_serves(), 0);
+        assert_eq!(baseline.full_evaluations(), 2);
+    }
+
+    #[test]
+    fn prime_retains_a_view_without_evaluating() {
+        let session = Session::new(knows_graph()).with_store(StoreKind::Delta);
+        let text = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        assert!(session.prime(text).unwrap(), "a view is retained");
+        assert_eq!(session.full_evaluations(), 1, "phase one ran once");
+        assert_eq!(session.view_serves(), 0, "nothing was answered");
+        assert!(session.prime(text).unwrap(), "idempotent, already retained");
+        assert_eq!(session.full_evaluations(), 1);
+
+        // The primed view is maintained by mutations and serves directly.
+        session.insert_triples([("dave", "knows", "erin")]);
+        assert_eq!(session.plans_maintained(), 1);
+        let ev = session.query(text).unwrap();
+        assert_eq!(ev.embedding_count(), 3, "the new 2-chain appears");
+        assert_eq!(session.full_evaluations(), 1, "served from the view");
+
+        // Non-maintaining engines prime the plan only.
+        let baseline = Session::new(knows_graph())
+            .with_engine("sortmerge")
+            .unwrap();
+        assert!(!baseline.prime(text).unwrap());
+        assert_eq!(baseline.cache_misses(), 1, "the plan is cached");
+
+        // Unparsable text errors instead of silently doing nothing.
+        assert!(session.prime("SELECT WHERE").is_err());
+    }
+
+    #[test]
+    fn unmaintainable_views_fall_back_to_eviction() {
+        // A cyclic query under edge burnback cannot be maintained: the
+        // session must serve it via the full pipeline and evict it on
+        // intersecting mutations.
+        let mut b = GraphBuilder::new();
+        b.add("3", "A", "4");
+        b.add("3", "B", "2");
+        b.add("4", "C", "1");
+        b.add("2", "D", "1");
+        let session = Session::new(b.build())
+            .with_store(StoreKind::Delta)
+            .with_config(EngineConfig::default().with_edge_burnback());
+        let q = "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }";
+        assert_eq!(session.query(q).unwrap().embedding_count(), 1);
+        session.query(q).unwrap();
+        assert_eq!(session.view_serves(), 0, "no retained view exists");
+
+        session.insert_triples([("7", "A", "8")]);
+        assert_eq!(session.plans_maintained(), 0);
+        assert_eq!(session.cache_invalidations(), 1, "evicted instead");
+        let ev = session.query(q).unwrap();
+        assert_eq!(ev.epoch, 1);
+        assert!(ev.maintenance.is_none());
     }
 
     #[test]

@@ -146,7 +146,7 @@ fn wireframe_walks_fewer_edges_than_exploration_on_snowflakes() {
         }
         let w = wf.execute(&bq.query).unwrap();
         let (_, stats) = exp.evaluate_with_stats(&bq.query).unwrap();
-        wf_total += w.generation.edge_walks;
+        wf_total += w.generation().edge_walks;
         exp_total += stats.edge_walks;
     }
     assert!(

@@ -60,7 +60,7 @@ fn figure1_answer_graph_is_eight_edges_and_twelve_embeddings() {
     // The answer graph is exactly the red sub-graph of Figure 1.
     let dict = g.dictionary();
     let n = |label: &str| dict.node_id(label).unwrap();
-    let a_edges = out.answer_graph.pattern(0);
+    let a_edges = out.answer_graph().pattern(0);
     assert!(a_edges.contains(n("1"), n("5")));
     assert!(a_edges.contains(n("2"), n("5")));
     assert!(a_edges.contains(n("3"), n("5")));
@@ -68,10 +68,10 @@ fn figure1_answer_graph_is_eight_edges_and_twelve_embeddings() {
         !a_edges.contains(n("4"), n("6")),
         "the A-edge 4->6 is burned back"
     );
-    let b_edges = out.answer_graph.pattern(1);
+    let b_edges = out.answer_graph().pattern(1);
     assert_eq!(b_edges.len(), 1);
     assert!(b_edges.contains(n("5"), n("9")));
-    let c_edges = out.answer_graph.pattern(2);
+    let c_edges = out.answer_graph().pattern(2);
     assert_eq!(c_edges.len(), 4);
     assert!(
         !c_edges.contains(n("11"), n("15")),
@@ -90,22 +90,22 @@ fn figure2_trace_shows_extension_and_burnback() {
     let engine = WireframeEngine::with_options(&g, EvalOptions::default().with_trace());
     let out = engine.execute(&q).unwrap();
     assert_eq!(
-        out.generation.steps.len(),
+        out.generation().steps.len(),
         3,
         "one extension step per query edge"
     );
     assert!(
-        out.generation.edges_burned >= 1,
+        out.generation().edges_burned >= 1,
         "at least one edge (A 4->6 or C 11->15) must be burned back"
     );
-    let last = out.generation.steps.last().unwrap();
+    let last = out.generation().steps.last().unwrap();
     assert_eq!(
         last.ag_edges_after, 8,
         "the trace ends at the final answer graph"
     );
     // Edge walks are bounded by the data size and at least the AG size.
-    assert!(out.generation.edge_walks >= 8);
-    assert!(out.generation.edge_walks <= g.triple_count() as u64 * 2);
+    assert!(out.generation().edge_walks >= 8);
+    assert!(out.generation().edge_walks <= g.triple_count() as u64 * 2);
 }
 
 #[test]
@@ -164,7 +164,7 @@ fn acyclic_answer_graphs_are_ideal() {
     let out = WireframeEngine::new(&g).execute(&q).unwrap();
 
     for (i, pattern) in q.patterns().iter().enumerate() {
-        for (s, o) in out.answer_graph.pattern(i).iter() {
+        for (s, o) in out.answer_graph().pattern(i).iter() {
             let sv = pattern.subject.as_var().unwrap();
             let ov = pattern.object.as_var().unwrap();
             let used = out.embeddings().rows().any(|t| {

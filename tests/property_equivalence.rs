@@ -165,7 +165,7 @@ fn acyclic_answer_graphs_are_ideal() {
             let ov = pattern.object.as_var().unwrap();
             let s_col = emb.schema().iter().position(|v| *v == sv).unwrap();
             let o_col = emb.schema().iter().position(|v| *v == ov).unwrap();
-            for (s, o) in out.answer_graph.pattern(i).iter() {
+            for (s, o) in out.answer_graph().pattern(i).iter() {
                 let used = emb.rows().any(|t| t[s_col] == s && t[o_col] == o);
                 assert!(used, "unused AG edge in pattern {i}: ({s:?}, {o:?})");
             }
@@ -203,7 +203,7 @@ fn edge_burnback_yields_ideal_diamond_answer_graphs() {
             let ov = pattern.object.as_var().unwrap();
             let s_col = emb.schema().iter().position(|v| *v == sv).unwrap();
             let o_col = emb.schema().iter().position(|v| *v == ov).unwrap();
-            for (s, o) in out.answer_graph.pattern(i).iter() {
+            for (s, o) in out.answer_graph().pattern(i).iter() {
                 let used = emb.rows().any(|t| t[s_col] == s && t[o_col] == o);
                 assert!(
                     used,
@@ -249,12 +249,12 @@ fn burnback_statistics_are_consistent() {
             .execute(&query)
             .unwrap();
         // Added minus burned equals what is left in the AG.
-        let added = out.generation.edges_added;
-        let burned = out.generation.edges_burned;
+        let added = out.generation().edges_added;
+        let burned = out.generation().edges_burned;
         assert_eq!(added - burned, out.answer_graph_size() as u64);
         // Step traces sum to the aggregate counters.
         let step_added: u64 = out
-            .generation
+            .generation()
             .steps
             .iter()
             .map(|s| s.edges_added as u64)

@@ -324,6 +324,116 @@ fn registry_workload_matrix_agrees_on_every_store_after_churn() {
     );
 }
 
+/// The incremental-maintenance equivalence property: after **every** seeded
+/// mutation batch, a maintained `MaterializedQuery`'s answer graph — pattern
+/// edges, variable node sets, *and* the embeddings defactorized from it —
+/// must be identical to a from-scratch evaluation on the mutated graph.
+/// Exercised on all three storage backends; on the delta store both with a
+/// forced compaction cycle (even seeds) and on the pure-overlay path (odd
+/// seeds).
+#[test]
+fn maintained_views_equal_fresh_evaluation_on_every_store() {
+    use wireframe::core::{MaterializedQuery, WireframeEngine};
+    use wireframe::query::{ConjunctiveQuery, CqBuilder};
+
+    fn chain(graph: &Graph, labels: &[&str]) -> ConjunctiveQuery {
+        let mut qb = CqBuilder::new(graph.dictionary());
+        for (i, l) in labels.iter().enumerate() {
+            qb.pattern(&format!("?v{i}"), l, &format!("?v{}", i + 1))
+                .unwrap();
+        }
+        qb.build().unwrap()
+    }
+
+    fn two_cycle(graph: &Graph) -> ConjunctiveQuery {
+        let mut qb = CqBuilder::new(graph.dictionary());
+        qb.pattern("?a", "A", "?b").unwrap();
+        qb.pattern("?b", "B", "?a").unwrap();
+        qb.build().unwrap()
+    }
+
+    fn assert_view_matches_fresh(
+        view: &MaterializedQuery,
+        graph: &Graph,
+        query: &ConjunctiveQuery,
+        context: &str,
+    ) {
+        let fresh = WireframeEngine::new(graph).execute(query).unwrap();
+        for q in 0..query.num_patterns() {
+            let mut maintained: Vec<_> = view.answer_graph().pattern(q).iter().collect();
+            let mut scratch: Vec<_> = fresh.answer_graph().pattern(q).iter().collect();
+            maintained.sort_unstable();
+            scratch.sort_unstable();
+            assert_eq!(maintained, scratch, "{context}: pattern {q} edges");
+        }
+        for v in query.variables() {
+            assert_eq!(
+                view.answer_graph().node_set(v).to_sorted_vec(),
+                fresh.answer_graph().node_set(v).to_sorted_vec(),
+                "{context}: node set of {v:?}"
+            );
+        }
+        let (embeddings, _) = view.defactorize().unwrap();
+        assert_eq!(
+            embeddings.len(),
+            fresh.embedding_count(),
+            "{context}: embedding counts"
+        );
+        assert!(
+            embeddings.same_answer(fresh.embeddings()),
+            "{context}: defactorized embeddings"
+        );
+    }
+
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(0x11A1 + seed);
+        let edges = gen_edges(&mut rng);
+        for kind in [StoreKind::Csr, StoreKind::Map, StoreKind::Delta] {
+            let mut graph = build(&edges, kind);
+            if kind == StoreKind::Delta {
+                // Even seeds force a compaction cycle mid-churn; odd seeds
+                // stay on the overlay, so maintenance sees both shapes.
+                let threshold = if seed % 2 == 0 { 0.01 } else { 1e9 };
+                graph = graph.with_compaction_threshold(threshold);
+            }
+            let queries = vec![
+                chain(&graph, &["A", "B"]),
+                chain(&graph, &["C", "D", "E"]),
+                two_cycle(&graph),
+            ];
+            let mut views: Vec<MaterializedQuery> = queries
+                .iter()
+                .map(|q| WireframeEngine::new(&graph).execute(q).unwrap().into_view())
+                .collect();
+
+            let mut fresh_tag = 0usize;
+            let mut compactions = 0usize;
+            for batch_no in 0..4u64 {
+                let mutation = random_batch(&graph, &mut rng, 25, &mut fresh_tag);
+                let (next, outcome) = graph.apply(&mutation);
+                compactions += outcome.compacted as usize;
+                graph = next;
+                for (view, query) in views.iter_mut().zip(&queries) {
+                    view.maintain(&graph, &outcome.delta, batch_no + 1);
+                    assert_eq!(view.epoch(), batch_no + 1);
+                    assert_view_matches_fresh(
+                        view,
+                        &graph,
+                        query,
+                        &format!("seed {seed} {kind:?} batch {batch_no}"),
+                    );
+                }
+            }
+            if kind == StoreKind::Delta && seed % 2 == 0 {
+                assert!(
+                    compactions >= 1,
+                    "seed {seed}: maintenance must survive a forced compaction"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn random_queries_agree_across_stores_through_the_wireframe_engine() {
     use wireframe::core::WireframeEngine;

@@ -95,7 +95,7 @@ fn edge_walks_scale_with_answer_graph_not_embeddings() {
             continue;
         }
         let out = wf.execute(&bq.query).unwrap();
-        let walks = out.generation.edge_walks;
+        let walks = out.generation().edge_walks;
         let embeddings = out.embedding_count() as u64;
         assert!(
             walks < embeddings.max(1) * 2,
