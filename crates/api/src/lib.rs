@@ -27,6 +27,7 @@ mod evaluation;
 mod prepared;
 mod registry;
 mod view;
+pub mod wire;
 
 pub use engine::{Engine, EngineConfig};
 pub use error::WireframeError;

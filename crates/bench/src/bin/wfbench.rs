@@ -14,10 +14,16 @@
 //!   --workload full|table1|chains|stars   query mix (default full = all 20)
 //!   --store csr|map|delta         graph storage backend to index the dataset with
 //!                                 (default csr; churn is cheap only on delta)
-//!   --scenario serve|churn        static serving loop (default) or dynamic-graph
+//!   --scenario serve|churn|serve-net
+//!                                 static serving loop (default); dynamic-graph
 //!                                 churn: per epoch, one seeded mutation batch then
 //!                                 the read workload, reporting per-epoch QPS and
-//!                                 cache invalidation/compaction counters
+//!                                 cache invalidation/compaction counters; or
+//!                                 serve-net: closed-loop clients over real TCP
+//!                                 sockets against a wireframe-serve server, mixed
+//!                                 read/write traffic with one subscriber, reporting
+//!                                 p50/p95/p99/p999 tails, shed-rate, batching and
+//!                                 subscription-lag counters
 //!   --maintenance incremental|reeval
 //!                                 mutation policy for cached plans (default
 //!                                 incremental): maintain retained answer-graph
@@ -27,7 +33,14 @@
 //!   --epochs <N>                  churn: measured epochs (default 4)
 //!   --batch <N>                   churn: mutation ops per epoch (default 64)
 //!   --insert-fraction <F>         churn: insert share of each batch, 0..=1 (default 0.6)
-//!   --churn-seed <N>              churn: update-mix PRNG seed (default 12648430)
+//!   --churn-seed <N>              churn / serve-net: traffic-mix PRNG seed
+//!                                 (default 12648430)
+//!   --clients <N>                 serve-net: closed-loop TCP client threads (default 4)
+//!   --requests <N>                serve-net: requests per client (default 100)
+//!   --write-fraction <F>          serve-net: mutation share of the mix, 0..=1
+//!                                 (default 0.2)
+//!   --queue-depth <N>             serve-net: admission-queue bound before shedding
+//!                                 (default 128; 0 sheds every read — overload drill)
 //!   --compaction-threshold <F>    delta store: overlay fraction that triggers
 //!                                 compaction (default 0.25; lower it to force
 //!                                 compaction cycles within a short churn run)
@@ -51,8 +64,10 @@ use wireframe::{core::auto_threads, EngineConfig, Session, StoreKind};
 use wireframe_bench::churn::{run_churn, ChurnOptions};
 use wireframe_bench::driver::run_engine;
 use wireframe_bench::report::{compare, parse_tolerance, BenchReport, SCHEMA_VERSION};
+use wireframe_bench::servenet::{run_serve_net, ServeNetOptions};
 use wireframe_bench::{build_dataset_with_store, DatasetSize};
 use wireframe_datagen::{chain_queries, full_workload, star_queries, table1_queries};
+use wireframe_serve::ServeConfig;
 
 #[derive(Debug)]
 struct Options {
@@ -68,6 +83,10 @@ struct Options {
     batch: usize,
     insert_fraction: f64,
     churn_seed: u64,
+    clients: usize,
+    requests: usize,
+    write_fraction: f64,
+    queue_depth: usize,
     compaction_threshold: Option<f64>,
     edge_burnback: bool,
     json: Option<String>,
@@ -78,7 +97,8 @@ struct Options {
 fn usage() -> &'static str {
     "usage: wfbench [--size tiny|small|benchmark|large] [--threads N] [--iterations N] \
      [--engines a,b,…] [--workload full|table1|chains|stars] [--store csr|map|delta] \
-     [--scenario serve|churn [--epochs N] [--batch N] [--insert-fraction F] [--churn-seed N]] \
+     [--scenario serve|churn|serve-net [--epochs N] [--batch N] [--insert-fraction F] \
+     [--churn-seed N] [--clients N] [--requests N] [--write-fraction F] [--queue-depth N]] \
      [--maintenance incremental|reeval] [--compaction-threshold F] \
      [--edge-burnback] [--json PATH] [--baseline PATH [--tolerance P%]]"
 }
@@ -88,6 +108,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     // the environment variable gets a chance to reject the process.
     let mut size: Option<DatasetSize> = None;
     let defaults = ChurnOptions::default();
+    let serve_defaults = ServeNetOptions::default();
     let mut options = Options {
         size: DatasetSize::Small,
         threads: auto_threads(),
@@ -101,6 +122,10 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         batch: defaults.batch,
         insert_fraction: defaults.insert_fraction,
         churn_seed: defaults.seed,
+        clients: serve_defaults.clients,
+        requests: serve_defaults.requests,
+        write_fraction: serve_defaults.write_fraction,
+        queue_depth: serve_defaults.config.queue_depth,
         compaction_threshold: None,
         edge_burnback: false,
         json: None,
@@ -150,9 +175,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--store" => options.store = StoreKind::parse(&value(&mut args, "--store")?)?,
             "--scenario" => {
                 let name = value(&mut args, "--scenario")?;
-                if !["serve", "churn"].contains(&name.as_str()) {
+                if !["serve", "churn", "serve-net"].contains(&name.as_str()) {
                     return Err(format!(
-                        "unknown scenario {name:?} (accepted: serve, churn)"
+                        "unknown scenario {name:?} (accepted: serve, churn, serve-net)"
                     ));
                 }
                 options.scenario = name;
@@ -197,6 +222,35 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                 options.churn_seed = value(&mut args, "--churn-seed")?
                     .parse()
                     .map_err(|_| "--churn-seed must be an unsigned integer".to_owned())?;
+            }
+            "--clients" => {
+                options.clients = value(&mut args, "--clients")?
+                    .parse()
+                    .map_err(|_| "--clients must be a positive integer".to_owned())?;
+                if options.clients == 0 {
+                    return Err("--clients must be at least 1".to_owned());
+                }
+            }
+            "--requests" => {
+                options.requests = value(&mut args, "--requests")?
+                    .parse()
+                    .map_err(|_| "--requests must be a positive integer".to_owned())?;
+                if options.requests == 0 {
+                    return Err("--requests must be at least 1".to_owned());
+                }
+            }
+            "--write-fraction" => {
+                options.write_fraction = value(&mut args, "--write-fraction")?
+                    .parse()
+                    .map_err(|_| "--write-fraction must be a number in 0..=1".to_owned())?;
+                if !(0.0..=1.0).contains(&options.write_fraction) {
+                    return Err("--write-fraction must be within 0..=1".to_owned());
+                }
+            }
+            "--queue-depth" => {
+                options.queue_depth = value(&mut args, "--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth must be a non-negative integer".to_owned())?;
             }
             "--compaction-threshold" => {
                 let threshold: f64 = value(&mut args, "--compaction-threshold")?
@@ -300,22 +354,56 @@ fn run() -> Result<bool, String> {
         iterations: options.iterations,
         seed: options.churn_seed,
     };
+    let servenet_options = ServeNetOptions {
+        clients: options.clients,
+        requests: options.requests,
+        write_fraction: options.write_fraction,
+        seed: options.churn_seed,
+        config: ServeConfig {
+            queue_depth: options.queue_depth,
+            ..ServeConfig::default()
+        },
+        ..ServeNetOptions::default()
+    };
 
     for name in &engine_names {
         // Each engine gets a fresh session over the shared base graph —
         // churn mutations are per-session versions, so every engine starts
         // from the identical dataset and applies the identical seeded mix.
-        let session = Session::shared(Arc::clone(&graph))
-            .with_config(config)
-            .with_maintenance(options.maintenance)
-            .with_engine(name)
-            .map_err(|e| e.to_string())?;
-        let run = if options.scenario == "churn" {
-            run_churn(&session, &workload, &churn_options)
-        } else {
-            run_engine(&session, &workload, options.threads, options.iterations)
+        let session = Arc::new(
+            Session::shared(Arc::clone(&graph))
+                .with_config(config)
+                .with_maintenance(options.maintenance)
+                .with_engine(name)
+                .map_err(|e| e.to_string())?,
+        );
+        let run = match options.scenario.as_str() {
+            "churn" => run_churn(&session, &workload, &churn_options).map_err(|e| e.to_string()),
+            "serve-net" => run_serve_net(&session, &workload, &servenet_options),
+            _ => run_engine(&session, &workload, options.threads, options.iterations)
+                .map_err(|e| e.to_string()),
         }
         .map_err(|e| format!("{name}: {e}"))?;
+        if let Some(serve) = &run.serve {
+            eprintln!(
+                "{:<12} {:>8.1} qps · {:>8.1} ms wall · {} clients × {} reqs · \
+                 p99 {:.2} ms · p999 {:.2} ms · shed {:.1}% · {} batches \
+                 ({} coalesced) · sub lag {} epochs",
+                run.engine,
+                run.qps,
+                run.wall_ms,
+                serve.clients,
+                serve.requests / serve.clients.max(1),
+                serve.p99_ms,
+                serve.p999_ms,
+                serve.shed_rate * 100.0,
+                serve.mutation_batches,
+                serve.coalesced_mutations,
+                serve.subscription_lag_epochs
+            );
+            report.engines.push(run);
+            continue;
+        }
         match &run.churn {
             Some(churn) => eprintln!(
                 "{:<12} {:>8.1} qps · {:>8.1} ms wall · {} epochs · {} mutations · \
@@ -369,6 +457,44 @@ fn run() -> Result<bool, String> {
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
 fn print_summary(report: &BenchReport) {
+    if report.scenario == "serve-net" {
+        println!(
+            "{:<12} {:>7} {:>8} {:>8} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>8} {:>9} {:>7}",
+            "engine",
+            "clients",
+            "requests",
+            "queries",
+            "writes",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "p999 ms",
+            "shed%",
+            "batches",
+            "coalesced",
+            "lag"
+        );
+        for engine in &report.engines {
+            let Some(s) = &engine.serve else { continue };
+            println!(
+                "{:<12} {:>7} {:>8} {:>8} {:>7} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7.1} {:>8} {:>9} {:>7}",
+                engine.engine,
+                s.clients,
+                s.requests,
+                s.queries,
+                s.mutations,
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.p999_ms,
+                s.shed_rate * 100.0,
+                s.mutation_batches,
+                s.coalesced_mutations,
+                s.subscription_lag_epochs,
+            );
+        }
+        return;
+    }
     if report.scenario == "churn" {
         println!(
             "{:<12} {:>6} {:>9} {:>8} {:>8} {:>8} {:>10} {:>9} {:>9} {:>12} {:>9} {:>9}",
@@ -523,6 +649,41 @@ mod tests {
             Some(0.05)
         );
         assert!(parse(&["--compaction-threshold", "-1"]).is_err());
+    }
+
+    #[test]
+    fn serve_net_flags_parse_with_sane_defaults() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.clients, 4);
+        assert_eq!(options.requests, 100);
+        assert!((options.write_fraction - 0.2).abs() < 1e-9);
+        assert_eq!(options.queue_depth, 128);
+
+        let options = parse(&[
+            "--scenario",
+            "serve-net",
+            "--clients",
+            "2",
+            "--requests",
+            "25",
+            "--write-fraction",
+            "0.5",
+            "--queue-depth",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(options.scenario, "serve-net");
+        assert_eq!(
+            (options.clients, options.requests, options.queue_depth),
+            (2, 25, 0)
+        );
+        assert!((options.write_fraction - 0.5).abs() < 1e-9);
+
+        assert!(parse(&["--clients", "0"]).is_err());
+        assert!(parse(&["--requests", "0"]).is_err());
+        assert!(parse(&["--write-fraction", "1.5"]).is_err());
+        assert!(parse(&["--write-fraction", "-0.1"]).is_err());
+        assert!(parse(&["--queue-depth", "-1"]).is_err());
     }
 
     #[test]

@@ -294,6 +294,7 @@ pub fn run_churn(
         cache_misses: session.cache_misses() - misses_before,
         queries: Vec::new(),
         churn: Some(churn),
+        serve: None,
     })
 }
 

@@ -67,7 +67,7 @@ pub fn percentile_ms(samples: &[f64], p: f64) -> f64 {
 
 /// Nearest-rank percentile of an already ascending-sorted sample list, so
 /// one sort serves every percentile of a query's report.
-fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -212,6 +212,7 @@ pub fn run_engine(
         cache_misses: session.cache_misses() - misses_before,
         queries,
         churn: None,
+        serve: None,
     })
 }
 

@@ -27,6 +27,7 @@
 pub mod churn;
 pub mod driver;
 pub mod report;
+pub mod servenet;
 
 use std::time::{Duration, Instant};
 

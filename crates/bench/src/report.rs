@@ -1,11 +1,14 @@
 //! The machine-readable `wfbench` report: the `BENCH_*.json` schema, its
 //! renderer/parser, and baseline regression comparison.
 //!
-//! # Schema (version 2)
+//! # Schema (version 3)
 //!
-//! Version 2 adds the `scenario` field and the per-engine `churn` section
-//! (null for serve runs); version-1 documents still parse (they read back as
-//! `scenario: "serve"` with no churn data).
+//! Version 3 adds the per-engine `serve` section (the `serve-net` network
+//! lane; null for every other scenario). Version 2 added the `scenario`
+//! field and the per-engine `churn` section (null for serve runs).
+//! Version-1 and version-2 documents still parse: v1 reads back as
+//! `scenario: "serve"` with no churn data, and both read back with
+//! `serve: null`.
 //!
 //! ```json
 //! {
@@ -67,6 +70,33 @@
 //! }
 //! ```
 //!
+//! A network run (`wfbench --scenario serve-net`) also leaves `queries`
+//! empty — the graph mutates underneath the readers, so per-query
+//! percentiles are replaced by whole-run tail latency over real TCP:
+//!
+//! ```json
+//! "serve": {
+//!   "clients": 4,               // closed-loop TCP client threads
+//!   "requests": 400,            // requests issued across all clients
+//!   "queries": 323,             // … of which reads (seed-deterministic)
+//!   "mutations": 77,            // … of which mutate scripts (ditto)
+//!   "shed": 0,                  // refused by admission control
+//!   "shed_rate": 0.0,           // shed / requests
+//!   "p50_ms": 0.9, "p95_ms": 2.1, "p99_ms": 3.0, "p999_ms": 3.4,
+//!   "mutation_batches": 61,     // maintenance passes actually run
+//!   "coalesced_mutations": 30,  // mutate requests that shared a batch
+//!   "subscription_updates": 44, // embedding deltas pushed to the subscriber
+//!   "subscription_lag_epochs": 2, // worst observed subscriber staleness
+//!   "final_epoch": 61           // server epoch when the run drained
+//! }
+//! ```
+//!
+//! `clients` / `requests` / `queries` / `mutations` are deterministic given
+//! the seed and are compared exactly against a baseline; `p50_ms` is
+//! compared with tolerance + the latency floor; everything else is
+//! timing-dependent (shed, batching, lag) and reported for observability
+//! only.
+//!
 //! The `maintained` / `maintenance_us` / `frontier_nodes` counters compare
 //! the two `--maintenance` policies directly: under `incremental` the epochs
 //! report maintained views and a small frontier, under `reeval` they report
@@ -84,8 +114,9 @@ use serde::json::{self, Value};
 use serde::Serialize;
 
 /// Version stamp for `BENCH_*.json`; bump when the shape changes. The
-/// parser also accepts version-1 documents (pre-churn).
-pub const SCHEMA_VERSION: u64 = 2;
+/// parser also accepts version-1 (pre-churn) and version-2 (pre-serving)
+/// documents.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Mean per-phase latency breakdown, in milliseconds. Factorized phases are
 /// zero for single-pass engines and vice versa (mirrors
@@ -194,6 +225,48 @@ pub struct ChurnReport {
     pub epochs: Vec<EpochReport>,
 }
 
+/// The `serve-net` network-lane section of an [`EngineRun`]: tail latency
+/// and admission-control observability for a closed-loop multi-client run
+/// over real TCP sockets.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Closed-loop TCP client threads.
+    pub clients: u64,
+    /// Requests issued across all clients (`queries + mutations`).
+    pub requests: u64,
+    /// Read requests issued. Deterministic given the seed (shed requests
+    /// still count — admission happens after the client decided what to
+    /// send).
+    pub queries: u64,
+    /// Mutate requests issued. Deterministic given the seed.
+    pub mutations: u64,
+    /// Requests refused by admission control (`overloaded` responses).
+    pub shed: u64,
+    /// `shed / requests` — the headline overload signal.
+    pub shed_rate: f64,
+    /// Median request latency over the socket (shed requests excluded).
+    pub p50_ms: f64,
+    /// 95th-percentile request latency.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// 99.9th-percentile request latency.
+    pub p999_ms: f64,
+    /// Mutation batches actually applied (maintenance passes run).
+    pub mutation_batches: u64,
+    /// Mutate requests that shared a batch with at least one other — the
+    /// write-batching payoff (`mutations - mutation_batches` when every
+    /// batch coalesces).
+    pub coalesced_mutations: u64,
+    /// Embedding-delta frames pushed to the subscriber.
+    pub subscription_updates: u64,
+    /// Worst observed subscriber staleness: server epoch at delta receipt
+    /// minus the delta's epoch, maximized over all updates.
+    pub subscription_lag_epochs: u64,
+    /// Server epoch when the run drained (= `mutation_batches`).
+    pub final_epoch: u64,
+}
+
 /// One engine's closed-loop run over the whole workload.
 #[derive(Debug, Clone, Serialize)]
 pub struct EngineRun {
@@ -214,6 +287,9 @@ pub struct EngineRun {
     pub queries: Vec<QueryReport>,
     /// Churn-scenario breakdown; `None` for serve runs.
     pub churn: Option<ChurnReport>,
+    /// Network-lane (`serve-net`) breakdown; `None` for every other
+    /// scenario, and on all pre-v3 reports.
+    pub serve: Option<ServeReport>,
 }
 
 /// A complete `wfbench` run: the `BENCH_*.json` document.
@@ -249,12 +325,13 @@ impl BenchReport {
     }
 
     /// Parses a report back from JSON, for `--baseline` comparison. Accepts
-    /// the current schema and version 1 (pre-churn: no `scenario`, no
-    /// per-engine `churn` section).
+    /// the current schema, version 2 (pre-serving: no per-engine `serve`
+    /// section), and version 1 (pre-churn: additionally no `scenario` and
+    /// no per-engine `churn` section).
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
         let doc = json::from_str(text).map_err(|e| e.to_string())?;
         let version = field_u64(&doc, "schema_version")?;
-        if version != SCHEMA_VERSION && version != 1 {
+        if !(1..=SCHEMA_VERSION).contains(&version) {
             return Err(format!(
                 "unsupported schema_version {version} (this binary reads 1..={SCHEMA_VERSION})"
             ));
@@ -289,6 +366,12 @@ fn engine_from_json(doc: &Value) -> Result<EngineRun, String> {
         None | Some(Value::Null) => None,
         Some(section) => Some(churn_from_json(section)?),
     };
+    // Absent on pre-v3 reports: those baselines stay loadable with no
+    // serve section to compare against.
+    let serve = match doc.get("serve") {
+        None | Some(Value::Null) => None,
+        Some(section) => Some(serve_from_json(section)?),
+    };
     Ok(EngineRun {
         engine: field_str(doc, "engine")?,
         total_queries: field_u64(doc, "total_queries")?,
@@ -301,6 +384,27 @@ fn engine_from_json(doc: &Value) -> Result<EngineRun, String> {
             .map(query_from_json)
             .collect::<Result<_, _>>()?,
         churn,
+        serve,
+    })
+}
+
+fn serve_from_json(doc: &Value) -> Result<ServeReport, String> {
+    Ok(ServeReport {
+        clients: field_u64(doc, "clients")?,
+        requests: field_u64(doc, "requests")?,
+        queries: field_u64(doc, "queries")?,
+        mutations: field_u64(doc, "mutations")?,
+        shed: field_u64(doc, "shed")?,
+        shed_rate: field_f64(doc, "shed_rate")?,
+        p50_ms: field_f64(doc, "p50_ms")?,
+        p95_ms: field_f64(doc, "p95_ms")?,
+        p99_ms: field_f64(doc, "p99_ms")?,
+        p999_ms: field_f64(doc, "p999_ms")?,
+        mutation_batches: field_u64(doc, "mutation_batches")?,
+        coalesced_mutations: field_u64(doc, "coalesced_mutations")?,
+        subscription_updates: field_u64(doc, "subscription_updates")?,
+        subscription_lag_epochs: field_u64(doc, "subscription_lag_epochs")?,
+        final_epoch: field_u64(doc, "final_epoch")?,
     })
 }
 
@@ -444,6 +548,11 @@ impl std::fmt::Display for Regression {
 /// * Churn counters (`total_mutations`, `total_invalidations`,
 ///   `total_compactions`) are deterministic given the seed, so they also
 ///   must match exactly when the baseline recorded a churn section.
+/// * Serve-net traffic counts (`clients`, `requests`, `queries`,
+///   `mutations`) are seed-deterministic and must match exactly when the
+///   baseline recorded a serve section; `serve_p50_ms` regresses like any
+///   latency (tolerance + floor). Shed/batching/lag counters are
+///   timing-dependent and never compared.
 /// * Engine × query pairs absent from the baseline are skipped (the workload
 ///   is allowed to grow); pairs absent from the current run regress as
 ///   `missing` (a silently dropped measurement must not pass).
@@ -506,6 +615,55 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance: f64) ->
                         metric: "churn_maintained",
                         baseline: base_maintained as f64,
                         current: cur_maintained.unwrap_or(0) as f64,
+                    });
+                }
+            }
+        }
+        if let Some(base_serve) = &base_engine.serve {
+            let cur_serve = cur_engine.serve.as_ref();
+            let pairs: [(&'static str, u64, Option<u64>); 4] = [
+                (
+                    "serve_clients",
+                    base_serve.clients,
+                    cur_serve.map(|s| s.clients),
+                ),
+                (
+                    "serve_requests",
+                    base_serve.requests,
+                    cur_serve.map(|s| s.requests),
+                ),
+                (
+                    "serve_queries",
+                    base_serve.queries,
+                    cur_serve.map(|s| s.queries),
+                ),
+                (
+                    "serve_mutations",
+                    base_serve.mutations,
+                    cur_serve.map(|s| s.mutations),
+                ),
+            ];
+            for (metric, base_value, cur_value) in pairs {
+                if cur_value != Some(base_value) {
+                    regressions.push(Regression {
+                        engine: base_engine.engine.clone(),
+                        query: "*".to_owned(),
+                        metric,
+                        baseline: base_value as f64,
+                        current: cur_value.unwrap_or(0) as f64,
+                    });
+                }
+            }
+            if let Some(cur_serve) = cur_serve {
+                if cur_serve.p50_ms > base_serve.p50_ms * (1.0 + tolerance)
+                    && cur_serve.p50_ms - base_serve.p50_ms > LATENCY_FLOOR_MS
+                {
+                    regressions.push(Regression {
+                        engine: base_engine.engine.clone(),
+                        query: "*".to_owned(),
+                        metric: "serve_p50_ms",
+                        baseline: base_serve.p50_ms,
+                        current: cur_serve.p50_ms,
                     });
                 }
             }
@@ -622,6 +780,7 @@ mod tests {
                 cache_hits: 114,
                 cache_misses: 6,
                 churn: None,
+                serve: None,
                 queries: vec![QueryReport {
                     name: "CQS-1".into(),
                     shape: "snowflake".into(),
@@ -691,6 +850,31 @@ mod tests {
                     frontier_nodes: 8,
                 },
             ],
+        });
+        report
+    }
+
+    fn serve_report() -> BenchReport {
+        let mut report = sample_report();
+        report.scenario = "serve-net".into();
+        report.store = "delta".into();
+        report.engines[0].queries.clear();
+        report.engines[0].serve = Some(ServeReport {
+            clients: 4,
+            requests: 400,
+            queries: 323,
+            mutations: 77,
+            shed: 3,
+            shed_rate: 3.0 / 400.0,
+            p50_ms: 0.9,
+            p95_ms: 2.1,
+            p99_ms: 3.0,
+            p999_ms: 3.4,
+            mutation_batches: 61,
+            coalesced_mutations: 30,
+            subscription_updates: 44,
+            subscription_lag_epochs: 2,
+            final_epoch: 61,
         });
         report
     }
@@ -800,21 +984,110 @@ mod tests {
     fn version_1_reports_still_parse_as_serve() {
         // A committed pre-churn baseline must stay readable.
         let mut text = sample_report().to_json_string();
-        text = text.replace("\"schema_version\": 2", "\"schema_version\": 1");
+        text = text.replace("\"schema_version\": 3", "\"schema_version\": 1");
         text = text.replace("\"scenario\": \"serve\",", "");
         text = text.replace("\"churn\": null,", "");
+        text = text.replace("\"serve\": null,", "");
         let parsed = BenchReport::from_json(&text).unwrap();
         assert_eq!(parsed.schema_version, 1);
         assert_eq!(parsed.scenario, "serve");
         assert!(parsed.engines[0].churn.is_none());
+        assert!(parsed.engines[0].serve.is_none());
+    }
+
+    #[test]
+    fn version_2_reports_parse_with_no_serve_section() {
+        // A committed pre-serving baseline (v2: scenario + churn, but no
+        // per-engine serve section) must stay readable.
+        let mut text = churn_report().to_json_string();
+        text = text.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        text = text.replace("\"serve\": null,", "");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(parsed.schema_version, 2);
+        assert!(parsed.engines[0].churn.is_some());
+        assert!(parsed.engines[0].serve.is_none());
+        // A serve-era run against a pre-serving baseline is growth, not a
+        // regression.
+        assert!(compare(&serve_report(), &parsed, 0.15)
+            .iter()
+            .all(|r| !r.metric.starts_with("serve")));
     }
 
     #[test]
     fn wrong_schema_version_is_rejected() {
         let mut text = sample_report().to_json_string();
-        text = text.replace("\"schema_version\": 2", "\"schema_version\": 999");
+        text = text.replace("\"schema_version\": 3", "\"schema_version\": 999");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn serve_sections_round_trip() {
+        let report = serve_report();
+        let text = report.to_json_string();
+        assert!(text.contains("\"p999_ms\""), "{text}");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(parsed.scenario, "serve-net");
+        let serve = parsed.engines[0].serve.as_ref().unwrap();
+        assert_eq!(serve.clients, 4);
+        assert_eq!(serve.requests, 400);
+        assert_eq!(serve.queries, 323);
+        assert_eq!(serve.mutations, 77);
+        assert_eq!(serve.shed, 3);
+        assert_eq!(serve.mutation_batches, 61);
+        assert_eq!(serve.coalesced_mutations, 30);
+        assert_eq!(serve.subscription_updates, 44);
+        assert_eq!(serve.subscription_lag_epochs, 2);
+        assert_eq!(serve.final_epoch, 61);
+        assert!((serve.p999_ms - 3.4).abs() < 1e-9);
+        assert!((serve.shed_rate - 3.0 / 400.0).abs() < 1e-9);
+        assert!(compare(&parsed, &report, 0.15).is_empty());
+    }
+
+    #[test]
+    fn serve_traffic_drift_is_a_regression_but_timing_counters_are_not() {
+        let baseline = serve_report();
+        let mut current = serve_report();
+        // Timing-dependent observability may drift freely.
+        {
+            let serve = current.engines[0].serve.as_mut().unwrap();
+            serve.shed = 17;
+            serve.shed_rate = 17.0 / 400.0;
+            serve.mutation_batches = 40;
+            serve.coalesced_mutations = 60;
+            serve.subscription_updates = 12;
+            serve.subscription_lag_epochs = 9;
+            serve.final_epoch = 40;
+            serve.p999_ms = 50.0;
+        }
+        assert!(compare(&current, &baseline, 0.15).is_empty());
+
+        // Seed-deterministic traffic counts must not.
+        current.engines[0].serve.as_mut().unwrap().queries = 322;
+        current.engines[0].serve.as_mut().unwrap().mutations = 78;
+        let found = compare(&current, &baseline, 100.0);
+        let metrics: Vec<_> = found.iter().map(|r| r.metric).collect();
+        assert!(metrics.contains(&"serve_queries"), "{metrics:?}");
+        assert!(metrics.contains(&"serve_mutations"), "{metrics:?}");
+
+        // p50 regresses like any latency (tolerance + absolute floor).
+        let mut slow = serve_report();
+        slow.engines[0].serve.as_mut().unwrap().p50_ms = 9.0;
+        let found = compare(&slow, &baseline, 0.15);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].metric, "serve_p50_ms");
+
+        // Losing the whole serve section regresses every traffic count.
+        let mut lost = serve_report();
+        lost.engines[0].serve = None;
+        let found = compare(&lost, &baseline, 100.0);
+        assert_eq!(
+            found
+                .iter()
+                .filter(|r| r.metric.starts_with("serve"))
+                .count(),
+            4
+        );
     }
 
     #[test]

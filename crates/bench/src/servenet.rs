@@ -1,0 +1,449 @@
+//! The `wfbench --scenario serve-net` closed-loop network lane: N client
+//! threads over real TCP sockets against a [`wireframe_serve::Server`],
+//! issuing a seeded mix of reads and mutation scripts, with one subscriber
+//! folding pushed embedding deltas on the side.
+//!
+//! Where the in-process drivers ([`crate::driver`], [`crate::churn`])
+//! measure the engine, this lane measures the *system*: framing, admission
+//! control, write batching and subscription fan-out all sit on the measured
+//! path, so the report's percentiles are end-to-end request latencies as a
+//! network client sees them — including p999, where queueing and batch
+//! windows live.
+//!
+//! Correctness is asserted while measuring:
+//!
+//! * every response's epoch is monotone per connection,
+//! * the subscriber's update chain is gap-free (`update.prev_epoch` equals
+//!   the last seen epoch — a lost or reordered update panics the lane),
+//! * the subscriber reaches the final epoch before the server shuts down.
+//!
+//! The traffic mix is deterministic given the seed: each client decides
+//! read-vs-write from its own PRNG stream, so the reported `queries` /
+//! `mutations` split is reproducible and compared exactly against
+//! baselines. *Which* requests get shed under overload is timing-dependent
+//! and only observed, never compared.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wireframe::Session;
+use wireframe_datagen::BenchmarkQuery;
+use wireframe_graph::NodeId;
+use wireframe_query::to_sparql;
+use wireframe_serve::{Client, ClientError, ServeConfig, Server};
+
+use crate::driver::percentile_sorted;
+use crate::report::{EngineRun, ServeReport};
+
+/// Configuration of one serve-net run.
+#[derive(Debug, Clone)]
+pub struct ServeNetOptions {
+    /// Closed-loop TCP client threads.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests: usize,
+    /// Probability that a request is a mutation script (the rest are
+    /// reads), drawn per request from the client's seeded PRNG.
+    pub write_fraction: f64,
+    /// PRNG seed; the per-client streams derive from it, so the same seed
+    /// reproduces the same read/write split and mutation contents.
+    pub seed: u64,
+    /// Row cap sent with every read (keeps response frames small; the
+    /// server still evaluates and reports the full count).
+    pub limit: u64,
+    /// Server knobs (worker pool, queue depth, deadline, batch window).
+    /// Shrinking `queue_depth` induces overload for shed-path testing.
+    pub config: ServeConfig,
+}
+
+impl Default for ServeNetOptions {
+    fn default() -> Self {
+        ServeNetOptions {
+            clients: 4,
+            requests: 100,
+            write_fraction: 0.2,
+            seed: 0xC0FFEE,
+            limit: 16,
+            config: ServeConfig::default(),
+        }
+    }
+}
+
+/// How many node labels are sampled as mutation endpoints.
+const NODE_POOL: usize = 1024;
+
+/// One step of a client's pre-generated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Action {
+    /// Issue the workload query with this index (as rendered SPARQL text).
+    Read(usize),
+    /// Apply this mutation script.
+    Write(String),
+}
+
+/// Generates client `c`'s whole request program up front from its own PRNG
+/// stream — determinism is structural: the program depends only on the
+/// seed, never on timing, so the run's `queries`/`mutations` split is
+/// exactly reproducible. Writes stay in the client's namespace
+/// (`net_c{c}_n{i}` subjects), so the final graph state is independent of
+/// how the server interleaved or coalesced the clients' batches.
+fn client_program(
+    c: usize,
+    requests: usize,
+    texts_len: usize,
+    predicates: &[String],
+    nodes: &[String],
+    opts: &ServeNetOptions,
+) -> Vec<Action> {
+    let mut rng =
+        SmallRng::seed_from_u64(opts.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut program = Vec::with_capacity(requests);
+    let mut writes = 0usize;
+    let mut last_insert: Option<String> = None;
+    for k in 0..requests {
+        if rng.gen_range(0.0..1.0) < opts.write_fraction {
+            // Every fourth write removes the previous insert, so removal
+            // and re-maintenance traffic stays on the measured path.
+            let script = match last_insert.take_if(|_| writes % 4 == 3) {
+                Some(insert) => format!("-{}", &insert[1..]),
+                None => {
+                    let p = &predicates[rng.gen_range(0..predicates.len())];
+                    let o = &nodes[rng.gen_range(0..nodes.len())];
+                    let script = format!("+ net_c{c}_n{writes} {p} {o}\n");
+                    last_insert = Some(script.clone());
+                    script
+                }
+            };
+            writes += 1;
+            program.push(Action::Write(script));
+        } else {
+            program.push(Action::Read((c + k) % texts_len));
+        }
+    }
+    program
+}
+
+/// How long the subscriber may lag behind the final epoch before the lane
+/// declares updates lost.
+const CATCH_UP_DEADLINE: Duration = Duration::from_secs(30);
+
+/// What one client thread measured.
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    latencies_ms: Vec<f64>,
+    queries: u64,
+    mutations: u64,
+    shed: u64,
+}
+
+/// What the subscriber thread observed.
+#[derive(Debug, Default)]
+struct SubscriberOutcome {
+    updates: u64,
+    max_lag_epochs: u64,
+}
+
+/// Runs the serve-net lane for one engine session: starts a server on an
+/// ephemeral local port, drives it with `opts.clients` closed-loop TCP
+/// clients plus one subscriber, then drains and gracefully shuts the
+/// server down.
+///
+/// The session must already have the target engine selected. Panics (via
+/// the worker threads) if any response's epoch regresses on a connection
+/// or the subscription update chain has a gap — the lane is a correctness
+/// soak test as much as a latency benchmark.
+pub fn run_serve_net(
+    session: &Arc<Session>,
+    workload: &[BenchmarkQuery],
+    opts: &ServeNetOptions,
+) -> Result<EngineRun, String> {
+    let clients = opts.clients.max(1);
+    let requests = opts.requests.max(1);
+
+    let (texts, predicates, nodes) = {
+        let graph = session.graph();
+        let dict = graph.dictionary();
+        let texts: Vec<String> = workload
+            .iter()
+            .map(|bq| to_sparql(&bq.query, dict))
+            .collect();
+        let predicates: Vec<String> = dict
+            .predicates()
+            .map(|(_, label)| label.to_owned())
+            .collect();
+        let nodes: Vec<String> = (0..graph.node_count().min(NODE_POOL))
+            .map(|i| dict.node_label(NodeId(i as u32)).unwrap_or("?").to_owned())
+            .collect();
+        (texts, predicates, nodes)
+    };
+    if texts.is_empty() {
+        return Err("serve-net needs a non-empty workload".to_owned());
+    }
+    if predicates.is_empty() || nodes.is_empty() {
+        return Err("serve-net needs a non-empty graph".to_owned());
+    }
+    let programs: Vec<Vec<Action>> = (0..clients)
+        .map(|c| client_program(c, requests, texts.len(), &predicates, &nodes, opts))
+        .collect();
+
+    // Warmup outside the measured window: prime the prepared-plan cache so
+    // the lane measures steady-state serving, mirroring the other drivers.
+    for bq in workload {
+        session.execute(&bq.query).map_err(|e| e.to_string())?;
+    }
+    let hits_before = session.cache_hits();
+    let misses_before = session.cache_misses();
+
+    let server = Server::start(Arc::clone(session), "127.0.0.1:0", opts.config.clone())
+        .map_err(|e| format!("cannot bind the serve-net server: {e}"))?;
+    let addr = server.local_addr();
+
+    // Subscribe before any traffic so the delta chain starts at the
+    // current epoch and every subsequent advance must be covered.
+    let mut subscriber =
+        Client::connect(addr).map_err(|e| format!("subscriber cannot connect: {e}"))?;
+    let (snapshot_epoch, _snapshot) = subscriber
+        .subscribe(&texts[0], opts.limit)
+        .map_err(|e| format!("subscribe failed: {e}"))?;
+
+    // 0 = clients still running; the real target epoch (+1, so epoch 0 is
+    // representable) is published once the writers have drained.
+    let target_epoch = Arc::new(AtomicU64::new(0));
+
+    let wall_start = Instant::now();
+    let (outcomes, observed) = std::thread::scope(|scope| {
+        let subscriber_handle = {
+            let session = Arc::clone(session);
+            let target_epoch = Arc::clone(&target_epoch);
+            scope.spawn(move || -> Result<SubscriberOutcome, String> {
+                run_subscriber(&mut subscriber, &session, &target_epoch, snapshot_epoch)
+            })
+        };
+
+        let mut handles = Vec::with_capacity(clients);
+        for (c, program) in programs.iter().enumerate() {
+            let texts = &texts;
+            let limit = opts.limit;
+            handles.push(scope.spawn(move || -> Result<ClientOutcome, String> {
+                run_client(addr, c, program, texts, limit)
+            }));
+        }
+        let outcomes: Result<Vec<ClientOutcome>, String> = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect();
+
+        // All mutate acks are in, so the session epoch is final; let the
+        // subscriber catch up to it before the server drains.
+        target_epoch.store(session.epoch() + 1, Ordering::Release);
+        let observed = match subscriber_handle.join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (outcomes, observed)
+    });
+    let outcomes = outcomes?;
+    let observed = observed?;
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    let final_epoch = session.epoch();
+    let stats = server.stats();
+    server.shutdown();
+
+    let mut latencies: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ms.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let queries: u64 = outcomes.iter().map(|o| o.queries).sum();
+    let mutations: u64 = outcomes.iter().map(|o| o.mutations).sum();
+    let shed: u64 = outcomes.iter().map(|o| o.shed).sum();
+    let total_requests = queries + mutations;
+
+    let serve = ServeReport {
+        clients: clients as u64,
+        requests: total_requests,
+        queries,
+        mutations,
+        shed,
+        shed_rate: shed as f64 / total_requests.max(1) as f64,
+        p50_ms: percentile_sorted(&latencies, 50.0),
+        p95_ms: percentile_sorted(&latencies, 95.0),
+        p99_ms: percentile_sorted(&latencies, 99.0),
+        p999_ms: percentile_sorted(&latencies, 99.9),
+        mutation_batches: stats.mutation_batches,
+        coalesced_mutations: stats.coalesced_mutations,
+        subscription_updates: observed.updates,
+        subscription_lag_epochs: observed.max_lag_epochs,
+        final_epoch,
+    };
+    Ok(EngineRun {
+        engine: session.engine_name().to_owned(),
+        total_queries: total_requests,
+        wall_ms,
+        qps: total_requests as f64 / (wall_ms / 1e3).max(1e-9),
+        cache_hits: session.cache_hits() - hits_before,
+        cache_misses: session.cache_misses() - misses_before,
+        queries: Vec::new(),
+        churn: None,
+        serve: Some(serve),
+    })
+}
+
+/// One closed-loop client: executes its pre-generated program back-to-back
+/// over one connection, measuring per-request latency and asserting
+/// per-connection epoch monotonicity on every response. Shed requests
+/// count toward the shed total but contribute no latency sample.
+fn run_client(
+    addr: std::net::SocketAddr,
+    c: usize,
+    program: &[Action],
+    texts: &[String],
+    limit: u64,
+) -> Result<ClientOutcome, String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("client {c} cannot connect: {e}"))?;
+    let mut outcome = ClientOutcome::default();
+    let mut last_epoch = 0u64;
+    for action in program {
+        let start = Instant::now();
+        let answered = match action {
+            Action::Write(script) => {
+                outcome.mutations += 1;
+                client.mutate(script).map(|ack| ack.epoch)
+            }
+            Action::Read(idx) => {
+                outcome.queries += 1;
+                client.query(&texts[*idx], limit).map(|answer| answer.epoch)
+            }
+        };
+        match answered {
+            Ok(epoch) => {
+                assert!(
+                    epoch >= last_epoch,
+                    "client {c}: epoch went backwards ({epoch} after {last_epoch})"
+                );
+                last_epoch = epoch;
+                outcome
+                    .latencies_ms
+                    .push(start.elapsed().as_secs_f64() * 1e3);
+            }
+            Err(ClientError::Overloaded(_)) => outcome.shed += 1,
+            Err(e) => return Err(format!("client {c} request failed: {e}")),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Folds pushed updates until the published target epoch is reached,
+/// asserting the chain is gap-free and recording the worst staleness.
+fn run_subscriber(
+    subscriber: &mut Client,
+    session: &Session,
+    target_epoch: &AtomicU64,
+    snapshot_epoch: u64,
+) -> Result<SubscriberOutcome, String> {
+    let mut observed = SubscriberOutcome::default();
+    let mut last_epoch = snapshot_epoch;
+    let mut deadline: Option<Instant> = None;
+    loop {
+        match target_epoch.load(Ordering::Acquire) {
+            0 => {} // clients still running
+            target if last_epoch + 1 >= target => return Ok(observed),
+            _ => {
+                let at = *deadline.get_or_insert_with(|| Instant::now() + CATCH_UP_DEADLINE);
+                if Instant::now() > at {
+                    return Err(format!(
+                        "subscriber stuck at epoch {last_epoch}: updates were lost"
+                    ));
+                }
+            }
+        }
+        let update = subscriber
+            .next_update(Duration::from_millis(200))
+            .map_err(|e| format!("subscriber read failed: {e}"))?;
+        let Some(update) = update else { continue };
+        assert_eq!(
+            update.prev_epoch, last_epoch,
+            "subscription update chain has a gap (lost or out-of-order update)"
+        );
+        assert!(update.epoch > update.prev_epoch);
+        observed.updates += 1;
+        observed.max_lag_epochs = observed
+            .max_lag_epochs
+            .max(session.epoch().saturating_sub(update.epoch));
+        last_epoch = update.epoch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_dataset_with_store, DatasetSize};
+    use wireframe_graph::StoreKind;
+
+    #[test]
+    fn client_programs_are_seed_deterministic_and_mixed() {
+        let opts = ServeNetOptions::default();
+        let predicates = vec!["knows".to_owned(), "likes".to_owned()];
+        let nodes = vec!["a".to_owned(), "b".to_owned(), "c".to_owned()];
+        let generate = |c: usize| client_program(c, opts.requests, 20, &predicates, &nodes, &opts);
+        for c in 0..4 {
+            let program = generate(c);
+            // Pre-generated programs cannot depend on timing, so the same
+            // seed reproduces the identical request sequence.
+            assert_eq!(program, generate(c), "client {c} program drifts");
+            let writes = program
+                .iter()
+                .filter(|a| matches!(a, Action::Write(_)))
+                .count();
+            assert!(writes > 0, "client {c} never writes");
+            assert!(writes < program.len(), "client {c} never reads");
+            // Writes stay in the client's namespace.
+            for action in &program {
+                if let Action::Write(script) = action {
+                    assert!(script.contains(&format!("net_c{c}_n")), "{script}");
+                }
+            }
+        }
+        // Different clients draw different streams.
+        assert_ne!(generate(0), generate(1));
+    }
+
+    #[test]
+    fn serve_net_smoke_runs_over_real_sockets() {
+        let graph = Arc::new(build_dataset_with_store(
+            DatasetSize::Tiny,
+            StoreKind::Delta,
+        ));
+        let workload = wireframe_datagen::full_workload(&graph).unwrap();
+        let session = Arc::new(Session::shared(graph));
+        let opts = ServeNetOptions {
+            clients: 2,
+            requests: 20,
+            ..ServeNetOptions::default()
+        };
+        let run = run_serve_net(&session, &workload, &opts).unwrap();
+        let serve = run.serve.as_ref().expect("serve-net reports serve");
+        assert_eq!(serve.clients, 2);
+        assert_eq!(serve.requests, 40);
+        assert_eq!(serve.queries + serve.mutations, serve.requests);
+        assert!(serve.mutations > 0, "the seeded mix actually writes");
+        assert_eq!(serve.shed, 0, "no overload at this scale");
+        assert!(serve.p50_ms > 0.0 && serve.p50_ms <= serve.p999_ms);
+        assert_eq!(serve.final_epoch, serve.mutation_batches);
+        assert_eq!(session.epoch(), serve.final_epoch);
+        assert!(
+            run.queries.is_empty(),
+            "serve-net reports tails, not per-query"
+        );
+        assert!(run.churn.is_none());
+    }
+}

@@ -1,0 +1,131 @@
+//! The serve-net acceptance tests: a 4-client seeded mixed read/write run
+//! over real TCP sockets with subscription-loss checking, and an induced
+//! overload that must shed with `overloaded` instead of queueing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wireframe::Session;
+use wireframe_bench::servenet::{run_serve_net, ServeNetOptions};
+use wireframe_bench::{build_dataset_with_store, DatasetSize};
+use wireframe_datagen::full_workload;
+use wireframe_graph::StoreKind;
+use wireframe_serve::ServeConfig;
+
+fn tiny_session() -> (Arc<Session>, Vec<wireframe_datagen::BenchmarkQuery>) {
+    let graph = Arc::new(build_dataset_with_store(
+        DatasetSize::Tiny,
+        StoreKind::Delta,
+    ));
+    let workload = full_workload(&graph).expect("workload builds");
+    (Arc::new(Session::shared(graph)), workload)
+}
+
+/// The ISSUE's acceptance criterion: `--clients 4` completes a seeded
+/// mixed run over real sockets with zero lost or out-of-order epoch
+/// updates on subscriptions (asserted inside the lane — a chain gap
+/// panics), and reports tail latency and shed-rate.
+#[test]
+fn four_clients_complete_a_seeded_mixed_run_with_no_lost_updates() {
+    let (session, workload) = tiny_session();
+    let opts = ServeNetOptions {
+        clients: 4,
+        requests: 50,
+        ..ServeNetOptions::default()
+    };
+    let run = run_serve_net(&session, &workload, &opts).unwrap();
+    let serve = run
+        .serve
+        .as_ref()
+        .expect("serve-net reports a serve section");
+
+    assert_eq!(serve.clients, 4);
+    assert_eq!(serve.requests, 200);
+    assert_eq!(serve.queries + serve.mutations, 200);
+    assert!(serve.mutations > 0, "the seeded mix writes");
+    assert!(serve.queries > 0, "the seeded mix reads");
+
+    // Tail latency and shed-rate are reported.
+    assert!(serve.p99_ms > 0.0);
+    assert!(serve.p999_ms >= serve.p99_ms);
+    assert!(serve.p50_ms <= serve.p99_ms);
+    assert!(serve.shed_rate >= 0.0 && serve.shed_rate <= 1.0);
+    assert_eq!(serve.shed, 0, "an unloaded server sheds nothing");
+
+    // The graph really advanced, one epoch per applied batch, and the
+    // subscriber (whose chain the lane asserts) covered all of them.
+    assert!(serve.final_epoch > 0, "mutations actually applied");
+    assert_eq!(serve.final_epoch, serve.mutation_batches);
+    assert_eq!(session.epoch(), serve.final_epoch);
+
+    // The traffic split is seed-deterministic: a second run over a fresh
+    // session reports the identical counts (the baseline-gate contract).
+    let (session2, workload2) = tiny_session();
+    let run2 = run_serve_net(&session2, &workload2, &opts).unwrap();
+    let serve2 = run2.serve.as_ref().unwrap();
+    assert_eq!(serve2.queries, serve.queries);
+    assert_eq!(serve2.mutations, serve.mutations);
+}
+
+/// Induced overload: a zero-depth admission queue must refuse every read
+/// with `overloaded` (bounded work, no unbounded queueing) while the run
+/// still completes and reports the sheds.
+#[test]
+fn induced_overload_sheds_reads_instead_of_queueing() {
+    let (session, workload) = tiny_session();
+    let opts = ServeNetOptions {
+        clients: 2,
+        requests: 25,
+        config: ServeConfig {
+            queue_depth: 0,
+            ..ServeConfig::default()
+        },
+        ..ServeNetOptions::default()
+    };
+    let run = run_serve_net(&session, &workload, &opts).unwrap();
+    let serve = run.serve.as_ref().unwrap();
+    // Every read is refused at admission; a write racing into the
+    // capacity-one mutation channel while the batcher holds its slot can
+    // shed too, so shed may slightly exceed the read count.
+    assert!(
+        serve.shed >= serve.queries,
+        "all {} reads must shed at queue bound zero (shed {})",
+        serve.queries,
+        serve.shed
+    );
+    assert!(
+        serve.shed <= serve.requests,
+        "shed {} cannot exceed the {} requests issued",
+        serve.shed,
+        serve.requests
+    );
+    assert!(serve.shed > 0, "the mix issues reads to shed");
+    assert!(serve.shed_rate > 0.0);
+    // Writes ride the (capacity-one) mutation channel: at least the one
+    // holding the slot at each drain lands, so the epoch still advances.
+    assert!(
+        serve.final_epoch > 0,
+        "mutations still apply under overload"
+    );
+}
+
+/// A tightened deadline also sheds (the second admission-control lever);
+/// the lane reports it rather than hanging.
+#[test]
+fn zero_deadline_sheds_at_dequeue() {
+    let (session, workload) = tiny_session();
+    let opts = ServeNetOptions {
+        clients: 1,
+        requests: 10,
+        write_fraction: 0.0,
+        config: ServeConfig {
+            deadline: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+        ..ServeNetOptions::default()
+    };
+    let run = run_serve_net(&session, &workload, &opts).unwrap();
+    let serve = run.serve.as_ref().unwrap();
+    assert_eq!(serve.shed, 10, "an expired deadline sheds every read");
+    assert_eq!(serve.final_epoch, 0, "a read-only mix never mutates");
+}

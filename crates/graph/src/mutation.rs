@@ -14,8 +14,11 @@
 //! leading `+` (insert) or `-` (remove) followed by a triple in any syntax
 //! accepted by [`crate::ntriples::parse_line`].
 
+use serde::json::Value;
+use serde::Serialize;
+
 use crate::error::GraphError;
-use crate::ids::{PredId, Triple};
+use crate::ids::{NodeId, PredId, Triple};
 use crate::ntriples::parse_line;
 
 /// One operation of a [`Mutation`].
@@ -102,7 +105,19 @@ impl Mutation {
                     )))
                 }
             };
-            match parse_line(rest)? {
+            // Re-wrap triple-syntax errors so the script's own line number
+            // survives (parse_line only knows the text after the operator).
+            let parsed = match parse_line(rest) {
+                Ok(parsed) => parsed,
+                Err(GraphError::Parse(msg)) => {
+                    return Err(GraphError::Parse(format!(
+                        "mutation line {}: {msg}",
+                        number + 1
+                    )))
+                }
+                Err(other) => return Err(other),
+            };
+            match parsed {
                 Some((s, p, o)) => mutation.push(op, &s, &p, &o),
                 None => {
                     return Err(GraphError::Parse(format!(
@@ -203,6 +218,64 @@ impl EdgeDelta {
     }
 }
 
+/// Wire form: the dictionary-encoded id triplet `[subject, predicate, object]`.
+/// Ids are only meaningful next to the dictionary of the graph that produced
+/// them; consumers that need labels resolve through it (the serving layer
+/// does exactly that before pushing embedding deltas).
+impl Serialize for Triple {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![
+            Value::UInt(u64::from(self.subject.0)),
+            Value::UInt(u64::from(self.predicate.0)),
+            Value::UInt(u64::from(self.object.0)),
+        ])
+    }
+}
+
+/// Wire form: `{"inserted": [[s,p,o], …], "removed": [[s,p,o], …]}`, both
+/// sides in the predicate-major order [`EdgeDelta`] guarantees.
+impl Serialize for EdgeDelta {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("inserted".to_owned(), self.inserted.to_json()),
+            ("removed".to_owned(), self.removed.to_json()),
+        ])
+    }
+}
+
+/// Decodes one `[s, p, o]` id triplet.
+fn triple_from_json(doc: &Value) -> Result<Triple, GraphError> {
+    let parts = doc
+        .as_array()
+        .filter(|a| a.len() == 3)
+        .ok_or_else(|| GraphError::Parse("triple must be a 3-element array".into()))?;
+    let id = |v: &Value| -> Result<u32, GraphError> {
+        v.as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| GraphError::Parse("triple ids must be u32 integers".into()))
+    };
+    Ok(Triple::new(
+        NodeId(id(&parts[0])?),
+        PredId(id(&parts[1])?),
+        NodeId(id(&parts[2])?),
+    ))
+}
+
+impl EdgeDelta {
+    /// Decodes the [`Serialize`] wire form produced by [`EdgeDelta::to_json`].
+    pub fn from_json(doc: &Value) -> Result<EdgeDelta, GraphError> {
+        let side = |key: &str| -> Result<Vec<Triple>, GraphError> {
+            doc.get(key)
+                .and_then(Value::as_array)
+                .ok_or_else(|| GraphError::Parse(format!("edge delta is missing {key:?}")))?
+                .iter()
+                .map(triple_from_json)
+                .collect()
+        };
+        Ok(EdgeDelta::new(side("inserted")?, side("removed")?))
+    }
+}
+
 /// What applying a [`Mutation`] actually changed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MutationOutcome {
@@ -256,6 +329,30 @@ mod tests {
         assert!(err.to_string().contains("no triple"), "{err}");
         let err = Mutation::parse_script("+ only two").unwrap_err();
         assert!(err.to_string().contains("3 terms"), "{err}");
+    }
+
+    #[test]
+    fn script_parse_errors_carry_line_numbers() {
+        let err = Mutation::parse_script("+ a knows b\n\n+ only two\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("mutation line 3"), "{msg}");
+        assert!(msg.contains("3 terms"), "{msg}");
+    }
+
+    #[test]
+    fn edge_delta_json_round_trip() {
+        use crate::ids::NodeId;
+        use serde::json;
+        let t = |s: u32, p: u32, o: u32| Triple::new(NodeId(s), PredId(p), NodeId(o));
+        let delta = EdgeDelta::new(vec![t(3, 1, 4), t(1, 0, 2)], vec![t(5, 0, 6)]);
+        let text = json::to_string(&delta);
+        let doc = json::from_str(&text).unwrap();
+        assert_eq!(EdgeDelta::from_json(&doc).unwrap(), delta);
+        assert!(EdgeDelta::from_json(&json::from_str("{}").unwrap()).is_err());
+        assert!(EdgeDelta::from_json(
+            &json::from_str(r#"{"inserted":[[1,2]],"removed":[]}"#).unwrap()
+        )
+        .is_err());
     }
 
     #[test]

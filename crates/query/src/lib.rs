@@ -5,7 +5,9 @@
 //!
 //! * [`ConjunctiveQuery`], [`TriplePattern`], [`Term`], [`Var`] — the query
 //!   representation after resolving labels against the graph dictionary,
-//! * [`parse_query`] — a parser for the SPARQL CQ fragment,
+//! * [`parse_query`] — a parser for the SPARQL CQ fragment, and
+//!   [`to_sparql`] — the inverse renderer (used where queries travel as
+//!   text, e.g. the network serving layer),
 //! * [`CqBuilder`] — programmatic construction,
 //! * [`QueryGraph`], [`Shape`] — the structural (query-graph) view used by the
 //!   planners: connectivity, cycle detection, fundamental cycles, shape
@@ -21,6 +23,7 @@ mod cq;
 mod error;
 mod parser;
 mod query_graph;
+mod render;
 mod results;
 pub mod templates;
 mod term;
@@ -29,5 +32,6 @@ pub use cq::{const_term, ConjunctiveQuery, CqBuilder, TriplePattern};
 pub use error::QueryError;
 pub use parser::parse_query;
 pub use query_graph::{QueryEdge, QueryGraph, Shape};
+pub use render::to_sparql;
 pub use results::EmbeddingSet;
 pub use term::{Term, Var};

@@ -1,0 +1,279 @@
+//! A blocking client for the framed-TCP protocol.
+//!
+//! One [`Client`] wraps one connection. Requests are synchronous — send a
+//! frame, read frames until the response with the matching id arrives.
+//! Server-initiated `update` frames that arrive while waiting are buffered
+//! and handed out in arrival order by [`Client::next_update`], so a single
+//! connection can mix request/response traffic with an active subscription
+//! without losing pushes.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::json;
+use wireframe_api::wire::{self, EmbeddingDelta, Request, Response, RowSet, ServeStats};
+
+use crate::frame::{self, FrameReader};
+
+/// What went wrong talking to the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes the server closing the connection).
+    Io(io::Error),
+    /// The peer sent a frame this client cannot make sense of.
+    Protocol(String),
+    /// The server answered with an `error` response.
+    Server(String),
+    /// Admission control shed the request (`reason`: `"queue"` or
+    /// `"deadline"`); retrying later is expected to succeed.
+    Overloaded(String),
+    /// The server acknowledged it is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Overloaded(reason) => write!(f, "overloaded ({reason})"),
+            ClientError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The answer to a successful `query` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Epoch of the answered snapshot.
+    pub epoch: u64,
+    /// The (possibly limit-capped) rows.
+    pub rows: RowSet,
+}
+
+/// The acknowledgement of a `mutate` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutateAck {
+    /// Epoch after the applied batch.
+    pub epoch: u64,
+    /// Triples that became present, whole batch.
+    pub inserted: u64,
+    /// Triples that became absent, whole batch.
+    pub removed: u64,
+    /// Mutate requests coalesced into the batch (≥ 1).
+    pub coalesced: u64,
+}
+
+/// A blocking connection to a `wireframe-serve` server.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_id: u64,
+    max_frame: usize,
+    pending_updates: VecDeque<EmbeddingDelta>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(),
+            next_id: 1,
+            max_frame: frame::DEFAULT_MAX_FRAME,
+            pending_updates: VecDeque::new(),
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends `request` and blocks until the response with the matching id
+    /// arrives, buffering any pushed updates seen along the way.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.stream.set_read_timeout(None)?;
+        frame::write_frame(&mut self.stream, &json::to_string(request))?;
+        let want = request.id();
+        loop {
+            let response = self.read_response()?.ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            })?;
+            match response {
+                Response::Update { delta, .. } => self.pending_updates.push_back(delta),
+                response if response.id() == want => return Ok(response),
+                // An id-0 error about an unparseable frame aborts the wait:
+                // the server could not attribute it, assume it was ours.
+                Response::Error { id: 0, message } => return Err(ClientError::Server(message)),
+                _ => continue, // stale response for an abandoned request
+            }
+        }
+    }
+
+    fn read_response(&mut self) -> Result<Option<Response>, ClientError> {
+        match self.reader.read_frame(&mut self.stream, self.max_frame)? {
+            None => Ok(None),
+            Some(payload) => {
+                let doc = wire::parse_frame(&payload)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                Response::from_json(&doc)
+                    .map(Some)
+                    .map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+        }
+    }
+
+    /// Maps the error-ish responses every helper shares.
+    fn fail<T>(response: Response) -> Result<T, ClientError> {
+        match response {
+            Response::Error { message, .. } => Err(ClientError::Server(message)),
+            Response::Overloaded { reason, .. } => Err(ClientError::Overloaded(reason)),
+            Response::ShuttingDown { .. } => Err(ClientError::ShuttingDown),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// `prepare`: plan (and retain the view for) `query`; returns
+    /// `(epoch, retained)`.
+    pub fn prepare(&mut self, query: &str) -> Result<(u64, bool), ClientError> {
+        let id = self.fresh_id();
+        let request = Request::Prepare {
+            id,
+            query: query.to_owned(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Prepared {
+                epoch, retained, ..
+            } => Ok((epoch, retained)),
+            other => Client::fail(other),
+        }
+    }
+
+    /// `query` with a row cap (0 = unlimited).
+    pub fn query(&mut self, query: &str, limit: u64) -> Result<QueryAnswer, ClientError> {
+        let id = self.fresh_id();
+        let request = Request::Query {
+            id,
+            query: query.to_owned(),
+            limit,
+        };
+        match self.roundtrip(&request)? {
+            Response::Rows { epoch, rows, .. } => Ok(QueryAnswer { epoch, rows }),
+            other => Client::fail(other),
+        }
+    }
+
+    /// `mutate`: apply a `+`/`-` script (possibly coalesced server-side).
+    pub fn mutate(&mut self, script: &str) -> Result<MutateAck, ClientError> {
+        let id = self.fresh_id();
+        let request = Request::Mutate {
+            id,
+            script: script.to_owned(),
+            return_delta: false,
+        };
+        match self.roundtrip(&request)? {
+            Response::Mutated {
+                epoch,
+                inserted,
+                removed,
+                coalesced,
+                ..
+            } => Ok(MutateAck {
+                epoch,
+                inserted,
+                removed,
+                coalesced,
+            }),
+            other => Client::fail(other),
+        }
+    }
+
+    /// `subscribe`: returns the snapshot `(epoch, rows)`; subsequent
+    /// changes arrive via [`Client::next_update`].
+    pub fn subscribe(&mut self, query: &str, limit: u64) -> Result<(u64, RowSet), ClientError> {
+        let id = self.fresh_id();
+        let request = Request::Subscribe {
+            id,
+            query: query.to_owned(),
+            limit,
+        };
+        match self.roundtrip(&request)? {
+            Response::Subscribed { epoch, rows, .. } => Ok((epoch, rows)),
+            other => Client::fail(other),
+        }
+    }
+
+    /// `stats`: server + session counters.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        let id = self.fresh_id();
+        match self.roundtrip(&Request::Stats { id })? {
+            Response::Stats { stats, .. } => Ok(stats),
+            other => Client::fail(other),
+        }
+    }
+
+    /// Asks the server to drain and stop; `Ok` means it acknowledged.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        match self.roundtrip(&Request::Shutdown { id })? {
+            Response::ShuttingDown { .. } => Ok(()),
+            other => Client::fail(other),
+        }
+    }
+
+    /// The next pushed subscription update, waiting up to `timeout`.
+    /// `Ok(None)` means no update arrived in time; `Io(UnexpectedEof)`
+    /// means the server closed the connection.
+    pub fn next_update(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<EmbeddingDelta>, ClientError> {
+        if let Some(update) = self.pending_updates.pop_front() {
+            return Ok(Some(update));
+        }
+        // A zero Duration means "no timeout" to set_read_timeout; clamp up.
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let outcome = loop {
+            match self.read_response() {
+                Ok(Some(Response::Update { delta, .. })) => break Ok(Some(delta)),
+                Ok(Some(_)) => continue, // stale response for an abandoned request
+                Ok(None) => {
+                    break Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Err(ClientError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break Ok(None)
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.stream.set_read_timeout(None)?;
+        outcome
+    }
+}

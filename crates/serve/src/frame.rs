@@ -1,0 +1,193 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! One frame is a 4-byte big-endian `u32` length followed by that many
+//! bytes of UTF-8 JSON. The [`FrameReader`] is *incremental*: it buffers
+//! partial frames across calls, so it composes with `set_read_timeout`
+//! polling loops — a `WouldBlock`/`TimedOut` mid-frame is surfaced to the
+//! caller and the partial bytes stay buffered for the next call. (A plain
+//! `read_exact` would lose them.)
+
+use std::io::{self, Read, Write};
+
+/// Default cap on a single frame's payload (16 MiB). A peer announcing a
+/// larger frame is a protocol violation, not a bigger allocation.
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Writes one frame: 4-byte big-endian length prefix, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload over 4 GiB"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Incremental frame decoder; see the module docs for the timeout contract.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Reads until one complete frame is buffered and returns its payload.
+    ///
+    /// Returns `Ok(None)` on a clean EOF at a frame boundary. EOF inside a
+    /// frame is `UnexpectedEof`. A payload longer than `max_frame` is
+    /// `InvalidData`. `WouldBlock`/`TimedOut` from a read-timeout socket
+    /// propagate with any partial frame kept buffered.
+    pub fn read_frame(
+        &mut self,
+        r: &mut impl Read,
+        max_frame: usize,
+    ) -> io::Result<Option<String>> {
+        loop {
+            if let Some(frame) = self.take_buffered(max_frame)? {
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 4096];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "peer closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pops a complete frame off the buffer, if one is there.
+    fn take_buffered(&mut self, max_frame: usize) -> io::Result<Option<String>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > max_frame {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {max_frame}-byte cap"),
+            ));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = String::from_utf8(self.buf[4..4 + len].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))?;
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "hello").unwrap();
+        write_frame(&mut wire, r#"{"id":1}"#).unwrap();
+        let mut reader = FrameReader::new();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(
+            reader.read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            Some("hello".to_owned())
+        );
+        assert_eq!(
+            reader.read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            Some(r#"{"id":1}"#.to_owned())
+        );
+        assert_eq!(
+            reader.read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap(),
+            None
+        );
+    }
+
+    /// Yields one byte per `read` call and a `WouldBlock` after every byte,
+    /// mimicking a socket with a read timeout delivering data slowly.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not yet"));
+            }
+            self.ready = false;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn partial_frames_survive_timeouts_across_calls() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "split across reads").unwrap();
+        let mut trickle = Trickle {
+            data: wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut blocks = 0;
+        let frame = loop {
+            match reader.read_frame(&mut trickle, DEFAULT_MAX_FRAME) {
+                Ok(frame) => break frame,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => blocks += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(frame, Some("split across reads".to_owned()));
+        assert!(blocks > 4, "every byte should have cost one timeout");
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "0123456789").unwrap();
+        let mut reader = FrameReader::new();
+        let err = reader
+            .read_frame(&mut io::Cursor::new(&wire[..]), 4)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut bad = 2u32.to_be_bytes().to_vec();
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        let err = FrameReader::new()
+            .read_frame(&mut io::Cursor::new(bad), DEFAULT_MAX_FRAME)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "truncated").unwrap();
+        wire.truncate(wire.len() - 3);
+        let err = FrameReader::new()
+            .read_frame(&mut io::Cursor::new(wire), DEFAULT_MAX_FRAME)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,212 @@
+//! Concurrent mutate-vs-view-serve stress: writer threads mutate through
+//! the server while reader threads hit the retained view, a subscriber
+//! folds pushed deltas — and everything is checked against a fresh
+//! single-threaded oracle session at the end.
+//!
+//! Writers only touch triples in their own namespace (`w{w}_s{i}`), so the
+//! final graph is independent of how the server interleaved or coalesced
+//! their batches — which is what makes a deterministic oracle possible
+//! under nondeterministic scheduling.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wireframe::graph::{Graph, GraphBuilder, StoreKind};
+use wireframe::Session;
+use wireframe_serve::{Client, ServeConfig, Server};
+
+const QUERY: &str = "SELECT ?x ?z WHERE { ?x <knows> ?y . ?y <likes> ?z . }";
+const BASE: usize = 20;
+const WRITERS: usize = 3;
+const WRITES_PER_WRITER: usize = 40;
+const READERS: usize = 3;
+
+fn base_triples() -> Vec<(String, String, String)> {
+    let mut triples = Vec::new();
+    for i in 0..BASE {
+        triples.push((format!("a{i}"), "knows".to_owned(), format!("b{i}")));
+        triples.push((format!("b{i}"), "likes".to_owned(), format!("c{i}")));
+    }
+    triples
+}
+
+fn build_graph(triples: &[(String, String, String)]) -> Graph {
+    let mut builder = GraphBuilder::new();
+    for (s, p, o) in triples {
+        builder.add(s, p, o);
+    }
+    builder.build_with_store(StoreKind::Delta)
+}
+
+/// The ops of writer `w`, in its program order: mostly inserts of fresh
+/// `w{w}_s{i} knows b{…}` edges, every third step removing the edge
+/// inserted two steps earlier. Returns `(script per step, net final set)`.
+fn writer_program(w: usize) -> (Vec<String>, Vec<(String, String, String)>) {
+    let mut scripts = Vec::new();
+    let mut live: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for i in 0..WRITES_PER_WRITER {
+        let triple = (
+            format!("w{w}_s{i}"),
+            "knows".to_owned(),
+            format!("b{}", (w + i) % BASE),
+        );
+        if i % 3 == 2 {
+            let victim = (
+                format!("w{w}_s{}", i - 2),
+                "knows".to_owned(),
+                format!("b{}", (w + i - 2) % BASE),
+            );
+            scripts.push(format!("- {} {} {}\n", victim.0, victim.1, victim.2));
+            live.remove(&victim);
+        } else {
+            scripts.push(format!("+ {} {} {}\n", triple.0, triple.1, triple.2));
+            live.insert(triple);
+        }
+    }
+    (scripts, live.into_iter().collect())
+}
+
+/// Distinct sorted label rows of `query` on a fresh, single-threaded
+/// session over `graph` — the oracle answer.
+fn oracle_rows(graph: Graph) -> BTreeSet<Vec<String>> {
+    let session = Session::new(graph);
+    let ev = session.query(QUERY).expect("oracle evaluation");
+    let dict_graph = session.graph();
+    let dict = dict_graph.dictionary();
+    ev.embeddings()
+        .rows()
+        .map(|row| {
+            row.iter()
+                .map(|n| dict.node_label(*n).unwrap().to_owned())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_mutations_serve_monotone_epochs_and_match_the_oracle() {
+    let session = Arc::new(Session::new(build_graph(&base_triples())));
+    let server = Server::start(
+        Arc::clone(&session),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 4,
+            batch_window: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Subscribe before any writes so the delta chain starts at epoch 0.
+    let mut subscriber = Client::connect(addr).unwrap();
+    let (snapshot_epoch, snapshot) = subscriber.subscribe(QUERY, 0).unwrap();
+    assert_eq!(snapshot_epoch, 0);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Readers: hammer the retained view, asserting per-connection epoch
+    // monotonicity — the serving layer must never answer from an older
+    // graph version than it already admitted to.
+    for _ in 0..READERS {
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut last_epoch = 0u64;
+            let mut served = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let answer = client.query(QUERY, 1).unwrap();
+                assert!(
+                    answer.epoch >= last_epoch,
+                    "epoch went backwards: {} after {last_epoch}",
+                    answer.epoch
+                );
+                last_epoch = answer.epoch;
+                served += 1;
+            }
+            served
+        }));
+    }
+
+    // Writers: one connection each, mutating only their own namespace.
+    let mut writer_handles = Vec::new();
+    for w in 0..WRITERS {
+        writer_handles.push(std::thread::spawn(move || {
+            let (scripts, net) = writer_program(w);
+            let mut client = Client::connect(addr).unwrap();
+            let mut last_epoch = 0u64;
+            for script in scripts {
+                let ack = client.mutate(&script).unwrap();
+                assert!(ack.epoch > last_epoch, "mutation acks advance the epoch");
+                last_epoch = ack.epoch;
+            }
+            net
+        }));
+    }
+
+    let mut writer_nets = Vec::new();
+    for handle in writer_handles {
+        writer_nets.push(handle.join().unwrap());
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut reads = 0;
+    for handle in handles {
+        reads += handle.join().unwrap();
+    }
+    assert!(reads > 0, "readers actually read");
+
+    // Oracle: base triples + each writer's net effect, applied to a fresh
+    // graph in one thread. Writer namespaces are disjoint, so this is the
+    // unique final state no matter how batches interleaved.
+    let mut triples = base_triples();
+    for net in writer_nets {
+        triples.extend(net);
+    }
+    let expect = oracle_rows(build_graph(&triples));
+
+    // The server's final answer matches the oracle.
+    let final_epoch = session.epoch();
+    let mut checker = Client::connect(addr).unwrap();
+    let answer = checker.query(QUERY, 0).unwrap();
+    assert_eq!(answer.epoch, final_epoch);
+    let served: BTreeSet<Vec<String>> = answer.rows.rows.into_iter().collect();
+    assert_eq!(served, expect, "served answer diverged from the oracle");
+
+    // The subscriber's folded deltas match the oracle too: chain updates
+    // (gap-free prev/epoch) until the final epoch arrives.
+    let mut rows: BTreeSet<Vec<String>> = snapshot.rows.into_iter().collect();
+    let mut last_epoch = snapshot_epoch;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while last_epoch < final_epoch {
+        assert!(
+            Instant::now() < deadline,
+            "subscriber stuck at epoch {last_epoch} of {final_epoch}"
+        );
+        let Some(update) = subscriber.next_update(Duration::from_millis(500)).unwrap() else {
+            continue;
+        };
+        assert_eq!(update.prev_epoch, last_epoch, "lost or out-of-order update");
+        assert!(update.epoch > update.prev_epoch);
+        for row in &update.removed {
+            assert!(rows.remove(row), "removed row {row:?} was present");
+        }
+        for row in update.added {
+            assert!(rows.insert(row), "added row already present");
+        }
+        last_epoch = update.epoch;
+    }
+    assert_eq!(rows, expect, "subscription deltas diverged from the oracle");
+
+    // Coalescing should have happened at least once under 3 concurrent
+    // writers with a nonzero window — but timing can conspire, so only
+    // sanity-check the counters' arithmetic, not a lower bound.
+    let stats = server.stats();
+    assert_eq!(stats.mutations, (WRITERS * WRITES_PER_WRITER) as u64);
+    assert!(stats.mutation_batches <= stats.mutations);
+    assert_eq!(stats.epoch, final_epoch);
+    assert_eq!(stats.mutation_batches, final_epoch);
+
+    server.shutdown();
+}

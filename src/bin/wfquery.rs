@@ -19,6 +19,10 @@
 //!   --limit <N>               print at most N result rows (default 20, 0 = unlimited)
 //!   --threads <N>             worker threads for parallel phases (default 1; 0 = auto)
 //!   --count-only              print only the number of embeddings
+//!
+//! exit codes: 0 ok · 1 evaluation/runtime failure · 2 usage error or
+//! malformed input (bad flags, unparsable query, mutation-script parse
+//! errors — reported with the offending line number)
 //! ```
 //!
 //! Engines are dispatched through the workspace's engine registry
@@ -32,6 +36,33 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+
+/// A failed run, split by who is at fault: `Usage` is a malformed
+/// invocation or input file (exit 2, like every driver in this workspace);
+/// `Runtime` is a failure while evaluating well-formed input (exit 1).
+enum Failure {
+    Usage(String),
+    Runtime(String),
+}
+
+impl Failure {
+    fn message(&self) -> &str {
+        match self {
+            Failure::Usage(m) | Failure::Runtime(m) => m,
+        }
+    }
+}
+
+/// Shorthand for fallible steps that are usage errors when they fail.
+trait OrUsage<T> {
+    fn or_usage(self) -> Result<T, Failure>;
+}
+
+impl<T> OrUsage<T> for Result<T, String> {
+    fn or_usage(self) -> Result<T, Failure> {
+        self.map_err(Failure::Usage)
+    }
+}
 
 use wireframe::graph::Graph;
 use wireframe::query::EmbeddingSet;
@@ -166,8 +197,8 @@ fn read_query(options: &Options) -> Result<String, String> {
     Ok(buf)
 }
 
-fn run() -> Result<(), String> {
-    let options = parse_args(std::env::args().skip(1))?;
+fn run() -> Result<(), Failure> {
+    let options = parse_args(std::env::args().skip(1)).or_usage()?;
 
     if options.engine == "help" || options.engine == "list" {
         println!("{}", engine_listing());
@@ -175,9 +206,9 @@ fn run() -> Result<(), String> {
     }
 
     let file = std::fs::File::open(&options.data_path)
-        .map_err(|e| format!("cannot open {}: {e}", options.data_path))?;
+        .map_err(|e| Failure::Usage(format!("cannot open {}: {e}", options.data_path)))?;
     let graph = wireframe::graph::load(std::io::BufReader::new(file))
-        .map_err(|e| format!("cannot load {}: {e}", options.data_path))?;
+        .map_err(|e| Failure::Usage(format!("cannot load {}: {e}", options.data_path)))?;
     eprintln!(
         "loaded {}: {} triples, {} predicates, {} nodes · {} store",
         options.data_path,
@@ -187,7 +218,7 @@ fn run() -> Result<(), String> {
         options.store.name()
     );
 
-    let query_text = read_query(&options)?;
+    let query_text = read_query(&options).or_usage()?;
 
     let mut config = EngineConfig::default().with_store(options.store);
     if options.edge_burnback {
@@ -211,16 +242,20 @@ fn run() -> Result<(), String> {
         .with_config(config)
         .with_engine(&options.engine)
         .map_err(|e| match e {
-            wireframe::WireframeError::UnknownEngine { requested, .. } => {
-                format!("unknown engine {requested:?}\n{}", engine_listing())
-            }
-            other => other.to_string(),
+            wireframe::WireframeError::UnknownEngine { requested, .. } => Failure::Usage(format!(
+                "unknown engine {requested:?}\n{}",
+                engine_listing()
+            )),
+            other => Failure::Runtime(other.to_string()),
         })?;
 
     if let Some(path) = &options.mutations {
         let script = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read mutation script {path}: {e}"))?;
-        let mutation = Mutation::parse_script(&script).map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| Failure::Usage(format!("cannot read mutation script {path}: {e}")))?;
+        // parse_script errors carry the offending line number; prefix the
+        // path so the message reads like a compiler diagnostic.
+        let mutation =
+            Mutation::parse_script(&script).map_err(|e| Failure::Usage(format!("{path}: {e}")))?;
         // With --explain, prime the plan cache with the query *before* the
         // batch — plan + retained view only, no defactorization — so the
         // footprint pass has a view to maintain and the summary below
@@ -272,7 +307,12 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let evaluation = session.query(&query_text).map_err(|e| e.to_string())?;
+    let evaluation = session.query(&query_text).map_err(|e| match e {
+        // A query that does not parse is the caller's input, not an
+        // evaluation failure.
+        wireframe::WireframeError::Query(_) => Failure::Usage(e.to_string()),
+        other => Failure::Runtime(other.to_string()),
+    })?;
     if let Some(explain) = &evaluation.explain {
         eprint!("{explain}");
     } else if options.explain {
@@ -283,11 +323,19 @@ fn run() -> Result<(), String> {
         );
     }
 
+    // After a mutation script, the summary stamps the post-batch epoch so
+    // scripted callers can tie the answer to the graph version it came from.
+    let epoch_note = if options.mutations.is_some() {
+        format!(" · epoch {}", session.epoch())
+    } else {
+        String::new()
+    };
     if options.count_only {
         println!("{}", evaluation.embedding_count());
+        eprintln!("{} embeddings{epoch_note}", evaluation.embedding_count());
     } else {
         print_results(&session.graph(), evaluation.embeddings(), options.limit);
-        eprintln!("{} embeddings", evaluation.embedding_count());
+        eprintln!("{} embeddings{epoch_note}", evaluation.embedding_count());
     }
     Ok(())
 }
@@ -295,9 +343,12 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("{}", failure.message());
+            match failure {
+                Failure::Runtime(_) => ExitCode::FAILURE,
+                Failure::Usage(_) => ExitCode::from(2),
+            }
         }
     }
 }

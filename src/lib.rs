@@ -81,9 +81,9 @@ pub use wireframe_graph as graph;
 pub use wireframe_query as query;
 
 pub use registry::default_registry;
-pub use session::{Session, DEFAULT_CACHE_CAPACITY};
+pub use session::{EpochListener, Session, DEFAULT_CACHE_CAPACITY};
 pub use wireframe_api::{
     Engine, EngineConfig, EngineEntry, EngineRegistry, Evaluation, Factorized, PreparedQuery,
     StoreKind, Timings, WireframeError,
 };
-pub use wireframe_graph::{Mutation, MutationOp, MutationOutcome};
+pub use wireframe_graph::{EdgeDelta, Mutation, MutationOp, MutationOutcome};

@@ -435,7 +435,12 @@ pub struct Session {
     mutation_touches: AtomicU64,
     view_serves: AtomicU64,
     full_evals: AtomicU64,
+    epoch_listeners: RwLock<Vec<EpochListener>>,
 }
+
+/// Callback invoked on every epoch advance; see
+/// [`Session::add_epoch_listener`].
+pub type EpochListener = Box<dyn Fn(u64, &EdgeDelta) + Send + Sync>;
 
 // The serving path relies on sessions being shareable across threads; keep
 // the guarantee compile-time-checked rather than implied.
@@ -485,7 +490,27 @@ impl Session {
             mutation_touches: AtomicU64::new(0),
             view_serves: AtomicU64::new(0),
             full_evals: AtomicU64::new(0),
+            epoch_listeners: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Registers a callback fired on **every** epoch advance — including
+    /// batches whose net [`EdgeDelta`] is empty, so subscribers can track
+    /// epoch continuity without gaps.
+    ///
+    /// The callback runs on the mutating thread while the session still
+    /// holds the graph-state write lock, which is what makes notifications
+    /// **totally ordered by epoch**: no two callbacks run concurrently and
+    /// epochs arrive strictly increasing. Keep it cheap and non-reentrant —
+    /// don't call back into the session from inside (that would deadlock on
+    /// the state lock); hand the event to a channel and do the work
+    /// elsewhere. The serving layer's subscription fan-out does exactly
+    /// that.
+    pub fn add_epoch_listener(&self, listener: impl Fn(u64, &EdgeDelta) + Send + Sync + 'static) {
+        self.epoch_listeners
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(listener));
     }
 
     /// Selects the mutation policy for cached plans (builder form; default
@@ -867,6 +892,20 @@ impl Session {
                 .fetch_add(pass.micros, Ordering::Relaxed);
             self.mutation_touches
                 .fetch_add(pass.touched, Ordering::Relaxed);
+        }
+        // Notify epoch listeners while still holding the state write lock:
+        // this is the ordering guarantee subscription fan-out builds on —
+        // callbacks observe strictly increasing epochs and never race each
+        // other. The listener lock is a leaf (state → listeners, nothing
+        // re-enters the session), so this cannot deadlock.
+        {
+            let listeners = self
+                .epoch_listeners
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            for listener in listeners.iter() {
+                listener(epoch, &outcome.delta);
+            }
         }
         drop(state);
         if outcome.compacted {
