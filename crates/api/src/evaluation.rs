@@ -100,6 +100,11 @@ pub struct Evaluation {
     /// epoch of the graph snapshot it evaluated on, so clients of a dynamic
     /// graph can tell which version answered them.
     pub epoch: u64,
+    /// The per-shard epoch vector of the snapshot: `[epoch]` when the
+    /// serving layer is unsharded, one entry per shard on a sharded
+    /// executor, empty when produced by a raw (epoch-unaware) engine. See
+    /// [`crate::QueryExecutor::epoch_vector`] for the contract.
+    pub epochs: Vec<u64>,
     /// The projected embeddings (the query's answer).
     pub embeddings: EmbeddingSet,
     /// Per-phase wall-clock timings.
@@ -168,6 +173,7 @@ mod tests {
         let ev = Evaluation {
             engine: "test".into(),
             epoch: 0,
+            epochs: Vec::new(),
             embeddings: EmbeddingSet::empty(vec![Var(0)]),
             timings: Timings::default(),
             cyclic: false,

@@ -1,0 +1,121 @@
+//! The [`QueryExecutor`] trait: the serving-side façade contract.
+//!
+//! Engines ([`crate::Engine`]) are stateless evaluators over one graph
+//! snapshot. *Executors* sit one layer up: they own graph version(s), an
+//! epoch counter (or, for sharded executors, one counter per shard), a plan
+//! cache, and a mutation path — the surface the serving layer and the CLI
+//! drivers actually talk to. The umbrella crate's `Session` (one graph, one
+//! epoch) and `ShardedCluster` (N vertex-partitioned shards, an epoch
+//! *vector*) both implement this trait, so `wfserve`, `wfquery` and the
+//! benchmark driver dispatch through `dyn QueryExecutor` and never name a
+//! concrete serving type.
+
+use std::sync::Arc;
+
+use wireframe_graph::{EdgeDelta, Graph, Mutation, MutationOutcome};
+use wireframe_query::ConjunctiveQuery;
+
+use crate::{Evaluation, WireframeError};
+
+/// Callback invoked on every epoch advance; see
+/// [`QueryExecutor::add_epoch_listener`].
+pub type EpochListener = Box<dyn Fn(u64, &EdgeDelta) + Send + Sync>;
+
+/// A uniform snapshot of an executor's serving counters.
+///
+/// Single-session executors report their own counters; sharded executors
+/// report the element-wise **sum** across shards plus their cluster-level
+/// counters. All counters are cumulative since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Prepared-plan cache hits.
+    pub cache_hits: u64,
+    /// Prepared-plan cache misses.
+    pub cache_misses: u64,
+    /// Cache entries evicted by the capacity bound.
+    pub cache_evictions: u64,
+    /// Cache entries evicted by mutation footprints.
+    pub cache_invalidations: u64,
+    /// Evaluations served straight from a retained view (phase two only).
+    pub view_serves: u64,
+    /// Full pipeline runs (engine evaluations plus view materializations).
+    pub full_evaluations: u64,
+    /// Retained views maintained in place by mutations.
+    pub plans_maintained: u64,
+    /// Total maintenance frontier nodes across all maintained views.
+    pub maintenance_frontier_nodes: u64,
+    /// Wall-clock spent maintaining views, microseconds.
+    pub maintenance_micros: u64,
+    /// Cached entries examined under a lock by mutation footprint passes.
+    pub mutation_cache_touches: u64,
+    /// Delta-store compactions triggered by mutations.
+    pub compactions: u64,
+}
+
+/// One object that owns graph state and answers queries: the contract shared
+/// by the unsharded `Session` and the `ShardedCluster`.
+///
+/// # Epochs and the epoch vector
+///
+/// Every executor exposes a scalar [`QueryExecutor::epoch`] — advanced by
+/// exactly one per applied mutation batch — which is what subscription
+/// chains and `Evaluation::epoch` stamps are built on. The
+/// [`QueryExecutor::epoch_vector`] refines it: one entry per shard, each
+/// advanced only when a batch actually routed work to that shard. For an
+/// unsharded executor the vector is `[epoch]`; for a sharded one the scalar
+/// is the cluster-wide batch counter and the vector carries the per-shard
+/// counters, so serve-layer subscribers can verify gap-freedom *per shard*.
+///
+/// # Snapshot contract
+///
+/// [`QueryExecutor::graph`] returns an immutable snapshot of (one shard of)
+/// the current graph version, primarily for dictionary access: labels are
+/// append-only across mutations, so identifiers resolved against an older
+/// snapshot still resolve against every later one.
+pub trait QueryExecutor: Send + Sync {
+    /// The name of the engine answering queries.
+    fn engine_name(&self) -> &str;
+
+    /// Parses, plans and executes a SPARQL conjunctive query in one call.
+    fn query(&self, text: &str) -> Result<Evaluation, WireframeError>;
+
+    /// Executes an already-constructed query (parsed against this
+    /// executor's dictionary — see [`QueryExecutor::graph`]).
+    fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError>;
+
+    /// Warms the executor for `text` without producing an answer. Returns
+    /// `true` when a retained view now serves the query.
+    fn prime(&self, text: &str) -> Result<bool, WireframeError>;
+
+    /// Applies a mutation batch, advancing the epoch by one. On a sharded
+    /// executor the batch is routed: each operation reaches the shard that
+    /// owns its subject.
+    fn apply_mutation(&self, mutation: &Mutation) -> MutationOutcome;
+
+    /// The scalar mutation epoch: `0` at construction, `+1` per applied
+    /// batch.
+    fn epoch(&self) -> u64;
+
+    /// The per-shard epoch vector; `[epoch]` for unsharded executors. See
+    /// the trait docs for the contract.
+    fn epoch_vector(&self) -> Vec<u64>;
+
+    /// Number of shards (`1` for unsharded executors).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// A snapshot of the current graph version (shard 0 on sharded
+    /// executors), for dictionary/label resolution. Labels are append-only,
+    /// so identifiers from older snapshots keep resolving.
+    fn graph(&self) -> Arc<Graph>;
+
+    /// Registers a callback fired on every scalar-epoch advance, with the
+    /// batch's net [`EdgeDelta`]. Callbacks are totally ordered by epoch
+    /// (they run under the executor's mutation lock); keep them cheap and
+    /// never call back into the executor from inside one.
+    fn add_epoch_listener(&self, listener: EpochListener);
+
+    /// A snapshot of the executor's serving counters.
+    fn stats(&self) -> ExecutorStats;
+}

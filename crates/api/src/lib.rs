@@ -12,6 +12,9 @@
 //! * [`Evaluation`] — the uniform result: embeddings, per-phase [`Timings`],
 //!   optional [`Factorized`] artifacts, engine-specific metrics,
 //! * [`EngineRegistry`] — engine factories by name, replacing string dispatch,
+//! * [`QueryExecutor`] — the serving-side contract one layer up: an object
+//!   that owns graph state, epochs and a mutation path (the `Session` facade
+//!   and the `ShardedCluster` of the umbrella crate both implement it),
 //! * [`WireframeError`] — the workspace-wide error type.
 //!
 //! The crate deliberately depends only on `wireframe-graph` and
@@ -24,6 +27,7 @@
 mod engine;
 mod error;
 mod evaluation;
+mod executor;
 mod prepared;
 mod registry;
 mod view;
@@ -32,6 +36,7 @@ pub mod wire;
 pub use engine::{Engine, EngineConfig};
 pub use error::WireframeError;
 pub use evaluation::{Evaluation, Factorized, Timings};
+pub use executor::{EpochListener, ExecutorStats, QueryExecutor};
 pub use prepared::PreparedQuery;
 pub use registry::{EngineEntry, EngineFactory, EngineRegistry};
 pub use view::{MaintainedView, MaintenanceInfo, MaintenanceStats};

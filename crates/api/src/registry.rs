@@ -145,6 +145,7 @@ mod tests {
             Ok(Evaluation {
                 engine: self.name().to_owned(),
                 epoch: 0,
+                epochs: Vec::new(),
                 embeddings: EmbeddingSet::empty(prepared.query().projection().to_vec()),
                 timings: Timings::default(),
                 cyclic: prepared.cyclic(),

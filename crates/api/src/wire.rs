@@ -215,6 +215,10 @@ pub struct EmbeddingDelta {
     pub added: Vec<Vec<String>>,
     /// Rows present at `prev_epoch` but not at `epoch`.
     pub removed: Vec<Vec<String>>,
+    /// The serving executor's per-shard epoch vector at `epoch` (`[epoch]`
+    /// on an unsharded server). Empty when the peer predates epoch vectors;
+    /// present, it lets sharded subscribers verify gap-freedom per shard.
+    pub epochs: Vec<u64>,
 }
 
 impl EmbeddingDelta {
@@ -226,15 +230,20 @@ impl EmbeddingDelta {
             total: get_u64(doc, "total")?,
             added: get_rows(doc, "added")?,
             removed: get_rows(doc, "removed")?,
+            epochs: get_u64_array_or_default(doc, "epochs")?,
         })
     }
 }
 
 /// Server + session counters returned by [`Request::Stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
 pub struct ServeStats {
     /// Current session epoch.
     pub epoch: u64,
+    /// The executor's per-shard epoch vector (`[epoch]` on an unsharded
+    /// server; one entry per shard on a sharded one). Empty when the peer
+    /// predates epoch vectors.
+    pub epochs: Vec<u64>,
     /// Connections accepted since startup.
     pub connections: u64,
     /// Requests parsed (all kinds, shed or served).
@@ -274,6 +283,7 @@ impl ServeStats {
         let field = |key: &str| get_u64(doc, key);
         Ok(ServeStats {
             epoch: field("epoch")?,
+            epochs: get_u64_array_or_default(doc, "epochs")?,
             connections: field("connections")?,
             requests: field("requests")?,
             queries: field("queries")?,
@@ -598,6 +608,23 @@ fn get_str<'a>(doc: &'a Value, key: &str) -> Result<&'a str, WireError> {
         .ok_or_else(|| WireError(format!("missing or non-string field {key:?}")))
 }
 
+/// Decodes an optional array of unsigned integers; a missing field decodes
+/// as empty (pre-epoch-vector peers), a present-but-malformed one errors.
+fn get_u64_array_or_default(doc: &Value, key: &str) -> Result<Vec<u64>, WireError> {
+    match doc.get(key) {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| WireError(format!("{key:?} must be an array")))?
+            .iter()
+            .map(|e| {
+                e.as_u64()
+                    .ok_or_else(|| WireError(format!("{key:?} entries must be unsigned integers")))
+            })
+            .collect(),
+    }
+}
+
 fn get_rows(doc: &Value, key: &str) -> Result<Vec<Vec<String>>, WireError> {
     doc.get(key)
         .and_then(Value::as_array)
@@ -696,12 +723,14 @@ mod tests {
                 total: 7,
                 added: vec![vec!["x".into()]],
                 removed: vec![],
+                epochs: vec![3, 2],
             },
         });
         round_trip_response(Response::Stats {
             id: 5,
             stats: ServeStats {
                 epoch: 5,
+                epochs: vec![5],
                 requests: 12,
                 ..ServeStats::default()
             },
@@ -746,6 +775,21 @@ mod tests {
         // Missing version field = v1 peer.
         let doc = parse_frame(r#"{"type":"stats","id":1}"#).unwrap();
         assert_eq!(Request::from_json(&doc).unwrap(), Request::Stats { id: 1 });
+    }
+
+    #[test]
+    fn epoch_vectors_decode_with_a_default_for_old_peers() {
+        // A pre-epoch-vector peer omits `epochs`: decode to empty, not error.
+        let doc =
+            parse_frame(r#"{"prev_epoch":1,"epoch":2,"total":0,"added":[],"removed":[]}"#).unwrap();
+        let delta = EmbeddingDelta::from_json(&doc).unwrap();
+        assert!(delta.epochs.is_empty());
+        // Present but malformed still errors.
+        let doc = parse_frame(
+            r#"{"prev_epoch":1,"epoch":2,"total":0,"added":[],"removed":[],"epochs":["x"]}"#,
+        )
+        .unwrap();
+        assert!(EmbeddingDelta::from_json(&doc).is_err());
     }
 
     #[test]

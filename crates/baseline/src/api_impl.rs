@@ -36,6 +36,7 @@ impl Engine for RelationalEngine<'_> {
         Ok(Evaluation {
             engine: self.name().to_owned(),
             epoch: 0,
+            epochs: Vec::new(),
             embeddings,
             timings,
             cyclic: prepared.cyclic(),
@@ -71,6 +72,7 @@ impl Engine for SortMergeEngine<'_> {
         Ok(Evaluation {
             engine: self.name().to_owned(),
             epoch: 0,
+            epochs: Vec::new(),
             embeddings,
             timings,
             cyclic: prepared.cyclic(),
@@ -106,6 +108,7 @@ impl Engine for ExplorationEngine<'_> {
         Ok(Evaluation {
             engine: self.name().to_owned(),
             epoch: 0,
+            epochs: Vec::new(),
             embeddings,
             timings,
             cyclic: prepared.cyclic(),

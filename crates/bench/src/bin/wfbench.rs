@@ -14,16 +14,21 @@
 //!   --workload full|table1|chains|stars   query mix (default full = all 20)
 //!   --store csr|map|delta         graph storage backend to index the dataset with
 //!                                 (default csr; churn is cheap only on delta)
-//!   --scenario serve|churn|serve-net
+//!   --scenario serve|churn|serve-net|sharded
 //!                                 static serving loop (default); dynamic-graph
 //!                                 churn: per epoch, one seeded mutation batch then
 //!                                 the read workload, reporting per-epoch QPS and
-//!                                 cache invalidation/compaction counters; or
+//!                                 cache invalidation/compaction counters;
 //!                                 serve-net: closed-loop clients over real TCP
 //!                                 sockets against a wireframe-serve server, mixed
 //!                                 read/write traffic with one subscriber, reporting
 //!                                 p50/p95/p99/p999 tails, shed-rate, batching and
-//!                                 subscription-lag counters
+//!                                 subscription-lag counters; or sharded:
+//!                                 scatter-gather serving over --shards vertex
+//!                                 partitions, every answer cross-checked exactly
+//!                                 against an unsharded reference session before
+//!                                 and after a seeded mutation batch
+//!   --shards <N>                  sharded: number of vertex partitions (default 2)
 //!   --maintenance incremental|reeval
 //!                                 mutation policy for cached plans (default
 //!                                 incremental): maintain retained answer-graph
@@ -60,11 +65,14 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use wireframe::{core::auto_threads, EngineConfig, Session, StoreKind};
+use wireframe::{
+    core::auto_threads, EngineConfig, QueryExecutor, Session, SessionConfig, StoreKind,
+};
 use wireframe_bench::churn::{run_churn, ChurnOptions};
 use wireframe_bench::driver::run_engine;
 use wireframe_bench::report::{compare, parse_tolerance, BenchReport, SCHEMA_VERSION};
 use wireframe_bench::servenet::{run_serve_net, ServeNetOptions};
+use wireframe_bench::sharded::{run_sharded, ShardedOptions};
 use wireframe_bench::{build_dataset_with_store, DatasetSize};
 use wireframe_datagen::{chain_queries, full_workload, star_queries, table1_queries};
 use wireframe_serve::ServeConfig;
@@ -87,6 +95,7 @@ struct Options {
     requests: usize,
     write_fraction: f64,
     queue_depth: usize,
+    shards: usize,
     compaction_threshold: Option<f64>,
     edge_burnback: bool,
     json: Option<String>,
@@ -97,9 +106,9 @@ struct Options {
 fn usage() -> &'static str {
     "usage: wfbench [--size tiny|small|benchmark|large] [--threads N] [--iterations N] \
      [--engines a,b,…] [--workload full|table1|chains|stars] [--store csr|map|delta] \
-     [--scenario serve|churn|serve-net [--epochs N] [--batch N] [--insert-fraction F] \
-     [--churn-seed N] [--clients N] [--requests N] [--write-fraction F] [--queue-depth N]] \
-     [--maintenance incremental|reeval] [--compaction-threshold F] \
+     [--scenario serve|churn|serve-net|sharded [--epochs N] [--batch N] [--insert-fraction F] \
+     [--churn-seed N] [--clients N] [--requests N] [--write-fraction F] [--queue-depth N] \
+     [--shards N]] [--maintenance incremental|reeval] [--compaction-threshold F] \
      [--edge-burnback] [--json PATH] [--baseline PATH [--tolerance P%]]"
 }
 
@@ -126,6 +135,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         requests: serve_defaults.requests,
         write_fraction: serve_defaults.write_fraction,
         queue_depth: serve_defaults.config.queue_depth,
+        shards: ShardedOptions::default().shards,
         compaction_threshold: None,
         edge_burnback: false,
         json: None,
@@ -175,9 +185,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--store" => options.store = StoreKind::parse(&value(&mut args, "--store")?)?,
             "--scenario" => {
                 let name = value(&mut args, "--scenario")?;
-                if !["serve", "churn", "serve-net"].contains(&name.as_str()) {
+                if !["serve", "churn", "serve-net", "sharded"].contains(&name.as_str()) {
                     return Err(format!(
-                        "unknown scenario {name:?} (accepted: serve, churn, serve-net)"
+                        "unknown scenario {name:?} (accepted: serve, churn, serve-net, sharded)"
                     ));
                 }
                 options.scenario = name;
@@ -251,6 +261,14 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                 options.queue_depth = value(&mut args, "--queue-depth")?
                     .parse()
                     .map_err(|_| "--queue-depth must be a non-negative integer".to_owned())?;
+            }
+            "--shards" => {
+                options.shards = value(&mut args, "--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be a positive integer".to_owned())?;
+                if options.shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
             }
             "--compaction-threshold" => {
                 let threshold: f64 = value(&mut args, "--compaction-threshold")?
@@ -366,22 +384,59 @@ fn run() -> Result<bool, String> {
         ..ServeNetOptions::default()
     };
 
+    if options.scenario == "sharded" {
+        // One lane, wireframe only: the cluster merges factorized answer
+        // graphs, which only the wireframe engine produces.
+        let sharded_options = ShardedOptions {
+            shards: options.shards,
+            threads: options.threads,
+            iterations: options.iterations,
+            batch: options.batch,
+            seed: options.churn_seed,
+        };
+        let session_config = SessionConfig::new()
+            .engine_config(config)
+            .maintenance(options.maintenance);
+        let run = run_sharded(&graph, &workload, session_config, &sharded_options)
+            .map_err(|e| format!("sharded: {e}"))?;
+        eprintln!(
+            "{:<12} {:>8.1} qps · {:>8.1} ms wall · {} shards · answers match the \
+             unsharded reference exactly (pre- and post-churn)",
+            run.engine, run.qps, run.wall_ms, options.shards
+        );
+        report.engines.push(run);
+        print_summary(&report);
+        if let Some(path) = &options.json {
+            std::fs::write(path, report.to_json_string())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("report written to {path}");
+        }
+        return check_baseline(&report, baseline.as_ref(), &options);
+    }
+
     for name in &engine_names {
-        // Each engine gets a fresh session over the shared base graph —
-        // churn mutations are per-session versions, so every engine starts
+        // Each engine gets a fresh executor over the shared base graph —
+        // churn mutations are per-executor versions, so every engine starts
         // from the identical dataset and applies the identical seeded mix.
-        let session = Arc::new(
-            Session::shared(Arc::clone(&graph))
-                .with_config(config)
-                .with_maintenance(options.maintenance)
-                .with_engine(name)
-                .map_err(|e| e.to_string())?,
+        let session_config = SessionConfig::new()
+            .engine_config(config)
+            .maintenance(options.maintenance)
+            .engine(name);
+        let executor: Arc<dyn QueryExecutor> = Arc::new(
+            Session::from_config(Arc::clone(&graph), session_config).map_err(|e| e.to_string())?,
         );
         let run = match options.scenario.as_str() {
-            "churn" => run_churn(&session, &workload, &churn_options).map_err(|e| e.to_string()),
-            "serve-net" => run_serve_net(&session, &workload, &servenet_options),
-            _ => run_engine(&session, &workload, options.threads, options.iterations)
-                .map_err(|e| e.to_string()),
+            "churn" => {
+                run_churn(executor.as_ref(), &workload, &churn_options).map_err(|e| e.to_string())
+            }
+            "serve-net" => run_serve_net(&executor, &workload, &servenet_options),
+            _ => run_engine(
+                executor.as_ref(),
+                &workload,
+                options.threads,
+                options.iterations,
+            )
+            .map_err(|e| e.to_string()),
         }
         .map_err(|e| format!("{name}: {e}"))?;
         if let Some(serve) = &run.serve {
@@ -433,24 +488,35 @@ fn run() -> Result<bool, String> {
         eprintln!("report written to {path}");
     }
 
-    if let Some(baseline) = &baseline {
-        let path = options.baseline.as_deref().unwrap_or("<baseline>");
-        let tolerance = options.tolerance.unwrap_or(DEFAULT_TOLERANCE);
-        let regressions = compare(&report, baseline, tolerance);
-        if regressions.is_empty() {
-            eprintln!(
-                "no regression against {path} (tolerance {:.0}%)",
-                tolerance * 100.0
-            );
-        } else {
-            eprintln!("{} regression(s) against {path}:", regressions.len());
-            for r in &regressions {
-                eprintln!("  {r}");
-            }
-            return Ok(false);
+    check_baseline(&report, baseline.as_ref(), &options)
+}
+
+/// Compares the finished report against the optional baseline; `Ok(false)`
+/// means regressions were found (exit code 1).
+fn check_baseline(
+    report: &BenchReport,
+    baseline: Option<&BenchReport>,
+    options: &Options,
+) -> Result<bool, String> {
+    let Some(baseline) = baseline else {
+        return Ok(true);
+    };
+    let path = options.baseline.as_deref().unwrap_or("<baseline>");
+    let tolerance = options.tolerance.unwrap_or(DEFAULT_TOLERANCE);
+    let regressions = compare(report, baseline, tolerance);
+    if regressions.is_empty() {
+        eprintln!(
+            "no regression against {path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+        Ok(true)
+    } else {
+        eprintln!("{} regression(s) against {path}:", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
         }
+        Ok(false)
     }
-    Ok(true)
 }
 
 /// Latency/QPS slack applied when `--baseline` is given without `--tolerance`.
@@ -684,6 +750,24 @@ mod tests {
         assert!(parse(&["--write-fraction", "1.5"]).is_err());
         assert!(parse(&["--write-fraction", "-0.1"]).is_err());
         assert!(parse(&["--queue-depth", "-1"]).is_err());
+    }
+
+    #[test]
+    fn sharded_flags_parse_and_validate_before_any_work() {
+        let options = parse(&[]).unwrap();
+        assert_eq!(options.shards, 2, "the sharded default is 2 partitions");
+
+        let options = parse(&["--scenario", "sharded", "--shards", "4"]).unwrap();
+        assert_eq!(options.scenario, "sharded");
+        assert_eq!(options.shards, 4);
+
+        // Invalid shard counts are usage errors (exit 2), rejected at parse
+        // time — matching the --baseline/--tolerance fail-fast precedent.
+        let err = parse(&["--shards", "0"]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = parse(&["--shards", "two"]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        assert!(parse(&["--shards"]).is_err(), "a value is required");
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! The serve scenario ([`crate::driver::run_engine`]) measures a static
 //! graph. This driver measures the ROADMAP's *live* scenario: the graph
 //! keeps changing while queries are served. Each measured **epoch** applies
-//! one seeded mutation batch through [`Session::apply_mutation`] (advancing
-//! the session epoch, invalidating cached plans by predicate footprint, and
+//! one seeded mutation batch through [`QueryExecutor::apply_mutation`]
+//! (advancing the epoch, invalidating cached plans by predicate footprint, and
 //! possibly compacting the delta store) and then runs the closed-loop read
 //! workload against the new version, recording per-epoch QPS and the deltas
 //! of every cache/compaction counter.
@@ -25,7 +25,7 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use wireframe::{Mutation, Session, WireframeError};
+use wireframe::{Mutation, QueryExecutor, WireframeError};
 use wireframe_datagen::BenchmarkQuery;
 use wireframe_graph::Graph;
 
@@ -165,12 +165,12 @@ impl ChurnMix {
 /// passes over `workload`. Asserts intra-epoch answer stability and correct
 /// epoch stamping; returns `(wall_ms, queries_issued)`.
 fn read_phase(
-    session: &Session,
+    executor: &dyn QueryExecutor,
     workload: &[BenchmarkQuery],
     threads: usize,
     iterations: usize,
 ) -> Result<(f64, u64), WireframeError> {
-    let epoch = session.epoch();
+    let epoch = executor.epoch();
     let expected: Vec<OnceLock<u64>> = workload.iter().map(|_| OnceLock::new()).collect();
     let start = Instant::now();
     let result: Result<Vec<()>, WireframeError> = std::thread::scope(|scope| {
@@ -181,7 +181,7 @@ fn read_phase(
                 for pass in 0..iterations {
                     for step in 0..workload.len() {
                         let idx = (worker + pass + step) % workload.len();
-                        let ev = session.execute(&workload[idx].query)?;
+                        let ev = executor.execute(&workload[idx].query)?;
                         assert_eq!(
                             ev.epoch, epoch,
                             "{}: mutations must not run during a read phase",
@@ -212,86 +212,80 @@ fn read_phase(
     Ok((wall_ms, (threads * iterations * workload.len()) as u64))
 }
 
-/// Runs the churn scenario for one engine session: a cache-priming warmup
+/// Runs the churn scenario for one executor: a cache-priming warmup
 /// pass, then `opts.epochs` rounds of (seeded mutation batch → closed-loop
 /// reads), reporting per-epoch QPS and counter deltas.
 ///
-/// The session must have the target engine selected; any storage backend
+/// The executor must have the target engine selected; any storage backend
 /// works, but only [`StoreKind::Delta`](wireframe_graph::StoreKind) makes
 /// mutations cheap (and reports compactions).
 pub fn run_churn(
-    session: &Session,
+    executor: &dyn QueryExecutor,
     workload: &[BenchmarkQuery],
     opts: &ChurnOptions,
 ) -> Result<EngineRun, WireframeError> {
     let threads = opts.threads.max(1);
     let iterations = opts.iterations.max(1);
-    let mut mix = ChurnMix::new(&session.graph(), opts.seed);
+    let mut mix = ChurnMix::new(&executor.graph(), opts.seed);
 
     // Warmup: prime the prepared-plan cache so the first epoch's
     // invalidation counters measure footprint eviction, not a cold cache.
-    let full_evals_before = session.full_evaluations();
+    let full_evals_before = executor.stats().full_evaluations;
     for bq in workload {
-        session.execute(&bq.query)?;
+        executor.execute(&bq.query)?;
     }
-    let hits_before = session.cache_hits();
-    let misses_before = session.cache_misses();
+    let before = executor.stats();
 
     let mut epochs = Vec::with_capacity(opts.epochs);
     let mut total_queries = 0u64;
     let wall_start = Instant::now();
     for _ in 0..opts.epochs {
-        let hits0 = session.cache_hits();
-        let misses0 = session.cache_misses();
-        let invalidations0 = session.cache_invalidations();
-        let evictions0 = session.cache_evictions();
-        let compactions0 = session.compactions();
-        let maintained0 = session.plans_maintained();
-        let maintenance_us0 = session.maintenance_micros();
-        let frontier0 = session.maintenance_frontier_nodes();
+        let s0 = executor.stats();
 
         let mutation = mix.batch(opts.batch, opts.insert_fraction);
-        let outcome = session.apply_mutation(&mutation);
-        let (wall_ms, queries) = read_phase(session, workload, threads, iterations)?;
+        let outcome = executor.apply_mutation(&mutation);
+        let (wall_ms, queries) = read_phase(executor, workload, threads, iterations)?;
         total_queries += queries;
 
+        let s1 = executor.stats();
         epochs.push(EpochReport {
-            epoch: session.epoch(),
+            epoch: executor.epoch(),
             wall_ms,
             queries,
             qps: queries as f64 / (wall_ms / 1e3).max(1e-9),
             inserted: outcome.inserted as u64,
             removed: outcome.removed as u64,
-            invalidations: session.cache_invalidations() - invalidations0,
-            evictions: session.cache_evictions() - evictions0,
-            compactions: session.compactions() - compactions0,
-            cache_hits: session.cache_hits() - hits0,
-            cache_misses: session.cache_misses() - misses0,
-            maintained: session.plans_maintained() - maintained0,
-            maintenance_us: session.maintenance_micros() - maintenance_us0,
-            frontier_nodes: session.maintenance_frontier_nodes() - frontier0,
+            invalidations: s1.cache_invalidations - s0.cache_invalidations,
+            evictions: s1.cache_evictions - s0.cache_evictions,
+            compactions: s1.compactions - s0.compactions,
+            cache_hits: s1.cache_hits - s0.cache_hits,
+            cache_misses: s1.cache_misses - s0.cache_misses,
+            maintained: s1.plans_maintained - s0.plans_maintained,
+            maintenance_us: s1.maintenance_micros - s0.maintenance_micros,
+            frontier_nodes: s1.maintenance_frontier_nodes - s0.maintenance_frontier_nodes,
         });
     }
     let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
 
+    let after = executor.stats();
     let churn = ChurnReport {
-        final_epoch: session.epoch(),
+        final_epoch: executor.epoch(),
         total_mutations: epochs.iter().map(|e| e.inserted + e.removed).sum(),
         total_invalidations: epochs.iter().map(|e| e.invalidations).sum(),
         total_compactions: epochs.iter().map(|e| e.compactions).sum(),
         total_maintained: Some(epochs.iter().map(|e| e.maintained).sum()),
-        // Delta over this run (warmup included): a session with prior
+        // Delta over this run (warmup included): an executor with prior
         // activity must not inflate the churn run's own pipeline count.
-        total_full_evaluations: Some(session.full_evaluations() - full_evals_before),
+        total_full_evaluations: Some(after.full_evaluations - full_evals_before),
         epochs,
     };
     Ok(EngineRun {
-        engine: session.engine_name().to_owned(),
+        engine: executor.engine_name().to_owned(),
         total_queries,
         wall_ms,
         qps: total_queries as f64 / (wall_ms / 1e3).max(1e-9),
-        cache_hits: session.cache_hits() - hits_before,
-        cache_misses: session.cache_misses() - misses_before,
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
         queries: Vec::new(),
         churn: Some(churn),
         serve: None,
@@ -303,6 +297,7 @@ mod tests {
     use super::*;
     use crate::{build_dataset_with_store, DatasetSize};
     use std::sync::Arc;
+    use wireframe::Session;
     use wireframe_datagen::full_workload;
     use wireframe_graph::StoreKind;
 
@@ -379,7 +374,11 @@ mod tests {
         let incremental = Session::shared(Arc::clone(&graph));
         assert!(incremental.maintenance_enabled(), "incremental is default");
         let inc_run = run_churn(&incremental, &workload, &opts).unwrap();
-        let reeval = Session::shared(Arc::clone(&graph)).with_maintenance(false);
+        let reeval = Session::from_config(
+            Arc::clone(&graph),
+            wireframe::SessionConfig::new().maintenance(false),
+        )
+        .unwrap();
         let re_run = run_churn(&reeval, &workload, &opts).unwrap();
 
         // Equal answers: the seeded mix is identical, so after the final

@@ -1,22 +1,24 @@
 //! The `wfbench` closed-loop concurrent driver.
 //!
 //! Models the ROADMAP's serving scenario rather than the paper's one-query
-//! prototype runs: one [`Session`] per engine over a shared graph, `threads`
+//! prototype runs: one executor per engine over a shared graph, `threads`
 //! worker threads issuing queries back-to-back (closed loop — a worker sends
 //! its next query as soon as the previous answer returns), every worker
 //! cycling through the whole workload from a different starting offset so
 //! the prepared-plan cache serves a mix of repeated and distinct queries
-//! under contention.
+//! under contention. The driver dispatches through
+//! [`QueryExecutor`], so the same loop measures a single `Session` or a
+//! `ShardedCluster`.
 //!
-//! Latency is measured per query from `Session::execute` call to return —
-//! cache lookup included, exactly what a serving client would see. Phase
-//! breakdowns come from the engine's own [`Timings`]. Every answer's
+//! Latency is measured per query from [`QueryExecutor::execute`] call to
+//! return — cache lookup included, exactly what a serving client would see.
+//! Phase breakdowns come from the engine's own [`Timings`]. Every answer's
 //! embedding count is checked against the first answer seen for the same
 //! query, so a throughput run doubles as a correctness soak test.
 
 use std::time::Instant;
 
-use wireframe::{Session, Timings, WireframeError};
+use wireframe::{QueryExecutor, Timings, WireframeError};
 use wireframe_datagen::BenchmarkQuery;
 use wireframe_query::Shape;
 
@@ -89,13 +91,13 @@ pub fn shape_name(shape: Shape) -> &'static str {
 
 /// Runs the closed loop for one engine: `threads` workers, each making
 /// `iterations` passes over `workload` (starting at a per-worker offset),
-/// against one shared concurrent [`Session`].
+/// against one shared concurrent [`QueryExecutor`].
 ///
-/// The session must already have the target engine selected. Every answer's
+/// The executor must already have the target engine selected. Every answer's
 /// embedding count is checked against the first answer seen for that query;
 /// an engine disagreeing with itself across repetitions aborts the run.
 pub fn run_engine(
-    session: &Session,
+    executor: &dyn QueryExecutor,
     workload: &[BenchmarkQuery],
     threads: usize,
     iterations: usize,
@@ -107,10 +109,9 @@ pub fn run_engine(
     // measured loop then runs against a warm cache — steady-state serving.
     // Counters are reported as deltas so the warmup is excluded.
     for bq in workload {
-        session.execute(&bq.query)?;
+        executor.execute(&bq.query)?;
     }
-    let hits_before = session.cache_hits();
-    let misses_before = session.cache_misses();
+    let before = executor.stats();
 
     let wall_start = Instant::now();
     let per_thread: Result<Vec<Vec<QueryAccumulator>>, WireframeError> =
@@ -127,7 +128,7 @@ pub fn run_engine(
                             // and distinct queries.
                             let idx = (worker + pass + step) % workload.len();
                             let t = Instant::now();
-                            let ev = session.execute(&workload[idx].query)?;
+                            let ev = executor.execute(&workload[idx].query)?;
                             let latency_ms = t.elapsed().as_secs_f64() * 1e3;
                             assert!(
                                 accs[idx].latencies_ms.is_empty()
@@ -203,13 +204,14 @@ pub fn run_engine(
         .collect();
 
     let total_queries = (threads * iterations * workload.len()) as u64;
+    let after = executor.stats();
     Ok(EngineRun {
-        engine: session.engine_name().to_owned(),
+        engine: executor.engine_name().to_owned(),
         total_queries,
         wall_ms,
         qps: total_queries as f64 / (wall_ms / 1e3).max(1e-9),
-        cache_hits: session.cache_hits() - hits_before,
-        cache_misses: session.cache_misses() - misses_before,
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
         queries,
         churn: None,
         serve: None,
@@ -221,6 +223,7 @@ mod tests {
     use super::*;
     use crate::{build_dataset, DatasetSize};
     use std::sync::Arc;
+    use wireframe::{Session, SessionConfig};
     use wireframe_datagen::full_workload;
 
     #[test]
@@ -266,9 +269,11 @@ mod tests {
         let graph = Arc::new(build_dataset(DatasetSize::Tiny));
         let workload = full_workload(&graph).unwrap();
         let workload = &workload[..3];
-        let session = Session::shared(Arc::clone(&graph))
-            .with_engine("exploration")
-            .unwrap();
+        let session = Session::from_config(
+            Arc::clone(&graph),
+            SessionConfig::new().engine("exploration"),
+        )
+        .unwrap();
         let run = run_engine(&session, workload, 1, 1).unwrap();
         assert_eq!(run.engine, "exploration");
         for q in &run.queries {

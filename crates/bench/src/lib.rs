@@ -28,6 +28,7 @@ pub mod churn;
 pub mod driver;
 pub mod report;
 pub mod servenet;
+pub mod sharded;
 
 use std::time::{Duration, Instant};
 

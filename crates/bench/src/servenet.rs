@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use wireframe::Session;
+use wireframe::QueryExecutor;
 use wireframe_datagen::BenchmarkQuery;
 use wireframe_graph::NodeId;
 use wireframe_query::to_sparql;
@@ -147,17 +147,17 @@ struct SubscriberOutcome {
     max_lag_epochs: u64,
 }
 
-/// Runs the serve-net lane for one engine session: starts a server on an
+/// Runs the serve-net lane for one executor: starts a server on an
 /// ephemeral local port, drives it with `opts.clients` closed-loop TCP
 /// clients plus one subscriber, then drains and gracefully shuts the
 /// server down.
 ///
-/// The session must already have the target engine selected. Panics (via
+/// The executor must already have the target engine selected. Panics (via
 /// the worker threads) if any response's epoch regresses on a connection
 /// or the subscription update chain has a gap — the lane is a correctness
 /// soak test as much as a latency benchmark.
 pub fn run_serve_net(
-    session: &Arc<Session>,
+    executor: &Arc<dyn QueryExecutor>,
     workload: &[BenchmarkQuery],
     opts: &ServeNetOptions,
 ) -> Result<EngineRun, String> {
@@ -165,7 +165,7 @@ pub fn run_serve_net(
     let requests = opts.requests.max(1);
 
     let (texts, predicates, nodes) = {
-        let graph = session.graph();
+        let graph = executor.graph();
         let dict = graph.dictionary();
         let texts: Vec<String> = workload
             .iter()
@@ -193,12 +193,11 @@ pub fn run_serve_net(
     // Warmup outside the measured window: prime the prepared-plan cache so
     // the lane measures steady-state serving, mirroring the other drivers.
     for bq in workload {
-        session.execute(&bq.query).map_err(|e| e.to_string())?;
+        executor.execute(&bq.query).map_err(|e| e.to_string())?;
     }
-    let hits_before = session.cache_hits();
-    let misses_before = session.cache_misses();
+    let before = executor.stats();
 
-    let server = Server::start(Arc::clone(session), "127.0.0.1:0", opts.config.clone())
+    let server = Server::start(Arc::clone(executor), "127.0.0.1:0", opts.config.clone())
         .map_err(|e| format!("cannot bind the serve-net server: {e}"))?;
     let addr = server.local_addr();
 
@@ -217,10 +216,10 @@ pub fn run_serve_net(
     let wall_start = Instant::now();
     let (outcomes, observed) = std::thread::scope(|scope| {
         let subscriber_handle = {
-            let session = Arc::clone(session);
+            let executor = Arc::clone(executor);
             let target_epoch = Arc::clone(&target_epoch);
             scope.spawn(move || -> Result<SubscriberOutcome, String> {
-                run_subscriber(&mut subscriber, &session, &target_epoch, snapshot_epoch)
+                run_subscriber(&mut subscriber, &*executor, &target_epoch, snapshot_epoch)
             })
         };
 
@@ -240,9 +239,9 @@ pub fn run_serve_net(
             })
             .collect();
 
-        // All mutate acks are in, so the session epoch is final; let the
+        // All mutate acks are in, so the executor epoch is final; let the
         // subscriber catch up to it before the server drains.
-        target_epoch.store(session.epoch() + 1, Ordering::Release);
+        target_epoch.store(executor.epoch() + 1, Ordering::Release);
         let observed = match subscriber_handle.join() {
             Ok(result) => result,
             Err(panic) => std::panic::resume_unwind(panic),
@@ -253,7 +252,7 @@ pub fn run_serve_net(
     let observed = observed?;
     let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
 
-    let final_epoch = session.epoch();
+    let final_epoch = executor.epoch();
     let stats = server.stats();
     server.shutdown();
 
@@ -284,13 +283,14 @@ pub fn run_serve_net(
         subscription_lag_epochs: observed.max_lag_epochs,
         final_epoch,
     };
+    let after = executor.stats();
     Ok(EngineRun {
-        engine: session.engine_name().to_owned(),
+        engine: executor.engine_name().to_owned(),
         total_queries: total_requests,
         wall_ms,
         qps: total_requests as f64 / (wall_ms / 1e3).max(1e-9),
-        cache_hits: session.cache_hits() - hits_before,
-        cache_misses: session.cache_misses() - misses_before,
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
         queries: Vec::new(),
         churn: None,
         serve: Some(serve),
@@ -346,7 +346,7 @@ fn run_client(
 /// asserting the chain is gap-free and recording the worst staleness.
 fn run_subscriber(
     subscriber: &mut Client,
-    session: &Session,
+    executor: &dyn QueryExecutor,
     target_epoch: &AtomicU64,
     snapshot_epoch: u64,
 ) -> Result<SubscriberOutcome, String> {
@@ -378,7 +378,7 @@ fn run_subscriber(
         observed.updates += 1;
         observed.max_lag_epochs = observed
             .max_lag_epochs
-            .max(session.epoch().saturating_sub(update.epoch));
+            .max(executor.epoch().saturating_sub(update.epoch));
         last_epoch = update.epoch;
     }
 }
@@ -424,13 +424,13 @@ mod tests {
             StoreKind::Delta,
         ));
         let workload = wireframe_datagen::full_workload(&graph).unwrap();
-        let session = Arc::new(Session::shared(graph));
+        let executor: Arc<dyn QueryExecutor> = Arc::new(wireframe::Session::shared(graph));
         let opts = ServeNetOptions {
             clients: 2,
             requests: 20,
             ..ServeNetOptions::default()
         };
-        let run = run_serve_net(&session, &workload, &opts).unwrap();
+        let run = run_serve_net(&executor, &workload, &opts).unwrap();
         let serve = run.serve.as_ref().expect("serve-net reports serve");
         assert_eq!(serve.clients, 2);
         assert_eq!(serve.requests, 40);
@@ -439,7 +439,7 @@ mod tests {
         assert_eq!(serve.shed, 0, "no overload at this scale");
         assert!(serve.p50_ms > 0.0 && serve.p50_ms <= serve.p999_ms);
         assert_eq!(serve.final_epoch, serve.mutation_batches);
-        assert_eq!(session.epoch(), serve.final_epoch);
+        assert_eq!(executor.epoch(), serve.final_epoch);
         assert!(
             run.queries.is_empty(),
             "serve-net reports tails, not per-query"

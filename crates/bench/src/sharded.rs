@@ -1,0 +1,245 @@
+//! The `wfbench --scenario sharded` lane: scatter-gather serving through a
+//! [`ShardedCluster`], with every answer cross-checked against an unsharded
+//! reference [`Session`] over the identical dataset.
+//!
+//! The lane is a correctness gate first and a throughput measurement second:
+//!
+//! 1. every workload query is answered by both executors and the embedding
+//!    sets must match **exactly** (count and content — bit-identical rows),
+//! 2. a seeded mutation batch is applied to both executors and the whole
+//!    workload is re-checked, so the shard router's mutation path (subject
+//!    routing, dictionary alignment, per-shard epochs) is on the verified
+//!    path too,
+//! 3. only then does the closed-loop driver ([`crate::driver::run_engine`])
+//!    measure the cluster, reporting the run as engine `sharded-N`.
+//!
+//! Any divergence is an error (exit 2 from `wfbench`), never a report row —
+//! a sharded lane that answers differently from the single session has no
+//! performance worth recording.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wireframe::{Mutation, QueryExecutor, Session, SessionConfig, ShardedCluster};
+use wireframe_datagen::BenchmarkQuery;
+use wireframe_graph::{Graph, NodeId};
+
+use crate::driver::run_engine;
+use crate::report::EngineRun;
+
+/// Configuration of one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedOptions {
+    /// Number of vertex partitions the cluster scatters over.
+    pub shards: usize,
+    /// Closed-loop driver threads for the measured phase.
+    pub threads: usize,
+    /// Workload passes per thread for the measured phase.
+    pub iterations: usize,
+    /// Mutation operations in the seeded churn batch (0 skips the
+    /// post-mutation re-check).
+    pub batch: usize,
+    /// PRNG seed of the churn batch.
+    pub seed: u64,
+}
+
+impl Default for ShardedOptions {
+    fn default() -> Self {
+        ShardedOptions {
+            shards: 2,
+            threads: 1,
+            iterations: 2,
+            batch: 64,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// How many node labels the batch generator samples as edge endpoints.
+const NODE_POOL: usize = 1024;
+
+/// Builds the seeded mutation batch: mostly inserts (a quarter of them with
+/// fresh subjects, exercising cross-shard dictionary alignment), the rest
+/// removals of triples present in the base graph.
+fn seeded_batch(graph: &Graph, size: usize, seed: u64) -> Mutation {
+    let dict = graph.dictionary();
+    let predicates: Vec<String> = dict
+        .predicates()
+        .map(|(_, label)| label.to_owned())
+        .collect();
+    let nodes: Vec<String> = (0..graph.node_count().min(NODE_POOL))
+        .map(|i| dict.node_label(NodeId(i as u32)).unwrap_or("?").to_owned())
+        .collect();
+    let removable: Vec<(String, String, String)> = graph
+        .triples()
+        .take(size)
+        .map(|t| {
+            (
+                dict.node_label(t.subject).unwrap_or("?").to_owned(),
+                dict.predicate_label(t.predicate).unwrap_or("?").to_owned(),
+                dict.node_label(t.object).unwrap_or("?").to_owned(),
+            )
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut mutation = Mutation::new();
+    if predicates.is_empty() || nodes.is_empty() {
+        return mutation;
+    }
+    let mut fresh = 0usize;
+    let mut removed = 0usize;
+    for _ in 0..size {
+        if removed < removable.len() && rng.gen_range(0..4usize) == 0 {
+            let (s, p, o) = &removable[removed];
+            removed += 1;
+            mutation = mutation.remove(s, p, o);
+        } else {
+            let p = &predicates[rng.gen_range(0..predicates.len())];
+            let o = &nodes[rng.gen_range(0..nodes.len())];
+            let s = if rng.gen_range(0..4usize) == 0 {
+                fresh += 1;
+                format!("sharded_n{fresh}")
+            } else {
+                nodes[rng.gen_range(0..nodes.len())].clone()
+            };
+            mutation = mutation.insert(&s, p, o);
+        }
+    }
+    mutation
+}
+
+/// Asserts that the cluster answers the whole workload exactly like the
+/// reference session: equal embedding counts and bit-identical embedding
+/// sets, with correctly sized epoch vectors on every cluster evaluation.
+fn verify_workload(
+    reference: &Session,
+    cluster: &ShardedCluster,
+    workload: &[BenchmarkQuery],
+    shards: usize,
+    when: &str,
+) -> Result<(), String> {
+    for bq in workload {
+        let expected = reference
+            .execute(&bq.query)
+            .map_err(|e| format!("{}: reference evaluation failed: {e}", bq.name))?;
+        let sharded = cluster
+            .execute(&bq.query)
+            .map_err(|e| format!("{}: sharded evaluation failed: {e}", bq.name))?;
+        if expected.embedding_count() != sharded.embedding_count() {
+            return Err(format!(
+                "{} ({when}): sharded answered {} embeddings, reference {}",
+                bq.name,
+                sharded.embedding_count(),
+                expected.embedding_count()
+            ));
+        }
+        if !expected.embeddings().same_answer(sharded.embeddings()) {
+            return Err(format!(
+                "{} ({when}): sharded embeddings differ from the reference",
+                bq.name
+            ));
+        }
+        if sharded.epochs.len() != shards {
+            return Err(format!(
+                "{} ({when}): evaluation carries {} shard epochs, expected {shards}",
+                bq.name,
+                sharded.epochs.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the sharded lane: builds a reference [`Session`] and a
+/// [`ShardedCluster`] with `opts.shards` partitions from the same graph and
+/// config, verifies exact answer equality before and after a seeded
+/// mutation batch, then measures the cluster with the closed-loop driver.
+/// The returned run reports as engine `sharded-N`.
+pub fn run_sharded(
+    graph: &Arc<Graph>,
+    workload: &[BenchmarkQuery],
+    config: SessionConfig,
+    opts: &ShardedOptions,
+) -> Result<EngineRun, String> {
+    let reference =
+        Session::from_config(Arc::clone(graph), config.clone()).map_err(|e| e.to_string())?;
+    let cluster =
+        ShardedCluster::new(Arc::clone(graph), opts.shards, config).map_err(|e| e.to_string())?;
+
+    verify_workload(&reference, &cluster, workload, opts.shards, "pre-churn")?;
+
+    if opts.batch > 0 {
+        let batch = seeded_batch(&reference.graph(), opts.batch, opts.seed);
+        let ref_outcome = reference.apply_mutation(&batch);
+        let cl_outcome = cluster.apply_mutation(&batch);
+        if (ref_outcome.inserted, ref_outcome.removed) != (cl_outcome.inserted, cl_outcome.removed)
+        {
+            return Err(format!(
+                "mutation totals diverge: sharded +{}/-{}, reference +{}/-{}",
+                cl_outcome.inserted, cl_outcome.removed, ref_outcome.inserted, ref_outcome.removed
+            ));
+        }
+        let vector = cluster.epoch_vector();
+        if vector.len() != opts.shards || cluster.epoch() != 1 {
+            return Err(format!(
+                "cluster epoch state off after one batch: scalar {}, vector {vector:?}",
+                cluster.epoch()
+            ));
+        }
+        verify_workload(&reference, &cluster, workload, opts.shards, "post-churn")?;
+    }
+
+    let mut run =
+        run_engine(&cluster, workload, opts.threads, opts.iterations).map_err(|e| e.to_string())?;
+    run.engine = format!("sharded-{}", opts.shards);
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_dataset_with_store, DatasetSize};
+    use wireframe_datagen::full_workload;
+    use wireframe_graph::StoreKind;
+
+    #[test]
+    fn sharded_lane_verifies_and_measures() {
+        let graph = Arc::new(build_dataset_with_store(
+            DatasetSize::Tiny,
+            StoreKind::Delta,
+        ));
+        let workload = full_workload(&graph).unwrap();
+        let workload = &workload[..4];
+        for shards in [1, 2, 4] {
+            let opts = ShardedOptions {
+                shards,
+                threads: 1,
+                iterations: 1,
+                batch: 32,
+                seed: 7,
+            };
+            let run = run_sharded(&graph, workload, SessionConfig::new(), &opts).unwrap();
+            assert_eq!(run.engine, format!("sharded-{shards}"));
+            assert_eq!(run.total_queries, workload.len() as u64);
+            assert!(run.qps > 0.0);
+            assert_eq!(run.queries.len(), workload.len());
+            for q in &run.queries {
+                assert!(q.embeddings > 0, "{}: planted cores answer", q.name);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_batches_are_deterministic() {
+        let graph = build_dataset_with_store(DatasetSize::Tiny, StoreKind::Delta);
+        let a = seeded_batch(&graph, 16, 42);
+        let b = seeded_batch(&graph, 16, 42);
+        assert_eq!(a.ops().len(), 16);
+        assert_eq!(a.ops(), b.ops());
+        let c = seeded_batch(&graph, 16, 43);
+        assert_ne!(a.ops(), c.ops(), "different seeds draw different batches");
+    }
+}

@@ -5,14 +5,17 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use wireframe::Session;
+use wireframe::{QueryExecutor, Session};
 use wireframe_bench::servenet::{run_serve_net, ServeNetOptions};
 use wireframe_bench::{build_dataset_with_store, DatasetSize};
 use wireframe_datagen::full_workload;
 use wireframe_graph::StoreKind;
 use wireframe_serve::ServeConfig;
 
-fn tiny_session() -> (Arc<Session>, Vec<wireframe_datagen::BenchmarkQuery>) {
+fn tiny_session() -> (
+    Arc<dyn QueryExecutor>,
+    Vec<wireframe_datagen::BenchmarkQuery>,
+) {
     let graph = Arc::new(build_dataset_with_store(
         DatasetSize::Tiny,
         StoreKind::Delta,

@@ -107,6 +107,7 @@ impl QueryOutput {
         Evaluation {
             engine: "wireframe".to_owned(),
             epoch: 0,
+            epochs: Vec::new(),
             cyclic: self.view.cyclic(),
             embeddings: self.embeddings,
             timings: self.timings,

@@ -64,6 +64,7 @@ mod generate;
 mod maintain;
 mod parallel;
 mod planner;
+mod sharded;
 mod stream;
 mod triangulate;
 
@@ -79,6 +80,7 @@ pub use generate::{generate, ExtensionStep, GenerationStats};
 pub use maintain::{MaterializedQuery, ProvenanceIndex};
 pub use parallel::{auto_threads, defactorize_parallel, ParallelOptions};
 pub use planner::{cost_of_order, plan, Plan};
+pub use sharded::{merge_candidates, scan_candidates};
 pub use stream::{count_streaming, EmbeddingStream};
 pub use triangulate::{
     edge_burnback, triangulate, Chord, Chordification, EdgeBurnbackStats, SideRef, Triangle,

@@ -100,8 +100,10 @@ impl ProvenanceIndex {
 }
 
 /// Whether `pattern`'s constant ends (and self-loop shape) admit the data
-/// edge `(s, o)`.
-fn ends_match(pattern: &TriplePattern, s: NodeId, o: NodeId) -> bool {
+/// edge `(s, o)`. Shared with the sharded merge path ([`crate::sharded`]),
+/// whose per-shard candidate scans must admit exactly what maintenance
+/// re-binding does.
+pub(crate) fn ends_match(pattern: &TriplePattern, s: NodeId, o: NodeId) -> bool {
     let subject_ok = match pattern.subject {
         Term::Const(c) => c == s,
         Term::Var(_) => true,
@@ -525,6 +527,7 @@ impl MaintainedView for MaterializedQuery {
         Ok(Evaluation {
             engine: "wireframe".to_owned(),
             epoch: 0,
+            epochs: Vec::new(),
             embeddings,
             timings,
             cyclic: self.cyclic,

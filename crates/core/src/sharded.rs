@@ -1,0 +1,356 @@
+//! Scatter-gather evaluation over subject-partitioned graph shards.
+//!
+//! The paper's bet — the factorized answer graph is orders of magnitude
+//! smaller than the embeddings it encodes — is exactly what makes sharding
+//! pay: each shard contributes only its **candidate** answer-graph edges
+//! (a per-predicate scan filtered by the pattern's constant ends), the
+//! merge unions those per-pattern edge lists, and one node-burnback cascade
+//! plus one defactorization run on the small merged artifact. The expensive
+//! phases never see per-shard duplication.
+//!
+//! Why candidate scans instead of full per-shard evaluation: node burnback
+//! removes a node when it lacks support in *some* pattern, but under
+//! subject partitioning a node's supporting edges can live on a different
+//! shard than the edges that bound it. A per-shard burnback would therefore
+//! remove nodes the global fixpoint keeps — union-of-answer-graphs is
+//! provably lossy. Union-of-candidates followed by a single global burnback
+//! computes the same greatest fixpoint as evaluating the unpartitioned
+//! graph: the fixpoint is unique (plan-order independence is pinned by the
+//! engine's tests), the candidate union over disjoint shards equals the
+//! unpartitioned candidate set, and burnback from any superset of the
+//! fixpoint converges to it.
+//!
+//! The merged path always runs **node burnback only** (the paper's default
+//! configuration): edge burnback is an answer-graph compression, not a
+//! correctness requirement, and defactorization is exact either way.
+
+use wireframe_graph::{Graph, NodeId};
+use wireframe_query::{ConjunctiveQuery, QueryGraph, Var};
+
+use crate::answer_graph::AnswerGraph;
+use crate::config::EvalOptions;
+use crate::error::EngineError;
+use crate::generate::{burn_nodes, GenerationStats};
+use crate::maintain::{ends_match, MaterializedQuery};
+use crate::planner;
+use crate::triangulate::EdgeBurnbackStats;
+
+/// The per-pattern candidate edges one shard contributes to a query: for
+/// each pattern, every `(subject, object)` pair of the pattern's predicate
+/// on this shard whose constant ends (and self-loop shape) admit it.
+///
+/// This is a pure index scan — no burnback, no cross-pattern filtering —
+/// because global support cannot be decided shard-locally (see the module
+/// docs). Shards partition triples by subject, so the scans of distinct
+/// shards are disjoint and union cleanly.
+pub fn scan_candidates(graph: &Graph, query: &ConjunctiveQuery) -> Vec<Vec<(NodeId, NodeId)>> {
+    query
+        .patterns()
+        .iter()
+        .map(|pat| {
+            graph
+                .pairs(pat.predicate)
+                .iter()
+                .copied()
+                .filter(|&(s, o)| ends_match(pat, s, o))
+                .collect()
+        })
+        .collect()
+}
+
+/// Merges per-shard candidate scans into one materialized view: union the
+/// per-pattern edge lists, re-derive the variable node sets, run one global
+/// node-burnback cascade to the greatest fixpoint, and assemble a
+/// [`MaterializedQuery`] ready to defactorize (once, on the merged
+/// artifact).
+///
+/// `plan_graph` supplies the statistics catalog for the phase-one plan
+/// recorded in the view (any shard's graph works: the plan affects cost
+/// accounting and maintenance metadata, not the fixpoint). `per_shard`
+/// holds one [`scan_candidates`] result per shard; shards must partition
+/// the data by subject so the scans are disjoint.
+///
+/// The resulting answer graph is **bit-identical** to phase one over the
+/// unpartitioned graph under the paper's default options (node burnback
+/// only) — the cross-shard equivalence suite pins this. `options.
+/// edge_burnback` is ignored: the merged path never prunes below the
+/// node-burnback fixpoint, so the view stays maintainable and the answers
+/// stay exact.
+pub fn merge_candidates(
+    query: &ConjunctiveQuery,
+    plan_graph: &Graph,
+    per_shard: &[Vec<Vec<(NodeId, NodeId)>>],
+    options: EvalOptions,
+) -> Result<MaterializedQuery, EngineError> {
+    // The merged path is node-burnback-only by construction; record options
+    // that say so, keeping `MaterializedQuery::is_maintainable` truthful.
+    let options = EvalOptions {
+        edge_burnback: false,
+        ..options
+    };
+    let plan = planner::plan(plan_graph, query, options.planner)?;
+    let cyclic = QueryGraph::new(query).is_cyclic();
+    let mut ag = AnswerGraph::new(query);
+    let mut stats = GenerationStats::default();
+
+    // Union the per-pattern candidate lists. Disjoint by subject ownership,
+    // so the bulk load sees no duplicates.
+    let mut empty_pattern = false;
+    for q in 0..query.num_patterns() {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for shard in per_shard {
+            edges.extend_from_slice(&shard[q]);
+        }
+        stats.edge_walks += edges.len() as u64;
+        stats.edges_added += edges.len() as u64;
+        empty_pattern |= edges.is_empty();
+        if !edges.is_empty() {
+            ag.pattern_mut(q).bulk_load(edges);
+        }
+        ag.mark_materialized(q);
+    }
+
+    if empty_pattern {
+        // A pattern that matched nothing anywhere empties the whole answer
+        // (same shape the generator's clear path produces: every pattern
+        // materialized-empty, every node set empty).
+        return Ok(MaterializedQuery::from_phase_one(
+            query.clone(),
+            plan,
+            cyclic,
+            cleared_answer_graph(query),
+            stats,
+            EdgeBurnbackStats::default(),
+            options,
+        ));
+    }
+
+    // Re-derive each variable's node set as the union of its endpoint
+    // values across incident patterns — a superset of the global fixpoint.
+    for v in query.variables() {
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for (q, pat) in query.patterns().iter().enumerate() {
+            if pat.subject.as_var() == Some(v) {
+                nodes.extend(ag.pattern(q).subjects());
+            }
+            if pat.object.as_var() == Some(v) {
+                nodes.extend(ag.pattern(q).objects());
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        ag.node_set_mut(v).assign_sorted(nodes);
+        ag.mark_bound(v);
+    }
+
+    // Seed the burnback worklist with every (variable, node) lacking
+    // support in some incident pattern, then cascade to the fixpoint.
+    let mut worklist: Vec<(Var, NodeId)> = Vec::new();
+    for v in query.variables() {
+        let nodes = ag.node_set(v).to_sorted_vec();
+        'nodes: for n in nodes {
+            for (q, pat) in query.patterns().iter().enumerate() {
+                if pat.subject.as_var() == Some(v) && !ag.pattern(q).has_subject(n) {
+                    worklist.push((v, n));
+                    continue 'nodes;
+                }
+                if pat.object.as_var() == Some(v) && !ag.pattern(q).has_object(n) {
+                    worklist.push((v, n));
+                    continue 'nodes;
+                }
+            }
+        }
+    }
+    let mut edges_burned = 0usize;
+    let mut nodes_burned = 0usize;
+    burn_nodes(
+        query,
+        &mut ag,
+        worklist,
+        &mut edges_burned,
+        &mut nodes_burned,
+    );
+    stats.edges_burned += edges_burned as u64;
+    stats.nodes_burned += nodes_burned as u64;
+
+    // Burnback can empty a pattern, which empties the whole answer.
+    if ag.has_empty_pattern() {
+        ag = cleared_answer_graph(query);
+    }
+
+    Ok(MaterializedQuery::from_phase_one(
+        query.clone(),
+        plan,
+        cyclic,
+        ag,
+        stats,
+        EdgeBurnbackStats::default(),
+        options,
+    ))
+}
+
+/// The canonical empty answer: every pattern materialized with no edges,
+/// every variable bound to an empty node set — the same shape the
+/// generator's clear path leaves behind when a pattern matches nothing.
+fn cleared_answer_graph(query: &ConjunctiveQuery) -> AnswerGraph {
+    let mut ag = AnswerGraph::new(query);
+    for q in 0..query.num_patterns() {
+        ag.mark_materialized(q);
+    }
+    for v in query.variables() {
+        ag.node_set_mut(v).assign_sorted(Vec::new());
+        ag.mark_bound(v);
+    }
+    ag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WireframeEngine;
+    use wireframe_graph::{partition_graph, GraphBuilder};
+    use wireframe_query::parse_query;
+
+    fn chain_diamond_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        // Cross-shard chains: support for a node routinely lives on another
+        // shard than the node's own edges.
+        for (s, p, o) in [
+            ("a", "knows", "b"),
+            ("b", "knows", "c"),
+            ("c", "knows", "d"),
+            ("d", "knows", "e"),
+            ("b", "likes", "x"),
+            ("c", "likes", "x"),
+            ("e", "likes", "y"),
+            ("a", "likes", "y"),
+            // A diamond for the cyclic case.
+            ("3", "A", "4"),
+            ("3", "B", "2"),
+            ("4", "C", "1"),
+            ("2", "D", "1"),
+            ("7", "A", "8"),
+            ("8", "C", "1"),
+        ] {
+            b.add(s, p, o);
+        }
+        b.build()
+    }
+
+    fn assert_merged_matches_unsharded(graph: &Graph, text: &str, shards: usize) {
+        let query = parse_query(text, graph.dictionary()).unwrap();
+        let engine = WireframeEngine::new(graph);
+        let reference = engine.execute(&query).unwrap();
+
+        let parts = partition_graph(graph, shards);
+        let scans: Vec<_> = parts
+            .iter()
+            .map(|part| scan_candidates(part, &query))
+            .collect();
+        let merged = merge_candidates(&query, &parts[0], &scans, EvalOptions::default()).unwrap();
+
+        // Answer-graph edges: bit-identical per pattern.
+        for q in 0..query.num_patterns() {
+            let mut expect: Vec<_> = reference.answer_graph().pattern(q).iter().collect();
+            let mut got: Vec<_> = merged.answer_graph().pattern(q).iter().collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expect, got, "pattern {q} edges ({shards} shards)");
+        }
+        // Node sets: bit-identical per variable.
+        for v in query.variables() {
+            assert_eq!(
+                reference.answer_graph().node_set(v).to_sorted_vec(),
+                merged.answer_graph().node_set(v).to_sorted_vec(),
+                "node set of ?{} ({shards} shards)",
+                v.index()
+            );
+        }
+        // Embeddings: same answer after one defactorization of the merge.
+        let (embeddings, _) = merged.defactorize().unwrap();
+        assert!(embeddings.same_answer(reference.embeddings()));
+        assert_eq!(embeddings.len(), reference.embedding_count());
+    }
+
+    #[test]
+    fn merged_fixpoint_equals_unsharded_phase_one() {
+        let graph = chain_diamond_graph();
+        for shards in [1, 2, 3, 4] {
+            assert_merged_matches_unsharded(
+                &graph,
+                "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . ?z :likes ?w . }",
+                shards,
+            );
+            assert_merged_matches_unsharded(
+                &graph,
+                "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }",
+                shards,
+            );
+            assert_merged_matches_unsharded(&graph, "SELECT ?x WHERE { ?x :likes y . }", shards);
+        }
+    }
+
+    #[test]
+    fn empty_patterns_empty_the_merged_answer() {
+        let graph = chain_diamond_graph();
+        let query = parse_query(
+            // `likes` chains of length two do not exist: every merge must
+            // come out empty.
+            "SELECT * WHERE { ?x :likes ?y . ?y :likes ?z . }",
+            graph.dictionary(),
+        )
+        .unwrap();
+        for shards in [1, 2, 3] {
+            let parts = partition_graph(&graph, shards);
+            let scans: Vec<_> = parts
+                .iter()
+                .map(|part| scan_candidates(part, &query))
+                .collect();
+            let merged =
+                merge_candidates(&query, &parts[0], &scans, EvalOptions::default()).unwrap();
+            assert_eq!(merged.answer_graph().total_edges(), 0);
+            let (embeddings, _) = merged.defactorize().unwrap();
+            assert!(embeddings.is_empty());
+        }
+    }
+
+    #[test]
+    fn disconnected_queries_error_like_the_engine() {
+        let graph = chain_diamond_graph();
+        let query = parse_query(
+            "SELECT * WHERE { ?x :knows ?y . ?a :likes ?b . }",
+            graph.dictionary(),
+        )
+        .unwrap();
+        let parts = partition_graph(&graph, 2);
+        let scans: Vec<_> = parts
+            .iter()
+            .map(|part| scan_candidates(part, &query))
+            .collect();
+        assert!(matches!(
+            merge_candidates(&query, &parts[0], &scans, EvalOptions::default()),
+            Err(EngineError::DisconnectedQuery)
+        ));
+    }
+
+    #[test]
+    fn self_loop_patterns_admit_only_loops() {
+        let mut b = GraphBuilder::new();
+        b.add("n", "p", "n");
+        b.add("n", "p", "m");
+        b.add("m", "p", "n");
+        let graph = b.build();
+        let query = parse_query("SELECT ?x WHERE { ?x :p ?x . }", graph.dictionary()).unwrap();
+        for shards in [1, 2] {
+            let parts = partition_graph(&graph, shards);
+            let scans: Vec<_> = parts
+                .iter()
+                .map(|part| scan_candidates(part, &query))
+                .collect();
+            let merged =
+                merge_candidates(&query, &parts[0], &scans, EvalOptions::default()).unwrap();
+            let (embeddings, _) = merged.defactorize().unwrap();
+            assert_eq!(embeddings.len(), 1, "only the n→n loop");
+        }
+    }
+}

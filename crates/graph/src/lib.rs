@@ -46,6 +46,7 @@ mod ids;
 mod map;
 mod mutation;
 mod ntriples;
+mod partition;
 pub mod slices;
 mod stats;
 mod store;
@@ -60,5 +61,6 @@ pub use ids::{NodeId, PredId, Triple};
 pub use map::MapStore;
 pub use mutation::{EdgeDelta, Mutation, MutationOp, MutationOutcome};
 pub use ntriples::{load, load_into, parse_line, write};
+pub use partition::{partition_graph, route_mutation, shard_of};
 pub use stats::{BigramStats, Catalog, End, UnigramStats};
 pub use store::{Graph, GraphStore, StoreKind, DEFAULT_COMPACTION_THRESHOLD};

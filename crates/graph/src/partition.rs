@@ -1,0 +1,282 @@
+//! Vertex partitioning: splitting one graph into subject-owned shards and
+//! routing mutation batches to the shards they touch.
+//!
+//! The partition function is the classic `id % shards` owner assignment
+//! (the "count % peers == index" idiom of dataflow shardings): a triple
+//! lives on the shard that owns its **subject**. Every shard shares the
+//! parent graph's dictionary and node-identifier space, so `NodeId`s and
+//! `PredId`s mean the same thing on every shard — per-shard scan results
+//! can be unioned without any identifier translation.
+//!
+//! Two invariants follow from subject ownership and are what the sharded
+//! evaluator builds on:
+//!
+//! * **Disjointness** — a triple exists on exactly one shard, so
+//!   per-predicate `(subject, object)` scans of distinct shards never
+//!   overlap and union cleanly.
+//! * **Dictionary alignment** — [`route_mutation`] keeps every shard's
+//!   dictionary bit-identical to the dictionary an unsharded graph would
+//!   have after the same batch: when a batch interns new labels, *every*
+//!   shard receives the full operation list (non-owned operations rewritten
+//!   to no-op removals, which still intern their labels in order); when it
+//!   does not, only owning shards receive their sub-batch.
+
+use std::collections::HashMap;
+
+use crate::dictionary::Dictionary;
+use crate::ids::NodeId;
+use crate::mutation::{Mutation, MutationOp};
+use crate::store::Graph;
+
+/// The shard owning `subject` in an `shards`-way partition.
+///
+/// Dense node identifiers make plain modulo an even spread; callers must
+/// pass `shards >= 1`.
+pub fn shard_of(subject: NodeId, shards: usize) -> usize {
+    debug_assert!(shards >= 1, "a partition has at least one shard");
+    subject.0 as usize % shards
+}
+
+/// Splits `graph` into `shards` subject-partitioned graphs.
+///
+/// Every shard keeps the parent's dictionary (shared, not copied), node-id
+/// space, storage backend and compaction threshold; shard `i` holds exactly
+/// the triples whose subject satisfies [`shard_of`]` == i`. The union of
+/// the shards' triples is the parent's triple set.
+///
+/// # Panics
+///
+/// Panics when `shards == 0`.
+pub fn partition_graph(graph: &Graph, shards: usize) -> Vec<Graph> {
+    assert!(shards >= 1, "cannot partition a graph into zero shards");
+    let predicates = graph.predicate_count();
+    let mut per_shard: Vec<Vec<Vec<(NodeId, NodeId)>>> = vec![vec![Vec::new(); predicates]; shards];
+    for t in graph.triples() {
+        per_shard[shard_of(t.subject, shards)][t.predicate.0 as usize].push((t.subject, t.object));
+    }
+    per_shard
+        .into_iter()
+        .map(|edges| {
+            Graph::from_shared_parts(
+                graph.shared_dictionary(),
+                graph.node_count(),
+                edges,
+                graph.store_kind(),
+                graph.compaction_threshold(),
+            )
+        })
+        .collect()
+}
+
+/// Routes one mutation batch across `shards` subject-partitioned shards
+/// whose dictionaries equal `dictionary` (any shard's — they are aligned).
+///
+/// Returns one entry per shard: `None` when the shard receives nothing this
+/// batch (its epoch does not advance), `Some` with the operations it must
+/// apply. Two regimes keep the shards' dictionaries bit-identical to an
+/// unsharded graph applying the original batch:
+///
+/// * **No new labels** — operations split by subject owner; only owners
+///   receive a sub-batch (operation order within each is preserved).
+/// * **New labels** — every shard receives the *full* operation list in
+///   order, with operations it does not own rewritten to [`MutationOp::
+///   Remove`]: a guaranteed no-op on a non-owner (the triple's subject
+///   lives elsewhere, so the triple cannot exist there) that still interns
+///   the operation's three labels, exactly like the unsharded
+///   `Graph::apply` does.
+///
+/// Subjects first seen inside the batch are owned by the shard of the
+/// `NodeId` they *will* intern to, which this function predicts by walking
+/// the operations in application order (interning assigns dense sequential
+/// identifiers).
+pub fn route_mutation(
+    dictionary: &Dictionary,
+    mutation: &Mutation,
+    shards: usize,
+) -> Vec<Option<Mutation>> {
+    assert!(shards >= 1, "cannot route a mutation to zero shards");
+    let needs_intern = mutation.ops().iter().any(|(_, s, p, o)| {
+        dictionary.node_id(s).is_none()
+            || dictionary.predicate_id(p).is_none()
+            || dictionary.node_id(o).is_none()
+    });
+
+    // Predict each operation's subject id the way `Graph::apply` interns:
+    // per op, subject first, then object (predicates occupy a separate id
+    // space and cannot shift node ids).
+    let mut pending: HashMap<&str, u32> = HashMap::new();
+    let mut next_id = dictionary.node_count() as u32;
+    let mut owners = Vec::with_capacity(mutation.ops().len());
+    for (_, s, _, o) in mutation.ops() {
+        let subject_id = match dictionary.node_id(s) {
+            Some(id) => id.0,
+            None => match pending.get(s.as_str()) {
+                Some(&id) => id,
+                None => {
+                    let id = next_id;
+                    pending.insert(s.as_str(), id);
+                    next_id += 1;
+                    id
+                }
+            },
+        };
+        owners.push(shard_of(NodeId(subject_id), shards));
+        if dictionary.node_id(o).is_none() && !pending.contains_key(o.as_str()) {
+            pending.insert(o.as_str(), next_id);
+            next_id += 1;
+        }
+    }
+
+    let mut batches: Vec<Option<Mutation>> = (0..shards).map(|_| None).collect();
+    if needs_intern {
+        // Full broadcast: every shard sees every label in order.
+        for (shard, slot) in batches.iter_mut().enumerate() {
+            let mut batch = Mutation::new();
+            for (index, (op, s, p, o)) in mutation.ops().iter().enumerate() {
+                let op = if owners[index] == shard {
+                    *op
+                } else {
+                    MutationOp::Remove
+                };
+                batch.push(op, s, p, o);
+            }
+            *slot = Some(batch);
+        }
+    } else {
+        // Owner-only sub-batches: untouched shards skip the epoch entirely.
+        for (index, (op, s, p, o)) in mutation.ops().iter().enumerate() {
+            batches[owners[index]]
+                .get_or_insert_with(Mutation::new)
+                .push(*op, s, p, o);
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::store::StoreKind;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("a", "p", "b");
+        b.add("b", "p", "c");
+        b.add("c", "q", "a");
+        b.add("d", "q", "b");
+        b.build()
+    }
+
+    #[test]
+    fn partition_covers_disjointly_and_shares_the_dictionary() {
+        let g = sample();
+        for shards in [1, 2, 3, 4] {
+            let parts = partition_graph(&g, shards);
+            assert_eq!(parts.len(), shards);
+            let mut total = 0;
+            for (i, part) in parts.iter().enumerate() {
+                assert!(std::ptr::eq(part.dictionary(), g.dictionary()));
+                assert_eq!(part.node_count(), g.node_count());
+                assert_eq!(part.predicate_count(), g.predicate_count());
+                assert_eq!(part.store_kind(), g.store_kind());
+                for t in part.triples() {
+                    assert_eq!(shard_of(t.subject, shards), i, "subject-owned");
+                    assert!(g.has_triple(t.subject, t.predicate, t.object));
+                    total += 1;
+                }
+            }
+            assert_eq!(total, g.triple_count(), "shards cover every triple once");
+        }
+    }
+
+    #[test]
+    fn partition_keeps_the_backend_and_threshold() {
+        let g = sample()
+            .with_store(StoreKind::Delta)
+            .with_compaction_threshold(0.5);
+        let parts = partition_graph(&g, 2);
+        for part in &parts {
+            assert_eq!(part.store_kind(), StoreKind::Delta);
+            assert!((part.compaction_threshold() - 0.5).abs() < f64::EPSILON);
+        }
+    }
+
+    #[test]
+    fn known_label_batches_route_to_owners_only() {
+        let g = sample();
+        let m = Mutation::new().insert("a", "p", "c").remove("b", "p", "c");
+        let routed = route_mutation(g.dictionary(), &m, 2);
+        let a = g.dictionary().node_id("a").unwrap();
+        let b = g.dictionary().node_id("b").unwrap();
+        // Each op lands only on its subject's owner; an unused shard gets None.
+        let mut seen = 0;
+        for (shard, batch) in routed.iter().enumerate() {
+            if let Some(batch) = batch {
+                for (_, s, _, _) in batch.ops() {
+                    let id = g.dictionary().node_id(s).unwrap();
+                    assert_eq!(shard_of(id, 2), shard);
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, 2);
+        if shard_of(a, 2) == shard_of(b, 2) {
+            assert!(routed.iter().filter(|b| b.is_some()).count() == 1);
+        } else {
+            assert!(routed.iter().all(Option::is_some));
+        }
+    }
+
+    #[test]
+    fn new_label_batches_broadcast_and_align_dictionaries() {
+        let g = sample();
+        let shards = 3;
+        let parts = partition_graph(&g, shards);
+        let m = Mutation::new()
+            .insert("zed", "p", "a") // new subject: interned first
+            .insert("a", "r", "ys") // new predicate and object
+            .remove("b", "p", "c");
+        let routed = route_mutation(g.dictionary(), &m, shards);
+        assert!(routed.iter().all(Option::is_some), "interning broadcasts");
+
+        let (unsharded, reference) = g.apply(&m);
+        let mut applied = Vec::new();
+        let mut inserted = 0;
+        let mut removed = 0;
+        for (part, batch) in parts.iter().zip(&routed) {
+            let (next, outcome) = part.apply(batch.as_ref().unwrap());
+            inserted += outcome.inserted;
+            removed += outcome.removed;
+            applied.push(next);
+        }
+        assert_eq!(inserted, reference.inserted);
+        assert_eq!(removed, reference.removed);
+        for next in &applied {
+            // Bit-identical label space: same counts, same ids.
+            assert_eq!(next.node_count(), unsharded.node_count());
+            assert_eq!(next.predicate_count(), unsharded.predicate_count());
+            for label in ["zed", "ys", "a", "b"] {
+                assert_eq!(
+                    next.dictionary().node_id(label),
+                    unsharded.dictionary().node_id(label),
+                    "{label}"
+                );
+            }
+            assert_eq!(
+                next.dictionary().predicate_id("r"),
+                unsharded.dictionary().predicate_id("r")
+            );
+        }
+        // Every post-batch triple lives on exactly its owner.
+        let mut total = 0;
+        for (i, next) in applied.iter().enumerate() {
+            for t in next.triples() {
+                assert_eq!(shard_of(t.subject, shards), i);
+                assert!(unsharded.has_triple(t.subject, t.predicate, t.object));
+                total += 1;
+            }
+        }
+        assert_eq!(total, unsharded.triple_count());
+    }
+}

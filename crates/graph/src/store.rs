@@ -238,7 +238,7 @@ impl Graph {
         )
     }
 
-    fn from_shared_parts(
+    pub(crate) fn from_shared_parts(
         dictionary: Arc<Dictionary>,
         num_nodes: usize,
         edges_by_predicate: Vec<Vec<(NodeId, NodeId)>>,
@@ -254,6 +254,12 @@ impl Graph {
             catalog,
             compaction_threshold,
         }
+    }
+
+    /// The shared dictionary handle, for constructing sibling graphs (e.g.
+    /// vertex-partitioned shards) over the identical label space.
+    pub(crate) fn shared_dictionary(&self) -> Arc<Dictionary> {
+        Arc::clone(&self.dictionary)
     }
 
     /// Sets the overlay fraction at which delta-backed [`Graph::apply`]

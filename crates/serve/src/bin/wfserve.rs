@@ -12,6 +12,8 @@
 //!   --deadline-ms <N>         per-request deadline while queued (default 2000)
 //!   --batch-window-ms <N>     mutation coalescing window (default 2)
 //!   --threads <N>             phase-two worker threads per evaluation (default 1; 0 = auto)
+//!   --shards <N>              serve through a sharded cluster of N vertex
+//!                             partitions (default 1 = single session)
 //! ```
 //!
 //! The server runs until a client sends a `shutdown` request or stdin
@@ -25,7 +27,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use wireframe::{EngineConfig, Session, StoreKind};
+use wireframe::{EngineConfig, QueryExecutor, Session, SessionConfig, ShardedCluster, StoreKind};
 use wireframe_serve::{ServeConfig, Server};
 
 struct Options {
@@ -35,12 +37,13 @@ struct Options {
     store: StoreKind,
     config: ServeConfig,
     threads: usize,
+    shards: usize,
 }
 
 fn usage() -> &'static str {
     "usage: wfserve <triples-file> [--addr host:port] [--engine <name>] \
      [--store csr|map|delta] [--workers N] [--queue-depth N] [--deadline-ms N] \
-     [--batch-window-ms N] [--threads N]"
+     [--batch-window-ms N] [--threads N] [--shards N]"
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -52,6 +55,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         store: StoreKind::Delta,
         config: ServeConfig::default(),
         threads: 1,
+        shards: 1,
     };
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<u64, String> {
         args.next()
@@ -78,6 +82,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     Duration::from_millis(number(&mut args, "--batch-window-ms")?)
             }
             "--threads" => options.threads = number(&mut args, "--threads")? as usize,
+            "--shards" => {
+                options.shards = number(&mut args, "--shards")? as usize;
+                if options.shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+            }
             "--help" | "-h" => return Err(usage().to_owned()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => {
@@ -108,21 +118,32 @@ fn run() -> Result<(), String> {
         options.store.name()
     );
 
-    let mut config = EngineConfig::default().with_store(options.store);
+    let mut engine_config = EngineConfig::default().with_store(options.store);
     if options.threads != 1 {
         let threads = if options.threads == 0 {
             wireframe::core::auto_threads()
         } else {
             options.threads
         };
-        config = config.with_threads(threads);
+        engine_config = engine_config.with_threads(threads);
     }
-    let session = Session::new(graph)
-        .with_config(config)
-        .with_engine(&options.engine)
-        .map_err(|e| e.to_string())?;
+    let session_config = SessionConfig::new()
+        .engine(&options.engine)
+        .engine_config(engine_config);
+    let executor: Arc<dyn QueryExecutor> = if options.shards > 1 {
+        eprintln!(
+            "serving through {} vertex-partitioned shards",
+            options.shards
+        );
+        Arc::new(
+            ShardedCluster::new(graph, options.shards, session_config)
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        Arc::new(Session::from_config(graph, session_config).map_err(|e| e.to_string())?)
+    };
 
-    let server = Server::start(Arc::new(session), &options.addr, options.config)
+    let server = Server::start(executor, &options.addr, options.config)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
     println!("listening on {}", server.local_addr());
 

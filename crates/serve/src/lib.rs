@@ -5,7 +5,9 @@
 //! *boundary*: a server process that holds the retained views and streams
 //! compact per-epoch deltas to clients instead of full embedding sets.
 //! This crate is that boundary: a hand-rolled `std::net` framed-TCP server
-//! over a shared [`wireframe::Session`].
+//! over any [`wireframe::QueryExecutor`] — a single [`wireframe::Session`]
+//! or a [`wireframe::ShardedCluster`] (`wfserve --shards N`); the server
+//! never names a concrete serving type.
 //!
 //! * [`frame`] — length-prefixed framing (4-byte big-endian length +
 //!   UTF-8 JSON), incremental across read timeouts,
@@ -13,7 +15,7 @@
 //!   admission control (bounded queues shed with `overloaded`, per-request
 //!   deadlines), a write batcher coalescing concurrent mutations into one
 //!   maintenance pass, and per-epoch subscription fan-out driven by
-//!   [`wireframe::Session::add_epoch_listener`],
+//!   [`wireframe::QueryExecutor::add_epoch_listener`],
 //! * [`Client`] — the blocking client the tests and the `serve-net` bench
 //!   lane drive real sockets with,
 //! * `wfserve` — the server binary.

@@ -20,12 +20,12 @@
 //! **Write batching.** The batcher pops one mutate request, then keeps
 //! draining the mutate queue for [`ServeConfig::batch_window`]; everything
 //! drained coalesces into one [`Mutation`] batch, applied with a single
-//! [`Session::apply_mutation`] — one graph version, one epoch, one
+//! [`QueryExecutor::apply_mutation`] — one graph version, one epoch, one
 //! footprint-maintenance pass — and every coalesced requester gets the same
 //! batch totals back.
 //!
-//! **Subscriptions.** [`Session::add_epoch_listener`] (called under the
-//! session's state write lock, so events arrive strictly epoch-ordered)
+//! **Subscriptions.** [`QueryExecutor::add_epoch_listener`] (called under
+//! the executor's state write lock, so events arrive strictly epoch-ordered)
 //! feeds an event channel; the fan-out thread re-evaluates each subscribed
 //! query — a retained-view serve when the engine maintains — diffs the new
 //! answer against the last one it pushed, and sends an `update` frame whose
@@ -49,7 +49,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use serde::json::{self, Value};
-use wireframe::{EdgeDelta, Mutation, Session};
+use wireframe::{EdgeDelta, Mutation, QueryExecutor};
 use wireframe_api::wire::{EmbeddingDelta, Request, Response, RowSet, ServeStats};
 use wireframe_api::Evaluation;
 
@@ -152,7 +152,7 @@ struct Counters {
 }
 
 struct SharedState {
-    session: Arc<Session>,
+    executor: Arc<dyn QueryExecutor>,
     config: ServeConfig,
     shutdown: AtomicBool,
     shutdown_requested: AtomicBool,
@@ -199,10 +199,11 @@ impl SharedState {
     }
 
     fn stats(&self) -> ServeStats {
-        let session = &self.session;
+        let exec = self.executor.stats();
         let c = &self.counters;
         ServeStats {
-            epoch: session.epoch(),
+            epoch: self.executor.epoch(),
+            epochs: self.executor.epoch_vector(),
             connections: c.connections.load(Ordering::Relaxed),
             requests: c.requests.load(Ordering::Relaxed),
             queries: c.queries.load(Ordering::Relaxed),
@@ -213,11 +214,11 @@ impl SharedState {
             shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
             subscriptions: self.subs.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
             updates_pushed: c.updates_pushed.load(Ordering::Relaxed),
-            cache_hits: session.cache_hits(),
-            cache_misses: session.cache_misses(),
-            view_serves: session.view_serves(),
-            full_evaluations: session.full_evaluations(),
-            plans_maintained: session.plans_maintained(),
+            cache_hits: exec.cache_hits,
+            cache_misses: exec.cache_misses,
+            view_serves: exec.view_serves,
+            full_evaluations: exec.full_evaluations,
+            plans_maintained: exec.plans_maintained,
         }
     }
 }
@@ -236,9 +237,10 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `session`.
+    /// `executor` — any [`QueryExecutor`]: a single `Session` or a
+    /// `ShardedCluster` (an `Arc<Session>` coerces at the call site).
     pub fn start(
-        session: Arc<Session>,
+        executor: Arc<dyn QueryExecutor>,
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> io::Result<Server> {
@@ -247,7 +249,7 @@ impl Server {
         let (mut_tx, mut_rx) = mpsc::sync_channel(config.queue_depth.max(1));
         let (event_tx, event_rx) = mpsc::channel::<u64>();
         let shared = Arc::new(SharedState {
-            session: Arc::clone(&session),
+            executor: Arc::clone(&executor),
             config,
             shutdown: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -260,18 +262,18 @@ impl Server {
         });
 
         // Epoch events feed the fan-out. The listener runs under the
-        // session's state write lock, so events are strictly epoch-ordered;
+        // executor's state write lock, so events are strictly epoch-ordered;
         // the channel is unbounded so the mutating thread never blocks on a
         // slow fan-out. (mpsc::Sender is not Sync; the mutex makes the
         // closure shareable and is uncontended — one mutator at a time by
         // construction.)
         let event_tx = Mutex::new(event_tx);
-        session.add_epoch_listener(move |epoch, _delta: &EdgeDelta| {
+        executor.add_epoch_listener(Box::new(move |epoch, _delta: &EdgeDelta| {
             let _ = event_tx
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .send(epoch);
-        });
+        }));
 
         let readers = Arc::new(Mutex::new(Vec::new()));
         let workers = (0..shared.config.workers.max(1))
@@ -309,12 +311,12 @@ impl Server {
         self.addr
     }
 
-    /// The served session.
-    pub fn session(&self) -> &Arc<Session> {
-        &self.shared.session
+    /// The served executor.
+    pub fn executor(&self) -> &Arc<dyn QueryExecutor> {
+        &self.shared.executor
     }
 
-    /// Current server + session counters (same data as a `stats` request).
+    /// Current server + executor counters (same data as a `stats` request).
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
     }
@@ -549,7 +551,7 @@ fn handle_subscribe(
     query: String,
     limit: u64,
 ) {
-    match shared.session.query(&query) {
+    match shared.executor.query(&query) {
         Err(e) => conn.send(&Response::Error {
             id,
             message: e.to_string(),
@@ -622,10 +624,10 @@ fn serve_job(shared: &Arc<SharedState>, job: Job) {
         return;
     }
     match job.request {
-        Request::Prepare { id, query } => match shared.session.prime(&query) {
+        Request::Prepare { id, query } => match shared.executor.prime(&query) {
             Ok(retained) => job.conn.send(&Response::Prepared {
                 id,
-                epoch: shared.session.epoch(),
+                epoch: shared.executor.epoch(),
                 retained,
             }),
             Err(e) => job.conn.send(&Response::Error {
@@ -633,12 +635,12 @@ fn serve_job(shared: &Arc<SharedState>, job: Job) {
                 message: e.to_string(),
             }),
         },
-        Request::Query { id, query, limit } => match shared.session.query(&query) {
+        Request::Query { id, query, limit } => match shared.executor.query(&query) {
             Ok(ev) => {
                 shared.counters.queries.fetch_add(1, Ordering::Relaxed);
                 let columns = ev.embeddings().schema().len() as u64;
                 let total = ev.embedding_count() as u64;
-                let graph = shared.session.graph();
+                let graph = shared.executor.graph();
                 let dict = graph.dictionary();
                 let cap = if limit == 0 {
                     usize::MAX
@@ -724,10 +726,10 @@ fn apply_batch(shared: &Arc<SharedState>, jobs: Vec<MutJob>) {
             combined.push(*op, s, p, o);
         }
     }
-    let outcome = shared.session.apply_mutation(&combined);
-    // The batcher is the session's only mutator on the serving path, so the
-    // epoch right after the apply is this batch's epoch.
-    let epoch = shared.session.epoch();
+    let outcome = shared.executor.apply_mutation(&combined);
+    // The batcher is the executor's only mutator on the serving path, so
+    // the epoch right after the apply is this batch's epoch.
+    let epoch = shared.executor.epoch();
     let coalesced = jobs.len() as u64;
     shared
         .counters
@@ -782,12 +784,12 @@ fn run_fanout(shared: &Arc<SharedState>, events: &Receiver<u64>) {
 fn sweep_subscriptions(shared: &Arc<SharedState>) {
     let mut subs = shared.subs.lock().unwrap_or_else(|e| e.into_inner());
     subs.retain(|sub| sub.conn.alive.load(Ordering::Relaxed));
-    let session_epoch = shared.session.epoch();
+    let current_epoch = shared.executor.epoch();
     for sub in subs.iter_mut() {
-        if sub.last_epoch >= session_epoch {
+        if sub.last_epoch >= current_epoch {
             continue;
         }
-        let Ok(ev) = shared.session.query(&sub.query) else {
+        let Ok(ev) = shared.executor.query(&sub.query) else {
             continue;
         };
         if ev.epoch <= sub.last_epoch {
@@ -798,6 +800,7 @@ fn sweep_subscriptions(shared: &Arc<SharedState>) {
         let delta = EmbeddingDelta {
             prev_epoch: sub.last_epoch,
             epoch: ev.epoch,
+            epochs: ev.epochs.clone(),
             total: rows.len() as u64,
             added: label_rows(shared, added.into_iter(), 0),
             removed: label_rows(shared, removed.into_iter(), 0),
@@ -863,7 +866,7 @@ fn label_rows<'a>(
     rows: impl Iterator<Item = &'a Vec<u32>>,
     limit: u64,
 ) -> Vec<Vec<String>> {
-    let graph = shared.session.graph();
+    let graph = shared.executor.graph();
     let dict = graph.dictionary();
     let cap = if limit == 0 {
         usize::MAX

@@ -88,7 +88,7 @@ fn oracle_rows(graph: Graph) -> BTreeSet<Vec<String>> {
 fn concurrent_mutations_serve_monotone_epochs_and_match_the_oracle() {
     let session = Arc::new(Session::new(build_graph(&base_triples())));
     let server = Server::start(
-        Arc::clone(&session),
+        Arc::clone(&session) as Arc<dyn wireframe::QueryExecutor>,
         "127.0.0.1:0",
         ServeConfig {
             workers: 4,

@@ -10,6 +10,10 @@
 //!   --engine <name>           engine to evaluate with (default wireframe);
 //!                             `--engine help` lists the registered engines
 //!   --store csr|map|delta     graph storage backend (default csr)
+//!   --shards <N>              evaluate through an N-way vertex-partitioned
+//!                             [`wireframe::ShardedCluster`] instead of a
+//!                             single session (default 1; wireframe engine
+//!                             only — answers are identical either way)
 //!   --mutations <path>        apply a mutation script before the query: one
 //!                             op per line, `+ s p o` inserts and `- s p o`
 //!                             removes (any triple syntax accepted by the
@@ -27,8 +31,10 @@
 //!
 //! Engines are dispatched through the workspace's engine registry
 //! ([`wireframe::default_registry`]); evaluation runs through the
-//! [`wireframe::Session`] facade, so repeated queries in one invocation reuse
-//! prepared plans.
+//! [`wireframe::QueryExecutor`] trait — a [`wireframe::Session`] normally, a
+//! [`wireframe::ShardedCluster`] under `--shards N` — so repeated queries in
+//! one invocation reuse prepared plans and the driver never depends on which
+//! executor answered.
 //!
 //! The data file uses the formats accepted by `wireframe_graph::load`: either
 //! N-Triples-style `<s> <p> <o> .` lines or bare whitespace-separated
@@ -36,6 +42,7 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// A failed run, split by who is at fault: `Usage` is a malformed
 /// invocation or input file (exit 2, like every driver in this workspace);
@@ -66,7 +73,10 @@ impl<T> OrUsage<T> for Result<T, String> {
 
 use wireframe::graph::Graph;
 use wireframe::query::EmbeddingSet;
-use wireframe::{default_registry, EngineConfig, Mutation, Session, StoreKind};
+use wireframe::{
+    default_registry, EngineConfig, Mutation, QueryExecutor, Session, SessionConfig,
+    ShardedCluster, StoreKind,
+};
 
 struct Options {
     data_path: String,
@@ -74,6 +84,7 @@ struct Options {
     query_file: Option<String>,
     engine: String,
     store: StoreKind,
+    shards: usize,
     mutations: Option<String>,
     edge_burnback: bool,
     explain: bool,
@@ -84,8 +95,9 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: wfquery <triples-file> --query <SPARQL> | --query-file <path> \
-     [--engine <name>|help] [--store csr|map|delta] [--mutations <path>] \
-     [--edge-burnback] [--explain] [--limit N] [--threads N] [--count-only]"
+     [--engine <name>|help] [--store csr|map|delta] [--shards N] \
+     [--mutations <path>] [--edge-burnback] [--explain] [--limit N] \
+     [--threads N] [--count-only]"
 }
 
 fn engine_listing() -> String {
@@ -106,6 +118,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         query_file: None,
         engine: "wireframe".to_owned(),
         store: StoreKind::default(),
+        shards: 1,
         mutations: None,
         edge_burnback: false,
         explain: false,
@@ -122,6 +135,16 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--engine" => options.engine = args.next().ok_or("--engine needs a value")?,
             "--store" => {
                 options.store = StoreKind::parse(&args.next().ok_or("--store needs a value")?)?
+            }
+            "--shards" => {
+                options.shards = args
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|_| "--shards must be a positive integer".to_owned())?;
+                if options.shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
             }
             "--mutations" => {
                 options.mutations = Some(args.next().ok_or("--mutations needs a value")?)
@@ -238,16 +261,35 @@ fn run() -> Result<(), Failure> {
     }
     // UnknownEngine's Display already names the registered engines; add the
     // descriptions-only listing for anything else.
-    let session = Session::new(graph)
-        .with_config(config)
-        .with_engine(&options.engine)
-        .map_err(|e| match e {
-            wireframe::WireframeError::UnknownEngine { requested, .. } => Failure::Usage(format!(
-                "unknown engine {requested:?}\n{}",
-                engine_listing()
-            )),
-            other => Failure::Runtime(other.to_string()),
-        })?;
+    let engine_failure = |e: wireframe::WireframeError| match e {
+        wireframe::WireframeError::UnknownEngine { requested, .. } => Failure::Usage(format!(
+            "unknown engine {requested:?}\n{}",
+            engine_listing()
+        )),
+        other => Failure::Runtime(other.to_string()),
+    };
+    let session_config = SessionConfig::new()
+        .engine_config(config)
+        .engine(&options.engine);
+    let session: Arc<dyn QueryExecutor> = if options.shards > 1 {
+        if options.engine != "wireframe" {
+            // The cluster merge is defined on the factorized answer graph
+            // only; fail before partitioning rather than mid-construction.
+            return Err(Failure::Usage(format!(
+                "--shards requires the wireframe engine (got {:?})",
+                options.engine
+            )));
+        }
+        eprintln!(
+            "evaluating through {} vertex-partitioned shards",
+            options.shards
+        );
+        Arc::new(
+            ShardedCluster::new(graph, options.shards, session_config).map_err(engine_failure)?,
+        )
+    } else {
+        Arc::new(Session::from_config(graph, session_config).map_err(engine_failure)?)
+    };
 
     if let Some(path) = &options.mutations {
         let script = std::fs::read_to_string(path)
@@ -273,16 +315,19 @@ fn run() -> Result<(), Failure> {
         } else {
             false
         };
-        let maintained0 = session.plans_maintained();
-        let evicted0 = session.cache_invalidations();
-        let frontier0 = session.maintenance_frontier_nodes();
-        let micros0 = session.maintenance_micros();
+        let before = session.stats();
         let outcome = session.apply_mutation(&mutation);
+        let after = session.stats();
         eprintln!(
-            "applied {path}: +{} -{} triples → epoch {}{}",
+            "applied {path}: +{} -{} triples → epoch {}{}{}",
             outcome.inserted,
             outcome.removed,
             session.epoch(),
+            if session.shard_count() > 1 {
+                format!(" (shard epochs {:?})", session.epoch_vector())
+            } else {
+                String::new()
+            },
             if outcome.compacted {
                 " (compacted)"
             } else {
@@ -293,10 +338,10 @@ fn run() -> Result<(), Failure> {
             eprintln!(
                 "  maintenance: {} plan(s) maintained in O(delta) \
                  (frontier {} node(s), {} µs) · {} plan(s) evicted{}",
-                session.plans_maintained() - maintained0,
-                session.maintenance_frontier_nodes() - frontier0,
-                session.maintenance_micros() - micros0,
-                session.cache_invalidations() - evicted0,
+                after.plans_maintained - before.plans_maintained,
+                after.maintenance_frontier_nodes - before.maintenance_frontier_nodes,
+                after.maintenance_micros - before.maintenance_micros,
+                after.cache_invalidations - before.cache_invalidations,
                 if primed {
                     ""
                 } else {

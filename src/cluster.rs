@@ -1,0 +1,419 @@
+//! [`ShardedCluster`]: scatter-gather serving over subject-partitioned
+//! shards, behind the same [`QueryExecutor`] surface as a single
+//! [`Session`].
+//!
+//! The cluster partitions one graph into `N` shards by vertex range
+//! ([`wireframe_graph::shard_of`]: `subject % N`), gives every shard its own
+//! [`Session`] (own graph versions, own epoch, own counters), and answers
+//! queries by **scatter-gather over the factorized representation**: each
+//! shard contributes its per-pattern candidate answer-graph edges
+//! ([`wireframe_core::scan_candidates`], fanned out on a scoped thread
+//! pool), the cluster unions them and re-runs node burnback on the merged
+//! answer graph ([`wireframe_core::merge_candidates`]), and **one**
+//! defactorization turns the small merged artifact into embeddings. The
+//! expensive phase never runs per shard — that is the factorization
+//! dividend the paper measures, applied to distribution.
+//!
+//! Mutations route by the same partition function
+//! ([`wireframe_graph::route_mutation`]): a batch splits into per-shard
+//! sub-batches (or broadcasts, when it interns new labels, keeping every
+//! shard's dictionary bit-identical). Shards untouched by a batch do not
+//! advance their epoch, which is why the cluster exposes a per-shard
+//! **epoch vector** next to its scalar batch counter — see
+//! [`QueryExecutor::epoch_vector`].
+//!
+//! The cluster is deliberately **wireframe-only**: the scatter-gather merge
+//! is defined on the factorized answer graph, which the baseline engines do
+//! not produce. Configurations selecting another engine are rejected at
+//! construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use wireframe_api::{
+    EpochListener, Evaluation, ExecutorStats, MaintainedView, QueryExecutor, WireframeError,
+};
+use wireframe_core::{merge_candidates, plan, scan_candidates, EvalOptions};
+use wireframe_graph::{
+    partition_graph, route_mutation, EdgeDelta, Graph, Mutation, MutationOutcome, Triple,
+};
+use wireframe_query::{parse_query, ConjunctiveQuery};
+
+use crate::session::{Session, SessionConfig};
+
+/// Cluster-wide mutable state: the scalar epoch, advanced once per applied
+/// batch. Queries snapshot per-shard graphs under this lock's read side;
+/// mutations route and apply under its write side — which is what makes a
+/// query's cross-shard snapshot consistent (no batch can land between two
+/// shard snapshots).
+struct ClusterState {
+    epoch: u64,
+}
+
+/// N vertex-partitioned shards served through one [`QueryExecutor`].
+///
+/// ```
+/// use wireframe::api::QueryExecutor;
+/// use wireframe::graph::GraphBuilder;
+/// use wireframe::{SessionConfig, ShardedCluster};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add("alice", "knows", "bob");
+/// b.add("bob", "knows", "carol");
+/// let cluster = ShardedCluster::new(b.build(), 2, SessionConfig::default()).unwrap();
+///
+/// let result = cluster
+///     .query("SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }")
+///     .unwrap();
+/// assert_eq!(result.embedding_count(), 1);
+/// assert_eq!(result.epochs.len(), 2, "one epoch per shard");
+/// ```
+pub struct ShardedCluster {
+    shards: Vec<Session>,
+    state: RwLock<ClusterState>,
+    listeners: RwLock<Vec<EpochListener>>,
+    options: EvalOptions,
+    /// Cluster-level merged evaluations (each is one scatter + merge +
+    /// defactorization), reported as full evaluations in [`ShardedCluster::
+    /// stats`] on top of the per-shard sums.
+    full_evals: AtomicU64,
+}
+
+impl ShardedCluster {
+    /// Partitions `graph` into `shards` subject-owned shards and builds one
+    /// [`Session`] per shard from `config` — the same configuration value a
+    /// single session consumes, applied uniformly.
+    ///
+    /// Errors with [`WireframeError::UnknownEngine`] when the configuration
+    /// selects an engine other than `wireframe` (the merge is defined on
+    /// the factorized answer graph only).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` (the CLIs validate the flag before any
+    /// work).
+    pub fn new(
+        graph: impl Into<Arc<Graph>>,
+        shards: usize,
+        config: SessionConfig,
+    ) -> Result<Self, WireframeError> {
+        assert!(shards >= 1, "a cluster has at least one shard");
+        if let Some(engine) = &config.engine {
+            if engine != "wireframe" {
+                return Err(WireframeError::UnknownEngine {
+                    requested: engine.clone(),
+                    known: vec!["wireframe".to_owned()],
+                });
+            }
+        }
+        let mut options = EvalOptions::default();
+        if config.engine_config.threads > 0 {
+            options = options.with_threads(config.engine_config.threads);
+        }
+        let graph = graph.into();
+        let shards = partition_graph(&graph, shards)
+            .into_iter()
+            .map(|part| Session::from_config(part, config.clone().engine("wireframe")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedCluster {
+            shards,
+            state: RwLock::new(ClusterState { epoch: 0 }),
+            listeners: RwLock::new(Vec::new()),
+            options,
+            full_evals: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard sessions, for inspection (per-shard counters, epochs).
+    pub fn shards(&self) -> &[Session] {
+        &self.shards
+    }
+
+    /// A consistent cross-shard snapshot: per-shard graphs, per-shard
+    /// epochs, and the cluster epoch, all taken under the cluster read lock
+    /// so no mutation interleaves.
+    fn snapshot(&self) -> (Vec<Arc<Graph>>, Vec<u64>, u64) {
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        let graphs = self.shards.iter().map(|s| s.graph()).collect();
+        let epochs = self.shards.iter().map(|s| s.epoch()).collect();
+        (graphs, epochs, state.epoch)
+    }
+
+    /// Scatter-gather evaluation: per-shard candidate scans on a scoped
+    /// thread pool, one merge, one burnback, one defactorization.
+    fn evaluate_sharded(
+        &self,
+        graphs: &[Arc<Graph>],
+        shard_epochs: Vec<u64>,
+        cluster_epoch: u64,
+        query: &ConjunctiveQuery,
+    ) -> Result<Evaluation, WireframeError> {
+        let t = Instant::now();
+        let scans: Vec<Vec<Vec<_>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = graphs
+                .iter()
+                .map(|graph| scope.spawn(move || scan_candidates(graph, query)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("candidate scans do not panic"))
+                .collect()
+        });
+        let view = merge_candidates(query, &graphs[0], &scans, self.options)?;
+        let phase_one = t.elapsed();
+        self.full_evals.fetch_add(1, Ordering::Relaxed);
+
+        let mut evaluation = MaintainedView::evaluate(&view)?;
+        evaluation.epoch = cluster_epoch;
+        evaluation.epochs = shard_epochs;
+        // Scatter + merge + burnback is this executor's phase one.
+        evaluation.timings.answer_graph += phase_one;
+        // The merged view is built fresh per query, not retained: reporting
+        // maintenance state would suggest a serving history it doesn't have.
+        evaluation.maintenance = None;
+        Ok(evaluation)
+    }
+}
+
+impl QueryExecutor for ShardedCluster {
+    fn engine_name(&self) -> &str {
+        "wireframe"
+    }
+
+    fn query(&self, text: &str) -> Result<Evaluation, WireframeError> {
+        let (graphs, epochs, epoch) = self.snapshot();
+        let query = parse_query(text, graphs[0].dictionary())?;
+        self.evaluate_sharded(&graphs, epochs, epoch, &query)
+    }
+
+    fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
+        let (graphs, epochs, epoch) = self.snapshot();
+        self.evaluate_sharded(&graphs, epochs, epoch, query)
+    }
+
+    fn prime(&self, text: &str) -> Result<bool, WireframeError> {
+        // The merged view is rebuilt per query (no retained cross-shard
+        // views yet), so priming only validates: parse against the shared
+        // dictionary and plan against shard 0's catalog — surfacing the
+        // same parse/connectivity errors a query would.
+        let (graphs, _, _) = self.snapshot();
+        let query = parse_query(text, graphs[0].dictionary())?;
+        plan(&graphs[0], &query, self.options.planner)
+            .map_err(WireframeError::from)
+            .map(|_| false)
+    }
+
+    fn apply_mutation(&self, mutation: &Mutation) -> MutationOutcome {
+        let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+        // Shard dictionaries are aligned (see `route_mutation`), so any
+        // shard's current dictionary routes the batch; shard 0's by
+        // convention.
+        let dict_graph = self.shards[0].graph();
+        let routed = route_mutation(dict_graph.dictionary(), mutation, self.shards.len());
+        let mut inserted = 0;
+        let mut removed = 0;
+        let mut compacted = false;
+        let mut delta_inserted: Vec<Triple> = Vec::new();
+        let mut delta_removed: Vec<Triple> = Vec::new();
+        for (shard, batch) in self.shards.iter().zip(&routed) {
+            if let Some(batch) = batch {
+                let outcome = shard.apply_mutation(batch);
+                inserted += outcome.inserted;
+                removed += outcome.removed;
+                compacted |= outcome.compacted;
+                // Per-shard deltas are disjoint (each triple nets out on its
+                // subject's owner), so concatenation is the exact union.
+                delta_inserted.extend_from_slice(outcome.delta.inserted());
+                delta_removed.extend_from_slice(outcome.delta.removed());
+            }
+        }
+        state.epoch += 1;
+        let epoch = state.epoch;
+        let delta = EdgeDelta::new(delta_inserted, delta_removed);
+        // Notify under the write lock: cluster listeners observe strictly
+        // increasing epochs with no concurrent callbacks, the same total
+        // order a single session guarantees.
+        {
+            let listeners = self.listeners.read().unwrap_or_else(|e| e.into_inner());
+            for listener in listeners.iter() {
+                listener(epoch, &delta);
+            }
+        }
+        drop(state);
+        MutationOutcome {
+            inserted,
+            removed,
+            compacted,
+            delta,
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.state.read().unwrap_or_else(|e| e.into_inner()).epoch
+    }
+
+    fn epoch_vector(&self) -> Vec<u64> {
+        // Under the read lock so the vector is a consistent cut: a batch in
+        // flight is either fully reflected or not at all.
+        let _state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        self.shards.iter().map(|s| s.epoch()).collect()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn graph(&self) -> Arc<Graph> {
+        self.shards[0].graph()
+    }
+
+    fn add_epoch_listener(&self, listener: EpochListener) {
+        self.listeners
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(listener);
+    }
+
+    fn stats(&self) -> ExecutorStats {
+        let mut total = ExecutorStats::default();
+        for shard in &self.shards {
+            let s = QueryExecutor::stats(shard);
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.cache_evictions += s.cache_evictions;
+            total.cache_invalidations += s.cache_invalidations;
+            total.view_serves += s.view_serves;
+            total.full_evaluations += s.full_evaluations;
+            total.plans_maintained += s.plans_maintained;
+            total.maintenance_frontier_nodes += s.maintenance_frontier_nodes;
+            total.maintenance_micros += s.maintenance_micros;
+            total.mutation_cache_touches += s.mutation_cache_touches;
+            total.compactions += s.compactions;
+        }
+        total.full_evaluations += self.full_evals.load(Ordering::Relaxed);
+        total
+    }
+}
+
+impl std::fmt::Debug for ShardedCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCluster")
+            .field("shards", &self.shards.len())
+            .field("epoch", &QueryExecutor::epoch(self))
+            .field("epochs", &QueryExecutor::epoch_vector(self))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wireframe_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add("alice", "knows", "bob");
+        b.add("bob", "knows", "carol");
+        b.add("carol", "knows", "dave");
+        b.add("bob", "likes", "pizza");
+        b.add("carol", "likes", "pizza");
+        b.build()
+    }
+
+    const CHAIN: &str = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :likes ?z . }";
+
+    #[test]
+    fn sharded_answers_match_a_single_session() {
+        let g = graph();
+        let reference = Session::new(g.clone()).query(CHAIN).unwrap();
+        for shards in [1, 2, 4] {
+            let cluster = ShardedCluster::new(g.clone(), shards, SessionConfig::default()).unwrap();
+            let result = cluster.query(CHAIN).unwrap();
+            assert!(result.embeddings.same_answer(&reference.embeddings));
+            assert_eq!(result.epochs, vec![0; shards]);
+            assert_eq!(result.epoch, 0);
+        }
+    }
+
+    #[test]
+    fn mutations_route_and_bump_only_touched_shards() {
+        let cluster = ShardedCluster::new(graph(), 2, SessionConfig::default()).unwrap();
+        let before = cluster.query(CHAIN).unwrap().embedding_count();
+        // One known-label edge: routes to exactly one shard.
+        let outcome = cluster.apply_mutation(&Mutation::new().insert("dave", "likes", "pizza"));
+        assert_eq!(outcome.inserted, 1);
+        assert_eq!(QueryExecutor::epoch(&cluster), 1);
+        let vector = cluster.epoch_vector();
+        assert_eq!(
+            vector.iter().sum::<u64>(),
+            1,
+            "one shard advanced: {vector:?}"
+        );
+        let result = cluster.query(CHAIN).unwrap();
+        assert_eq!(result.embedding_count(), before + 1);
+        assert_eq!(result.epoch, 1);
+        assert_eq!(result.epochs, vector);
+    }
+
+    #[test]
+    fn new_labels_broadcast_to_every_shard() {
+        let cluster = ShardedCluster::new(graph(), 3, SessionConfig::default()).unwrap();
+        cluster.apply_mutation(&Mutation::new().insert("erin", "knows", "alice"));
+        assert_eq!(
+            cluster.epoch_vector(),
+            vec![1, 1, 1],
+            "interning broadcasts"
+        );
+        assert_eq!(QueryExecutor::epoch(&cluster), 1, "…but is one batch");
+        let result = cluster
+            .query("SELECT ?x WHERE { ?x :knows alice . }")
+            .unwrap();
+        assert_eq!(result.embedding_count(), 1);
+    }
+
+    #[test]
+    fn listeners_observe_cluster_epochs_and_merged_deltas() {
+        use std::sync::Mutex;
+        let cluster = ShardedCluster::new(graph(), 2, SessionConfig::default()).unwrap();
+        let seen: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        cluster.add_epoch_listener(Box::new(move |epoch, delta| {
+            sink.lock().unwrap().push((epoch, delta.inserted().len()));
+        }));
+        cluster.apply_mutation(
+            &Mutation::new()
+                .insert("alice", "likes", "pizza")
+                .insert("dave", "likes", "pizza"),
+        );
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.as_slice(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn non_wireframe_engines_are_rejected() {
+        let err = ShardedCluster::new(graph(), 2, SessionConfig::new().engine("relational"));
+        assert!(matches!(
+            err,
+            Err(WireframeError::UnknownEngine { requested, .. }) if requested == "relational"
+        ));
+    }
+
+    #[test]
+    fn prime_validates_without_materializing() {
+        let cluster = ShardedCluster::new(graph(), 2, SessionConfig::default()).unwrap();
+        assert!(!cluster.prime(CHAIN).unwrap());
+        assert!(cluster.prime("SELECT ?x WHERE {").is_err());
+        assert!(
+            cluster
+                .prime("SELECT * WHERE { ?a :knows ?b . ?c :likes ?d . }")
+                .is_err(),
+            "disconnected queries fail at prime time"
+        );
+    }
+}

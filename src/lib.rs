@@ -11,6 +11,12 @@
 //!   path: epoch-versioned mutations ([`Session::insert_triples`] /
 //!   [`Session::remove_triples`]) with predicate-footprint cache
 //!   invalidation,
+//! * [`ShardedCluster`] — scatter-gather serving over N vertex-partitioned
+//!   shards (one `Session` each): per-shard factorized candidate scans, one
+//!   merged answer graph, one defactorization. Both it and [`Session`]
+//!   implement the [`QueryExecutor`] trait, so serving layers and CLIs
+//!   dispatch through `dyn QueryExecutor` and pick shardedness at runtime
+//!   (`--shards N`),
 //! * [`default_registry`] — the [`EngineRegistry`] with all four engines of
 //!   the workspace (`wireframe`, `relational`, `sortmerge`, `exploration`),
 //!   every one implementing the uniform [`Engine`] trait.
@@ -70,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod registry;
 mod session;
 
@@ -80,10 +87,11 @@ pub use wireframe_datagen as datagen;
 pub use wireframe_graph as graph;
 pub use wireframe_query as query;
 
+pub use cluster::ShardedCluster;
 pub use registry::default_registry;
-pub use session::{EpochListener, Session, DEFAULT_CACHE_CAPACITY};
+pub use session::{Session, SessionConfig, DEFAULT_CACHE_CAPACITY};
 pub use wireframe_api::{
-    Engine, EngineConfig, EngineEntry, EngineRegistry, Evaluation, Factorized, PreparedQuery,
-    StoreKind, Timings, WireframeError,
+    Engine, EngineConfig, EngineEntry, EngineRegistry, EpochListener, Evaluation, ExecutorStats,
+    Factorized, PreparedQuery, QueryExecutor, StoreKind, Timings, WireframeError,
 };
 pub use wireframe_graph::{EdgeDelta, Mutation, MutationOp, MutationOutcome};

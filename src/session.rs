@@ -34,7 +34,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use wireframe_api::{
-    Engine, EngineConfig, EngineRegistry, Evaluation, MaintainedView, PreparedQuery, WireframeError,
+    Engine, EngineConfig, EngineRegistry, EpochListener, Evaluation, ExecutorStats, MaintainedView,
+    PreparedQuery, QueryExecutor, WireframeError,
 };
 use wireframe_graph::{EdgeDelta, Graph, Mutation, MutationOp, MutationOutcome, PredId, StoreKind};
 use wireframe_query::canonical::{footprints_intersect, isomorphic, plan_cache_key};
@@ -438,10 +439,6 @@ pub struct Session {
     epoch_listeners: RwLock<Vec<EpochListener>>,
 }
 
-/// Callback invoked on every epoch advance; see
-/// [`Session::add_epoch_listener`].
-pub type EpochListener = Box<dyn Fn(u64, &EdgeDelta) + Send + Sync>;
-
 // The serving path relies on sessions being shareable across threads; keep
 // the guarantee compile-time-checked rather than implied.
 const _: () = {
@@ -449,9 +446,108 @@ const _: () = {
     assert_send_sync::<Session>();
 };
 
+/// Everything configurable about a [`Session`], in one reusable value.
+///
+/// Replaces the former `with_*` builder sprawl on `Session` itself: build a
+/// `SessionConfig` once, hand it to [`Session::from_config`] — or to
+/// `ShardedCluster::new`, which applies the same configuration to every
+/// shard's session. The configuration is plain data (`Clone`), so the same
+/// value can configure any number of sessions.
+///
+/// ```
+/// use wireframe::{Session, SessionConfig};
+/// use wireframe::graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add("alice", "knows", "bob");
+/// let config = SessionConfig::new().engine("wireframe").cache_capacity(128);
+/// let session = Session::from_config(b.build(), config).unwrap();
+/// assert_eq!(session.engine_name(), "wireframe");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionConfig {
+    /// The engine answering queries. `None` (the default) selects the
+    /// registry's default engine (`wireframe` on the stock registry).
+    pub engine: Option<String>,
+    /// The engine-level knobs (edge burnback, explain, threads, storage
+    /// backend). A `store` selection re-indexes the session's graph at
+    /// construction, exactly like the former `Session::with_store`.
+    pub engine_config: EngineConfig,
+    /// `None` (the default) keeps mutation maintenance **on**: mutations
+    /// update retained views in place. `Some(false)` evicts intersecting
+    /// views instead (the re-evaluation policy `wfbench --maintenance
+    /// reeval` measures against).
+    pub maintenance: Option<bool>,
+    /// Prepared-plan cache bound in distinct plans. `None` = the default
+    /// [`DEFAULT_CACHE_CAPACITY`]; `Some(0)` = unbounded.
+    pub cache_capacity: Option<usize>,
+    /// Delta-store compaction threshold override (overlay/base fraction).
+    /// `None` keeps the graph's configured threshold.
+    pub compaction_threshold: Option<f64>,
+}
+
+impl SessionConfig {
+    /// The default configuration: registry-default engine, default engine
+    /// knobs, maintenance on, default cache bound.
+    pub fn new() -> Self {
+        SessionConfig::default()
+    }
+
+    /// Selects the engine by name (validated at [`Session::from_config`]
+    /// time against the registry).
+    pub fn engine(mut self, name: impl Into<String>) -> Self {
+        self.engine = Some(name.into());
+        self
+    }
+
+    /// Sets the engine-level configuration wholesale.
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine_config = config;
+        self
+    }
+
+    /// Re-indexes the session's graph into the given storage backend at
+    /// construction (a no-op when the backend already matches).
+    pub fn store(mut self, store: StoreKind) -> Self {
+        self.engine_config = self.engine_config.with_store(store);
+        self
+    }
+
+    /// Worker threads for parallelizable phases (`0` = engine default,
+    /// `1` = sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.engine_config = self.engine_config.with_threads(threads);
+        self
+    }
+
+    /// Selects the mutation policy for cached plans (default `true`): on,
+    /// intersecting views are maintained in `O(delta)`; off, they are
+    /// evicted and re-evaluated on next use.
+    pub fn maintenance(mut self, enabled: bool) -> Self {
+        self.maintenance = Some(enabled);
+        self
+    }
+
+    /// Bounds the prepared-plan cache to `capacity` distinct plans (`0` =
+    /// unbounded; default [`DEFAULT_CACHE_CAPACITY`]).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Overrides the delta-store compaction threshold (overlay/base
+    /// fraction at which mutations compact the graph).
+    pub fn compaction_threshold(mut self, threshold: f64) -> Self {
+        self.compaction_threshold = Some(threshold);
+        self
+    }
+}
+
 impl Session {
     /// Creates a session over `graph` with the stock registry
-    /// ([`default_registry`]) and the `wireframe` engine selected.
+    /// ([`default_registry`]), the default configuration and the `wireframe`
+    /// engine selected. Shorthand for [`Session::from_config`] with
+    /// [`SessionConfig::default`].
     pub fn new(graph: Graph) -> Self {
         Session::shared(Arc::new(graph))
     }
@@ -460,25 +556,73 @@ impl Session {
     /// (e.g. one per engine) can serve one in-memory graph without copying
     /// it.
     pub fn shared(graph: Arc<Graph>) -> Self {
-        Session::shared_with_registry(graph, default_registry())
+        Session::from_config(graph, SessionConfig::default())
+            .expect("the default session configuration is always valid")
     }
 
     /// Creates a session with a custom registry. The registry's first
     /// registered engine becomes the session's engine.
     pub fn with_registry(graph: Graph, registry: EngineRegistry) -> Self {
-        Session::shared_with_registry(Arc::new(graph), registry)
+        Session::from_config_with_registry(Arc::new(graph), registry, SessionConfig::default())
+            .expect("the default session configuration is always valid")
     }
 
     /// Creates a session over a shared graph with a custom registry.
     pub fn shared_with_registry(graph: Arc<Graph>, registry: EngineRegistry) -> Self {
-        let engine = registry.default_engine().unwrap_or("wireframe").to_owned();
-        Session {
+        Session::from_config_with_registry(graph, registry, SessionConfig::default())
+            .expect("the default session configuration is always valid")
+    }
+
+    /// Creates a fully-configured session in one step — the constructor
+    /// behind every other one. Accepts an owned or already-shared graph.
+    ///
+    /// Errors with [`WireframeError::UnknownEngine`] when the configuration
+    /// names an engine the registry does not contain.
+    pub fn from_config(
+        graph: impl Into<Arc<Graph>>,
+        config: SessionConfig,
+    ) -> Result<Self, WireframeError> {
+        Session::from_config_with_registry(graph, default_registry(), config)
+    }
+
+    /// [`Session::from_config`] with a custom engine registry. When the
+    /// configuration selects no engine, the registry's default engine (its
+    /// first registration) is used.
+    pub fn from_config_with_registry(
+        graph: impl Into<Arc<Graph>>,
+        registry: EngineRegistry,
+        config: SessionConfig,
+    ) -> Result<Self, WireframeError> {
+        let engine = match &config.engine {
+            Some(name) => {
+                if !registry.contains(name) {
+                    return Err(WireframeError::UnknownEngine {
+                        requested: name.clone(),
+                        known: registry.names().iter().map(|&n| n.to_owned()).collect(),
+                    });
+                }
+                name.clone()
+            }
+            None => registry.default_engine().unwrap_or("wireframe").to_owned(),
+        };
+        let mut graph = graph.into();
+        if let Some(kind) = config.engine_config.store {
+            if graph.store_kind() != kind {
+                graph = Arc::new(Graph::clone(&graph).with_store(kind));
+            }
+        }
+        if let Some(threshold) = config.compaction_threshold {
+            if (graph.compaction_threshold() - threshold).abs() > f64::EPSILON {
+                graph = Arc::new(Graph::clone(&graph).with_compaction_threshold(threshold));
+            }
+        }
+        Ok(Session {
             state: RwLock::new(GraphState { graph, epoch: 0 }),
             registry,
             engine,
-            config: EngineConfig::default(),
-            maintenance: true,
-            cache: ShardedPlanCache::new(DEFAULT_CACHE_CAPACITY),
+            config: config.engine_config,
+            maintenance: config.maintenance.unwrap_or(true),
+            cache: ShardedPlanCache::new(config.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -491,7 +635,7 @@ impl Session {
             view_serves: AtomicU64::new(0),
             full_evals: AtomicU64::new(0),
             epoch_listeners: RwLock::new(Vec::new()),
-        }
+        })
     }
 
     /// Registers a callback fired on **every** epoch advance — including
@@ -519,6 +663,10 @@ impl Session {
     /// serving it; off, intersecting entries are evicted and re-evaluated
     /// from scratch on next use (the policy `wfbench --maintenance reeval`
     /// measures against).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SessionConfig::maintenance` + `Session::from_config`"
+    )]
     pub fn with_maintenance(mut self, enabled: bool) -> Self {
         self.maintenance = enabled;
         self
@@ -530,6 +678,10 @@ impl Session {
     }
 
     /// Selects the engine used by subsequent queries (builder form).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SessionConfig::engine` + `Session::from_config`"
+    )]
     pub fn with_engine(mut self, name: &str) -> Result<Self, WireframeError> {
         self.set_engine(name)?;
         Ok(self)
@@ -558,7 +710,32 @@ impl Session {
     /// backend (this session gets its own re-indexed copy; other sessions
     /// sharing the original `Arc` are unaffected). A config with the default
     /// `store: None` never re-indexes.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SessionConfig::engine_config` + `Session::from_config`"
+    )]
     pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.set_engine_config(config);
+        self
+    }
+
+    /// Re-indexes the session's graph into the given storage backend
+    /// (builder form). A no-op when the backend already matches.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SessionConfig::store` + `Session::from_config`"
+    )]
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        let config = self.config.with_store(store);
+        self.set_engine_config(config);
+        self
+    }
+
+    /// Installs an engine configuration on a not-yet-shared session,
+    /// re-indexing the graph when the configuration selects a different
+    /// storage backend (the deprecated `with_config`/`with_store` builders
+    /// funnel here).
+    fn set_engine_config(&mut self, config: EngineConfig) {
         self.config = config;
         if let Some(kind) = config.store {
             let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
@@ -566,20 +743,16 @@ impl Session {
                 state.graph = Arc::new(Graph::clone(&state.graph).with_store(kind));
             }
         }
-        self
-    }
-
-    /// Re-indexes the session's graph into the given storage backend
-    /// (builder form). A no-op when the backend already matches.
-    pub fn with_store(self, store: StoreKind) -> Self {
-        let config = self.config.with_store(store);
-        self.with_config(config)
     }
 
     /// Bounds the prepared-plan cache to at most `capacity` distinct plans
     /// (builder form; `0` = unbounded, default [`DEFAULT_CACHE_CAPACITY`]).
     /// Exceeding the bound evicts the least-recently-used entry, counted by
     /// [`Session::cache_evictions`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SessionConfig::cache_capacity` + `Session::from_config`"
+    )]
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache.capacity = capacity;
         self
@@ -595,15 +768,12 @@ impl Session {
         self.snapshot().0.store_kind()
     }
 
-    /// A snapshot of the graph version this session currently serves.
-    /// Mutations applied later do not affect the returned handle.
+    /// A shared snapshot of the graph version this session currently
+    /// serves. **Snapshot contract:** the handle is pinned to the version
+    /// current at the call — mutations applied later never affect it — and
+    /// cloning the `Arc` (e.g. to build further sessions over the same
+    /// data) shares the in-memory graph without copying it.
     pub fn graph(&self) -> Arc<Graph> {
-        self.snapshot().0
-    }
-
-    /// The shared handle to the session's current graph version, for
-    /// building further sessions over the same data.
-    pub fn shared_graph(&self) -> Arc<Graph> {
         self.snapshot().0
     }
 
@@ -686,6 +856,7 @@ impl Session {
             if let Some(retained) = retained {
                 let mut evaluation = retained.evaluate()?;
                 evaluation.epoch = epoch;
+                evaluation.epochs = vec![epoch];
                 self.view_serves.fetch_add(1, Ordering::Relaxed);
                 return Ok(evaluation);
             }
@@ -696,6 +867,7 @@ impl Session {
                 let phase_one = t.elapsed();
                 let mut evaluation = fresh.evaluate()?;
                 evaluation.epoch = epoch;
+                evaluation.epochs = vec![epoch];
                 // This call *did* pay planning + generation (+ burnback);
                 // the trait cannot hand the split back, so the lump is
                 // reported as answer-graph time — Timings::total stays
@@ -708,6 +880,7 @@ impl Session {
         let mut evaluation = engine.evaluate(&prepared)?;
         self.full_evals.fetch_add(1, Ordering::Relaxed);
         evaluation.epoch = epoch;
+        evaluation.epochs = vec![epoch];
         Ok(evaluation)
     }
 
@@ -1015,6 +1188,60 @@ impl Session {
     }
 }
 
+impl QueryExecutor for Session {
+    fn engine_name(&self) -> &str {
+        Session::engine_name(self)
+    }
+
+    fn query(&self, text: &str) -> Result<Evaluation, WireframeError> {
+        Session::query(self, text)
+    }
+
+    fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
+        Session::execute(self, query)
+    }
+
+    fn prime(&self, text: &str) -> Result<bool, WireframeError> {
+        Session::prime(self, text)
+    }
+
+    fn apply_mutation(&self, mutation: &Mutation) -> MutationOutcome {
+        Session::apply_mutation(self, mutation)
+    }
+
+    fn epoch(&self) -> u64 {
+        Session::epoch(self)
+    }
+
+    fn epoch_vector(&self) -> Vec<u64> {
+        vec![Session::epoch(self)]
+    }
+
+    fn graph(&self) -> Arc<Graph> {
+        Session::graph(self)
+    }
+
+    fn add_epoch_listener(&self, listener: EpochListener) {
+        Session::add_epoch_listener(self, listener)
+    }
+
+    fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            cache_hits: self.cache_hits(),
+            cache_misses: self.cache_misses(),
+            cache_evictions: self.cache_evictions(),
+            cache_invalidations: self.cache_invalidations(),
+            view_serves: self.view_serves(),
+            full_evaluations: self.full_evaluations(),
+            plans_maintained: self.plans_maintained(),
+            maintenance_frontier_nodes: self.maintenance_frontier_nodes(),
+            maintenance_micros: self.maintenance_micros(),
+            mutation_cache_touches: self.mutation_cache_touches(),
+            compactions: self.compactions(),
+        }
+    }
+}
+
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (graph, epoch) = self.snapshot();
@@ -1182,7 +1409,13 @@ mod tests {
             session.set_engine("sqlite"),
             Err(WireframeError::UnknownEngine { .. })
         ));
-        assert!(Session::new(knows_graph()).with_engine("sortmerge").is_ok());
+        assert!(
+            Session::from_config(knows_graph(), SessionConfig::new().engine("sortmerge")).is_ok()
+        );
+        assert!(matches!(
+            Session::from_config(knows_graph(), SessionConfig::new().engine("sqlite")),
+            Err(WireframeError::UnknownEngine { .. })
+        ));
     }
 
     #[test]
@@ -1190,11 +1423,9 @@ mod tests {
         let shared = Arc::new(knows_graph());
         let a = Session::new(Graph::clone(&shared)); // independent copy
         let b = Session::shared(Arc::clone(&shared));
-        let c = Session::shared(b.shared_graph())
-            .with_engine("relational")
-            .unwrap();
-        assert!(Arc::ptr_eq(&b.shared_graph(), &c.shared_graph()));
-        assert!(!Arc::ptr_eq(&a.shared_graph(), &b.shared_graph()));
+        let c = Session::from_config(b.graph(), SessionConfig::new().engine("relational")).unwrap();
+        assert!(Arc::ptr_eq(&b.graph(), &c.graph()));
+        assert!(!Arc::ptr_eq(&a.graph(), &b.graph()));
 
         let text = "SELECT * WHERE { ?x :knows ?y . }";
         let via_b = b.query(text).unwrap();
@@ -1231,7 +1462,9 @@ mod tests {
 
     #[test]
     fn store_selection_reindexes_the_graph() {
-        let session = Session::new(knows_graph()).with_store(StoreKind::Map);
+        let session =
+            Session::from_config(knows_graph(), SessionConfig::new().store(StoreKind::Map))
+                .unwrap();
         assert_eq!(session.store_kind(), StoreKind::Map);
         assert_eq!(session.config().store, Some(StoreKind::Map));
         let ev = session
@@ -1243,8 +1476,11 @@ mod tests {
         // that does not name a backend (store: None) never re-indexes.
         let mut b = GraphBuilder::new();
         b.add("a", "p", "b");
-        let pre_built = Session::shared(Arc::new(b.build_with_store(StoreKind::Map)))
-            .with_config(EngineConfig::default().with_threads(4));
+        let pre_built = Session::from_config(
+            Arc::new(b.build_with_store(StoreKind::Map)),
+            SessionConfig::new().threads(4),
+        )
+        .unwrap();
         assert_eq!(pre_built.store_kind(), StoreKind::Map);
         assert_eq!(pre_built.config().store, None);
     }
@@ -1260,7 +1496,9 @@ mod tests {
 
     #[test]
     fn mutations_advance_the_epoch_and_the_answers() {
-        let session = Session::new(knows_graph()).with_store(StoreKind::Delta);
+        let session =
+            Session::from_config(knows_graph(), SessionConfig::new().store(StoreKind::Delta))
+                .unwrap();
         let text = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
         assert_eq!(session.epoch(), 0);
         assert_eq!(session.query(text).unwrap().embedding_count(), 2);
@@ -1296,9 +1534,13 @@ mod tests {
     #[test]
     fn mutation_invalidates_only_intersecting_footprints() {
         // Maintenance off: the pre-maintenance eviction policy, pinned.
-        let session = Session::new(knows_likes_graph())
-            .with_store(StoreKind::Delta)
-            .with_maintenance(false);
+        let session = Session::from_config(
+            knows_likes_graph(),
+            SessionConfig::new()
+                .store(StoreKind::Delta)
+                .maintenance(false),
+        )
+        .unwrap();
         assert!(!session.maintenance_enabled());
 
         let knows_q = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
@@ -1334,7 +1576,11 @@ mod tests {
     fn mutation_maintains_intersecting_views_in_place() {
         // Maintenance on (the default): intersecting wireframe plans are
         // kept and their retained views updated in O(delta).
-        let session = Session::new(knows_likes_graph()).with_store(StoreKind::Delta);
+        let session = Session::from_config(
+            knows_likes_graph(),
+            SessionConfig::new().store(StoreKind::Delta),
+        )
+        .unwrap();
         assert!(session.maintenance_enabled());
 
         let knows_q = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
@@ -1374,7 +1620,11 @@ mod tests {
         // Regression test for the footprint pass: the footprint is derived
         // once from the net delta, and a batch that intersects no cached
         // plan must take no shard write lock and touch no entry.
-        let session = Session::new(knows_likes_graph()).with_store(StoreKind::Delta);
+        let session = Session::from_config(
+            knows_likes_graph(),
+            SessionConfig::new().store(StoreKind::Delta),
+        )
+        .unwrap();
         let knows_q = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
         session.query(knows_q).unwrap();
         assert_eq!(session.cached_queries(), 1);
@@ -1423,9 +1673,8 @@ mod tests {
         );
 
         // Non-maintaining engines keep the plain path.
-        let baseline = Session::new(knows_graph())
-            .with_engine("relational")
-            .unwrap();
+        let baseline =
+            Session::from_config(knows_graph(), SessionConfig::new().engine("relational")).unwrap();
         baseline.query(text).unwrap();
         baseline.query(text).unwrap();
         assert_eq!(baseline.view_serves(), 0);
@@ -1434,7 +1683,9 @@ mod tests {
 
     #[test]
     fn prime_retains_a_view_without_evaluating() {
-        let session = Session::new(knows_graph()).with_store(StoreKind::Delta);
+        let session =
+            Session::from_config(knows_graph(), SessionConfig::new().store(StoreKind::Delta))
+                .unwrap();
         let text = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
         assert!(session.prime(text).unwrap(), "a view is retained");
         assert_eq!(session.full_evaluations(), 1, "phase one ran once");
@@ -1450,9 +1701,8 @@ mod tests {
         assert_eq!(session.full_evaluations(), 1, "served from the view");
 
         // Non-maintaining engines prime the plan only.
-        let baseline = Session::new(knows_graph())
-            .with_engine("sortmerge")
-            .unwrap();
+        let baseline =
+            Session::from_config(knows_graph(), SessionConfig::new().engine("sortmerge")).unwrap();
         assert!(!baseline.prime(text).unwrap());
         assert_eq!(baseline.cache_misses(), 1, "the plan is cached");
 
@@ -1470,9 +1720,13 @@ mod tests {
         b.add("3", "B", "2");
         b.add("4", "C", "1");
         b.add("2", "D", "1");
-        let session = Session::new(b.build())
-            .with_store(StoreKind::Delta)
-            .with_config(EngineConfig::default().with_edge_burnback());
+        let session = Session::from_config(
+            b.build(),
+            SessionConfig::new()
+                .engine_config(EngineConfig::default().with_edge_burnback())
+                .store(StoreKind::Delta),
+        )
+        .unwrap();
         let q = "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }";
         assert_eq!(session.query(q).unwrap().embedding_count(), 1);
         session.query(q).unwrap();
@@ -1502,7 +1756,8 @@ mod tests {
 
     #[test]
     fn cache_capacity_bounds_and_evicts_lru() {
-        let session = Session::new(knows_graph()).with_cache_capacity(2);
+        let session =
+            Session::from_config(knows_graph(), SessionConfig::new().cache_capacity(2)).unwrap();
         assert_eq!(session.cache_capacity(), 2);
         // Three distinct canonical queries.
         let q1 = "SELECT ?x WHERE { ?x :knows ?y . }";
@@ -1525,7 +1780,8 @@ mod tests {
         assert_eq!(session.cache_misses(), misses + 1, "q2 was the LRU victim");
 
         // Unbounded caches never evict.
-        let unbounded = Session::new(knows_graph()).with_cache_capacity(0);
+        let unbounded =
+            Session::from_config(knows_graph(), SessionConfig::new().cache_capacity(0)).unwrap();
         for q in [q1, q2, q3] {
             unbounded.query(q).unwrap();
         }
@@ -1561,5 +1817,78 @@ mod tests {
         let ev = session.query(text).unwrap();
         assert_eq!(ev.embedding_count(), 11);
         assert_eq!(ev.epoch, 8);
+    }
+
+    #[test]
+    fn config_sets_the_compaction_threshold() {
+        let session = Session::from_config(
+            knows_graph(),
+            SessionConfig::new()
+                .store(StoreKind::Delta)
+                .compaction_threshold(0.0),
+        )
+        .unwrap();
+        session.insert_triples([("x", "knows", "y")]);
+        assert_eq!(session.compactions(), 1, "threshold 0.0 compacts per batch");
+    }
+
+    #[test]
+    fn evaluations_carry_the_epoch_vector() {
+        let session = Session::new(knows_graph());
+        let text = "SELECT * WHERE { ?x :knows ?y . }";
+        assert_eq!(session.query(text).unwrap().epochs, vec![0]);
+        session.insert_triples([("dave", "knows", "erin")]);
+        // All three serving paths stamp `[epoch]`: view serve, fresh
+        // materialization, and the plain engine path.
+        assert_eq!(session.query(text).unwrap().epochs, vec![1]);
+        assert_eq!(session.query(text).unwrap().epochs, vec![1]);
+        let baseline =
+            Session::from_config(knows_graph(), SessionConfig::new().engine("relational")).unwrap();
+        assert_eq!(baseline.query(text).unwrap().epochs, vec![0]);
+    }
+
+    #[test]
+    fn sessions_serve_through_dyn_query_executor() {
+        let executor: Arc<dyn QueryExecutor> = Arc::new(Session::new(knows_graph()));
+        assert_eq!(executor.engine_name(), "wireframe");
+        assert_eq!(executor.shard_count(), 1);
+        let ev = executor.query("SELECT * WHERE { ?x :knows ?y . }").unwrap();
+        assert_eq!(ev.embedding_count(), 3);
+        executor.apply_mutation(&Mutation::new().insert("dave", "knows", "erin"));
+        assert_eq!(executor.epoch(), 1);
+        assert_eq!(executor.epoch_vector(), vec![1]);
+        let stats = executor.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.full_evaluations, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builders_still_configure_sessions() {
+        // The pre-`SessionConfig` builder sprawl stays as thin shims so
+        // downstream code keeps compiling; pin that they still work.
+        let session = Session::new(knows_likes_graph())
+            .with_store(StoreKind::Delta)
+            .with_maintenance(false)
+            .with_cache_capacity(7)
+            .with_config(
+                EngineConfig::default()
+                    .with_threads(2)
+                    .with_store(StoreKind::Delta),
+            )
+            .with_engine("sortmerge")
+            .unwrap();
+        assert_eq!(session.store_kind(), StoreKind::Delta);
+        assert!(!session.maintenance_enabled());
+        assert_eq!(session.cache_capacity(), 7);
+        assert_eq!(session.config().threads, 2);
+        assert_eq!(session.engine_name(), "sortmerge");
+        assert_eq!(
+            session
+                .query("SELECT * WHERE { ?x :likes ?y . }")
+                .unwrap()
+                .embedding_count(),
+            1
+        );
     }
 }

@@ -82,9 +82,11 @@ fn concurrent_use_spans_engines_via_per_engine_sessions() {
         .names()
         .iter()
         .map(|name| {
-            Session::shared(Arc::clone(&graph))
-                .with_engine(name)
-                .unwrap()
+            Session::from_config(
+                Arc::clone(&graph),
+                wireframe::SessionConfig::new().engine(*name),
+            )
+            .unwrap()
         })
         .collect();
 

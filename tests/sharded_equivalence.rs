@@ -1,0 +1,165 @@
+//! Cross-shard equivalence property: a [`ShardedCluster`] answers every
+//! query bit-identically to an unsharded [`Session`] over the same graph —
+//! on the pristine graph and after every seeded mutation batch — across
+//! seeded graph instances × the full generated workload × shard counts
+//! {1, 2, 4}.
+//!
+//! This is the acceptance property of the scatter-gather design: the union
+//! of per-shard candidate edges followed by a single global node burnback
+//! reaches the same greatest fixpoint as evaluating the whole graph in one
+//! piece, so sharding must never be observable in an answer (embeddings,
+//! answer-graph size) — only in the epoch vector stamped on evaluations.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wireframe::datagen::{full_workload, generate, BenchmarkQuery, YagoConfig};
+use wireframe::graph::{Graph, NodeId};
+use wireframe::{Mutation, QueryExecutor, Session, SessionConfig, ShardedCluster};
+
+/// Seeded mutation batches applied per (graph, shard-count) combination.
+const BATCHES: u64 = 3;
+/// Operations per batch.
+const BATCH_OPS: usize = 32;
+
+/// Draws a deterministic mutation batch against the current graph: mostly
+/// inserts (a quarter with fresh subjects, so the cluster's cross-shard
+/// dictionary alignment is on the verified path), the rest removals of
+/// triples actually present.
+fn seeded_batch(graph: &Graph, seed: u64) -> Mutation {
+    let dict = graph.dictionary();
+    let predicates: Vec<String> = dict
+        .predicates()
+        .map(|(_, label)| label.to_owned())
+        .collect();
+    let nodes: Vec<String> = (0..graph.node_count().min(512))
+        .map(|i| dict.node_label(NodeId(i as u32)).unwrap_or("?").to_owned())
+        .collect();
+    let removable: Vec<(String, String, String)> = graph
+        .triples()
+        .take(BATCH_OPS)
+        .map(|t| {
+            (
+                dict.node_label(t.subject).unwrap_or("?").to_owned(),
+                dict.predicate_label(t.predicate).unwrap_or("?").to_owned(),
+                dict.node_label(t.object).unwrap_or("?").to_owned(),
+            )
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut mutation = Mutation::new();
+    let mut removed = 0usize;
+    let mut fresh = 0usize;
+    for _ in 0..BATCH_OPS {
+        if removed < removable.len() && rng.gen_range(0..4usize) == 0 {
+            let (s, p, o) = &removable[removed];
+            removed += 1;
+            mutation = mutation.remove(s, p, o);
+        } else {
+            let p = &predicates[rng.gen_range(0..predicates.len())];
+            let o = &nodes[rng.gen_range(0..nodes.len())];
+            let s = if rng.gen_range(0..4usize) == 0 {
+                fresh += 1;
+                format!("equiv_n{seed}_{fresh}")
+            } else {
+                nodes[rng.gen_range(0..nodes.len())].clone()
+            };
+            mutation = mutation.insert(&s, p, o);
+        }
+    }
+    mutation
+}
+
+/// Asserts the cluster answers the whole workload exactly like the
+/// reference: equal counts, bit-identical embedding sets, equal
+/// answer-graph sizes, and a correctly shaped epoch vector.
+fn assert_equivalent(
+    reference: &Session,
+    cluster: &ShardedCluster,
+    workload: &[BenchmarkQuery],
+    shards: usize,
+    when: &str,
+) {
+    for bq in workload {
+        let expected = reference.execute(&bq.query).unwrap();
+        let sharded = cluster.execute(&bq.query).unwrap();
+        assert_eq!(
+            expected.embedding_count(),
+            sharded.embedding_count(),
+            "{} ({when}, {shards} shards): embedding counts diverge",
+            bq.name
+        );
+        assert!(
+            expected.embeddings().same_answer(sharded.embeddings()),
+            "{} ({when}, {shards} shards): embedding sets diverge",
+            bq.name
+        );
+        if let (Some(expect), Some(got)) = (&expected.factorized, &sharded.factorized) {
+            assert_eq!(
+                expect.answer_graph_edges, got.answer_graph_edges,
+                "{} ({when}, {shards} shards): answer-graph sizes diverge",
+                bq.name
+            );
+        }
+        assert_eq!(
+            sharded.epochs.len(),
+            shards,
+            "{} ({when}): evaluation must carry one epoch per shard",
+            bq.name
+        );
+        assert_eq!(
+            expected.epochs,
+            vec![expected.epoch],
+            "{} ({when}): unsharded epoch vector is the scalar epoch",
+            bq.name
+        );
+    }
+}
+
+#[test]
+fn sharded_answers_match_unsharded_across_graphs_shards_and_churn() {
+    for graph_seed in [3u64, 11] {
+        let config = YagoConfig {
+            seed: graph_seed,
+            ..YagoConfig::tiny()
+        };
+        let graph = Arc::new(generate(&config));
+        let workload = full_workload(&graph).unwrap();
+        for shards in [1usize, 2, 4] {
+            let reference = Session::shared(Arc::clone(&graph));
+            let cluster =
+                ShardedCluster::new(Arc::clone(&graph), shards, SessionConfig::new()).unwrap();
+            assert_equivalent(&reference, &cluster, &workload, shards, "pre-churn");
+
+            for batch_idx in 0..BATCHES {
+                let batch = seeded_batch(&reference.graph(), graph_seed * 1000 + batch_idx);
+                let ref_outcome = reference.apply_mutation(&batch);
+                let cl_outcome = cluster.apply_mutation(&batch);
+                assert_eq!(
+                    (ref_outcome.inserted, ref_outcome.removed),
+                    (cl_outcome.inserted, cl_outcome.removed),
+                    "batch {batch_idx} ({shards} shards): mutation totals diverge"
+                );
+                // The cluster's scalar epoch counts batches; a shard's own
+                // epoch advances only when the router sent it operations.
+                assert_eq!(cluster.epoch(), batch_idx + 1);
+                let vector = cluster.epoch_vector();
+                assert_eq!(vector.len(), shards);
+                assert!(
+                    vector.iter().all(|&e| e <= batch_idx + 1),
+                    "no shard can be ahead of the cluster: {vector:?}"
+                );
+                assert_equivalent(
+                    &reference,
+                    &cluster,
+                    &workload,
+                    shards,
+                    &format!("after batch {batch_idx}"),
+                );
+            }
+        }
+    }
+}
