@@ -64,6 +64,66 @@ impl EngineConfig {
     }
 }
 
+/// What an engine can do, beyond answering acyclic conjunctive queries.
+///
+/// Serving layers route on these flags instead of matching engine *names*:
+/// the `Session` facade consults `maintainable` / `maintainable_cyclic` to
+/// decide between view maintenance and eviction, and `ShardedCluster` admits
+/// any engine with `sharded_merge`. Registries carry a static copy per entry
+/// (see `EngineRegistry::register`) so capability listings — e.g.
+/// `wfquery --engine help` — need not build an engine first; the instance
+/// method [`Engine::capabilities`] reflects the engine's actual
+/// configuration and may be narrower (e.g. wireframe under edge burnback
+/// loses `maintainable_cyclic`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCapabilities {
+    /// Evaluates cyclic queries exactly (all in-tree engines do).
+    pub cyclic: bool,
+    /// Produces a factorized `AnswerGraph` artifact ([`Evaluation::factorized`]).
+    pub factorizes: bool,
+    /// Can materialize retained, incrementally-maintained views
+    /// ([`Engine::materialize`]) for at least the acyclic class.
+    pub maintainable: bool,
+    /// Maintains views for *cyclic* queries too — no eviction fallback.
+    pub maintainable_cyclic: bool,
+    /// Honors `EngineConfig::threads` with a parallel defactorization phase.
+    pub parallel_defactorize: bool,
+    /// Its factorized output composes under the sharded scatter-gather
+    /// merge, so a `ShardedCluster` may serve it.
+    pub sharded_merge: bool,
+}
+
+impl EngineCapabilities {
+    /// Renders the set flags as a short comma-separated list (for CLI
+    /// listings); "-" when none are set.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.cyclic {
+            parts.push("cyclic");
+        }
+        if self.factorizes {
+            parts.push("factorized");
+        }
+        if self.maintainable {
+            parts.push("views");
+        }
+        if self.maintainable_cyclic {
+            parts.push("cyclic-views");
+        }
+        if self.parallel_defactorize {
+            parts.push("parallel");
+        }
+        if self.sharded_merge {
+            parts.push("sharded");
+        }
+        if parts.is_empty() {
+            "-".to_owned()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
 /// A conjunctive-query evaluator over one graph.
 ///
 /// Implemented by the factorized Wireframe engine and every baseline, so
@@ -99,6 +159,22 @@ pub trait Engine {
     /// footprint-*eviction* when the graph mutates. Default: `false`.
     fn supports_maintenance(&self) -> bool {
         false
+    }
+
+    /// The capability set of this engine **instance** (i.e. as configured).
+    ///
+    /// The default is derived from
+    /// [`supports_maintenance`](Engine::supports_maintenance): every in-tree
+    /// engine answers cyclic queries exactly, and a maintaining engine is
+    /// assumed to maintain at least the acyclic class. Engines with richer
+    /// behavior (factorized output, cyclic views, sharded merge) override
+    /// this.
+    fn capabilities(&self) -> EngineCapabilities {
+        EngineCapabilities {
+            cyclic: true,
+            maintainable: self.supports_maintenance(),
+            ..EngineCapabilities::default()
+        }
     }
 
     /// Materializes `prepared` into a retained [`MaintainedView`] over this
@@ -153,7 +229,6 @@ mod tests {
             self.check_prepared(prepared)?;
             Ok(Evaluation {
                 engine: self.name().to_owned(),
-                epoch: 0,
                 epochs: Vec::new(),
                 embeddings: EmbeddingSet::empty(prepared.query().projection().to_vec()),
                 timings: Timings::default(),
@@ -189,6 +264,29 @@ mod tests {
         let foreign = PreparedQuery::new("other", q);
         let err = NullEngine.evaluate(&foreign).unwrap_err();
         assert!(matches!(err, WireframeError::EngineMismatch { .. }));
+    }
+
+    #[test]
+    fn default_capabilities_derive_from_supports_maintenance() {
+        let caps = NullEngine.capabilities();
+        assert!(caps.cyclic);
+        assert!(!caps.maintainable, "NullEngine does not maintain");
+        assert!(!caps.factorizes && !caps.maintainable_cyclic);
+        assert!(!caps.parallel_defactorize && !caps.sharded_merge);
+        assert_eq!(caps.summary(), "cyclic");
+        assert_eq!(EngineCapabilities::default().summary(), "-");
+        let full = EngineCapabilities {
+            cyclic: true,
+            factorizes: true,
+            maintainable: true,
+            maintainable_cyclic: true,
+            parallel_defactorize: true,
+            sharded_merge: true,
+        };
+        assert_eq!(
+            full.summary(),
+            "cyclic,factorized,views,cyclic-views,parallel,sharded"
+        );
     }
 
     #[test]

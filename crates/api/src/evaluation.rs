@@ -95,15 +95,14 @@ impl Factorized {
 pub struct Evaluation {
     /// Name of the engine that produced this result.
     pub engine: String,
-    /// The graph version (mutation epoch) the evaluation ran against.
-    /// Engines set `0`; the serving layer (the `Session` facade) stamps the
-    /// epoch of the graph snapshot it evaluated on, so clients of a dynamic
-    /// graph can tell which version answered them.
-    pub epoch: u64,
-    /// The per-shard epoch vector of the snapshot: `[epoch]` when the
-    /// serving layer is unsharded, one entry per shard on a sharded
-    /// executor, empty when produced by a raw (epoch-unaware) engine. See
-    /// [`crate::QueryExecutor::epoch_vector`] for the contract.
+    /// The epoch vector of the graph snapshot the evaluation ran against —
+    /// the **single source of truth** for versioning. Raw (epoch-unaware)
+    /// engines leave it empty; the serving layer stamps it: `[epoch]` when
+    /// unsharded, the per-shard epochs followed by the aggregate cluster
+    /// epoch on a sharded executor (so [`Evaluation::epoch`], the last
+    /// component, is always the scalar version clients order by). See
+    /// [`crate::QueryExecutor::epoch_vector`] for the executor-side
+    /// contract.
     pub epochs: Vec<u64>,
     /// The projected embeddings (the query's answer).
     pub embeddings: EmbeddingSet,
@@ -127,6 +126,13 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
+    /// The scalar graph version (mutation epoch) the evaluation ran
+    /// against: the last component of [`Evaluation::epochs`]. `0` when the
+    /// result came from a raw engine that no serving layer stamped.
+    pub fn epoch(&self) -> u64 {
+        self.epochs.last().copied().unwrap_or(0)
+    }
+
     /// The projected embeddings.
     pub fn embeddings(&self) -> &EmbeddingSet {
         &self.embeddings
@@ -172,7 +178,6 @@ mod tests {
     fn metrics_and_factorized_accessors() {
         let ev = Evaluation {
             engine: "test".into(),
-            epoch: 0,
             epochs: Vec::new(),
             embeddings: EmbeddingSet::empty(vec![Var(0)]),
             timings: Timings::default(),
@@ -191,6 +196,11 @@ mod tests {
         };
         assert_eq!(ev.metric("edge_walks"), Some(42));
         assert_eq!(ev.metric("missing"), None);
+        assert_eq!(ev.epoch(), 0, "unstamped evaluations read as epoch 0");
+        let mut stamped = ev;
+        stamped.epochs = vec![3, 5, 9];
+        assert_eq!(stamped.epoch(), 9, "epoch() is the last component");
+        let ev = stamped;
         assert_eq!(ev.answer_graph_size(), Some(10));
         assert_eq!(ev.embedding_count(), 0);
         let f = ev.factorized.as_ref().unwrap();

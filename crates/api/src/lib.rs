@@ -33,7 +33,7 @@ mod registry;
 mod view;
 pub mod wire;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineCapabilities, EngineConfig};
 pub use error::WireframeError;
 pub use evaluation::{Evaluation, Factorized, Timings};
 pub use executor::{EpochListener, ExecutorStats, QueryExecutor};

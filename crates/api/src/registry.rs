@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use wireframe_graph::Graph;
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineCapabilities, EngineConfig};
 use crate::error::WireframeError;
 
 /// Builds a boxed engine over a borrowed graph.
@@ -26,6 +26,12 @@ pub struct EngineEntry {
     pub name: &'static str,
     /// A one-line description shown by `--engine help`.
     pub description: &'static str,
+    /// The engine's nominal capability set — what a default-configured
+    /// instance can do. Carried statically so listings and routing decisions
+    /// (e.g. "which engine maintains cyclic views?") need not build an
+    /// engine over a graph first. A *configured* instance may report a
+    /// narrower [`Engine::capabilities`].
+    pub capabilities: EngineCapabilities,
     /// The factory.
     pub build: EngineFactory,
 }
@@ -61,11 +67,13 @@ impl EngineRegistry {
         &mut self,
         name: &'static str,
         description: &'static str,
+        capabilities: EngineCapabilities,
         build: EngineFactory,
     ) -> &mut Self {
         let entry = EngineEntry {
             name,
             description,
+            capabilities,
             build,
         };
         match self.entries.iter_mut().find(|e| e.name == name) {
@@ -118,6 +126,26 @@ impl EngineRegistry {
         self.entries.iter().any(|e| e.name == name)
     }
 
+    /// The nominal capability set registered under `name`, if any.
+    pub fn capabilities(&self, name: &str) -> Option<EngineCapabilities> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.capabilities)
+    }
+
+    /// The first registered engine (in registration order) whose nominal
+    /// capabilities satisfy `want` — used by serving layers to route around
+    /// a configured engine that cannot serve a query class (e.g. find a
+    /// `maintainable_cyclic` engine when the default declines to
+    /// materialize a cyclic view).
+    pub fn find_capable(&self, want: impl Fn(&EngineCapabilities) -> bool) -> Option<&'static str> {
+        self.entries
+            .iter()
+            .find(|e| want(&e.capabilities))
+            .map(|e| e.name)
+    }
+
     /// The name of the default engine (the first registered), if any.
     pub fn default_engine(&self) -> Option<&'static str> {
         self.entries.first().map(|e| e.name)
@@ -144,7 +172,6 @@ mod tests {
         fn evaluate(&self, prepared: &PreparedQuery) -> Result<Evaluation, WireframeError> {
             Ok(Evaluation {
                 engine: self.name().to_owned(),
-                epoch: 0,
                 epochs: Vec::new(),
                 embeddings: EmbeddingSet::empty(prepared.query().projection().to_vec()),
                 timings: Timings::default(),
@@ -176,11 +203,24 @@ mod tests {
     #[test]
     fn register_build_and_list() {
         let mut r = EngineRegistry::new();
-        r.register("a", "engine a", null_a)
-            .register("b", "engine b", null_b);
+        r.register("a", "engine a", EngineCapabilities::default(), null_a)
+            .register(
+                "b",
+                "engine b",
+                EngineCapabilities {
+                    cyclic: true,
+                    ..EngineCapabilities::default()
+                },
+                null_b,
+            );
         assert_eq!(r.names(), vec!["a", "b"]);
         assert_eq!(r.default_engine(), Some("a"));
         assert!(r.contains("b") && !r.contains("c"));
+        assert!(r.capabilities("b").unwrap().cyclic);
+        assert!(!r.capabilities("a").unwrap().cyclic);
+        assert_eq!(r.capabilities("c"), None);
+        assert_eq!(r.find_capable(|c| c.cyclic), Some("b"));
+        assert_eq!(r.find_capable(|c| c.sharded_merge), None);
 
         let g = tiny_graph();
         let engine = r.build("b", &g, &EngineConfig::default()).unwrap();
@@ -195,7 +235,7 @@ mod tests {
     #[test]
     fn shared_engines_evaluate_from_multiple_threads() {
         let mut r = EngineRegistry::new();
-        r.register("a", "engine a", null_a);
+        r.register("a", "engine a", EngineCapabilities::default(), null_a);
         let g = tiny_graph();
         let engine = r.build_shared("a", &g, &EngineConfig::default()).unwrap();
 
@@ -218,7 +258,7 @@ mod tests {
     #[test]
     fn unknown_name_lists_known_engines() {
         let mut r = EngineRegistry::new();
-        r.register("a", "engine a", null_a);
+        r.register("a", "engine a", EngineCapabilities::default(), null_a);
         let g = tiny_graph();
         match r.build("zzz", &g, &EngineConfig::default()) {
             Err(WireframeError::UnknownEngine { requested, known }) => {
@@ -233,8 +273,8 @@ mod tests {
     #[test]
     fn re_registration_replaces() {
         let mut r = EngineRegistry::new();
-        r.register("a", "first", null_a);
-        r.register("a", "second", null_a2);
+        r.register("a", "first", EngineCapabilities::default(), null_a);
+        r.register("a", "second", EngineCapabilities::default(), null_a2);
         assert_eq!(r.entries().len(), 1);
         assert_eq!(r.entries()[0].description, "second");
         let g = tiny_graph();

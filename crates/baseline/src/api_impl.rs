@@ -35,7 +35,6 @@ impl Engine for RelationalEngine<'_> {
         };
         Ok(Evaluation {
             engine: self.name().to_owned(),
-            epoch: 0,
             epochs: Vec::new(),
             embeddings,
             timings,
@@ -71,7 +70,6 @@ impl Engine for SortMergeEngine<'_> {
         };
         Ok(Evaluation {
             engine: self.name().to_owned(),
-            epoch: 0,
             epochs: Vec::new(),
             embeddings,
             timings,
@@ -107,7 +105,6 @@ impl Engine for ExplorationEngine<'_> {
         };
         Ok(Evaluation {
             engine: self.name().to_owned(),
-            epoch: 0,
             epochs: Vec::new(),
             embeddings,
             timings,

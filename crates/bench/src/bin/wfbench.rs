@@ -14,7 +14,7 @@
 //!   --workload full|table1|chains|stars   query mix (default full = all 20)
 //!   --store csr|map|delta         graph storage backend to index the dataset with
 //!                                 (default csr; churn is cheap only on delta)
-//!   --scenario serve|churn|serve-net|sharded
+//!   --scenario serve|churn|serve-net|sharded|cyclic
 //!                                 static serving loop (default); dynamic-graph
 //!                                 churn: per epoch, one seeded mutation batch then
 //!                                 the read workload, reporting per-epoch QPS and
@@ -23,11 +23,15 @@
 //!                                 sockets against a wireframe-serve server, mixed
 //!                                 read/write traffic with one subscriber, reporting
 //!                                 p50/p95/p99/p999 tails, shed-rate, batching and
-//!                                 subscription-lag counters; or sharded:
+//!                                 subscription-lag counters; sharded:
 //!                                 scatter-gather serving over --shards vertex
 //!                                 partitions, every answer cross-checked exactly
 //!                                 against an unsharded reference session before
-//!                                 and after a seeded mutation batch
+//!                                 and after a seeded mutation batch; or cyclic:
+//!                                 the worst-case-optimal engine vs triangulation
+//!                                 on a triangle-heavy instance, answers
+//!                                 cross-checked bit-for-bit before and after a
+//!                                 seeded mutation batch
 //!   --shards <N>                  sharded: number of vertex partitions (default 2)
 //!   --maintenance incremental|reeval
 //!                                 mutation policy for cached plans (default
@@ -69,6 +73,9 @@ use wireframe::{
     core::auto_threads, EngineConfig, QueryExecutor, Session, SessionConfig, StoreKind,
 };
 use wireframe_bench::churn::{run_churn, ChurnOptions};
+use wireframe_bench::cyclic::{
+    cyclic_dataset, cyclic_workload, run_cyclic, CyclicOptions, DATASET_SEED,
+};
 use wireframe_bench::driver::run_engine;
 use wireframe_bench::report::{compare, parse_tolerance, BenchReport, SCHEMA_VERSION};
 use wireframe_bench::servenet::{run_serve_net, ServeNetOptions};
@@ -106,7 +113,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: wfbench [--size tiny|small|benchmark|large] [--threads N] [--iterations N] \
      [--engines a,b,…] [--workload full|table1|chains|stars] [--store csr|map|delta] \
-     [--scenario serve|churn|serve-net|sharded [--epochs N] [--batch N] [--insert-fraction F] \
+     [--scenario serve|churn|serve-net|sharded|cyclic [--epochs N] [--batch N] [--insert-fraction F] \
      [--churn-seed N] [--clients N] [--requests N] [--write-fraction F] [--queue-depth N] \
      [--shards N]] [--maintenance incremental|reeval] [--compaction-threshold F] \
      [--edge-burnback] [--json PATH] [--baseline PATH [--tolerance P%]]"
@@ -185,9 +192,10 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--store" => options.store = StoreKind::parse(&value(&mut args, "--store")?)?,
             "--scenario" => {
                 let name = value(&mut args, "--scenario")?;
-                if !["serve", "churn", "serve-net", "sharded"].contains(&name.as_str()) {
+                if !["serve", "churn", "serve-net", "sharded", "cyclic"].contains(&name.as_str()) {
                     return Err(format!(
-                        "unknown scenario {name:?} (accepted: serve, churn, serve-net, sharded)"
+                        "unknown scenario {name:?} \
+                         (accepted: serve, churn, serve-net, sharded, cyclic)"
                     ));
                 }
                 options.scenario = name;
@@ -316,6 +324,13 @@ fn load_baseline(
 fn run() -> Result<bool, String> {
     let options = parse_args(std::env::args().skip(1))?;
     let baseline = load_baseline(&options)?;
+
+    if options.scenario == "cyclic" {
+        // The lane builds its own triangle-heavy instance instead of the
+        // Yago dataset: the generic-join/triangulation gap shows on skewed
+        // cyclic structure the paper-workload generator does not plant.
+        return run_cyclic_scenario(&options, baseline.as_ref());
+    }
 
     let mut graph = build_dataset_with_store(options.size, options.store);
     if let Some(threshold) = options.compaction_threshold {
@@ -489,6 +504,63 @@ fn run() -> Result<bool, String> {
     }
 
     check_baseline(&report, baseline.as_ref(), &options)
+}
+
+/// The `--scenario cyclic` lane: builds the triangle-heavy instance, runs
+/// the verified wco-vs-triangulation comparison, and reports both engines.
+fn run_cyclic_scenario(options: &Options, baseline: Option<&BenchReport>) -> Result<bool, String> {
+    let graph = Arc::new(cyclic_dataset(options.size, options.store, DATASET_SEED));
+    eprintln!(
+        "cyclic dataset {}: {} triples, {} predicates · {} store · {} threads × {} iterations",
+        options.size.name(),
+        graph.triple_count(),
+        graph.predicate_count(),
+        options.store.name(),
+        options.threads,
+        options.iterations
+    );
+    let workload = cyclic_workload(&graph).map_err(|e| format!("workload does not build: {e}"))?;
+
+    let config = EngineConfig::default()
+        .with_threads(options.threads)
+        .with_store(options.store);
+    let cyclic_options = CyclicOptions {
+        threads: options.threads,
+        iterations: options.iterations,
+        batch: options.batch,
+        seed: options.churn_seed,
+    };
+    let (wco, triangulation) = run_cyclic(&graph, &workload, config, &cyclic_options)
+        .map_err(|e| format!("cyclic: {e}"))?;
+    for run in [&wco, &triangulation] {
+        eprintln!(
+            "{:<13} {:>8.1} qps · {:>8.1} ms wall · cache {} hits / {} misses",
+            run.engine, run.qps, run.wall_ms, run.cache_hits, run.cache_misses
+        );
+    }
+    eprintln!(
+        "wco / triangulation speedup: {:.2}x · answers bit-identical (pre- and post-churn)",
+        wco.qps / triangulation.qps.max(1e-9)
+    );
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        dataset: options.size.name().to_owned(),
+        store: options.store.name().to_owned(),
+        scenario: options.scenario.clone(),
+        triples: graph.triple_count() as u64,
+        threads: options.threads,
+        iterations: options.iterations,
+        workload: "cyclic".to_owned(),
+        engines: vec![wco, triangulation],
+    };
+    print_summary(&report);
+    if let Some(path) = &options.json {
+        std::fs::write(path, report.to_json_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("report written to {path}");
+    }
+    check_baseline(&report, baseline, options)
 }
 
 /// Compares the finished report against the optional baseline; `Ok(false)`

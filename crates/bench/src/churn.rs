@@ -183,7 +183,8 @@ fn read_phase(
                         let idx = (worker + pass + step) % workload.len();
                         let ev = executor.execute(&workload[idx].query)?;
                         assert_eq!(
-                            ev.epoch, epoch,
+                            ev.epoch(),
+                            epoch,
                             "{}: mutations must not run during a read phase",
                             workload[idx].name
                         );

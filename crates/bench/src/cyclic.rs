@@ -1,0 +1,378 @@
+//! The `wfbench --scenario cyclic` lane: the worst-case-optimal generic-join
+//! engine (`wco`) measured side-by-side with the triangulating wireframe
+//! configuration (`wireframe` + edge burnback) on a triangle-heavy workload.
+//!
+//! Like the sharded lane, this is a correctness gate first and a throughput
+//! measurement second:
+//!
+//! 1. every workload query is answered by both executors and the embedding
+//!    sets must match **exactly** (count and content — bit-identical rows),
+//! 2. a seeded mutation batch is applied to both executors and the whole
+//!    workload is re-checked, so both engines are verified on the mutated
+//!    graph too,
+//! 3. only then does the closed-loop driver measure both executors over the
+//!    post-churn graph, reporting the runs as engines `wco` and
+//!    `triangulation`.
+//!
+//! Any divergence is an error (exit 2 from `wfbench`), never a report row.
+//!
+//! The dataset is built for this lane rather than taken from the Yago
+//! generator: the generic-join advantage the paper's line of work predicts
+//! shows on *skewed cyclic* instances, where binary-join intermediates (open
+//! wedges) vastly outnumber the closed cycles. [`cyclic_dataset`] plants
+//! that shape deterministically — dense `T1`/`T2` wedge layers closed by a
+//! sparse `T3` matching (and a `Q1..Q4` analogue for directed 4-cycles), so
+//! node-level burnback prunes nothing while the per-embedding work differs
+//! sharply between the two strategies.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use wireframe::{EngineConfig, Mutation, Session, SessionConfig};
+use wireframe_datagen::BenchmarkQuery;
+use wireframe_graph::{Graph, GraphBuilder, NodeId, StoreKind};
+use wireframe_query::templates::cycle;
+use wireframe_query::{QueryError, Shape};
+
+use crate::driver::run_engine;
+use crate::report::EngineRun;
+use crate::DatasetSize;
+
+/// Seed of the committed cyclic dataset — fixed so the planted triangle and
+/// 4-cycle counts (and therefore the baseline's embedding counts) are
+/// reproducible across machines and runs.
+pub const DATASET_SEED: u64 = 0x7C1C;
+
+/// Configuration of one cyclic run.
+#[derive(Debug, Clone)]
+pub struct CyclicOptions {
+    /// Closed-loop driver threads for the measured phase.
+    pub threads: usize,
+    /// Workload passes per thread for the measured phase.
+    pub iterations: usize,
+    /// Mutation operations in the seeded churn batch (0 skips the
+    /// post-mutation re-check).
+    pub batch: usize,
+    /// PRNG seed of the churn batch.
+    pub seed: u64,
+}
+
+impl Default for CyclicOptions {
+    fn default() -> Self {
+        CyclicOptions {
+            threads: 1,
+            iterations: 2,
+            batch: 64,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Per-size scale of the generated instance: nodes per tripartite group and
+/// the out-degree of the dense wedge layers.
+fn scale(size: DatasetSize) -> (usize, usize) {
+    match size {
+        DatasetSize::Tiny => (128, 6),
+        DatasetSize::Small => (512, 10),
+        DatasetSize::Benchmark => (2048, 14),
+        DatasetSize::Large => (4096, 18),
+    }
+}
+
+/// Builds the triangle-heavy instance: a tripartite block `tx → ty → tz →
+/// tx` under labels `T1`/`T2`/`T3` and a quadripartite block `qx → qy → qz
+/// → qw → qx` under `Q1..Q4`.
+///
+/// The wedge layers (`T1`, `T2`, `Q1..Q3`) are dense — `degree` random
+/// out-edges per node — while the closing layer (`T3`, `Q4`) is a perfect
+/// matching. Every node therefore participates in every pattern position
+/// (node-level pruning removes nothing), but only the combinations that
+/// thread through the matching close into answers. One planted
+/// triangle/4-cycle per matched pair in the first quarter of each group
+/// keeps the workload non-empty at every size.
+pub fn cyclic_dataset(size: DatasetSize, store: StoreKind, seed: u64) -> Graph {
+    let (group, degree) = scale(size);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+
+    let tx = |i: usize| format!("tx{i}");
+    let ty = |i: usize| format!("ty{i}");
+    let tz = |i: usize| format!("tz{i}");
+    for i in 0..group {
+        // The sparse closing matching: tz_i → tx_i.
+        b.add(&tz(i), "T3", &tx(i));
+        // Dense wedge layers.
+        for _ in 0..degree {
+            b.add(&tx(i), "T1", &ty(rng.gen_range(0..group)));
+            b.add(&ty(i), "T2", &tz(rng.gen_range(0..group)));
+        }
+    }
+    // Planted triangles: tx_i → ty_i → tz_i closes through the matching.
+    for i in 0..group / 4 {
+        b.add(&tx(i), "T1", &ty(i));
+        b.add(&ty(i), "T2", &tz(i));
+    }
+
+    let qx = |i: usize| format!("qx{i}");
+    let qy = |i: usize| format!("qy{i}");
+    let qz = |i: usize| format!("qz{i}");
+    let qw = |i: usize| format!("qw{i}");
+    for i in 0..group {
+        b.add(&qw(i), "Q4", &qx(i));
+        for _ in 0..degree {
+            b.add(&qx(i), "Q1", &qy(rng.gen_range(0..group)));
+            b.add(&qy(i), "Q2", &qz(rng.gen_range(0..group)));
+            b.add(&qz(i), "Q3", &qw(rng.gen_range(0..group)));
+        }
+    }
+    for i in 0..group / 4 {
+        b.add(&qx(i), "Q1", &qy(i));
+        b.add(&qy(i), "Q2", &qz(i));
+        b.add(&qz(i), "Q3", &qw(i));
+    }
+
+    b.build().with_store(store)
+}
+
+/// The cyclic workload: three rotations of the directed triangle over
+/// `T1`/`T2`/`T3` and two rotations of the directed 4-cycle over `Q1..Q4`,
+/// named `CQY-1` … `CQY-5`.
+pub fn cyclic_workload(graph: &Graph) -> Result<Vec<BenchmarkQuery>, QueryError> {
+    let rows: [&[&str]; 5] = [
+        &["T1", "T2", "T3"],
+        &["T2", "T3", "T1"],
+        &["T3", "T1", "T2"],
+        &["Q1", "Q2", "Q3", "Q4"],
+        &["Q2", "Q3", "Q4", "Q1"],
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(i, labels)| {
+            Ok(BenchmarkQuery {
+                row: i + 1,
+                name: format!("CQY-{}", i + 1),
+                query: cycle(graph.dictionary(), labels)?,
+                shape: Shape::Cycle,
+            })
+        })
+        .collect()
+}
+
+/// How many node labels the batch generator samples as edge endpoints.
+const NODE_POOL: usize = 1024;
+
+/// Builds the seeded mutation batch: mostly inserts over the instance's own
+/// labels and nodes (a quarter with fresh subjects), the rest removals of
+/// triples present in the base graph — the same mix the sharded lane churns
+/// with, drawn from this lane's cyclic vocabulary.
+fn seeded_batch(graph: &Graph, size: usize, seed: u64) -> Mutation {
+    let dict = graph.dictionary();
+    let predicates: Vec<String> = dict
+        .predicates()
+        .map(|(_, label)| label.to_owned())
+        .collect();
+    let nodes: Vec<String> = (0..graph.node_count().min(NODE_POOL))
+        .map(|i| dict.node_label(NodeId(i as u32)).unwrap_or("?").to_owned())
+        .collect();
+    let removable: Vec<(String, String, String)> = graph
+        .triples()
+        .take(size)
+        .map(|t| {
+            (
+                dict.node_label(t.subject).unwrap_or("?").to_owned(),
+                dict.predicate_label(t.predicate).unwrap_or("?").to_owned(),
+                dict.node_label(t.object).unwrap_or("?").to_owned(),
+            )
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut mutation = Mutation::new();
+    if predicates.is_empty() || nodes.is_empty() {
+        return mutation;
+    }
+    let mut fresh = 0usize;
+    let mut removed = 0usize;
+    for _ in 0..size {
+        if removed < removable.len() && rng.gen_range(0..4usize) == 0 {
+            let (s, p, o) = &removable[removed];
+            removed += 1;
+            mutation = mutation.remove(s, p, o);
+        } else {
+            let p = &predicates[rng.gen_range(0..predicates.len())];
+            let o = &nodes[rng.gen_range(0..nodes.len())];
+            let s = if rng.gen_range(0..4usize) == 0 {
+                fresh += 1;
+                format!("cyclic_n{fresh}")
+            } else {
+                nodes[rng.gen_range(0..nodes.len())].clone()
+            };
+            mutation = mutation.insert(&s, p, o);
+        }
+    }
+    mutation
+}
+
+/// Asserts that the generic-join executor answers the whole workload exactly
+/// like the triangulating reference: equal embedding counts and
+/// bit-identical embedding sets.
+fn verify_workload(
+    wco: &Session,
+    triangulation: &Session,
+    workload: &[BenchmarkQuery],
+    when: &str,
+) -> Result<(), String> {
+    for bq in workload {
+        let reference = triangulation
+            .execute(&bq.query)
+            .map_err(|e| format!("{}: triangulation evaluation failed: {e}", bq.name))?;
+        let answer = wco
+            .execute(&bq.query)
+            .map_err(|e| format!("{}: wco evaluation failed: {e}", bq.name))?;
+        if answer.embedding_count() != reference.embedding_count() {
+            return Err(format!(
+                "{} ({when}): wco answered {} embeddings, triangulation {}",
+                bq.name,
+                answer.embedding_count(),
+                reference.embedding_count()
+            ));
+        }
+        if !answer.embeddings().same_answer(reference.embeddings()) {
+            return Err(format!(
+                "{} ({when}): wco embeddings differ from triangulation",
+                bq.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the cyclic lane: builds a `wco` session and a triangulating
+/// `wireframe` session (edge burnback forced on) over the same graph,
+/// verifies exact answer equality before and after a seeded mutation batch,
+/// then measures both with the closed-loop driver. Returns the two runs as
+/// engines `wco` and `triangulation`, in that order.
+///
+/// Both sessions run with view maintenance off: the lane compares full
+/// evaluation strategies, and serving either side from a retained view
+/// would measure the cache, not the join.
+pub fn run_cyclic(
+    graph: &Arc<Graph>,
+    workload: &[BenchmarkQuery],
+    config: EngineConfig,
+    opts: &CyclicOptions,
+) -> Result<(EngineRun, EngineRun), String> {
+    let wco = Session::from_config(
+        Arc::clone(graph),
+        SessionConfig::new()
+            .engine_config(config)
+            .maintenance(false)
+            .engine("wco"),
+    )
+    .map_err(|e| e.to_string())?;
+    let triangulation = Session::from_config(
+        Arc::clone(graph),
+        SessionConfig::new()
+            .engine_config(config.with_edge_burnback())
+            .maintenance(false)
+            .engine("wireframe"),
+    )
+    .map_err(|e| e.to_string())?;
+
+    verify_workload(&wco, &triangulation, workload, "pre-churn")?;
+
+    if opts.batch > 0 {
+        let batch = seeded_batch(&wco.graph(), opts.batch, opts.seed);
+        let wco_outcome = wco.apply_mutation(&batch);
+        let tri_outcome = triangulation.apply_mutation(&batch);
+        if (wco_outcome.inserted, wco_outcome.removed)
+            != (tri_outcome.inserted, tri_outcome.removed)
+        {
+            return Err(format!(
+                "mutation totals diverge: wco +{}/-{}, triangulation +{}/-{}",
+                wco_outcome.inserted,
+                wco_outcome.removed,
+                tri_outcome.inserted,
+                tri_outcome.removed
+            ));
+        }
+        verify_workload(&wco, &triangulation, workload, "post-churn")?;
+    }
+
+    let wco_run =
+        run_engine(&wco, workload, opts.threads, opts.iterations).map_err(|e| e.to_string())?;
+    let mut tri_run = run_engine(&triangulation, workload, opts.threads, opts.iterations)
+        .map_err(|e| e.to_string())?;
+    tri_run.engine = "triangulation".to_owned();
+    Ok((wco_run, tri_run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_dataset_is_deterministic_and_the_workload_answers() {
+        let a = cyclic_dataset(DatasetSize::Tiny, StoreKind::Csr, DATASET_SEED);
+        let b = cyclic_dataset(DatasetSize::Tiny, StoreKind::Csr, DATASET_SEED);
+        assert_eq!(a.triple_count(), b.triple_count());
+        let other = cyclic_dataset(DatasetSize::Tiny, StoreKind::Csr, 1);
+        assert_ne!(a.triple_count(), other.triple_count());
+
+        let workload = cyclic_workload(&a).unwrap();
+        assert_eq!(workload.len(), 5);
+        let session = Session::shared(Arc::new(a));
+        for bq in &workload {
+            let ev = session.execute(&bq.query).unwrap();
+            assert!(ev.cyclic, "{} is cyclic", bq.name);
+            assert!(
+                ev.embedding_count() > 0,
+                "{}: planted cycles answer",
+                bq.name
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_lane_verifies_and_measures() {
+        let graph = Arc::new(cyclic_dataset(
+            DatasetSize::Tiny,
+            StoreKind::Delta,
+            DATASET_SEED,
+        ));
+        let workload = cyclic_workload(&graph).unwrap();
+        let opts = CyclicOptions {
+            threads: 1,
+            iterations: 1,
+            batch: 32,
+            seed: 7,
+        };
+        let (wco, tri) = run_cyclic(&graph, &workload, EngineConfig::default(), &opts).unwrap();
+        assert_eq!(wco.engine, "wco");
+        assert_eq!(tri.engine, "triangulation");
+        assert_eq!(wco.total_queries, workload.len() as u64);
+        assert_eq!(tri.total_queries, workload.len() as u64);
+        assert!(wco.qps > 0.0 && tri.qps > 0.0);
+        for (w, t) in wco.queries.iter().zip(&tri.queries) {
+            assert_eq!(w.embeddings, t.embeddings, "{}: identical answers", w.name);
+            assert!(w.embeddings > 0, "{}: non-empty post-churn", w.name);
+            assert!(
+                w.answer_graph_edges.is_some() && t.answer_graph_edges.is_some(),
+                "both engines factorize"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_batches_are_deterministic() {
+        let graph = cyclic_dataset(DatasetSize::Tiny, StoreKind::Delta, DATASET_SEED);
+        let a = seeded_batch(&graph, 16, 42);
+        let b = seeded_batch(&graph, 16, 42);
+        assert_eq!(a.ops().len(), 16);
+        assert_eq!(a.ops(), b.ops());
+        let c = seeded_batch(&graph, 16, 43);
+        assert_ne!(a.ops(), c.ops(), "different seeds draw different batches");
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod cyclic;
 pub mod driver;
 pub mod report;
 pub mod servenet;

@@ -142,11 +142,13 @@ fn verify_workload(
                 bq.name
             ));
         }
-        if sharded.epochs.len() != shards {
+        // One epoch per shard, plus the cluster's scalar batch counter.
+        if sharded.epochs.len() != shards + 1 {
             return Err(format!(
-                "{} ({when}): evaluation carries {} shard epochs, expected {shards}",
+                "{} ({when}): evaluation carries {} epochs, expected {} (shards + cluster)",
                 bq.name,
-                sharded.epochs.len()
+                sharded.epochs.len(),
+                shards + 1
             ));
         }
     }

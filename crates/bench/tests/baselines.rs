@@ -42,13 +42,44 @@ fn every_committed_baseline_parses() {
         "churn.json",
         "churn_reeval.json",
         "serve_net.json",
+        "sharded.json",
+        "cyclic.json",
     ] {
         assert!(
             dir.join(name).is_file(),
             "bench/baselines/{name} is missing"
         );
     }
-    assert!(parsed >= 4, "parsed only {parsed} baselines");
+    assert!(parsed >= 6, "parsed only {parsed} baselines");
+}
+
+#[test]
+fn the_cyclic_baseline_records_a_generic_join_advantage() {
+    let text = std::fs::read_to_string(baselines_dir().join("cyclic.json"))
+        .expect("cyclic.json is committed");
+    let report = BenchReport::from_json(&text).expect("cyclic.json parses");
+    assert_eq!(report.scenario, "cyclic");
+    let names: Vec<&str> = report.engines.iter().map(|e| e.engine.as_str()).collect();
+    assert_eq!(names, ["wco", "triangulation"]);
+    let (wco, tri) = (&report.engines[0], &report.engines[1]);
+    // The lane itself asserted bit-identical embeddings before recording
+    // these rows; the committed numbers must agree query by query.
+    for (w, t) in wco.queries.iter().zip(&tri.queries) {
+        assert_eq!(w.embeddings, t.embeddings, "{}", w.name);
+        assert!(
+            w.answer_graph_edges.is_some() && t.answer_graph_edges.is_some(),
+            "{}: both engines factorize",
+            w.name
+        );
+    }
+    // The committed run is the acceptance record for the worst-case-optimal
+    // engine: at least 1.2x triangulation throughput on the cyclic lane.
+    assert!(
+        wco.qps >= 1.2 * tri.qps,
+        "committed cyclic baseline shows wco at {:.1} qps vs triangulation {:.1}",
+        wco.qps,
+        tri.qps
+    );
 }
 
 #[test]

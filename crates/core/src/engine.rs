@@ -106,7 +106,6 @@ impl QueryOutput {
         let metrics = factorized.metrics(self.defactorization.peak_intermediate as u64);
         Evaluation {
             engine: "wireframe".to_owned(),
-            epoch: 0,
             epochs: Vec::new(),
             cyclic: self.view.cyclic(),
             embeddings: self.embeddings,
@@ -285,6 +284,20 @@ impl Engine for WireframeEngine<'_> {
     /// [`MaterializedQuery::maintain`].
     fn supports_maintenance(&self) -> bool {
         true
+    }
+
+    /// As configured: under edge burnback the answer graph of a cyclic
+    /// query is pruned below the node-burnback fixpoint, so those views are
+    /// not maintainable and `maintainable_cyclic` drops out.
+    fn capabilities(&self) -> wireframe_api::EngineCapabilities {
+        wireframe_api::EngineCapabilities {
+            cyclic: true,
+            factorizes: true,
+            maintainable: true,
+            maintainable_cyclic: !self.options.edge_burnback,
+            parallel_defactorize: true,
+            sharded_merge: true,
+        }
     }
 
     /// Runs phase one and retains the result as a maintainable view.

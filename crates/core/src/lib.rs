@@ -14,7 +14,10 @@
 //! * [`EmbeddingStream`] — lazy, constant-memory embedding enumeration,
 //! * [`plan_bushy`] / [`execute_bushy`] — the bushy phase-two plan space the
 //!   paper lists as future work,
-//! * [`WireframeEngine`] — the end-to-end engine tying the phases together.
+//! * [`WireframeEngine`] — the end-to-end engine tying the phases together,
+//! * [`WcoEngine`] — a worst-case-optimal generic-join engine producing the
+//!   same factorized artifact by variable extension (leapfrog intersection),
+//!   whose [`WcoView`]s keep **cyclic** queries incrementally maintainable.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +70,7 @@ mod planner;
 mod sharded;
 mod stream;
 mod triangulate;
+mod wco;
 
 pub use answer_graph::{AnswerGraph, PatternEdges};
 pub use bushy::{execute_bushy, plan_bushy, BushyPlan, BushyStats, JoinTree};
@@ -85,3 +89,4 @@ pub use stream::{count_streaming, EmbeddingStream};
 pub use triangulate::{
     edge_burnback, triangulate, Chord, Chordification, EdgeBurnbackStats, SideRef, Triangle,
 };
+pub use wco::{WcoEngine, WcoPlan, WcoView};

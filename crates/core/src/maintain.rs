@@ -526,7 +526,6 @@ impl MaintainedView for MaterializedQuery {
             .then(|| self.explain_view(&defact, embeddings.len()));
         Ok(Evaluation {
             engine: "wireframe".to_owned(),
-            epoch: 0,
             epochs: Vec::new(),
             embeddings,
             timings,

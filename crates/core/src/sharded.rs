@@ -125,53 +125,9 @@ pub fn merge_candidates(
         ));
     }
 
-    // Re-derive each variable's node set as the union of its endpoint
-    // values across incident patterns — a superset of the global fixpoint.
-    for v in query.variables() {
-        let mut nodes: Vec<NodeId> = Vec::new();
-        for (q, pat) in query.patterns().iter().enumerate() {
-            if pat.subject.as_var() == Some(v) {
-                nodes.extend(ag.pattern(q).subjects());
-            }
-            if pat.object.as_var() == Some(v) {
-                nodes.extend(ag.pattern(q).objects());
-            }
-        }
-        nodes.sort_unstable();
-        nodes.dedup();
-        ag.node_set_mut(v).assign_sorted(nodes);
-        ag.mark_bound(v);
-    }
-
-    // Seed the burnback worklist with every (variable, node) lacking
-    // support in some incident pattern, then cascade to the fixpoint.
-    let mut worklist: Vec<(Var, NodeId)> = Vec::new();
-    for v in query.variables() {
-        let nodes = ag.node_set(v).to_sorted_vec();
-        'nodes: for n in nodes {
-            for (q, pat) in query.patterns().iter().enumerate() {
-                if pat.subject.as_var() == Some(v) && !ag.pattern(q).has_subject(n) {
-                    worklist.push((v, n));
-                    continue 'nodes;
-                }
-                if pat.object.as_var() == Some(v) && !ag.pattern(q).has_object(n) {
-                    worklist.push((v, n));
-                    continue 'nodes;
-                }
-            }
-        }
-    }
-    let mut edges_burned = 0usize;
-    let mut nodes_burned = 0usize;
-    burn_nodes(
-        query,
-        &mut ag,
-        worklist,
-        &mut edges_burned,
-        &mut nodes_burned,
-    );
-    stats.edges_burned += edges_burned as u64;
-    stats.nodes_burned += nodes_burned as u64;
+    let settled = settle_candidates(query, &mut ag);
+    stats.edges_burned += settled.edges_burned as u64;
+    stats.nodes_burned += settled.nodes_burned as u64;
 
     // Burnback can empty a pattern, which empties the whole answer.
     if ag.has_empty_pattern() {
@@ -189,10 +145,74 @@ pub fn merge_candidates(
     ))
 }
 
+/// What [`settle_candidates`] burned on the way to the fixpoint.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SettleStats {
+    /// Answer-graph edges removed by the cascade.
+    pub edges_burned: usize,
+    /// Node-set entries removed by the cascade.
+    pub nodes_burned: usize,
+    /// `(variable, node)` pairs that seeded the cascade.
+    pub frontier: usize,
+}
+
+/// Settles a per-pattern candidate edge union into the node-burnback
+/// fixpoint: re-derive each variable's node set as the union of its
+/// endpoint values across incident patterns (a superset of the fixpoint),
+/// seed the worklist with every unsupported `(variable, node)` pair, and
+/// cascade. Shared by the sharded merge and the WCO engine's finalization —
+/// both produce candidate supersets that one global burnback settles.
+pub(crate) fn settle_candidates(query: &ConjunctiveQuery, ag: &mut AnswerGraph) -> SettleStats {
+    for v in query.variables() {
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for (q, pat) in query.patterns().iter().enumerate() {
+            if pat.subject.as_var() == Some(v) {
+                nodes.extend(ag.pattern(q).subjects());
+            }
+            if pat.object.as_var() == Some(v) {
+                nodes.extend(ag.pattern(q).objects());
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        ag.node_set_mut(v).assign_sorted(nodes);
+        ag.mark_bound(v);
+    }
+
+    let mut worklist: Vec<(Var, NodeId)> = Vec::new();
+    for v in query.variables() {
+        let nodes = ag.node_set(v).to_sorted_vec();
+        'nodes: for n in nodes {
+            for (q, pat) in query.patterns().iter().enumerate() {
+                if pat.subject.as_var() == Some(v) && !ag.pattern(q).has_subject(n) {
+                    worklist.push((v, n));
+                    continue 'nodes;
+                }
+                if pat.object.as_var() == Some(v) && !ag.pattern(q).has_object(n) {
+                    worklist.push((v, n));
+                    continue 'nodes;
+                }
+            }
+        }
+    }
+    let mut stats = SettleStats {
+        frontier: worklist.len(),
+        ..SettleStats::default()
+    };
+    burn_nodes(
+        query,
+        ag,
+        worklist,
+        &mut stats.edges_burned,
+        &mut stats.nodes_burned,
+    );
+    stats
+}
+
 /// The canonical empty answer: every pattern materialized with no edges,
 /// every variable bound to an empty node set — the same shape the
 /// generator's clear path leaves behind when a pattern matches nothing.
-fn cleared_answer_graph(query: &ConjunctiveQuery) -> AnswerGraph {
+pub(crate) fn cleared_answer_graph(query: &ConjunctiveQuery) -> AnswerGraph {
     let mut ag = AnswerGraph::new(query);
     for q in 0..query.num_patterns() {
         ag.mark_materialized(q);

@@ -132,6 +132,52 @@ impl QueryGraph {
         out
     }
 
+    /// A connected greedy variable order: start at the variable with the
+    /// smallest `score`, then repeatedly append the smallest-scored unbound
+    /// variable sharing a pattern with the bound prefix. Ties break on
+    /// variable index, so the order is deterministic. When no unbound
+    /// variable touches the prefix (a disconnected query), the next
+    /// component is opened at its own minimum — every variable always
+    /// appears exactly once.
+    ///
+    /// This is the generic skeleton worst-case-optimal join engines need: a
+    /// caller supplies catalog-derived selectivity estimates as `score` and
+    /// gets back an extension order in which every variable (after the
+    /// first) is constrained by at least one already-bound pattern end.
+    pub fn connected_order(&self, score: impl Fn(Var) -> f64) -> Vec<Var> {
+        let pick = |candidates: &mut dyn Iterator<Item = Var>| -> Option<Var> {
+            let mut best: Option<(f64, Var)> = None;
+            for v in candidates {
+                let s = score(v);
+                match best {
+                    Some((bs, bv)) if (bs, bv.index()) <= (s, v.index()) => {}
+                    _ => best = Some((s, v)),
+                }
+            }
+            best.map(|(_, v)| v)
+        };
+        let mut order: Vec<Var> = Vec::with_capacity(self.num_vars);
+        let mut bound = vec![false; self.num_vars];
+        while order.len() < self.num_vars {
+            let next = pick(&mut (0..self.num_vars as u32).map(Var).filter(|v| {
+                !bound[v.index()]
+                    && (order.is_empty() || self.neighbors(*v).iter().any(|u| bound[u.index()]))
+            }))
+            // Disconnected (or fresh) component: open it at its minimum.
+            .or_else(|| {
+                pick(
+                    &mut (0..self.num_vars as u32)
+                        .map(Var)
+                        .filter(|v| !bound[v.index()]),
+                )
+            });
+            let Some(v) = next else { break };
+            bound[v.index()] = true;
+            order.push(v);
+        }
+        order
+    }
+
     /// Whether every pattern is reachable from every other through shared
     /// variables. Single-pattern queries are connected.
     pub fn is_connected(&self) -> bool {
@@ -484,6 +530,32 @@ mod tests {
         ]);
         assert_eq!(g.fundamental_cycles().len(), 2);
         assert_eq!(g.shape(), Shape::Cyclic);
+    }
+
+    #[test]
+    fn connected_order_extends_from_the_bound_prefix() {
+        // Chain w -x- y -z: scoring by reverse index starts at ?z and must
+        // then walk the chain (y, x, w) — never jump to a non-neighbor.
+        let (_, g) = build(&[("?w", "A", "?x"), ("?x", "B", "?y"), ("?y", "C", "?z")]);
+        let order = g.connected_order(|v| -(v.index() as f64));
+        assert_eq!(order, vec![Var(3), Var(2), Var(1), Var(0)]);
+        // Constant scores tie-break on index.
+        assert_eq!(
+            g.connected_order(|_| 1.0),
+            vec![Var(0), Var(1), Var(2), Var(3)]
+        );
+        // Every variable appears exactly once on cyclic shapes too.
+        let (_, d) = build(&[
+            ("?x", "A", "?y"),
+            ("?x", "B", "?z"),
+            ("?y", "C", "?w"),
+            ("?z", "D", "?w"),
+        ]);
+        let mut order = d.connected_order(|v| v.index() as f64);
+        assert_eq!(order.len(), 4);
+        order.sort_unstable();
+        order.dedup();
+        assert_eq!(order.len(), 4);
     }
 
     #[test]

@@ -104,6 +104,26 @@ pub fn chain(dictionary: &Dictionary, labels: &[&str]) -> Result<ConjunctiveQuer
     b.build()
 }
 
+/// Builds a directed cycle query
+/// `?v0 p1 ?v1 . ?v1 p2 ?v2 . … ?v{n-1} pn ?v0`: three labels make the
+/// triangle the worst-case-optimal engine's bench lane leans on, four the
+/// directed 4-cycle. One label degenerates to the self-loop pattern
+/// `?v0 p1 ?v0`, two to a back-and-forth digon — both legal, both cyclic.
+pub fn cycle(dictionary: &Dictionary, labels: &[&str]) -> Result<ConjunctiveQuery, QueryError> {
+    if labels.is_empty() {
+        return Err(QueryError::EmptyQuery);
+    }
+    let mut b = CqBuilder::new(dictionary);
+    for i in 0..labels.len() {
+        b.project(&format!("v{i}"));
+    }
+    for (i, label) in labels.iter().enumerate() {
+        let next = (i + 1) % labels.len();
+        b.pattern(&format!("?v{i}"), label, &format!("?v{next}"))?;
+    }
+    b.build()
+}
+
 /// Builds a star query with one hub and one leaf per label:
 /// `?hub p1 ?v1 . ?hub p2 ?v2 . …`.
 pub fn star(dictionary: &Dictionary, labels: &[&str]) -> Result<ConjunctiveQuery, QueryError> {
@@ -200,6 +220,25 @@ mod tests {
         let q = star(&d, &["diedIn", "influences", "actedIn"]).unwrap();
         assert_eq!(QueryGraph::new(&q).shape(), Shape::Star);
         assert_eq!(q.projection().len(), 4);
+    }
+
+    #[test]
+    fn cycle_template() {
+        let d = dict();
+        let triangle = cycle(&d, &["diedIn", "influences", "actedIn"]).unwrap();
+        assert_eq!(triangle.num_patterns(), 3);
+        assert_eq!(triangle.num_vars(), 3);
+        let g = QueryGraph::new(&triangle);
+        assert!(g.is_cyclic());
+        assert_eq!(g.shape(), Shape::Cycle);
+
+        let square = cycle(&d, &["diedIn", "influences", "actedIn", "owns"]).unwrap();
+        assert_eq!(square.num_patterns(), 4);
+        assert_eq!(square.num_vars(), 4);
+        assert!(QueryGraph::new(&square).is_cyclic());
+
+        let loop_q = cycle(&d, &["linksTo"]).unwrap();
+        assert_eq!(loop_q.num_vars(), 1, "one label closes on itself");
     }
 
     #[test]

@@ -569,12 +569,12 @@ fn handle_subscribe(
                     conn: Arc::clone(conn),
                     id,
                     query,
-                    last_epoch: ev.epoch,
+                    last_epoch: ev.epoch(),
                     rows,
                 });
             conn.send(&Response::Subscribed {
                 id,
-                epoch: ev.epoch,
+                epoch: ev.epoch(),
                 rows: RowSet {
                     columns,
                     total,
@@ -659,7 +659,7 @@ fn serve_job(shared: &Arc<SharedState>, job: Job) {
                     .collect();
                 job.conn.send(&Response::Rows {
                     id,
-                    epoch: ev.epoch,
+                    epoch: ev.epoch(),
                     rows: RowSet {
                         columns,
                         total,
@@ -792,21 +792,21 @@ fn sweep_subscriptions(shared: &Arc<SharedState>) {
         let Ok(ev) = shared.executor.query(&sub.query) else {
             continue;
         };
-        if ev.epoch <= sub.last_epoch {
+        if ev.epoch() <= sub.last_epoch {
             continue;
         }
         let rows = distinct_sorted_rows(&ev);
         let (added, removed) = diff_sorted(&sub.rows, &rows);
         let delta = EmbeddingDelta {
             prev_epoch: sub.last_epoch,
-            epoch: ev.epoch,
+            epoch: ev.epoch(),
             epochs: ev.epochs.clone(),
             total: rows.len() as u64,
             added: label_rows(shared, added.into_iter(), 0),
             removed: label_rows(shared, removed.into_iter(), 0),
         };
         sub.rows = rows;
-        sub.last_epoch = ev.epoch;
+        sub.last_epoch = ev.epoch();
         shared
             .counters
             .updates_pushed

@@ -12,8 +12,9 @@
 //!   --store csr|map|delta     graph storage backend (default csr)
 //!   --shards <N>              evaluate through an N-way vertex-partitioned
 //!                             [`wireframe::ShardedCluster`] instead of a
-//!                             single session (default 1; wireframe engine
-//!                             only — answers are identical either way)
+//!                             single session (default 1; requires an engine
+//!                             with the `sharded` capability — `wireframe` or
+//!                             `wco` — answers are identical either way)
 //!   --mutations <path>        apply a mutation script before the query: one
 //!                             op per line, `+ s p o` inserts and `- s p o`
 //!                             removes (any triple syntax accepted by the
@@ -104,8 +105,19 @@ fn engine_listing() -> String {
     let registry = default_registry();
     let mut out = String::from("registered engines:\n");
     for entry in registry.entries() {
-        out.push_str(&format!("  {:<12} {}\n", entry.name, entry.description));
+        out.push_str(&format!(
+            "  {:<12} {:<42} {}\n",
+            entry.name,
+            entry.capabilities.summary(),
+            entry.description
+        ));
     }
+    out.push_str(
+        "capability flags: cyclic (exact cyclic answers) · factorized (answer-graph \
+         artifact) · views (maintained views) · cyclic-views (no eviction fallback on \
+         cyclic queries) · parallel (threaded defactorization) · sharded (scatter-gather \
+         merge, usable with --shards)\n",
+    );
     out.push_str("select one with --engine <name>");
     out
 }
@@ -272,12 +284,28 @@ fn run() -> Result<(), Failure> {
         .engine_config(config)
         .engine(&options.engine);
     let session: Arc<dyn QueryExecutor> = if options.shards > 1 {
-        if options.engine != "wireframe" {
-            // The cluster merge is defined on the factorized answer graph
-            // only; fail before partitioning rather than mid-construction.
+        // The cluster merge is defined on the factorized answer graph only;
+        // gate on the registered capability (not the name) and fail before
+        // partitioning rather than mid-construction. Unknown names fall
+        // through so construction reports them with the full listing.
+        let registry = default_registry();
+        if registry.contains(&options.engine)
+            && !registry
+                .capabilities(&options.engine)
+                .is_some_and(|c| c.sharded_merge)
+        {
+            let capable: Vec<&str> = registry
+                .entries()
+                .iter()
+                .filter(|e| e.capabilities.sharded_merge)
+                .map(|e| e.name)
+                .collect();
             return Err(Failure::Usage(format!(
-                "--shards requires the wireframe engine (got {:?})",
-                options.engine
+                "--shards requires an engine with the `sharded` capability \
+                 (its factorized output composes under the scatter-gather \
+                 merge); {:?} does not qualify — use one of: {}",
+                options.engine,
+                capable.join(", ")
             )));
         }
         eprintln!(

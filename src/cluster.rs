@@ -22,10 +22,12 @@
 //! **epoch vector** next to its scalar batch counter — see
 //! [`QueryExecutor::epoch_vector`].
 //!
-//! The cluster is deliberately **wireframe-only**: the scatter-gather merge
-//! is defined on the factorized answer graph, which the baseline engines do
-//! not produce. Configurations selecting another engine are rejected at
-//! construction.
+//! The cluster is gated on **capabilities, not names**: the scatter-gather
+//! merge is defined on the factorized answer graph, so construction accepts
+//! exactly the engines whose registered
+//! [`EngineCapabilities::sharded_merge`](wireframe_api::EngineCapabilities)
+//! bit is set (`wireframe` and `wco` in the stock registry) and rejects the
+//! baselines, which never factorize.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -40,6 +42,7 @@ use wireframe_graph::{
 };
 use wireframe_query::{parse_query, ConjunctiveQuery};
 
+use crate::registry::default_registry;
 use crate::session::{Session, SessionConfig};
 
 /// Cluster-wide mutable state: the scalar epoch, advanced once per applied
@@ -67,13 +70,16 @@ struct ClusterState {
 ///     .query("SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }")
 ///     .unwrap();
 /// assert_eq!(result.embedding_count(), 1);
-/// assert_eq!(result.epochs.len(), 2, "one epoch per shard");
+/// assert_eq!(result.epochs.len(), 3, "one per shard, plus the cluster epoch");
 /// ```
 pub struct ShardedCluster {
     shards: Vec<Session>,
     state: RwLock<ClusterState>,
     listeners: RwLock<Vec<EpochListener>>,
     options: EvalOptions,
+    /// The configured engine name (capability-checked at construction);
+    /// stamped into merged evaluations.
+    engine: String,
     /// Cluster-level merged evaluations (each is one scatter + merge +
     /// defactorization), reported as full evaluations in [`ShardedCluster::
     /// stats`] on top of the per-shard sums.
@@ -85,9 +91,10 @@ impl ShardedCluster {
     /// [`Session`] per shard from `config` — the same configuration value a
     /// single session consumes, applied uniformly.
     ///
-    /// Errors with [`WireframeError::UnknownEngine`] when the configuration
-    /// selects an engine other than `wireframe` (the merge is defined on
-    /// the factorized answer graph only).
+    /// Errors with [`WireframeError::UnknownEngine`] when the configured
+    /// engine's registered capabilities lack `sharded_merge` (the merge is
+    /// defined on the factorized answer graph only); the error's `known`
+    /// list names the engines that do qualify.
     ///
     /// # Panics
     ///
@@ -99,13 +106,25 @@ impl ShardedCluster {
         config: SessionConfig,
     ) -> Result<Self, WireframeError> {
         assert!(shards >= 1, "a cluster has at least one shard");
-        if let Some(engine) = &config.engine {
-            if engine != "wireframe" {
-                return Err(WireframeError::UnknownEngine {
-                    requested: engine.clone(),
-                    known: vec!["wireframe".to_owned()],
-                });
-            }
+        let registry = default_registry();
+        let engine = config
+            .engine
+            .clone()
+            .or_else(|| registry.default_engine().map(str::to_owned))
+            .unwrap_or_default();
+        if !registry
+            .capabilities(&engine)
+            .is_some_and(|c| c.sharded_merge)
+        {
+            return Err(WireframeError::UnknownEngine {
+                requested: engine,
+                known: registry
+                    .entries()
+                    .iter()
+                    .filter(|e| e.capabilities.sharded_merge)
+                    .map(|e| e.name.to_owned())
+                    .collect(),
+            });
         }
         let mut options = EvalOptions::default();
         if config.engine_config.threads > 0 {
@@ -114,13 +133,14 @@ impl ShardedCluster {
         let graph = graph.into();
         let shards = partition_graph(&graph, shards)
             .into_iter()
-            .map(|part| Session::from_config(part, config.clone().engine("wireframe")))
+            .map(|part| Session::from_config(part, config.clone().engine(&engine)))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedCluster {
             shards,
             state: RwLock::new(ClusterState { epoch: 0 }),
             listeners: RwLock::new(Vec::new()),
             options,
+            engine,
             full_evals: AtomicU64::new(0),
         })
     }
@@ -170,8 +190,11 @@ impl ShardedCluster {
         self.full_evals.fetch_add(1, Ordering::Relaxed);
 
         let mut evaluation = MaintainedView::evaluate(&view)?;
-        evaluation.epoch = cluster_epoch;
+        evaluation.engine = self.engine.clone();
+        // One epoch per shard plus the cluster's scalar batch counter as the
+        // final component, so `Evaluation::epoch()` reads the cluster epoch.
         evaluation.epochs = shard_epochs;
+        evaluation.epochs.push(cluster_epoch);
         // Scatter + merge + burnback is this executor's phase one.
         evaluation.timings.answer_graph += phase_one;
         // The merged view is built fresh per query, not retained: reporting
@@ -183,7 +206,7 @@ impl ShardedCluster {
 
 impl QueryExecutor for ShardedCluster {
     fn engine_name(&self) -> &str {
-        "wireframe"
+        &self.engine
     }
 
     fn query(&self, text: &str) -> Result<Evaluation, WireframeError> {
@@ -336,8 +359,8 @@ mod tests {
             let cluster = ShardedCluster::new(g.clone(), shards, SessionConfig::default()).unwrap();
             let result = cluster.query(CHAIN).unwrap();
             assert!(result.embeddings.same_answer(&reference.embeddings));
-            assert_eq!(result.epochs, vec![0; shards]);
-            assert_eq!(result.epoch, 0);
+            assert_eq!(result.epochs, vec![0; shards + 1]);
+            assert_eq!(result.epoch(), 0);
         }
     }
 
@@ -357,8 +380,12 @@ mod tests {
         );
         let result = cluster.query(CHAIN).unwrap();
         assert_eq!(result.embedding_count(), before + 1);
-        assert_eq!(result.epoch, 1);
-        assert_eq!(result.epochs, vector);
+        assert_eq!(
+            result.epoch(),
+            1,
+            "the final component is the cluster epoch"
+        );
+        assert_eq!(result.epochs[..vector.len()], vector);
     }
 
     #[test]
@@ -396,12 +423,32 @@ mod tests {
     }
 
     #[test]
-    fn non_wireframe_engines_are_rejected() {
-        let err = ShardedCluster::new(graph(), 2, SessionConfig::new().engine("relational"));
-        assert!(matches!(
-            err,
-            Err(WireframeError::UnknownEngine { requested, .. }) if requested == "relational"
-        ));
+    fn engines_without_sharded_merge_are_rejected() {
+        for name in ["relational", "sortmerge", "exploration"] {
+            let err = ShardedCluster::new(graph(), 2, SessionConfig::new().engine(name));
+            match err {
+                Err(WireframeError::UnknownEngine { requested, known }) => {
+                    assert_eq!(requested, name);
+                    assert_eq!(
+                        known,
+                        vec!["wireframe".to_owned(), "wco".to_owned()],
+                        "the error names the engines whose capabilities qualify"
+                    );
+                }
+                other => panic!("{name}: expected a capability rejection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wco_clusters_merge_like_wireframe_ones() {
+        let g = graph();
+        let reference = Session::new(g.clone()).query(CHAIN).unwrap();
+        let cluster = ShardedCluster::new(g, 2, SessionConfig::new().engine("wco")).unwrap();
+        assert_eq!(cluster.engine_name(), "wco");
+        let result = cluster.query(CHAIN).unwrap();
+        assert_eq!(result.engine, "wco");
+        assert!(result.embeddings.same_answer(&reference.embeddings));
     }
 
     #[test]

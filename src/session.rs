@@ -34,8 +34,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use wireframe_api::{
-    Engine, EngineConfig, EngineRegistry, EpochListener, Evaluation, ExecutorStats, MaintainedView,
-    PreparedQuery, QueryExecutor, WireframeError,
+    Engine, EngineCapabilities, EngineConfig, EngineRegistry, EpochListener, Evaluation,
+    ExecutorStats, MaintainedView, PreparedQuery, QueryExecutor, WireframeError,
 };
 use wireframe_graph::{EdgeDelta, Graph, Mutation, MutationOp, MutationOutcome, PredId, StoreKind};
 use wireframe_query::canonical::{footprints_intersect, isomorphic, plan_cache_key};
@@ -370,7 +370,7 @@ struct GraphState {
 ///
 /// The cache is **bounded**: at most [`Session::cache_capacity`] prepared
 /// plans (default [`DEFAULT_CACHE_CAPACITY`], tune with
-/// [`Session::with_cache_capacity`]) are kept, evicting LRU-style by a
+/// [`SessionConfig::cache_capacity`]) are kept, evicting LRU-style by a
 /// global logical clock; [`Session::cache_evictions`] counts evictions and
 /// [`Session::clear_cache`] empties the cache outright.
 ///
@@ -393,10 +393,14 @@ struct GraphState {
 /// ([`Session::plans_maintained`], [`Session::maintenance_frontier_nodes`],
 /// [`Session::maintenance_micros`]), and views are stamped with the epoch
 /// they were maintained to; staleness is verified against the reader's
-/// snapshot under the same `RwLock` that swaps graph versions. Entries
-/// without a maintainable view — non-maintaining engines, cyclic queries
-/// under edge burnback, or a session built
-/// [`Session::with_maintenance`]`(false)` — fall back to the old policy:
+/// snapshot under the same `RwLock` that swaps graph versions. When the
+/// configured engine declines to materialize a view, the session consults
+/// the registry's capability matrix ([`wireframe_api::EngineCapabilities`])
+/// for another engine that can maintain the query's shape — e.g. a cyclic
+/// query under edge burnback is retained through the `wco` engine — before
+/// giving up. Entries without any maintainable view — non-maintaining
+/// engines with no capable fallback, or a session configured with
+/// [`SessionConfig::maintenance`]`(false)` — fall back to the old policy:
 /// footprint **eviction** plus from-scratch re-evaluation (counted by
 /// [`Session::cache_invalidations`]). Non-intersecting plans are never
 /// touched either way ([`Session::mutation_cache_touches`]). Delta
@@ -657,34 +661,9 @@ impl Session {
             .push(Box::new(listener));
     }
 
-    /// Selects the mutation policy for cached plans (builder form; default
-    /// `true`). With maintenance on, a mutation whose footprint intersects a
-    /// cached maintainable view updates that view in `O(delta)` and keeps
-    /// serving it; off, intersecting entries are evicted and re-evaluated
-    /// from scratch on next use (the policy `wfbench --maintenance reeval`
-    /// measures against).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SessionConfig::maintenance` + `Session::from_config`"
-    )]
-    pub fn with_maintenance(mut self, enabled: bool) -> Self {
-        self.maintenance = enabled;
-        self
-    }
-
     /// Whether mutations maintain retained views instead of evicting them.
     pub fn maintenance_enabled(&self) -> bool {
         self.maintenance
-    }
-
-    /// Selects the engine used by subsequent queries (builder form).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SessionConfig::engine` + `Session::from_config`"
-    )]
-    pub fn with_engine(mut self, name: &str) -> Result<Self, WireframeError> {
-        self.set_engine(name)?;
-        Ok(self)
     }
 
     /// Selects the engine used by subsequent queries.
@@ -702,60 +681,6 @@ impl Session {
         }
         self.engine = name.to_owned();
         Ok(())
-    }
-
-    /// Sets the engine configuration (builder form). When the configuration
-    /// explicitly selects a storage backend (`EngineConfig::with_store`)
-    /// other than the graph's current one, the graph is re-indexed into that
-    /// backend (this session gets its own re-indexed copy; other sessions
-    /// sharing the original `Arc` are unaffected). A config with the default
-    /// `store: None` never re-indexes.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SessionConfig::engine_config` + `Session::from_config`"
-    )]
-    pub fn with_config(mut self, config: EngineConfig) -> Self {
-        self.set_engine_config(config);
-        self
-    }
-
-    /// Re-indexes the session's graph into the given storage backend
-    /// (builder form). A no-op when the backend already matches.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SessionConfig::store` + `Session::from_config`"
-    )]
-    pub fn with_store(mut self, store: StoreKind) -> Self {
-        let config = self.config.with_store(store);
-        self.set_engine_config(config);
-        self
-    }
-
-    /// Installs an engine configuration on a not-yet-shared session,
-    /// re-indexing the graph when the configuration selects a different
-    /// storage backend (the deprecated `with_config`/`with_store` builders
-    /// funnel here).
-    fn set_engine_config(&mut self, config: EngineConfig) {
-        self.config = config;
-        if let Some(kind) = config.store {
-            let state = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
-            if state.graph.store_kind() != kind {
-                state.graph = Arc::new(Graph::clone(&state.graph).with_store(kind));
-            }
-        }
-    }
-
-    /// Bounds the prepared-plan cache to at most `capacity` distinct plans
-    /// (builder form; `0` = unbounded, default [`DEFAULT_CACHE_CAPACITY`]).
-    /// Exceeding the bound evicts the least-recently-used entry, counted by
-    /// [`Session::cache_evictions`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SessionConfig::cache_capacity` + `Session::from_config`"
-    )]
-    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache.capacity = capacity;
-        self
     }
 
     /// The prepared-plan cache bound (`0` = unbounded).
@@ -855,7 +780,6 @@ impl Session {
             };
             if let Some(retained) = retained {
                 let mut evaluation = retained.evaluate()?;
-                evaluation.epoch = epoch;
                 evaluation.epochs = vec![epoch];
                 self.view_serves.fetch_add(1, Ordering::Relaxed);
                 return Ok(evaluation);
@@ -863,10 +787,11 @@ impl Session {
             // First use (or a stale slot): run the full phase-one pipeline
             // once, retain the result, and answer from it.
             let t = std::time::Instant::now();
-            if let Some(fresh) = self.materialize_slot(engine.as_ref(), &prepared, &view, epoch)? {
+            if let Some(fresh) =
+                self.materialize_slot(engine.as_ref(), graph, &prepared, &view, epoch)?
+            {
                 let phase_one = t.elapsed();
                 let mut evaluation = fresh.evaluate()?;
-                evaluation.epoch = epoch;
                 evaluation.epochs = vec![epoch];
                 // This call *did* pay planning + generation (+ burnback);
                 // the trait cannot hand the split back, so the lump is
@@ -879,24 +804,32 @@ impl Session {
 
         let mut evaluation = engine.evaluate(&prepared)?;
         self.full_evals.fetch_add(1, Ordering::Relaxed);
-        evaluation.epoch = epoch;
         evaluation.epochs = vec![epoch];
         Ok(evaluation)
     }
 
-    /// Whether this session serves the given engine through retained views.
+    /// Whether this session serves the given engine through retained views,
+    /// routed on the instance's capability set rather than its name.
     fn views_active(&self, engine: &dyn Engine) -> bool {
-        self.maintenance && engine.supports_maintenance()
+        self.maintenance && engine.capabilities().maintainable
     }
 
     /// First-use materialization of a cached plan's view slot: runs phase
     /// one once, stamps `epoch`, and retains the view unless a mutation
     /// landed meanwhile. Returns the view (for serving) when one was
     /// created, `None` when the slot is already decided (retained elsewhere
-    /// or unmaintainable) or the engine declined.
+    /// or unmaintainable) or no engine could materialize it.
+    ///
+    /// When the configured engine declines, the registry's capability matrix
+    /// is consulted for a fallback engine whose *instance* — built with this
+    /// session's configuration, over the same snapshot — claims maintenance
+    /// for the query's shape; a cyclic query under edge burnback is retained
+    /// through `wco` this way instead of degrading to evict-and-reevaluate.
+    /// Evaluations served from such a view report the engine that built it.
     fn materialize_slot(
         &self,
         engine: &dyn Engine,
+        graph: &Arc<Graph>,
         prepared: &PreparedQuery,
         slot: &SharedViewSlot,
         epoch: u64,
@@ -907,36 +840,79 @@ impl Session {
         ) {
             return Ok(None);
         }
-        let made = engine.materialize(prepared)?;
-        match made {
-            Some(mut fresh) => {
-                self.full_evals.fetch_add(1, Ordering::Relaxed);
-                fresh.set_epoch(epoch);
-                let fresh: Arc<dyn MaintainedView> = Arc::from(fresh);
-                // Retain under the state read lock, and only if no mutation
-                // landed while materializing: a view built on a superseded
-                // snapshot must not be stored as current (`apply_mutation`
-                // maintains views while holding the state *write* lock).
-                let state = self.state.read().unwrap_or_else(|e| e.into_inner());
-                if state.epoch == epoch {
-                    let mut guard = slot.write().unwrap_or_else(|p| p.into_inner());
-                    if matches!(&*guard, ViewSlot::Empty) {
-                        *guard = ViewSlot::Retained(Arc::clone(&fresh));
-                    }
-                }
-                Ok(Some(fresh))
+        if let Some(fresh) = engine.materialize(prepared)? {
+            return Ok(Some(self.retain_fresh(fresh, slot, epoch)));
+        }
+        if let Some(fresh) = self.materialize_fallback(graph, prepared)? {
+            return Ok(Some(self.retain_fresh(fresh, slot, epoch)));
+        }
+        // Epoch-independent property of the query shape + engine options
+        // (engines decline before paying phase one): record it so hits
+        // never re-ask.
+        let mut guard = slot.write().unwrap_or_else(|p| p.into_inner());
+        if matches!(&*guard, ViewSlot::Empty) {
+            *guard = ViewSlot::Unmaintainable;
+        }
+        Ok(None)
+    }
+
+    /// Tries every *other* registered engine whose nominal — then actual,
+    /// under this session's configuration — capabilities cover maintaining
+    /// the prepared query's shape. The fallback re-prepares the query for
+    /// its own plan payload (the cached [`PreparedQuery`] carries the
+    /// configured engine's) and materializes over the same snapshot.
+    fn materialize_fallback(
+        &self,
+        graph: &Arc<Graph>,
+        prepared: &PreparedQuery,
+    ) -> Result<Option<Box<dyn MaintainedView>>, WireframeError> {
+        let wanted = |c: EngineCapabilities| {
+            if prepared.cyclic() {
+                c.maintainable_cyclic
+            } else {
+                c.maintainable
             }
-            None => {
-                // Epoch-independent property of the query shape + engine
-                // options (the engine declines before paying phase one):
-                // record it so hits never re-ask.
-                let mut guard = slot.write().unwrap_or_else(|p| p.into_inner());
-                if matches!(&*guard, ViewSlot::Empty) {
-                    *guard = ViewSlot::Unmaintainable;
-                }
-                Ok(None)
+        };
+        for entry in self.registry.entries() {
+            if entry.name == self.engine || !wanted(entry.capabilities) {
+                continue;
+            }
+            let fallback = self
+                .registry
+                .build_shared(entry.name, graph, &self.config)?;
+            if !wanted(fallback.capabilities()) {
+                continue;
+            }
+            let reprepared = fallback.prepare(prepared.query())?;
+            if let Some(view) = fallback.materialize(&reprepared)? {
+                return Ok(Some(view));
             }
         }
+        Ok(None)
+    }
+
+    /// Stamps and retains a freshly materialized view — unless a mutation
+    /// landed while materializing: a view built on a superseded snapshot
+    /// must not be stored as current (`apply_mutation` maintains views
+    /// while holding the state *write* lock).
+    fn retain_fresh(
+        &self,
+        mut fresh: Box<dyn MaintainedView>,
+        slot: &SharedViewSlot,
+        epoch: u64,
+    ) -> Arc<dyn MaintainedView> {
+        self.full_evals.fetch_add(1, Ordering::Relaxed);
+        fresh.set_epoch(epoch);
+        let fresh: Arc<dyn MaintainedView> = Arc::from(fresh);
+        // Retain under the state read lock.
+        let state = self.state.read().unwrap_or_else(|e| e.into_inner());
+        if state.epoch == epoch {
+            let mut guard = slot.write().unwrap_or_else(|p| p.into_inner());
+            if matches!(&*guard, ViewSlot::Empty) {
+                *guard = ViewSlot::Retained(Arc::clone(&fresh));
+            }
+        }
+        fresh
     }
 
     /// Warms the cache for `text` without producing an answer: parses,
@@ -957,7 +933,7 @@ impl Session {
             return Ok(false);
         }
         if self
-            .materialize_slot(engine.as_ref(), &prepared, &slot, epoch)?
+            .materialize_slot(engine.as_ref(), &graph, &prepared, &slot, epoch)?
             .is_some()
         {
             return Ok(true);
@@ -1024,7 +1000,7 @@ impl Session {
     /// the epoch, and runs the footprint pass over the plan cache — cached
     /// views whose predicate footprint the batch touched are **maintained**
     /// in `O(delta)` (kept serving, stamped with the new epoch); entries
-    /// without a maintainable view (or with [`Session::with_maintenance`]
+    /// without a maintainable view (or with [`SessionConfig::maintenance`]
     /// off) are evicted as before. Readers in flight keep their snapshot.
     ///
     /// The footprint is derived once, from the batch's **net**
@@ -1275,7 +1251,7 @@ mod tests {
             .unwrap();
         assert_eq!(ev.embedding_count(), 2);
         assert_eq!(ev.engine, "wireframe");
-        assert_eq!(ev.epoch, 0, "no mutation applied yet");
+        assert_eq!(ev.epoch(), 0, "no mutation applied yet");
         assert!(ev.factorized.is_some());
     }
 
@@ -1507,13 +1483,13 @@ mod tests {
         assert_eq!(outcome.inserted, 1);
         assert_eq!(session.epoch(), 1);
         let ev = session.query(text).unwrap();
-        assert_eq!(ev.epoch, 1, "evaluations carry the snapshot epoch");
+        assert_eq!(ev.epoch(), 1, "evaluations carry the snapshot epoch");
         assert_eq!(ev.embedding_count(), 3, "the new 2-chain appears");
 
         let outcome = session.remove_triples([("alice", "knows", "bob")]);
         assert_eq!(outcome.removed, 1);
         let ev = session.query(text).unwrap();
-        assert_eq!(ev.epoch, 2);
+        assert_eq!(ev.epoch(), 2);
         assert_eq!(ev.embedding_count(), 2);
 
         // Set semantics: replaying either batch changes nothing (but still
@@ -1560,7 +1536,7 @@ mod tests {
         let hits_before = session.cache_hits();
         let ev = session.query(knows_q).unwrap();
         assert_eq!(session.cache_hits(), hits_before + 1, "knows plan kept");
-        assert_eq!(ev.epoch, 1);
+        assert_eq!(ev.epoch(), 1);
         let misses_before = session.cache_misses();
         let ev = session.query(likes_q).unwrap();
         assert_eq!(session.cache_misses(), misses_before + 1, "re-prepared");
@@ -1599,7 +1575,7 @@ mod tests {
         // hit, with no new full evaluation.
         let full_before = session.full_evaluations();
         let ev = session.query(knows_q).unwrap();
-        assert_eq!(ev.epoch, 1);
+        assert_eq!(ev.epoch(), 1);
         assert_eq!(ev.embedding_count(), 2, "the new 2-chain appears");
         let info = ev.maintenance.expect("served from a maintained view");
         assert_eq!(info.maintained_epoch, 1);
@@ -1611,7 +1587,7 @@ mod tests {
         session.remove_triples([("alice", "knows", "bob")]);
         assert_eq!(session.plans_maintained(), 2);
         let ev = session.query(knows_q).unwrap();
-        assert_eq!(ev.epoch, 2);
+        assert_eq!(ev.epoch(), 2);
         assert_eq!(ev.embedding_count(), 1, "bob's chain is gone");
     }
 
@@ -1649,7 +1625,7 @@ mod tests {
         let ev = session.query(knows_q).unwrap();
         assert_eq!(session.cache_hits(), hits + 1);
         assert_eq!(session.full_evaluations(), full, "served from the view");
-        assert_eq!(ev.epoch, 2, "one real batch plus one no-op batch");
+        assert_eq!(ev.epoch(), 2, "one real batch plus one no-op batch");
         assert!(ev.maintenance.is_some());
     }
 
@@ -1711,10 +1687,11 @@ mod tests {
     }
 
     #[test]
-    fn unmaintainable_views_fall_back_to_eviction() {
-        // A cyclic query under edge burnback cannot be maintained: the
-        // session must serve it via the full pipeline and evict it on
-        // intersecting mutations.
+    fn cyclic_views_under_edge_burnback_are_retained_through_wco() {
+        // The wireframe engine declines to materialize a cyclic query under
+        // edge burnback; the session's capability routing falls back to the
+        // wco engine, which retains and maintains the view instead of
+        // degrading to evict-and-reevaluate.
         let mut b = GraphBuilder::new();
         b.add("3", "A", "4");
         b.add("3", "B", "2");
@@ -1729,15 +1706,25 @@ mod tests {
         .unwrap();
         let q = "SELECT * WHERE { ?x :A ?e . ?x :B ?z . ?e :C ?y . ?z :D ?y . }";
         assert_eq!(session.query(q).unwrap().embedding_count(), 1);
-        session.query(q).unwrap();
-        assert_eq!(session.view_serves(), 0, "no retained view exists");
-
-        session.insert_triples([("7", "A", "8")]);
-        assert_eq!(session.plans_maintained(), 0);
-        assert_eq!(session.cache_invalidations(), 1, "evicted instead");
         let ev = session.query(q).unwrap();
-        assert_eq!(ev.epoch, 1);
-        assert!(ev.maintenance.is_none());
+        assert_eq!(session.view_serves(), 1, "the fallback view serves hits");
+        assert_eq!(
+            ev.engine, "wco",
+            "answers name the engine that built the view"
+        );
+
+        // Intersecting mutations maintain the fallback view in place.
+        session.insert_triples([("7", "A", "8")]);
+        assert_eq!(session.plans_maintained(), 1);
+        assert_eq!(session.cache_invalidations(), 0, "no eviction");
+        let ev = session.query(q).unwrap();
+        assert_eq!(ev.epoch(), 1);
+        assert_eq!(
+            ev.embedding_count(),
+            1,
+            "the dangling A edge closes nothing"
+        );
+        assert!(ev.maintenance.is_some());
     }
 
     #[test]
@@ -1816,7 +1803,7 @@ mod tests {
         assert_eq!(session.epoch(), 8);
         let ev = session.query(text).unwrap();
         assert_eq!(ev.embedding_count(), 11);
-        assert_eq!(ev.epoch, 8);
+        assert_eq!(ev.epoch(), 8);
     }
 
     #[test]
@@ -1863,21 +1850,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_builders_still_configure_sessions() {
-        // The pre-`SessionConfig` builder sprawl stays as thin shims so
-        // downstream code keeps compiling; pin that they still work.
-        let session = Session::new(knows_likes_graph())
-            .with_store(StoreKind::Delta)
-            .with_maintenance(false)
-            .with_cache_capacity(7)
-            .with_config(
-                EngineConfig::default()
-                    .with_threads(2)
-                    .with_store(StoreKind::Delta),
-            )
-            .with_engine("sortmerge")
-            .unwrap();
+    fn session_config_configures_everything_the_builders_did() {
+        // `SessionConfig` is the one configuration surface; pin that every
+        // knob the former `with_*` builders covered still reaches the
+        // session through it.
+        let session = Session::from_config(
+            knows_likes_graph(),
+            SessionConfig::new()
+                .engine_config(EngineConfig::default().with_threads(2))
+                .store(StoreKind::Delta)
+                .maintenance(false)
+                .cache_capacity(7)
+                .engine("sortmerge"),
+        )
+        .unwrap();
         assert_eq!(session.store_kind(), StoreKind::Delta);
         assert!(!session.maintenance_enabled());
         assert_eq!(session.cache_capacity(), 7);

@@ -14,8 +14,8 @@ fn every_registered_engine_agrees_on_every_workload_shape() {
     let names = registry.names();
     assert_eq!(
         names,
-        vec!["wireframe", "relational", "sortmerge", "exploration"],
-        "all four engines are reachable by name"
+        vec!["wireframe", "wco", "relational", "sortmerge", "exploration"],
+        "all five engines are reachable by name"
     );
 
     let engines: Vec<_> = names

@@ -434,6 +434,79 @@ fn maintained_views_equal_fresh_evaluation_on_every_store() {
     }
 }
 
+/// The worst-case-optimal engine's acceptance property on cyclic shapes:
+/// on triangles and directed 4-cycles, its embeddings are bit-identical to
+/// the triangulating wireframe configuration on every storage backend, and
+/// a maintained [`wireframe::core::WcoView`] keeps that equality after
+/// every seeded mutation batch (compared against both a fresh wco run and
+/// fresh triangulation on the mutated graph).
+#[test]
+fn wco_matches_triangulation_on_cyclic_shapes_and_survives_churn() {
+    use wireframe::api::Engine;
+    use wireframe::core::{EvalOptions, WcoEngine, WcoView, WireframeEngine};
+    use wireframe::query::templates::cycle;
+
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(0x77C0 + seed);
+        let edges = gen_edges(&mut rng);
+        for kind in [StoreKind::Csr, StoreKind::Map, StoreKind::Delta] {
+            let mut graph = build(&edges, kind);
+            let queries = vec![
+                cycle(graph.dictionary(), &["A", "B", "C"]).unwrap(),
+                cycle(graph.dictionary(), &["A", "B", "C", "D"]).unwrap(),
+            ];
+
+            let triangulated = |graph: &Graph, q: &_| {
+                WireframeEngine::with_options(graph, EvalOptions::default().with_edge_burnback())
+                    .execute(q)
+                    .unwrap()
+            };
+
+            let mut views: Vec<WcoView> = Vec::new();
+            for q in &queries {
+                let wco = WcoEngine::new(&graph);
+                let plan = wco.plan(q).unwrap();
+                let (view, _) = wco.materialize_query(q, &plan);
+                let (embeddings, _) = view.defactorize().unwrap();
+                let reference = triangulated(&graph, q);
+                assert_eq!(
+                    embeddings.len(),
+                    reference.embedding_count(),
+                    "seed {seed} {kind:?}: wco vs triangulation counts pre-churn"
+                );
+                assert!(
+                    embeddings.same_answer(reference.embeddings()),
+                    "seed {seed} {kind:?}: wco vs triangulation pre-churn"
+                );
+                views.push(view);
+            }
+
+            let mut fresh_tag = 0usize;
+            for batch_no in 0..4u64 {
+                let mutation = random_batch(&graph, &mut rng, 25, &mut fresh_tag);
+                let (next, outcome) = graph.apply(&mutation);
+                graph = next;
+                for (view, q) in views.iter_mut().zip(&queries) {
+                    view.maintain(&graph, &outcome.delta, batch_no + 1);
+                    let (maintained, _) = view.defactorize().unwrap();
+                    let fresh = WcoEngine::new(&graph).run(q).unwrap();
+                    assert!(
+                        maintained.same_answer(fresh.embeddings()),
+                        "seed {seed} {kind:?} batch {batch_no}: \
+                         maintained wco view vs fresh wco run"
+                    );
+                    let reference = triangulated(&graph, q);
+                    assert!(
+                        maintained.same_answer(reference.embeddings()),
+                        "seed {seed} {kind:?} batch {batch_no}: \
+                         maintained wco view vs fresh triangulation"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn random_queries_agree_across_stores_through_the_wireframe_engine() {
     use wireframe::core::WireframeEngine;
