@@ -18,8 +18,15 @@ pub struct Timings {
     pub answer_graph: Duration,
     /// Time spent in edge burnback (zero unless enabled and cyclic).
     pub edge_burnback: Duration,
-    /// Time spent generating embeddings (phase two).
+    /// Time spent generating embeddings (phase two), **wall-clock**: with
+    /// parallel defactorization this is how long the phase blocked the
+    /// query, not how much work it did.
     pub defactorization: Duration,
+    /// CPU time summed across defactorization workers. Equals
+    /// `defactorization` on a single-threaded run; larger when workers ran
+    /// concurrently. Excluded from [`Timings::total`] — summing it with the
+    /// wall-clock phases would double-count the parallel phase.
+    pub defactorization_cpu: Duration,
     /// Single-pass execution time of non-factorized engines (zero for the
     /// Wireframe engine, which reports per phase).
     pub execution: Duration,
@@ -169,9 +176,14 @@ mod tests {
             answer_graph: Duration::from_millis(2),
             edge_burnback: Duration::from_millis(3),
             defactorization: Duration::from_millis(4),
+            defactorization_cpu: Duration::from_millis(16),
             execution: Duration::from_millis(5),
         };
-        assert_eq!(t.total(), Duration::from_millis(15));
+        assert_eq!(
+            t.total(),
+            Duration::from_millis(15),
+            "cpu-sum is reported, never added to the wall-clock total"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use wireframe_graph::{EdgeDelta, Graph, Mutation, MutationOutcome};
+use wireframe_obs::{names, MetricsSnapshot, Span};
 use wireframe_query::ConjunctiveQuery;
 
 use crate::{Evaluation, WireframeError};
@@ -50,6 +51,28 @@ pub struct ExecutorStats {
     pub mutation_cache_touches: u64,
     /// Delta-store compactions triggered by mutations.
     pub compactions: u64,
+}
+
+impl ExecutorStats {
+    /// Reads the struct out of a [`MetricsSnapshot`], the executors' single
+    /// source of truth since the registry replaced their ad-hoc atomic
+    /// counter fields. Absent names read as zero, so a snapshot from an
+    /// older peer (or a non-maintaining engine) still decodes.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> ExecutorStats {
+        ExecutorStats {
+            cache_hits: snapshot.counter(names::CACHE_HITS),
+            cache_misses: snapshot.counter(names::CACHE_MISSES),
+            cache_evictions: snapshot.counter(names::CACHE_EVICTIONS),
+            cache_invalidations: snapshot.counter(names::CACHE_INVALIDATIONS),
+            view_serves: snapshot.counter(names::VIEW_SERVES),
+            full_evaluations: snapshot.counter(names::FULL_EVALUATIONS),
+            plans_maintained: snapshot.counter(names::PLANS_MAINTAINED),
+            maintenance_frontier_nodes: snapshot.counter(names::MAINTENANCE_FRONTIER_NODES),
+            maintenance_micros: snapshot.counter(names::MAINTENANCE_MICROS),
+            mutation_cache_touches: snapshot.counter(names::MUTATION_CACHE_TOUCHES),
+            compactions: snapshot.counter(names::COMPACTIONS),
+        }
+    }
 }
 
 /// One object that owns graph state and answers queries: the contract shared
@@ -118,4 +141,20 @@ pub trait QueryExecutor: Send + Sync {
 
     /// A snapshot of the executor's serving counters.
     fn stats(&self) -> ExecutorStats;
+
+    /// The executor's full metrics registry export: every counter behind
+    /// [`QueryExecutor::stats`] plus gauges and latency histograms. Sharded
+    /// executors return the merged aggregate with `shard{i}.`-prefixed
+    /// per-shard breakdowns alongside. The default (for executors that
+    /// predate the registry) is an empty snapshot.
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Recently completed query span trees from the executor's tracer ring,
+    /// oldest first (empty for executors without a tracer, or when tracing
+    /// is disabled).
+    fn recent_spans(&self) -> Vec<Span> {
+        Vec::new()
+    }
 }

@@ -17,9 +17,10 @@
 //!   and the `ShardedCluster` of the umbrella crate both implement it),
 //! * [`WireframeError`] — the workspace-wide error type.
 //!
-//! The crate deliberately depends only on `wireframe-graph` and
-//! `wireframe-query`; concrete engines depend on it, not the other way
-//! around, so new backends plug in without touching the trait.
+//! The crate deliberately depends only on `wireframe-graph`,
+//! `wireframe-query` and the telemetry crate (re-exported as [`obs`]);
+//! concrete engines depend on it, not the other way around, so new
+//! backends plug in without touching the trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,3 +42,8 @@ pub use prepared::PreparedQuery;
 pub use registry::{EngineEntry, EngineFactory, EngineRegistry};
 pub use view::{MaintainedView, MaintenanceInfo, MaintenanceStats};
 pub use wireframe_graph::StoreKind;
+/// The telemetry subsystem ([`Registry`](obs::Registry) /
+/// [`MetricsSnapshot`](obs::MetricsSnapshot) / [`Tracer`](obs::Tracer)),
+/// re-exported so executor implementors and the serve layer share one
+/// namespace without naming the crate twice.
+pub use wireframe_obs as obs;

@@ -20,6 +20,7 @@
 use serde::json::{self, Value};
 use serde::Serialize;
 use wireframe_graph::EdgeDelta;
+use wireframe_obs::{HistogramSnapshot, MetricsSnapshot, BUCKET_COUNT};
 
 /// Protocol revision; servers reject frames whose `"v"` field (when
 /// present) is newer than what they speak.
@@ -74,6 +75,14 @@ pub enum Request {
         /// Client-chosen id echoed in the response.
         id: u64,
     },
+    /// Fetch the full metrics registry snapshot (every counter behind
+    /// `stats` plus gauges and latency histograms, including per-shard
+    /// breakdowns on a sharded server). Versioned alongside `stats`; the
+    /// `--metrics-addr` scrape endpoint renders the same snapshot as text.
+    Metrics {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+    },
     /// Ask the server to drain in-flight work and stop.
     Shutdown {
         /// Client-chosen id echoed in the response.
@@ -90,6 +99,7 @@ impl Request {
             | Request::Mutate { id, .. }
             | Request::Subscribe { id, .. }
             | Request::Stats { id }
+            | Request::Metrics { id }
             | Request::Shutdown { id } => id,
         }
     }
@@ -122,6 +132,7 @@ impl Request {
                 limit: opt_u64(doc, "limit").unwrap_or(0),
             }),
             "stats" => Ok(Request::Stats { id }),
+            "metrics" => Ok(Request::Metrics { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             other => Err(WireError(format!("unknown request type {other:?}"))),
         }
@@ -161,6 +172,10 @@ impl Serialize for Request {
             }
             Request::Stats { id } => {
                 fields.push(tag("stats"));
+                fields.push(uint("id", *id));
+            }
+            Request::Metrics { id } => {
+                fields.push(tag("metrics"));
                 fields.push(uint("id", *id));
             }
             Request::Shutdown { id } => {
@@ -290,8 +305,10 @@ impl ServeStats {
             mutations: field("mutations")?,
             mutation_batches: field("mutation_batches")?,
             coalesced_mutations: field("coalesced_mutations")?,
-            shed_queue_full: field("shed_queue_full")?,
-            shed_deadline: field("shed_deadline")?,
+            // Lenient: peers predating the queue/deadline shed split sent a
+            // single `shed` total; each missing split field decodes as 0.
+            shed_queue_full: opt_u64(doc, "shed_queue_full").unwrap_or(0),
+            shed_deadline: opt_u64(doc, "shed_deadline").unwrap_or(0),
             subscriptions: field("subscriptions")?,
             updates_pushed: field("updates_pushed")?,
             cache_hits: field("cache_hits")?,
@@ -366,6 +383,15 @@ pub enum Response {
         /// The counters.
         stats: ServeStats,
     },
+    /// `metrics` reply: the full registry snapshot.
+    Metrics {
+        /// Echoed request id.
+        id: u64,
+        /// Current session epoch, so scrapes can be ordered.
+        epoch: u64,
+        /// The merged serve + executor registry export.
+        snapshot: MetricsSnapshot,
+    },
     /// Admission control refused the request; retry later. `reason` is
     /// `"queue"` (bounded queue full) or `"deadline"` (aged out before a
     /// worker picked it up).
@@ -399,6 +425,7 @@ impl Response {
             | Response::Subscribed { id, .. }
             | Response::Update { id, .. }
             | Response::Stats { id, .. }
+            | Response::Metrics { id, .. }
             | Response::Overloaded { id, .. }
             | Response::Error { id, .. }
             | Response::ShuttingDown { id } => id,
@@ -460,6 +487,14 @@ impl Response {
                 stats: ServeStats::from_json(
                     doc.get("stats")
                         .ok_or_else(|| WireError("stats reply needs stats".into()))?,
+                )?,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                id,
+                epoch: get_u64(doc, "epoch")?,
+                snapshot: snapshot_from_json(
+                    doc.get("snapshot")
+                        .ok_or_else(|| WireError("metrics reply needs a snapshot".into()))?,
                 )?,
             }),
             "overloaded" => Ok(Response::Overloaded {
@@ -529,6 +564,16 @@ impl Serialize for Response {
                 fields.push(tag("stats"));
                 fields.push(uint("id", *id));
                 fields.push(("stats".to_owned(), stats.to_json()));
+            }
+            Response::Metrics {
+                id,
+                epoch,
+                snapshot,
+            } => {
+                fields.push(tag("metrics"));
+                fields.push(uint("id", *id));
+                fields.push(uint("epoch", *epoch));
+                fields.push(("snapshot".to_owned(), snapshot_to_json(snapshot)));
             }
             Response::Overloaded { id, reason } => {
                 fields.push(tag("overloaded"));
@@ -623,6 +668,106 @@ fn get_u64_array_or_default(doc: &Value, key: &str) -> Result<Vec<u64>, WireErro
             })
             .collect(),
     }
+}
+
+/// Encodes a [`MetricsSnapshot`]: counters and gauges as name→value
+/// objects, histograms as `{count, sum, max, buckets: [[index, n], …]}`
+/// with only the non-zero buckets listed (a latency histogram touches a
+/// handful of its 300+ buckets, so sparse pairs keep frames small).
+fn snapshot_to_json(snapshot: &MetricsSnapshot) -> Value {
+    let uint_map = |map: &std::collections::BTreeMap<String, u64>| {
+        Value::Object(
+            map.iter()
+                .map(|(name, &v)| (name.clone(), Value::UInt(v)))
+                .collect(),
+        )
+    };
+    let histograms = snapshot
+        .histograms
+        .iter()
+        .map(|(name, hist)| {
+            let buckets = hist
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n != 0)
+                .map(|(index, &n)| Value::Array(vec![Value::UInt(index as u64), Value::UInt(n)]))
+                .collect();
+            (
+                name.clone(),
+                Value::Object(vec![
+                    uint("count", hist.count),
+                    uint("sum", hist.sum),
+                    uint("max", hist.max),
+                    ("buckets".to_owned(), Value::Array(buckets)),
+                ]),
+            )
+        })
+        .collect();
+    Value::Object(vec![
+        ("counters".to_owned(), uint_map(&snapshot.counters)),
+        ("gauges".to_owned(), uint_map(&snapshot.gauges)),
+        ("histograms".to_owned(), Value::Object(histograms)),
+    ])
+}
+
+/// Decodes the [`snapshot_to_json`] wire form. Missing sections decode as
+/// empty, so older peers' leaner snapshots still parse.
+fn snapshot_from_json(doc: &Value) -> Result<MetricsSnapshot, WireError> {
+    let uint_map = |key: &str| -> Result<std::collections::BTreeMap<String, u64>, WireError> {
+        match doc.get(key) {
+            None | Some(Value::Null) => Ok(Default::default()),
+            Some(Value::Object(fields)) => fields
+                .iter()
+                .map(|(name, v)| {
+                    v.as_u64()
+                        .map(|v| (name.clone(), v))
+                        .ok_or_else(|| WireError(format!("{key:?} values must be unsigned")))
+                })
+                .collect(),
+            Some(_) => Err(WireError(format!("{key:?} must be an object"))),
+        }
+    };
+    let mut snapshot = MetricsSnapshot {
+        counters: uint_map("counters")?,
+        gauges: uint_map("gauges")?,
+        histograms: Default::default(),
+    };
+    let histograms = match doc.get("histograms") {
+        None | Some(Value::Null) => &[],
+        Some(Value::Object(fields)) => fields.as_slice(),
+        Some(_) => return Err(WireError("\"histograms\" must be an object".into())),
+    };
+    for (name, h) in histograms {
+        let mut hist = HistogramSnapshot {
+            count: get_u64(h, "count")?,
+            sum: get_u64(h, "sum")?,
+            max: get_u64(h, "max")?,
+            buckets: vec![0; BUCKET_COUNT],
+        };
+        let pairs = h
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or_else(|| WireError(format!("histogram {name:?} needs a buckets array")))?;
+        for pair in pairs {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| WireError("histogram buckets must be [index, n] pairs".into()))?;
+            let (index, n) = (pair[0].as_u64(), pair[1].as_u64());
+            let (Some(index), Some(n)) = (index, n) else {
+                return Err(WireError("histogram bucket pairs must be unsigned".into()));
+            };
+            if (index as usize) < hist.buckets.len() {
+                hist.buckets[index as usize] += n;
+            }
+            // An index beyond BUCKET_COUNT means the peer's histogram is
+            // finer-grained than ours; drop the bucket (count/sum stay
+            // authoritative) rather than reject the frame.
+        }
+        snapshot.histograms.insert(name.clone(), hist);
+    }
+    Ok(snapshot)
 }
 
 fn get_rows(doc: &Value, key: &str) -> Result<Vec<Vec<String>>, WireError> {
@@ -744,6 +889,79 @@ mod tests {
             message: "bad frame".into(),
         });
         round_trip_response(Response::ShuttingDown { id: 7 });
+    }
+
+    #[test]
+    fn metrics_snapshots_round_trip() {
+        use wireframe_obs::Registry;
+        let registry = Registry::new();
+        registry.counter("serve.requests").add(12);
+        registry.counter("executor.cache_hits").add(3);
+        registry.gauge("graph.delta_overlay_edges").set(40);
+        let h = registry.histogram("query.latency_us");
+        h.record(150);
+        h.record(9_000);
+        h.record(u64::MAX); // saturating top bucket survives the wire
+        round_trip_response(Response::Metrics {
+            id: 8,
+            epoch: 5,
+            snapshot: registry.snapshot(),
+        });
+        round_trip_request(Request::Metrics { id: 8 });
+        // An empty snapshot (counters-only registry, nothing recorded).
+        round_trip_response(Response::Metrics {
+            id: 9,
+            epoch: 0,
+            snapshot: Registry::new().snapshot(),
+        });
+    }
+
+    #[test]
+    fn metrics_snapshots_decode_leniently() {
+        // Missing sections decode empty; bucket indexes beyond our
+        // resolution are dropped, not fatal.
+        let doc = parse_frame(r#"{"counters":{"a":1}}"#).unwrap();
+        let snap = snapshot_from_json(&doc).unwrap();
+        assert_eq!(snap.counter("a"), 1);
+        assert!(snap.gauges.is_empty() && snap.histograms.is_empty());
+        let doc = parse_frame(
+            r#"{"histograms":{"h":{"count":2,"sum":10,"max":9,"buckets":[[1,1],[99999,1]]}}}"#,
+        )
+        .unwrap();
+        let snap = snapshot_from_json(&doc).unwrap();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!((h.count, h.buckets[1]), (2, 1));
+        // Present but malformed still errors.
+        let doc = parse_frame(r#"{"counters":{"a":"x"}}"#).unwrap();
+        assert!(snapshot_from_json(&doc).is_err());
+        let doc =
+            parse_frame(r#"{"histograms":{"h":{"count":1,"sum":1,"max":1,"buckets":[[1]]}}}"#)
+                .unwrap();
+        assert!(snapshot_from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn shed_split_decodes_leniently_for_old_peers() {
+        // A pre-split peer reports neither shed field: decode as zeros.
+        let doc = parse_frame(
+            r#"{"epoch":1,"connections":1,"requests":2,"queries":1,"mutations":0,
+                "mutation_batches":0,"coalesced_mutations":0,"subscriptions":0,
+                "updates_pushed":0,"cache_hits":1,"cache_misses":1,"view_serves":1,
+                "full_evaluations":1,"plans_maintained":0}"#,
+        )
+        .unwrap();
+        let stats = ServeStats::from_json(&doc).unwrap();
+        assert_eq!((stats.shed_queue_full, stats.shed_deadline), (0, 0));
+        assert_eq!(stats.requests, 2, "known fields still decode");
+        // Both split fields round-trip when present.
+        round_trip_response(Response::Stats {
+            id: 1,
+            stats: ServeStats {
+                shed_queue_full: 3,
+                shed_deadline: 2,
+                ..ServeStats::default()
+            },
+        });
     }
 
     #[test]

@@ -54,6 +54,13 @@
 //!                                 compaction (default 0.25; lower it to force
 //!                                 compaction cycles within a short churn run)
 //!   --edge-burnback               enable triangulation + edge burnback (wireframe only)
+//!   --obs on|off                  telemetry histograms/spans (default on; counters
+//!                                 stay live either way). `--scenario serve-net
+//!                                 --obs off` is the instrumentation-overhead A/B:
+//!                                 compare its report against an --obs on baseline
+//!   --metrics-out <path>          serve-net: scrape the server's Prometheus
+//!                                 endpoint at the end of the run and write the
+//!                                 text rendering here
 //!   --json <path>                 write the BENCH_*.json report here
 //!   --baseline <path>             compare against a previous report …
 //!   --tolerance <P%>              … allowing P% slack on latency/QPS (default 15%)
@@ -77,7 +84,9 @@ use wireframe_bench::cyclic::{
     cyclic_dataset, cyclic_workload, run_cyclic, CyclicOptions, DATASET_SEED,
 };
 use wireframe_bench::driver::run_engine;
-use wireframe_bench::report::{compare, parse_tolerance, BenchReport, SCHEMA_VERSION};
+use wireframe_bench::report::{
+    compare, parse_tolerance, BenchReport, PhaseBreakdown, SCHEMA_VERSION,
+};
 use wireframe_bench::servenet::{run_serve_net, ServeNetOptions};
 use wireframe_bench::sharded::{run_sharded, ShardedOptions};
 use wireframe_bench::{build_dataset_with_store, DatasetSize};
@@ -105,6 +114,8 @@ struct Options {
     shards: usize,
     compaction_threshold: Option<f64>,
     edge_burnback: bool,
+    obs: bool,
+    metrics_out: Option<String>,
     json: Option<String>,
     baseline: Option<String>,
     tolerance: Option<f64>,
@@ -116,7 +127,8 @@ fn usage() -> &'static str {
      [--scenario serve|churn|serve-net|sharded|cyclic [--epochs N] [--batch N] [--insert-fraction F] \
      [--churn-seed N] [--clients N] [--requests N] [--write-fraction F] [--queue-depth N] \
      [--shards N]] [--maintenance incremental|reeval] [--compaction-threshold F] \
-     [--edge-burnback] [--json PATH] [--baseline PATH [--tolerance P%]]"
+     [--edge-burnback] [--obs on|off] [--metrics-out PATH] [--json PATH] \
+     [--baseline PATH [--tolerance P%]]"
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -145,6 +157,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         shards: ShardedOptions::default().shards,
         compaction_threshold: None,
         edge_burnback: false,
+        obs: true,
+        metrics_out: None,
         json: None,
         baseline: None,
         tolerance: None,
@@ -290,6 +304,14 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                 options.compaction_threshold = Some(threshold);
             }
             "--edge-burnback" => options.edge_burnback = true,
+            "--obs" => {
+                options.obs = match value(&mut args, "--obs")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => return Err("--obs must be on or off".to_owned()),
+                }
+            }
+            "--metrics-out" => options.metrics_out = Some(value(&mut args, "--metrics-out")?),
             "--json" => options.json = Some(value(&mut args, "--json")?),
             "--baseline" => options.baseline = Some(value(&mut args, "--baseline")?),
             "--tolerance" => {
@@ -301,6 +323,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     }
     if options.tolerance.is_some() && options.baseline.is_none() {
         return Err("--tolerance only applies together with --baseline".to_owned());
+    }
+    if options.metrics_out.is_some() && options.scenario != "serve-net" {
+        return Err("--metrics-out only applies to --scenario serve-net".to_owned());
     }
     options.size = size.unwrap_or_else(DatasetSize::from_env);
     Ok(options)
@@ -396,6 +421,8 @@ fn run() -> Result<bool, String> {
             queue_depth: options.queue_depth,
             ..ServeConfig::default()
         },
+        obs: options.obs,
+        metrics_out: options.metrics_out.clone(),
         ..ServeNetOptions::default()
     };
 
@@ -436,6 +463,7 @@ fn run() -> Result<bool, String> {
         let session_config = SessionConfig::new()
             .engine_config(config)
             .maintenance(options.maintenance)
+            .obs(options.obs)
             .engine(name);
         let executor: Arc<dyn QueryExecutor> = Arc::new(
             Session::from_config(Arc::clone(&graph), session_config).map_err(|e| e.to_string())?,
@@ -469,8 +497,14 @@ fn run() -> Result<bool, String> {
                 serve.shed_rate * 100.0,
                 serve.mutation_batches,
                 serve.coalesced_mutations,
-                serve.subscription_lag_epochs
+                serve.subscription_lag_epochs,
             );
+            if !serve.obs {
+                eprintln!(
+                    "{:<12} telemetry histograms/spans OFF (overhead A/B lane)",
+                    run.engine
+                );
+            }
             report.engines.push(run);
             continue;
         }
@@ -694,6 +728,28 @@ fn print_summary(report: &BenchReport) {
                     .map_or("-".to_owned(), |v| format!("{v:.4}")),
             );
         }
+        if !engine.queries.is_empty() {
+            // Label the two defactorization columns explicitly: the wall
+            // clock is what a client waits; the worker-cpu sum is what the
+            // parallel phase-two defactorizer actually burned across its
+            // threads (equal when sequential, larger when parallel).
+            let n = engine.queries.len() as f64;
+            let mean = |pick: fn(&PhaseBreakdown) -> f64| {
+                engine.queries.iter().map(|q| pick(&q.phases)).sum::<f64>() / n
+            };
+            println!(
+                "{:<12} {:<7} plan {:.3} · ag {:.3} · burnback {:.3} · \
+                 defac {:.3} wall / {:.3} worker-cpu · exec {:.3} (mean ms)",
+                engine.engine,
+                "phases",
+                mean(|p| p.planning_ms),
+                mean(|p| p.answer_graph_ms),
+                mean(|p| p.edge_burnback_ms),
+                mean(|p| p.defactorization_ms),
+                mean(|p| p.defactorization_cpu_ms),
+                mean(|p| p.execution_ms),
+            );
+        }
         println!(
             "{:<12} {:<7} {:>9.1} qps over {} queries",
             engine.engine, "all", engine.qps, engine.total_queries
@@ -840,6 +896,21 @@ mod tests {
         let err = parse(&["--shards", "two"]).unwrap_err();
         assert!(err.contains("--shards"), "{err}");
         assert!(parse(&["--shards"]).is_err(), "a value is required");
+    }
+
+    #[test]
+    fn obs_and_metrics_out_flags_parse() {
+        assert!(parse(&[]).unwrap().obs, "telemetry defaults to on");
+        assert!(parse(&["--obs", "on"]).unwrap().obs);
+        assert!(!parse(&["--obs", "off"]).unwrap().obs);
+        assert!(parse(&["--obs", "maybe"]).is_err());
+
+        let options = parse(&["--scenario", "serve-net", "--metrics-out", "m.txt"]).unwrap();
+        assert_eq!(options.metrics_out.as_deref(), Some("m.txt"));
+        // The scrape rides on the serve-net server; elsewhere it is a
+        // usage error, rejected before any benchmark work starts.
+        let err = parse(&["--metrics-out", "m.txt"]).unwrap_err();
+        assert!(err.contains("serve-net"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::report::{EngineRun, PhaseBreakdown, QueryReport};
 #[derive(Debug, Clone, Default)]
 struct QueryAccumulator {
     latencies_ms: Vec<f64>,
-    phase_sums: [f64; 5],
+    phase_sums: [f64; 6],
     embeddings: u64,
     answer_graph_edges: Option<u64>,
 }
@@ -42,6 +42,9 @@ impl QueryAccumulator {
             timings.edge_burnback,
             timings.defactorization,
             timings.execution,
+            // Worker cpu-sum, reported next to the wall-clock phase so
+            // parallel defactorization's true cost stays visible.
+            timings.defactorization_cpu,
         ];
         for (sum, phase) in self.phase_sums.iter_mut().zip(phases) {
             *sum += phase.as_secs_f64() * 1e3;
@@ -61,21 +64,13 @@ impl QueryAccumulator {
 }
 
 /// Nearest-rank percentile of an unsorted sample list (`p` in 0..=100).
-pub fn percentile_ms(samples: &[f64], p: f64) -> f64 {
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    percentile_sorted(&sorted, p)
-}
+/// Delegates to the shared implementation in the telemetry crate so the
+/// bench driver and the metrics registry report identical quantiles.
+pub use wireframe_api::obs::percentile_ms;
 
 /// Nearest-rank percentile of an already ascending-sorted sample list, so
 /// one sort serves every percentile of a query's report.
-pub(crate) fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+pub(crate) use wireframe_api::obs::percentile_sorted;
 
 /// The workload-facing shape name used in reports.
 pub fn shape_name(shape: Shape) -> &'static str {
@@ -192,6 +187,7 @@ pub fn run_engine(
                     edge_burnback_ms: acc.phase_sums[2] * scale,
                     defactorization_ms: acc.phase_sums[3] * scale,
                     execution_ms: acc.phase_sums[4] * scale,
+                    defactorization_cpu_ms: acc.phase_sums[5] * scale,
                 },
                 embeddings: acc.embeddings,
                 answer_graph_edges: acc.answer_graph_edges,

@@ -129,10 +129,16 @@ pub struct PhaseBreakdown {
     pub answer_graph_ms: f64,
     /// Optional edge burnback.
     pub edge_burnback_ms: f64,
-    /// Phase two: embedding generation.
+    /// Phase two: embedding generation — **wall-clock** (what a client
+    /// waits), even when parallel workers split the work.
     pub defactorization_ms: f64,
     /// Single-pass execution (non-factorized engines).
     pub execution_ms: f64,
+    /// Phase two **cpu-sum** across defactorization workers: equals
+    /// `defactorization_ms` on the sequential path, exceeds it when
+    /// parallel workers overlap. Never added into totals. Reports written
+    /// before the field existed read back as zero.
+    pub defactorization_cpu_ms: f64,
 }
 
 /// Measured statistics of one query on one engine.
@@ -265,6 +271,11 @@ pub struct ServeReport {
     pub subscription_lag_epochs: u64,
     /// Server epoch when the run drained (= `mutation_batches`).
     pub final_epoch: u64,
+    /// Whether telemetry histograms and span sampling were enabled for the
+    /// run (`wfbench --scenario serve-net --obs off` is the A/B lever for
+    /// measuring instrumentation overhead). Reports written before the
+    /// flag existed read back as `true`.
+    pub obs: bool,
 }
 
 /// One engine's closed-loop run over the whole workload.
@@ -405,6 +416,8 @@ fn serve_from_json(doc: &Value) -> Result<ServeReport, String> {
         subscription_updates: field_u64(doc, "subscription_updates")?,
         subscription_lag_epochs: field_u64(doc, "subscription_lag_epochs")?,
         final_epoch: field_u64(doc, "final_epoch")?,
+        // Absent on pre-telemetry reports, which always ran instrumented.
+        obs: doc.get("obs").and_then(Value::as_bool).unwrap_or(true),
     })
 }
 
@@ -469,6 +482,11 @@ fn query_from_json(doc: &Value) -> Result<QueryReport, String> {
             edge_burnback_ms: field_f64(phases, "edge_burnback_ms")?,
             defactorization_ms: field_f64(phases, "defactorization_ms")?,
             execution_ms: field_f64(phases, "execution_ms")?,
+            // Absent on reports written before the wall/cpu split.
+            defactorization_cpu_ms: phases
+                .get("defactorization_cpu_ms")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
         },
         embeddings: field_u64(doc, "embeddings")?,
         answer_graph_edges: doc.get("answer_graph_edges").and_then(Value::as_u64),
@@ -795,6 +813,7 @@ mod tests {
                         edge_burnback_ms: 0.0,
                         defactorization_ms: 0.9,
                         execution_ms: 0.0,
+                        defactorization_cpu_ms: 0.9,
                     },
                     embeddings: 1216,
                     answer_graph_edges: Some(48),
@@ -875,6 +894,7 @@ mod tests {
             subscription_updates: 44,
             subscription_lag_epochs: 2,
             final_epoch: 61,
+            obs: true,
         });
         report
     }
@@ -1011,6 +1031,26 @@ mod tests {
         assert!(compare(&serve_report(), &parsed, 0.15)
             .iter()
             .all(|r| !r.metric.starts_with("serve")));
+    }
+
+    #[test]
+    fn pre_telemetry_reports_read_back_with_defaults() {
+        // Reports written before the wall/cpu split and the obs flag carry
+        // neither field; renaming the keys simulates their absence (the
+        // parser ignores unknown fields).
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"defactorization_cpu_ms\"", "\"legacy\"");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(
+            parsed.engines[0].queries[0].phases.defactorization_cpu_ms,
+            0.0
+        );
+        let text = serve_report()
+            .to_json_string()
+            .replace("\"obs\"", "\"legacy\"");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert!(parsed.engines[0].serve.as_ref().unwrap().obs);
     }
 
     #[test]

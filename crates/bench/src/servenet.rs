@@ -58,6 +58,13 @@ pub struct ServeNetOptions {
     /// Server knobs (worker pool, queue depth, deadline, batch window).
     /// Shrinking `queue_depth` induces overload for shed-path testing.
     pub config: ServeConfig,
+    /// Telemetry switch for the A/B overhead measurement: `false` runs the
+    /// identical lane with histograms and span sampling off
+    /// (`--scenario serve-net --obs off`).
+    pub obs: bool,
+    /// When set, scrape the server's Prometheus endpoint right before
+    /// shutdown and write the text to this path (`--metrics-out`).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for ServeNetOptions {
@@ -69,6 +76,8 @@ impl Default for ServeNetOptions {
             seed: 0xC0FFEE,
             limit: 16,
             config: ServeConfig::default(),
+            obs: true,
+            metrics_out: None,
         }
     }
 }
@@ -197,7 +206,12 @@ pub fn run_serve_net(
     }
     let before = executor.stats();
 
-    let server = Server::start(Arc::clone(executor), "127.0.0.1:0", opts.config.clone())
+    let mut config = opts.config.clone();
+    config.obs = opts.obs;
+    if opts.metrics_out.is_some() && config.metrics_addr.is_none() {
+        config.metrics_addr = Some("127.0.0.1:0".to_owned());
+    }
+    let server = Server::start(Arc::clone(executor), "127.0.0.1:0", config)
         .map_err(|e| format!("cannot bind the serve-net server: {e}"))?;
     let addr = server.local_addr();
 
@@ -254,6 +268,13 @@ pub fn run_serve_net(
 
     let final_epoch = executor.epoch();
     let stats = server.stats();
+    if let Some(path) = &opts.metrics_out {
+        let scrape_addr = server
+            .metrics_local_addr()
+            .expect("metrics_out forces a metrics listener");
+        let body = scrape_metrics(scrape_addr)?;
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     server.shutdown();
 
     let mut latencies: Vec<f64> = outcomes
@@ -282,6 +303,7 @@ pub fn run_serve_net(
         subscription_updates: observed.updates,
         subscription_lag_epochs: observed.max_lag_epochs,
         final_epoch,
+        obs: opts.obs,
     };
     let after = executor.stats();
     Ok(EngineRun {
@@ -295,6 +317,24 @@ pub fn run_serve_net(
         churn: None,
         serve: Some(serve),
     })
+}
+
+/// One HTTP GET against the server's Prometheus endpoint, returning the
+/// rendered text body (`--metrics-out` snapshots the end-of-run state).
+fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to the metrics endpoint: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .map_err(|e| format!("metrics request failed: {e}"))?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| format!("metrics read failed: {e}"))?;
+    text.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .ok_or_else(|| "metrics response is not HTTP".to_owned())
 }
 
 /// One closed-loop client: executes its pre-generated program back-to-back
@@ -445,5 +485,34 @@ mod tests {
             "serve-net reports tails, not per-query"
         );
         assert!(run.churn.is_none());
+    }
+
+    #[test]
+    fn serve_net_obs_off_still_scrapes_counters() {
+        let graph = Arc::new(build_dataset_with_store(
+            DatasetSize::Tiny,
+            StoreKind::Delta,
+        ));
+        let workload = wireframe_datagen::full_workload(&graph).unwrap();
+        let executor: Arc<dyn QueryExecutor> = Arc::new(wireframe::Session::shared(graph));
+        let out = std::env::temp_dir().join(format!(
+            "wfbench-servenet-metrics-{}.txt",
+            std::process::id()
+        ));
+        let opts = ServeNetOptions {
+            clients: 2,
+            requests: 10,
+            obs: false,
+            metrics_out: Some(out.to_string_lossy().into_owned()),
+            ..ServeNetOptions::default()
+        };
+        let run = run_serve_net(&executor, &workload, &opts).unwrap();
+        let serve = run.serve.as_ref().unwrap();
+        assert!(!serve.obs, "the A/B flag lands in the report");
+        let text = std::fs::read_to_string(&out).unwrap();
+        std::fs::remove_file(&out).ok();
+        // Counters survive --obs off; the histogram summaries do not.
+        assert!(text.contains("wf_serve_queries "), "{text}");
+        assert!(!text.contains("wf_serve_request_us_count"), "{text}");
     }
 }

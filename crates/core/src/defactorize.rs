@@ -119,6 +119,10 @@ pub struct DefactorizationStats {
     pub peak_intermediate: usize,
     /// Number of embedding tuples produced (before projection).
     pub embeddings: usize,
+    /// CPU time summed across workers (index building + joining). Equals
+    /// the phase's wall-clock on the sequential path; exceeds it when the
+    /// parallel defactorizer ran workers concurrently.
+    pub cpu: std::time::Duration,
 }
 
 /// Chooses a join order for phase two: connected, smallest answer-edge set
@@ -175,12 +179,15 @@ pub fn defactorize(
             "embedding plan does not cover every query edge".into(),
         ));
     }
+    let busy = std::time::Instant::now();
     // Sorted join indexes, snapshotted once per pattern and probed per tuple.
     let indexes: Vec<JoinIndex> = (0..query.num_patterns())
         .map(|q| JoinIndex::build(ag.pattern(q)))
         .collect();
     let index_refs: Vec<&JoinIndex> = indexes.iter().collect();
-    defactorize_indexed(query, &index_refs, order)
+    let (set, mut stats) = defactorize_indexed(query, &index_refs, order)?;
+    stats.cpu = busy.elapsed();
+    Ok((set, stats))
 }
 
 /// The join loop over prebuilt indexes. Exposed crate-internally so the
@@ -193,8 +200,7 @@ pub(crate) fn defactorize_indexed(
 ) -> Result<(EmbeddingSet, DefactorizationStats), EngineError> {
     let mut stats = DefactorizationStats {
         join_order: order.to_vec(),
-        peak_intermediate: 0,
-        embeddings: 0,
+        ..DefactorizationStats::default()
     };
 
     // Bound variables so far -> column index in the intermediate tuples.

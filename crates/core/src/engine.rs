@@ -243,6 +243,7 @@ impl<'g> WireframeEngine<'g> {
         let t3 = Instant::now();
         let (embeddings, defact_stats) = view.defactorize()?;
         timings.defactorization = t3.elapsed();
+        timings.defactorization_cpu = defact_stats.cpu;
 
         Ok(QueryOutput {
             view,

@@ -516,6 +516,7 @@ impl MaintainedView for MaterializedQuery {
         let (embeddings, defact) = self.defactorize()?;
         let timings = Timings {
             defactorization: t.elapsed(),
+            defactorization_cpu: defact.cpu,
             ..Timings::default()
         };
         let factorized = self.factorized();

@@ -108,6 +108,7 @@ pub fn defactorize_parallel(
                 let order = order.clone();
                 let shared = &shared;
                 handles.push(scope.spawn(move || -> WorkerResult {
+                    let busy = std::time::Instant::now();
                     let seed_index = JoinIndex::from_pairs(chunk.to_vec());
                     let indexes: Vec<&JoinIndex> = (0..query.num_patterns())
                         .map(|q| {
@@ -118,7 +119,9 @@ pub fn defactorize_parallel(
                             }
                         })
                         .collect();
-                    defactorize_indexed(query, &indexes, &order)
+                    let (set, mut stats) = defactorize_indexed(query, &indexes, &order)?;
+                    stats.cpu = busy.elapsed();
+                    Ok((set, stats))
                 }));
             }
             handles
@@ -138,13 +141,15 @@ pub fn defactorize_parallel(
     let schema: Vec<Var> = query.variables().collect();
     let mut stats = DefactorizationStats {
         join_order: order,
-        peak_intermediate: 0,
-        embeddings: 0,
+        ..DefactorizationStats::default()
     };
     let mut merged = EmbeddingSet::empty(schema);
     for (part, part_stats) in results {
         stats.peak_intermediate = stats.peak_intermediate.max(part_stats.peak_intermediate);
         stats.embeddings += part_stats.embeddings;
+        // Busy time sums across workers (the wall-clock the caller measures
+        // stays ≤ this once more than one worker overlaps).
+        stats.cpu += part_stats.cpu;
         // Flat row-major concatenation: one memcpy per partition.
         merged.append(&part);
     }
@@ -206,6 +211,10 @@ mod tests {
             par_stats.peak_intermediate <= seq_stats.peak_intermediate,
             "each worker holds a fraction of the intermediates"
         );
+        // Busy time is recorded on both paths: the sequential run's equals
+        // its wall-clock, the parallel run's sums over the 4 workers.
+        assert!(seq_stats.cpu > std::time::Duration::ZERO);
+        assert!(par_stats.cpu > std::time::Duration::ZERO);
     }
 
     #[test]

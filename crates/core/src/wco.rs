@@ -596,6 +596,7 @@ impl Engine for WcoEngine<'_> {
         let t = Instant::now();
         let (embeddings, defact) = view.defactorize()?;
         timings.defactorization = t.elapsed();
+        timings.defactorization_cpu = defact.cpu;
 
         let factorized = view.factorized();
         let metrics = factorized.metrics(defact.peak_intermediate as u64);
@@ -901,6 +902,7 @@ impl MaintainedView for WcoView {
         let (embeddings, defact) = self.defactorize()?;
         let timings = Timings {
             defactorization: t.elapsed(),
+            defactorization_cpu: defact.cpu,
             ..Timings::default()
         };
         let factorized = self.factorized();

@@ -285,6 +285,20 @@ impl Graph {
         }
     }
 
+    /// Delta-overlay size in edges; 0 on the non-delta backends. Integer
+    /// form of [`Graph::delta_stats`] for the metrics gauges.
+    pub fn overlay_edges(&self) -> u64 {
+        self.delta_stats().map_or(0, |(edges, _)| edges as u64)
+    }
+
+    /// Delta-overlay fraction of the base in parts per million; 0 on the
+    /// non-delta backends. Gauges are integers, and ppm keeps three decimal
+    /// places of the percentage without floating point on the wire.
+    pub fn overlay_fraction_ppm(&self) -> u64 {
+        self.delta_stats()
+            .map_or(0, |(_, fraction)| (fraction * 1e6).round() as u64)
+    }
+
     /// Applies a [`Mutation`] and returns the resulting graph version plus
     /// what actually changed. Operations resolve in order with set semantics
     /// (see [`Mutation`]); labels never seen before are interned, so the new
@@ -858,6 +872,15 @@ mod tests {
         let (pending, fraction) = grown.delta_stats().unwrap();
         assert_eq!(pending, 1);
         assert!(fraction > 0.0);
+        // Integer gauge forms track the float stats.
+        assert_eq!(grown.overlay_edges(), 1);
+        assert_eq!(
+            grown.overlay_fraction_ppm(),
+            (fraction * 1e6).round() as u64
+        );
+        assert!(grown.overlay_fraction_ppm() > 0);
+        assert_eq!(sample().overlay_edges(), 0, "csr gauges read zero");
+        assert_eq!(sample().overlay_fraction_ppm(), 0);
 
         let eager = grown.with_compaction_threshold(0.0);
         assert_eq!(eager.compaction_threshold(), 0.0);

@@ -1,0 +1,94 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`].
+
+use crate::metrics::MetricsSnapshot;
+
+/// Sanitizes a registry metric name into the Prometheus grammar
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`): dots and other separators become
+/// underscores, and everything is namespaced under `wf_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("wf_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format: counters
+/// and gauges as plain samples, histograms as summaries (`quantile`
+/// labels plus `_count`/`_sum`/`_max`), with quantile values converted
+/// from recorded microseconds to seconds per the Prometheus base-unit
+/// convention. Deterministic: names render in sorted order.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let name = prom_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let name = prom_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let name = prom_name(name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (label, p) in [
+            ("0.5", 50.0),
+            ("0.95", 95.0),
+            ("0.99", 99.0),
+            ("0.999", 99.9),
+        ] {
+            out.push_str(&format!(
+                "{name}{{quantile=\"{label}\"}} {}\n",
+                hist.quantile(p) as f64 / 1e6
+            ));
+        }
+        out.push_str(&format!("{name}_sum {}\n", hist.sum as f64 / 1e6));
+        out.push_str(&format!("{name}_count {}\n", hist.count));
+        out.push_str(&format!("{name}_max {}\n", hist.max as f64 / 1e6));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn rendering_is_deterministic_and_prometheus_shaped() {
+        let registry = Registry::new();
+        registry.counter("serve.requests").add(42);
+        registry.gauge("graph.delta_overlay_edges").set(7);
+        let h = registry.histogram("query.latency_us");
+        h.record(1_000); // 1 ms
+        h.record(2_000);
+        let text = render_prometheus(&registry.snapshot());
+        assert_eq!(text, render_prometheus(&registry.snapshot()));
+        assert!(text.contains("# TYPE wf_serve_requests counter\nwf_serve_requests 42\n"));
+        assert!(text.contains("# TYPE wf_graph_delta_overlay_edges gauge\n"));
+        assert!(text.contains("wf_graph_delta_overlay_edges 7\n"));
+        assert!(text.contains("# TYPE wf_query_latency_us summary\n"));
+        assert!(text.contains("wf_query_latency_us_count 2\n"));
+        assert!(text.contains("wf_query_latency_us_sum 0.003\n"));
+        // Quantile samples carry the quantile label and are in seconds.
+        let p50 = text
+            .lines()
+            .find(|l| l.starts_with("wf_query_latency_us{quantile=\"0.5\"}"))
+            .expect("p50 sample");
+        let value: f64 = p50.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((0.001..0.0012).contains(&value), "p50 ≈ 1 ms, got {value}");
+        // Every non-comment line parses as `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            assert!(name.starts_with("wf_"), "{line}");
+            parts.next().unwrap().parse::<f64>().expect(line);
+            assert_eq!(parts.next(), None, "{line}");
+        }
+    }
+}

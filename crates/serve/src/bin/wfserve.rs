@@ -14,6 +14,12 @@
 //!   --threads <N>             phase-two worker threads per evaluation (default 1; 0 = auto)
 //!   --shards <N>              serve through a sharded cluster of N vertex
 //!                             partitions (default 1 = single session)
+//!   --metrics-addr <host:port> second listener answering HTTP GETs with a
+//!                             Prometheus-style metrics rendering (port 0 = ephemeral)
+//!   --slow-query-ms <N>       log completed span trees of queries slower
+//!                             than N ms to stderr (default off)
+//!   --obs on|off              telemetry histograms/spans (default on;
+//!                             counters stay live either way)
 //! ```
 //!
 //! The server runs until a client sends a `shutdown` request or stdin
@@ -38,12 +44,14 @@ struct Options {
     config: ServeConfig,
     threads: usize,
     shards: usize,
+    slow_query_ms: Option<u64>,
 }
 
 fn usage() -> &'static str {
     "usage: wfserve <triples-file> [--addr host:port] [--engine <name>] \
      [--store csr|map|delta] [--workers N] [--queue-depth N] [--deadline-ms N] \
-     [--batch-window-ms N] [--threads N] [--shards N]"
+     [--batch-window-ms N] [--threads N] [--shards N] [--metrics-addr host:port] \
+     [--slow-query-ms N] [--obs on|off]"
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -56,6 +64,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         config: ServeConfig::default(),
         threads: 1,
         shards: 1,
+        slow_query_ms: None,
     };
     let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<u64, String> {
         args.next()
@@ -82,6 +91,20 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     Duration::from_millis(number(&mut args, "--batch-window-ms")?)
             }
             "--threads" => options.threads = number(&mut args, "--threads")? as usize,
+            "--metrics-addr" => {
+                options.config.metrics_addr =
+                    Some(args.next().ok_or("--metrics-addr needs a value")?)
+            }
+            "--slow-query-ms" => {
+                options.slow_query_ms = Some(number(&mut args, "--slow-query-ms")?)
+            }
+            "--obs" => {
+                options.config.obs = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => return Err("--obs must be on or off".to_owned()),
+                }
+            }
             "--shards" => {
                 options.shards = number(&mut args, "--shards")? as usize;
                 if options.shards == 0 {
@@ -127,9 +150,13 @@ fn run() -> Result<(), String> {
         };
         engine_config = engine_config.with_threads(threads);
     }
-    let session_config = SessionConfig::new()
+    let mut session_config = SessionConfig::new()
         .engine(&options.engine)
-        .engine_config(engine_config);
+        .engine_config(engine_config)
+        .obs(options.config.obs);
+    if let Some(ms) = options.slow_query_ms {
+        session_config = session_config.slow_query_ms(ms);
+    }
     let executor: Arc<dyn QueryExecutor> = if options.shards > 1 {
         eprintln!(
             "serving through {} vertex-partitioned shards",
@@ -146,6 +173,9 @@ fn run() -> Result<(), String> {
     let server = Server::start(executor, &options.addr, options.config)
         .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
     println!("listening on {}", server.local_addr());
+    if let Some(addr) = server.metrics_local_addr() {
+        println!("metrics on http://{addr}/metrics");
+    }
 
     // Serve until a client requests shutdown or stdin reaches EOF.
     let stdin_done = Arc::new(AtomicBool::new(false));

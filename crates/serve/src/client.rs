@@ -13,6 +13,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use serde::json;
+use wireframe_api::obs::MetricsSnapshot;
 use wireframe_api::wire::{self, EmbeddingDelta, Request, Response, RowSet, ServeStats};
 
 use crate::frame::{self, FrameReader};
@@ -228,6 +229,19 @@ impl Client {
         let id = self.fresh_id();
         match self.roundtrip(&Request::Stats { id })? {
             Response::Stats { stats, .. } => Ok(stats),
+            other => Client::fail(other),
+        }
+    }
+
+    /// `metrics`: the full registry snapshot (serve layer merged with the
+    /// executor's, including per-shard breakdowns on a cluster), plus the
+    /// epoch it was taken at.
+    pub fn metrics(&mut self) -> Result<(u64, MetricsSnapshot), ClientError> {
+        let id = self.fresh_id();
+        match self.roundtrip(&Request::Metrics { id })? {
+            Response::Metrics {
+                epoch, snapshot, ..
+            } => Ok((epoch, snapshot)),
             other => Client::fail(other),
         }
     }

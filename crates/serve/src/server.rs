@@ -42,7 +42,7 @@
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -50,6 +50,9 @@ use std::time::{Duration, Instant};
 
 use serde::json::{self, Value};
 use wireframe::{EdgeDelta, Mutation, QueryExecutor};
+use wireframe_api::obs::{
+    names, render_prometheus, Counter, Gauge, Histogram, MetricsSnapshot, Registry,
+};
 use wireframe_api::wire::{EmbeddingDelta, Request, Response, RowSet, ServeStats};
 use wireframe_api::Evaluation;
 
@@ -72,6 +75,14 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Cap on a single frame's payload bytes.
     pub max_frame: usize,
+    /// Telemetry switch: `false` downgrades the server's registry to
+    /// counters-only (histograms become no-ops) — the `--obs off` A/B
+    /// lever for measuring instrumentation overhead.
+    pub obs: bool,
+    /// When set, a second listener on this address answers HTTP GETs with
+    /// a Prometheus-style text rendering of the merged metrics snapshot
+    /// (`wfserve --metrics-addr`).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +94,8 @@ impl Default for ServeConfig {
             batch_window: Duration::from_millis(2),
             max_batch: 256,
             max_frame: frame::DEFAULT_MAX_FRAME,
+            obs: true,
+            metrics_addr: None,
         }
     }
 }
@@ -138,17 +151,40 @@ struct Subscription {
     rows: Vec<Vec<u32>>,
 }
 
-#[derive(Default)]
+/// Serve-layer counters, all handles into the server's [`Registry`] — the
+/// registry snapshot is the single source of truth; [`ServeStats`] and the
+/// `metrics` request both read from it.
 struct Counters {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    queries: AtomicU64,
-    mutations: AtomicU64,
-    mutation_batches: AtomicU64,
-    coalesced_mutations: AtomicU64,
-    shed_queue_full: AtomicU64,
-    shed_deadline: AtomicU64,
-    updates_pushed: AtomicU64,
+    connections: Counter,
+    requests: Counter,
+    queries: Counter,
+    mutations: Counter,
+    mutation_batches: Counter,
+    coalesced_mutations: Counter,
+    shed_queue_full: Counter,
+    shed_deadline: Counter,
+    updates_pushed: Counter,
+    subscriptions_active: Gauge,
+    /// Queue-to-response latency of worker-served requests.
+    request_us: Histogram,
+}
+
+impl Counters {
+    fn new(metrics: &Registry) -> Counters {
+        Counters {
+            connections: metrics.counter(names::SERVE_CONNECTIONS),
+            requests: metrics.counter(names::SERVE_REQUESTS),
+            queries: metrics.counter(names::SERVE_QUERIES),
+            mutations: metrics.counter(names::SERVE_MUTATIONS),
+            mutation_batches: metrics.counter(names::SERVE_MUTATION_BATCHES),
+            coalesced_mutations: metrics.counter(names::SERVE_COALESCED_MUTATIONS),
+            shed_queue_full: metrics.counter(names::SERVE_SHED_QUEUE_FULL),
+            shed_deadline: metrics.counter(names::SERVE_SHED_DEADLINE),
+            updates_pushed: metrics.counter(names::SERVE_UPDATES_PUSHED),
+            subscriptions_active: metrics.gauge(names::SERVE_SUBSCRIPTIONS_ACTIVE),
+            request_us: metrics.histogram(names::SERVE_REQUEST_US),
+        }
+    }
 }
 
 struct SharedState {
@@ -163,6 +199,7 @@ struct SharedState {
     queue_cv: Condvar,
     mut_tx: SyncSender<MutJob>,
     subs: Mutex<Vec<Subscription>>,
+    metrics: Registry,
     counters: Counters,
 }
 
@@ -184,9 +221,7 @@ impl SharedState {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if queue.len() >= self.config.queue_depth {
             drop(queue);
-            self.counters
-                .shed_queue_full
-                .fetch_add(1, Ordering::Relaxed);
+            self.counters.shed_queue_full.inc();
             conn.send(&Response::Overloaded {
                 id,
                 reason: "queue".to_owned(),
@@ -204,22 +239,34 @@ impl SharedState {
         ServeStats {
             epoch: self.executor.epoch(),
             epochs: self.executor.epoch_vector(),
-            connections: c.connections.load(Ordering::Relaxed),
-            requests: c.requests.load(Ordering::Relaxed),
-            queries: c.queries.load(Ordering::Relaxed),
-            mutations: c.mutations.load(Ordering::Relaxed),
-            mutation_batches: c.mutation_batches.load(Ordering::Relaxed),
-            coalesced_mutations: c.coalesced_mutations.load(Ordering::Relaxed),
-            shed_queue_full: c.shed_queue_full.load(Ordering::Relaxed),
-            shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+            connections: c.connections.get(),
+            requests: c.requests.get(),
+            queries: c.queries.get(),
+            mutations: c.mutations.get(),
+            mutation_batches: c.mutation_batches.get(),
+            coalesced_mutations: c.coalesced_mutations.get(),
+            shed_queue_full: c.shed_queue_full.get(),
+            shed_deadline: c.shed_deadline.get(),
             subscriptions: self.subs.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
-            updates_pushed: c.updates_pushed.load(Ordering::Relaxed),
+            updates_pushed: c.updates_pushed.get(),
             cache_hits: exec.cache_hits,
             cache_misses: exec.cache_misses,
             view_serves: exec.view_serves,
             full_evaluations: exec.full_evaluations,
             plans_maintained: exec.plans_maintained,
         }
+    }
+
+    /// The full registry snapshot the `metrics` request and the scrape
+    /// endpoint both serve: the serve layer's own registry merged with the
+    /// executor's (session or cluster, including per-shard breakdowns).
+    fn merged_snapshot(&self) -> MetricsSnapshot {
+        self.counters
+            .subscriptions_active
+            .set(self.subs.lock().unwrap_or_else(|e| e.into_inner()).len() as u64);
+        let mut merged = self.metrics.snapshot();
+        merged.merge(&self.executor.metrics_snapshot());
+        merged
     }
 }
 
@@ -228,10 +275,12 @@ impl SharedState {
 pub struct Server {
     shared: Arc<SharedState>,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
     fanout: Option<JoinHandle<()>>,
+    scraper: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -248,6 +297,14 @@ impl Server {
         let addr = listener.local_addr()?;
         let (mut_tx, mut_rx) = mpsc::sync_channel(config.queue_depth.max(1));
         let (event_tx, event_rx) = mpsc::channel::<u64>();
+        // `--obs off` keeps counters live (they are plain relaxed atomics)
+        // but turns every histogram into a no-op handle.
+        let metrics = if config.obs {
+            Registry::new()
+        } else {
+            Registry::counters_only()
+        };
+        let counters = Counters::new(&metrics);
         let shared = Arc::new(SharedState {
             executor: Arc::clone(&executor),
             config,
@@ -258,7 +315,8 @@ impl Server {
             queue_cv: Condvar::new(),
             mut_tx,
             subs: Mutex::new(Vec::new()),
-            counters: Counters::default(),
+            metrics,
+            counters,
         });
 
         // Epoch events feed the fan-out. The listener runs under the
@@ -295,13 +353,25 @@ impl Server {
             let readers = Arc::clone(&readers);
             std::thread::spawn(move || run_acceptor(&shared, &listener, &readers))
         };
+        let (metrics_addr, scraper) = match &shared.config.metrics_addr {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let addr = listener.local_addr()?;
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || run_scraper(&shared, &listener));
+                (Some(addr), Some(handle))
+            }
+            None => (None, None),
+        };
         Ok(Server {
             shared,
             addr,
+            metrics_addr,
             acceptor: Some(acceptor),
             workers,
             batcher: Some(batcher),
             fanout: Some(fanout),
+            scraper,
             readers,
         })
     }
@@ -309,6 +379,18 @@ impl Server {
     /// The bound address (the actual port when started with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the Prometheus-style scrape listener, when
+    /// [`ServeConfig::metrics_addr`] was set.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The merged registry snapshot (serve layer + executor), same data as
+    /// a `metrics` request or a scrape.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.merged_snapshot()
     }
 
     /// The served executor.
@@ -358,6 +440,9 @@ impl Server {
         if let Some(fanout) = self.fanout.take() {
             let _ = fanout.join();
         }
+        if let Some(scraper) = self.scraper.take() {
+            let _ = scraper.join();
+        }
         self.shared
             .subs
             .lock()
@@ -383,7 +468,7 @@ fn run_acceptor(
                 if shared.is_shutdown() {
                     break;
                 }
-                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                shared.counters.connections.inc();
                 let shared = Arc::clone(shared);
                 let handle = std::thread::spawn(move || run_reader(&shared, stream));
                 readers
@@ -485,7 +570,7 @@ fn dispatch(shared: &Arc<SharedState>, conn: &Arc<Conn>, payload: &str) {
             return;
         }
     };
-    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    shared.counters.requests.inc();
     match request {
         Request::Mutate {
             id,
@@ -511,10 +596,7 @@ fn dispatch(shared: &Arc<SharedState>, conn: &Arc<Conn>, payload: &str) {
             match shared.mut_tx.try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(job)) => {
-                    shared
-                        .counters
-                        .shed_queue_full
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.counters.shed_queue_full.inc();
                     job.conn.send(&Response::Overloaded {
                         id,
                         reason: "queue".to_owned(),
@@ -561,17 +643,17 @@ fn handle_subscribe(
             let columns = ev.embeddings().schema().len() as u64;
             let total = rows.len() as u64;
             let shown = label_rows(shared, rows.iter(), limit);
-            shared
-                .subs
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(Subscription {
+            {
+                let mut subs = shared.subs.lock().unwrap_or_else(|e| e.into_inner());
+                subs.push(Subscription {
                     conn: Arc::clone(conn),
                     id,
                     query,
                     last_epoch: ev.epoch(),
                     rows,
                 });
+                shared.counters.subscriptions_active.set(subs.len() as u64);
+            }
             conn.send(&Response::Subscribed {
                 id,
                 epoch: ev.epoch(),
@@ -613,16 +695,14 @@ fn run_worker(shared: &Arc<SharedState>) {
 fn serve_job(shared: &Arc<SharedState>, job: Job) {
     let id = job.request.id();
     if job.enqueued.elapsed() > shared.config.deadline {
-        shared
-            .counters
-            .shed_deadline
-            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.shed_deadline.inc();
         job.conn.send(&Response::Overloaded {
             id,
             reason: "deadline".to_owned(),
         });
         return;
     }
+    let enqueued = job.enqueued;
     match job.request {
         Request::Prepare { id, query } => match shared.executor.prime(&query) {
             Ok(retained) => job.conn.send(&Response::Prepared {
@@ -637,7 +717,7 @@ fn serve_job(shared: &Arc<SharedState>, job: Job) {
         },
         Request::Query { id, query, limit } => match shared.executor.query(&query) {
             Ok(ev) => {
-                shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+                shared.counters.queries.inc();
                 let columns = ev.embeddings().schema().len() as u64;
                 let total = ev.embedding_count() as u64;
                 let graph = shared.executor.graph();
@@ -676,12 +756,24 @@ fn serve_job(shared: &Arc<SharedState>, job: Job) {
             let stats = shared.stats();
             job.conn.send(&Response::Stats { id, stats });
         }
+        Request::Metrics { id } => {
+            let snapshot = shared.merged_snapshot();
+            job.conn.send(&Response::Metrics {
+                id,
+                epoch: shared.executor.epoch(),
+                snapshot,
+            });
+        }
         // Mutate/Subscribe/Shutdown never reach the worker queue.
         other => job.conn.send(&Response::Error {
             id: other.id(),
             message: "internal: request routed to the wrong queue".to_owned(),
         }),
     }
+    shared
+        .counters
+        .request_us
+        .record_duration(enqueued.elapsed());
 }
 
 /// Batcher loop: coalesce mutate requests arriving within the batch window
@@ -731,19 +823,10 @@ fn apply_batch(shared: &Arc<SharedState>, jobs: Vec<MutJob>) {
     // the epoch right after the apply is this batch's epoch.
     let epoch = shared.executor.epoch();
     let coalesced = jobs.len() as u64;
-    shared
-        .counters
-        .mutations
-        .fetch_add(coalesced, Ordering::Relaxed);
-    shared
-        .counters
-        .mutation_batches
-        .fetch_add(1, Ordering::Relaxed);
+    shared.counters.mutations.add(coalesced);
+    shared.counters.mutation_batches.inc();
     if jobs.len() > 1 {
-        shared
-            .counters
-            .coalesced_mutations
-            .fetch_add(coalesced, Ordering::Relaxed);
+        shared.counters.coalesced_mutations.add(coalesced);
     }
     for job in jobs {
         job.conn.send(&Response::Mutated {
@@ -756,6 +839,55 @@ fn apply_batch(shared: &Arc<SharedState>, jobs: Vec<MutJob>) {
             delta: job.return_delta.then(|| outcome.delta.clone()),
         });
     }
+}
+
+/// Scrape loop: answer HTTP GETs on the metrics listener with a
+/// Prometheus-style text rendering of the merged snapshot. Hand-rolled
+/// HTTP/1.0: scrapes are rare (one per poll interval), so each request is
+/// handled inline — no worker pool, no keep-alive.
+fn run_scraper(shared: &Arc<SharedState>, listener: &TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => serve_scrape(shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.is_shutdown() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn serve_scrape(shared: &Arc<SharedState>, mut stream: TcpStream) {
+    use std::io::{Read, Write};
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    // Read until the blank line ending the request head; the request line
+    // and headers are ignored (every path serves the same document).
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => return,
+        }
+    }
+    let body = render_prometheus(&shared.merged_snapshot());
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
 }
 
 /// Fan-out loop: on every epoch event — and on a periodic sweep that heals
@@ -784,6 +916,7 @@ fn run_fanout(shared: &Arc<SharedState>, events: &Receiver<u64>) {
 fn sweep_subscriptions(shared: &Arc<SharedState>) {
     let mut subs = shared.subs.lock().unwrap_or_else(|e| e.into_inner());
     subs.retain(|sub| sub.conn.alive.load(Ordering::Relaxed));
+    shared.counters.subscriptions_active.set(subs.len() as u64);
     let current_epoch = shared.executor.epoch();
     for sub in subs.iter_mut() {
         if sub.last_epoch >= current_epoch {
@@ -807,10 +940,7 @@ fn sweep_subscriptions(shared: &Arc<SharedState>) {
         };
         sub.rows = rows;
         sub.last_epoch = ev.epoch();
-        shared
-            .counters
-            .updates_pushed
-            .fetch_add(1, Ordering::Relaxed);
+        shared.counters.updates_pushed.inc();
         sub.conn.send(&Response::Update { id: sub.id, delta });
     }
 }

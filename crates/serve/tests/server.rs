@@ -153,8 +153,12 @@ fn full_queue_sheds_with_overloaded_instead_of_queueing() {
             other => panic!("expected overloaded, got {other}"),
         }
     }
-    let shed = server.stats().shed_queue_full;
-    assert_eq!(shed, 3);
+    let stats = server.stats();
+    assert_eq!(stats.shed_queue_full, 3);
+    assert_eq!(
+        stats.shed_deadline, 0,
+        "queue sheds must not bleed into the deadline counter"
+    );
     // The connection survives shedding: a later stats round trip works
     // (stats also goes through the queue, so ask the server directly).
     assert!(server.stats().requests >= 3);
@@ -175,7 +179,124 @@ fn expired_deadline_sheds_at_dequeue() {
         ClientError::Overloaded(reason) => assert_eq!(reason, "deadline"),
         other => panic!("expected overloaded, got {other}"),
     }
-    assert_eq!(server.stats().shed_deadline, 1);
+    let stats = server.stats();
+    assert_eq!(stats.shed_deadline, 1);
+    assert_eq!(
+        stats.shed_queue_full, 0,
+        "deadline sheds must not bleed into the queue counter"
+    );
+    server.shutdown();
+}
+
+/// A minimal HTTP GET against the scrape listener (raw socket — the
+/// endpoint is hand-rolled HTTP, a raw client keeps the test honest).
+fn scrape(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("an HTTP head/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    assert!(head.contains("text/plain"), "{head}");
+    body.to_owned()
+}
+
+#[test]
+fn metrics_request_and_scrape_agree_under_concurrent_load() {
+    let server = start(
+        5,
+        ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".to_owned()),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_local_addr().expect("scrape listener bound");
+
+    // Drive queries from several connections while polling both metrics
+    // surfaces: every read must be internally consistent and monotone.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..25 {
+                    client.query(CHAIN_QUERY, 0).unwrap();
+                }
+            });
+        }
+        let mut observer = Client::connect(addr).unwrap();
+        let mut last_queries = 0;
+        for _ in 0..5 {
+            let (_epoch, snap) = observer.metrics().unwrap();
+            let queries = snap.counter("serve.queries");
+            assert!(queries >= last_queries, "counters are monotone");
+            last_queries = queries;
+            let text = scrape(metrics_addr);
+            assert!(text.contains("# TYPE wf_serve_queries counter"), "{text}");
+        }
+    });
+
+    // Quiesced: the wire snapshot and the scrape must agree exactly.
+    let mut client = Client::connect(addr).unwrap();
+    let (_epoch, snap) = client.metrics().unwrap();
+    assert_eq!(snap.counter("serve.queries"), 100);
+    assert_eq!(
+        snap.counter("executor.cache_hits") + snap.counter("executor.cache_misses"),
+        100,
+        "the executor registry is merged into the served snapshot"
+    );
+    let latency = snap
+        .histogram("serve.request_us")
+        .expect("request latency histogram present");
+    assert!(latency.count >= 100);
+    let query_latency = snap
+        .histogram("query.latency_us")
+        .expect("session latency histogram merged in");
+    assert_eq!(query_latency.count, 100);
+
+    let text = scrape(metrics_addr);
+    assert!(
+        text.contains("wf_serve_queries 100\n"),
+        "scrape and wire agree on quiesced counters: {text}"
+    );
+    // The metrics round trip itself lands in request_us after its response
+    // is sent, so the scrape may see a few more samples — never fewer.
+    let scraped_count: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("wf_serve_request_us_count "))
+        .expect("request_us count in the scrape")
+        .parse()
+        .unwrap();
+    assert!(scraped_count >= latency.count, "{scraped_count}");
+    server.shutdown();
+
+    // The scrape listener is torn down with the server.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(std::net::TcpStream::connect(metrics_addr).is_err());
+}
+
+#[test]
+fn obs_off_serves_metrics_without_histograms() {
+    let server = start(
+        3,
+        ServeConfig {
+            obs: false,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.query(CHAIN_QUERY, 0).unwrap();
+    let (_epoch, snap) = client.metrics().unwrap();
+    assert_eq!(snap.counter("serve.queries"), 1, "counters stay live");
+    assert!(
+        snap.histogram("serve.request_us").is_none(),
+        "histograms are no-ops under --obs off"
+    );
     server.shutdown();
 }
 

@@ -20,7 +20,12 @@
 //!                             removes (any triple syntax accepted by the
 //!                             data loader); the result reports the epoch
 //!   --edge-burnback           enable triangulation + edge burnback (wireframe only)
-//!   --explain                 print the plan and phase statistics
+//!   --explain                 print the plan and phase statistics; after
+//!                             --mutations, also the per-view maintenance
+//!                             latency distribution from the metrics registry
+//!   --trace                   print the structured span tree of every query
+//!                             (stage durations with signature/engine/store
+//!                             fields) to stderr after the results
 //!   --limit <N>               print at most N result rows (default 20, 0 = unlimited)
 //!   --threads <N>             worker threads for parallel phases (default 1; 0 = auto)
 //!   --count-only              print only the number of embeddings
@@ -89,6 +94,7 @@ struct Options {
     mutations: Option<String>,
     edge_burnback: bool,
     explain: bool,
+    trace: bool,
     limit: usize,
     threads: usize,
     count_only: bool,
@@ -97,7 +103,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: wfquery <triples-file> --query <SPARQL> | --query-file <path> \
      [--engine <name>|help] [--store csr|map|delta] [--shards N] \
-     [--mutations <path>] [--edge-burnback] [--explain] [--limit N] \
+     [--mutations <path>] [--edge-burnback] [--explain] [--trace] [--limit N] \
      [--threads N] [--count-only]"
 }
 
@@ -134,6 +140,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         mutations: None,
         edge_burnback: false,
         explain: false,
+        trace: false,
         limit: 20,
         threads: 1,
         count_only: false,
@@ -163,6 +170,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             }
             "--edge-burnback" => options.edge_burnback = true,
             "--explain" => options.explain = true,
+            "--trace" => options.trace = true,
             "--count-only" => options.count_only = true,
             "--limit" => {
                 options.limit = args
@@ -280,9 +288,13 @@ fn run() -> Result<(), Failure> {
         )),
         other => Failure::Runtime(other.to_string()),
     };
-    let session_config = SessionConfig::new()
+    let mut session_config = SessionConfig::new()
         .engine_config(config)
         .engine(&options.engine);
+    if options.trace {
+        // One-shot CLI run: capture every span, not the serving sample.
+        session_config = session_config.trace_sample(1);
+    }
     let session: Arc<dyn QueryExecutor> = if options.shards > 1 {
         // The cluster merge is defined on the factorized answer graph only;
         // gate on the registered capability (not the name) and fail before
@@ -344,8 +356,10 @@ fn run() -> Result<(), Failure> {
             false
         };
         let before = session.stats();
+        let snap_before = session.metrics_snapshot();
         let outcome = session.apply_mutation(&mutation);
         let after = session.stats();
+        let snap_delta = session.metrics_snapshot().delta(&snap_before);
         eprintln!(
             "applied {path}: +{} -{} triples → epoch {}{}{}",
             outcome.inserted,
@@ -377,6 +391,20 @@ fn run() -> Result<(), Failure> {
                      maintain, or the query is unmaintainable)"
                 }
             );
+            // The registry histograms break the counter totals down per
+            // view: one maintain.view_us sample per maintained plan, one
+            // maintain.batch_us sample per applied batch.
+            if let Some(views) = snap_delta.histogram(wireframe::api::obs::names::MAINTAIN_VIEW_US)
+            {
+                eprintln!(
+                    "  per-view latency: {} view(s) · p50 {} µs · max {} µs \
+                     · mean {:.1} µs",
+                    views.count,
+                    views.quantile(50.0),
+                    views.max,
+                    views.mean()
+                );
+            }
         }
     }
 
@@ -409,6 +437,14 @@ fn run() -> Result<(), Failure> {
     } else {
         print_results(&session.graph(), evaluation.embeddings(), options.limit);
         eprintln!("{} embeddings{epoch_note}", evaluation.embedding_count());
+    }
+    if options.trace {
+        // Completed span trees, most recent last; under --shards the
+        // cluster's trees carry scatter/merge children instead of the
+        // single-session phase breakdown.
+        for span in session.recent_spans() {
+            eprint!("{}", span.render());
+        }
     }
     Ok(())
 }

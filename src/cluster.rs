@@ -29,10 +29,12 @@
 //! bit is set (`wireframe` and `wco` in the stock registry) and rejects the
 //! baselines, which never factorize.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
+use wireframe_api::obs::{
+    names, Counter, Gauge, Histogram, MetricsSnapshot, Registry, Span, Tracer, TracerConfig,
+};
 use wireframe_api::{
     EpochListener, Evaluation, ExecutorStats, MaintainedView, QueryExecutor, WireframeError,
 };
@@ -83,7 +85,20 @@ pub struct ShardedCluster {
     /// Cluster-level merged evaluations (each is one scatter + merge +
     /// defactorization), reported as full evaluations in [`ShardedCluster::
     /// stats`] on top of the per-shard sums.
-    full_evals: AtomicU64,
+    full_evals: Counter,
+    /// Wall-clock of the fan-out candidate scans (all shards in flight).
+    scatter_us: Histogram,
+    /// Wall-clock of merge + burnback + defactorization on the merged
+    /// answer graph.
+    merge_us: Histogram,
+    shards_gauge: Gauge,
+    /// Cluster-level telemetry (scatter/merge latency, merged-evaluation
+    /// count). Per-shard counters live in each shard's own session
+    /// registry; [`ShardedCluster::metrics_snapshot`] merges them.
+    metrics: Registry,
+    /// Records cluster-level query span trees (scatter/merge children) —
+    /// shard sessions never see a cluster query, so they can't.
+    tracer: Tracer,
 }
 
 impl ShardedCluster {
@@ -133,15 +148,44 @@ impl ShardedCluster {
         let graph = graph.into();
         let shards = partition_graph(&graph, shards)
             .into_iter()
-            .map(|part| Session::from_config(part, config.clone().engine(&engine)))
+            .enumerate()
+            .map(|(i, part)| {
+                // Each shard session stamps `shard=i` on its query spans,
+                // so traces surfaced through the cluster say which
+                // partition produced them.
+                Session::from_config(part, config.clone().engine(&engine).shard_id(i))
+            })
             .collect::<Result<Vec<_>, _>>()?;
+        // Same obs switch the per-shard sessions honour: counters always
+        // stay live, histograms drop to no-ops under `--obs off`.
+        let metrics = if config.obs.unwrap_or(true) {
+            Registry::new()
+        } else {
+            Registry::counters_only()
+        };
+        let shards_gauge = metrics.gauge(names::CLUSTER_SHARDS);
+        shards_gauge.set(shards.len() as u64);
+        // Cluster queries never route through a shard session's query path,
+        // so the cluster records its own scatter/merge span trees with the
+        // same sampling knobs the sessions honour.
+        let tracer = Tracer::new(TracerConfig {
+            enabled: config.obs.unwrap_or(true),
+            sample_every: config.trace_sample.unwrap_or(64).max(1),
+            slow_micros: config.slow_query_micros.unwrap_or(0),
+            ..TracerConfig::default()
+        });
         Ok(ShardedCluster {
+            full_evals: metrics.counter(names::FULL_EVALUATIONS),
+            scatter_us: metrics.histogram(names::CLUSTER_SCATTER_US),
+            merge_us: metrics.histogram(names::CLUSTER_MERGE_US),
+            shards_gauge,
             shards,
             state: RwLock::new(ClusterState { epoch: 0 }),
             listeners: RwLock::new(Vec::new()),
             options,
             engine,
-            full_evals: AtomicU64::new(0),
+            metrics,
+            tracer,
         })
     }
 
@@ -185,11 +229,16 @@ impl ShardedCluster {
                 .map(|h| h.join().expect("candidate scans do not panic"))
                 .collect()
         });
+        let scatter_elapsed = t.elapsed();
+        self.scatter_us.record_duration(scatter_elapsed);
+        let t_merge = Instant::now();
         let view = merge_candidates(query, &graphs[0], &scans, self.options)?;
         let phase_one = t.elapsed();
-        self.full_evals.fetch_add(1, Ordering::Relaxed);
+        self.full_evals.inc();
 
         let mut evaluation = MaintainedView::evaluate(&view)?;
+        let merge_elapsed = t_merge.elapsed();
+        self.merge_us.record_duration(merge_elapsed);
         evaluation.engine = self.engine.clone();
         // One epoch per shard plus the cluster's scalar batch counter as the
         // final component, so `Evaluation::epoch()` reads the cluster epoch.
@@ -200,6 +249,18 @@ impl ShardedCluster {
         // The merged view is built fresh per query, not retained: reporting
         // maintenance state would suggest a serving history it doesn't have.
         evaluation.maintenance = None;
+        let elapsed = t.elapsed();
+        if self.tracer.wants(elapsed) {
+            self.tracer.record(
+                Span::new("query", elapsed)
+                    .field("engine", evaluation.engine.clone())
+                    .field("shards", self.shards.len().to_string())
+                    .field("epochs", format!("{:?}", evaluation.epochs))
+                    .field("rows", evaluation.embedding_count().to_string())
+                    .child(Span::new("scatter", scatter_elapsed))
+                    .child(Span::new("merge", merge_elapsed)),
+            );
+        }
         Ok(evaluation)
     }
 }
@@ -304,23 +365,35 @@ impl QueryExecutor for ShardedCluster {
     }
 
     fn stats(&self) -> ExecutorStats {
-        let mut total = ExecutorStats::default();
-        for shard in &self.shards {
-            let s = QueryExecutor::stats(shard);
-            total.cache_hits += s.cache_hits;
-            total.cache_misses += s.cache_misses;
-            total.cache_evictions += s.cache_evictions;
-            total.cache_invalidations += s.cache_invalidations;
-            total.view_serves += s.view_serves;
-            total.full_evaluations += s.full_evaluations;
-            total.plans_maintained += s.plans_maintained;
-            total.maintenance_frontier_nodes += s.maintenance_frontier_nodes;
-            total.maintenance_micros += s.maintenance_micros;
-            total.mutation_cache_touches += s.mutation_cache_touches;
-            total.compactions += s.compactions;
+        // The merged snapshot sums every shard's `executor.*` counters and
+        // adds the cluster's own (merged evaluations), so one read-out
+        // covers both levels.
+        ExecutorStats::from_snapshot(&self.metrics_snapshot())
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shards_gauge.set(self.shards.len() as u64);
+        let mut merged = self.metrics.snapshot();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let snap = shard.metrics_snapshot();
+            // The unprefixed merge gives cluster-wide totals (counters and
+            // histograms sum exactly; gauges sum, which is the right
+            // reading for sizes like `graph.triples`)…
+            merged.merge(&snap);
+            // …while the prefixed copy preserves the per-shard breakdown
+            // for skew diagnosis.
+            merged.merge(&snap.prefixed(&format!("shard{i}.")));
         }
-        total.full_evaluations += self.full_evals.load(Ordering::Relaxed);
-        total
+        merged
+    }
+
+    fn recent_spans(&self) -> Vec<Span> {
+        // Cluster queries record here (scatter/merge trees); per-shard
+        // sessions only carry spans for queries addressed to an individual
+        // shard (each stamped `shard=N`). Surface both.
+        let mut spans = self.tracer.recent();
+        spans.extend(self.shards.iter().flat_map(|s| s.tracer().recent()));
+        spans
     }
 }
 
@@ -449,6 +522,52 @@ mod tests {
         let result = cluster.query(CHAIN).unwrap();
         assert_eq!(result.engine, "wco");
         assert!(result.embeddings.same_answer(&reference.embeddings));
+    }
+
+    #[test]
+    fn cluster_snapshot_merges_shards_and_keeps_prefixed_breakdowns() {
+        let cluster =
+            ShardedCluster::new(graph(), 2, SessionConfig::default().trace_sample(1)).unwrap();
+        cluster.query(CHAIN).unwrap();
+        cluster.query(CHAIN).unwrap();
+
+        let snap = cluster.metrics_snapshot();
+        assert_eq!(snap.gauge(names::CLUSTER_SHARDS), 2);
+        assert_eq!(
+            snap.counter(names::FULL_EVALUATIONS),
+            2,
+            "each cluster query is one merged evaluation"
+        );
+        assert_eq!(snap.histogram(names::CLUSTER_SCATTER_US).unwrap().count, 2);
+        assert_eq!(snap.histogram(names::CLUSTER_MERGE_US).unwrap().count, 2);
+        // The per-shard copies survive under a shard prefix; their sum is
+        // the unprefixed cluster-wide gauge.
+        let per_shard: u64 = (0..2)
+            .map(|i| snap.gauge(&format!("shard{i}.{}", names::GRAPH_TRIPLES)))
+            .sum();
+        assert_eq!(per_shard, 5);
+        assert_eq!(snap.gauge(names::GRAPH_TRIPLES), 5);
+        // `stats()` reads the same snapshot, so the two surfaces agree.
+        assert_eq!(QueryExecutor::stats(&cluster).full_evaluations, 2);
+        // The cluster records its own span trees with scatter/merge
+        // children — shard sessions never see a cluster query.
+        let spans = cluster.recent_spans();
+        assert_eq!(spans.len(), 2, "trace_sample(1) keeps every span");
+        for span in &spans {
+            let text = span.render();
+            assert!(text.contains("shards=2"), "{text}");
+            assert!(text.contains("scatter") && text.contains("merge"), "{text}");
+        }
+        // A query addressed to an individual shard session is stamped with
+        // that shard's id and surfaces through the same cluster view.
+        cluster.shards[0].query(CHAIN).unwrap();
+        assert!(
+            cluster
+                .recent_spans()
+                .iter()
+                .any(|s| s.render().contains("shard=0")),
+            "direct shard queries carry their partition id"
+        );
     }
 
     #[test]

@@ -33,6 +33,9 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use wireframe_api::obs::{
+    names, Counter, Gauge, Histogram, MetricsSnapshot, Registry, Span, Tracer, TracerConfig,
+};
 use wireframe_api::{
     Engine, EngineCapabilities, EngineConfig, EngineRegistry, EpochListener, Evaluation,
     ExecutorStats, MaintainedView, PreparedQuery, QueryExecutor, WireframeError,
@@ -268,6 +271,7 @@ impl ShardedPlanCache {
         delta: &EdgeDelta,
         epoch: u64,
         maintain: bool,
+        per_view: &Histogram,
     ) -> MaintenancePass {
         let mut pass = MaintenancePass::default();
         if footprint.is_empty() {
@@ -310,7 +314,9 @@ impl ShardedPlanCache {
                             };
                             pass.maintained += 1;
                             pass.frontier_nodes += stats.frontier_nodes as u64;
-                            pass.micros += t.elapsed().as_micros() as u64;
+                            let micros = t.elapsed().as_micros() as u64;
+                            pass.micros += micros;
+                            per_view.record(micros);
                             return true;
                         }
                     }
@@ -429,17 +435,31 @@ pub struct Session {
     /// benchmark can compare the two policies (`wfbench --maintenance`).
     maintenance: bool,
     cache: ShardedPlanCache,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    invalidations: AtomicU64,
-    compactions: AtomicU64,
-    maintained: AtomicU64,
-    maintenance_frontier: AtomicU64,
-    maintenance_micros: AtomicU64,
-    mutation_touches: AtomicU64,
-    view_serves: AtomicU64,
-    full_evals: AtomicU64,
+    /// The telemetry registry — the single source of truth behind
+    /// [`Session::stats`] and the `metrics` wire request. The named fields
+    /// below are pre-created lock-free handles into it, so the hot paths
+    /// never look a metric up by name.
+    metrics: Registry,
+    tracer: Tracer,
+    /// `shard=N` span field for cluster-owned sessions (`None` standalone).
+    shard_id: Option<usize>,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+    compactions: Counter,
+    maintained: Counter,
+    maintenance_frontier: Counter,
+    maintenance_micros_total: Counter,
+    mutation_touches: Counter,
+    view_serves: Counter,
+    full_evals: Counter,
+    query_latency: Histogram,
+    maintain_batch: Histogram,
+    maintain_view: Histogram,
+    graph_triples: Gauge,
+    overlay_edges: Gauge,
+    overlay_ppm: Gauge,
     epoch_listeners: RwLock<Vec<EpochListener>>,
 }
 
@@ -488,6 +508,25 @@ pub struct SessionConfig {
     /// Delta-store compaction threshold override (overlay/base fraction).
     /// `None` keeps the graph's configured threshold.
     pub compaction_threshold: Option<f64>,
+    /// `None`/`Some(true)` (the default) keeps full observability on:
+    /// latency histograms record and query spans are sampled. `Some(false)`
+    /// (`--obs off`) drops both to bare counters — the A/B the serve-net
+    /// overhead gate measures. Counters and gauges always stay live; they
+    /// are functionally load-bearing (benchmark baselines compare them).
+    pub obs: Option<bool>,
+    /// Slow-query threshold in microseconds: completed span trees of
+    /// queries at least this slow are emitted to stderr regardless of
+    /// sampling. `None`/`Some(0)` disables the slow-query log.
+    pub slow_query_micros: Option<u64>,
+    /// Span sampling rate: keep 1 in N completed query spans (`Some(1)` =
+    /// every span, for `wfquery --trace`). `None` = the serving default
+    /// (1 in 64, which keeps tracing overhead under the serve-net lane's
+    /// 2 % budget).
+    pub trace_sample: Option<u64>,
+    /// Identity stamped on every query span as `shard=N`. Set by
+    /// [`crate::ShardedCluster`] so spans surfaced through the cluster say
+    /// which partition produced them; standalone sessions leave it unset.
+    pub shard_id: Option<usize>,
 }
 
 impl SessionConfig {
@@ -543,6 +582,32 @@ impl SessionConfig {
     /// fraction at which mutations compact the graph).
     pub fn compaction_threshold(mut self, threshold: f64) -> Self {
         self.compaction_threshold = Some(threshold);
+        self
+    }
+
+    /// Turns latency histograms and span tracing on (`true`, the default)
+    /// or off (`false`, counters only — `wfbench --obs off`).
+    pub fn obs(mut self, enabled: bool) -> Self {
+        self.obs = Some(enabled);
+        self
+    }
+
+    /// Emits completed span trees of queries slower than `ms` milliseconds
+    /// to stderr (`wfserve --slow-query-ms`; `0` disables the log).
+    pub fn slow_query_ms(mut self, ms: u64) -> Self {
+        self.slow_query_micros = Some(ms.saturating_mul(1_000));
+        self
+    }
+
+    /// Keeps 1 in `every` completed query spans (`1` = every span).
+    pub fn trace_sample(mut self, every: u64) -> Self {
+        self.trace_sample = Some(every.max(1));
+        self
+    }
+
+    /// Stamps `shard=id` on every query span (cluster-owned sessions).
+    pub fn shard_id(mut self, id: usize) -> Self {
+        self.shard_id = Some(id);
         self
     }
 }
@@ -620,6 +685,18 @@ impl Session {
                 graph = Arc::new(Graph::clone(&graph).with_compaction_threshold(threshold));
             }
         }
+        let obs_on = config.obs.unwrap_or(true);
+        let metrics = if obs_on {
+            Registry::new()
+        } else {
+            Registry::counters_only()
+        };
+        let tracer = Tracer::new(TracerConfig {
+            enabled: obs_on,
+            sample_every: config.trace_sample.unwrap_or(64).max(1),
+            slow_micros: config.slow_query_micros.unwrap_or(0),
+            ..TracerConfig::default()
+        });
         Ok(Session {
             state: RwLock::new(GraphState { graph, epoch: 0 }),
             registry,
@@ -627,17 +704,26 @@ impl Session {
             config: config.engine_config,
             maintenance: config.maintenance.unwrap_or(true),
             cache: ShardedPlanCache::new(config.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            compactions: AtomicU64::new(0),
-            maintained: AtomicU64::new(0),
-            maintenance_frontier: AtomicU64::new(0),
-            maintenance_micros: AtomicU64::new(0),
-            mutation_touches: AtomicU64::new(0),
-            view_serves: AtomicU64::new(0),
-            full_evals: AtomicU64::new(0),
+            tracer,
+            shard_id: config.shard_id,
+            hits: metrics.counter(names::CACHE_HITS),
+            misses: metrics.counter(names::CACHE_MISSES),
+            evictions: metrics.counter(names::CACHE_EVICTIONS),
+            invalidations: metrics.counter(names::CACHE_INVALIDATIONS),
+            compactions: metrics.counter(names::COMPACTIONS),
+            maintained: metrics.counter(names::PLANS_MAINTAINED),
+            maintenance_frontier: metrics.counter(names::MAINTENANCE_FRONTIER_NODES),
+            maintenance_micros_total: metrics.counter(names::MAINTENANCE_MICROS),
+            mutation_touches: metrics.counter(names::MUTATION_CACHE_TOUCHES),
+            view_serves: metrics.counter(names::VIEW_SERVES),
+            full_evals: metrics.counter(names::FULL_EVALUATIONS),
+            query_latency: metrics.histogram(names::QUERY_LATENCY_US),
+            maintain_batch: metrics.histogram(names::MAINTAIN_BATCH_US),
+            maintain_view: metrics.histogram(names::MAINTAIN_VIEW_US),
+            graph_triples: metrics.gauge(names::GRAPH_TRIPLES),
+            overlay_edges: metrics.gauge(names::GRAPH_OVERLAY_EDGES),
+            overlay_ppm: metrics.gauge(names::GRAPH_OVERLAY_PPM),
+            metrics,
             epoch_listeners: RwLock::new(Vec::new()),
         })
     }
@@ -748,6 +834,75 @@ impl Session {
         epoch: u64,
         query: &ConjunctiveQuery,
     ) -> Result<Evaluation, WireframeError> {
+        let started = std::time::Instant::now();
+        let result = self.execute_inner(graph, epoch, query);
+        if let Ok(evaluation) = &result {
+            let elapsed = started.elapsed();
+            self.query_latency.record_duration(elapsed);
+            // The non-sampled path ends here: one histogram record and one
+            // relaxed tick. Span trees are synthesized post-hoc from the
+            // timings the pipeline already measured.
+            if self.tracer.wants(elapsed) {
+                self.tracer
+                    .record(self.query_span(query, evaluation, elapsed, graph));
+            }
+        }
+        result
+    }
+
+    /// Builds the completed span tree of one sampled (or slow) query from
+    /// its already-measured phase timings.
+    fn query_span(
+        &self,
+        query: &ConjunctiveQuery,
+        evaluation: &Evaluation,
+        elapsed: std::time::Duration,
+        graph: &Graph,
+    ) -> Span {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        plan_cache_key(query).as_str().hash(&mut hasher);
+        let t = &evaluation.timings;
+        let defactorize = {
+            let mut child = Span::new("defactorize", t.defactorization);
+            if t.defactorization_cpu > t.defactorization {
+                child = child.field("cpu_micros", t.defactorization_cpu.as_micros().to_string());
+            }
+            child
+        };
+        let mut span = Span::new("query", elapsed)
+            .field("signature", format!("{:016x}", hasher.finish()))
+            .field("engine", evaluation.engine.clone())
+            .field("store", graph.store_kind().name())
+            .field("epochs", format!("{:?}", evaluation.epochs))
+            .field(
+                "path",
+                if evaluation.maintenance.is_some() {
+                    "view"
+                } else {
+                    "full"
+                },
+            )
+            .field("rows", evaluation.embedding_count().to_string())
+            .child_if_nonzero(Span::new("plan", t.planning))
+            .child_if_nonzero(Span::new("answer_graph", t.answer_graph))
+            .child_if_nonzero(Span::new("edge_burnback", t.edge_burnback))
+            .child_if_nonzero(defactorize)
+            .child_if_nonzero(Span::new("execute", t.execution));
+        if let Some(shard) = self.shard_id {
+            span = span.field("shard", shard.to_string());
+        }
+        if let Some(info) = &evaluation.maintenance {
+            span = span.field("maintenance_passes", info.passes.to_string());
+        }
+        span
+    }
+
+    fn execute_inner(
+        &self,
+        graph: &Arc<Graph>,
+        epoch: u64,
+        query: &ConjunctiveQuery,
+    ) -> Result<Evaluation, WireframeError> {
         let engine = self
             .registry
             .build_shared(&self.engine, graph, &self.config)?;
@@ -781,7 +936,7 @@ impl Session {
             if let Some(retained) = retained {
                 let mut evaluation = retained.evaluate()?;
                 evaluation.epochs = vec![epoch];
-                self.view_serves.fetch_add(1, Ordering::Relaxed);
+                self.view_serves.inc();
                 return Ok(evaluation);
             }
             // First use (or a stale slot): run the full phase-one pipeline
@@ -803,7 +958,7 @@ impl Session {
         }
 
         let mut evaluation = engine.evaluate(&prepared)?;
-        self.full_evals.fetch_add(1, Ordering::Relaxed);
+        self.full_evals.inc();
         evaluation.epochs = vec![epoch];
         Ok(evaluation)
     }
@@ -901,7 +1056,7 @@ impl Session {
         slot: &SharedViewSlot,
         epoch: u64,
     ) -> Arc<dyn MaintainedView> {
-        self.full_evals.fetch_add(1, Ordering::Relaxed);
+        self.full_evals.inc();
         fresh.set_epoch(epoch);
         let fresh: Arc<dyn MaintainedView> = Arc::from(fresh);
         // Retain under the state read lock.
@@ -967,7 +1122,7 @@ impl Session {
             plan_cache_key(query).as_str().to_owned(),
         );
         if let Some(found) = self.cache.find(&key, query) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(found);
         }
         // Prepare outside any lock: planning can be costly, and concurrent
@@ -976,7 +1131,7 @@ impl Session {
         // duplicate preparation is possible but a duplicate cache entry is
         // not.
         let prepared = Arc::new(engine.prepare(query)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         // Insert under the state read lock, and only if no mutation landed
         // while we were preparing. `apply_mutation` runs its footprint pass
         // while holding the state *write* lock, so either this insert
@@ -991,7 +1146,7 @@ impl Session {
         drop(state);
         let evicted = self.cache.enforce_capacity();
         if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.evictions.add(evicted);
         }
         Ok(cached)
     }
@@ -1030,17 +1185,16 @@ impl Session {
                 &outcome.delta,
                 epoch,
                 self.maintenance,
+                &self.maintain_view,
             );
-            self.invalidations
-                .fetch_add(pass.evicted, Ordering::Relaxed);
-            self.maintained
-                .fetch_add(pass.maintained, Ordering::Relaxed);
-            self.maintenance_frontier
-                .fetch_add(pass.frontier_nodes, Ordering::Relaxed);
-            self.maintenance_micros
-                .fetch_add(pass.micros, Ordering::Relaxed);
-            self.mutation_touches
-                .fetch_add(pass.touched, Ordering::Relaxed);
+            self.invalidations.add(pass.evicted);
+            self.maintained.add(pass.maintained);
+            self.maintenance_frontier.add(pass.frontier_nodes);
+            self.maintenance_micros_total.add(pass.micros);
+            self.mutation_touches.add(pass.touched);
+            if pass.maintained > 0 {
+                self.maintain_batch.record(pass.micros);
+            }
         }
         // Notify epoch listeners while still holding the state write lock:
         // this is the ordering guarantee subscription fan-out builds on —
@@ -1058,7 +1212,7 @@ impl Session {
         }
         drop(state);
         if outcome.compacted {
-            self.compactions.fetch_add(1, Ordering::Relaxed);
+            self.compactions.inc();
         }
         outcome
     }
@@ -1091,39 +1245,39 @@ impl Session {
 
     /// Number of prepared-query cache hits so far.
     pub fn cache_hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Number of prepared-query cache misses so far.
     pub fn cache_misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Number of cache entries evicted by the capacity bound so far.
     pub fn cache_evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 
     /// Number of cache entries evicted by mutation footprints so far.
     pub fn cache_invalidations(&self) -> u64 {
-        self.invalidations.load(Ordering::Relaxed)
+        self.invalidations.get()
     }
 
     /// Number of retained views maintained in place by mutations so far
     /// (each is one cached plan that kept serving instead of being evicted).
     pub fn plans_maintained(&self) -> u64 {
-        self.maintained.load(Ordering::Relaxed)
+        self.maintained.get()
     }
 
     /// Total maintenance frontier (answer-graph nodes from which local
     /// burnback/revival cascaded) across all maintained views so far.
     pub fn maintenance_frontier_nodes(&self) -> u64 {
-        self.maintenance_frontier.load(Ordering::Relaxed)
+        self.maintenance_frontier.get()
     }
 
     /// Total wall-clock spent maintaining views, in microseconds.
     pub fn maintenance_micros(&self) -> u64 {
-        self.maintenance_micros.load(Ordering::Relaxed)
+        self.maintenance_micros_total.get()
     }
 
     /// Number of cached entries examined under a shard write lock by
@@ -1131,31 +1285,49 @@ impl Session {
     /// no cached plan leaves this unchanged — the zero-cache-work guarantee
     /// the regression tests pin.
     pub fn mutation_cache_touches(&self) -> u64 {
-        self.mutation_touches.load(Ordering::Relaxed)
+        self.mutation_touches.get()
     }
 
     /// Number of evaluations served purely from a retained view
     /// (defactorization only — no planning, no answer-graph generation).
     pub fn view_serves(&self) -> u64 {
-        self.view_serves.load(Ordering::Relaxed)
+        self.view_serves.get()
     }
 
     /// Number of full pipeline runs (answer-graph generation) performed:
     /// engine evaluations plus view materializations. The churn benchmark
     /// compares this between the maintenance policies.
     pub fn full_evaluations(&self) -> u64 {
-        self.full_evals.load(Ordering::Relaxed)
+        self.full_evals.get()
     }
 
     /// Number of delta-store compactions triggered by this session's
     /// mutations so far.
     pub fn compactions(&self) -> u64 {
-        self.compactions.load(Ordering::Relaxed)
+        self.compactions.get()
     }
 
     /// Number of distinct prepared queries currently cached.
     pub fn cached_queries(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The session's full registry export, with the graph gauges
+    /// (`graph.triples`, delta-overlay size) refreshed from the current
+    /// graph version at the moment of the call. This is what the `metrics`
+    /// wire request and the Prometheus scrape endpoint serve;
+    /// [`Session::stats`] is a named-field projection of the same data.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let graph = self.graph();
+        self.graph_triples.set(graph.triple_count() as u64);
+        self.overlay_edges.set(graph.overlay_edges());
+        self.overlay_ppm.set(graph.overlay_fraction_ppm());
+        self.metrics.snapshot()
+    }
+
+    /// The session's tracer: sampling state and the completed-span ring.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Empties the prepared-query cache (the hit/miss counters keep counting).
@@ -1202,19 +1374,17 @@ impl QueryExecutor for Session {
     }
 
     fn stats(&self) -> ExecutorStats {
-        ExecutorStats {
-            cache_hits: self.cache_hits(),
-            cache_misses: self.cache_misses(),
-            cache_evictions: self.cache_evictions(),
-            cache_invalidations: self.cache_invalidations(),
-            view_serves: self.view_serves(),
-            full_evaluations: self.full_evaluations(),
-            plans_maintained: self.plans_maintained(),
-            maintenance_frontier_nodes: self.maintenance_frontier_nodes(),
-            maintenance_micros: self.maintenance_micros(),
-            mutation_cache_touches: self.mutation_cache_touches(),
-            compactions: self.compactions(),
-        }
+        // The registry is the single source of truth; the struct is a
+        // named-field projection of its counters.
+        ExecutorStats::from_snapshot(&self.metrics.snapshot())
+    }
+
+    fn metrics_snapshot(&self) -> MetricsSnapshot {
+        Session::metrics_snapshot(self)
+    }
+
+    fn recent_spans(&self) -> Vec<Span> {
+        self.tracer.recent()
     }
 }
 
@@ -1241,6 +1411,54 @@ mod tests {
         b.add("bob", "knows", "carol");
         b.add("carol", "knows", "dave");
         b.build()
+    }
+
+    #[test]
+    fn metrics_registry_is_the_single_source_of_truth() {
+        let session = Session::from_config(
+            knows_graph(),
+            SessionConfig::new().store(StoreKind::Delta).trace_sample(1),
+        )
+        .unwrap();
+        let q = "SELECT ?x ?z WHERE { ?x :knows ?y . ?y :knows ?z . }";
+        session.query(q).unwrap();
+        session.query(q).unwrap();
+        session.insert_triples([("dave", "knows", "erin")]);
+
+        let snap = session.metrics_snapshot();
+        let stats = QueryExecutor::stats(&session);
+        assert_eq!(stats.cache_hits, snap.counter(names::CACHE_HITS));
+        assert_eq!(stats.cache_hits, session.cache_hits());
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(
+            snap.histogram(names::QUERY_LATENCY_US).unwrap().count,
+            2,
+            "every query records into the latency histogram"
+        );
+        assert_eq!(snap.gauge(names::GRAPH_TRIPLES), 4);
+
+        // trace_sample(1) keeps every completed query span; the tree
+        // carries the pipeline context fields.
+        let spans = QueryExecutor::recent_spans(&session);
+        assert_eq!(spans.len(), 2);
+        let rendered = spans[0].render();
+        assert!(rendered.starts_with("query "), "{rendered}");
+        for key in ["signature=", "engine=wireframe", "store=delta", "rows=2"] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+    }
+
+    #[test]
+    fn obs_off_drops_histograms_and_spans_but_keeps_counters() {
+        let session = Session::from_config(knows_graph(), SessionConfig::new().obs(false)).unwrap();
+        let q = "SELECT ?x WHERE { ?x :knows ?y . }";
+        session.query(q).unwrap();
+        session.query(q).unwrap();
+        let snap = session.metrics_snapshot();
+        assert!(snap.histograms.is_empty(), "no histograms under --obs off");
+        assert!(QueryExecutor::recent_spans(&session).is_empty());
+        assert_eq!(snap.counter(names::CACHE_HITS), 1, "counters stay live");
+        assert_eq!(QueryExecutor::stats(&session).cache_hits, 1);
     }
 
     #[test]
