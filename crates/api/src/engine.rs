@@ -34,6 +34,14 @@ pub struct EngineConfig {
     /// facade, `wfquery`, `wfbench`), before engines are constructed over
     /// it.
     pub store: Option<StoreKind>,
+    /// Row bound for answers, `0` (the default) meaning unlimited. Engines
+    /// that honor it truncate each evaluation to the first `limit` rows
+    /// under the canonical row order (recording
+    /// [`LimitInfo`](crate::LimitInfo)); serving layers additionally use it
+    /// as the retention capacity `k` for maintained top-k prefixes, so
+    /// bounded queries are served in `O(k)` instead of
+    /// `O(|Embeddings|)`.
+    pub limit: usize,
 }
 
 impl EngineConfig {
@@ -60,6 +68,12 @@ impl EngineConfig {
     /// default, `1` = sequential).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Bounds answers to the canonical first `limit` rows (`0` = unlimited).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
         self
     }
 }
@@ -237,6 +251,7 @@ mod tests {
                 metrics: Vec::new(),
                 explain: None,
                 maintenance: None,
+                limited: None,
             })
         }
     }
@@ -295,10 +310,12 @@ mod tests {
             .with_edge_burnback()
             .with_explain()
             .with_threads(4)
-            .with_store(StoreKind::Map);
+            .with_store(StoreKind::Map)
+            .with_limit(25);
         assert!(c.edge_burnback && c.explain);
         assert_eq!(c.threads, 4);
         assert_eq!(c.store, Some(StoreKind::Map));
+        assert_eq!(c.limit, 25);
         assert_eq!(
             EngineConfig::default(),
             EngineConfig {
@@ -306,6 +323,7 @@ mod tests {
                 explain: false,
                 threads: 0,
                 store: None,
+                limit: 0,
             }
         );
     }

@@ -97,6 +97,30 @@ impl Factorized {
     }
 }
 
+/// How a limit was applied to an [`Evaluation`]'s embeddings.
+///
+/// Present on [`Evaluation::limited`] whenever the answer was truncated to a
+/// row-count bound. The retained rows are always the **canonical prefix**:
+/// the first `limit` rows under lexicographic row order over the projection's
+/// column order (see `EmbeddingSet::canonical_prefix`), so any two engines or
+/// shards agree bit-for-bit on which rows a limit keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitInfo {
+    /// The requested row bound (always > 0 — an unlimited evaluation carries
+    /// no `LimitInfo` at all).
+    pub limit: usize,
+    /// Whether rows beyond the bound exist: the full answer is larger than
+    /// what [`Evaluation::embeddings`] holds.
+    pub truncated: bool,
+    /// Whether the rows were served from a maintained top-k prefix in O(k)
+    /// rather than truncated out of a full defactorization.
+    pub prefix_served: bool,
+    /// The full answer's row count, when the producer knew it. A
+    /// prefix-served truncated answer does not — the point of the prefix is
+    /// never enumerating the rest.
+    pub full_total: Option<usize>,
+}
+
 /// The uniform result of evaluating one prepared query on one engine.
 #[derive(Debug)]
 pub struct Evaluation {
@@ -130,6 +154,9 @@ pub struct Evaluation {
     /// by a full pipeline run (engines set `None`; only view-served answers
     /// carry counters).
     pub maintenance: Option<crate::MaintenanceInfo>,
+    /// How a row limit was applied, when one was. `None` means the
+    /// embeddings are the complete answer.
+    pub limited: Option<LimitInfo>,
 }
 
 impl Evaluation {
@@ -161,6 +188,38 @@ impl Evaluation {
     /// Answer-graph size, when the engine factorizes.
     pub fn answer_graph_size(&self) -> Option<usize> {
         self.factorized.as_ref().map(|f| f.answer_graph_edges)
+    }
+
+    /// Truncates the embeddings to the canonical first `limit` rows and
+    /// records the fact in [`Evaluation::limited`]. `limit == 0` means
+    /// unlimited and is a no-op, as is re-limiting to a bound the
+    /// evaluation already satisfies (a producer that served `limit ≤ k`
+    /// rows from a prefix stays prefix-served). Idempotent; tightening the
+    /// bound re-truncates.
+    pub fn apply_limit(&mut self, limit: usize) {
+        if limit == 0 {
+            return;
+        }
+        if let Some(info) = self.limited {
+            if info.limit <= limit {
+                return;
+            }
+        }
+        let total = self.embeddings.len();
+        let prior = self.limited.take();
+        // Always re-sort, even when nothing is dropped: a limited answer's
+        // rows are canonically ordered, so clients paging with any limit see
+        // a stable order.
+        self.embeddings = self.embeddings.canonical_prefix(limit);
+        self.limited = Some(LimitInfo {
+            limit,
+            truncated: total > limit || prior.is_some_and(|p| p.truncated),
+            prefix_served: prior.is_some_and(|p| p.prefix_served),
+            full_total: match prior {
+                Some(p) => p.full_total,
+                None => Some(total),
+            },
+        });
     }
 }
 
@@ -205,6 +264,7 @@ mod tests {
             metrics: vec![("edge_walks", 42)],
             explain: None,
             maintenance: None,
+            limited: None,
         };
         assert_eq!(ev.metric("edge_walks"), Some(42));
         assert_eq!(ev.metric("missing"), None);
@@ -217,5 +277,87 @@ mod tests {
         assert_eq!(ev.embedding_count(), 0);
         let f = ev.factorized.as_ref().unwrap();
         assert!((f.factorization_ratio(100) - 10.0).abs() < 1e-9);
+    }
+
+    fn unlimited(rows: Vec<Vec<wireframe_graph::NodeId>>) -> Evaluation {
+        Evaluation {
+            engine: "test".into(),
+            epochs: Vec::new(),
+            embeddings: EmbeddingSet::new(vec![Var(0)], rows),
+            timings: Timings::default(),
+            cyclic: false,
+            factorized: None,
+            metrics: Vec::new(),
+            explain: None,
+            maintenance: None,
+            limited: None,
+        }
+    }
+
+    #[test]
+    fn apply_limit_truncates_canonically() {
+        use wireframe_graph::NodeId;
+        let mut ev = unlimited(vec![vec![NodeId(3)], vec![NodeId(1)], vec![NodeId(2)]]);
+        ev.apply_limit(2);
+        assert_eq!(ev.embeddings.row(0), Some(&[NodeId(1)] as &[NodeId]));
+        assert_eq!(ev.embeddings.row(1), Some(&[NodeId(2)] as &[NodeId]));
+        let info = ev.limited.unwrap();
+        assert!(info.truncated);
+        assert_eq!(info.full_total, Some(3));
+        assert!(!info.prefix_served);
+
+        // Zero means unlimited: no-op.
+        let mut ev = unlimited(vec![vec![NodeId(3)]]);
+        ev.apply_limit(0);
+        assert!(ev.limited.is_none());
+
+        // A generous limit records completeness without dropping rows.
+        let mut ev = unlimited(vec![vec![NodeId(3)], vec![NodeId(1)]]);
+        ev.apply_limit(5);
+        let info = ev.limited.unwrap();
+        assert!(!info.truncated);
+        assert_eq!(ev.embedding_count(), 2);
+        assert_eq!(
+            ev.embeddings.row(0),
+            Some(&[NodeId(1)] as &[NodeId]),
+            "still canonically sorted"
+        );
+
+        // Re-limiting looser is a no-op; tighter re-truncates.
+        ev.apply_limit(9);
+        assert_eq!(ev.limited.unwrap().limit, 5);
+        ev.apply_limit(1);
+        let info = ev.limited.unwrap();
+        assert_eq!(info.limit, 1);
+        assert!(info.truncated);
+        assert_eq!(
+            info.full_total,
+            Some(2),
+            "original total survives re-limiting"
+        );
+        assert_eq!(ev.embedding_count(), 1);
+    }
+
+    #[test]
+    fn apply_limit_preserves_prefix_served() {
+        use wireframe_graph::NodeId;
+        let mut ev = unlimited(vec![vec![NodeId(1)], vec![NodeId(2)]]);
+        ev.limited = Some(LimitInfo {
+            limit: 2,
+            truncated: true,
+            prefix_served: true,
+            full_total: None,
+        });
+        ev.apply_limit(1);
+        let info = ev.limited.unwrap();
+        assert!(
+            info.prefix_served,
+            "tightening a prefix answer stays prefix-served"
+        );
+        assert!(info.truncated);
+        assert_eq!(
+            info.full_total, None,
+            "prefix producers never learn the total"
+        );
     }
 }

@@ -51,6 +51,12 @@ pub struct ExecutorStats {
     pub mutation_cache_touches: u64,
     /// Delta-store compactions triggered by mutations.
     pub compactions: u64,
+    /// View serves answered from a retained top-k prefix in `O(k)`.
+    pub prefix_hits: u64,
+    /// Top-k prefix recomputes paid on priming or underflow refills.
+    pub prefix_refills: u64,
+    /// Top-k prefix full-recompute fallbacks (churn or candidate overflow).
+    pub prefix_fallbacks: u64,
 }
 
 impl ExecutorStats {
@@ -71,6 +77,9 @@ impl ExecutorStats {
             maintenance_micros: snapshot.counter(names::MAINTENANCE_MICROS),
             mutation_cache_touches: snapshot.counter(names::MUTATION_CACHE_TOUCHES),
             compactions: snapshot.counter(names::COMPACTIONS),
+            prefix_hits: snapshot.counter(names::MAINTAIN_PREFIX_HITS),
+            prefix_refills: snapshot.counter(names::MAINTAIN_PREFIX_REFILLS),
+            prefix_fallbacks: snapshot.counter(names::MAINTAIN_PREFIX_FALLBACKS),
         }
     }
 }
@@ -102,9 +111,33 @@ pub trait QueryExecutor: Send + Sync {
     /// Parses, plans and executes a SPARQL conjunctive query in one call.
     fn query(&self, text: &str) -> Result<Evaluation, WireframeError>;
 
+    /// Like [`QueryExecutor::query`], bounded to the first `limit` rows
+    /// under the canonical row order (`0` means unlimited). The default
+    /// evaluates fully and truncates; executors with retained top-k
+    /// prefixes override it to serve `limit ≤ k` in `O(k)` and mark the
+    /// result [`prefix_served`](crate::LimitInfo::prefix_served).
+    fn query_limited(&self, text: &str, limit: usize) -> Result<Evaluation, WireframeError> {
+        let mut ev = self.query(text)?;
+        ev.apply_limit(limit);
+        Ok(ev)
+    }
+
     /// Executes an already-constructed query (parsed against this
     /// executor's dictionary — see [`QueryExecutor::graph`]).
     fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError>;
+
+    /// Like [`QueryExecutor::execute`], bounded to the first `limit` rows
+    /// under the canonical row order (`0` means unlimited). Same default
+    /// and override contract as [`QueryExecutor::query_limited`].
+    fn execute_limited(
+        &self,
+        query: &ConjunctiveQuery,
+        limit: usize,
+    ) -> Result<Evaluation, WireframeError> {
+        let mut ev = self.execute(query)?;
+        ev.apply_limit(limit);
+        Ok(ev)
+    }
 
     /// Warms the executor for `text` without producing an answer. Returns
     /// `true` when a retained view now serves the query.

@@ -36,7 +36,7 @@ pub mod wire;
 
 pub use engine::{Engine, EngineCapabilities, EngineConfig};
 pub use error::WireframeError;
-pub use evaluation::{Evaluation, Factorized, Timings};
+pub use evaluation::{Evaluation, Factorized, LimitInfo, Timings};
 pub use executor::{EpochListener, ExecutorStats, QueryExecutor};
 pub use prepared::PreparedQuery;
 pub use registry::{EngineEntry, EngineFactory, EngineRegistry};

@@ -180,6 +180,7 @@ mod tests {
                 metrics: Vec::new(),
                 explain: None,
                 maintenance: None,
+                limited: None,
             })
         }
     }

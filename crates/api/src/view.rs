@@ -41,6 +41,18 @@ pub struct MaintenanceStats {
     pub nodes_added: usize,
     /// Nodes removed from variable node sets by burnback.
     pub nodes_removed: usize,
+    /// Top-k prefix refills: the pass re-enumerated the prefix because it
+    /// underflowed below k (or warmed a cold prefix) — the bounded recovery
+    /// path, not a failure.
+    pub prefix_refills: usize,
+    /// Top-k prefix fallbacks: the pass abandoned incremental prefix
+    /// maintenance because the delta invalidated too much, and re-derived
+    /// the prefix from a full defactorization.
+    pub prefix_fallbacks: usize,
+    /// Rows retained in the view's top-k prefix after the pass. A level
+    /// per view, not a delta — absorbing one pass per view sums to the
+    /// total retained across those views.
+    pub prefix_rows: usize,
 }
 
 impl MaintenanceStats {
@@ -53,6 +65,9 @@ impl MaintenanceStats {
         self.edges_removed += other.edges_removed;
         self.nodes_added += other.nodes_added;
         self.nodes_removed += other.nodes_removed;
+        self.prefix_refills += other.prefix_refills;
+        self.prefix_fallbacks += other.prefix_fallbacks;
+        self.prefix_rows += other.prefix_rows;
     }
 }
 
@@ -100,6 +115,47 @@ pub trait MaintainedView: Send + Sync + std::fmt::Debug {
     /// snapshot epoch, exactly as for engine evaluations.
     fn evaluate(&self) -> Result<Evaluation, WireframeError>;
 
+    /// Evaluates the first `limit` rows under the canonical row order
+    /// (`limit == 0` means unlimited and is exactly [`evaluate`]).
+    ///
+    /// The default derives the full answer and truncates — correct for any
+    /// view. Implementations that retain a top-k prefix override this to
+    /// serve `limit ≤ k` in `O(k)` without defactorizing, marking the
+    /// result [`prefix_served`](crate::LimitInfo::prefix_served).
+    ///
+    /// [`evaluate`]: MaintainedView::evaluate
+    fn evaluate_limited(&self, limit: usize) -> Result<Evaluation, WireframeError> {
+        let mut ev = self.evaluate()?;
+        ev.apply_limit(limit);
+        Ok(ev)
+    }
+
+    /// Asks the view to retain a defactorized top-k prefix of at least
+    /// `limit` rows for `O(k)` [`evaluate_limited`] serving, paying one
+    /// enumeration now. Returns whether a prefix is retained afterwards —
+    /// `false` (the default) when the view does not support prefixes.
+    ///
+    /// [`evaluate_limited`]: MaintainedView::evaluate_limited
+    fn prime_prefix(&mut self, limit: usize) -> bool {
+        let _ = limit;
+        false
+    }
+
+    /// Rows currently retained in the view's top-k prefix (`0` when none).
+    fn prefix_rows(&self) -> usize {
+        0
+    }
+
+    /// Whether [`evaluate_limited`] with this `limit` would be answered from
+    /// a warm prefix in `O(limit)`. Serving layers consult this to decide
+    /// when a lazy [`prime_prefix`] is worth paying before evaluating.
+    ///
+    /// [`evaluate_limited`]: MaintainedView::evaluate_limited
+    /// [`prime_prefix`]: MaintainedView::prime_prefix
+    fn can_prefix_serve(&self, _limit: usize) -> bool {
+        false
+    }
+
     /// Cumulative maintenance history (stamped into served evaluations).
     fn info(&self) -> MaintenanceInfo;
 
@@ -125,6 +181,9 @@ mod tests {
             edges_removed: 5,
             nodes_added: 6,
             nodes_removed: 7,
+            prefix_refills: 8,
+            prefix_fallbacks: 9,
+            prefix_rows: 10,
         };
         a.absorb(&a.clone());
         assert_eq!(a.candidate_inserts, 2);
@@ -134,6 +193,9 @@ mod tests {
         assert_eq!(a.edges_removed, 10);
         assert_eq!(a.nodes_added, 12);
         assert_eq!(a.nodes_removed, 14);
+        assert_eq!(a.prefix_refills, 16);
+        assert_eq!(a.prefix_fallbacks, 18);
+        assert_eq!(a.prefix_rows, 20);
         assert_eq!(MaintenanceInfo::default().maintained_epoch, 0);
     }
 }

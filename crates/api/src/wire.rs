@@ -192,19 +192,33 @@ impl Serialize for Request {
 pub struct RowSet {
     /// Number of columns (the query's SELECT arity).
     pub columns: u64,
-    /// Full embedding count, even when `rows` is capped by a limit.
+    /// Full embedding count, even when `rows` is capped by a limit. When
+    /// the server answered from a retained top-k prefix without knowing the
+    /// full count, this is the number of rows returned and `truncated` says
+    /// whether more exist.
     pub total: u64,
     /// The (possibly capped) rows, as node labels in SELECT column order.
+    /// Limited answers are in **canonical row order** (lexicographic over
+    /// the SELECT columns), so pages are stable across requests.
     pub rows: Vec<Vec<String>>,
+    /// Whether a limit dropped rows: the full answer has more rows than
+    /// `rows` carries. Absent on the wire (older peers) decodes as `false`.
+    pub truncated: bool,
+    /// Whether the answer was served from a maintained top-k prefix in
+    /// `O(k)` — no defactorization. Absent on the wire decodes as `false`.
+    pub prefix_served: bool,
 }
 
 impl RowSet {
-    /// Decodes the wire form.
+    /// Decodes the wire form. The `truncated`/`prefix_served` flags are
+    /// lenient: frames from peers predating them decode with both off.
     pub fn from_json(doc: &Value) -> Result<RowSet, WireError> {
         Ok(RowSet {
             columns: get_u64(doc, "columns")?,
             total: get_u64(doc, "total")?,
             rows: get_rows(doc, "rows")?,
+            truncated: opt_bool(doc, "truncated"),
+            prefix_served: opt_bool(doc, "prefix_served"),
         })
     }
 }
@@ -637,6 +651,8 @@ fn push_rowset(fields: &mut Vec<(String, Value)>, rows: &RowSet) {
     fields.push(uint("columns", rows.columns));
     fields.push(uint("total", rows.total));
     fields.push(("rows".to_owned(), rows.rows.to_json()));
+    fields.push(("truncated".to_owned(), Value::Bool(rows.truncated)));
+    fields.push(("prefix_served".to_owned(), Value::Bool(rows.prefix_served)));
 }
 
 fn get_u64(doc: &Value, key: &str) -> Result<u64, WireError> {
@@ -645,6 +661,11 @@ fn get_u64(doc: &Value, key: &str) -> Result<u64, WireError> {
 
 fn opt_u64(doc: &Value, key: &str) -> Option<u64> {
     doc.get(key).and_then(Value::as_u64)
+}
+
+/// A lenient optional bool: missing (older peers) reads as `false`.
+fn opt_bool(doc: &Value, key: &str) -> bool {
+    doc.get(key).and_then(Value::as_bool).unwrap_or(false)
 }
 
 fn get_str<'a>(doc: &'a Value, key: &str) -> Result<&'a str, WireError> {
@@ -844,6 +865,8 @@ mod tests {
                 columns: 2,
                 total: 4,
                 rows: vec![vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]],
+                truncated: true,
+                prefix_served: true,
             },
         });
         round_trip_response(Response::Mutated {
@@ -1008,6 +1031,22 @@ mod tests {
         )
         .unwrap();
         assert!(EmbeddingDelta::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn rowset_limit_flags_decode_leniently_for_old_peers() {
+        // A pre-top-k peer sends neither flag: both decode off, rows intact.
+        let doc = parse_frame(r#"{"columns":1,"total":3,"rows":[["a"],["b"]]}"#).unwrap();
+        let rows = RowSet::from_json(&doc).unwrap();
+        assert!(!rows.truncated && !rows.prefix_served);
+        assert_eq!(rows.rows.len(), 2);
+        // Explicit flags decode as sent.
+        let doc = parse_frame(
+            r#"{"columns":1,"total":2,"rows":[["a"],["b"]],"truncated":true,"prefix_served":true}"#,
+        )
+        .unwrap();
+        let rows = RowSet::from_json(&doc).unwrap();
+        assert!(rows.truncated && rows.prefix_served);
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl Engine for RelationalEngine<'_> {
             ],
             explain: None,
             maintenance: None,
+            limited: None,
         })
     }
 }
@@ -82,6 +83,7 @@ impl Engine for SortMergeEngine<'_> {
             ],
             explain: None,
             maintenance: None,
+            limited: None,
         })
     }
 }
@@ -113,6 +115,7 @@ impl Engine for ExplorationEngine<'_> {
             metrics: vec![("edge_walks", stats.edge_walks)],
             explain: None,
             maintenance: None,
+            limited: None,
         })
     }
 }

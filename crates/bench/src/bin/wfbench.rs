@@ -44,6 +44,14 @@
 //!   --insert-fraction <F>         churn: insert share of each batch, 0..=1 (default 0.6)
 //!   --churn-seed <N>              churn / serve-net: traffic-mix PRNG seed
 //!                                 (default 12648430)
+//!   --limit <K>                   churn: cap every read at the first K rows of
+//!                                 the canonical row order, pushing the limit
+//!                                 into evaluation so retained views answer
+//!                                 from their maintained top-k prefixes in
+//!                                 O(K); the report gains a topk section
+//!                                 comparing prefix-served against
+//!                                 full-defactorization latency (default 0 =
+//!                                 unlimited)
 //!   --clients <N>                 serve-net: closed-loop TCP client threads (default 4)
 //!   --requests <N>                serve-net: requests per client (default 100)
 //!   --write-fraction <F>          serve-net: mutation share of the mix, 0..=1
@@ -107,6 +115,7 @@ struct Options {
     batch: usize,
     insert_fraction: f64,
     churn_seed: u64,
+    limit: usize,
     clients: usize,
     requests: usize,
     write_fraction: f64,
@@ -125,7 +134,7 @@ fn usage() -> &'static str {
     "usage: wfbench [--size tiny|small|benchmark|large] [--threads N] [--iterations N] \
      [--engines a,b,…] [--workload full|table1|chains|stars] [--store csr|map|delta] \
      [--scenario serve|churn|serve-net|sharded|cyclic [--epochs N] [--batch N] [--insert-fraction F] \
-     [--churn-seed N] [--clients N] [--requests N] [--write-fraction F] [--queue-depth N] \
+     [--churn-seed N] [--limit K] [--clients N] [--requests N] [--write-fraction F] [--queue-depth N] \
      [--shards N]] [--maintenance incremental|reeval] [--compaction-threshold F] \
      [--edge-burnback] [--obs on|off] [--metrics-out PATH] [--json PATH] \
      [--baseline PATH [--tolerance P%]]"
@@ -150,6 +159,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         batch: defaults.batch,
         insert_fraction: defaults.insert_fraction,
         churn_seed: defaults.seed,
+        limit: defaults.limit,
         clients: serve_defaults.clients,
         requests: serve_defaults.requests,
         write_fraction: serve_defaults.write_fraction,
@@ -255,6 +265,14 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
                     .parse()
                     .map_err(|_| "--churn-seed must be an unsigned integer".to_owned())?;
             }
+            "--limit" => {
+                options.limit = value(&mut args, "--limit")?
+                    .parse()
+                    .map_err(|_| "--limit must be a positive integer".to_owned())?;
+                if options.limit == 0 {
+                    return Err("--limit must be at least 1 (omit it for unlimited)".to_owned());
+                }
+            }
             "--clients" => {
                 options.clients = value(&mut args, "--clients")?
                     .parse()
@@ -326,6 +344,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     }
     if options.metrics_out.is_some() && options.scenario != "serve-net" {
         return Err("--metrics-out only applies to --scenario serve-net".to_owned());
+    }
+    if options.limit > 0 && options.scenario != "churn" {
+        return Err("--limit only applies to --scenario churn".to_owned());
     }
     options.size = size.unwrap_or_else(DatasetSize::from_env);
     Ok(options)
@@ -411,6 +432,7 @@ fn run() -> Result<bool, String> {
         threads: options.threads,
         iterations: options.iterations,
         seed: options.churn_seed,
+        limit: options.limit,
     };
     let servenet_options = ServeNetOptions {
         clients: options.clients,
@@ -705,6 +727,24 @@ fn print_summary(report: &BenchReport) {
                 "{:<12} {:<6} {:>9.1} qps over {} queries",
                 engine.engine, "all", engine.qps, engine.total_queries
             );
+            if let Some(t) = engine.churn.as_ref().and_then(|c| c.topk.as_ref()) {
+                println!(
+                    "{:<12} {:<6} limit {} · prefix p50 {:.1} µs / p99 {:.1} µs \
+                     over {} serves · full p50 {:.1} µs / p99 {:.1} µs over {} \
+                     serves · {} refills · {} fallbacks",
+                    engine.engine,
+                    "topk",
+                    t.limit,
+                    t.prefix_p50_us,
+                    t.prefix_p99_us,
+                    t.prefix_serves,
+                    t.full_p50_us,
+                    t.full_p99_us,
+                    t.full_serves,
+                    t.prefix_refills,
+                    t.prefix_fallbacks,
+                );
+            }
         }
         return;
     }
@@ -843,6 +883,19 @@ mod tests {
             Some(0.05)
         );
         assert!(parse(&["--compaction-threshold", "-1"]).is_err());
+
+        assert_eq!(parse(&[]).unwrap().limit, 0, "unlimited by default");
+        assert_eq!(
+            parse(&["--scenario", "churn", "--limit", "8"])
+                .unwrap()
+                .limit,
+            8
+        );
+        assert!(parse(&["--scenario", "churn", "--limit", "0"]).is_err());
+        assert!(
+            parse(&["--limit", "8"]).is_err(),
+            "--limit is a churn-lane knob"
+        );
     }
 
     #[test]

@@ -25,11 +25,12 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use wireframe::{Mutation, QueryExecutor, WireframeError};
+use wireframe::{ExecutorStats, Mutation, QueryExecutor, WireframeError};
 use wireframe_datagen::BenchmarkQuery;
 use wireframe_graph::Graph;
 
-use crate::report::{ChurnReport, EngineRun, EpochReport};
+use crate::driver::percentile_sorted;
+use crate::report::{ChurnReport, EngineRun, EpochReport, TopKReport};
 
 /// Configuration of one churn run.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +47,12 @@ pub struct ChurnOptions {
     pub iterations: usize,
     /// PRNG seed for the update mix (same seed → same mutation sequence).
     pub seed: u64,
+    /// Row cap pushed into every read (`0` = unlimited). A non-zero limit
+    /// turns the run into the top-k serving lane: reads that a maintained
+    /// prefix answers in `O(limit)` and reads that pay a full
+    /// defactorization are timed separately, reported as
+    /// [`TopKReport`].
+    pub limit: usize,
 }
 
 impl Default for ChurnOptions {
@@ -57,6 +64,7 @@ impl Default for ChurnOptions {
             threads: 1,
             iterations: 2,
             seed: 0xC0FFEE,
+            limit: 0,
         }
     }
 }
@@ -161,44 +169,75 @@ impl ChurnMix {
     }
 }
 
+/// Per-read view-serve latencies of one epoch's read phase, microseconds,
+/// split by serving path. Both buckets stay empty on unlimited runs.
+#[derive(Debug, Default)]
+struct ServeSamples {
+    /// Reads answered from a retained top-k prefix in `O(limit)`.
+    prefix_us: Vec<f64>,
+    /// Reads that paid a (possibly truncated) full defactorization.
+    full_us: Vec<f64>,
+}
+
+impl ServeSamples {
+    fn absorb(&mut self, mut other: ServeSamples) {
+        self.prefix_us.append(&mut other.prefix_us);
+        self.full_us.append(&mut other.full_us);
+    }
+}
+
 /// One epoch's closed-loop read phase: `threads` workers × `iterations`
-/// passes over `workload`. Asserts intra-epoch answer stability and correct
-/// epoch stamping; returns `(wall_ms, queries_issued)`.
+/// passes over `workload`, each read capped at `limit` rows (`0` =
+/// unlimited). Asserts intra-epoch answer stability and correct epoch
+/// stamping; returns `(wall_ms, queries_issued, samples)`.
 fn read_phase(
     executor: &dyn QueryExecutor,
     workload: &[BenchmarkQuery],
     threads: usize,
     iterations: usize,
-) -> Result<(f64, u64), WireframeError> {
+    limit: usize,
+) -> Result<(f64, u64, ServeSamples), WireframeError> {
     let epoch = executor.epoch();
     let expected: Vec<OnceLock<u64>> = workload.iter().map(|_| OnceLock::new()).collect();
     let start = Instant::now();
-    let result: Result<Vec<()>, WireframeError> = std::thread::scope(|scope| {
+    let result: Result<Vec<ServeSamples>, WireframeError> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for worker in 0..threads {
             let expected = &expected;
-            handles.push(scope.spawn(move || -> Result<(), WireframeError> {
-                for pass in 0..iterations {
-                    for step in 0..workload.len() {
-                        let idx = (worker + pass + step) % workload.len();
-                        let ev = executor.execute(&workload[idx].query)?;
-                        assert_eq!(
-                            ev.epoch(),
-                            epoch,
-                            "{}: mutations must not run during a read phase",
-                            workload[idx].name
-                        );
-                        let count = ev.embedding_count() as u64;
-                        let first = *expected[idx].get_or_init(|| count);
-                        assert_eq!(
-                            first, count,
-                            "{}: answers must be stable within an epoch",
-                            workload[idx].name
-                        );
+            handles.push(
+                scope.spawn(move || -> Result<ServeSamples, WireframeError> {
+                    let mut samples = ServeSamples::default();
+                    for pass in 0..iterations {
+                        for step in 0..workload.len() {
+                            let idx = (worker + pass + step) % workload.len();
+                            let read_start = Instant::now();
+                            let ev = executor.execute_limited(&workload[idx].query, limit)?;
+                            let read_us = read_start.elapsed().as_secs_f64() * 1e6;
+                            if limit > 0 {
+                                if ev.limited.as_ref().is_some_and(|i| i.prefix_served) {
+                                    samples.prefix_us.push(read_us);
+                                } else {
+                                    samples.full_us.push(read_us);
+                                }
+                            }
+                            assert_eq!(
+                                ev.epoch(),
+                                epoch,
+                                "{}: mutations must not run during a read phase",
+                                workload[idx].name
+                            );
+                            let count = ev.embedding_count() as u64;
+                            let first = *expected[idx].get_or_init(|| count);
+                            assert_eq!(
+                                first, count,
+                                "{}: answers must be stable within an epoch",
+                                workload[idx].name
+                            );
+                        }
                     }
-                }
-                Ok(())
-            }));
+                    Ok(samples)
+                }),
+            );
         }
         handles
             .into_iter()
@@ -208,9 +247,44 @@ fn read_phase(
             })
             .collect()
     });
-    result?;
+    let per_thread = result?;
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    Ok((wall_ms, (threads * iterations * workload.len()) as u64))
+    let mut samples = ServeSamples::default();
+    for thread_samples in per_thread {
+        samples.absorb(thread_samples);
+    }
+    Ok((
+        wall_ms,
+        (threads * iterations * workload.len()) as u64,
+        samples,
+    ))
+}
+
+/// Assembles the top-k lane section from the run's latency buckets and
+/// whole-run counter deltas; `None` on unlimited runs.
+fn build_topk(
+    limit: usize,
+    mut samples: ServeSamples,
+    run_start: &ExecutorStats,
+    after: &ExecutorStats,
+) -> Option<TopKReport> {
+    if limit == 0 {
+        return None;
+    }
+    let finite = |a: &f64, b: &f64| a.partial_cmp(b).expect("latencies are finite");
+    samples.prefix_us.sort_by(finite);
+    samples.full_us.sort_by(finite);
+    Some(TopKReport {
+        limit: limit as u64,
+        prefix_serves: samples.prefix_us.len() as u64,
+        full_serves: samples.full_us.len() as u64,
+        prefix_refills: after.prefix_refills - run_start.prefix_refills,
+        prefix_fallbacks: after.prefix_fallbacks - run_start.prefix_fallbacks,
+        prefix_p50_us: percentile_sorted(&samples.prefix_us, 50.0),
+        prefix_p99_us: percentile_sorted(&samples.prefix_us, 99.0),
+        full_p50_us: percentile_sorted(&samples.full_us, 50.0),
+        full_p99_us: percentile_sorted(&samples.full_us, 99.0),
+    })
 }
 
 /// Runs the churn scenario for one executor: a cache-priming warmup
@@ -227,26 +301,33 @@ pub fn run_churn(
 ) -> Result<EngineRun, WireframeError> {
     let threads = opts.threads.max(1);
     let iterations = opts.iterations.max(1);
+    let limit = opts.limit;
     let mut mix = ChurnMix::new(&executor.graph(), opts.seed);
 
     // Warmup: prime the prepared-plan cache so the first epoch's
     // invalidation counters measure footprint eviction, not a cold cache.
-    let full_evals_before = executor.stats().full_evaluations;
+    // With a limit the warmup reads are limited too, so retained views
+    // enter the first epoch with warm top-k prefixes (the priming cost
+    // lands in the run's `prefix_refills`, not in any epoch's numbers).
+    let run_start = executor.stats();
     for bq in workload {
-        executor.execute(&bq.query)?;
+        executor.execute_limited(&bq.query, limit)?;
     }
     let before = executor.stats();
 
     let mut epochs = Vec::with_capacity(opts.epochs);
     let mut total_queries = 0u64;
+    let mut samples = ServeSamples::default();
     let wall_start = Instant::now();
     for _ in 0..opts.epochs {
         let s0 = executor.stats();
 
         let mutation = mix.batch(opts.batch, opts.insert_fraction);
         let outcome = executor.apply_mutation(&mutation);
-        let (wall_ms, queries) = read_phase(executor, workload, threads, iterations)?;
+        let (wall_ms, queries, epoch_samples) =
+            read_phase(executor, workload, threads, iterations, limit)?;
         total_queries += queries;
+        samples.absorb(epoch_samples);
 
         let s1 = executor.stats();
         epochs.push(EpochReport {
@@ -265,10 +346,25 @@ pub fn run_churn(
             maintenance_us: s1.maintenance_micros - s0.maintenance_micros,
             frontier_nodes: s1.maintenance_frontier_nodes - s0.maintenance_frontier_nodes,
         });
+
+        if limit > 0 {
+            // Comparison sweep: the same workload once, unlimited, so the
+            // full bucket holds serves that defactorize the whole view over
+            // the same graph version. Runs after the `s1` capture so the
+            // per-epoch counter deltas stay limited-read-only.
+            for bq in workload {
+                let sweep_start = Instant::now();
+                executor.execute(&bq.query)?;
+                samples
+                    .full_us
+                    .push(sweep_start.elapsed().as_secs_f64() * 1e6);
+            }
+        }
     }
     let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
 
     let after = executor.stats();
+    let topk = build_topk(limit, samples, &run_start, &after);
     let churn = ChurnReport {
         final_epoch: executor.epoch(),
         total_mutations: epochs.iter().map(|e| e.inserted + e.removed).sum(),
@@ -277,7 +373,8 @@ pub fn run_churn(
         total_maintained: Some(epochs.iter().map(|e| e.maintained).sum()),
         // Delta over this run (warmup included): an executor with prior
         // activity must not inflate the churn run's own pipeline count.
-        total_full_evaluations: Some(after.full_evaluations - full_evals_before),
+        total_full_evaluations: Some(after.full_evaluations - run_start.full_evaluations),
+        topk,
         epochs,
     };
     Ok(EngineRun {
@@ -429,6 +526,87 @@ mod tests {
         assert_eq!(
             inc_churn.total_mutations, re_churn.total_mutations,
             "the seeded update mix is policy-independent"
+        );
+    }
+
+    #[test]
+    fn unlimited_runs_skip_topk_and_limited_runs_classify_every_read() {
+        let unlimited = run(7);
+        assert!(
+            unlimited.churn.unwrap().topk.is_none(),
+            "no limit, no top-k lane"
+        );
+
+        let graph = Arc::new(build_dataset_with_store(
+            DatasetSize::Tiny,
+            StoreKind::Delta,
+        ));
+        let workload = full_workload(&graph).unwrap();
+        let session = Session::shared(graph);
+        let opts = ChurnOptions {
+            epochs: 2,
+            batch: 32,
+            threads: 2,
+            iterations: 1,
+            seed: 9,
+            limit: 4,
+            ..ChurnOptions::default()
+        };
+        let run = run_churn(&session, &workload, &opts).unwrap();
+        let topk = run.churn.unwrap().topk.expect("limited runs report topk");
+        assert_eq!(topk.limit, 4);
+        // Every limited read lands in exactly one bucket, and each epoch's
+        // unlimited comparison sweep adds one full sample per query.
+        let sweep = (opts.epochs * workload.len()) as u64;
+        assert_eq!(
+            topk.prefix_serves + topk.full_serves,
+            run.total_queries + sweep
+        );
+        assert!(
+            topk.prefix_serves > 0,
+            "acyclic full-projection views serve from their prefixes"
+        );
+        assert!(
+            topk.full_serves >= sweep,
+            "the sweep alone guarantees full-bucket samples"
+        );
+        assert!(
+            topk.prefix_refills > 0,
+            "warmup priming and churn refills are visible in the report"
+        );
+        assert!(topk.prefix_p50_us > 0.0 && topk.full_p50_us > 0.0);
+        assert!(topk.prefix_p50_us <= topk.prefix_p99_us);
+        assert!(topk.full_p50_us <= topk.full_p99_us);
+    }
+
+    /// The top-k acceptance bound: at benchmark size, prefix-served reads
+    /// are at least 5× faster (p50 view-serve latency) than reads that pay
+    /// a full defactorization of the same retained views.
+    #[test]
+    fn prefix_serving_beats_full_defactorization_5x() {
+        let graph = Arc::new(build_dataset_with_store(
+            DatasetSize::Benchmark,
+            StoreKind::Delta,
+        ));
+        let workload = full_workload(&graph).unwrap();
+        let session = Session::shared(graph);
+        let opts = ChurnOptions {
+            epochs: 3,
+            batch: 64,
+            threads: 1,
+            iterations: 2,
+            seed: 0xBEEF,
+            limit: 8,
+            ..ChurnOptions::default()
+        };
+        let run = run_churn(&session, &workload, &opts).unwrap();
+        let topk = run.churn.unwrap().topk.expect("limited runs report topk");
+        assert!(topk.prefix_serves > 0 && topk.full_serves > 0);
+        assert!(
+            topk.prefix_p50_us * 5.0 <= topk.full_p50_us,
+            "prefix p50 {:.1}µs vs full p50 {:.1}µs: the ≥5× bound failed",
+            topk.prefix_p50_us,
+            topk.full_p50_us
         );
     }
 

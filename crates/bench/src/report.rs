@@ -1,18 +1,20 @@
 //! The machine-readable `wfbench` report: the `BENCH_*.json` schema, its
 //! renderer/parser, and baseline regression comparison.
 //!
-//! # Schema (version 3)
+//! # Schema (version 4)
 //!
-//! Version 3 adds the per-engine `serve` section (the `serve-net` network
-//! lane; null for every other scenario). Version 2 added the `scenario`
-//! field and the per-engine `churn` section (null for serve runs).
-//! Version-1 and version-2 documents still parse: v1 reads back as
-//! `scenario: "serve"` with no churn data, and both read back with
-//! `serve: null`.
+//! Version 4 adds the churn section's `topk` subsection (the
+//! `--scenario churn --limit K` top-k serving lane; null for unlimited
+//! runs). Version 3 added the per-engine `serve` section (the `serve-net`
+//! network lane; null for every other scenario). Version 2 added the
+//! `scenario` field and the per-engine `churn` section (null for serve
+//! runs). Versions 1–3 still parse: v1 reads back as `scenario: "serve"`
+//! with no churn data, pre-v3 reads back with `serve: null`, and pre-v4
+//! churn sections read back with `topk: null`.
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 4,
 //!   "dataset": "tiny",          // DatasetSize name
 //!   "store": "csr",             // graph storage backend (csr / map / delta)
 //!   "scenario": "serve",        // driver scenario (serve / churn)
@@ -66,7 +68,16 @@
 //!     "maintained": 4,            // views updated in O(delta) by the batch
 //!     "maintenance_us": 180,      // wall-clock spent maintaining them
 //!     "frontier_nodes": 9         // nodes the maintenance cascade touched
-//!   } ]
+//!   } ],
+//!   "topk": {                     // --limit K lane only; null otherwise
+//!     "limit": 8,                 // rows requested per read
+//!     "prefix_serves": 120,       // reads answered from a warm prefix, O(k)
+//!     "full_serves": 60,          // reads that paid a full defactorization
+//!     "prefix_refills": 20,       // prefix recomputes (priming + underflow)
+//!     "prefix_fallbacks": 0,      // churn/overflow full-recompute fallbacks
+//!     "prefix_p50_us": 11.0, "prefix_p99_us": 35.0,  // prefix view-serve µs
+//!     "full_p50_us": 950.0, "full_p99_us": 2100.0    // full view-serve µs
+//!   }
 //! }
 //! ```
 //!
@@ -114,9 +125,9 @@ use serde::json::{self, Value};
 use serde::Serialize;
 
 /// Version stamp for `BENCH_*.json`; bump when the shape changes. The
-/// parser also accepts version-1 (pre-churn) and version-2 (pre-serving)
-/// documents.
-pub const SCHEMA_VERSION: u64 = 3;
+/// parser also accepts version-1 (pre-churn), version-2 (pre-serving), and
+/// version-3 (pre-top-k) documents.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Mean per-phase latency breakdown, in milliseconds. Factorized phases are
 /// zero for single-pass engines and vice versa (mirrors
@@ -208,6 +219,34 @@ pub struct EpochReport {
     pub frontier_nodes: u64,
 }
 
+/// The top-k serving lane of a churn run (`--scenario churn --limit K`):
+/// every read pushes `limit` into evaluation, and view serves are split by
+/// path — answered from the maintained defactorized prefix in `O(k)`, or by
+/// a full defactorization (the per-epoch unlimited sweep, plus any limited
+/// read the prefix could not answer).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TopKReport {
+    /// Rows requested per read (the `--limit` value).
+    pub limit: u64,
+    /// Measured reads answered from a warm prefix in `O(limit)`.
+    pub prefix_serves: u64,
+    /// Measured reads that paid a full defactorization.
+    pub full_serves: u64,
+    /// Prefix recomputes across the run (priming + underflow refills).
+    pub prefix_refills: u64,
+    /// Full-recompute fallbacks across the run (churn threshold or
+    /// candidate overflow during maintenance).
+    pub prefix_fallbacks: u64,
+    /// Median view-serve latency of prefix-served reads, microseconds.
+    pub prefix_p50_us: f64,
+    /// 99th-percentile view-serve latency of prefix-served reads.
+    pub prefix_p99_us: f64,
+    /// Median view-serve latency of full-defactorization reads.
+    pub full_p50_us: f64,
+    /// 99th-percentile view-serve latency of full-defactorization reads.
+    pub full_p99_us: f64,
+}
+
 /// The churn-scenario section of an [`EngineRun`].
 #[derive(Debug, Clone, Serialize)]
 pub struct ChurnReport {
@@ -229,6 +268,9 @@ pub struct ChurnReport {
     pub total_full_evaluations: Option<u64>,
     /// Per-epoch breakdown, in order.
     pub epochs: Vec<EpochReport>,
+    /// Top-k serving lane (`--limit K`); `None` for unlimited runs and on
+    /// pre-v4 reports.
+    pub topk: Option<TopKReport>,
 }
 
 /// The `serve-net` network-lane section of an [`EngineRun`]: tail latency
@@ -422,6 +464,12 @@ fn serve_from_json(doc: &Value) -> Result<ServeReport, String> {
 }
 
 fn churn_from_json(doc: &Value) -> Result<ChurnReport, String> {
+    // Absent on pre-v4 reports and on unlimited runs alike: both read back
+    // with no top-k lane to compare against.
+    let topk = match doc.get("topk") {
+        None | Some(Value::Null) => None,
+        Some(section) => Some(topk_from_json(section)?),
+    };
     Ok(ChurnReport {
         final_epoch: field_u64(doc, "final_epoch")?,
         total_mutations: field_u64(doc, "total_mutations")?,
@@ -435,6 +483,21 @@ fn churn_from_json(doc: &Value) -> Result<ChurnReport, String> {
             .iter()
             .map(epoch_from_json)
             .collect::<Result<_, _>>()?,
+        topk,
+    })
+}
+
+fn topk_from_json(doc: &Value) -> Result<TopKReport, String> {
+    Ok(TopKReport {
+        limit: field_u64(doc, "limit")?,
+        prefix_serves: field_u64(doc, "prefix_serves")?,
+        full_serves: field_u64(doc, "full_serves")?,
+        prefix_refills: field_u64(doc, "prefix_refills")?,
+        prefix_fallbacks: field_u64(doc, "prefix_fallbacks")?,
+        prefix_p50_us: field_f64(doc, "prefix_p50_us")?,
+        prefix_p99_us: field_f64(doc, "prefix_p99_us")?,
+        full_p50_us: field_f64(doc, "full_p50_us")?,
+        full_p99_us: field_f64(doc, "full_p99_us")?,
     })
 }
 
@@ -566,6 +629,10 @@ impl std::fmt::Display for Regression {
 /// * Churn counters (`total_mutations`, `total_invalidations`,
 ///   `total_compactions`) are deterministic given the seed, so they also
 ///   must match exactly when the baseline recorded a churn section.
+/// * The top-k lane's `limit` is configuration and must match exactly when
+///   the baseline recorded a `topk` section; `prefix_p50_us` / `full_p50_us`
+///   regress like any latency (tolerance + floor). Serve/refill counts are
+///   interleaving-dependent and never compared.
 /// * Serve-net traffic counts (`clients`, `requests`, `queries`,
 ///   `mutations`) are seed-deterministic and must match exactly when the
 ///   baseline recorded a serve section; `serve_p50_ms` regresses like any
@@ -634,6 +701,52 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance: f64) ->
                         baseline: base_maintained as f64,
                         current: cur_maintained.unwrap_or(0) as f64,
                     });
+                }
+            }
+            // The top-k lane: the requested limit is configuration and must
+            // match exactly — comparing different limits would be
+            // meaningless. The per-path view-serve medians regress like any
+            // latency (tolerance + the absolute floor, in microseconds).
+            // Serve/refill counts depend on thread interleaving and are
+            // reported for observability only.
+            if let Some(base_topk) = base_churn.topk {
+                let cur_topk = cur_churn.and_then(|c| c.topk);
+                if cur_topk.map(|t| t.limit) != Some(base_topk.limit) {
+                    regressions.push(Regression {
+                        engine: base_engine.engine.clone(),
+                        query: "*".to_owned(),
+                        metric: "topk_limit",
+                        baseline: base_topk.limit as f64,
+                        current: cur_topk.map_or(0.0, |t| t.limit as f64),
+                    });
+                }
+                if let Some(cur_topk) = cur_topk {
+                    let floor_us = LATENCY_FLOOR_MS * 1000.0;
+                    let latencies: [(&'static str, f64, f64); 2] = [
+                        (
+                            "topk_prefix_p50_us",
+                            base_topk.prefix_p50_us,
+                            cur_topk.prefix_p50_us,
+                        ),
+                        (
+                            "topk_full_p50_us",
+                            base_topk.full_p50_us,
+                            cur_topk.full_p50_us,
+                        ),
+                    ];
+                    for (metric, base_value, cur_value) in latencies {
+                        if cur_value > base_value * (1.0 + tolerance)
+                            && cur_value - base_value > floor_us
+                        {
+                            regressions.push(Regression {
+                                engine: base_engine.engine.clone(),
+                                query: "*".to_owned(),
+                                metric,
+                                baseline: base_value,
+                                current: cur_value,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -869,6 +982,23 @@ mod tests {
                     frontier_nodes: 8,
                 },
             ],
+            topk: None,
+        });
+        report
+    }
+
+    fn topk_report() -> BenchReport {
+        let mut report = churn_report();
+        report.engines[0].churn.as_mut().unwrap().topk = Some(TopKReport {
+            limit: 8,
+            prefix_serves: 120,
+            full_serves: 60,
+            prefix_refills: 20,
+            prefix_fallbacks: 1,
+            prefix_p50_us: 11.0,
+            prefix_p99_us: 35.0,
+            full_p50_us: 950.0,
+            full_p99_us: 2100.0,
         });
         report
     }
@@ -948,7 +1078,104 @@ mod tests {
         assert_eq!(churn.epochs[1].maintenance_us, 150);
         assert_eq!(churn.epochs[1].frontier_nodes, 8);
         assert!((churn.epochs[0].qps - 1000.0).abs() < 1e-9);
+        assert!(parsed.engines[0].churn.as_ref().unwrap().topk.is_none());
         assert!(compare(&parsed, &report, 0.15).is_empty());
+    }
+
+    #[test]
+    fn topk_sections_round_trip_and_gate_like_latencies() {
+        let report = topk_report();
+        let text = report.to_json_string();
+        assert!(text.contains("\"prefix_p50_us\""), "{text}");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        let topk = parsed.engines[0].churn.as_ref().unwrap().topk.unwrap();
+        assert_eq!(topk.limit, 8);
+        assert_eq!(topk.prefix_serves, 120);
+        assert_eq!(topk.full_serves, 60);
+        assert_eq!(topk.prefix_refills, 20);
+        assert_eq!(topk.prefix_fallbacks, 1);
+        assert!((topk.prefix_p50_us - 11.0).abs() < 1e-9);
+        assert!((topk.full_p99_us - 2100.0).abs() < 1e-9);
+        assert!(compare(&parsed, &report, 0.15).is_empty());
+
+        // A different --limit is configuration drift, not a perf matter:
+        // regression regardless of tolerance.
+        let mut other = topk_report();
+        other.engines[0]
+            .churn
+            .as_mut()
+            .unwrap()
+            .topk
+            .as_mut()
+            .unwrap()
+            .limit = 4;
+        let found = compare(&other, &report, 100.0);
+        assert!(found.iter().any(|r| r.metric == "topk_limit"), "{found:?}");
+
+        // Prefix-path latency regresses with tolerance + the µs floor.
+        let mut slow = topk_report();
+        slow.engines[0]
+            .churn
+            .as_mut()
+            .unwrap()
+            .topk
+            .as_mut()
+            .unwrap()
+            .prefix_p50_us = 900.0;
+        let found = compare(&slow, &report, 0.15);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].metric, "topk_prefix_p50_us");
+        // …but a sub-floor absolute wobble on a microsecond-scale path is
+        // runner noise, not a regression.
+        let mut wobble = topk_report();
+        wobble.engines[0]
+            .churn
+            .as_mut()
+            .unwrap()
+            .topk
+            .as_mut()
+            .unwrap()
+            .prefix_p50_us = 40.0;
+        assert!(compare(&wobble, &report, 0.15).is_empty());
+
+        // Serve/refill counts are interleaving-dependent: never compared.
+        let mut drifted = topk_report();
+        {
+            let topk = drifted.engines[0]
+                .churn
+                .as_mut()
+                .unwrap()
+                .topk
+                .as_mut()
+                .unwrap();
+            topk.prefix_serves = 1;
+            topk.prefix_refills = 99;
+            topk.prefix_fallbacks = 99;
+        }
+        assert!(compare(&drifted, &report, 0.15).is_empty());
+
+        // Losing the whole lane regresses the limit (a silently dropped
+        // measurement must not pass); a baseline without the lane is growth.
+        let mut lost = topk_report();
+        lost.engines[0].churn.as_mut().unwrap().topk = None;
+        let found = compare(&lost, &report, 100.0);
+        assert!(found.iter().any(|r| r.metric == "topk_limit"), "{found:?}");
+        assert!(compare(&report, &lost, 0.15).is_empty());
+    }
+
+    #[test]
+    fn v3_churn_baselines_without_topk_still_parse() {
+        // Pre-top-k churn baselines carry no "topk" key at all; they must
+        // stay readable and must not be compared on the unknown lane.
+        let mut text = churn_report().to_json_string();
+        text = text.replace("\"schema_version\": 4", "\"schema_version\": 3");
+        text = text.replace("\"topk\": null", "\"legacy\": null");
+        let parsed = BenchReport::from_json(&text).unwrap();
+        assert_eq!(parsed.schema_version, 3);
+        assert!(parsed.engines[0].churn.as_ref().unwrap().topk.is_none());
+        assert!(compare(&topk_report(), &parsed, 0.15)
+            .iter()
+            .all(|r| !r.metric.starts_with("topk")));
     }
 
     #[test]
@@ -1004,7 +1231,7 @@ mod tests {
     fn version_1_reports_still_parse_as_serve() {
         // A committed pre-churn baseline must stay readable.
         let mut text = sample_report().to_json_string();
-        text = text.replace("\"schema_version\": 3", "\"schema_version\": 1");
+        text = text.replace("\"schema_version\": 4", "\"schema_version\": 1");
         text = text.replace("\"scenario\": \"serve\",", "");
         text = text.replace("\"churn\": null,", "");
         text = text.replace("\"serve\": null,", "");
@@ -1020,7 +1247,7 @@ mod tests {
         // A committed pre-serving baseline (v2: scenario + churn, but no
         // per-engine serve section) must stay readable.
         let mut text = churn_report().to_json_string();
-        text = text.replace("\"schema_version\": 3", "\"schema_version\": 2");
+        text = text.replace("\"schema_version\": 4", "\"schema_version\": 2");
         text = text.replace("\"serve\": null,", "");
         let parsed = BenchReport::from_json(&text).unwrap();
         assert_eq!(parsed.schema_version, 2);
@@ -1056,7 +1283,7 @@ mod tests {
     #[test]
     fn wrong_schema_version_is_rejected() {
         let mut text = sample_report().to_json_string();
-        text = text.replace("\"schema_version\": 3", "\"schema_version\": 999");
+        text = text.replace("\"schema_version\": 4", "\"schema_version\": 999");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
     }

@@ -37,6 +37,12 @@ pub struct EvalOptions {
     /// Parallel defactorization partitions the seed edge set and never
     /// changes the answer, only wall-clock time.
     pub threads: usize,
+    /// Row bound for answers, `0` (the default) meaning unlimited. A
+    /// limited evaluation keeps the first `limit` rows under the canonical
+    /// row order (lexicographic over the projection's columns), and
+    /// materialized views use the bound as the retention capacity `k` of
+    /// their maintained top-k prefix.
+    pub limit: usize,
 }
 
 impl Default for EvalOptions {
@@ -47,6 +53,7 @@ impl Default for EvalOptions {
             collect_trace: false,
             explain: false,
             threads: 1,
+            limit: 0,
         }
     }
 }
@@ -87,6 +94,12 @@ impl EvalOptions {
         self.threads = threads;
         self
     }
+
+    /// Bounds answers to the canonical first `limit` rows (`0` = unlimited).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +113,7 @@ mod tests {
         assert!(!o.edge_burnback);
         assert!(!o.collect_trace);
         assert_eq!(o.threads, 1, "the paper's prototype is single-threaded");
+        assert_eq!(o.limit, 0, "unlimited answers by default");
     }
 
     #[test]
@@ -108,10 +122,12 @@ mod tests {
             .with_edge_burnback()
             .with_planner(PlannerKind::Greedy)
             .with_trace()
-            .with_threads(4);
+            .with_threads(4)
+            .with_limit(10);
         assert!(o.edge_burnback);
         assert!(o.collect_trace);
         assert_eq!(o.planner, PlannerKind::Greedy);
         assert_eq!(o.threads, 4);
+        assert_eq!(o.limit, 10);
     }
 }

@@ -394,6 +394,85 @@ pub(crate) fn defactorize_indexed(
     Ok((EmbeddingSet::from_flat_rows(schema, out, count), stats))
 }
 
+/// Enumerates only the embeddings that pass **through one specific answer
+/// edge** — the primitive behind incremental top-k prefix maintenance: an
+/// inserted AG edge can only contribute rows that use it, so instead of
+/// re-defactorizing everything, the maintainer seeds the join with the
+/// single new pair and extends outward.
+///
+/// Built once per maintenance pass (the per-pattern indexes are shared
+/// across all seed edges of the pass), then probed once per inserted edge.
+#[derive(Debug)]
+pub(crate) struct SeedEnumerator {
+    indexes: Vec<JoinIndex>,
+}
+
+impl SeedEnumerator {
+    /// Snapshots the current answer graph into join indexes.
+    pub(crate) fn new(query: &ConjunctiveQuery, ag: &AnswerGraph) -> Self {
+        SeedEnumerator {
+            indexes: (0..query.num_patterns())
+                .map(|q| JoinIndex::build(ag.pattern(q)))
+                .collect(),
+        }
+    }
+
+    /// A connected join order that starts at `seed`, then greedily extends
+    /// to the smallest connected answer-edge set — the seed pattern is
+    /// pinned to one pair, so visiting it first bounds every intermediate.
+    fn seed_order(&self, query: &ConjunctiveQuery, seed: usize) -> Vec<usize> {
+        let n = query.num_patterns();
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        order.push(seed);
+        used[seed] = true;
+        while order.len() < n {
+            let mut best: Option<usize> = None;
+            for (i, pattern) in query.patterns().iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let connected = pattern.variables().any(|v| {
+                    order
+                        .iter()
+                        .any(|&j: &usize| query.patterns()[j].mentions(v))
+                });
+                if !connected {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => self.indexes[i].pairs.len() < self.indexes[b].pairs.len(),
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            let pick = best.unwrap_or_else(|| (0..n).find(|&i| !used[i]).expect("pattern left"));
+            used[pick] = true;
+            order.push(pick);
+        }
+        order
+    }
+
+    /// All embeddings whose binding of pattern `seed` is exactly the answer
+    /// edge `(s, o)`. The schema is every query variable in index order
+    /// (same as [`defactorize`]); project before comparing to an answer.
+    pub(crate) fn rows_through(
+        &self,
+        query: &ConjunctiveQuery,
+        seed: usize,
+        s: NodeId,
+        o: NodeId,
+    ) -> Result<EmbeddingSet, EngineError> {
+        let pinned = JoinIndex::from_pairs(vec![(s, o)]);
+        let mut refs: Vec<&JoinIndex> = self.indexes.iter().collect();
+        refs[seed] = &pinned;
+        let order = self.seed_order(query, seed);
+        defactorize_indexed(query, &refs, &order).map(|(set, _)| set)
+    }
+}
+
 /// Convenience: counts embeddings without keeping the materialized set.
 pub fn count_embeddings(
     query: &ConjunctiveQuery,
@@ -556,6 +635,32 @@ mod tests {
         let q = chain_query(&g);
         let ag = AnswerGraph::new(&q);
         assert!(defactorize(&q, &ag, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn seed_enumeration_partitions_the_answer() {
+        // Every embedding binds pattern 1 to exactly one answer edge, so
+        // enumerating through each edge of pattern 1 partitions the full
+        // answer: the union (as a set) equals a full defactorization.
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let (ag, _) = generate(&g, &q, &[0, 1, 2], &EvalOptions::default()).unwrap();
+        let (full, _) = defactorize(&q, &ag, &embedding_plan(&q, &ag)).unwrap();
+
+        let seeds = SeedEnumerator::new(&q, &ag);
+        for pat in 0..q.num_patterns() {
+            let mut rows: Vec<Vec<NodeId>> = Vec::new();
+            for (s, o) in ag.pattern(pat).iter() {
+                let part = seeds.rows_through(&q, pat, s, o).unwrap();
+                assert_eq!(part.schema(), full.schema());
+                rows.extend(part.rows().map(<[NodeId]>::to_vec));
+            }
+            let union = EmbeddingSet::new(full.schema().to_vec(), rows);
+            assert!(
+                union.same_answer(&full),
+                "seeding pattern {pat} must cover the full answer"
+            );
+        }
     }
 
     #[test]

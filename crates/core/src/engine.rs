@@ -114,6 +114,7 @@ impl QueryOutput {
             metrics,
             explain,
             maintenance: None,
+            limited: None,
         }
     }
 }
@@ -277,7 +278,9 @@ impl Engine for WireframeEngine<'_> {
             .options
             .explain
             .then(|| explain_output(self.graph, query, &out));
-        Ok(out.into_evaluation(explain))
+        let mut ev = out.into_evaluation(explain);
+        ev.apply_limit(self.options.limit);
+        Ok(ev)
     }
 
     /// The Wireframe engine maintains: its retained artifact (the answer

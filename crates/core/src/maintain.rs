@@ -48,7 +48,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use wireframe_api::{
-    Evaluation, Factorized, MaintainedView, MaintenanceInfo, MaintenanceStats, Timings,
+    Evaluation, Factorized, LimitInfo, MaintainedView, MaintenanceInfo, MaintenanceStats, Timings,
     WireframeError,
 };
 use wireframe_graph::{EdgeDelta, Graph, NodeId, PredId};
@@ -56,12 +56,196 @@ use wireframe_query::{ConjunctiveQuery, EmbeddingSet, Term, TriplePattern, Var};
 
 use crate::answer_graph::AnswerGraph;
 use crate::config::EvalOptions;
-use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats};
+use crate::defactorize::{defactorize, embedding_plan, DefactorizationStats, SeedEnumerator};
 use crate::error::EngineError;
 use crate::generate::{burn_nodes, GenerationStats};
 use crate::parallel::{defactorize_parallel, ParallelOptions};
 use crate::planner::Plan;
 use crate::triangulate::EdgeBurnbackStats;
+
+/// Below this much AG churn (edges added + removed in one pass) incremental
+/// prefix maintenance always runs; above `max(this, |AG|/4)` the pass falls
+/// back to one full re-enumeration instead — re-seeding hundreds of join
+/// probes would cost more than the defactorization it avoids.
+const PREFIX_FALLBACK_MIN_CHURN: usize = 64;
+
+/// How one end of a pattern reads out of a prefix row (projection-order
+/// columns): a pinned constant, or the column its variable projects to.
+#[derive(Debug, Clone, Copy)]
+enum PrefixEnd {
+    Const(NodeId),
+    Col(usize),
+}
+
+impl PrefixEnd {
+    #[inline]
+    fn resolve(self, row: &[NodeId]) -> NodeId {
+        match self {
+            PrefixEnd::Const(c) => c,
+            PrefixEnd::Col(i) => row[i],
+        }
+    }
+}
+
+/// What [`MaterializedQuery::merge_prefix_candidates`] decided.
+enum PrefixMerge {
+    /// Candidates merged in; the prefix is current.
+    Merged,
+    /// Too many candidate rows for an incremental merge to be a win.
+    Overflow,
+}
+
+/// The retained defactorized **top-k prefix** of a maintained view: the
+/// first `k` embeddings under the canonical row order (lexicographic over
+/// the projection's columns — see `EmbeddingSet::canonical_prefix`), kept
+/// *next to* the factorized answer graph so bounded reads (`LIMIT k`) are
+/// served in `O(k)` without defactorizing.
+///
+/// The low-water mark is the `exhaustive` flag: when set, the prefix *is*
+/// the complete answer (≤ k rows exist) and any limit can be served from
+/// it; when clear, the prefix holds exactly `k` rows of a larger answer and
+/// only limits ≤ k are servable. Maintenance keeps the prefix aligned with
+/// the answer graph under the same [`EdgeDelta`]:
+///
+/// * **removals** only delete prefix rows whose pattern bindings lost an AG
+///   edge (revalidation is exact: a tuple is an answer iff every pattern's
+///   binding is an answer edge). If a truncated prefix underflows below
+///   `k`, rows that were beyond the horizon may now belong — one bounded
+///   re-enumeration *refills* it;
+/// * **insertions** only add rows that pass through an inserted AG edge, so
+///   candidates are enumerated from just those seeds
+///   ([`SeedEnumerator`]) and merge-inserted into the sorted prefix;
+/// * when a pass's churn exceeds a threshold, maintenance *falls back* to
+///   one full re-enumeration (counted — the serving layer's
+///   `maintain.prefix_fallbacks`).
+///
+/// Prefixes exist only for queries whose projection covers every variable
+/// (then prefix rows are bijective with embeddings and revalidation can
+/// resolve every pattern end from a row). Projecting queries fall back to
+/// full-defactorize-then-truncate serving.
+#[derive(Debug, Clone)]
+struct TopKPrefix {
+    /// Retention capacity: how many canonical-first rows are kept.
+    k: usize,
+    /// Projection arity (columns per row); > 0 by construction.
+    arity: usize,
+    /// The projection schema, in projection order (the served schema).
+    schema: Vec<Var>,
+    /// Per-pattern `(subject, object)` readout from a prefix row.
+    ends: Vec<(PrefixEnd, PrefixEnd)>,
+    /// `row_count` rows × `arity` columns, canonically sorted, flat.
+    rows: Vec<NodeId>,
+    row_count: usize,
+    /// Low-water mark: the prefix holds the *entire* answer.
+    exhaustive: bool,
+    /// Whether the prefix has been enumerated since construction (or since
+    /// an enumeration error marked it cold). A cold prefix serves nothing.
+    filled: bool,
+}
+
+impl TopKPrefix {
+    /// A cold prefix for `query` with capacity `k`; `None` when the query
+    /// shape does not support prefix maintenance (`k == 0`, no variables,
+    /// or a projection that drops variables).
+    fn new(query: &ConjunctiveQuery, k: usize) -> Option<TopKPrefix> {
+        if k == 0 || query.num_vars() == 0 {
+            return None;
+        }
+        let schema: Vec<Var> = query.projection().to_vec();
+        if !query.variables().all(|v| schema.contains(&v)) {
+            return None;
+        }
+        let col = |term: Term| match term {
+            Term::Const(c) => PrefixEnd::Const(c),
+            Term::Var(v) => PrefixEnd::Col(
+                schema
+                    .iter()
+                    .position(|&s| s == v)
+                    .expect("projection covers every variable"),
+            ),
+        };
+        let ends = query
+            .patterns()
+            .iter()
+            .map(|pat| (col(pat.subject), col(pat.object)))
+            .collect();
+        Some(TopKPrefix {
+            k,
+            arity: schema.len(),
+            schema,
+            ends,
+            rows: Vec::new(),
+            row_count: 0,
+            exhaustive: false,
+            filled: false,
+        })
+    }
+
+    /// Drops every row whose pattern bindings are no longer all answer
+    /// edges. Exact: a tuple is an embedding iff each pattern's `(s, o)`
+    /// readout is in that pattern's answer-edge set.
+    fn revalidate(&mut self, ag: &AnswerGraph) {
+        let arity = self.arity;
+        let mut kept_rows: Vec<NodeId> = Vec::with_capacity(self.rows.len());
+        let mut kept = 0usize;
+        'rows: for i in 0..self.row_count {
+            let row = &self.rows[i * arity..(i + 1) * arity];
+            for (q, &(se, oe)) in self.ends.iter().enumerate() {
+                if !ag.pattern(q).contains(se.resolve(row), oe.resolve(row)) {
+                    continue 'rows;
+                }
+            }
+            kept_rows.extend_from_slice(row);
+            kept += 1;
+        }
+        self.rows = kept_rows;
+        self.row_count = kept;
+    }
+
+    /// Merge-inserts canonically sorted, deduplicated `candidates` (flat,
+    /// same arity) into the sorted prefix, deduplicating against existing
+    /// rows (a remove-then-revive batch re-discovers surviving rows), then
+    /// truncates to `k`. Truncation clears `exhaustive`.
+    fn merge_rows(&mut self, candidates: &[NodeId]) {
+        let arity = self.arity;
+        let cand_count = candidates.len() / arity;
+        let mut merged: Vec<NodeId> = Vec::with_capacity(self.rows.len() + candidates.len());
+        let mut merged_count = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while merged_count < self.k && (i < self.row_count || j < cand_count) {
+            let take_existing = if i >= self.row_count {
+                false
+            } else if j >= cand_count {
+                true
+            } else {
+                let a = &self.rows[i * arity..(i + 1) * arity];
+                let b = &candidates[j * arity..(j + 1) * arity];
+                match a.cmp(b) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => {
+                        j += 1; // duplicate candidate: keep the existing row
+                        true
+                    }
+                }
+            };
+            if take_existing {
+                merged.extend_from_slice(&self.rows[i * arity..(i + 1) * arity]);
+                i += 1;
+            } else {
+                merged.extend_from_slice(&candidates[j * arity..(j + 1) * arity]);
+                j += 1;
+            }
+            merged_count += 1;
+        }
+        // Anything left beyond k rows fell off the horizon.
+        if i < self.row_count || j < cand_count {
+            self.exhaustive = false;
+        }
+        self.rows = merged;
+        self.row_count = merged_count;
+    }
+}
 
 /// The per-pattern-edge provenance index: which query patterns a data edge
 /// of a given predicate can bind. Built once per query; `O(log P)` lookup.
@@ -135,6 +319,7 @@ pub struct MaterializedQuery {
     options: EvalOptions,
     epoch: u64,
     info: MaintenanceInfo,
+    prefix: Option<TopKPrefix>,
 }
 
 impl MaterializedQuery {
@@ -154,6 +339,10 @@ impl MaterializedQuery {
         // not be maintained (serving layers fall back to eviction).
         let maintainable = !(options.edge_burnback && cyclic);
         let provenance = ProvenanceIndex::new(&query);
+        // A configured limit doubles as the prefix retention capacity; the
+        // prefix starts cold (no enumeration paid until someone asks for
+        // bounded rows, or the first maintenance pass warms it).
+        let prefix = TopKPrefix::new(&query, options.limit);
         MaterializedQuery {
             query,
             plan,
@@ -166,6 +355,7 @@ impl MaterializedQuery {
             options,
             epoch: 0,
             info: MaintenanceInfo::default(),
+            prefix,
         }
     }
 
@@ -243,6 +433,13 @@ impl MaterializedQuery {
         let start = Instant::now();
         let mut stats = MaintenanceStats::default();
 
+        // While a warm top-k prefix is retained, record every answer-graph
+        // edge this pass inserts: an inserted edge is the only way a new
+        // embedding can appear, so these are the seeds the prefix merge
+        // enumerates through afterwards.
+        let track_added = self.prefix.as_ref().is_some_and(|p| p.filled);
+        let mut added: Vec<(usize, NodeId, NodeId)> = Vec::new();
+
         // The provenance index drives both phases: only the delta's slices
         // for predicates the query actually mentions are ever visited
         // (`EdgeDelta::removed_for` / `inserted_for` are binary-searched
@@ -304,6 +501,9 @@ impl MaterializedQuery {
                     if self.answer_graph.pattern_mut(q).insert(t.subject, t.object) {
                         stats.candidate_inserts += 1;
                         stats.edges_added += 1;
+                        if track_added {
+                            added.push((q, t.subject, t.object));
+                        }
                         for (term, n) in [(pat.subject, t.subject), (pat.object, t.object)] {
                             if let Some(v) = term.as_var() {
                                 if !self.answer_graph.node_set(v).contains(&n) {
@@ -333,6 +533,9 @@ impl MaterializedQuery {
                             && self.answer_graph.pattern_mut(q).insert(n, n)
                         {
                             stats.edges_added += 1;
+                            if track_added {
+                                added.push((q, n, n));
+                            }
                         }
                     } else {
                         let objects = graph.objects_of(p, n).to_vec();
@@ -341,6 +544,9 @@ impl MaterializedQuery {
                                 Term::Const(c) => {
                                     if o == c && self.answer_graph.pattern_mut(q).insert(n, o) {
                                         stats.edges_added += 1;
+                                        if track_added {
+                                            added.push((q, n, o));
+                                        }
                                     }
                                 }
                                 Term::Var(w) => {
@@ -355,6 +561,9 @@ impl MaterializedQuery {
                                     }
                                     if self.answer_graph.pattern_mut(q).insert(n, o) {
                                         stats.edges_added += 1;
+                                        if track_added {
+                                            added.push((q, n, o));
+                                        }
                                     }
                                 }
                             }
@@ -368,6 +577,9 @@ impl MaterializedQuery {
                             Term::Const(c) => {
                                 if s == c && self.answer_graph.pattern_mut(q).insert(s, n) {
                                     stats.edges_added += 1;
+                                    if track_added {
+                                        added.push((q, s, n));
+                                    }
                                 }
                             }
                             Term::Var(w) => {
@@ -376,6 +588,9 @@ impl MaterializedQuery {
                                 }
                                 if self.answer_graph.pattern_mut(q).insert(s, n) {
                                     stats.edges_added += 1;
+                                    if track_added {
+                                        added.push((q, s, n));
+                                    }
                                 }
                             }
                         }
@@ -414,12 +629,238 @@ impl MaterializedQuery {
         stats.edges_removed += edges_burned;
         stats.nodes_removed += nodes_burned;
 
+        // Phase D — prefix upkeep: keep the retained top-k prefix aligned
+        // with the answer graph the pass just maintained.
+        self.update_prefix(&added, &mut stats);
+
         self.epoch = epoch;
         self.info.maintained_epoch = epoch;
         self.info.passes += 1;
         self.info.frontier_nodes += stats.frontier_nodes as u64;
         self.info.maintenance_us += start.elapsed().as_micros() as u64;
         stats
+    }
+
+    /// Phase D of [`MaterializedQuery::maintain`]: brings the retained
+    /// top-k prefix (when one exists) up to date with the just-maintained
+    /// answer graph. `added` is the pass's surviving-candidate seed list
+    /// (only collected while the prefix is warm). No-op passes leave a cold
+    /// prefix cold and a warm prefix untouched.
+    fn update_prefix(&mut self, added: &[(usize, NodeId, NodeId)], stats: &mut MaintenanceStats) {
+        let Some(mut prefix) = self.prefix.take() else {
+            return;
+        };
+        let touched = stats.candidate_inserts
+            + stats.candidate_removals
+            + stats.edges_added
+            + stats.edges_removed
+            + stats.nodes_added
+            + stats.nodes_removed
+            > 0;
+        if touched {
+            let churn = stats.edges_added + stats.edges_removed;
+            let fallback_at = (self.answer_graph.total_edges() / 4).max(PREFIX_FALLBACK_MIN_CHURN);
+            if !prefix.filled {
+                // A cold prefix warms on its first effective pass, so later
+                // passes (and the next bounded read) are O(k).
+                stats.prefix_refills += 1;
+                self.recompute_prefix(&mut prefix);
+            } else if churn > fallback_at {
+                stats.prefix_fallbacks += 1;
+                self.recompute_prefix(&mut prefix);
+            } else {
+                prefix.revalidate(&self.answer_graph);
+                // Underflow must be checked BEFORE merging candidates: a
+                // truncated prefix that lost rows may owe rows from beyond
+                // its old horizon, which no inserted-edge seed enumerates.
+                if !prefix.exhaustive && prefix.row_count < prefix.k {
+                    stats.prefix_refills += 1;
+                    self.recompute_prefix(&mut prefix);
+                } else if !added.is_empty() {
+                    match self.merge_prefix_candidates(&mut prefix, added) {
+                        Ok(PrefixMerge::Merged) => {}
+                        Ok(PrefixMerge::Overflow) => {
+                            stats.prefix_fallbacks += 1;
+                            self.recompute_prefix(&mut prefix);
+                        }
+                        Err(_) => {
+                            // Enumeration failed; serve cold (full path)
+                            // until a later pass or prime re-warms it.
+                            prefix.filled = false;
+                            prefix.rows.clear();
+                            prefix.row_count = 0;
+                        }
+                    }
+                }
+            }
+        }
+        stats.prefix_rows = if prefix.filled { prefix.row_count } else { 0 };
+        self.prefix = Some(prefix);
+    }
+
+    /// Re-enumerates the prefix from a full defactorization of the current
+    /// answer graph (the refill / fallback path). On error the prefix goes
+    /// cold instead of serving stale rows.
+    fn recompute_prefix(&self, prefix: &mut TopKPrefix) {
+        match self.defactorize() {
+            Ok((full, _)) => {
+                let total = full.len();
+                let cut = full.canonical_prefix(prefix.k);
+                prefix.rows = cut.flat_data().to_vec();
+                prefix.row_count = cut.len();
+                prefix.exhaustive = total <= prefix.k;
+                prefix.filled = true;
+            }
+            Err(_) => {
+                prefix.rows.clear();
+                prefix.row_count = 0;
+                prefix.exhaustive = false;
+                prefix.filled = false;
+            }
+        }
+    }
+
+    /// Enumerates the embeddings reachable through this pass's inserted
+    /// answer edges (only rows using an inserted edge can be new) and
+    /// merge-inserts them into the sorted prefix. Returns
+    /// [`PrefixMerge::Overflow`] when the candidate volume makes one full
+    /// re-enumeration the cheaper move.
+    fn merge_prefix_candidates(
+        &self,
+        prefix: &mut TopKPrefix,
+        added: &[(usize, NodeId, NodeId)],
+    ) -> Result<PrefixMerge, EngineError> {
+        // Only seeds that survived burnback can carry answer rows.
+        let mut live: Vec<(usize, NodeId, NodeId)> = added
+            .iter()
+            .copied()
+            .filter(|&(q, s, o)| self.answer_graph.pattern(q).contains(s, o))
+            .collect();
+        live.sort_unstable();
+        live.dedup();
+        if live.is_empty() {
+            return Ok(PrefixMerge::Merged);
+        }
+        let cap = (4 * prefix.k).max(PREFIX_FALLBACK_MIN_CHURN);
+        let seeds = SeedEnumerator::new(&self.query, &self.answer_graph);
+        let mut candidates: Vec<NodeId> = Vec::new();
+        let mut candidate_rows = 0usize;
+        for &(q, s, o) in &live {
+            let through = seeds.rows_through(&self.query, q, s, o)?;
+            let through = through.into_projected_set(&self.query).ok_or_else(|| {
+                EngineError::Internal(
+                    "projection referenced a variable missing from the result".into(),
+                )
+            })?;
+            debug_assert_eq!(through.schema(), &prefix.schema[..]);
+            candidate_rows += through.len();
+            candidates.extend_from_slice(through.flat_data());
+            if candidate_rows > cap {
+                return Ok(PrefixMerge::Overflow);
+            }
+        }
+        // Canonically sort + dedup (one row can thread several seeds).
+        let sorted =
+            EmbeddingSet::from_flat_rows(prefix.schema.clone(), candidates, candidate_rows)
+                .canonical_prefix(candidate_rows);
+        let mut flat: Vec<NodeId> = Vec::with_capacity(sorted.flat_data().len());
+        let mut last: Option<&[NodeId]> = None;
+        for row in sorted.rows() {
+            if last == Some(row) {
+                continue;
+            }
+            flat.extend_from_slice(row);
+            last = Some(row);
+        }
+        prefix.merge_rows(&flat);
+        Ok(PrefixMerge::Merged)
+    }
+
+    /// Ensures a warm top-k prefix with capacity at least `limit`, paying
+    /// one enumeration when the prefix is cold or too small. Returns
+    /// whether a warm prefix is retained afterwards (`false` when the query
+    /// shape does not support prefixes). `limit == 0` never warms.
+    pub fn prime_prefix(&mut self, limit: usize) -> bool {
+        if limit == 0 {
+            return self.prefix.as_ref().is_some_and(|p| p.filled);
+        }
+        let mut prefix = match self.prefix.take() {
+            Some(p) => p,
+            None => match TopKPrefix::new(&self.query, limit) {
+                Some(p) => p,
+                None => return false,
+            },
+        };
+        if prefix.k < limit {
+            prefix.k = limit;
+            prefix.filled = false;
+        }
+        if !prefix.filled {
+            self.recompute_prefix(&mut prefix);
+        }
+        let warm = prefix.filled;
+        self.prefix = Some(prefix);
+        warm
+    }
+
+    /// Rows currently retained in the (warm) top-k prefix.
+    pub fn prefix_rows(&self) -> usize {
+        self.prefix
+            .as_ref()
+            .filter(|p| p.filled)
+            .map_or(0, |p| p.row_count)
+    }
+
+    /// Whether a bounded evaluation would answer this `limit` straight
+    /// from the warm prefix. `false` when the prefix is cold,
+    /// `limit > k`, or a truncated prefix holds fewer than `limit` rows.
+    pub fn can_prefix_serve(&self, limit: usize) -> bool {
+        self.prefix.as_ref().is_some_and(|p| {
+            p.filled && limit > 0 && limit <= p.k && (p.exhaustive || p.row_count >= limit)
+        })
+    }
+
+    /// Serves the first `limit` rows straight out of the warm prefix in
+    /// `O(limit)` — no defactorization. `None` when the prefix cannot
+    /// answer this limit (see [`MaterializedQuery::can_prefix_serve`]).
+    fn serve_from_prefix(&self, limit: usize) -> Option<Evaluation> {
+        if !self.can_prefix_serve(limit) {
+            return None;
+        }
+        let p = self.prefix.as_ref()?;
+        let t = Instant::now();
+        let keep = limit.min(p.row_count);
+        let embeddings =
+            EmbeddingSet::from_flat_rows(p.schema.clone(), p.rows[..keep * p.arity].to_vec(), keep);
+        let factorized = self.factorized();
+        let metrics = factorized.metrics(0);
+        let truncated = !p.exhaustive || p.row_count > limit;
+        let explain = self.options.explain.then(|| {
+            format!(
+                "maintained view (epoch {}): served {keep} row(s) from the retained top-{} prefix in O(k) — no defactorization\n",
+                self.info.maintained_epoch, p.k
+            )
+        });
+        Some(Evaluation {
+            engine: "wireframe".to_owned(),
+            epochs: Vec::new(),
+            embeddings,
+            timings: Timings {
+                defactorization: t.elapsed(),
+                ..Timings::default()
+            },
+            cyclic: self.cyclic,
+            factorized: Some(factorized),
+            metrics,
+            explain,
+            maintenance: Some(self.info),
+            limited: Some(LimitInfo {
+                limit,
+                truncated,
+                prefix_served: true,
+                full_total: p.exhaustive.then_some(p.row_count),
+            }),
+        })
     }
 
     /// Whether node `n` of variable `v` has at least one supporting edge in
@@ -535,7 +976,32 @@ impl MaintainedView for MaterializedQuery {
             metrics,
             explain,
             maintenance: Some(self.info),
+            limited: None,
         })
+    }
+
+    fn evaluate_limited(&self, limit: usize) -> Result<Evaluation, WireframeError> {
+        if limit == 0 {
+            return self.evaluate();
+        }
+        if let Some(ev) = self.serve_from_prefix(limit) {
+            return Ok(ev);
+        }
+        let mut ev = self.evaluate()?;
+        ev.apply_limit(limit);
+        Ok(ev)
+    }
+
+    fn prime_prefix(&mut self, limit: usize) -> bool {
+        MaterializedQuery::prime_prefix(self, limit)
+    }
+
+    fn prefix_rows(&self) -> usize {
+        MaterializedQuery::prefix_rows(self)
+    }
+
+    fn can_prefix_serve(&self, limit: usize) -> bool {
+        MaterializedQuery::can_prefix_serve(self, limit)
     }
 
     fn info(&self) -> MaintenanceInfo {
@@ -736,6 +1202,151 @@ mod tests {
         let info = ev.maintenance.expect("view-served evaluations carry info");
         assert_eq!(info.passes, 0);
         assert!(ev.explain.is_none(), "explain only when requested");
+    }
+
+    /// The served prefix must be bit-identical to the canonical first k
+    /// rows of a fresh full evaluation.
+    fn assert_prefix_matches_fresh(
+        view: &MaterializedQuery,
+        graph: &Graph,
+        limit: usize,
+        context: &str,
+    ) {
+        let ev = view.evaluate_limited(limit).unwrap();
+        let info = ev.limited.expect("limited evaluations carry LimitInfo");
+        assert!(info.prefix_served, "{context}: expected a prefix serve");
+        let fresh = WireframeEngine::new(graph).execute(view.query()).unwrap();
+        let expect = fresh.embeddings().canonical_prefix(limit);
+        assert_eq!(ev.embeddings.schema(), expect.schema(), "{context}: schema");
+        assert_eq!(
+            ev.embeddings.flat_data(),
+            expect.flat_data(),
+            "{context}: prefix rows differ from fresh canonical first-{limit}"
+        );
+        assert_eq!(
+            info.truncated,
+            fresh.embeddings().len() > limit,
+            "{context}: truncated flag"
+        );
+    }
+
+    #[test]
+    fn prefix_serves_canonical_first_k_without_defactorizing() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let mut view = WireframeEngine::with_options(&g, EvalOptions::default().with_limit(5))
+            .execute(&q)
+            .unwrap()
+            .into_view();
+        assert_eq!(view.prefix_rows(), 0, "prefix starts cold");
+        assert!(view.prime_prefix(5), "chain query supports prefixes");
+        assert_eq!(view.prefix_rows(), 5);
+        assert_prefix_matches_fresh(&view, &g, 5, "primed serve");
+        assert_prefix_matches_fresh(&view, &g, 3, "limit below k");
+
+        // A limit beyond k cannot be prefix-served: full path, truncated
+        // canonically, not marked prefix_served.
+        let ev = view.evaluate_limited(7).unwrap();
+        let info = ev.limited.unwrap();
+        assert!(!info.prefix_served);
+        assert_eq!(info.full_total, Some(12));
+        let fresh = WireframeEngine::new(&g).execute(&q).unwrap();
+        assert_eq!(
+            ev.embeddings.flat_data(),
+            fresh.embeddings().canonical_prefix(7).flat_data(),
+            "fallback path still returns the canonical first 7"
+        );
+
+        // With k beyond the whole answer the prefix is exhaustive and any
+        // limit (even > row count) is servable.
+        assert!(view.prime_prefix(20));
+        let ev = view.evaluate_limited(18).unwrap();
+        let info = ev.limited.unwrap();
+        assert!(info.prefix_served);
+        assert!(!info.truncated, "12 rows fit under limit 18");
+        assert_eq!(
+            info.full_total,
+            Some(12),
+            "an exhaustive prefix knows the total"
+        );
+        assert_eq!(ev.embedding_count(), 12);
+    }
+
+    #[test]
+    fn prefix_is_maintained_under_deltas() {
+        let g = figure1_graph();
+        let q = chain_query(&g);
+        let mut view = materialize(&g, &q);
+        assert!(view.prime_prefix(5));
+
+        // Insert-only batch: candidates are enumerated through the new AG
+        // edges and merge-inserted — no refill, no fallback.
+        let (g1, out1) = g.apply(&Mutation::new().insert("0", "A", "5"));
+        let stats = view.maintain(&g1, &out1.delta, 1);
+        assert_eq!(stats.prefix_refills, 0, "merge path handles inserts");
+        assert_eq!(stats.prefix_fallbacks, 0);
+        assert_eq!(stats.prefix_rows, 5);
+        assert_prefix_matches_fresh(&view, &g1, 5, "after insert merge");
+
+        // Removal that guts the prefix: w=0 and w=1 rows (8 of the first
+        // rows) vanish, the truncated prefix underflows, and a refill
+        // re-enumerates from beyond the old horizon.
+        let (g2, out2) = g1.apply(&Mutation::new().remove("0", "A", "5").remove("1", "A", "5"));
+        let stats = view.maintain(&g2, &out2.delta, 2);
+        assert_eq!(stats.prefix_refills, 1, "underflow forces a refill");
+        assert_eq!(stats.prefix_fallbacks, 0);
+        assert_prefix_matches_fresh(&view, &g2, 5, "after underflow refill");
+
+        // Removal the prefix absorbs: dropping one row of an exhaustive
+        // prefix needs no re-enumeration at all.
+        assert!(view.prime_prefix(20));
+        let (g3, out3) = g2.apply(&Mutation::new().remove("9", "C", "12"));
+        let stats = view.maintain(&g3, &out3.delta, 3);
+        assert_eq!(stats.prefix_refills, 0, "exhaustive prefix never refills");
+        assert_eq!(stats.prefix_fallbacks, 0);
+        assert_prefix_matches_fresh(&view, &g3, 20, "after absorbed removal");
+
+        // A churn burst beyond the threshold falls back to one full
+        // re-enumeration instead of seeding per-edge joins.
+        let mut burst = Mutation::new();
+        for i in 0..70 {
+            burst = burst.insert("9", "C", &format!("n{i}"));
+        }
+        let (g4, out4) = g3.apply(&burst);
+        let stats = view.maintain(&g4, &out4.delta, 4);
+        assert_eq!(
+            stats.prefix_fallbacks, 1,
+            "70 added edges exceed the threshold"
+        );
+        assert_prefix_matches_fresh(&view, &g4, 20, "after churn fallback");
+
+        // A foreign-predicate no-op leaves the prefix untouched but still
+        // reports its level.
+        let (g5, out5) = g4.apply(&Mutation::new().insert("1", "Z", "2"));
+        let stats = view.maintain(&g5, &out5.delta, 5);
+        assert_eq!(stats.prefix_refills + stats.prefix_fallbacks, 0);
+        assert_eq!(stats.prefix_rows, view.prefix_rows());
+        assert_prefix_matches_fresh(&view, &g5, 20, "after no-op");
+    }
+
+    #[test]
+    fn projecting_queries_do_not_retain_prefixes() {
+        let g = figure1_graph();
+        let q = parse_query(
+            "SELECT ?w WHERE { ?w :A ?x . ?x :B ?y . ?y :C ?z . }",
+            g.dictionary(),
+        )
+        .unwrap();
+        let mut view = materialize(&g, &q);
+        assert!(
+            !view.prime_prefix(5),
+            "a projection that drops variables cannot maintain a prefix"
+        );
+        // Bounded reads still work — full path with canonical truncation.
+        let ev = view.evaluate_limited(2).unwrap();
+        let info = ev.limited.unwrap();
+        assert!(!info.prefix_served);
+        assert_eq!(ev.embedding_count(), 2);
     }
 
     #[test]

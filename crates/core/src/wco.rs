@@ -614,6 +614,7 @@ impl Engine for WcoEngine<'_> {
             metrics,
             explain,
             maintenance: None,
+            limited: None,
         })
     }
 
@@ -921,6 +922,7 @@ impl MaintainedView for WcoView {
             metrics,
             explain,
             maintenance: Some(self.info),
+            limited: None,
         })
     }
 

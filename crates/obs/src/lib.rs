@@ -83,6 +83,16 @@ pub mod names {
     pub const MAINTAIN_BATCH_US: &str = "maintain.batch_us";
     /// Per-view maintenance cost within a batch, microseconds.
     pub const MAINTAIN_VIEW_US: &str = "maintain.view_us";
+    /// Bounded queries served from a maintained top-k prefix in O(k).
+    pub const MAINTAIN_PREFIX_HITS: &str = "maintain.prefix_hits";
+    /// Prefix refills: re-enumerations after the prefix underflowed below k
+    /// (or to warm a cold prefix).
+    pub const MAINTAIN_PREFIX_REFILLS: &str = "maintain.prefix_refills";
+    /// Prefix fallbacks: maintenance passes that abandoned incremental
+    /// prefix upkeep because the delta invalidated too much.
+    pub const MAINTAIN_PREFIX_FALLBACKS: &str = "maintain.prefix_fallbacks";
+    /// Rows retained across all maintained top-k prefixes (gauge).
+    pub const MAINTAIN_PREFIX_ROWS: &str = "maintain.prefix_rows";
 
     /// Total triples in the current graph version (gauge).
     pub const GRAPH_TRIPLES: &str = "graph.triples";

@@ -215,6 +215,47 @@ impl EmbeddingSet {
         self.data = data;
     }
 
+    /// The first `k` rows under the **canonical row order**: rows sorted
+    /// lexicographically over the schema's column order (columns are *not*
+    /// reordered — the schema stays the caller's projection). This is the
+    /// order the top-k serving stack pins so that "the first k rows" is
+    /// well-defined across engines, storage backends and shard merges: any
+    /// two evaluations of the same query agree bit-for-bit on the prefix.
+    ///
+    /// `k >= len()` returns the whole answer, canonically sorted. Rows are
+    /// **not** deduplicated — producers feeding this are join outputs whose
+    /// rows are already distinct (and DISTINCT projections deduplicate
+    /// before limiting).
+    pub fn canonical_prefix(&self, k: usize) -> EmbeddingSet {
+        let arity = self.schema.len();
+        let keep = self.len.min(k);
+        if arity == 0 {
+            return EmbeddingSet {
+                schema: Vec::new(),
+                data: Vec::new(),
+                len: keep,
+            };
+        }
+        let row = |i: usize| &self.data[i * arity..(i + 1) * arity];
+        let mut order: Vec<usize> = (0..self.len).collect();
+        if keep < self.len {
+            // Partial selection: O(n) to split off the k smallest rows,
+            // then sort just those.
+            order.select_nth_unstable_by(keep, |&a, &b| row(a).cmp(row(b)));
+            order.truncate(keep);
+        }
+        order.sort_unstable_by(|&a, &b| row(a).cmp(row(b)));
+        let mut data = Vec::with_capacity(keep * arity);
+        for &i in &order {
+            data.extend_from_slice(row(i));
+        }
+        EmbeddingSet {
+            schema: self.schema.clone(),
+            data,
+            len: keep,
+        }
+    }
+
     /// Returns the tuples re-ordered into a canonical form (columns sorted by
     /// variable index, rows sorted and deduplicated). Two engines computing the
     /// same answer produce equal canonical forms regardless of evaluation
@@ -348,5 +389,40 @@ mod tests {
         let e = EmbeddingSet::empty(vec![Var(0), Var(1)]);
         assert!(e.is_empty());
         assert_eq!(e.schema().len(), 2);
+    }
+
+    #[test]
+    fn canonical_prefix_sorts_rows_keeps_schema() {
+        // Schema deliberately not in Var order: the prefix must keep it.
+        let e = EmbeddingSet::new(
+            vec![Var(1), Var(0)],
+            vec![
+                vec![n(5), n(1)],
+                vec![n(2), n(9)],
+                vec![n(2), n(3)],
+                vec![n(7), n(0)],
+            ],
+        );
+        let p = e.canonical_prefix(2);
+        assert_eq!(p.schema(), &[Var(1), Var(0)]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.row(0), Some(&[n(2), n(3)] as &[NodeId]));
+        assert_eq!(p.row(1), Some(&[n(2), n(9)] as &[NodeId]));
+
+        // k >= len returns the whole set, sorted.
+        let full = e.canonical_prefix(10);
+        assert_eq!(full.len(), 4);
+        assert_eq!(full.row(0), Some(&[n(2), n(3)] as &[NodeId]));
+        assert_eq!(full.row(3), Some(&[n(7), n(0)] as &[NodeId]));
+
+        // Prefix-of-the-prefix agrees with prefix-of-the-full-sort.
+        assert_eq!(full.canonical_prefix(2).flat_data(), p.flat_data());
+    }
+
+    #[test]
+    fn canonical_prefix_zero_arity_counts_rows() {
+        let two = EmbeddingSet::from_flat_rows(vec![], vec![], 2);
+        assert_eq!(two.canonical_prefix(1).len(), 1);
+        assert_eq!(two.canonical_prefix(5).len(), 2);
     }
 }

@@ -170,7 +170,12 @@ impl Client {
         }
     }
 
-    /// `query` with a row cap (0 = unlimited).
+    /// `query` with a row cap (0 = unlimited). The cap is pushed into
+    /// evaluation server-side, not applied after the fact: a limited answer
+    /// carries the **canonical first `limit` rows** (lexicographic over the
+    /// SELECT columns — stable across requests), [`RowSet::truncated`] says
+    /// whether rows were dropped, and [`RowSet::prefix_served`] says the
+    /// server answered from a maintained top-k prefix in `O(k)`.
     pub fn query(&mut self, query: &str, limit: u64) -> Result<QueryAnswer, ClientError> {
         let id = self.fresh_id();
         let request = Request::Query {
@@ -182,6 +187,12 @@ impl Client {
             Response::Rows { epoch, rows, .. } => Ok(QueryAnswer { epoch, rows }),
             other => Client::fail(other),
         }
+    }
+
+    /// [`Client::query`] under its serving-contract name, mirroring
+    /// `QueryExecutor::query_limited` on the session side.
+    pub fn query_limited(&mut self, query: &str, limit: u64) -> Result<QueryAnswer, ClientError> {
+        self.query(query, limit)
     }
 
     /// `mutate`: apply a `+`/`-` script (possibly coalesced server-side).

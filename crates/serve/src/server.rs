@@ -643,6 +643,7 @@ fn handle_subscribe(
             let columns = ev.embeddings().schema().len() as u64;
             let total = rows.len() as u64;
             let shown = label_rows(shared, rows.iter(), limit);
+            let truncated = (shown.len() as u64) < total;
             {
                 let mut subs = shared.subs.lock().unwrap_or_else(|e| e.into_inner());
                 subs.push(Subscription {
@@ -661,6 +662,10 @@ fn handle_subscribe(
                     columns,
                     total,
                     rows: shown,
+                    truncated,
+                    // Subscription snapshots keep the full row set server-side
+                    // for delta diffing, so they never take the prefix path.
+                    prefix_served: false,
                 },
             });
         }
@@ -715,43 +720,50 @@ fn serve_job(shared: &Arc<SharedState>, job: Job) {
                 message: e.to_string(),
             }),
         },
-        Request::Query { id, query, limit } => match shared.executor.query(&query) {
-            Ok(ev) => {
-                shared.counters.queries.inc();
-                let columns = ev.embeddings().schema().len() as u64;
-                let total = ev.embedding_count() as u64;
-                let graph = shared.executor.graph();
-                let dict = graph.dictionary();
-                let cap = if limit == 0 {
-                    usize::MAX
-                } else {
-                    limit as usize
-                };
-                let rows = ev
-                    .embeddings()
-                    .rows()
-                    .take(cap)
-                    .map(|row| {
-                        row.iter()
-                            .map(|n| dict.node_label(*n).unwrap_or("?").to_owned())
-                            .collect()
-                    })
-                    .collect();
-                job.conn.send(&Response::Rows {
+        // The limit is pushed into evaluation: a session with a primed
+        // top-k prefix answers `limit <= k` in O(k), and a full evaluation
+        // is truncated canonically — the rows sent are always the canonical
+        // first `limit`, never an arbitrary `take()`.
+        Request::Query { id, query, limit } => {
+            match shared.executor.query_limited(&query, limit as usize) {
+                Ok(ev) => {
+                    shared.counters.queries.inc();
+                    let columns = ev.embeddings().schema().len() as u64;
+                    let info = ev.limited;
+                    // A prefix serve may not know the full count; fall back
+                    // to the served rows and let `truncated` say more exist.
+                    let total = info
+                        .map(|i| i.full_total.unwrap_or(ev.embedding_count()))
+                        .unwrap_or(ev.embedding_count()) as u64;
+                    let graph = shared.executor.graph();
+                    let dict = graph.dictionary();
+                    let rows = ev
+                        .embeddings()
+                        .rows()
+                        .map(|row| {
+                            row.iter()
+                                .map(|n| dict.node_label(*n).unwrap_or("?").to_owned())
+                                .collect()
+                        })
+                        .collect();
+                    job.conn.send(&Response::Rows {
+                        id,
+                        epoch: ev.epoch(),
+                        rows: RowSet {
+                            columns,
+                            total,
+                            rows,
+                            truncated: info.is_some_and(|i| i.truncated),
+                            prefix_served: info.is_some_and(|i| i.prefix_served),
+                        },
+                    });
+                }
+                Err(e) => job.conn.send(&Response::Error {
                     id,
-                    epoch: ev.epoch(),
-                    rows: RowSet {
-                        columns,
-                        total,
-                        rows,
-                    },
-                });
+                    message: e.to_string(),
+                }),
             }
-            Err(e) => job.conn.send(&Response::Error {
-                id,
-                message: e.to_string(),
-            }),
-        },
+        }
         Request::Stats { id } => {
             let stats = shared.stats();
             job.conn.send(&Response::Stats { id, stats });

@@ -41,10 +41,37 @@ fn request_round_trips_over_a_real_socket() {
     assert_eq!(answer.rows.total, 5);
     assert_eq!(answer.rows.columns, 2);
     assert_eq!(answer.rows.rows.len(), 5);
+    assert!(!answer.rows.truncated, "unlimited answers are complete");
+    assert!(!answer.rows.prefix_served);
 
+    // The chain query projects ?y away, so no top-k prefix is retained —
+    // the cap still yields the canonical first rows, with the full count.
     let capped = client.query(CHAIN_QUERY, 2).unwrap();
     assert_eq!(capped.rows.total, 5, "total reports the full count");
     assert_eq!(capped.rows.rows.len(), 2, "rows are capped by the limit");
+    assert!(capped.rows.truncated, "the cap dropped rows");
+    assert!(!capped.rows.prefix_served, "projected queries defactorize");
+    let mut expected = answer.rows.rows.clone();
+    expected.sort();
+    expected.truncate(2);
+    assert_eq!(
+        capped.rows.rows, expected,
+        "limited answers are the canonical (lexicographic) first rows"
+    );
+
+    // A full-projection query is served from the maintained top-k prefix
+    // in O(limit), and repeated caps page identically.
+    let full_proj = "SELECT ?x ?y ?z WHERE { ?x <knows> ?y . ?y <likes> ?z . }";
+    let prefixed = client.query_limited(full_proj, 2).unwrap();
+    assert_eq!(prefixed.rows.rows.len(), 2);
+    assert!(prefixed.rows.truncated);
+    assert!(
+        prefixed.rows.prefix_served,
+        "the retained view answers limited queries from its top-k prefix"
+    );
+    let again = client.query_limited(full_proj, 2).unwrap();
+    assert_eq!(again.rows.rows, prefixed.rows.rows, "stable paging");
+    assert!(again.rows.prefix_served);
 
     let ack = client.mutate("+ a0 knows b1\n").unwrap();
     assert_eq!(ack.epoch, 1);

@@ -26,7 +26,16 @@
 //!   --trace                   print the structured span tree of every query
 //!                             (stage durations with signature/engine/store
 //!                             fields) to stderr after the results
-//!   --limit <N>               print at most N result rows (default 20, 0 = unlimited)
+//!   --limit <N>               bound the answer to the canonical first N rows
+//!                             (default 20, 0 = unlimited). The limit is pushed
+//!                             into evaluation, not applied after the fact:
+//!                             when the query's retained view holds a
+//!                             maintained top-k prefix covering N the answer
+//!                             costs O(k) — no defactorization — otherwise the
+//!                             defactorization is truncated under the same
+//!                             canonical (lexicographic) row order, so the
+//!                             printed rows are identical either way.
+//!                             `--count-only` always evaluates fully.
 //!   --threads <N>             worker threads for parallel phases (default 1; 0 = auto)
 //!   --count-only              print only the number of embeddings
 //!
@@ -80,7 +89,7 @@ impl<T> OrUsage<T> for Result<T, String> {
 use wireframe::graph::Graph;
 use wireframe::query::EmbeddingSet;
 use wireframe::{
-    default_registry, EngineConfig, Mutation, QueryExecutor, Session, SessionConfig,
+    default_registry, EngineConfig, LimitInfo, Mutation, QueryExecutor, Session, SessionConfig,
     ShardedCluster, StoreKind,
 };
 
@@ -210,18 +219,23 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     Ok(options)
 }
 
-fn print_results(graph: &Graph, results: &EmbeddingSet, limit: usize) {
+fn print_results(graph: &Graph, results: &EmbeddingSet, limited: Option<LimitInfo>) {
     let dict = graph.dictionary();
-    let shown = if limit == 0 { results.len() } else { limit };
-    for row in results.rows().take(shown) {
+    for row in results.rows() {
         let labels: Vec<&str> = row
             .iter()
             .map(|n| dict.node_label(*n).unwrap_or("?"))
             .collect();
         println!("{}", labels.join("\t"));
     }
-    if results.len() > shown {
-        println!("… ({} more rows)", results.len() - shown);
+    // The evaluation is already bounded; the footer reports what the bound
+    // dropped. A prefix serve may not know the full count (that is what
+    // makes it O(k)), so the footer degrades honestly.
+    if let Some(info) = limited.filter(|i| i.truncated) {
+        match info.full_total {
+            Some(total) => println!("… ({} more rows)", total - results.len()),
+            None => println!("… (more rows exist)"),
+        }
     }
 }
 
@@ -408,7 +422,15 @@ fn run() -> Result<(), Failure> {
         }
     }
 
-    let evaluation = session.query(&query_text).map_err(|e| match e {
+    // `--count-only` needs the exact full count, so it evaluates unlimited;
+    // everything else pushes the limit into evaluation, where a maintained
+    // top-k prefix can answer it in O(k).
+    let evaluation = if options.count_only {
+        session.query(&query_text)
+    } else {
+        session.query_limited(&query_text, options.limit)
+    }
+    .map_err(|e| match e {
         // A query that does not parse is the caller's input, not an
         // evaluation failure.
         wireframe::WireframeError::Query(_) => Failure::Usage(e.to_string()),
@@ -435,8 +457,26 @@ fn run() -> Result<(), Failure> {
         println!("{}", evaluation.embedding_count());
         eprintln!("{} embeddings{epoch_note}", evaluation.embedding_count());
     } else {
-        print_results(&session.graph(), evaluation.embeddings(), options.limit);
-        eprintln!("{} embeddings{epoch_note}", evaluation.embedding_count());
+        print_results(
+            &session.graph(),
+            evaluation.embeddings(),
+            evaluation.limited,
+        );
+        let summary = match evaluation.limited {
+            Some(info) if info.truncated => match info.full_total {
+                Some(total) => {
+                    format!("{} of {} embeddings", evaluation.embedding_count(), total)
+                }
+                None => format!("{} embeddings (truncated)", evaluation.embedding_count()),
+            },
+            _ => format!("{} embeddings", evaluation.embedding_count()),
+        };
+        let prefix_note = if evaluation.limited.is_some_and(|i| i.prefix_served) {
+            " · served from the maintained top-k prefix"
+        } else {
+            ""
+        };
+        eprintln!("{summary}{prefix_note}{epoch_note}");
     }
     if options.trace {
         // Completed span trees, most recent last; under --shards the

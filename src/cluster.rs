@@ -145,6 +145,9 @@ impl ShardedCluster {
         if config.engine_config.threads > 0 {
             options = options.with_threads(config.engine_config.threads);
         }
+        if config.engine_config.limit > 0 {
+            options = options.with_limit(config.engine_config.limit);
+        }
         let graph = graph.into();
         let shards = partition_graph(&graph, shards)
             .into_iter()
@@ -217,6 +220,7 @@ impl ShardedCluster {
         shard_epochs: Vec<u64>,
         cluster_epoch: u64,
         query: &ConjunctiveQuery,
+        limit: usize,
     ) -> Result<Evaluation, WireframeError> {
         let t = Instant::now();
         let scans: Vec<Vec<Vec<_>>> = std::thread::scope(|scope| {
@@ -249,6 +253,10 @@ impl ShardedCluster {
         // The merged view is built fresh per query, not retained: reporting
         // maintenance state would suggest a serving history it doesn't have.
         evaluation.maintenance = None;
+        // The gather keeps only the canonical first `limit` rows of the
+        // merged defactorization (the merged view is per-query, so there is
+        // no retained prefix to serve from — the truncation is the bound).
+        evaluation.apply_limit(limit);
         let elapsed = t.elapsed();
         if self.tracer.wants(elapsed) {
             self.tracer.record(
@@ -271,14 +279,29 @@ impl QueryExecutor for ShardedCluster {
     }
 
     fn query(&self, text: &str) -> Result<Evaluation, WireframeError> {
+        self.query_limited(text, 0)
+    }
+
+    fn query_limited(&self, text: &str, limit: usize) -> Result<Evaluation, WireframeError> {
         let (graphs, epochs, epoch) = self.snapshot();
         let query = parse_query(text, graphs[0].dictionary())?;
-        self.evaluate_sharded(&graphs, epochs, epoch, &query)
+        let limit = if limit > 0 { limit } else { self.options.limit };
+        self.evaluate_sharded(&graphs, epochs, epoch, &query, limit)
     }
 
     fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
         let (graphs, epochs, epoch) = self.snapshot();
-        self.evaluate_sharded(&graphs, epochs, epoch, query)
+        self.evaluate_sharded(&graphs, epochs, epoch, query, self.options.limit)
+    }
+
+    fn execute_limited(
+        &self,
+        query: &ConjunctiveQuery,
+        limit: usize,
+    ) -> Result<Evaluation, WireframeError> {
+        let (graphs, epochs, epoch) = self.snapshot();
+        let limit = if limit > 0 { limit } else { self.options.limit };
+        self.evaluate_sharded(&graphs, epochs, epoch, query, limit)
     }
 
     fn prime(&self, text: &str) -> Result<bool, WireframeError> {

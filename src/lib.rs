@@ -92,6 +92,6 @@ pub use registry::default_registry;
 pub use session::{Session, SessionConfig, DEFAULT_CACHE_CAPACITY};
 pub use wireframe_api::{
     Engine, EngineConfig, EngineEntry, EngineRegistry, EpochListener, Evaluation, ExecutorStats,
-    Factorized, PreparedQuery, QueryExecutor, StoreKind, Timings, WireframeError,
+    Factorized, LimitInfo, PreparedQuery, QueryExecutor, StoreKind, Timings, WireframeError,
 };
 pub use wireframe_graph::{EdgeDelta, Mutation, MutationOp, MutationOutcome};

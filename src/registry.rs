@@ -16,6 +16,9 @@ fn eval_options(config: &EngineConfig) -> EvalOptions {
     if config.threads > 0 {
         options = options.with_threads(config.threads);
     }
+    if config.limit > 0 {
+        options = options.with_limit(config.limit);
+    }
     options
 }
 

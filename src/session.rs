@@ -97,6 +97,10 @@ struct MaintenancePass {
     frontier_nodes: u64,
     /// Wall-clock spent in `maintain`, microseconds.
     micros: u64,
+    /// Top-k prefix underflow refills across all maintained views.
+    prefix_refills: u64,
+    /// Top-k prefix full-recompute fallbacks across all maintained views.
+    prefix_fallbacks: u64,
 }
 
 /// Colour keys can collide for non-isomorphic queries (1-WL), so each bucket
@@ -314,6 +318,8 @@ impl ShardedPlanCache {
                             };
                             pass.maintained += 1;
                             pass.frontier_nodes += stats.frontier_nodes as u64;
+                            pass.prefix_refills += stats.prefix_refills as u64;
+                            pass.prefix_fallbacks += stats.prefix_fallbacks as u64;
                             let micros = t.elapsed().as_micros() as u64;
                             pass.micros += micros;
                             per_view.record(micros);
@@ -327,6 +333,22 @@ impl ShardedPlanCache {
             });
         }
         pass
+    }
+
+    /// Total retained top-k prefix rows across every cached view. A level,
+    /// not a counter — re-read at snapshot time like the graph gauges.
+    fn prefix_rows_total(&self) -> u64 {
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let guard = Self::read(shard);
+            for entry in guard.values().flatten() {
+                let slot = entry.view.read().unwrap_or_else(|p| p.into_inner());
+                if let ViewSlot::Retained(view) = &*slot {
+                    total += view.prefix_rows() as u64;
+                }
+            }
+        }
+        total
     }
 
     fn len(&self) -> usize {
@@ -454,6 +476,10 @@ pub struct Session {
     mutation_touches: Counter,
     view_serves: Counter,
     full_evals: Counter,
+    prefix_hits: Counter,
+    prefix_refills: Counter,
+    prefix_fallbacks: Counter,
+    prefix_rows: Gauge,
     query_latency: Histogram,
     maintain_batch: Histogram,
     maintain_view: Histogram,
@@ -717,6 +743,10 @@ impl Session {
             mutation_touches: metrics.counter(names::MUTATION_CACHE_TOUCHES),
             view_serves: metrics.counter(names::VIEW_SERVES),
             full_evals: metrics.counter(names::FULL_EVALUATIONS),
+            prefix_hits: metrics.counter(names::MAINTAIN_PREFIX_HITS),
+            prefix_refills: metrics.counter(names::MAINTAIN_PREFIX_REFILLS),
+            prefix_fallbacks: metrics.counter(names::MAINTAIN_PREFIX_FALLBACKS),
+            prefix_rows: metrics.gauge(names::MAINTAIN_PREFIX_ROWS),
             query_latency: metrics.histogram(names::QUERY_LATENCY_US),
             maintain_batch: metrics.histogram(names::MAINTAIN_BATCH_US),
             maintain_view: metrics.histogram(names::MAINTAIN_VIEW_US),
@@ -815,17 +845,53 @@ impl Session {
     }
 
     /// Parses, plans and executes a SPARQL conjunctive query in one call.
+    /// When the session's [`EngineConfig::limit`] is set, the answer is
+    /// bounded like [`Session::query_limited`] with that limit.
     pub fn query(&self, text: &str) -> Result<Evaluation, WireframeError> {
+        self.query_limited(text, 0)
+    }
+
+    /// [`Session::query`] bounded to the first `limit` rows under the
+    /// canonical row order (`0` falls back to the configured
+    /// [`EngineConfig::limit`], itself `0` = unlimited by default).
+    ///
+    /// When the query's retained view holds a primed top-k prefix covering
+    /// `limit`, the answer is served straight from the prefix in `O(k)` —
+    /// no defactorization — and marked
+    /// [`prefix_served`](wireframe_api::LimitInfo::prefix_served); the
+    /// session counts it in [`Session::prefix_hits`]. Otherwise the view is
+    /// defactorized (or the full pipeline runs) and the result truncated
+    /// canonically.
+    pub fn query_limited(&self, text: &str, limit: usize) -> Result<Evaluation, WireframeError> {
         let (graph, epoch) = self.snapshot();
         let query = parse_query(text, graph.dictionary())?;
-        self.execute_on(&graph, epoch, &query)
+        self.execute_on(&graph, epoch, &query, self.effective_limit(limit))
     }
 
     /// Executes an already-constructed query through the selected engine,
     /// using the prepared-query cache.
     pub fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
+        self.execute_limited(query, 0)
+    }
+
+    /// [`Session::execute`] bounded like [`Session::query_limited`].
+    pub fn execute_limited(
+        &self,
+        query: &ConjunctiveQuery,
+        limit: usize,
+    ) -> Result<Evaluation, WireframeError> {
         let (graph, epoch) = self.snapshot();
-        self.execute_on(&graph, epoch, query)
+        self.execute_on(&graph, epoch, query, self.effective_limit(limit))
+    }
+
+    /// An explicit per-call limit wins; `0` defers to the session-wide
+    /// configured limit (which the engine also applies as a cap).
+    fn effective_limit(&self, limit: usize) -> usize {
+        if limit > 0 {
+            limit
+        } else {
+            self.config.limit
+        }
     }
 
     fn execute_on(
@@ -833,9 +899,10 @@ impl Session {
         graph: &Arc<Graph>,
         epoch: u64,
         query: &ConjunctiveQuery,
+        limit: usize,
     ) -> Result<Evaluation, WireframeError> {
         let started = std::time::Instant::now();
-        let result = self.execute_inner(graph, epoch, query);
+        let result = self.execute_inner(graph, epoch, query, limit);
         if let Ok(evaluation) = &result {
             let elapsed = started.elapsed();
             self.query_latency.record_duration(elapsed);
@@ -862,8 +929,16 @@ impl Session {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         plan_cache_key(query).as_str().hash(&mut hasher);
         let t = &evaluation.timings;
+        let prefix_served = evaluation.limited.is_some_and(|i| i.prefix_served);
         let defactorize = {
-            let mut child = Span::new("defactorize", t.defactorization);
+            // A prefix serve never defactorizes: the child's name says the
+            // O(k) path answered, and its duration is the prefix copy-out.
+            let name = if prefix_served {
+                "defactorize_topk"
+            } else {
+                "defactorize"
+            };
+            let mut child = Span::new(name, t.defactorization);
             if t.defactorization_cpu > t.defactorization {
                 child = child.field("cpu_micros", t.defactorization_cpu.as_micros().to_string());
             }
@@ -894,6 +969,9 @@ impl Session {
         if let Some(info) = &evaluation.maintenance {
             span = span.field("maintenance_passes", info.passes.to_string());
         }
+        if let Some(info) = evaluation.limited {
+            span = span.field("limit", info.limit.to_string());
+        }
         span
     }
 
@@ -902,6 +980,7 @@ impl Session {
         graph: &Arc<Graph>,
         epoch: u64,
         query: &ConjunctiveQuery,
+        limit: usize,
     ) -> Result<Evaluation, WireframeError> {
         let engine = self
             .registry
@@ -934,20 +1013,34 @@ impl Session {
                 }
             };
             if let Some(retained) = retained {
-                let mut evaluation = retained.evaluate()?;
+                // A limited hit on a view whose prefix cannot answer it warms
+                // the prefix first (copy-on-write under the slot lock), so
+                // this call and every later one serve in O(limit).
+                let retained = if limit > 0 && !retained.can_prefix_serve(limit) {
+                    self.warm_prefix(&view, epoch, limit).unwrap_or(retained)
+                } else {
+                    retained
+                };
+                let mut evaluation = retained.evaluate_limited(limit)?;
                 evaluation.epochs = vec![epoch];
                 self.view_serves.inc();
+                if evaluation.limited.is_some_and(|i| i.prefix_served) {
+                    self.prefix_hits.inc();
+                }
                 return Ok(evaluation);
             }
             // First use (or a stale slot): run the full phase-one pipeline
             // once, retain the result, and answer from it.
             let t = std::time::Instant::now();
             if let Some(fresh) =
-                self.materialize_slot(engine.as_ref(), graph, &prepared, &view, epoch)?
+                self.materialize_slot(engine.as_ref(), graph, &prepared, &view, epoch, limit)?
             {
                 let phase_one = t.elapsed();
-                let mut evaluation = fresh.evaluate()?;
+                let mut evaluation = fresh.evaluate_limited(limit)?;
                 evaluation.epochs = vec![epoch];
+                if evaluation.limited.is_some_and(|i| i.prefix_served) {
+                    self.prefix_hits.inc();
+                }
                 // This call *did* pay planning + generation (+ burnback);
                 // the trait cannot hand the split back, so the lump is
                 // reported as answer-graph time — Timings::total stays
@@ -960,6 +1053,10 @@ impl Session {
         let mut evaluation = engine.evaluate(&prepared)?;
         self.full_evals.inc();
         evaluation.epochs = vec![epoch];
+        // Engines that saw `EngineConfig::limit` already truncated; for the
+        // rest (and for a larger per-call limit) this is the bound — a no-op
+        // when the evaluation is already at least as tight.
+        evaluation.apply_limit(limit);
         Ok(evaluation)
     }
 
@@ -988,6 +1085,7 @@ impl Session {
         prepared: &PreparedQuery,
         slot: &SharedViewSlot,
         epoch: u64,
+        limit: usize,
     ) -> Result<Option<Arc<dyn MaintainedView>>, WireframeError> {
         if !matches!(
             &*slot.read().unwrap_or_else(|p| p.into_inner()),
@@ -996,10 +1094,10 @@ impl Session {
             return Ok(None);
         }
         if let Some(fresh) = engine.materialize(prepared)? {
-            return Ok(Some(self.retain_fresh(fresh, slot, epoch)));
+            return Ok(Some(self.retain_fresh(fresh, slot, epoch, limit)));
         }
         if let Some(fresh) = self.materialize_fallback(graph, prepared)? {
-            return Ok(Some(self.retain_fresh(fresh, slot, epoch)));
+            return Ok(Some(self.retain_fresh(fresh, slot, epoch, limit)));
         }
         // Epoch-independent property of the query shape + engine options
         // (engines decline before paying phase one): record it so hits
@@ -1046,6 +1144,48 @@ impl Session {
         Ok(None)
     }
 
+    /// Lazily primes a retained view's top-k prefix for `limit`: primes in
+    /// place when this thread is the slot's only holder, otherwise clones,
+    /// primes the clone, and swaps it in — the same copy-on-write discipline
+    /// maintenance uses, so in-flight serves keep their snapshot. Priming
+    /// pays one ordered defactorization (an underflow refill's cost) and is
+    /// counted as one. Returns the primed view, or `None` when the slot
+    /// moved on (evicted, or maintained past this reader's `epoch`) or the
+    /// view cannot retain a prefix.
+    fn warm_prefix(
+        &self,
+        slot: &SharedViewSlot,
+        epoch: u64,
+        limit: usize,
+    ) -> Option<Arc<dyn MaintainedView>> {
+        let mut guard = slot.write().unwrap_or_else(|p| p.into_inner());
+        let ViewSlot::Retained(view) = &mut *guard else {
+            return None;
+        };
+        if view.epoch() > epoch {
+            return None;
+        }
+        // Re-check under the lock: a racing limited hit may have warmed the
+        // prefix already, and its work must not be counted twice.
+        if view.can_prefix_serve(limit) {
+            return Some(Arc::clone(view));
+        }
+        let primed = match Arc::get_mut(view) {
+            Some(exclusive) => exclusive.prime_prefix(limit),
+            None => {
+                let mut cloned = view.clone_view();
+                let primed = cloned.prime_prefix(limit);
+                *view = Arc::from(cloned);
+                primed
+            }
+        };
+        if !primed {
+            return None;
+        }
+        self.prefix_refills.inc();
+        Some(Arc::clone(view))
+    }
+
     /// Stamps and retains a freshly materialized view — unless a mutation
     /// landed while materializing: a view built on a superseded snapshot
     /// must not be stored as current (`apply_mutation` maintains views
@@ -1055,8 +1195,15 @@ impl Session {
         mut fresh: Box<dyn MaintainedView>,
         slot: &SharedViewSlot,
         epoch: u64,
+        limit: usize,
     ) -> Arc<dyn MaintainedView> {
         self.full_evals.inc();
+        // Prime the retained top-k prefix while the view is still exclusively
+        // ours: priming pays one ordered defactorization up front — the same
+        // work an underflow refill pays — so it is counted as one.
+        if limit > 0 && fresh.prime_prefix(limit) {
+            self.prefix_refills.inc();
+        }
         fresh.set_epoch(epoch);
         let fresh: Arc<dyn MaintainedView> = Arc::from(fresh);
         // Retain under the state read lock.
@@ -1088,7 +1235,14 @@ impl Session {
             return Ok(false);
         }
         if self
-            .materialize_slot(engine.as_ref(), &graph, &prepared, &slot, epoch)?
+            .materialize_slot(
+                engine.as_ref(),
+                &graph,
+                &prepared,
+                &slot,
+                epoch,
+                self.config.limit,
+            )?
             .is_some()
         {
             return Ok(true);
@@ -1192,6 +1346,8 @@ impl Session {
             self.maintenance_frontier.add(pass.frontier_nodes);
             self.maintenance_micros_total.add(pass.micros);
             self.mutation_touches.add(pass.touched);
+            self.prefix_refills.add(pass.prefix_refills);
+            self.prefix_fallbacks.add(pass.prefix_fallbacks);
             if pass.maintained > 0 {
                 self.maintain_batch.record(pass.micros);
             }
@@ -1294,6 +1450,26 @@ impl Session {
         self.view_serves.get()
     }
 
+    /// Number of view serves answered from a retained top-k prefix in
+    /// `O(k)` — no defactorization at all. A subset of
+    /// [`Session::view_serves`].
+    pub fn prefix_hits(&self) -> u64 {
+        self.prefix_hits.get()
+    }
+
+    /// Number of top-k prefix recomputes paid on priming or underflow
+    /// refills (removals drained the retained prefix below its bound).
+    pub fn prefix_refills(&self) -> u64 {
+        self.prefix_refills.get()
+    }
+
+    /// Number of top-k prefix full-recompute fallbacks: a batch churned too
+    /// much of the graph (or fanned out too many candidate rows) for the
+    /// incremental merge to beat re-deriving the prefix outright.
+    pub fn prefix_fallbacks(&self) -> u64 {
+        self.prefix_fallbacks.get()
+    }
+
     /// Number of full pipeline runs (answer-graph generation) performed:
     /// engine evaluations plus view materializations. The churn benchmark
     /// compares this between the maintenance policies.
@@ -1322,6 +1498,7 @@ impl Session {
         self.graph_triples.set(graph.triple_count() as u64);
         self.overlay_edges.set(graph.overlay_edges());
         self.overlay_ppm.set(graph.overlay_fraction_ppm());
+        self.prefix_rows.set(self.cache.prefix_rows_total());
         self.metrics.snapshot()
     }
 
@@ -1345,8 +1522,20 @@ impl QueryExecutor for Session {
         Session::query(self, text)
     }
 
+    fn query_limited(&self, text: &str, limit: usize) -> Result<Evaluation, WireframeError> {
+        Session::query_limited(self, text, limit)
+    }
+
     fn execute(&self, query: &ConjunctiveQuery) -> Result<Evaluation, WireframeError> {
         Session::execute(self, query)
+    }
+
+    fn execute_limited(
+        &self,
+        query: &ConjunctiveQuery,
+        limit: usize,
+    ) -> Result<Evaluation, WireframeError> {
+        Session::execute_limited(self, query, limit)
     }
 
     fn prime(&self, text: &str) -> Result<bool, WireframeError> {
@@ -1873,6 +2062,79 @@ mod tests {
         baseline.query(text).unwrap();
         assert_eq!(baseline.view_serves(), 0);
         assert_eq!(baseline.full_evaluations(), 2);
+    }
+
+    #[test]
+    fn limited_queries_serve_from_the_retained_prefix() {
+        let config = SessionConfig::new()
+            .store(StoreKind::Delta)
+            .engine_config(EngineConfig::default().with_limit(2));
+        let session = Session::from_config(knows_graph(), config).unwrap();
+        let text = "SELECT ?x ?y WHERE { ?x :knows ?y . }";
+
+        // The miss runs phase one, primes the top-k prefix (one refill), and
+        // already answers from it.
+        let first = session.query(text).unwrap();
+        assert_eq!(first.embedding_count(), 2);
+        let info = first.limited.expect("limited answers carry LimitInfo");
+        assert!(info.truncated, "3 rows exist, 2 were served");
+        assert!(info.prefix_served);
+        assert_eq!(session.prefix_refills(), 1, "priming counts as a refill");
+
+        // Hits are O(k): no defactorization, the prefix-hit counter moves.
+        let second = session.query(text).unwrap();
+        assert!(second.limited.unwrap().prefix_served);
+        assert_eq!(session.prefix_hits(), 2, "miss and hit both prefix-served");
+        assert_eq!(session.view_serves(), 1);
+
+        // The served rows are the canonical first k of the full answer.
+        let full = Session::new(knows_graph()).query(text).unwrap();
+        let expect = full.embeddings().canonical_prefix(2);
+        assert_eq!(
+            second.embeddings().rows().collect::<Vec<_>>(),
+            expect.rows().collect::<Vec<_>>(),
+            "bit-identical to the fresh canonical prefix"
+        );
+
+        // A per-call limit beyond the retained k grows the prefix in place
+        // (one more refill, copy-on-write) and serves from it — wider pages
+        // are O(limit) too, from this call on.
+        let wide = session.query_limited(text, 3).unwrap();
+        assert_eq!(wide.embedding_count(), 3);
+        let info = wide.limited.unwrap();
+        assert!(info.prefix_served);
+        assert!(!info.truncated, "all three rows fit in the grown prefix");
+        assert_eq!(session.prefix_refills(), 2, "growing k re-primes");
+
+        // Mutations keep the prefix serving, and the gauge reads the level.
+        session.insert_triples([("aaron", "knows", "alice")]);
+        assert_eq!(session.plans_maintained(), 1);
+        let third = session.query(text).unwrap();
+        assert!(third.limited.unwrap().prefix_served);
+        let fresh = {
+            let mut b = GraphBuilder::new();
+            b.add("alice", "knows", "bob");
+            b.add("bob", "knows", "carol");
+            b.add("carol", "knows", "dave");
+            b.add("aaron", "knows", "alice");
+            Session::new(b.build()).query(text).unwrap()
+        };
+        let expect = fresh.embeddings().canonical_prefix(2);
+        assert_eq!(
+            third.embeddings().rows().collect::<Vec<_>>(),
+            expect.rows().collect::<Vec<_>>(),
+            "maintained prefix matches a from-scratch evaluation"
+        );
+        let snap = session.metrics_snapshot();
+        assert_eq!(
+            snap.gauge(names::MAINTAIN_PREFIX_ROWS),
+            3,
+            "the gauge reads the retained level of the grown prefix"
+        );
+        assert_eq!(
+            QueryExecutor::stats(&session).prefix_hits,
+            session.prefix_hits()
+        );
     }
 
     #[test]
